@@ -1,0 +1,55 @@
+//! Experiment E11 (Theorems 6.2 / 6.6): DATALOG¬ fixpoints over constraint databases
+//! have polynomial data complexity.  Measured: the transitive-closure program over
+//! growing path graphs and the direct PTIME connectivity algorithm over growing
+//! planar regions (the query the PTIME-capture theorem guarantees DATALOG¬ can also
+//! express; the Example 6.3 program itself is exercised at small scale in the tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frdb_bench::region_relation;
+use frdb_core::relation::{Instance, Relation};
+use frdb_core::schema::{RelName, Schema};
+use frdb_core::logic::Var;
+use frdb_datalog::transitive_closure_program;
+use frdb_num::Rat;
+use frdb_queries::connectivity::component_count;
+use std::time::Duration;
+
+fn path_instance(n: usize) -> Instance<frdb_core::dense::DenseOrder> {
+    let mut inst = Instance::new(Schema::from_pairs([("edge", 2)]));
+    inst.set(
+        "edge",
+        Relation::from_points(
+            vec![Var::new("x"), Var::new("y")],
+            (1..n as i64).map(|i| vec![Rat::from_i64(i), Rat::from_i64(i + 1)]),
+        ),
+    );
+    inst
+}
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11_datalog_transitive_closure_vs_graph_size");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [4usize, 6, 8, 10] {
+        let inst = path_instance(n);
+        let program = transitive_closure_program("edge", "tc");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| program.run_for(&inst, &RelName::new("tc")).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_direct_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11_ptime_region_connectivity_vs_cells");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [4usize, 8, 16, 32] {
+        let region = region_relation(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| component_count(&region))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transitive_closure, bench_direct_connectivity);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Experiment E10 (Theorem 5.2): the data complexity of a *fixed* FO query over
+//! dense-order constraint databases is low-degree polynomial in the size of the input
+//! representation.  The series below measure a fixed quantifier-depth-2 query over
+//! growing random monadic databases and a projection/selection pair over planar
+//! databases; the expected shape is smooth polynomial growth (no exponential blow-up
+//! in the data).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frdb_bench::{gap_query, gap_query_free, interval_instance, region_instance};
+use frdb_core::fo::{eval_query, eval_sentence};
+use frdb_core::logic::{Formula, Term};
+use frdb_core::dense::DenseAtom;
+use std::time::Duration;
+
+fn bench_fixed_query_growing_data(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_fo_gap_query_vs_database_size");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [4usize, 8, 16, 32, 64] {
+        let inst = interval_instance(n);
+        let q = gap_query();
+        let free = gap_query_free();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| eval_query(&q, &free, &inst).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_planar_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_fo_planar_projection_vs_database_size");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let q: Formula<DenseAtom> =
+        Formula::exists(["y"], Formula::rel("R", [Term::var("x"), Term::var("y")]));
+    let free = vec![frdb_core::logic::Var::new("x")];
+    for n in [4usize, 8, 16, 32, 64] {
+        let inst = region_instance(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| eval_query(&q, &free, &inst).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_boolean_sentence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_fo_boolean_sentence_vs_database_size");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    // ∃x∃y. R(x) ∧ R(y) ∧ x < y  — a rank-2 sentence.
+    let q: Formula<DenseAtom> = Formula::exists(
+        ["x", "y"],
+        Formula::rel("R", [Term::var("x")])
+            .and(Formula::rel("R", [Term::var("y")]))
+            .and(Formula::Atom(DenseAtom::lt(Term::var("x"), Term::var("y")))),
+    );
+    for n in [8usize, 32, 128] {
+        let inst = interval_instance(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| eval_sentence(&q, &inst).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fixed_query_growing_data,
+    bench_planar_projection,
+    bench_boolean_sentence
+);
+criterion_main!(benches);

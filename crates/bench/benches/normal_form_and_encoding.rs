@@ -1,0 +1,58 @@
+//! Experiment E9 (Fig. 9, Example 6.8/6.11, Lemma 6.10): the cost of computing prime
+//! tuple covers and the finite relational encoding grows polynomially with the number
+//! of constraints, and the §4.2 standard encoding (database size) is computed as a
+//! by-product.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frdb_bench::{interval_instance, region_instance, region_relation};
+use frdb_core::encode::{database_size, encode_relation_cover};
+use frdb_core::normal::{cover, decompose_1d};
+use frdb_core::schema::RelName;
+use std::time::Duration;
+
+fn bench_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9_prime_tuple_cover_vs_constraints");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [2usize, 4, 8, 16] {
+        let region = region_relation(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| cover(&region))
+        });
+    }
+    group.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9_relational_encoding_vs_constraints");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [2usize, 4, 8, 16] {
+        let region = region_relation(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| encode_relation_cover(&region))
+        });
+    }
+    group.finish();
+}
+
+fn bench_database_size_and_1d_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9_standard_encoding_and_1d_decomposition");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [8usize, 32, 128, 512] {
+        let inst = interval_instance(n);
+        group.bench_with_input(BenchmarkId::new("database_size", n), &n, |b, _| {
+            b.iter(|| database_size(&inst))
+        });
+        let rel = inst.get(&RelName::new("R")).unwrap();
+        group.bench_with_input(BenchmarkId::new("decompose_1d", n), &n, |b, _| {
+            b.iter(|| decompose_1d(&rel))
+        });
+        let planar = region_instance(n.min(64));
+        group.bench_with_input(BenchmarkId::new("database_size_planar", n), &n, |b, _| {
+            b.iter(|| database_size(&planar))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cover, bench_encoding, bench_database_size_and_1d_decomposition);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Experiments E3–E6 (Figs. 3–6): the reduction workloads and the topological queries
+//! they target.  Measured: generating the reduction instance plus answering the query
+//! with the direct PTIME algorithms, as the Boolean input size grows.  The expected
+//! shape is polynomial growth; the constructions themselves are linear-size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frdb_queries::connectivity::{has_hole, is_connected};
+use frdb_queries::euler::euler_traversal;
+use frdb_queries::reductions::{
+    boolean_vector, half_to_euler, half_to_homeomorphism, majority_to_connectivity,
+    majority_to_holes, parity_to_connectivity_3d,
+};
+use frdb_queries::shape1d::homeomorphic_1d;
+use std::time::Duration;
+
+fn bench_majority_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_majority_to_connectivity");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [4usize, 8, 16, 24] {
+        let bits = boolean_vector(n, n / 2 + 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| is_connected(&majority_to_connectivity(&bits)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_majority_holes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_majority_to_holes");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [4usize, 6, 8] {
+        let bits = boolean_vector(n, n / 2 + 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| has_hole(&majority_to_holes(&bits)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parity_3d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_parity_to_3d_connectivity");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [4usize, 8, 12] {
+        let bits = boolean_vector(n, n / 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| is_connected(&parity_to_connectivity_3d(&bits)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_half_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_half_to_euler_and_homeomorphism");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [8usize, 32, 128] {
+        let bits = boolean_vector(n, n / 2);
+        group.bench_with_input(BenchmarkId::new("euler", n), &n, |b, _| {
+            b.iter(|| euler_traversal(&half_to_euler(&bits)))
+        });
+        group.bench_with_input(BenchmarkId::new("homeomorphism", n), &n, |b, _| {
+            b.iter(|| {
+                let (r1, r2) = half_to_homeomorphism(&bits);
+                homeomorphic_1d(&r1, &r2)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_majority_connectivity,
+    bench_majority_holes,
+    bench_parity_3d,
+    bench_half_reductions
+);
+criterion_main!(benches);

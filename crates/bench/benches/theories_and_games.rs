@@ -1,0 +1,111 @@
+//! Experiments E12, E7, E1 and E2:
+//!
+//! * **E12** (Section 7 table): the same satisfiability / elimination workload
+//!   instantiated in the three constraint theories — dense order `FO(≤)`, linear
+//!   `FO(≤,+)` and univariate polynomial constraints.  Expected shape: order is the
+//!   cheapest, linear costs more (Fourier–Motzkin), polynomial constraints cost the
+//!   most (Sturm sequences) — mirroring AC⁰ ⊆ NC¹ ⊆ NC.
+//! * **E7** (Fig. 7): the Ehrenfeucht–Fraïssé game solver on the comb instances.
+//! * **E1 / E2**: genericity checking and the convexity query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frdb_bench::region_relation;
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::generic::Automorphism;
+use frdb_core::logic::{Term, Var};
+use frdb_core::theory::Theory;
+use frdb_games::{comb_instance, duplicator_wins_value};
+use frdb_linear::{LinAtom, LinExpr, LinearOrder};
+use frdb_poly::{decompose, Poly, PolyConstraint, SignOp};
+use frdb_queries::convexity::is_convex;
+use frdb_queries::separation::{example_4_5_instance, line_separation};
+use std::time::Duration;
+
+/// A chain x₀ < x₁ < … < x_{n} with constant bounds, in the dense-order language.
+fn order_chain(n: usize) -> Vec<DenseAtom> {
+    let mut atoms = vec![DenseAtom::lt(Term::cst(0), Term::var("v0"))];
+    for i in 0..n {
+        atoms.push(DenseAtom::lt(Term::var(format!("v{i}")), Term::var(format!("v{}", i + 1))));
+    }
+    atoms.push(DenseAtom::lt(Term::var(format!("v{n}")), Term::cst(1)));
+    atoms
+}
+
+/// The same chain in the linear language, with an extra additive constraint.
+fn linear_chain(n: usize) -> Vec<LinAtom> {
+    let mut atoms = vec![LinAtom::lt(LinExpr::constant(frdb_num::Rat::zero()), LinExpr::var("v0"))];
+    for i in 0..n {
+        atoms.push(LinAtom::lt(
+            LinExpr::var(format!("v{i}")),
+            LinExpr::var(format!("v{}", i + 1)),
+        ));
+    }
+    atoms.push(LinAtom::lt(
+        LinExpr::var(format!("v{n}")).add(&LinExpr::var("v0")),
+        LinExpr::constant(frdb_num::Rat::one()),
+    ));
+    atoms
+}
+
+fn bench_theories(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E12_theory_satisfiability_cost");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [4usize, 8, 16] {
+        let oc = order_chain(n);
+        group.bench_with_input(BenchmarkId::new("dense_order", n), &n, |b, _| {
+            b.iter(|| DenseOrder::satisfiable(&oc))
+        });
+        let lc = linear_chain(n);
+        group.bench_with_input(BenchmarkId::new("linear_fm", n), &n, |b, _| {
+            b.iter(|| LinearOrder::satisfiable(&lc))
+        });
+        // A polynomial workload of comparable size: decompose Π (x - i) ≥ 0.
+        let mut poly = Poly::from_i64(&[1]);
+        for i in 1..=n as i64 {
+            poly = poly.mul(&Poly::new(vec![frdb_num::Rat::from_i64(-i), frdb_num::Rat::one()]));
+        }
+        let constraint = vec![PolyConstraint::new(poly, SignOp::Ge)];
+        group.bench_with_input(BenchmarkId::new("polynomial_sturm", n), &n, |b, _| {
+            b.iter(|| decompose(&constraint))
+        });
+    }
+    group.finish();
+}
+
+fn bench_games(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_ef_games_on_combs");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for teeth in [2usize, 3] {
+        let a = comb_instance(teeth, true);
+        let b = comb_instance(teeth, false);
+        group.bench_with_input(BenchmarkId::new("one_round", teeth), &teeth, |bch, _| {
+            bch.iter(|| duplicator_wins_value(&a, &b, 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_genericity_and_convexity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_E2_genericity_and_convexity");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let fig1 = example_4_5_instance();
+    let mu = Automorphism::example_4_5();
+    group.bench_function("E1_line_separation_flip", |b| {
+        b.iter(|| {
+            let before = line_separation(&fig1).unwrap();
+            let after = line_separation(&mu.apply_relation(&fig1)).unwrap();
+            (before, after)
+        })
+    });
+    for n in [1usize, 2, 3] {
+        let region = region_relation(n);
+        group.bench_with_input(BenchmarkId::new("E2_convexity", n), &n, |b, _| {
+            b.iter(|| is_convex(&region).unwrap())
+        });
+    }
+    let _ = Var::new("unused");
+    group.finish();
+}
+
+criterion_group!(benches, bench_theories, bench_games, bench_genericity_and_convexity);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench target corresponds to one or more experiments of `DESIGN.md`
+//! (E3–E12); `EXPERIMENTS.md` maps the measured series back to the paper's claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::logic::{Formula, Term, Var};
+use frdb_core::relation::{Instance, Relation};
+use frdb_core::schema::Schema;
+use frdb_queries::workload::{random_intervals, random_region2};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic monadic instance with `n` random intervals, named `R`.
+#[must_use]
+pub fn interval_instance(n: usize) -> Instance<DenseOrder> {
+    let mut rng = StdRng::seed_from_u64(n as u64 + 1);
+    let rel = random_intervals(&mut rng, n, 10 * n as i64 + 10);
+    let mut inst = Instance::new(Schema::from_pairs([("R", 1)]));
+    inst.set("R", rel);
+    inst
+}
+
+/// A deterministic planar instance with `n` random rectangles, named `R`.
+#[must_use]
+pub fn region_instance(n: usize) -> Instance<DenseOrder> {
+    let mut rng = StdRng::seed_from_u64(n as u64 + 7);
+    let rel = random_region2(&mut rng, n, 8 * n as i64 + 8);
+    let mut inst = Instance::new(Schema::from_pairs([("R", 2)]));
+    inst.set("R", rel);
+    inst
+}
+
+/// The planar relation of [`region_instance`].
+#[must_use]
+pub fn region_relation(n: usize) -> Relation<DenseOrder> {
+    region_instance(n).get(&"R".into()).expect("R is declared")
+}
+
+/// A fixed FO query of quantifier depth 2 over the monadic schema: the "gap" query
+/// `{x | ¬R(x) ∧ ∃y (R(y) ∧ y < x) ∧ ∃z (R(z) ∧ x < z)}`.
+#[must_use]
+pub fn gap_query() -> Formula<DenseAtom> {
+    Formula::rel("R", [Term::var("x")])
+        .not()
+        .and(Formula::exists(
+            ["y"],
+            Formula::rel("R", [Term::var("y")])
+                .and(Formula::Atom(DenseAtom::lt(Term::var("y"), Term::var("x")))),
+        ))
+        .and(Formula::exists(
+            ["z"],
+            Formula::rel("R", [Term::var("z")])
+                .and(Formula::Atom(DenseAtom::lt(Term::var("x"), Term::var("z")))),
+        ))
+}
+
+/// The free variable of [`gap_query`].
+#[must_use]
+pub fn gap_query_free() -> Vec<Var> {
+    vec![Var::new("x")]
+}

@@ -1,0 +1,537 @@
+//! Encodings of finitely representable databases.
+//!
+//! Two encodings from the paper are implemented:
+//!
+//! * the **standard string encoding** of Section 4.2 (Example 4.11), which defines the
+//!   *size* of a database instance — the input-size parameter of every data-complexity
+//!   statement (Theorems 5.2, 6.2, 6.6);
+//! * the **finite relational encoding** of Section 6 (Example 6.11, Lemma 6.12): a
+//!   cover of prime tuples is flattened into a finite relation of rationals, using
+//!   `(flag, value)` pairs to encode both numbers and the special symbols
+//!   `= − + < > ?`.  The decoding direction rebuilds an equivalent constraint
+//!   relation, which is the round-trip at the heart of the DATALOG¬ = PTIME proof.
+//!
+//! The module also provides the active-domain automorphism of Lemma 6.13, mapping the
+//! rationals occurring in an instance order-preservingly onto small integers.
+
+use crate::dense::{DenseAtom, DenseOrder};
+use crate::logic::Var;
+use crate::normal::{cover, Bound, PairRel, PrimeTuple};
+use crate::relation::{Instance, Relation};
+use frdb_num::{BigInt, Rat};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Standard string encoding (§4.2)
+// ---------------------------------------------------------------------------
+
+fn encode_rat(r: &Rat, out: &mut String) {
+    // Rationals are encoded as pairs (fractions) of naturals in binary notation,
+    // with an explicit sign, following Example 4.11's "(1011, 100)" style.
+    if r.numer().is_negative() {
+        out.push('-');
+    }
+    let num = r.numer().abs();
+    let _ = write!(out, "({:b},{:b})", BigIntBits(&num), BigIntBits(r.denom()));
+}
+
+/// Helper displaying a non-negative [`BigInt`] in binary.
+struct BigIntBits<'a>(&'a BigInt);
+
+impl std::fmt::Binary for BigIntBits<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let two = BigInt::from(2i64);
+        let mut n = self.0.abs();
+        while !n.is_zero() {
+            let (q, r) = n.div_rem(&two);
+            digits.push(if r.is_zero() { '0' } else { '1' });
+            n = q;
+        }
+        for d in digits.iter().rev() {
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+fn encode_atom(atom: &DenseAtom, var_index: &BTreeMap<Var, usize>, out: &mut String) {
+    let term = |t: &crate::logic::Term, out: &mut String| match t {
+        crate::logic::Term::Var(v) => {
+            let _ = write!(out, "x{:b}", var_index.get(v).copied().unwrap_or(0));
+        }
+        crate::logic::Term::Const(c) => encode_rat(c, out),
+    };
+    out.push('(');
+    term(&atom.lhs, out);
+    out.push(match atom.op {
+        crate::dense::CmpOp::Lt => '<',
+        crate::dense::CmpOp::Le => '≤',
+        crate::dense::CmpOp::Eq => '=',
+    });
+    term(&atom.rhs, out);
+    out.push(')');
+}
+
+/// Encodes a relation in the standard alphabet of Section 4.2:
+/// `R[enc(φ₁)] ∨ … ∨ [enc(φₗ)]*`.
+#[must_use]
+pub fn encode_relation(name: &str, relation: &Relation<DenseOrder>) -> String {
+    let var_index: BTreeMap<Var, usize> =
+        relation.vars().iter().cloned().enumerate().map(|(i, v)| (v, i)).collect();
+    let mut out = String::new();
+    out.push_str(name);
+    for (i, conj) in relation.tuples().iter().enumerate() {
+        if i > 0 {
+            out.push('∨');
+        }
+        out.push('[');
+        for (j, atom) in conj.iter().enumerate() {
+            if j > 0 {
+                out.push('∧');
+            }
+            encode_atom(atom, &var_index, &mut out);
+        }
+        out.push(']');
+    }
+    out.push('*');
+    out
+}
+
+/// Encodes a whole instance: `enc(I(R₁))* … *enc(I(Rₙ))**` with relations taken in
+/// schema (name) order.
+#[must_use]
+pub fn encode_instance(instance: &Instance<DenseOrder>) -> String {
+    let mut out = String::new();
+    for (name, _) in instance.schema().iter() {
+        if let Some(rel) = instance.get(name) {
+            out.push_str(&encode_relation(name.as_str(), &rel));
+            out.push('*');
+        }
+    }
+    out.push('*');
+    out
+}
+
+/// The size of a database instance: the length of its standard encoding
+/// (Section 4.2).  All data-complexity benchmarks report against this measure.
+#[must_use]
+pub fn database_size(instance: &Instance<DenseOrder>) -> usize {
+    encode_instance(instance).chars().count()
+}
+
+// ---------------------------------------------------------------------------
+// Finite relational encoding of covers (§6, Example 6.11)
+// ---------------------------------------------------------------------------
+
+/// The `(flag, value)` pair encoding of Example 6.11: flag `0` marks a rational
+/// number, flag `1` marks a special symbol.
+fn encode_symbolic(special: i64) -> [Rat; 2] {
+    [Rat::one(), Rat::from_i64(special)]
+}
+
+fn encode_number(v: &Rat) -> [Rat; 2] {
+    [Rat::zero(), v.clone()]
+}
+
+const SYM_EQ: i64 = 0;
+const SYM_NEG_INF: i64 = 1;
+const SYM_POS_INF: i64 = 2;
+const SYM_LT: i64 = 3;
+const SYM_GT: i64 = 4;
+const SYM_UNRELATED: i64 = 5;
+
+/// Encodes a prime tuple of arity `k` into a flat vector of `2·(2k + k²)` rationals:
+/// the bounds `l₁,u₁,…,lₖ,uₖ` followed by the `µ` matrix row by row, each entry as a
+/// `(flag, value)` pair (Example 6.11).
+#[must_use]
+pub fn encode_prime_tuple(tuple: &PrimeTuple) -> Vec<Rat> {
+    let k = tuple.arity();
+    let mut out = Vec::with_capacity(2 * (2 * k + k * k));
+    for i in 0..k {
+        match tuple.lower(i) {
+            Bound::Infinite => out.extend(encode_symbolic(SYM_NEG_INF)),
+            Bound::Finite(v) => out.extend(encode_number(v)),
+        }
+        match tuple.upper(i) {
+            Bound::Infinite => out.extend(encode_symbolic(SYM_POS_INF)),
+            Bound::Finite(v) => out.extend(encode_number(v)),
+        }
+    }
+    for i in 0..k {
+        for j in 0..k {
+            let sym = match tuple.pair(i, j) {
+                PairRel::Eq => SYM_EQ,
+                PairRel::Lt => SYM_LT,
+                PairRel::Gt => SYM_GT,
+                PairRel::Unrelated => SYM_UNRELATED,
+            };
+            out.extend(encode_symbolic(sym));
+        }
+    }
+    out
+}
+
+/// Errors from decoding the finite relational encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The flat vector has the wrong length for the declared arity.
+    WrongLength {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        found: usize,
+    },
+    /// An entry had an unknown flag or special-symbol code.
+    BadSymbol(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::WrongLength { expected, found } => {
+                write!(f, "encoded tuple has length {found}, expected {expected}")
+            }
+            DecodeError::BadSymbol(s) => write!(f, "bad symbol in encoded tuple: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes a flat vector produced by [`encode_prime_tuple`] back into a conjunction of
+/// dense-order atoms over the given column variables.
+///
+/// # Errors
+/// Returns an error if the vector has the wrong length or contains invalid symbols.
+pub fn decode_prime_tuple(vars: &[Var], data: &[Rat]) -> Result<Vec<DenseAtom>, DecodeError> {
+    let k = vars.len();
+    let expected = 2 * (2 * k + k * k);
+    if data.len() != expected {
+        return Err(DecodeError::WrongLength { expected, found: data.len() });
+    }
+    let pair = |idx: usize| -> (&Rat, &Rat) { (&data[2 * idx], &data[2 * idx + 1]) };
+    let mut atoms = Vec::new();
+    for i in 0..k {
+        let (lflag, lval) = pair(2 * i);
+        let (uflag, uval) = pair(2 * i + 1);
+        let lower = if lflag.is_zero() { Some(lval.clone()) } else { None };
+        let upper = if uflag.is_zero() { Some(uval.clone()) } else { None };
+        let x = crate::logic::Term::Var(vars[i].clone());
+        match (lower, upper) {
+            (Some(l), Some(u)) if l == u => {
+                atoms.push(DenseAtom::eq(x, crate::logic::Term::Const(l)));
+            }
+            (l, u) => {
+                if let Some(l) = l {
+                    atoms.push(DenseAtom::lt(crate::logic::Term::Const(l), x.clone()));
+                }
+                if let Some(u) = u {
+                    atoms.push(DenseAtom::lt(x, crate::logic::Term::Const(u)));
+                }
+            }
+        }
+    }
+    for i in 0..k {
+        for j in 0..k {
+            let (flag, val) = pair(2 * k + i * k + j);
+            if flag.is_zero() {
+                return Err(DecodeError::BadSymbol(format!("matrix entry ({i},{j}) is a number")));
+            }
+            if i >= j {
+                continue;
+            }
+            let xi = crate::logic::Term::Var(vars[i].clone());
+            let xj = crate::logic::Term::Var(vars[j].clone());
+            let code = val.numer().to_i64().unwrap_or(-1);
+            match code {
+                SYM_EQ => atoms.push(DenseAtom::eq(xi, xj)),
+                SYM_LT => atoms.push(DenseAtom::lt(xi, xj)),
+                SYM_GT => atoms.push(DenseAtom::lt(xj, xi)),
+                SYM_UNRELATED => {}
+                other => {
+                    return Err(DecodeError::BadSymbol(format!(
+                        "unknown symbol code {other} at matrix entry ({i},{j})"
+                    )))
+                }
+            }
+        }
+    }
+    Ok(atoms)
+}
+
+/// Encodes a relation as a finite set of flat rational vectors: one per prime tuple of
+/// a cover (the relational representation of Lemma 6.12).
+#[must_use]
+pub fn encode_relation_cover(relation: &Relation<DenseOrder>) -> Vec<Vec<Rat>> {
+    cover(relation).iter().map(encode_prime_tuple).collect()
+}
+
+/// Decodes a finite set of flat vectors back into a constraint relation over the given
+/// columns.
+///
+/// # Errors
+/// Returns an error if any vector is malformed.
+pub fn decode_relation_cover(
+    vars: &[Var],
+    rows: &[Vec<Rat>],
+) -> Result<Relation<DenseOrder>, DecodeError> {
+    let mut dnf = Vec::with_capacity(rows.len());
+    for row in rows {
+        dnf.push(decode_prime_tuple(vars, row)?);
+    }
+    Ok(Relation::from_dnf(vars.to_vec(), dnf))
+}
+
+// ---------------------------------------------------------------------------
+// Active-domain automorphism (Lemma 6.13)
+// ---------------------------------------------------------------------------
+
+/// The order-preserving map from the active domain of an instance to small integers
+/// used in the proof of Theorem 6.6 (Lemma 6.13): `0 ↦ 0`, the i-th smallest positive
+/// constant `↦ i`, the i-th largest negative constant `↦ −i`.
+#[derive(Clone, Debug, Default)]
+pub struct AdomMap {
+    forward: BTreeMap<Rat, BigInt>,
+    backward: BTreeMap<BigInt, Rat>,
+}
+
+impl AdomMap {
+    /// Builds the map for an instance's active domain.
+    #[must_use]
+    pub fn for_instance(instance: &Instance<DenseOrder>) -> Self {
+        Self::for_constants(instance.active_domain().into_iter())
+    }
+
+    /// Builds the map for an explicit set of constants.
+    #[must_use]
+    pub fn for_constants(constants: impl IntoIterator<Item = Rat>) -> Self {
+        let mut positives: Vec<Rat> = Vec::new();
+        let mut negatives: Vec<Rat> = Vec::new();
+        let mut has_zero = false;
+        for c in constants {
+            if c.is_zero() {
+                has_zero = true;
+            } else if c > Rat::zero() {
+                positives.push(c);
+            } else {
+                negatives.push(c);
+            }
+        }
+        positives.sort();
+        positives.dedup();
+        negatives.sort();
+        negatives.dedup();
+        let mut forward = BTreeMap::new();
+        let mut backward = BTreeMap::new();
+        if has_zero {
+            forward.insert(Rat::zero(), BigInt::zero());
+            backward.insert(BigInt::zero(), Rat::zero());
+        }
+        for (i, c) in positives.into_iter().enumerate() {
+            let v = BigInt::from((i + 1) as i64);
+            forward.insert(c.clone(), v.clone());
+            backward.insert(v, c);
+        }
+        for (i, c) in negatives.into_iter().rev().enumerate() {
+            let v = BigInt::from(-((i + 1) as i64));
+            forward.insert(c.clone(), v.clone());
+            backward.insert(v, c);
+        }
+        AdomMap { forward, backward }
+    }
+
+    /// Maps an active-domain constant to its integer image (identity outside the
+    /// domain, matching "the automorphism is the identity elsewhere up to order").
+    #[must_use]
+    pub fn apply(&self, c: &Rat) -> Rat {
+        self.forward.get(c).map(|i| Rat::from(i.clone())).unwrap_or_else(|| c.clone())
+    }
+
+    /// Maps an integer back to the active-domain constant it encodes.
+    #[must_use]
+    pub fn invert(&self, i: &BigInt) -> Option<Rat> {
+        self.backward.get(i).cloned()
+    }
+
+    /// The number of mapped constants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// The map is order preserving on the active domain — the property that makes it
+    /// usable as (the restriction of) an automorphism of `(Q, ≤)` in Lemma 6.13.
+    #[must_use]
+    pub fn is_order_preserving(&self) -> bool {
+        let entries: Vec<_> = self.forward.iter().collect();
+        entries.windows(2).all(|w| w[0].1 < w[1].1)
+    }
+
+    /// Applies the map to every constant of an instance.
+    #[must_use]
+    pub fn apply_instance(&self, instance: &Instance<DenseOrder>) -> Instance<DenseOrder> {
+        instance.map_constants(&|c| self.apply(c))
+    }
+}
+
+/// The binary-representation relation `bin(i)` of Lemma 6.13: row 0 carries the sign,
+/// row `j ≥ 1` the j-th bit of `|i|`, returned as `(position, digit)` pairs.
+#[must_use]
+pub fn bin_relation(i: &BigInt) -> Vec<(BigInt, BigInt)> {
+    let mut rows = vec![(
+        BigInt::zero(),
+        if i.is_negative() { BigInt::from(-1i64) } else { BigInt::one() },
+    )];
+    let mag = i.abs();
+    if mag.is_zero() {
+        rows.push((BigInt::one(), BigInt::zero()));
+        return rows;
+    }
+    let mut bits = Vec::new();
+    let two = BigInt::from(2i64);
+    let mut n = mag;
+    while !n.is_zero() {
+        let (q, r) = n.div_rem(&two);
+        bits.push(r);
+        n = q;
+    }
+    for (pos, bit) in bits.iter().rev().enumerate() {
+        rows.push((BigInt::from((pos + 1) as i64), bit.clone()));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::Term;
+    use crate::relation::GenTuple;
+    use crate::schema::Schema;
+    use crate::theory::Theory;
+
+    fn vx() -> Var {
+        Var::new("x")
+    }
+    fn vy() -> Var {
+        Var::new("y")
+    }
+    fn r(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+
+    fn sample_relation() -> Relation<DenseOrder> {
+        Relation::new(
+            vec![vx(), vy()],
+            vec![
+                GenTuple::new(vec![
+                    DenseAtom::le(Term::rat("11/4".parse().unwrap()), Term::var("x")),
+                    DenseAtom::le(Term::var("x"), Term::cst(7)),
+                    DenseAtom::lt(Term::var("y"), Term::var("x")),
+                ]),
+                GenTuple::new(vec![DenseAtom::le(Term::var("x"), Term::var("y"))]),
+            ],
+        )
+    }
+
+    #[test]
+    fn string_encoding_is_nonempty_and_monotone_in_content() {
+        let schema = Schema::from_pairs([("R", 2)]);
+        let mut small = Instance::new(schema.clone());
+        small.set("R", sample_relation());
+        let mut large = Instance::new(schema);
+        large.set("R", sample_relation().union(&sample_relation().map_constants(&|c| c + &r(100))));
+        let s1 = database_size(&small);
+        let s2 = database_size(&large);
+        assert!(s1 > 0);
+        assert!(s2 > s1, "a larger representation must have a larger encoding");
+        let text = encode_instance(&small);
+        assert!(text.contains('R') && text.ends_with("**"));
+    }
+
+    #[test]
+    fn prime_tuple_encoding_roundtrip() {
+        let vars = vec![Var::new("x1"), Var::new("x2"), Var::new("x3")];
+        let conj = vec![
+            DenseAtom::lt(Term::cst(0), Term::var("x1")),
+            DenseAtom::lt(Term::var("x1"), Term::cst(5)),
+            DenseAtom::lt(Term::cst(0), Term::var("x2")),
+            DenseAtom::lt(Term::var("x2"), Term::var("x1")),
+            DenseAtom::lt(Term::var("x3"), Term::cst(3)),
+        ];
+        let pt = PrimeTuple::from_primitive(&vars, &conj).unwrap();
+        let encoded = encode_prime_tuple(&pt);
+        // 2·(2k + k²) with k = 3.
+        assert_eq!(encoded.len(), 2 * (6 + 9));
+        let decoded = decode_prime_tuple(&vars, &encoded).unwrap();
+        assert!(DenseOrder::implies(&decoded, &conj));
+        assert!(DenseOrder::implies(&conj, &decoded));
+        // Malformed input is rejected.
+        assert!(decode_prime_tuple(&vars, &encoded[1..]).is_err());
+    }
+
+    #[test]
+    fn relation_cover_roundtrip() {
+        let rel = sample_relation();
+        let rows = encode_relation_cover(&rel);
+        assert!(!rows.is_empty());
+        let back = decode_relation_cover(&[vx(), vy()], &rows).unwrap();
+        assert!(back.equivalent(&rel));
+    }
+
+    #[test]
+    fn adom_map_is_order_preserving_and_invertible() {
+        let constants = [r(-7), r(-2), r(0), "1/3".parse().unwrap(), r(5), r(12)];
+        let map = AdomMap::for_constants(constants.iter().cloned());
+        assert!(map.is_order_preserving());
+        assert_eq!(map.len(), 6);
+        assert_eq!(map.apply(&r(0)), r(0));
+        assert_eq!(map.apply(&"1/3".parse().unwrap()), r(1));
+        assert_eq!(map.apply(&r(5)), r(2));
+        assert_eq!(map.apply(&r(12)), r(3));
+        assert_eq!(map.apply(&r(-2)), r(-1));
+        assert_eq!(map.apply(&r(-7)), r(-2));
+        for c in &constants {
+            let img = map.apply(c);
+            assert_eq!(map.invert(&img.numer().clone()), Some(c.clone()));
+        }
+    }
+
+    #[test]
+    fn adom_map_preserves_query_answers_up_to_renaming() {
+        // Mapping the instance through ρ and back is the identity on the active domain
+        // — the mechanism that lets Theorem 6.6 work on integer encodings.
+        let schema = Schema::from_pairs([("R", 2)]);
+        let mut inst = Instance::new(schema);
+        inst.set("R", sample_relation());
+        let map = AdomMap::for_instance(&inst);
+        let image = map.apply_instance(&inst);
+        let back = image.map_constants(&|c| {
+            map.invert(&c.numer().clone()).unwrap_or_else(|| c.clone())
+        });
+        assert!(back.equivalent(&inst));
+    }
+
+    #[test]
+    fn bin_relation_encodes_sign_and_bits() {
+        let rows = bin_relation(&BigInt::from(6i64));
+        // sign row + bits of 110.
+        assert_eq!(rows[0], (BigInt::zero(), BigInt::one()));
+        let bits: Vec<i64> = rows[1..].iter().map(|(_, b)| b.to_i64().unwrap()).collect();
+        assert_eq!(bits, vec![1, 1, 0]);
+        let neg = bin_relation(&BigInt::from(-1i64));
+        assert_eq!(neg[0].1, BigInt::from(-1i64));
+        let zero = bin_relation(&BigInt::zero());
+        assert_eq!(zero.len(), 2);
+    }
+}

@@ -1,0 +1,384 @@
+//! The first-order constraint query evaluator.
+//!
+//! Section 4.1 of the paper: a formula `φ` in `L ∪ σ` with free variables `x₁,…,xₙ`
+//! defines the query `{(x₁,…,xₙ) | φ}`.  Evaluation proceeds exactly as described
+//! there — every occurrence of a schema relation symbol `R` is replaced by a
+//! quantifier-free formula representing `I(R)`, and the resulting `L`-formula is turned
+//! into an equivalent quantifier-free formula by quantifier elimination (question Q1),
+//! which exists for the dense-order and linear theories used in this workspace.
+//!
+//! The evaluator is *bottom-up and closed-form*: the result is again a finitely
+//! representable relation, so queries compose.  Data complexity is polynomial for a
+//! fixed query (Theorem 5.2 states the sharper AC⁰ bound; the benchmark harness
+//! measures the polynomial scaling, see `DESIGN.md` experiment E10).
+
+use crate::logic::{Formula, Var};
+use crate::relation::{negate_dnf, simplify_dnf, Instance, Relation};
+use crate::theory::{eliminate_all, Atom, Conj, Dnf, Theory};
+
+/// Errors raised during query evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The formula mentions a relation symbol not declared by the instance's schema.
+    UnknownRelation(String),
+    /// A relation atom's argument count disagrees with the relation's arity.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Arity expected by the stored relation.
+        expected: usize,
+        /// Number of arguments in the atom.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UnknownRelation(r) => write!(f, "unknown relation symbol {r}"),
+            EvalError::ArityMismatch { relation, expected, found } => write!(
+                f,
+                "relation {relation} expects {expected} arguments but the atom has {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Replaces every relation atom `R(t̅)` by a quantifier-free formula representing
+/// `I(R)(t̅)` (the first step of Section 4.1's evaluation).
+///
+/// The stored relation's column variables are renamed apart before substituting the
+/// atom's argument terms, so variable capture cannot occur.
+pub fn expand_relations<T: Theory>(
+    formula: &Formula<T::A>,
+    instance: &Instance<T>,
+    counter: &mut usize,
+) -> Result<Formula<T::A>, EvalError> {
+    Ok(match formula {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Atom(a) => Formula::Atom(a.clone()),
+        Formula::Rel { name, args } => {
+            let rel = instance
+                .get(name)
+                .ok_or_else(|| EvalError::UnknownRelation(name.to_string()))?;
+            if rel.arity() != args.len() {
+                return Err(EvalError::ArityMismatch {
+                    relation: name.to_string(),
+                    expected: rel.arity(),
+                    found: args.len(),
+                });
+            }
+            // Rename the relation's columns to fresh variables, then substitute the
+            // atom's arguments for them.
+            let fresh: Vec<Var> = rel.vars().iter().map(|_| Var::fresh(counter)).collect();
+            let renamed = rel.rename(fresh.clone());
+            let dnf: Dnf<T::A> = renamed
+                .tuples()
+                .iter()
+                .map(|conj| {
+                    let mut c: Conj<T::A> = conj.clone();
+                    for (tmp, arg) in fresh.iter().zip(args) {
+                        c = c.iter().map(|a| a.subst(tmp, arg)).collect();
+                    }
+                    c
+                })
+                .collect();
+            Formula::Or(
+                dnf.into_iter()
+                    .map(|conj| Formula::And(conj.into_iter().map(Formula::Atom).collect()))
+                    .collect(),
+            )
+        }
+        Formula::Not(g) => Formula::Not(Box::new(expand_relations(g, instance, counter)?)),
+        Formula::And(fs) => Formula::And(
+            fs.iter()
+                .map(|g| expand_relations(g, instance, counter))
+                .collect::<Result<_, _>>()?,
+        ),
+        Formula::Or(fs) => Formula::Or(
+            fs.iter()
+                .map(|g| expand_relations(g, instance, counter))
+                .collect::<Result<_, _>>()?,
+        ),
+        Formula::Exists(vs, g) => {
+            Formula::Exists(vs.clone(), Box::new(expand_relations(g, instance, counter)?))
+        }
+        Formula::Forall(vs, g) => {
+            Formula::Forall(vs.clone(), Box::new(expand_relations(g, instance, counter)?))
+        }
+    })
+}
+
+/// Evaluates a relation-free formula to an equivalent quantifier-free DNF via
+/// quantifier elimination.
+fn eval_formula<T: Theory>(formula: &Formula<T::A>) -> Dnf<T::A> {
+    match formula {
+        Formula::True => vec![Vec::new()],
+        Formula::False => Vec::new(),
+        Formula::Atom(a) => vec![vec![a.clone()]],
+        Formula::Rel { .. } => {
+            unreachable!("relation atoms must be expanded before evaluation")
+        }
+        Formula::Not(g) => {
+            let inner = eval_formula::<T>(g);
+            negate_dnf::<T>(&inner)
+        }
+        Formula::And(fs) => {
+            let mut acc: Dnf<T::A> = vec![Vec::new()];
+            for g in fs {
+                let rhs = eval_formula::<T>(g);
+                let mut next: Dnf<T::A> = Vec::new();
+                for a in &acc {
+                    for b in &rhs {
+                        let mut c = a.clone();
+                        c.extend(b.iter().cloned());
+                        if T::satisfiable(&c) {
+                            next.push(c);
+                        }
+                    }
+                }
+                acc = simplify_dnf::<T>(next);
+                if acc.is_empty() {
+                    return Vec::new();
+                }
+            }
+            acc
+        }
+        Formula::Or(fs) => {
+            let mut acc: Dnf<T::A> = Vec::new();
+            for g in fs {
+                acc.extend(eval_formula::<T>(g));
+            }
+            simplify_dnf::<T>(acc)
+        }
+        Formula::Exists(vs, g) => {
+            let inner = eval_formula::<T>(g);
+            let mut out: Dnf<T::A> = Vec::new();
+            for conj in &inner {
+                out.extend(eliminate_all::<T>(vs, conj));
+            }
+            simplify_dnf::<T>(out)
+        }
+        Formula::Forall(vs, g) => {
+            // ∀x̅.φ  ≡  ¬∃x̅.¬φ
+            let inner = eval_formula::<T>(g);
+            let negated = negate_dnf::<T>(&inner);
+            let mut exists: Dnf<T::A> = Vec::new();
+            for conj in &negated {
+                exists.extend(eliminate_all::<T>(vs, conj));
+            }
+            let exists = simplify_dnf::<T>(exists);
+            negate_dnf::<T>(&exists)
+        }
+    }
+}
+
+/// Evaluates a (possibly non-Boolean) query `{free | formula}` on an instance,
+/// producing the answer relation over the listed free variables.
+///
+/// # Errors
+/// Returns an error if the formula mentions undeclared relations or uses them with the
+/// wrong arity.
+pub fn eval_query<T: Theory>(
+    formula: &Formula<T::A>,
+    free: &[Var],
+    instance: &Instance<T>,
+) -> Result<Relation<T>, EvalError> {
+    let mut counter = 0usize;
+    let expanded = expand_relations(formula, instance, &mut counter)?;
+    let dnf = eval_formula::<T>(&expanded);
+    Ok(Relation::from_dnf(free.to_vec(), dnf))
+}
+
+/// Evaluates a Boolean query (sentence) on an instance.
+///
+/// # Errors
+/// Returns an error if the formula mentions undeclared relations or uses them with the
+/// wrong arity.
+pub fn eval_sentence<T: Theory>(
+    formula: &Formula<T::A>,
+    instance: &Instance<T>,
+) -> Result<bool, EvalError> {
+    let answer = eval_query(formula, &[], instance)?;
+    Ok(!answer.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{DenseAtom, DenseOrder};
+    use crate::logic::Term;
+    use crate::relation::GenTuple;
+    use crate::schema::Schema;
+    use frdb_num::Rat;
+
+    type F = Formula<DenseAtom>;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+
+    fn interval_instance() -> Instance<DenseOrder> {
+        // R = [0, 10] ∪ [20, 30]   (monadic), S = {(1,2), (2,3), (3,4)} (binary, finite)
+        let schema = Schema::from_pairs([("R", 1), ("S", 2)]);
+        let mut inst = Instance::new(schema);
+        let seg = |lo: i64, hi: i64| {
+            GenTuple::new(vec![
+                DenseAtom::le(Term::cst(lo), Term::var("x")),
+                DenseAtom::le(Term::var("x"), Term::cst(hi)),
+            ])
+        };
+        inst.set("R", Relation::new(vec![Var::new("x")], vec![seg(0, 10), seg(20, 30)]));
+        inst.set(
+            "S",
+            Relation::from_points(
+                vec![Var::new("x"), Var::new("y")],
+                vec![vec![r(1), r(2)], vec![r(2), r(3)], vec![r(3), r(4)]],
+            ),
+        );
+        inst
+    }
+
+    #[test]
+    fn selection_query() {
+        // {x | R(x) ∧ x < 5}
+        let inst = interval_instance();
+        let q: F = Formula::rel("R", [Term::var("x")])
+            .and(Formula::Atom(DenseAtom::lt(Term::var("x"), Term::cst(5))));
+        let ans = eval_query(&q, &[Var::new("x")], &inst).unwrap();
+        assert!(ans.contains(&[r(3)]));
+        assert!(!ans.contains(&[r(7)]));
+        assert!(!ans.contains(&[r(25)]));
+    }
+
+    #[test]
+    fn projection_query() {
+        // {x | ∃y. S(x, y)} = {1, 2, 3}
+        let inst = interval_instance();
+        let q: F = Formula::exists(["y"], Formula::rel("S", [Term::var("x"), Term::var("y")]));
+        let ans = eval_query(&q, &[Var::new("x")], &inst).unwrap();
+        assert!(ans.contains(&[r(1)]) && ans.contains(&[r(2)]) && ans.contains(&[r(3)]));
+        assert!(!ans.contains(&[r(4)]));
+    }
+
+    #[test]
+    fn join_query() {
+        // {(x, z) | ∃y. S(x, y) ∧ S(y, z)} = {(1,3), (2,4)}
+        let inst = interval_instance();
+        let q: F = Formula::exists(
+            ["y"],
+            Formula::rel("S", [Term::var("x"), Term::var("y")])
+                .and(Formula::rel("S", [Term::var("y"), Term::var("z")])),
+        );
+        let ans = eval_query(&q, &[Var::new("x"), Var::new("z")], &inst).unwrap();
+        assert!(ans.contains(&[r(1), r(3)]));
+        assert!(ans.contains(&[r(2), r(4)]));
+        assert!(!ans.contains(&[r(1), r(2)]));
+        assert!(!ans.contains(&[r(3), r(1)]));
+    }
+
+    #[test]
+    fn universal_quantifier() {
+        // ∀x. R(x) → x ≤ 30   holds;   ∀x. R(x) → x ≤ 10   fails.
+        let inst = interval_instance();
+        let holds: F = Formula::forall(
+            ["x"],
+            Formula::rel("R", [Term::var("x")])
+                .implies(Formula::Atom(DenseAtom::le(Term::var("x"), Term::cst(30)))),
+        );
+        let fails: F = Formula::forall(
+            ["x"],
+            Formula::rel("R", [Term::var("x")])
+                .implies(Formula::Atom(DenseAtom::le(Term::var("x"), Term::cst(10)))),
+        );
+        assert!(eval_sentence(&holds, &inst).unwrap());
+        assert!(!eval_sentence(&fails, &inst).unwrap());
+    }
+
+    #[test]
+    fn negation_and_between() {
+        // {x | ¬R(x) ∧ 0 ≤ x ∧ x ≤ 30}: the gap (10, 20).
+        let inst = interval_instance();
+        let q: F = Formula::rel("R", [Term::var("x")])
+            .not()
+            .and(Formula::Atom(DenseAtom::le(Term::cst(0), Term::var("x"))))
+            .and(Formula::Atom(DenseAtom::le(Term::var("x"), Term::cst(30))));
+        let ans = eval_query(&q, &[Var::new("x")], &inst).unwrap();
+        assert!(ans.contains(&[r(15)]));
+        assert!(!ans.contains(&[r(5)]));
+        assert!(!ans.contains(&[r(25)]));
+        assert!(!ans.contains(&[r(31)]));
+    }
+
+    #[test]
+    fn density_is_visible_to_queries() {
+        // ∀x ∀y. x < y → ∃z. x < z ∧ z < y  — density of the order, a valid sentence.
+        let inst = Instance::new(Schema::new());
+        let q: F = Formula::forall(
+            ["x", "y"],
+            Formula::Atom(DenseAtom::lt(Term::var("x"), Term::var("y"))).implies(Formula::exists(
+                ["z"],
+                Formula::Atom(DenseAtom::lt(Term::var("x"), Term::var("z")))
+                    .and(Formula::Atom(DenseAtom::lt(Term::var("z"), Term::var("y")))),
+            )),
+        );
+        assert!(eval_sentence::<DenseOrder>(&q, &inst).unwrap());
+        // No endpoints: ∃x ∀y. x ≤ y  is false.
+        let q2: F = Formula::exists(
+            ["x"],
+            Formula::forall(["y"], Formula::Atom(DenseAtom::le(Term::var("x"), Term::var("y")))),
+        );
+        assert!(!eval_sentence::<DenseOrder>(&q2, &inst).unwrap());
+    }
+
+    #[test]
+    fn constant_argument_in_relation_atom() {
+        // R(25) is true, R(15) is false.
+        let inst = interval_instance();
+        let q_true: F = Formula::rel("R", [Term::cst(25)]);
+        let q_false: F = Formula::rel("R", [Term::cst(15)]);
+        assert!(eval_sentence(&q_true, &inst).unwrap());
+        assert!(!eval_sentence(&q_false, &inst).unwrap());
+    }
+
+    #[test]
+    fn repeated_variable_in_relation_atom() {
+        // {x | S(x, x)} is empty for our S.
+        let inst = interval_instance();
+        let q: F = Formula::rel("S", [Term::var("x"), Term::var("x")]);
+        let ans = eval_query(&q, &[Var::new("x")], &inst).unwrap();
+        assert!(ans.is_empty());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let inst = interval_instance();
+        let unknown: F = Formula::rel("T", [Term::var("x")]);
+        assert!(matches!(
+            eval_query(&unknown, &[Var::new("x")], &inst),
+            Err(EvalError::UnknownRelation(_))
+        ));
+        let wrong_arity: F = Formula::rel("S", [Term::var("x")]);
+        assert!(matches!(
+            eval_query(&wrong_arity, &[Var::new("x")], &inst),
+            Err(EvalError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn answers_are_finitely_representable_and_composable() {
+        // Compose: the answer of one query is stored and queried again.
+        let inst = interval_instance();
+        let q: F = Formula::rel("R", [Term::var("x")])
+            .and(Formula::Atom(DenseAtom::lt(Term::var("x"), Term::cst(5))));
+        let ans = eval_query(&q, &[Var::new("x")], &inst).unwrap();
+        let schema = Schema::from_pairs([("A", 1)]);
+        let mut inst2 = Instance::new(schema);
+        inst2.set("A", ans);
+        let q2: F = Formula::exists(["x"], Formula::rel("A", [Term::var("x")]));
+        assert!(eval_sentence(&q2, &inst2).unwrap());
+    }
+}

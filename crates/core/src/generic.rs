@@ -1,0 +1,285 @@
+//! Automorphisms of `(Q, ≤)` and genericity of queries.
+//!
+//! Section 4 of the paper generalizes Chandra–Harel genericity to constraint
+//! databases: a query is `L`-generic if it commutes with every automorphism of the
+//! context structure (Definition 4.2), and *order-generic* when the context is
+//! `(Q, ≤)`.  Proposition 4.4 shows that an automorphism acts on a finitely
+//! representable relation by replacing each constant `c` of its representation by
+//! `µ(c)`; Proposition 4.10 shows every constant-free FO query is generic, while
+//! Example 4.5 exhibits natural queries (line separation, grids, …) that are not.
+//!
+//! This module provides executable automorphisms — piecewise-linear order-preserving
+//! bijections of `Q` — and the commutation check `q(µ(I)) = µ(q(I))`.
+
+use crate::dense::DenseOrder;
+use crate::relation::{Instance, Relation};
+use frdb_num::Rat;
+use rand::Rng;
+
+/// A piecewise-linear order-preserving bijection of `Q`.
+///
+/// The map is defined by a strictly increasing list of breakpoints `(xᵢ, yᵢ)`; between
+/// consecutive breakpoints it interpolates linearly, and beyond the extremes it
+/// continues with slope 1.  With no breakpoints it is the identity.  Every such map is
+/// an automorphism of `(Q, ≤)` (an order-preserving bijection fixing nothing else),
+/// exactly the morphisms with respect to which order-genericity is defined.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Automorphism {
+    breakpoints: Vec<(Rat, Rat)>,
+}
+
+impl Automorphism {
+    /// The identity automorphism.
+    #[must_use]
+    pub fn identity() -> Self {
+        Automorphism { breakpoints: Vec::new() }
+    }
+
+    /// Builds an automorphism from breakpoints.
+    ///
+    /// # Errors
+    /// Returns an error message if the breakpoints are not strictly increasing in both
+    /// coordinates (which would break bijectivity or order preservation).
+    pub fn from_breakpoints(mut breakpoints: Vec<(Rat, Rat)>) -> Result<Self, String> {
+        breakpoints.sort_by(|a, b| a.0.cmp(&b.0));
+        for w in breakpoints.windows(2) {
+            if w[0].0 >= w[1].0 || w[0].1 >= w[1].1 {
+                return Err(format!(
+                    "breakpoints must be strictly increasing in both coordinates: {:?} then {:?}",
+                    w[0], w[1]
+                ));
+            }
+        }
+        Ok(Automorphism { breakpoints })
+    }
+
+    /// The exact automorphism of Example 4.5 / Fig. 1: identity below 0 and above 40,
+    /// mapping `[0, 10]` linearly onto `[0, 30]` and `[10, 40]` linearly onto
+    /// `[30, 40]` (so `µ(x) = 3x` on `[0,10]` and `µ(x) = (x + 80) / 3` on `[10,40]`).
+    #[must_use]
+    pub fn example_4_5() -> Self {
+        Automorphism::from_breakpoints(vec![
+            (Rat::from_i64(0), Rat::from_i64(0)),
+            (Rat::from_i64(10), Rat::from_i64(30)),
+            (Rat::from_i64(40), Rat::from_i64(40)),
+        ])
+        .expect("static breakpoints are valid")
+    }
+
+    /// A random automorphism with `n` breakpoints drawn in `[-range, range]`.
+    #[must_use]
+    pub fn random(rng: &mut impl Rng, n: usize, range: i64) -> Self {
+        let mut xs: Vec<i64> = Vec::new();
+        let mut ys: Vec<i64> = Vec::new();
+        while xs.len() < n {
+            let x = rng.gen_range(-range..=range);
+            if !xs.contains(&x) {
+                xs.push(x);
+            }
+        }
+        while ys.len() < n {
+            let y = rng.gen_range(-range..=range);
+            if !ys.contains(&y) {
+                ys.push(y);
+            }
+        }
+        xs.sort_unstable();
+        ys.sort_unstable();
+        let breakpoints = xs
+            .into_iter()
+            .zip(ys)
+            .map(|(x, y)| (Rat::from_i64(x), Rat::from_i64(y)))
+            .collect();
+        Automorphism::from_breakpoints(breakpoints).expect("sorted distinct breakpoints are valid")
+    }
+
+    /// Applies the automorphism to a rational.
+    #[must_use]
+    pub fn apply(&self, x: &Rat) -> Rat {
+        if self.breakpoints.is_empty() {
+            return x.clone();
+        }
+        let first = &self.breakpoints[0];
+        if *x <= first.0 {
+            return &first.1 + &(x - &first.0);
+        }
+        let last = self.breakpoints.last().unwrap();
+        if *x >= last.0 {
+            return &last.1 + &(x - &last.0);
+        }
+        for w in self.breakpoints.windows(2) {
+            let (x0, y0) = &w[0];
+            let (x1, y1) = &w[1];
+            if x >= x0 && x <= x1 {
+                let slope = &(y1 - y0) / &(x1 - x0);
+                return y0 + &(&slope * &(x - x0));
+            }
+        }
+        unreachable!("breakpoints cover the interior")
+    }
+
+    /// The inverse automorphism.
+    #[must_use]
+    pub fn inverse(&self) -> Automorphism {
+        Automorphism {
+            breakpoints: self.breakpoints.iter().map(|(x, y)| (y.clone(), x.clone())).collect(),
+        }
+    }
+
+    /// The image `µ(R)` of a relation: every constant of the representation is mapped
+    /// (Proposition 4.4).
+    #[must_use]
+    pub fn apply_relation(&self, relation: &Relation<DenseOrder>) -> Relation<DenseOrder> {
+        relation.map_constants(&|c| self.apply(c))
+    }
+
+    /// The image `µ(I)` of an instance.
+    #[must_use]
+    pub fn apply_instance(&self, instance: &Instance<DenseOrder>) -> Instance<DenseOrder> {
+        instance.map_constants(&|c| self.apply(c))
+    }
+}
+
+impl Default for Automorphism {
+    fn default() -> Self {
+        Automorphism::identity()
+    }
+}
+
+/// Checks the order-genericity equation `q(µ(I)) = µ(q(I))` for one query, one
+/// instance and one automorphism (Definition 4.2).
+///
+/// `query` is any closed-form query evaluator (an FO query, a DATALOG¬ program, or a
+/// hand-written algorithm producing a constraint relation).
+#[must_use]
+pub fn commutes_with(
+    query: &dyn Fn(&Instance<DenseOrder>) -> Relation<DenseOrder>,
+    instance: &Instance<DenseOrder>,
+    automorphism: &Automorphism,
+) -> bool {
+    let lhs = query(&automorphism.apply_instance(instance));
+    let rhs = automorphism.apply_relation(&query(instance));
+    let rhs = rhs.rename(lhs.vars().to_vec());
+    lhs.equivalent(&rhs)
+}
+
+/// Checks the order-genericity equation for a Boolean query: `q(µ(I)) = q(I)`.
+#[must_use]
+pub fn boolean_commutes_with(
+    query: &dyn Fn(&Instance<DenseOrder>) -> bool,
+    instance: &Instance<DenseOrder>,
+    automorphism: &Automorphism,
+) -> bool {
+    query(&automorphism.apply_instance(instance)) == query(instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseAtom;
+    use crate::fo::eval_query;
+    use crate::logic::{Formula, Term, Var};
+    use crate::relation::GenTuple;
+    use crate::schema::Schema;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+
+    #[test]
+    fn example_4_5_matches_the_paper() {
+        let mu = Automorphism::example_4_5();
+        // µ(x) = x for x ≤ 0 and x ≥ 40.
+        assert_eq!(mu.apply(&r(-3)), r(-3));
+        assert_eq!(mu.apply(&r(40)), r(40));
+        assert_eq!(mu.apply(&r(100)), r(100));
+        // µ(x) = 3x on [0, 10].
+        assert_eq!(mu.apply(&r(5)), r(15));
+        assert_eq!(mu.apply(&r(10)), r(30));
+        // µ(x) = (x + 80)/3 on [10, 40].
+        assert_eq!(mu.apply(&r(25)), r(35));
+        // The isolated point x = 5 of Example 4.5 moves to 15.
+        assert_eq!(mu.apply(&r(5)), r(15));
+    }
+
+    #[test]
+    fn automorphisms_preserve_order_and_compose_with_inverse() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let mu = Automorphism::random(&mut rng, 4, 50);
+            let inv = mu.inverse();
+            for a in -60..=60 {
+                let x = r(a);
+                assert_eq!(inv.apply(&mu.apply(&x)), x);
+                let y = r(a + 1);
+                assert!(mu.apply(&x) < mu.apply(&y), "order must be preserved");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_breakpoints_are_rejected() {
+        assert!(Automorphism::from_breakpoints(vec![(r(0), r(0)), (r(1), r(0))]).is_err());
+        assert!(Automorphism::from_breakpoints(vec![(r(0), r(5)), (r(0), r(6))]).is_err());
+    }
+
+    #[test]
+    fn constant_free_fo_queries_are_order_generic() {
+        // Proposition 4.10 on a concrete query: {x | ∃y. R(x,y) ∧ x < y}.
+        let schema = Schema::from_pairs([("R", 2)]);
+        let mut inst = Instance::new(schema);
+        inst.set(
+            "R",
+            Relation::new(
+                vec![Var::new("x"), Var::new("y")],
+                vec![GenTuple::new(vec![
+                    DenseAtom::le(Term::cst(0), Term::var("x")),
+                    DenseAtom::le(Term::var("x"), Term::cst(10)),
+                    DenseAtom::le(Term::cst(3), Term::var("y")),
+                    DenseAtom::le(Term::var("y"), Term::cst(20)),
+                ])],
+            ),
+        );
+        let q = |i: &Instance<DenseOrder>| {
+            let f: Formula<DenseAtom> = Formula::exists(
+                ["y"],
+                Formula::rel("R", [Term::var("x"), Term::var("y")])
+                    .and(Formula::Atom(DenseAtom::lt(Term::var("x"), Term::var("y")))),
+            );
+            eval_query(&f, &[Var::new("x")], i).unwrap()
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5 {
+            let mu = Automorphism::random(&mut rng, 3, 30);
+            assert!(commutes_with(&q, &inst, &mu));
+        }
+        assert!(commutes_with(&q, &inst, &Automorphism::example_4_5()));
+    }
+
+    #[test]
+    fn queries_with_constants_need_not_be_generic() {
+        // {x | R(x) ∧ x < 5} mentions the constant 5 and fails to commute with an
+        // automorphism moving 5 (the paper's caveat after Proposition 4.10).
+        let schema = Schema::from_pairs([("R", 1)]);
+        let mut inst = Instance::new(schema);
+        inst.set(
+            "R",
+            Relation::new(
+                vec![Var::new("x")],
+                vec![GenTuple::new(vec![
+                    DenseAtom::le(Term::cst(0), Term::var("x")),
+                    DenseAtom::le(Term::var("x"), Term::cst(10)),
+                ])],
+            ),
+        );
+        let q = |i: &Instance<DenseOrder>| {
+            let f: Formula<DenseAtom> = Formula::rel("R", [Term::var("x")])
+                .and(Formula::Atom(DenseAtom::lt(Term::var("x"), Term::cst(5))));
+            eval_query(&f, &[Var::new("x")], i).unwrap()
+        };
+        let mu = Automorphism::example_4_5();
+        assert!(!commutes_with(&q, &inst, &mu));
+    }
+}

@@ -1,0 +1,80 @@
+//! # frdb-core
+//!
+//! The core of the **finitely representable database** engine, implementing the data
+//! model and query languages of Grumbach & Su, *Finitely Representable Databases*
+//! (PODS 1994 / JCSS 55(2), 1997).
+//!
+//! A finitely representable (or *generalized*, or *constraint*) relation is an infinite
+//! set of tuples over an interpreted structure — here the ordered rationals
+//! `Q = (Q, =, ≤)` — represented by a quantifier-free formula: a finite disjunction of
+//! *generalized tuples*, each a conjunction of constraint atoms (Definition 2.6 of the
+//! paper).  A database instance maps schema relation names to such relations
+//! (Definition 2.7), and the relational calculus becomes a constraint query language:
+//! a first-order formula is evaluated by substituting the stored formulas for the
+//! relation symbols and eliminating quantifiers (Section 4.1).
+//!
+//! This crate provides:
+//!
+//! * [`logic`] — variables, terms, and the generic first-order [`logic::Formula`] AST
+//!   over an abstract constraint-atom type.
+//! * [`theory`] — the [`theory::Atom`] and [`theory::Theory`] abstractions: a theory
+//!   supplies conjunction satisfiability, tightening, single-variable quantifier
+//!   elimination and implication, which is all the evaluator needs.
+//! * [`dense`] — the paper's case study: dense-order constraints over `(Q, ≤)`
+//!   (language `L≤`), with a transitive-closure based decision procedure and exact
+//!   quantifier elimination.
+//! * [`relation`] — generalized relations in disjunctive normal form with the full
+//!   relation algebra (union, intersection, complement, containment, equivalence,
+//!   membership), mirroring the closure properties of Section 2.2.
+//! * [`fo`] — the generic FO evaluator (natural / unrestricted semantics via QE).
+//! * [`normal`] — prime primitive tuples, the tabular form of Example 6.8, covers
+//!   (Definition 6.9) and the atomic-shape classification of Fig. 9.
+//! * [`encode`] — the standard string encoding and database size of Section 4.2, and
+//!   the finite relational encoding of Section 6 (Example 6.11, Lemmas 6.12–6.13).
+//! * [`generic`] — automorphisms of `(Q, ≤)` and order-genericity checking
+//!   (Definitions 4.2/4.3, Proposition 4.10).
+//! * [`pointctx`] — the value-based vs point-based contexts (`FO` vs `FO_p`,
+//!   Section 5 and Theorem 5.9).
+//!
+//! ```
+//! use frdb_core::prelude::*;
+//!
+//! // The filled rectangle of Example 2.5: a ≤ x ≤ c ∧ b ≤ y ≤ d.
+//! let rect = GenTuple::new(vec![
+//!     DenseAtom::le(Term::cst(1), Term::var("x")),
+//!     DenseAtom::le(Term::var("x"), Term::cst(4)),
+//!     DenseAtom::le(Term::cst(2), Term::var("y")),
+//!     DenseAtom::le(Term::var("y"), Term::cst(3)),
+//! ]);
+//! let rel: Relation<DenseOrder> = Relation::new(vec![Var::new("x"), Var::new("y")], vec![rect]);
+//! assert!(rel.contains(&[Rat::from_i64(2), Rat::from_i64(3)]));
+//! assert!(!rel.contains(&[Rat::from_i64(0), Rat::from_i64(3)]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod encode;
+pub mod fo;
+pub mod generic;
+pub mod logic;
+pub mod normal;
+pub mod pointctx;
+pub mod relation;
+pub mod schema;
+pub mod theory;
+
+pub use frdb_num::{BigInt, Rat, Sign};
+
+/// Convenient glob-import of the most frequently used types.
+pub mod prelude {
+    pub use crate::dense::{CmpOp, DenseAtom, DenseOrder};
+    pub use crate::fo::{eval_query, eval_sentence};
+    pub use crate::generic::Automorphism;
+    pub use crate::logic::{Formula, Term, Var};
+    pub use crate::relation::{GenTuple, Instance, Relation};
+    pub use crate::schema::{RelName, Schema};
+    pub use crate::theory::{Atom, Theory};
+    pub use frdb_num::{BigInt, Rat};
+}

@@ -1,0 +1,738 @@
+//! Normal forms for dense-order constraint relations (Section 6 of the paper).
+//!
+//! * [`PrimeTuple`] — the *tabular form* of Example 6.8: per-variable lower/upper
+//!   bounds plus the matrix `µ` of pairwise variable relations drawn from
+//!   `{<, =, >, ?}`.  Primitive tuples involve only `=` and `<` (Definition 6.7); a
+//!   conjunction using `≤` is decomposed into primitive tuples exactly as in the proof
+//!   of Lemma 6.10.
+//! * [`cover`] — a non-redundant set of prime tuples equivalent to a relation
+//!   (Definition 6.9), the object the DATALOG¬ PTIME-capture proof encodes on the
+//!   Turing tape (Lemma 6.12).
+//! * [`Shape2`] — the atomic shapes of Fig. 9 (points, segments, rectangles,
+//!   triangles and their unbounded variants) that classify 2-dimensional prime tuples.
+//! * [`decompose_1d`] — the canonical decomposition of a monadic relation into maximal
+//!   points and intervals, used throughout the query catalog (1-D connectivity,
+//!   homeomorphism, parity, …) and witnessing Proposition 2.9's "finite union of
+//!   intervals" shape.
+
+use crate::dense::{DenseAtom, DenseOrder, OrderClosure};
+use crate::logic::{Term, Var};
+use crate::relation::Relation;
+use crate::theory::{Conj, Theory};
+use frdb_num::Rat;
+use std::fmt;
+
+/// A bound of a variable in a prime tuple.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Bound {
+    /// Unbounded (`-∞` as a lower bound, `+∞` as an upper bound).
+    Infinite,
+    /// A finite rational bound.  In a *primitive* tuple the bound is always strict
+    /// unless the variable is pinned (`lower = upper`, the "degenerated case" of
+    /// Example 6.8).
+    Finite(Rat),
+}
+
+impl Bound {
+    /// The finite value, if any.
+    #[must_use]
+    pub fn value(&self) -> Option<&Rat> {
+        match self {
+            Bound::Infinite => None,
+            Bound::Finite(v) => Some(v),
+        }
+    }
+}
+
+/// Entry of the `µ` matrix: the relation between two variables of a prime tuple.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PairRel {
+    /// `xᵢ < xⱼ`.
+    Lt,
+    /// `xᵢ = xⱼ`.
+    Eq,
+    /// `xᵢ > xⱼ`.
+    Gt,
+    /// No relation (`?` in Example 6.8).
+    Unrelated,
+}
+
+impl fmt::Display for PairRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PairRel::Lt => write!(f, "<"),
+            PairRel::Eq => write!(f, "="),
+            PairRel::Gt => write!(f, ">"),
+            PairRel::Unrelated => write!(f, "?"),
+        }
+    }
+}
+
+/// A prime primitive tuple in tabular form (Example 6.8): for each variable `xᵢ`
+/// either `lowerᵢ < xᵢ < upperᵢ` (with the tightest entailed bounds) or the pinned
+/// case `xᵢ = lowerᵢ = upperᵢ`, plus the matrix of pairwise relations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PrimeTuple {
+    vars: Vec<Var>,
+    lower: Vec<Bound>,
+    upper: Vec<Bound>,
+    pinned: Vec<bool>,
+    pairs: Vec<Vec<PairRel>>,
+}
+
+impl PrimeTuple {
+    /// The variables (columns) of the tuple.
+    #[must_use]
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// The arity of the tuple.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The lower bound of column `i`.
+    #[must_use]
+    pub fn lower(&self, i: usize) -> &Bound {
+        &self.lower[i]
+    }
+
+    /// The upper bound of column `i`.
+    #[must_use]
+    pub fn upper(&self, i: usize) -> &Bound {
+        &self.upper[i]
+    }
+
+    /// Whether column `i` is pinned to a single value (`lower = upper`).
+    #[must_use]
+    pub fn is_pinned(&self, i: usize) -> bool {
+        self.pinned[i]
+    }
+
+    /// The `µ` matrix entry for columns `(i, j)`.
+    #[must_use]
+    pub fn pair(&self, i: usize, j: usize) -> PairRel {
+        self.pairs[i][j]
+    }
+
+    /// Converts back to a conjunction of dense-order atoms.
+    #[must_use]
+    pub fn to_conj(&self) -> Conj<DenseAtom> {
+        let mut out = Vec::new();
+        for (i, v) in self.vars.iter().enumerate() {
+            let x = Term::Var(v.clone());
+            if self.pinned[i] {
+                if let Bound::Finite(c) = &self.lower[i] {
+                    out.push(DenseAtom::eq(x.clone(), Term::Const(c.clone())));
+                }
+                continue;
+            }
+            if let Bound::Finite(l) = &self.lower[i] {
+                out.push(DenseAtom::lt(Term::Const(l.clone()), x.clone()));
+            }
+            if let Bound::Finite(u) = &self.upper[i] {
+                out.push(DenseAtom::lt(x.clone(), Term::Const(u.clone())));
+            }
+        }
+        for i in 0..self.vars.len() {
+            for j in (i + 1)..self.vars.len() {
+                let xi = Term::Var(self.vars[i].clone());
+                let xj = Term::Var(self.vars[j].clone());
+                match self.pairs[i][j] {
+                    PairRel::Lt => out.push(DenseAtom::lt(xi, xj)),
+                    PairRel::Gt => out.push(DenseAtom::lt(xj, xi)),
+                    PairRel::Eq => out.push(DenseAtom::eq(xi, xj)),
+                    PairRel::Unrelated => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds a prime tuple from a *primitive* conjunction (only `<` and `=` entailed
+    /// between every pair of terms) over the given columns.  Returns `None` if the
+    /// conjunction is unsatisfiable or not primitive (some pair is related only by a
+    /// non-strict `≤`).
+    #[must_use]
+    pub fn from_primitive(vars: &[Var], conj: &[DenseAtom]) -> Option<PrimeTuple> {
+        let extra: Vec<Term> = vars.iter().map(|v| Term::Var(v.clone())).collect();
+        let closure = OrderClosure::new(conj, &extra);
+        if !closure.satisfiable() {
+            return None;
+        }
+        let constants: Vec<Rat> = closure
+            .nodes()
+            .iter()
+            .filter_map(|t| t.as_const().cloned())
+            .collect();
+        let mut lower = Vec::with_capacity(vars.len());
+        let mut upper = Vec::with_capacity(vars.len());
+        let mut pinned = Vec::with_capacity(vars.len());
+        for v in vars {
+            let x = Term::Var(v.clone());
+            let mut lo = Bound::Infinite;
+            let mut hi = Bound::Infinite;
+            let mut pin: Option<Rat> = None;
+            for c in &constants {
+                let ct = Term::Const(c.clone());
+                if closure.entails(&DenseAtom::eq(x.clone(), ct.clone())) {
+                    pin = Some(c.clone());
+                } else if closure.entails(&DenseAtom::lt(ct.clone(), x.clone())) {
+                    if lo.value().map_or(true, |cur| c > cur) {
+                        lo = Bound::Finite(c.clone());
+                    }
+                } else if closure.entails(&DenseAtom::lt(x.clone(), ct.clone())) {
+                    if hi.value().map_or(true, |cur| c < cur) {
+                        hi = Bound::Finite(c.clone());
+                    }
+                } else if closure.entails(&DenseAtom::le(ct.clone(), x.clone()))
+                    || closure.entails(&DenseAtom::le(x.clone(), ct.clone()))
+                {
+                    // A non-strict bound that is neither an equality nor strict: the
+                    // conjunction is not primitive.
+                    return None;
+                }
+            }
+            match pin {
+                Some(c) => {
+                    lower.push(Bound::Finite(c.clone()));
+                    upper.push(Bound::Finite(c));
+                    pinned.push(true);
+                }
+                None => {
+                    lower.push(lo);
+                    upper.push(hi);
+                    pinned.push(false);
+                }
+            }
+        }
+        let mut pairs = vec![vec![PairRel::Unrelated; vars.len()]; vars.len()];
+        for i in 0..vars.len() {
+            pairs[i][i] = PairRel::Eq;
+            for j in 0..vars.len() {
+                if i == j {
+                    continue;
+                }
+                let xi = Term::Var(vars[i].clone());
+                let xj = Term::Var(vars[j].clone());
+                if closure.entails(&DenseAtom::eq(xi.clone(), xj.clone())) {
+                    pairs[i][j] = PairRel::Eq;
+                } else if closure.entails(&DenseAtom::lt(xi.clone(), xj.clone())) {
+                    pairs[i][j] = PairRel::Lt;
+                } else if closure.entails(&DenseAtom::lt(xj.clone(), xi.clone())) {
+                    pairs[i][j] = PairRel::Gt;
+                } else if closure.entails(&DenseAtom::le(xi.clone(), xj.clone()))
+                    || closure.entails(&DenseAtom::le(xj, xi))
+                {
+                    return None;
+                }
+            }
+        }
+        Some(PrimeTuple { vars: vars.to_vec(), lower, upper, pinned, pairs })
+    }
+}
+
+impl fmt::Display for PrimeTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, v) in self.vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            if self.pinned[i] {
+                match &self.lower[i] {
+                    Bound::Finite(c) => write!(f, "{v} = {c}")?,
+                    Bound::Infinite => write!(f, "{v} = ?")?,
+                }
+            } else {
+                match &self.lower[i] {
+                    Bound::Finite(c) => write!(f, "{c} < {v}")?,
+                    Bound::Infinite => write!(f, "-∞ < {v}")?,
+                }
+                match &self.upper[i] {
+                    Bound::Finite(c) => write!(f, " < {c}")?,
+                    Bound::Infinite => write!(f, " < +∞")?,
+                }
+            }
+        }
+        for i in 0..self.vars.len() {
+            for j in (i + 1)..self.vars.len() {
+                if self.pairs[i][j] != PairRel::Unrelated {
+                    write!(f, " ∧ {} {} {}", self.vars[i], self.pairs[i][j], self.vars[j])?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Decomposes a conjunction into *primitive* conjunctions (only `<` and `=`),
+/// following the proof of Lemma 6.10: every entailed non-strict `≤` between a pair of
+/// terms branches into the strict and the equal case.
+#[must_use]
+pub fn primitive_decomposition(vars: &[Var], conj: &[DenseAtom]) -> Vec<Conj<DenseAtom>> {
+    fn find_nonprimitive(vars: &[Var], conj: &[DenseAtom]) -> Option<(Term, Term)> {
+        let extra: Vec<Term> = vars.iter().map(|v| Term::Var(v.clone())).collect();
+        let closure = OrderClosure::new(conj, &extra);
+        if !closure.satisfiable() {
+            return None;
+        }
+        let nodes = closure.nodes().to_vec();
+        for (i, s) in nodes.iter().enumerate() {
+            for t in nodes.iter().skip(i + 1) {
+                if s.as_const().is_some() && t.as_const().is_some() {
+                    continue;
+                }
+                for (a, b) in [(s, t), (t, s)] {
+                    let le = DenseAtom::le(a.clone(), b.clone());
+                    let lt = DenseAtom::lt(a.clone(), b.clone());
+                    let eq = DenseAtom::eq(a.clone(), b.clone());
+                    if closure.entails(&le) && !closure.entails(&lt) && !closure.entails(&eq) {
+                        return Some((a.clone(), b.clone()));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    if !DenseOrder::satisfiable(conj) {
+        return Vec::new();
+    }
+    match find_nonprimitive(vars, conj) {
+        None => vec![conj.to_vec()],
+        Some((s, t)) => {
+            let mut with_lt = conj.to_vec();
+            with_lt.push(DenseAtom::lt(s.clone(), t.clone()));
+            let mut with_eq = conj.to_vec();
+            with_eq.push(DenseAtom::eq(s, t));
+            let mut out = primitive_decomposition(vars, &with_lt);
+            out.extend(primitive_decomposition(vars, &with_eq));
+            out
+        }
+    }
+}
+
+/// Computes a cover of a relation (Definition 6.9): a set of prime primitive tuples
+/// whose union is equivalent to the relation, with tuples contained in another tuple
+/// removed.
+#[must_use]
+pub fn cover(relation: &Relation<DenseOrder>) -> Vec<PrimeTuple> {
+    let vars = relation.vars().to_vec();
+    let mut primes: Vec<PrimeTuple> = Vec::new();
+    for conj in relation.tuples() {
+        for prim in primitive_decomposition(&vars, conj) {
+            if let Some(pt) = PrimeTuple::from_primitive(&vars, &prim) {
+                primes.push(pt);
+            }
+        }
+    }
+    // Drop exact duplicates and tuples contained in another tuple.
+    let mut keep = vec![true; primes.len()];
+    for i in 0..primes.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..primes.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            if DenseOrder::implies(&primes[i].to_conj(), &primes[j].to_conj())
+                && (i > j || !DenseOrder::implies(&primes[j].to_conj(), &primes[i].to_conj()))
+            {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    primes
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(p, k)| if k { Some(p) } else { None })
+        .collect()
+}
+
+/// Computes a *non-redundant* cover: like [`cover`], and additionally removes tuples
+/// whose region is already covered by the union of the others (the non-redundancy
+/// requirement of Definition 6.9).
+#[must_use]
+pub fn nonredundant_cover(relation: &Relation<DenseOrder>) -> Vec<PrimeTuple> {
+    let vars = relation.vars().to_vec();
+    let mut tuples = cover(relation);
+    let mut i = 0;
+    while i < tuples.len() {
+        let mut rest: Vec<Conj<DenseAtom>> = Vec::new();
+        for (j, t) in tuples.iter().enumerate() {
+            if j != i {
+                rest.push(t.to_conj());
+            }
+        }
+        let without = Relation::<DenseOrder>::from_dnf(vars.clone(), rest);
+        let this = Relation::<DenseOrder>::from_dnf(vars.clone(), vec![tuples[i].to_conj()]);
+        if this.subset_of(&without) {
+            tuples.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    tuples
+}
+
+/// The atomic shapes of two-dimensional dense-order prime tuples (Fig. 9).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Shape2 {
+    /// An isolated point.
+    Point,
+    /// A segment of a vertical line (`x` pinned).
+    VerticalSegment,
+    /// A segment of a horizontal line (`y` pinned).
+    HorizontalSegment,
+    /// A segment of the diagonal `x = y`.
+    DiagonalSegment,
+    /// An (open) axis-parallel rectangle.
+    Rectangle,
+    /// An (open) triangle cut from a rectangle by the diagonal `x = y`.
+    Triangle,
+    /// A region with at least one unbounded side (half-plane, band, quadrant, …).
+    Unbounded,
+}
+
+/// Classifies a 2-dimensional prime tuple into one of the atomic shapes of Fig. 9.
+///
+/// # Panics
+/// Panics if the tuple's arity is not 2.
+#[must_use]
+pub fn classify_shape2(tuple: &PrimeTuple) -> Shape2 {
+    assert_eq!(tuple.arity(), 2, "shape classification requires arity 2");
+    let bounded = |i: usize| {
+        tuple.is_pinned(i)
+            || (matches!(tuple.lower(i), Bound::Finite(_)) && matches!(tuple.upper(i), Bound::Finite(_)))
+    };
+    let diagonal = tuple.pair(0, 1) == PairRel::Eq;
+    match (tuple.is_pinned(0), tuple.is_pinned(1)) {
+        (true, true) => Shape2::Point,
+        (true, false) => {
+            if bounded(1) {
+                Shape2::VerticalSegment
+            } else {
+                Shape2::Unbounded
+            }
+        }
+        (false, true) => {
+            if bounded(0) {
+                Shape2::HorizontalSegment
+            } else {
+                Shape2::Unbounded
+            }
+        }
+        (false, false) => {
+            if diagonal {
+                if bounded(0) && bounded(1) {
+                    Shape2::DiagonalSegment
+                } else {
+                    Shape2::Unbounded
+                }
+            } else if !bounded(0) || !bounded(1) {
+                Shape2::Unbounded
+            } else if tuple.pair(0, 1) == PairRel::Unrelated {
+                Shape2::Rectangle
+            } else {
+                Shape2::Triangle
+            }
+        }
+    }
+}
+
+/// A maximal piece of a monadic dense-order relation: an isolated point or an interval
+/// with optional (and possibly open) endpoints.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Piece1 {
+    /// An isolated point.
+    Point(Rat),
+    /// A maximal interval.
+    Interval {
+        /// Lower endpoint (`None` = `-∞`) and whether it is included.
+        lo: Option<(Rat, bool)>,
+        /// Upper endpoint (`None` = `+∞`) and whether it is included.
+        hi: Option<(Rat, bool)>,
+    },
+}
+
+impl Piece1 {
+    /// Returns `true` iff the piece is a single point.
+    #[must_use]
+    pub fn is_point(&self) -> bool {
+        matches!(self, Piece1::Point(_))
+    }
+}
+
+/// Decomposes a monadic relation into its maximal pieces (points and intervals) in
+/// increasing order — the executable form of "a finite union of points and intervals"
+/// (Sections 2.2 and 6; Proposition 2.9 gives the same shape for polynomial
+/// constraints).
+///
+/// # Panics
+/// Panics if the relation is not monadic.
+#[must_use]
+pub fn decompose_1d(relation: &Relation<DenseOrder>) -> Vec<Piece1> {
+    assert_eq!(relation.arity(), 1, "decompose_1d requires a monadic relation");
+    let mut constants: Vec<Rat> = relation.constants().into_iter().collect();
+    constants.sort();
+    constants.dedup();
+    // Elementary sample points: one per constant, one per open region between
+    // consecutive constants, plus one beyond each end.
+    #[derive(Clone)]
+    enum Region {
+        Below,
+        At(usize),
+        Between(usize, usize),
+        Above,
+    }
+    let mut regions: Vec<(Region, Rat)> = Vec::new();
+    if constants.is_empty() {
+        // No constants: the relation is ∅ or Q.
+        return if relation.contains(&[Rat::zero()]) {
+            vec![Piece1::Interval { lo: None, hi: None }]
+        } else {
+            Vec::new()
+        };
+    }
+    regions.push((Region::Below, &constants[0] - &Rat::one()));
+    for i in 0..constants.len() {
+        regions.push((Region::At(i), constants[i].clone()));
+        if i + 1 < constants.len() {
+            regions.push((Region::Between(i, i + 1), constants[i].midpoint(&constants[i + 1])));
+        }
+    }
+    regions.push((Region::Above, constants.last().unwrap() + &Rat::one()));
+
+    let membership: Vec<bool> = regions.iter().map(|(_, s)| relation.contains(&[s.clone()])).collect();
+
+    // Merge consecutive member regions into maximal pieces.
+    let mut pieces: Vec<Piece1> = Vec::new();
+    let mut i = 0;
+    while i < regions.len() {
+        if !membership[i] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut end = i;
+        while end + 1 < regions.len() && membership[end + 1] {
+            end += 1;
+        }
+        // Determine the piece spanned by regions[start..=end].
+        let lo = match &regions[start].0 {
+            Region::Below => None,
+            Region::At(k) => Some((constants[*k].clone(), true)),
+            Region::Between(k, _) => Some((constants[*k].clone(), false)),
+            Region::Above => Some((constants[constants.len() - 1].clone(), false)),
+        };
+        let hi = match &regions[end].0 {
+            Region::Above => None,
+            Region::At(k) => Some((constants[*k].clone(), true)),
+            Region::Between(_, k) => Some((constants[*k].clone(), false)),
+            Region::Below => Some((constants[0].clone(), false)),
+        };
+        if start == end {
+            if let Region::At(k) = &regions[start].0 {
+                pieces.push(Piece1::Point(constants[*k].clone()));
+                i = end + 1;
+                continue;
+            }
+        }
+        pieces.push(Piece1::Interval { lo, hi });
+        i = end + 1;
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::GenTuple;
+
+    fn x() -> Term {
+        Term::var("x")
+    }
+    fn y() -> Term {
+        Term::var("y")
+    }
+    fn vx() -> Var {
+        Var::new("x")
+    }
+    fn vy() -> Var {
+        Var::new("y")
+    }
+    fn r(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+
+    #[test]
+    fn example_6_8_prime_tuple() {
+        // 0 < x1 < 5 ∧ 0 < x2 < x1 ∧ x3 < 3: the prime equivalent adds x2 < 5.
+        let vars = vec![Var::new("x1"), Var::new("x2"), Var::new("x3")];
+        let conj = vec![
+            DenseAtom::lt(Term::cst(0), Term::var("x1")),
+            DenseAtom::lt(Term::var("x1"), Term::cst(5)),
+            DenseAtom::lt(Term::cst(0), Term::var("x2")),
+            DenseAtom::lt(Term::var("x2"), Term::var("x1")),
+            DenseAtom::lt(Term::var("x3"), Term::cst(3)),
+        ];
+        let pt = PrimeTuple::from_primitive(&vars, &conj).expect("primitive");
+        // x2's tightest upper bound is 5 (through x1), exactly as computed in §6.
+        assert_eq!(pt.upper(1), &Bound::Finite(r(5)));
+        assert_eq!(pt.lower(1), &Bound::Finite(r(0)));
+        assert_eq!(pt.upper(2), &Bound::Finite(r(3)));
+        assert_eq!(pt.lower(2), &Bound::Infinite);
+        assert_eq!(pt.pair(1, 0), PairRel::Lt);
+        assert_eq!(pt.pair(0, 1), PairRel::Gt);
+        assert_eq!(pt.pair(0, 2), PairRel::Unrelated);
+        // Round-trip: the regenerated conjunction is equivalent to the original.
+        assert!(DenseOrder::implies(&pt.to_conj(), &conj));
+        assert!(DenseOrder::implies(&conj, &pt.to_conj()));
+    }
+
+    #[test]
+    fn nonstrict_conjunction_is_not_primitive_and_decomposes() {
+        let vars = vec![vx()];
+        let conj = vec![
+            DenseAtom::le(Term::cst(0), x()),
+            DenseAtom::le(x(), Term::cst(1)),
+        ];
+        assert!(PrimeTuple::from_primitive(&vars, &conj).is_none());
+        let prims = primitive_decomposition(&vars, &conj);
+        // [0,1] splits into {0}, (0,1), {1}, possibly with overlaps removed later.
+        assert!(prims.len() >= 3);
+        let rel = Relation::<DenseOrder>::from_dnf(vars.clone(), prims);
+        let orig = Relation::<DenseOrder>::from_dnf(vars, vec![conj]);
+        assert!(rel.equivalent(&orig));
+    }
+
+    #[test]
+    fn cover_of_interval_union() {
+        let seg = |lo: i64, hi: i64| {
+            GenTuple::new(vec![
+                DenseAtom::le(Term::cst(lo), x()),
+                DenseAtom::le(x(), Term::cst(hi)),
+            ])
+        };
+        let rel = Relation::<DenseOrder>::new(vec![vx()], vec![seg(0, 2), seg(1, 3)]);
+        let c = nonredundant_cover(&rel);
+        // The cover is equivalent to the relation.
+        let rebuilt = Relation::<DenseOrder>::from_dnf(
+            vec![vx()],
+            c.iter().map(PrimeTuple::to_conj).collect(),
+        );
+        assert!(rebuilt.equivalent(&rel));
+        // And it is non-redundant: removing any tuple loses points.
+        for i in 0..c.len() {
+            let mut rest = c.clone();
+            rest.remove(i);
+            let partial = Relation::<DenseOrder>::from_dnf(
+                vec![vx()],
+                rest.iter().map(PrimeTuple::to_conj).collect(),
+            );
+            assert!(!partial.equivalent(&rel));
+        }
+    }
+
+    #[test]
+    fn shape_classification_matches_fig9() {
+        let vars = vec![vx(), vy()];
+        let point = PrimeTuple::from_primitive(
+            &vars,
+            &[DenseAtom::eq(x(), Term::cst(1)), DenseAtom::eq(y(), Term::cst(2))],
+        )
+        .unwrap();
+        assert_eq!(classify_shape2(&point), Shape2::Point);
+
+        let vseg = PrimeTuple::from_primitive(
+            &vars,
+            &[
+                DenseAtom::eq(x(), Term::cst(1)),
+                DenseAtom::lt(Term::cst(0), y()),
+                DenseAtom::lt(y(), Term::cst(5)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(classify_shape2(&vseg), Shape2::VerticalSegment);
+
+        let rect = PrimeTuple::from_primitive(
+            &vars,
+            &[
+                DenseAtom::lt(Term::cst(0), x()),
+                DenseAtom::lt(x(), Term::cst(1)),
+                DenseAtom::lt(Term::cst(0), y()),
+                DenseAtom::lt(y(), Term::cst(1)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(classify_shape2(&rect), Shape2::Rectangle);
+
+        let tri = PrimeTuple::from_primitive(
+            &vars,
+            &[
+                DenseAtom::lt(Term::cst(0), x()),
+                DenseAtom::lt(x(), y()),
+                DenseAtom::lt(y(), Term::cst(5)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(classify_shape2(&tri), Shape2::Triangle);
+
+        let diag = PrimeTuple::from_primitive(
+            &vars,
+            &[
+                DenseAtom::eq(x(), y()),
+                DenseAtom::lt(Term::cst(0), x()),
+                DenseAtom::lt(x(), Term::cst(5)),
+                DenseAtom::lt(Term::cst(0), y()),
+                DenseAtom::lt(y(), Term::cst(5)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(classify_shape2(&diag), Shape2::DiagonalSegment);
+
+        let half = PrimeTuple::from_primitive(&vars, &[DenseAtom::lt(Term::cst(0), x())]).unwrap();
+        assert_eq!(classify_shape2(&half), Shape2::Unbounded);
+    }
+
+    #[test]
+    fn decompose_1d_finds_maximal_pieces() {
+        // [0, 2] ∪ (2, 3) ∪ {5}  should merge into [0, 3) and {5}.
+        let rel = Relation::<DenseOrder>::from_dnf(
+            vec![vx()],
+            vec![
+                vec![DenseAtom::le(Term::cst(0), x()), DenseAtom::le(x(), Term::cst(2))],
+                vec![DenseAtom::lt(Term::cst(2), x()), DenseAtom::lt(x(), Term::cst(3))],
+                vec![DenseAtom::eq(x(), Term::cst(5))],
+            ],
+        );
+        let pieces = decompose_1d(&rel);
+        assert_eq!(pieces.len(), 2);
+        assert_eq!(
+            pieces[0],
+            Piece1::Interval { lo: Some((r(0), true)), hi: Some((r(3), false)) }
+        );
+        assert_eq!(pieces[1], Piece1::Point(r(5)));
+    }
+
+    #[test]
+    fn decompose_1d_trivial_cases() {
+        let empty = Relation::<DenseOrder>::empty(vec![vx()]);
+        assert!(decompose_1d(&empty).is_empty());
+        let all = Relation::<DenseOrder>::universal(vec![vx()]);
+        assert_eq!(decompose_1d(&all), vec![Piece1::Interval { lo: None, hi: None }]);
+        let cofinite = Relation::<DenseOrder>::from_dnf(
+            vec![vx()],
+            vec![
+                vec![DenseAtom::lt(x(), Term::cst(0))],
+                vec![DenseAtom::lt(Term::cst(0), x())],
+            ],
+        );
+        let pieces = decompose_1d(&cofinite);
+        assert_eq!(pieces.len(), 2);
+    }
+}

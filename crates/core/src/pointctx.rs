@@ -1,0 +1,223 @@
+//! The point-based context `FO_p` (Section 5).
+//!
+//! Besides the value-based context — variables range over `Q` and a spatial object of
+//! dimension `k` is a `2k`-ary relation — the paper works with a *point-based* context
+//! `P = (Q², ≤₁, ≤₂, ≤_P)` whose elements are points of the rational plane, with the
+//! coordinate orders `≤₁`, `≤₂` and the cross order `≤_P` (`x₁y₁ ≤_P x₂y₂` iff
+//! `x₁ ≤ y₂`).  The two contexts express exactly the same queries (Section 5 uses a
+//! direct translation; Theorem 5.9 relates their Ehrenfeucht–Fraïssé games), and the
+//! automorphisms of `Q` and of `P` coincide (Lemma 5.1).
+//!
+//! This module makes the translation executable: point variables are pairs of value
+//! variables, the point predicates compile to dense-order atoms on coordinates, and a
+//! `k`-ary point relation is stored as the corresponding `2k`-ary value relation.
+
+use crate::dense::{DenseAtom, DenseOrder};
+use crate::logic::{Formula, Var};
+use crate::relation::Relation;
+use frdb_num::Rat;
+
+/// A point variable of the point-based context: a pair of value variables naming its
+/// two coordinates.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PointVar {
+    /// First coordinate.
+    pub x: Var,
+    /// Second coordinate.
+    pub y: Var,
+}
+
+impl PointVar {
+    /// Creates the point variable `name`, with coordinates `name.x` and `name.y`.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        PointVar { x: Var::new(format!("{name}.x")), y: Var::new(format!("{name}.y")) }
+    }
+
+    /// The two coordinate variables, in order.
+    #[must_use]
+    pub fn coords(&self) -> [Var; 2] {
+        [self.x.clone(), self.y.clone()]
+    }
+}
+
+/// The predicate `p ≤₁ q` (order on first coordinates), compiled to the value context.
+#[must_use]
+pub fn le1(p: &PointVar, q: &PointVar) -> Formula<DenseAtom> {
+    Formula::Atom(DenseAtom::le(p.x.clone(), q.x.clone()))
+}
+
+/// The predicate `p ≤₂ q` (order on second coordinates).
+#[must_use]
+pub fn le2(p: &PointVar, q: &PointVar) -> Formula<DenseAtom> {
+    Formula::Atom(DenseAtom::le(p.y.clone(), q.y.clone()))
+}
+
+/// The cross predicate `p ≤_P q` (`x₁ ≤ y₂`), as defined for the structure `P`.
+#[must_use]
+pub fn le_p(p: &PointVar, q: &PointVar) -> Formula<DenseAtom> {
+    Formula::Atom(DenseAtom::le(p.x.clone(), q.y.clone()))
+}
+
+/// Point equality `p = q`, compiled coordinatewise.
+#[must_use]
+pub fn point_eq(p: &PointVar, q: &PointVar) -> Formula<DenseAtom> {
+    Formula::Atom(DenseAtom::eq(p.x.clone(), q.x.clone()))
+        .and(Formula::Atom(DenseAtom::eq(p.y.clone(), q.y.clone())))
+}
+
+/// A relation atom `R(p₁,…,pₖ)` of the point schema `σ_p`, compiled to the `2k`-ary
+/// value relation `ρ(R)(p₁.x, p₁.y, …, pₖ.x, pₖ.y)`.
+#[must_use]
+pub fn point_rel(name: &str, points: &[PointVar]) -> Formula<DenseAtom> {
+    let args: Vec<Var> = points.iter().flat_map(PointVar::coords).collect();
+    Formula::rel(name, args)
+}
+
+/// Existential quantification over point variables (each expands to its two
+/// coordinates, matching the "each point move simulates two value moves" accounting of
+/// Theorem 5.9).
+#[must_use]
+pub fn exists_points(points: &[PointVar], body: Formula<DenseAtom>) -> Formula<DenseAtom> {
+    let vars: Vec<Var> = points.iter().flat_map(PointVar::coords).collect();
+    Formula::Exists(vars, Box::new(body))
+}
+
+/// Universal quantification over point variables.
+#[must_use]
+pub fn forall_points(points: &[PointVar], body: Formula<DenseAtom>) -> Formula<DenseAtom> {
+    let vars: Vec<Var> = points.iter().flat_map(PointVar::coords).collect();
+    Formula::Forall(vars, Box::new(body))
+}
+
+/// A `k`-ary point relation viewed as the `2k`-ary value relation that stores it; the
+/// paper's convention "we view each `(Q, σ)`-instance also as a `(P, σ_p)`-instance".
+#[derive(Clone, Debug)]
+pub struct PointRelation {
+    relation: Relation<DenseOrder>,
+}
+
+impl PointRelation {
+    /// Wraps a value relation of even arity as a point relation.
+    ///
+    /// # Panics
+    /// Panics if the arity is odd.
+    #[must_use]
+    pub fn from_value(relation: Relation<DenseOrder>) -> Self {
+        assert!(relation.arity() % 2 == 0, "a point relation needs an even value arity");
+        PointRelation { relation }
+    }
+
+    /// The point arity (`k`, half the value arity).
+    #[must_use]
+    pub fn point_arity(&self) -> usize {
+        self.relation.arity() / 2
+    }
+
+    /// The underlying value relation.
+    #[must_use]
+    pub fn as_value(&self) -> &Relation<DenseOrder> {
+        &self.relation
+    }
+
+    /// Membership of a tuple of points.
+    #[must_use]
+    pub fn contains_points(&self, points: &[(Rat, Rat)]) -> bool {
+        let flat: Vec<Rat> =
+            points.iter().flat_map(|(a, b)| [a.clone(), b.clone()]).collect();
+        self.relation.contains(&flat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fo::eval_sentence;
+    use crate::logic::Term;
+    use crate::relation::{GenTuple, Instance};
+    use crate::schema::Schema;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+
+    fn box_instance() -> Instance<DenseOrder> {
+        // R = the unit square [0,1] × [0,1], as a binary (one-point) relation.
+        let schema = Schema::from_pairs([("R", 2)]);
+        let mut inst = Instance::new(schema);
+        inst.set(
+            "R",
+            Relation::new(
+                vec![Var::new("u"), Var::new("v")],
+                vec![GenTuple::new(vec![
+                    DenseAtom::le(Term::cst(0), Term::var("u")),
+                    DenseAtom::le(Term::var("u"), Term::cst(1)),
+                    DenseAtom::le(Term::cst(0), Term::var("v")),
+                    DenseAtom::le(Term::var("v"), Term::cst(1)),
+                ])],
+            ),
+        );
+        inst
+    }
+
+    #[test]
+    fn point_queries_translate_to_value_queries() {
+        // "Every point of R lies (coordinatewise) below some other point of R with the
+        //  same first coordinate" — trivially true on a square because each point is
+        //  ≤₂-below the top edge.
+        let inst = box_instance();
+        let p = PointVar::new("p");
+        let q = PointVar::new("q");
+        let sentence = forall_points(
+            std::slice::from_ref(&p),
+            point_rel("R", std::slice::from_ref(&p)).implies(exists_points(
+                std::slice::from_ref(&q),
+                point_rel("R", std::slice::from_ref(&q))
+                    .and(le2(&p, &q))
+                    .and(Formula::Atom(DenseAtom::eq(p.x.clone(), q.x.clone()))),
+            )),
+        );
+        assert!(eval_sentence(&sentence, &inst).unwrap());
+    }
+
+    #[test]
+    fn cross_order_is_the_paper_definition() {
+        // x₁y₁ ≤_P x₂y₂ iff x₁ ≤ y₂: on the square, the point (1, 0) is ≤_P (0, 1).
+        let inst = box_instance();
+        let p = PointVar::new("p");
+        let q = PointVar::new("q");
+        let sentence = exists_points(
+            &[p.clone(), q.clone()],
+            point_rel("R", std::slice::from_ref(&p))
+                .and(point_rel("R", std::slice::from_ref(&q)))
+                .and(Formula::Atom(DenseAtom::eq(p.x.clone(), Term::cst(1))))
+                .and(Formula::Atom(DenseAtom::eq(q.y.clone(), Term::cst(1))))
+                .and(le_p(&p, &q)),
+        );
+        assert!(eval_sentence(&sentence, &inst).unwrap());
+    }
+
+    #[test]
+    fn point_relation_membership() {
+        let inst = box_instance();
+        let rel = PointRelation::from_value(inst.get(&"R".into()).unwrap());
+        assert_eq!(rel.point_arity(), 1);
+        assert!(rel.contains_points(&[(r(0), r(1))]));
+        assert!(!rel.contains_points(&[(r(2), r(0))]));
+    }
+
+    #[test]
+    fn point_equality_is_coordinatewise() {
+        let inst = box_instance();
+        let p = PointVar::new("p");
+        let q = PointVar::new("q");
+        // ∃p ∃q. R(p) ∧ R(q) ∧ p = q  — true (take any point twice).
+        let sentence = exists_points(
+            &[p.clone(), q.clone()],
+            point_rel("R", std::slice::from_ref(&p))
+                .and(point_rel("R", std::slice::from_ref(&q)))
+                .and(point_eq(&p, &q)),
+        );
+        assert!(eval_sentence(&sentence, &inst).unwrap());
+    }
+}

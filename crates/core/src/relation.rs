@@ -1,0 +1,706 @@
+//! Generalized relations and database instances.
+//!
+//! A *generalized tuple* is a conjunction of constraint atoms and a *generalized
+//! (finitely representable) relation* is a finite set — semantically a disjunction — of
+//! generalized tuples over a fixed list of free variables (Section 2.2, after
+//! [KKR95]).  A database instance maps the schema's relation symbols to such relations
+//! (Definition 2.7).
+//!
+//! The module implements the closure properties stated in Section 2.2: finitely
+//! representable relations are closed under finite union, intersection and
+//! **complement** (unlike finite relations), and membership of a point is decidable by
+//! direct formula evaluation (Proposition 2.4).
+
+use crate::logic::{Formula, Term, Var};
+use crate::schema::{RelName, Schema};
+use crate::theory::{eval_conj, Atom, Conj, Dnf, Theory};
+use frdb_num::Rat;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A generalized tuple: a conjunction of constraint atoms (a "k-ary generalized tuple"
+/// in the sense of [KKR95] when it has k free variables).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GenTuple<A> {
+    atoms: Vec<A>,
+}
+
+impl<A: Atom> GenTuple<A> {
+    /// Creates a generalized tuple from its atoms.
+    #[must_use]
+    pub fn new(atoms: Vec<A>) -> Self {
+        GenTuple { atoms }
+    }
+
+    /// The empty conjunction (the universal tuple).
+    #[must_use]
+    pub fn universal() -> Self {
+        GenTuple { atoms: Vec::new() }
+    }
+
+    /// The atoms of the conjunction.
+    #[must_use]
+    pub fn atoms(&self) -> &[A] {
+        &self.atoms
+    }
+
+    /// Consumes the tuple, returning its atoms.
+    #[must_use]
+    pub fn into_atoms(self) -> Vec<A> {
+        self.atoms
+    }
+
+    /// Variables occurring in the tuple.
+    #[must_use]
+    pub fn vars(&self) -> BTreeSet<Var> {
+        self.atoms.iter().flat_map(Atom::vars).collect()
+    }
+
+    /// Constants occurring in the tuple.
+    #[must_use]
+    pub fn constants(&self) -> BTreeSet<Rat> {
+        self.atoms.iter().flat_map(Atom::constants).collect()
+    }
+
+    /// Evaluates the conjunction at a point.
+    #[must_use]
+    pub fn eval(&self, assignment: &dyn Fn(&Var) -> Rat) -> bool {
+        eval_conj(&self.atoms, assignment)
+    }
+}
+
+impl<A: Atom> fmt::Display for GenTuple<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Simplifies a DNF: canonicalizes every conjunction, drops unsatisfiable ones,
+/// removes duplicates and conjunctions absorbed (implied) by another disjunct.
+#[must_use]
+pub fn simplify_dnf<T: Theory>(dnf: Dnf<T::A>) -> Dnf<T::A> {
+    let mut canon: Vec<Conj<T::A>> = Vec::with_capacity(dnf.len());
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    for conj in dnf {
+        if let Some(c) = T::canonicalize(&conj) {
+            // Cheap structural dedup on the canonical printing.
+            let key: Vec<String> = c.iter().map(|a| format!("{a:?}")).collect();
+            if seen.insert(key) {
+                canon.push(c);
+            }
+        }
+    }
+    // Absorption: drop any disjunct implied by another (it contributes nothing).
+    let mut keep = vec![true; canon.len()];
+    for i in 0..canon.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..canon.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            // If disjunct i implies disjunct j, then i ⊆ j and i can be dropped.
+            if T::implies(&canon[i], &canon[j]) {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    canon
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(c, k)| if k { Some(c) } else { None })
+        .collect()
+}
+
+/// Negates a DNF, returning a DNF of the complement.
+///
+/// `¬(C₁ ∨ … ∨ Cₘ) = ¬C₁ ∧ … ∧ ¬Cₘ`, where each `¬Cᵢ` is the disjunction of the
+/// (atomic) negations of its atoms; the conjunction of disjunctions is redistributed
+/// into DNF with unsatisfiable branches pruned eagerly.
+#[must_use]
+pub fn negate_dnf<T: Theory>(dnf: &[Conj<T::A>]) -> Dnf<T::A> {
+    let mut acc: Dnf<T::A> = vec![Vec::new()];
+    for conj in dnf {
+        let mut next: Dnf<T::A> = Vec::new();
+        for prefix in &acc {
+            for atom in conj {
+                for neg in atom.negate() {
+                    let mut candidate = prefix.clone();
+                    candidate.push(neg);
+                    if T::satisfiable(&candidate) {
+                        next.push(candidate);
+                    }
+                }
+            }
+        }
+        acc = simplify_dnf::<T>(next);
+        if acc.is_empty() {
+            return Vec::new();
+        }
+    }
+    acc
+}
+
+/// A finitely representable relation: a list of free variables (the relation's
+/// columns) and a disjunction of generalized tuples over them.
+#[derive(Debug)]
+pub struct Relation<T: Theory> {
+    vars: Vec<Var>,
+    tuples: Dnf<T::A>,
+    _theory: PhantomData<T>,
+}
+
+impl<T: Theory> Clone for Relation<T> {
+    fn clone(&self) -> Self {
+        Relation { vars: self.vars.clone(), tuples: self.tuples.clone(), _theory: PhantomData }
+    }
+}
+
+impl<T: Theory> Relation<T> {
+    /// Builds a relation from generalized tuples, canonicalizing and pruning
+    /// unsatisfiable tuples.
+    #[must_use]
+    pub fn new(vars: Vec<Var>, tuples: Vec<GenTuple<T::A>>) -> Self {
+        let dnf = tuples.into_iter().map(GenTuple::into_atoms).collect();
+        Relation { vars, tuples: simplify_dnf::<T>(dnf), _theory: PhantomData }
+    }
+
+    /// Builds a relation directly from a DNF of conjunctions.
+    #[must_use]
+    pub fn from_dnf(vars: Vec<Var>, dnf: Dnf<T::A>) -> Self {
+        Relation { vars, tuples: simplify_dnf::<T>(dnf), _theory: PhantomData }
+    }
+
+    /// The empty relation of the given column variables.
+    #[must_use]
+    pub fn empty(vars: Vec<Var>) -> Self {
+        Relation { vars, tuples: Vec::new(), _theory: PhantomData }
+    }
+
+    /// The universal relation (all of `Qᵏ`) over the given column variables.
+    #[must_use]
+    pub fn universal(vars: Vec<Var>) -> Self {
+        Relation { vars, tuples: vec![Vec::new()], _theory: PhantomData }
+    }
+
+    /// The column variables.
+    #[must_use]
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// The arity (number of columns).
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The generalized tuples (canonical DNF).
+    #[must_use]
+    pub fn tuples(&self) -> &[Conj<T::A>] {
+        &self.tuples
+    }
+
+    /// Number of generalized tuples in the representation.
+    #[must_use]
+    pub fn num_tuples(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Total number of constraint atoms in the representation — the `n` of
+    /// Lemma 6.10 ("counting multiple occurrences of a constraint in distinct
+    /// tuples").
+    #[must_use]
+    pub fn num_atoms(&self) -> usize {
+        self.tuples.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` iff the relation is (semantically) empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// All constants occurring in the representation (the active domain used by the
+    /// encoding of Section 6).
+    #[must_use]
+    pub fn constants(&self) -> BTreeSet<Rat> {
+        self.tuples.iter().flatten().flat_map(Atom::constants).collect()
+    }
+
+    /// Membership of a point (Proposition 2.4: decidable by evaluating the
+    /// quantifier-free representation).
+    ///
+    /// # Panics
+    /// Panics if the point's length differs from the arity.
+    #[must_use]
+    pub fn contains(&self, point: &[Rat]) -> bool {
+        assert_eq!(point.len(), self.arity(), "point arity mismatch");
+        let map: BTreeMap<&Var, &Rat> = self.vars.iter().zip(point.iter()).collect();
+        let assignment = |v: &Var| {
+            map.get(v).map(|r| (*r).clone()).unwrap_or_else(|| {
+                panic!("tuple mentions variable {v} outside the relation's columns")
+            })
+        };
+        self.tuples.iter().any(|c| eval_conj(c, &assignment))
+    }
+
+    /// Union with another relation over the same columns.
+    ///
+    /// # Panics
+    /// Panics if the column variables differ.
+    #[must_use]
+    pub fn union(&self, other: &Relation<T>) -> Relation<T> {
+        assert_eq!(self.vars, other.vars, "union of relations over different columns");
+        let mut dnf = self.tuples.clone();
+        dnf.extend(other.tuples.clone());
+        Relation::from_dnf(self.vars.clone(), dnf)
+    }
+
+    /// Intersection with another relation over the same columns.
+    ///
+    /// # Panics
+    /// Panics if the column variables differ.
+    #[must_use]
+    pub fn intersect(&self, other: &Relation<T>) -> Relation<T> {
+        assert_eq!(self.vars, other.vars, "intersection of relations over different columns");
+        let mut dnf = Vec::new();
+        for a in &self.tuples {
+            for b in &other.tuples {
+                let mut c = a.clone();
+                c.extend(b.iter().cloned());
+                dnf.push(c);
+            }
+        }
+        Relation::from_dnf(self.vars.clone(), dnf)
+    }
+
+    /// Complement within `Qᵏ` (finitely representable relations are closed under
+    /// complement, Section 2.2).
+    #[must_use]
+    pub fn complement(&self) -> Relation<T> {
+        Relation::from_dnf(self.vars.clone(), negate_dnf::<T>(&self.tuples))
+    }
+
+    /// The part of a single conjunction not covered by this relation, as a DNF:
+    /// `conj ∧ ¬self`.  The negation is distributed tuple by tuple with the
+    /// conjunction as a seed, which prunes far more aggressively than computing the
+    /// full complement first.
+    fn residual_of_conj(&self, conj: &Conj<T::A>) -> Dnf<T::A> {
+        let mut acc: Dnf<T::A> = vec![conj.clone()];
+        if !T::satisfiable(conj) {
+            return Vec::new();
+        }
+        for tuple in &self.tuples {
+            let mut next: Dnf<T::A> = Vec::new();
+            for prefix in &acc {
+                for atom in tuple {
+                    for neg in atom.negate() {
+                        let mut candidate = prefix.clone();
+                        candidate.push(neg);
+                        if T::satisfiable(&candidate) {
+                            next.push(candidate);
+                        }
+                    }
+                }
+            }
+            acc = simplify_dnf::<T>(next);
+            if acc.is_empty() {
+                return Vec::new();
+            }
+        }
+        acc
+    }
+
+    /// Set difference `self \ other`.
+    #[must_use]
+    pub fn difference(&self, other: &Relation<T>) -> Relation<T> {
+        assert_eq!(self.vars, other.vars, "difference of relations over different columns");
+        let mut dnf: Dnf<T::A> = Vec::new();
+        for conj in &self.tuples {
+            dnf.extend(other.residual_of_conj(conj));
+        }
+        Relation::from_dnf(self.vars.clone(), dnf)
+    }
+
+    /// Containment `self ⊆ other` (both over the same columns), decided by checking
+    /// that `self ∧ ¬other` is unsatisfiable, one generalized tuple at a time.
+    ///
+    /// # Panics
+    /// Panics if the column variables differ.
+    #[must_use]
+    pub fn subset_of(&self, other: &Relation<T>) -> bool {
+        assert_eq!(self.vars, other.vars, "containment of relations over different columns");
+        self.tuples.iter().all(|conj| other.residual_of_conj(conj).is_empty())
+    }
+
+    /// Semantic equivalence of two representations (query equivalence of §4.3 at the
+    /// instance level).
+    #[must_use]
+    pub fn equivalent(&self, other: &Relation<T>) -> bool {
+        self.subset_of(other) && other.subset_of(self)
+    }
+
+    /// Renames the column variables (the tuples are rewritten accordingly).
+    ///
+    /// # Panics
+    /// Panics if the number of new variables differs from the arity.
+    #[must_use]
+    pub fn rename(&self, new_vars: Vec<Var>) -> Relation<T> {
+        assert_eq!(new_vars.len(), self.arity(), "rename with wrong number of columns");
+        // Two-phase rename through fresh intermediates to allow permutations.
+        let mut counter = 0usize;
+        let temps: Vec<Var> = self.vars.iter().map(|_| Var::fresh(&mut counter)).collect();
+        let dnf = self
+            .tuples
+            .iter()
+            .map(|conj| {
+                let mut c: Vec<T::A> = conj.clone();
+                for (old, tmp) in self.vars.iter().zip(&temps) {
+                    c = c.iter().map(|a| a.subst(old, &Term::Var(tmp.clone()))).collect();
+                }
+                for (tmp, new) in temps.iter().zip(&new_vars) {
+                    c = c.iter().map(|a| a.subst(tmp, &Term::Var(new.clone()))).collect();
+                }
+                c
+            })
+            .collect();
+        Relation { vars: new_vars, tuples: dnf, _theory: PhantomData }
+    }
+
+    /// Applies a mapping to every constant in the representation (the image of the
+    /// relation under a morphism, Definition 4.3 / Proposition 4.4).
+    #[must_use]
+    pub fn map_constants(&self, f: &impl Fn(&Rat) -> Rat) -> Relation<T> {
+        let dnf = self
+            .tuples
+            .iter()
+            .map(|conj| conj.iter().map(|a| a.map_constants(f)).collect())
+            .collect();
+        Relation::from_dnf(self.vars.clone(), dnf)
+    }
+
+    /// The quantifier-free formula representing the relation.
+    #[must_use]
+    pub fn to_formula(&self) -> Formula<T::A> {
+        Formula::Or(
+            self.tuples
+                .iter()
+                .map(|conj| Formula::And(conj.iter().cloned().map(Formula::Atom).collect()))
+                .collect(),
+        )
+    }
+
+    /// Builds a *finite* relation from explicit points — the classical relational
+    /// model embedded into the constraint model (a tuple `[a, b]` abbreviates
+    /// `x = a ∧ y = b`, Section 2.2).
+    #[must_use]
+    pub fn from_points(vars: Vec<Var>, points: impl IntoIterator<Item = Vec<Rat>>) -> Relation<T>
+    where
+        T::A: FromEquality,
+    {
+        let dnf: Dnf<T::A> = points
+            .into_iter()
+            .map(|p| {
+                assert_eq!(p.len(), vars.len(), "point arity mismatch");
+                vars.iter()
+                    .zip(p)
+                    .map(|(v, c)| T::A::equality(Term::Var(v.clone()), Term::Const(c)))
+                    .collect()
+            })
+            .collect();
+        Relation::from_dnf(vars, dnf)
+    }
+}
+
+impl<T: Theory> fmt::Display for Relation<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{(")?;
+        for (i, v) in self.vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") | ")?;
+        if self.tuples.is_empty() {
+            write!(f, "false")?;
+        }
+        for (i, conj) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            if conj.is_empty() {
+                write!(f, "true")?;
+            } else {
+                write!(f, "(")?;
+                for (j, a) in conj.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Atom types that can express equality between a variable and a constant; needed to
+/// embed classical finite relations (`Relation::from_points`).
+pub trait FromEquality: Sized {
+    /// The atom `lhs = rhs`.
+    fn equality(lhs: Term, rhs: Term) -> Self;
+}
+
+impl FromEquality for crate::dense::DenseAtom {
+    fn equality(lhs: Term, rhs: Term) -> Self {
+        crate::dense::DenseAtom::eq(lhs, rhs)
+    }
+}
+
+/// A finitely representable database instance: a mapping from schema relation names to
+/// finitely representable relations (Definition 2.7).
+#[derive(Debug)]
+pub struct Instance<T: Theory> {
+    schema: Schema,
+    relations: BTreeMap<RelName, Relation<T>>,
+}
+
+impl<T: Theory> Clone for Instance<T> {
+    fn clone(&self) -> Self {
+        Instance { schema: self.schema.clone(), relations: self.relations.clone() }
+    }
+}
+
+impl<T: Theory> Instance<T> {
+    /// An empty instance of the given schema (every relation empty).
+    #[must_use]
+    pub fn new(schema: Schema) -> Self {
+        Instance { schema, relations: BTreeMap::new() }
+    }
+
+    /// The schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Sets a relation.
+    ///
+    /// # Panics
+    /// Panics if the relation name is not in the schema or its arity disagrees.
+    pub fn set(&mut self, name: impl Into<RelName>, relation: Relation<T>) -> &mut Self {
+        let name = name.into();
+        let declared = self
+            .schema
+            .arity(&name)
+            .unwrap_or_else(|| panic!("relation {name} not declared in the schema"));
+        assert_eq!(
+            declared,
+            relation.arity(),
+            "relation {name} has arity {} but schema declares {declared}",
+            relation.arity()
+        );
+        self.relations.insert(name, relation);
+        self
+    }
+
+    /// Looks up a relation; undeclared names return `None`, declared-but-unset names
+    /// return the empty relation.
+    #[must_use]
+    pub fn get(&self, name: &RelName) -> Option<Relation<T>> {
+        let arity = self.schema.arity(name)?;
+        Some(self.relations.get(name).cloned().unwrap_or_else(|| {
+            Relation::empty((0..arity).map(|i| Var::new(format!("x{i}"))).collect())
+        }))
+    }
+
+    /// Iterates over the stored relations.
+    pub fn iter(&self) -> impl Iterator<Item = (&RelName, &Relation<T>)> {
+        self.relations.iter()
+    }
+
+    /// All constants occurring in the instance (the active domain `adom(I)` of
+    /// Lemma 6.13).
+    #[must_use]
+    pub fn active_domain(&self) -> BTreeSet<Rat> {
+        self.relations.values().flat_map(Relation::constants).collect()
+    }
+
+    /// Applies a mapping to every constant of every relation (the image `µ(I)` of the
+    /// instance under a morphism).
+    #[must_use]
+    pub fn map_constants(&self, f: &impl Fn(&Rat) -> Rat) -> Instance<T> {
+        Instance {
+            schema: self.schema.clone(),
+            relations: self
+                .relations
+                .iter()
+                .map(|(n, r)| (n.clone(), r.map_constants(f)))
+                .collect(),
+        }
+    }
+
+    /// Semantic equivalence of two instances over the same schema.
+    #[must_use]
+    pub fn equivalent(&self, other: &Instance<T>) -> bool {
+        if self.schema != other.schema {
+            return false;
+        }
+        self.schema.iter().all(|(name, _)| match (self.get(name), other.get(name)) {
+            (Some(a), Some(b)) => {
+                let b = b.rename(a.vars().to_vec());
+                a.equivalent(&b)
+            }
+            _ => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{DenseAtom, DenseOrder};
+
+    type Rel = Relation<DenseOrder>;
+
+    fn x() -> Var {
+        Var::new("x")
+    }
+    fn y() -> Var {
+        Var::new("y")
+    }
+    fn r(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+
+    fn interval(lo: i64, hi: i64) -> GenTuple<DenseAtom> {
+        GenTuple::new(vec![
+            DenseAtom::le(Term::cst(lo), Term::var("x")),
+            DenseAtom::le(Term::var("x"), Term::cst(hi)),
+        ])
+    }
+
+    #[test]
+    fn membership_of_intervals() {
+        let rel = Rel::new(vec![x()], vec![interval(0, 2), interval(5, 7)]);
+        assert!(rel.contains(&[r(1)]));
+        assert!(rel.contains(&[r(0)]));
+        assert!(rel.contains(&[r(6)]));
+        assert!(!rel.contains(&[r(3)]));
+        assert!(!rel.contains(&[r(-1)]));
+    }
+
+    #[test]
+    fn union_intersection_complement() {
+        let a = Rel::new(vec![x()], vec![interval(0, 4)]);
+        let b = Rel::new(vec![x()], vec![interval(2, 6)]);
+        let u = a.union(&b);
+        let i = a.intersect(&b);
+        assert!(u.contains(&[r(5)]) && u.contains(&[r(1)]));
+        assert!(i.contains(&[r(3)]));
+        assert!(!i.contains(&[r(1)]) && !i.contains(&[r(5)]));
+        let c = a.complement();
+        assert!(c.contains(&[r(5)]));
+        assert!(!c.contains(&[r(2)]));
+        // a ∪ ¬a is the whole line.
+        assert!(a.union(&c).equivalent(&Rel::universal(vec![x()])));
+        // a ∩ ¬a is empty.
+        assert!(a.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn containment_and_equivalence() {
+        let small = Rel::new(vec![x()], vec![interval(1, 2)]);
+        let big = Rel::new(vec![x()], vec![interval(0, 4)]);
+        assert!(small.subset_of(&big));
+        assert!(!big.subset_of(&small));
+        // Splitting an interval in two gives an equivalent relation.
+        let split = Rel::new(vec![x()], vec![interval(0, 2), interval(2, 4)]);
+        assert!(split.equivalent(&big));
+        assert!(!split.equivalent(&small));
+    }
+
+    #[test]
+    fn simplify_absorbs_redundant_tuples() {
+        let rel = Rel::new(vec![x()], vec![interval(0, 10), interval(2, 3)]);
+        // The inner interval is absorbed by the outer one.
+        assert_eq!(rel.num_tuples(), 1);
+    }
+
+    #[test]
+    fn unsatisfiable_tuples_are_dropped() {
+        let rel = Rel::new(
+            vec![x()],
+            vec![GenTuple::new(vec![
+                DenseAtom::lt(Term::var("x"), Term::cst(0)),
+                DenseAtom::lt(Term::cst(1), Term::var("x")),
+            ])],
+        );
+        assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn from_points_builds_finite_relation() {
+        let rel = Rel::from_points(vec![x(), y()], vec![vec![r(1), r(2)], vec![r(3), r(4)]]);
+        assert!(rel.contains(&[r(1), r(2)]));
+        assert!(rel.contains(&[r(3), r(4)]));
+        assert!(!rel.contains(&[r(1), r(4)]));
+        assert_eq!(rel.num_tuples(), 2);
+    }
+
+    #[test]
+    fn rename_permutes_columns() {
+        let rel = Rel::from_points(vec![x(), y()], vec![vec![r(1), r(2)]]);
+        let swapped = rel.rename(vec![y(), x()]);
+        // Same semantics, columns relabelled: the point (1,2) on columns (y,x) means
+        // y=1 ∧ x=2.
+        assert!(swapped.contains(&[r(1), r(2)]));
+        let back = swapped.rename(vec![x(), y()]);
+        assert!(back.contains(&[r(1), r(2)]));
+    }
+
+    #[test]
+    fn complement_of_cofinite_set() {
+        // The set Q \ {0} of Section 2.2 is finitely representable; its complement is
+        // the single point 0.
+        let nonzero = Rel::from_dnf(
+            vec![x()],
+            vec![
+                vec![DenseAtom::lt(Term::var("x"), Term::cst(0))],
+                vec![DenseAtom::lt(Term::cst(0), Term::var("x"))],
+            ],
+        );
+        let comp = nonzero.complement();
+        assert!(comp.contains(&[r(0)]));
+        assert!(!comp.contains(&[r(1)]));
+        assert!(comp.equivalent(&Rel::from_points(vec![x()], vec![vec![r(0)]])));
+    }
+
+    #[test]
+    fn instance_roundtrip() {
+        let schema = Schema::from_pairs([("R", 1), ("S", 2)]);
+        let mut inst: Instance<DenseOrder> = Instance::new(schema);
+        inst.set("R", Rel::new(vec![x()], vec![interval(0, 1)]));
+        assert!(inst.get(&RelName::new("R")).unwrap().contains(&[r(0)]));
+        // Unset but declared relation is empty.
+        assert!(inst.get(&RelName::new("S")).unwrap().is_empty());
+        // Undeclared relation is None.
+        assert!(inst.get(&RelName::new("T")).is_none());
+        assert_eq!(inst.active_domain().len(), 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Database schemas.
+//!
+//! A (database) schema `σ` is a finite set of relation symbols with arities, disjoint
+//! from the logical language `L` (Section 2.2).  The engine keeps the distinction:
+//! logical predicates (`=`, `≤`, …) live in constraint atoms, relation symbols live in
+//! [`RelName`]s.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The name of a schema relation symbol.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelName(String);
+
+impl RelName {
+    /// Creates a relation name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        RelName(name.into())
+    }
+
+    /// The underlying string.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for RelName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for RelName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RelName({})", self.0)
+    }
+}
+
+impl From<&str> for RelName {
+    fn from(s: &str) -> Self {
+        RelName::new(s)
+    }
+}
+
+impl From<String> for RelName {
+    fn from(s: String) -> Self {
+        RelName::new(s)
+    }
+}
+
+/// A database schema: a finite map from relation names to arities.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schema {
+    relations: BTreeMap<RelName, usize>,
+}
+
+impl Schema {
+    /// The empty schema.
+    #[must_use]
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Builds a schema from `(name, arity)` pairs.
+    #[must_use]
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (impl Into<RelName>, usize)>) -> Self {
+        let mut s = Schema::new();
+        for (name, arity) in pairs {
+            s.add(name, arity);
+        }
+        s
+    }
+
+    /// Adds (or overwrites) a relation symbol.
+    pub fn add(&mut self, name: impl Into<RelName>, arity: usize) -> &mut Self {
+        self.relations.insert(name.into(), arity);
+        self
+    }
+
+    /// The arity of a relation symbol, if declared.
+    #[must_use]
+    pub fn arity(&self, name: &RelName) -> Option<usize> {
+        self.relations.get(name).copied()
+    }
+
+    /// Returns `true` iff the schema declares the relation.
+    #[must_use]
+    pub fn contains(&self, name: &RelName) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Iterates over `(name, arity)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RelName, usize)> {
+        self.relations.iter().map(|(n, a)| (n, *a))
+    }
+
+    /// The number of relation symbols.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Returns `true` iff the schema is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_basics() {
+        let mut s = Schema::new();
+        s.add("R", 2).add("S", 1);
+        assert_eq!(s.arity(&RelName::new("R")), Some(2));
+        assert_eq!(s.arity(&RelName::new("S")), Some(1));
+        assert_eq!(s.arity(&RelName::new("T")), None);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        let s2 = Schema::from_pairs([("R", 2), ("S", 1)]);
+        assert_eq!(s, s2);
+    }
+}

@@ -1,0 +1,115 @@
+//! The constraint-theory abstraction.
+//!
+//! The paper's framework is parametric in the *context structure* and its first-order
+//! language: the case study is `(Q, ≤)` (dense order, crate [`crate::dense`]), with
+//! `(Q, ≤, +)` (linear constraints, crate `frdb-linear`) and the real field surveyed in
+//! Section 7.  What the generic query evaluator actually needs from a context is
+//! exactly the quantifier-elimination interface identified in Section 4.1 (question
+//! Q1): decide satisfiability of a conjunction of atoms, tighten it to a canonical
+//! form, eliminate one existentially quantified variable from it, and decide
+//! implication between conjunctions.  [`Theory`] packages that interface.
+
+use crate::logic::{Term, Var};
+use frdb_num::Rat;
+use std::collections::BTreeSet;
+use std::fmt::{Debug, Display};
+use std::hash::Hash;
+
+/// A constraint atom of some first-order language interpreted over the rationals.
+pub trait Atom: Clone + Eq + Hash + Debug + Display {
+    /// The variables occurring in the atom.
+    fn vars(&self) -> BTreeSet<Var>;
+
+    /// The constants occurring in the atom.
+    fn constants(&self) -> BTreeSet<Rat>;
+
+    /// Evaluates the atom under a total assignment of rationals to variables.
+    ///
+    /// The assignment must cover every variable of the atom; this is the semantic
+    /// satisfaction relation `A ⊨ φ(a̅)` of Definition 2.3.
+    fn eval(&self, assignment: &dyn Fn(&Var) -> Rat) -> bool;
+
+    /// The negation of the atom as a *disjunction* of atoms.
+    ///
+    /// Over a total dense order every negated atom is again expressible positively
+    /// (`¬(s < t)` is `t ≤ s`, `¬(s = t)` is `s < t ∨ t < s`), which keeps generalized
+    /// tuples negation-free as in the paper's primitive tuples (Definition 6.7).
+    fn negate(&self) -> Vec<Self>;
+
+    /// Substitutes a term (variable or constant) for a variable.
+    fn subst(&self, var: &Var, replacement: &Term) -> Self;
+
+    /// Applies a mapping to every constant of the atom (Definition 4.3).
+    fn map_constants(&self, f: &impl Fn(&Rat) -> Rat) -> Self;
+}
+
+/// A conjunction of atoms: the paper's *generalized tuple* (Section 2.2).
+pub type Conj<A> = Vec<A>;
+
+/// A disjunction of conjunctions of atoms: a quantifier-free formula in disjunctive
+/// normal form, i.e. a finite representation of a relation.
+pub type Dnf<A> = Vec<Conj<A>>;
+
+/// A first-order theory with quantifier elimination, sufficient to drive the
+/// constraint query evaluator.
+pub trait Theory {
+    /// The atom type of the theory's language.
+    type A: Atom;
+
+    /// Human-readable name of the theory (used in reports and benchmarks).
+    fn name() -> &'static str;
+
+    /// Decides whether a conjunction of atoms is satisfiable over the context
+    /// structure.
+    fn satisfiable(conj: &[Self::A]) -> bool;
+
+    /// Tightens a conjunction to an equivalent canonical conjunction, or `None` if it
+    /// is unsatisfiable.
+    ///
+    /// Canonical means: two equivalent satisfiable conjunctions over the same variables
+    /// and constants tighten to equal atom sets, so the result can be used for
+    /// duplicate elimination.
+    fn canonicalize(conj: &[Self::A]) -> Option<Conj<Self::A>>;
+
+    /// Eliminates an existentially quantified variable from a satisfiable conjunction,
+    /// returning an equivalent quantifier-free DNF over the remaining variables.
+    ///
+    /// For dense order and linear constraints the result is a single conjunction; the
+    /// DNF return type leaves room for theories where elimination genuinely branches.
+    fn eliminate(var: &Var, conj: &[Self::A]) -> Dnf<Self::A>;
+
+    /// Decides whether conjunction `premise` implies conjunction `conclusion` over the
+    /// context structure (with all variables implicitly universally quantified).
+    fn implies(premise: &[Self::A], conclusion: &[Self::A]) -> bool;
+}
+
+/// Eliminates a list of variables from a conjunction by repeated single-variable
+/// elimination, producing a DNF.
+#[must_use]
+pub fn eliminate_all<T: Theory>(vars: &[Var], conj: &[T::A]) -> Dnf<T::A> {
+    let mut dnf: Dnf<T::A> = vec![conj.to_vec()];
+    for v in vars {
+        let mut next: Dnf<T::A> = Vec::new();
+        for c in &dnf {
+            if !T::satisfiable(c) {
+                continue;
+            }
+            next.extend(T::eliminate(v, c));
+        }
+        dnf = next;
+    }
+    dnf.retain(|c| T::satisfiable(c));
+    dnf
+}
+
+/// Evaluates a conjunction of atoms under a total assignment.
+#[must_use]
+pub fn eval_conj<A: Atom>(conj: &[A], assignment: &dyn Fn(&Var) -> Rat) -> bool {
+    conj.iter().all(|a| a.eval(assignment))
+}
+
+/// Evaluates a DNF under a total assignment.
+#[must_use]
+pub fn eval_dnf<A: Atom>(dnf: &[Conj<A>], assignment: &dyn Fn(&Var) -> Rat) -> bool {
+    dnf.iter().any(|c| eval_conj(c, assignment))
+}

@@ -1,0 +1,593 @@
+//! # frdb-datalog
+//!
+//! Inflationary **Datalog with negation and constraints** (`DATALOG¬`) over finitely
+//! representable databases — the fixpoint query language of Section 6 of Grumbach &
+//! Su, *Finitely Representable Databases*.
+//!
+//! A `DATALOG¬` program is a finite set of rules
+//!
+//! ```text
+//! A(x₁,…,xₙ)  ←  B(y₁,…,yₘ), …, ¬C(z₁,…,zₖ), …, s₁ ≤ t₁, …, sₗ ≤ tₗ
+//! ```
+//!
+//! whose body mixes positive and negated relation atoms (over both the database schema
+//! and the intensional predicates) with dense-order constraints.  The semantics is the
+//! *inflationary* one used in the paper: every rule body is an FO query evaluated
+//! against the current instance, the result is unioned into the head relation, and
+//! iteration continues until a fixpoint.  Because dense-order quantifier elimination
+//! introduces no constants outside the active domain, the fixpoint is reached after
+//! finitely many rounds and the output is again a finitely representable relation
+//! ("closed form", [KKR95]); the engine nevertheless takes a configurable iteration
+//! cap as a defensive bound.
+//!
+//! `DATALOG¬` expresses exactly the order-generic PTIME queries (Theorem 6.6); the
+//! query catalog in `frdb-queries` provides the programs the paper discusses
+//! (transitive closure, region connectivity, …) and cross-checks them against direct
+//! polynomial-time algorithms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use frdb_core::fo::{eval_query, EvalError};
+use frdb_core::logic::{Formula, Term, Var};
+use frdb_core::relation::{Instance, Relation};
+use frdb_core::schema::{RelName, Schema};
+use frdb_core::theory::Theory;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A literal of a rule body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Literal<A> {
+    /// A (possibly negated) relation atom over an EDB or IDB predicate.
+    Rel {
+        /// `false` for a negated occurrence `¬R(t̅)`.
+        positive: bool,
+        /// The relation name.
+        name: RelName,
+        /// Argument terms.
+        args: Vec<Term>,
+    },
+    /// A constraint atom of the underlying theory.
+    Constraint(A),
+}
+
+impl<A> Literal<A> {
+    /// A positive relation literal.
+    #[must_use]
+    pub fn pos(name: impl Into<RelName>, args: impl IntoIterator<Item = impl Into<Term>>) -> Self {
+        Literal::Rel {
+            positive: true,
+            name: name.into(),
+            args: args.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// A negated relation literal.
+    #[must_use]
+    pub fn neg(name: impl Into<RelName>, args: impl IntoIterator<Item = impl Into<Term>>) -> Self {
+        Literal::Rel {
+            positive: false,
+            name: name.into(),
+            args: args.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// A constraint literal.
+    #[must_use]
+    pub fn constraint(atom: A) -> Self {
+        Literal::Constraint(atom)
+    }
+}
+
+impl<A: fmt::Display> fmt::Display for Literal<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Rel { positive, name, args } => {
+                if !positive {
+                    write!(f, "¬")?;
+                }
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Literal::Constraint(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// A rule `head(vars) ← body`.
+///
+/// The body is either a list of literals (the syntax shown in Section 6 of the paper)
+/// or, more generally, an arbitrary first-order formula over the EDB and IDB
+/// predicates — the engine evaluates each rule body as an FO query anyway, and rules
+/// such as the `Sweep` relation of Example 6.3 need an embedded universal quantifier
+/// ("the segment between the two points is entirely in R").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule<A> {
+    /// Head predicate name.
+    pub head: RelName,
+    /// Head variables (the columns of the derived relation).
+    pub head_vars: Vec<Var>,
+    /// Body literals (empty when `formula` is used instead).
+    pub body: Vec<Literal<A>>,
+    /// An explicit body formula taking precedence over `body` when present.
+    formula: Option<Formula<A>>,
+}
+
+impl<A: frdb_core::theory::Atom> Rule<A> {
+    /// Creates a rule from body literals.
+    #[must_use]
+    pub fn new(
+        head: impl Into<RelName>,
+        head_vars: impl IntoIterator<Item = impl Into<Var>>,
+        body: Vec<Literal<A>>,
+    ) -> Self {
+        Rule {
+            head: head.into(),
+            head_vars: head_vars.into_iter().map(Into::into).collect(),
+            body,
+            formula: None,
+        }
+    }
+
+    /// Creates a rule whose body is an arbitrary FO formula (free variables not in the
+    /// head are implicitly existentially quantified by the evaluation).
+    #[must_use]
+    pub fn from_formula(
+        head: impl Into<RelName>,
+        head_vars: impl IntoIterator<Item = impl Into<Var>>,
+        body: Formula<A>,
+    ) -> Self {
+        Rule {
+            head: head.into(),
+            head_vars: head_vars.into_iter().map(Into::into).collect(),
+            body: Vec::new(),
+            formula: Some(body),
+        }
+    }
+
+    /// The body as an FO formula: the conjunction of the literals with all non-head
+    /// variables existentially quantified.
+    #[must_use]
+    pub fn body_formula(&self) -> Formula<A> {
+        if let Some(f) = &self.formula {
+            let head_set: BTreeSet<Var> = self.head_vars.iter().cloned().collect();
+            let free: Vec<Var> = f.free_vars().difference(&head_set).cloned().collect();
+            return if free.is_empty() {
+                f.clone()
+            } else {
+                Formula::Exists(free, Box::new(f.clone()))
+            };
+        }
+        let mut parts: Vec<Formula<A>> = Vec::with_capacity(self.body.len());
+        let mut body_vars: BTreeSet<Var> = BTreeSet::new();
+        for lit in &self.body {
+            match lit {
+                Literal::Rel { positive, name, args } => {
+                    for a in args {
+                        if let Term::Var(v) = a {
+                            body_vars.insert(v.clone());
+                        }
+                    }
+                    let atom = Formula::Rel { name: name.clone(), args: args.clone() };
+                    parts.push(if *positive { atom } else { atom.not() });
+                }
+                Literal::Constraint(a) => {
+                    body_vars.extend(a.vars());
+                    parts.push(Formula::Atom(a.clone()));
+                }
+            }
+        }
+        let head_set: BTreeSet<Var> = self.head_vars.iter().cloned().collect();
+        let quantified: Vec<Var> = body_vars.difference(&head_set).cloned().collect();
+        let conj = Formula::And(parts);
+        if quantified.is_empty() {
+            conj
+        } else {
+            Formula::Exists(quantified, Box::new(conj))
+        }
+    }
+}
+
+impl<A: fmt::Display> fmt::Display for Rule<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.head)?;
+        for (i, v) in self.head_vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") ← ")?;
+        for (i, l) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors raised while evaluating a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// A rule body failed to evaluate (unknown relation, arity mismatch, …).
+    Eval(EvalError),
+    /// The program did not reach a fixpoint within the configured iteration cap.
+    IterationLimit(usize),
+    /// Two rules for the same head predicate disagree on its arity.
+    InconsistentHeadArity(String),
+    /// A head predicate clashes with an EDB relation of the input schema.
+    HeadShadowsEdb(String),
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::Eval(e) => write!(f, "rule evaluation failed: {e}"),
+            DatalogError::IterationLimit(n) => {
+                write!(f, "no fixpoint reached within {n} iterations")
+            }
+            DatalogError::InconsistentHeadArity(r) => {
+                write!(f, "rules for {r} use different head arities")
+            }
+            DatalogError::HeadShadowsEdb(r) => {
+                write!(f, "intensional predicate {r} shadows an EDB relation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+impl From<EvalError> for DatalogError {
+    fn from(e: EvalError) -> Self {
+        DatalogError::Eval(e)
+    }
+}
+
+/// An inflationary `DATALOG¬` program.
+#[derive(Clone, Debug, Default)]
+pub struct Program<A> {
+    rules: Vec<Rule<A>>,
+    max_iterations: usize,
+}
+
+/// The result of running a program: the final values of all intensional predicates.
+#[derive(Debug)]
+pub struct FixpointResult<T: Theory> {
+    /// The combined instance (EDB relations plus the fixpoint of every IDB predicate).
+    pub instance: Instance<T>,
+    /// The number of iterations needed to reach the fixpoint.
+    pub iterations: usize,
+}
+
+impl<A: frdb_core::theory::Atom> Program<A> {
+    /// Creates an empty program with the default iteration cap.
+    #[must_use]
+    pub fn new() -> Self {
+        Program { rules: Vec::new(), max_iterations: 10_000 }
+    }
+
+    /// Creates a program from rules.
+    #[must_use]
+    pub fn from_rules(rules: Vec<Rule<A>>) -> Self {
+        Program { rules, max_iterations: 10_000 }
+    }
+
+    /// Adds a rule.
+    pub fn add_rule(&mut self, rule: Rule<A>) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Sets the defensive iteration cap (the paper guarantees termination for dense
+    /// order; the cap protects against ill-formed theories).
+    pub fn with_max_iterations(mut self, cap: usize) -> Self {
+        self.max_iterations = cap;
+        self
+    }
+
+    /// The rules of the program.
+    #[must_use]
+    pub fn rules(&self) -> &[Rule<A>] {
+        &self.rules
+    }
+
+    /// The intensional (IDB) predicates with their arities.
+    ///
+    /// # Errors
+    /// Returns an error if two rules disagree on a head arity.
+    pub fn idb_schema(&self) -> Result<BTreeMap<RelName, usize>, DatalogError> {
+        let mut out = BTreeMap::new();
+        for rule in &self.rules {
+            let arity = rule.head_vars.len();
+            match out.insert(rule.head.clone(), arity) {
+                Some(prev) if prev != arity => {
+                    return Err(DatalogError::InconsistentHeadArity(rule.head.to_string()))
+                }
+                _ => {}
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs the program to its inflationary fixpoint over an input instance.
+    ///
+    /// # Errors
+    /// Returns an error if a rule fails to evaluate, head arities are inconsistent, an
+    /// IDB predicate shadows an EDB relation, or the iteration cap is exceeded.
+    pub fn run<T: Theory<A = A>>(&self, edb: &Instance<T>) -> Result<FixpointResult<T>, DatalogError> {
+        let idb = self.idb_schema()?;
+        for name in idb.keys() {
+            if edb.schema().contains(name) {
+                return Err(DatalogError::HeadShadowsEdb(name.to_string()));
+            }
+        }
+        // Combined schema: EDB relations plus IDB predicates.
+        let mut schema = Schema::new();
+        for (name, arity) in edb.schema().iter() {
+            schema.add(name.clone(), arity);
+        }
+        for (name, arity) in &idb {
+            schema.add(name.clone(), *arity);
+        }
+        let mut current: Instance<T> = Instance::new(schema);
+        for (name, rel) in edb.iter() {
+            current.set(name.clone(), rel.clone());
+        }
+        let mut idb_state: BTreeMap<RelName, Relation<T>> = idb
+            .iter()
+            .map(|(name, arity)| {
+                let vars: Vec<Var> = (0..*arity).map(|i| Var::new(format!("c{i}"))).collect();
+                (name.clone(), Relation::empty(vars))
+            })
+            .collect();
+        for (name, rel) in &idb_state {
+            current.set(name.clone(), rel.clone());
+        }
+
+        for iteration in 0..self.max_iterations {
+            let mut changed = false;
+            let mut next_state = idb_state.clone();
+            for rule in &self.rules {
+                let body = rule.body_formula();
+                let delta = eval_query(&body, &rule.head_vars, &current)?;
+                let existing = next_state
+                    .get(&rule.head)
+                    .expect("idb_schema lists every head predicate")
+                    .clone();
+                let delta = delta.rename(existing.vars().to_vec());
+                // Inflationary semantics: the head only grows, so the fixpoint test
+                // reduces to `delta ⊆ old`.
+                if delta.subset_of(&existing) {
+                    continue;
+                }
+                changed = true;
+                next_state.insert(rule.head.clone(), existing.union(&delta));
+            }
+            idb_state = next_state;
+            for (name, rel) in &idb_state {
+                current.set(name.clone(), rel.clone());
+            }
+            if !changed {
+                return Ok(FixpointResult { instance: current, iterations: iteration + 1 });
+            }
+        }
+        Err(DatalogError::IterationLimit(self.max_iterations))
+    }
+
+    /// Runs the program and returns the fixpoint value of one predicate.
+    ///
+    /// # Errors
+    /// As for [`Program::run`]; additionally if the predicate is unknown.
+    pub fn run_for<T: Theory<A = A>>(
+        &self,
+        edb: &Instance<T>,
+        answer: &RelName,
+    ) -> Result<Relation<T>, DatalogError> {
+        let result = self.run(edb)?;
+        result
+            .instance
+            .get(answer)
+            .ok_or_else(|| DatalogError::Eval(EvalError::UnknownRelation(answer.to_string())))
+    }
+}
+
+/// Builds the classical transitive-closure program over a binary EDB relation `edge`:
+///
+/// ```text
+/// tc(x, y) ← edge(x, y)
+/// tc(x, y) ← tc(x, z), edge(z, y)
+/// ```
+#[must_use]
+pub fn transitive_closure_program(
+    edge: impl Into<RelName>,
+    tc: impl Into<RelName>,
+) -> Program<frdb_core::dense::DenseAtom> {
+    let edge = edge.into();
+    let tc = tc.into();
+    let x = || Term::var("x");
+    let y = || Term::var("y");
+    let z = || Term::var("z");
+    Program::from_rules(vec![
+        Rule::new(tc.clone(), ["x", "y"], vec![Literal::pos(edge.clone(), [x(), y()])]),
+        Rule::new(
+            tc.clone(),
+            ["x", "y"],
+            vec![Literal::pos(tc, [x(), z()]), Literal::pos(edge, [z(), y()])],
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frdb_core::dense::{DenseAtom, DenseOrder};
+    use frdb_core::fo::eval_sentence;
+    use frdb_num::Rat;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+
+    fn path_graph(n: i64) -> Instance<DenseOrder> {
+        // edge = {(i, i+1) | 0 ≤ i < n}
+        let schema = Schema::from_pairs([("edge", 2)]);
+        let mut inst = Instance::new(schema);
+        let points: Vec<Vec<Rat>> = (0..n).map(|i| vec![r(i), r(i + 1)]).collect();
+        inst.set(
+            "edge",
+            Relation::from_points(vec![Var::new("x"), Var::new("y")], points),
+        );
+        inst
+    }
+
+    #[test]
+    fn transitive_closure_of_a_path() {
+        let inst = path_graph(5);
+        let program = transitive_closure_program("edge", "tc");
+        let tc = program.run_for(&inst, &RelName::new("tc")).unwrap();
+        for i in 0..=5i64 {
+            for j in 0..=5i64 {
+                assert_eq!(tc.contains(&[r(i), r(j)]), i < j, "tc({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn fixpoint_iteration_count_is_reported() {
+        let inst = path_graph(6);
+        let program = transitive_closure_program("edge", "tc");
+        let result = program.run(&inst).unwrap();
+        // A path of length 6 needs several rounds plus one quiescent round.
+        assert!(result.iterations >= 3);
+    }
+
+    #[test]
+    fn negation_in_bodies() {
+        // unreachable-from-0 nodes of the vertex set: node(x) ∧ ¬tc0(x)
+        // where tc0(x) ← tc(0, x) and tc is the closure of edge.
+        let mut inst = path_graph(3);
+        // add isolated vertices 10, 11 to the vertex relation
+        let mut schema = Schema::from_pairs([("edge", 2), ("node", 1)]);
+        schema.add("node", 1);
+        let mut inst2 = Instance::new(schema);
+        inst2.set("edge", inst.get(&RelName::new("edge")).unwrap());
+        let nodes: Vec<Vec<Rat>> = (0..=3).chain(10..=11).map(|i| vec![r(i)]).collect();
+        inst2.set("node", Relation::from_points(vec![Var::new("x")], nodes));
+        inst = inst2;
+
+        let mut program = transitive_closure_program("edge", "tc");
+        program.add_rule(Rule::new(
+            "reach0",
+            ["x"],
+            vec![Literal::pos("tc", [Term::cst(0), Term::var("x")])],
+        ));
+        program.add_rule(Rule::new(
+            "isolated",
+            ["x"],
+            vec![Literal::pos("node", [Term::var("x")]), Literal::neg("reach0", [Term::var("x")])],
+        ));
+        // Note: with inflationary semantics the `isolated` rule may fire early while
+        // `reach0` is still growing; re-running the body on the *final* instance is the
+        // timestamp-free way to read off the intended answer (the paper's Example 6.3
+        // makes the same point with its delayed connectivity check).
+        let result = program.run(&inst).unwrap();
+        let final_isolated = eval_query(
+            &Formula::<DenseAtom>::rel("node", [Term::var("x")])
+                .and(Formula::rel("reach0", [Term::var("x")]).not()),
+            &[Var::new("x")],
+            &result.instance,
+        )
+        .unwrap();
+        assert!(final_isolated.contains(&[r(10)]));
+        assert!(final_isolated.contains(&[r(11)]));
+        assert!(!final_isolated.contains(&[r(2)]));
+    }
+
+    #[test]
+    fn constraint_literals_restrict_derivations() {
+        // bounded(x, y) ← edge(x, y), x < 3
+        let inst = path_graph(5);
+        let program = Program::from_rules(vec![Rule::new(
+            "bounded",
+            ["x", "y"],
+            vec![
+                Literal::pos("edge", [Term::var("x"), Term::var("y")]),
+                Literal::constraint(DenseAtom::lt(Term::var("x"), Term::cst(3))),
+            ],
+        )]);
+        let ans = program.run_for(&inst, &RelName::new("bounded")).unwrap();
+        assert!(ans.contains(&[r(0), r(1)]));
+        assert!(ans.contains(&[r(2), r(3)]));
+        assert!(!ans.contains(&[r(3), r(4)]));
+    }
+
+    #[test]
+    fn rules_can_derive_infinite_relations() {
+        // between(x) ← edge(u, v), u < x, x < v: the open intervals spanned by edges.
+        let inst = path_graph(2);
+        let program = Program::from_rules(vec![Rule::new(
+            "between",
+            ["x"],
+            vec![
+                Literal::pos("edge", [Term::var("u"), Term::var("v")]),
+                Literal::constraint(DenseAtom::lt(Term::var("u"), Term::var("x"))),
+                Literal::constraint(DenseAtom::lt(Term::var("x"), Term::var("v"))),
+            ],
+        )]);
+        let ans = program.run_for(&inst, &RelName::new("between")).unwrap();
+        assert!(ans.contains(&["1/2".parse().unwrap()]));
+        assert!(ans.contains(&["3/2".parse().unwrap()]));
+        assert!(!ans.contains(&[r(2)]));
+    }
+
+    #[test]
+    fn errors_are_surfaced() {
+        let inst = path_graph(2);
+        // Head shadowing an EDB relation.
+        let bad = Program::<DenseAtom>::from_rules(vec![Rule::new(
+            "edge",
+            ["x", "y"],
+            vec![Literal::pos("edge", [Term::var("x"), Term::var("y")])],
+        )]);
+        assert!(matches!(bad.run(&inst), Err(DatalogError::HeadShadowsEdb(_))));
+        // Inconsistent arities.
+        let bad2 = Program::<DenseAtom>::from_rules(vec![
+            Rule::new("p", ["x"], vec![Literal::pos("edge", [Term::var("x"), Term::var("y")])]),
+            Rule::new(
+                "p",
+                ["x", "y"],
+                vec![Literal::pos("edge", [Term::var("x"), Term::var("y")])],
+            ),
+        ]);
+        assert!(matches!(bad2.run(&inst), Err(DatalogError::InconsistentHeadArity(_))));
+        // Unknown EDB relation inside a body.
+        let bad3 = Program::<DenseAtom>::from_rules(vec![Rule::new(
+            "p",
+            ["x"],
+            vec![Literal::pos("ghost", [Term::var("x")])],
+        )]);
+        assert!(matches!(bad3.run(&inst), Err(DatalogError::Eval(_))));
+    }
+
+    #[test]
+    fn boolean_answers_via_sentences_on_the_fixpoint() {
+        // The path graph is connected from 0 to 5: tc(0, 5) holds.
+        let inst = path_graph(5);
+        let program = transitive_closure_program("edge", "tc");
+        let result = program.run(&inst).unwrap();
+        let reachable: Formula<DenseAtom> = Formula::rel("tc", [Term::cst(0), Term::cst(5)]);
+        assert!(eval_sentence(&reachable, &result.instance).unwrap());
+        let not_reachable: Formula<DenseAtom> = Formula::rel("tc", [Term::cst(5), Term::cst(0)]);
+        assert!(!eval_sentence(&not_reachable, &result.instance).unwrap());
+    }
+}

@@ -1,0 +1,122 @@
+//! The comb instances of Fig. 7.
+//!
+//! The game proof of Lemma 5.5 plays on two planar instances that "look like two
+//! imbricated combs": in `A_r` the two combs share one tooth (so the figure is
+//! connected), in `B_r` they share none (so it is disconnected), and with enough teeth
+//! the duplicator survives `r` rounds on the pair, showing that region connectivity is
+//! not definable by any sentence of quantifier rank `r`.
+//!
+//! The builders below produce finite-scale versions of those instances out of
+//! axis-parallel segments (the paper notes that dense-order constraints cannot express
+//! diagonal teeth, and replaces them by staircases; at the scale used here plain
+//! vertical teeth suffice).  The `connected` flag controls whether one shared tooth
+//! joins the two combs.
+
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::logic::{Term, Var};
+use frdb_core::relation::{GenTuple, Instance, Relation};
+use frdb_core::schema::Schema;
+
+/// The schema of the comb instances: one binary relation `R` (a set of points of the
+/// rational plane).
+#[must_use]
+pub fn comb_schema() -> Schema {
+    Schema::from_pairs([("R", 2)])
+}
+
+fn hseg(y: i64, x0: i64, x1: i64) -> GenTuple<DenseAtom> {
+    GenTuple::new(vec![
+        DenseAtom::eq(Term::var("y"), Term::cst(y)),
+        DenseAtom::le(Term::cst(x0), Term::var("x")),
+        DenseAtom::le(Term::var("x"), Term::cst(x1)),
+    ])
+}
+
+fn vseg(x: i64, y0: i64, y1: i64) -> GenTuple<DenseAtom> {
+    GenTuple::new(vec![
+        DenseAtom::eq(Term::var("x"), Term::cst(x)),
+        DenseAtom::le(Term::cst(y0), Term::var("y")),
+        DenseAtom::le(Term::var("y"), Term::cst(y1)),
+    ])
+}
+
+/// Builds a comb instance with `teeth` teeth per comb.
+///
+/// The lower comb has spine `y = 0` with upward teeth at odd x-positions, the upper
+/// comb has spine `y = 10` with downward teeth at even x-positions, so the teeth
+/// interleave without touching.  When `connected` is true one extra tooth joins the
+/// two spines, making the whole figure connected (the `A_r` instance); otherwise the
+/// two combs are disjoint connected components (the `B_r` instance).
+#[must_use]
+pub fn comb_instance(teeth: usize, connected: bool) -> Instance<DenseOrder> {
+    let teeth = teeth.max(1) as i64;
+    let width = 2 * teeth + 2;
+    let mut tuples = Vec::new();
+    // Spines.
+    tuples.push(hseg(0, 0, width));
+    tuples.push(hseg(10, 0, width));
+    // Lower comb teeth (upwards, stopping short of the top spine).
+    for t in 0..teeth {
+        let x = 2 * t + 1;
+        tuples.push(vseg(x, 0, 8));
+    }
+    // Upper comb teeth (downwards, stopping short of the bottom spine).
+    for t in 0..teeth {
+        let x = 2 * t + 2;
+        tuples.push(vseg(x, 2, 10));
+    }
+    if connected {
+        // One shared tooth linking the two spines.
+        tuples.push(vseg(width, 0, 10));
+    }
+    let mut inst = Instance::new(comb_schema());
+    inst.set("R", Relation::new(vec![Var::new("x"), Var::new("y")], tuples));
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frdb_num::Rat;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+
+    #[test]
+    fn comb_instances_have_expected_membership() {
+        let a = comb_instance(3, true);
+        let b = comb_instance(3, false);
+        let ra = a.get(&"R".into()).unwrap();
+        let rb = b.get(&"R".into()).unwrap();
+        // Both contain the two spines and the interleaved teeth.
+        assert!(ra.contains(&[r(4), r(0)]));
+        assert!(ra.contains(&[r(1), r(5)]));
+        assert!(rb.contains(&[r(2), r(9)]));
+        // Only the connected instance contains the linking tooth.
+        assert!(ra.contains(&[r(8), r(5)]));
+        assert!(!rb.contains(&[r(8), r(5)]));
+        // Points off the figure are in neither.
+        assert!(!ra.contains(&[r(1), r(9)]));
+        assert!(!rb.contains(&[r(1), r(9)]));
+    }
+
+    #[test]
+    fn combs_grow_with_the_teeth_parameter() {
+        let small = comb_instance(2, false);
+        let large = comb_instance(6, false);
+        let ns = small.get(&"R".into()).unwrap().num_tuples();
+        let nl = large.get(&"R".into()).unwrap().num_tuples();
+        assert!(nl > ns);
+    }
+
+    #[test]
+    fn one_round_games_cannot_separate_the_combs() {
+        // A single move never separates A from B: every point of one figure has an
+        // order-equivalent point in the other.
+        let a = comb_instance(2, true);
+        let b = comb_instance(2, false);
+        let report = crate::solver::duplicator_wins_value(&a, &b, 1);
+        assert!(report.duplicator_wins);
+    }
+}

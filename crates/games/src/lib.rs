@@ -1,0 +1,30 @@
+//! # frdb-games
+//!
+//! Ehrenfeucht–Fraïssé games over finitely representable databases — the main
+//! inexpressibility tool that survives in the constraint setting (Section 5 of
+//! Grumbach & Su; Theorem 5.8 for the classical correspondence, Theorem 5.9 for the
+//! value-game / point-game relationship, Fig. 7 for the comb instances used against
+//! region connectivity).
+//!
+//! The solver decides whether the duplicator has a winning strategy in the `r`-round
+//! game between two `(Q, ≤, σ)`-instances.  Moves notionally range over all of `Q`,
+//! but over a dense order the outcome of every future membership or order test depends
+//! only on the position of a move relative to the constants of the two representations
+//! and the previously chosen elements; the solver therefore searches over a finite,
+//! *exact* move basis: every representation constant, every previously chosen element,
+//! one witness strictly between each pair of consecutive relevant values, and one
+//! witness beyond each end.  This makes the solver sound and complete for dense-order
+//! constraint databases while keeping the game tree finite.
+//!
+//! The game tree is exponential in the number of rounds; the intended use (matching
+//! the paper) is small `r` — quantifier rank 1–3 — which is already enough to witness
+//! that low-rank first-order sentences cannot separate the paper's instance families.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comb;
+pub mod solver;
+
+pub use comb::{comb_instance, comb_schema};
+pub use solver::{duplicator_wins_point, duplicator_wins_value, GameReport};

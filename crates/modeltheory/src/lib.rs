@@ -1,0 +1,427 @@
+//! # frdb-modeltheory
+//!
+//! Executable pieces of the *finitely representable model theory* of Sections 2–4 of
+//! Grumbach & Su:
+//!
+//! * [`compactness`] — the family `Σ = {τ_k}` used in Theorem 3.2 to show that the
+//!   compactness theorem fails over o-minimal contexts: each finite subset has a
+//!   finitely representable model, but the models are forced to contain ever more
+//!   disjoint pieces.
+//! * [`reduction`] — the sentences `α_i` of Theorem 3.4 that force a finitely
+//!   representable relation to be finite, reducing finite satisfiability to
+//!   satisfiability over finitely representable models (the source of all the
+//!   undecidability results of Section 4.3 / Theorem 4.12).
+//! * [`iso_sentence`] — the isomorphism-defining sentence `σ_B` of Theorem 3.7 for
+//!   monadic instances: a single FO sentence whose finitely representable models are
+//!   exactly the isomorphic copies of `B`.
+//! * [`monadic`] — Proposition 2.8: with equality only, a monadic relation is finitely
+//!   representable iff it is finite or co-finite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::logic::{Formula, Term, Var};
+use frdb_core::normal::{decompose_1d, Piece1};
+use frdb_core::relation::Relation;
+use frdb_num::Rat;
+
+/// The compactness-failure witness of Theorem 3.2.
+pub mod compactness {
+    use super::*;
+
+    /// The sentence `τ_k` over a monadic relation `R`: "`R` contains `k` pairwise
+    /// distinct elements `a₁ < … < a_k` that are *non-consecutive* (between any two of
+    /// them lies a point outside `R`), and nothing else lies between `a₁` and `a_k`"
+    /// — over a dense order every strictly increasing sequence is non-consecutive, so
+    /// the sentence asserts that `R ∩ [a₁, a_k]` is exactly `{a₁, …, a_k}`.
+    ///
+    /// The formula returned asserts the existential half (the `k` isolated members);
+    /// that is what drives the compactness argument: a model of all `τ_k`
+    /// simultaneously would need infinitely many isolated points, which is not
+    /// finitely representable over an o-minimal context.
+    #[must_use]
+    pub fn tau(k: usize) -> Formula<DenseAtom> {
+        let vars: Vec<Var> = (0..k).map(|i| Var::new(format!("a{i}"))).collect();
+        let mut parts: Vec<Formula<DenseAtom>> = Vec::new();
+        for v in &vars {
+            parts.push(Formula::rel("R", [Term::Var(v.clone())]));
+        }
+        for w in vars.windows(2) {
+            parts.push(Formula::Atom(DenseAtom::lt(
+                Term::Var(w[0].clone()),
+                Term::Var(w[1].clone()),
+            )));
+            // Isolation: some non-member lies strictly between consecutive members.
+            let z = Var::new(format!("z_{}_{}", w[0], w[1]));
+            parts.push(Formula::Exists(
+                vec![z.clone()],
+                Box::new(Formula::conj([
+                    Formula::Atom(DenseAtom::lt(Term::Var(w[0].clone()), Term::Var(z.clone()))),
+                    Formula::Atom(DenseAtom::lt(Term::Var(z.clone()), Term::Var(w[1].clone()))),
+                    Formula::rel("R", [Term::Var(z)]).not(),
+                ])),
+            ));
+        }
+        Formula::Exists(vars, Box::new(Formula::conj(parts)))
+    }
+
+    /// A finitely representable model of `{τ_1, …, τ_k}`: the point set `{1, …, k}`.
+    #[must_use]
+    pub fn finite_model(k: usize) -> Relation<DenseOrder> {
+        Relation::from_points(
+            vec![Var::new("x")],
+            (1..=k as i64).map(|i| vec![Rat::from_i64(i)]),
+        )
+    }
+
+    /// The number of maximal pieces any model of `τ_k` must have (at least `k`): the
+    /// quantity that diverges and breaks compactness.
+    #[must_use]
+    pub fn required_pieces(model: &Relation<DenseOrder>) -> usize {
+        decompose_1d(model).len()
+    }
+}
+
+/// The finiteness-forcing sentences of Theorem 3.4.
+pub mod reduction {
+    use super::*;
+
+    /// The sentence `α_i` for a binary relation `R`: between any two distinct values
+    /// of the i-th column projection there is a value outside the projection.  Over a
+    /// dense order, a finitely representable relation satisfying every `α_i` must be
+    /// finite.
+    ///
+    /// `i` is 0-based and must be 0 or 1.
+    #[must_use]
+    pub fn alpha(i: usize) -> Formula<DenseAtom> {
+        assert!(i < 2, "alpha is defined for the columns of a binary relation");
+        let proj = |value: &str| {
+            // φ_i(value) = ∃ other. R(...)
+            let other = Var::new(format!("o_{value}"));
+            let args: Vec<Term> = if i == 0 {
+                vec![Term::var(value), Term::Var(other.clone())]
+            } else {
+                vec![Term::Var(other.clone()), Term::var(value)]
+            };
+            Formula::Exists(vec![other], Box::new(Formula::Rel { name: "R".into(), args }))
+        };
+        // ∀x∀y (φ(x) ∧ φ(y) ∧ x < y → ∃z (x < z < y ∧ ¬φ(z)))
+        Formula::forall(
+            ["x", "y"],
+            Formula::conj([
+                proj("x"),
+                proj("y"),
+                Formula::Atom(DenseAtom::lt(Term::var("x"), Term::var("y"))),
+            ])
+            .implies(Formula::Exists(
+                vec![Var::new("z")],
+                Box::new(Formula::conj([
+                    Formula::Atom(DenseAtom::lt(Term::var("x"), Term::var("z"))),
+                    Formula::Atom(DenseAtom::lt(Term::var("z"), Term::var("y"))),
+                    proj("z").not(),
+                ])),
+            )),
+        )
+    }
+
+    /// The Theorem 3.4 translation: `ψ = φ ∧ α_0 ∧ α_1` has a finitely representable
+    /// model iff `φ` has a finite model (for a schema with one binary relation `R`).
+    #[must_use]
+    pub fn translate(phi: Formula<DenseAtom>) -> Formula<DenseAtom> {
+        Formula::conj([phi, alpha(0), alpha(1)])
+    }
+}
+
+/// The isomorphism-defining sentence `σ_B` of Theorem 3.7 for monadic instances.
+pub mod iso_sentence {
+    use super::*;
+
+    /// Builds `σ_B` for a monadic relation `B`: an existential description of the
+    /// ordered endpoint structure of `B` together with the statement that `R`
+    /// coincides with the corresponding union of points and intervals.  A finitely
+    /// representable monadic instance satisfies `σ_B` iff it is the image of `B` under
+    /// an automorphism of `(Q, ≤)`.
+    #[must_use]
+    pub fn sigma(b: &Relation<DenseOrder>) -> Formula<DenseAtom> {
+        let pieces = decompose_1d(b);
+        // One existential variable per finite endpoint, in increasing order.
+        let mut vars: Vec<Var> = Vec::new();
+        let mut var_of_endpoint = |idx: &mut usize| {
+            let v = Var::new(format!("e{idx}"));
+            *idx += 1;
+            vars.push(v.clone());
+            v
+        };
+        let mut idx = 0usize;
+        let mut membership: Vec<Formula<DenseAtom>> = Vec::new();
+        let x = Var::new("x");
+        let mut piece_formulas: Vec<Formula<DenseAtom>> = Vec::new();
+        for piece in &pieces {
+            match piece {
+                Piece1::Point(_) => {
+                    let v = var_of_endpoint(&mut idx);
+                    piece_formulas.push(Formula::Atom(DenseAtom::eq(
+                        Term::Var(x.clone()),
+                        Term::Var(v),
+                    )));
+                }
+                Piece1::Interval { lo, hi } => {
+                    let mut conj: Vec<Formula<DenseAtom>> = Vec::new();
+                    if let Some((_, closed)) = lo {
+                        let v = var_of_endpoint(&mut idx);
+                        conj.push(Formula::Atom(if *closed {
+                            DenseAtom::le(Term::Var(v), Term::Var(x.clone()))
+                        } else {
+                            DenseAtom::lt(Term::Var(v), Term::Var(x.clone()))
+                        }));
+                    }
+                    if let Some((_, closed)) = hi {
+                        let v = var_of_endpoint(&mut idx);
+                        conj.push(Formula::Atom(if *closed {
+                            DenseAtom::le(Term::Var(x.clone()), Term::Var(v))
+                        } else {
+                            DenseAtom::lt(Term::Var(x.clone()), Term::Var(v))
+                        }));
+                    }
+                    piece_formulas.push(Formula::conj(conj));
+                }
+            }
+        }
+        // The endpoints are strictly increasing.
+        let mut order: Vec<Formula<DenseAtom>> = Vec::new();
+        for w in vars.windows(2) {
+            order.push(Formula::Atom(DenseAtom::lt(
+                Term::Var(w[0].clone()),
+                Term::Var(w[1].clone()),
+            )));
+        }
+        // R is exactly the union of the pieces.
+        membership.push(Formula::Forall(
+            vec![x.clone()],
+            Box::new(
+                Formula::rel("R", [Term::Var(x.clone())]).iff(Formula::disj(piece_formulas)),
+            ),
+        ));
+        let body = Formula::conj(order.into_iter().chain(membership));
+        if vars.is_empty() {
+            body
+        } else {
+            Formula::Exists(vars, Box::new(body))
+        }
+    }
+}
+
+/// Proposition 2.8: monadic representability with equality only.
+pub mod monadic {
+    use super::*;
+
+    /// Classification of a monadic dense-order relation for Proposition 2.8.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub enum MonadicClass {
+        /// A finite set of points.
+        Finite,
+        /// The complement of a finite set of points.
+        CoFinite,
+        /// Neither (it genuinely uses the order, e.g. an interval).
+        Other,
+    }
+
+    /// Classifies a monadic relation: finite, co-finite, or other.  Proposition 2.8
+    /// states that the first two classes are exactly the relations representable with
+    /// equality (and constants) only.
+    #[must_use]
+    pub fn classify(relation: &Relation<DenseOrder>) -> MonadicClass {
+        let pieces = decompose_1d(relation);
+        if pieces.iter().all(Piece1::is_point) {
+            return MonadicClass::Finite;
+        }
+        let co = decompose_1d(&relation.complement());
+        if co.iter().all(Piece1::is_point) {
+            return MonadicClass::CoFinite;
+        }
+        MonadicClass::Other
+    }
+
+    /// Whether the relation is representable in the language with equality and
+    /// constants only (Proposition 2.8: iff finite or co-finite).
+    #[must_use]
+    pub fn equality_representable(relation: &Relation<DenseOrder>) -> bool {
+        classify(relation) != MonadicClass::Other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frdb_core::fo::eval_sentence;
+    use frdb_core::generic::Automorphism;
+    use frdb_core::relation::{GenTuple, Instance};
+    use frdb_core::schema::Schema;
+
+    fn monadic_instance(rel: Relation<DenseOrder>) -> Instance<DenseOrder> {
+        let mut inst = Instance::new(Schema::from_pairs([("R", 1)]));
+        inst.set("R", rel);
+        inst
+    }
+
+    fn binary_instance(rel: Relation<DenseOrder>) -> Instance<DenseOrder> {
+        let mut inst = Instance::new(Schema::from_pairs([("R", 2)]));
+        inst.set("R", rel);
+        inst
+    }
+
+    fn r(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+
+    #[test]
+    fn compactness_witness_each_finite_subset_has_a_model() {
+        // The k-point model satisfies τ_1 … τ_k but not τ_{k+1}, and the number of
+        // pieces a model needs grows with k (Theorem 3.2's divergence).  The range is
+        // kept small because τ_k has 2k−1 nested quantifiers; the benchmark harness
+        // measures the growth on larger k.
+        for k in 1..=3usize {
+            let model = compactness::finite_model(k);
+            let inst = monadic_instance(model.clone());
+            for j in 1..=k {
+                assert!(
+                    eval_sentence(&compactness::tau(j), &inst).unwrap(),
+                    "τ_{j} must hold in the {k}-point model"
+                );
+            }
+            if k <= 2 {
+                assert!(!eval_sentence(&compactness::tau(k + 1), &inst).unwrap());
+            }
+            assert_eq!(compactness::required_pieces(&model), k);
+        }
+    }
+
+    #[test]
+    fn interval_models_fail_isolation() {
+        // An interval satisfies τ_1 but not τ_2: its members are not isolated.
+        let interval = Relation::new(
+            vec![Var::new("x")],
+            vec![GenTuple::new(vec![
+                DenseAtom::le(Term::cst(0), Term::var("x")),
+                DenseAtom::le(Term::var("x"), Term::cst(10)),
+            ])],
+        );
+        let inst = monadic_instance(interval);
+        assert!(eval_sentence(&compactness::tau(1), &inst).unwrap());
+        assert!(!eval_sentence(&compactness::tau(2), &inst).unwrap());
+    }
+
+    #[test]
+    fn theorem_3_4_alpha_accepts_finite_and_rejects_infinite_relations() {
+        let finite = Relation::from_points(
+            vec![Var::new("x"), Var::new("y")],
+            vec![vec![r(1), r(2)], vec![r(3), r(4)]],
+        );
+        let inst = binary_instance(finite);
+        assert!(eval_sentence(&reduction::alpha(0), &inst).unwrap());
+        assert!(eval_sentence(&reduction::alpha(1), &inst).unwrap());
+        // An infinite relation (a segment) violates α_0: its first projection is an
+        // interval with no isolation.
+        let segment = Relation::new(
+            vec![Var::new("x"), Var::new("y")],
+            vec![GenTuple::new(vec![
+                DenseAtom::le(Term::cst(0), Term::var("x")),
+                DenseAtom::le(Term::var("x"), Term::cst(1)),
+                DenseAtom::eq(Term::var("y"), Term::cst(0)),
+            ])],
+        );
+        let inst2 = binary_instance(segment);
+        assert!(!eval_sentence(&reduction::alpha(0), &inst2).unwrap());
+    }
+
+    #[test]
+    fn theorem_3_4_translation_tracks_finite_satisfiability() {
+        // φ = "R is non-empty": ψ = translate(φ) holds on a finite instance and fails
+        // on an instance whose relation is forced infinite.
+        let phi: Formula<DenseAtom> = Formula::exists(
+            ["x", "y"],
+            Formula::rel("R", [Term::var("x"), Term::var("y")]),
+        );
+        let psi = reduction::translate(phi);
+        let finite = binary_instance(Relation::from_points(
+            vec![Var::new("x"), Var::new("y")],
+            vec![vec![r(0), r(1)]],
+        ));
+        assert!(eval_sentence(&psi, &finite).unwrap());
+        let infinite = binary_instance(Relation::new(
+            vec![Var::new("x"), Var::new("y")],
+            vec![GenTuple::new(vec![
+                DenseAtom::le(Term::cst(0), Term::var("x")),
+                DenseAtom::le(Term::var("x"), Term::cst(1)),
+                DenseAtom::eq(Term::var("y"), Term::cst(7)),
+            ])],
+        ));
+        assert!(!eval_sentence(&psi, &infinite).unwrap());
+    }
+
+    #[test]
+    fn sigma_b_characterizes_isomorphic_instances() {
+        // B = [0, 1] ∪ {5}.
+        let b = Relation::new(
+            vec![Var::new("x")],
+            vec![GenTuple::new(vec![
+                DenseAtom::le(Term::cst(0), Term::var("x")),
+                DenseAtom::le(Term::var("x"), Term::cst(1)),
+            ])],
+        )
+        .union(&Relation::from_points(vec![Var::new("x")], vec![vec![r(5)]]));
+        let sigma = iso_sentence::sigma(&b);
+        // B itself is a model.
+        assert!(eval_sentence(&sigma, &monadic_instance(b.clone())).unwrap());
+        // An automorphic image is a model (Theorem 3.7, "if" direction).
+        let mu = Automorphism::example_4_5();
+        let image = mu.apply_relation(&b);
+        assert!(eval_sentence(&sigma, &monadic_instance(image)).unwrap());
+        // Non-isomorphic instances are not models.
+        let missing_point = Relation::new(
+            vec![Var::new("x")],
+            vec![GenTuple::new(vec![
+                DenseAtom::le(Term::cst(0), Term::var("x")),
+                DenseAtom::le(Term::var("x"), Term::cst(1)),
+            ])],
+        );
+        assert!(!eval_sentence(&sigma, &monadic_instance(missing_point)).unwrap());
+        let two_points = Relation::from_points(
+            vec![Var::new("x")],
+            vec![vec![r(0)], vec![r(5)]],
+        );
+        assert!(!eval_sentence(&sigma, &monadic_instance(two_points)).unwrap());
+    }
+
+    #[test]
+    fn proposition_2_8_classification() {
+        use monadic::MonadicClass;
+        let finite = Relation::from_points(vec![Var::new("x")], vec![vec![r(1)], vec![r(2)]]);
+        assert_eq!(monadic::classify(&finite), MonadicClass::Finite);
+        assert!(monadic::equality_representable(&finite));
+        // Q \ {0} is co-finite (the Section 2.2 example ¬(x = 0)).
+        let cofinite = Relation::from_points(vec![Var::new("x")], vec![vec![r(0)]]).complement();
+        assert_eq!(monadic::classify(&cofinite), MonadicClass::CoFinite);
+        assert!(monadic::equality_representable(&cofinite));
+        // An interval is neither.
+        let interval = Relation::new(
+            vec![Var::new("x")],
+            vec![GenTuple::new(vec![
+                DenseAtom::le(Term::cst(0), Term::var("x")),
+                DenseAtom::le(Term::var("x"), Term::cst(1)),
+            ])],
+        );
+        assert_eq!(monadic::classify(&interval), MonadicClass::Other);
+        assert!(!monadic::equality_representable(&interval));
+        // The empty set and the full line are degenerate members of the two classes.
+        assert_eq!(
+            monadic::classify(&Relation::empty(vec![Var::new("x")])),
+            MonadicClass::Finite
+        );
+        assert_eq!(
+            monadic::classify(&Relation::universal(vec![Var::new("x")])),
+            MonadicClass::CoFinite
+        );
+    }
+}

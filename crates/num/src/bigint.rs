@@ -1,0 +1,637 @@
+//! Arbitrary-precision signed integers.
+//!
+//! Representation: a [`Sign`] plus a little-endian vector of `u64` limbs with no
+//! high-order zero limbs.  Zero is represented by an empty limb vector and
+//! [`Sign::Zero`], which makes structural equality coincide with numeric equality and
+//! lets `#[derive(Hash)]`-style manual hashing stay trivial.
+
+use crate::Sign;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An arbitrary-precision signed integer.
+#[derive(Clone, Eq, PartialEq)]
+pub struct BigInt {
+    sign: Sign,
+    /// Little-endian limbs; empty iff the value is zero; no trailing (high) zero limbs.
+    mag: Vec<u64>,
+}
+
+impl BigInt {
+    /// The value `0`.
+    #[must_use]
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, mag: Vec::new() }
+    }
+
+    /// The value `1`.
+    #[must_use]
+    pub fn one() -> Self {
+        BigInt::from(1i64)
+    }
+
+    /// Returns `true` iff the value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` iff the value is strictly positive.
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// The sign of the value.
+    #[must_use]
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(&self) -> BigInt {
+        BigInt {
+            sign: if self.sign == Sign::Zero { Sign::Zero } else { Sign::Positive },
+            mag: self.mag.clone(),
+        }
+    }
+
+    /// Construct from a sign and raw little-endian magnitude, normalizing.
+    fn from_sign_mag(sign: Sign, mut mag: Vec<u64>) -> BigInt {
+        while mag.last() == Some(&0) {
+            mag.pop();
+        }
+        if mag.is_empty() {
+            BigInt::zero()
+        } else {
+            debug_assert!(sign != Sign::Zero);
+            BigInt { sign, mag }
+        }
+    }
+
+    /// Number of significant bits in the magnitude (0 for zero).
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        match self.mag.last() {
+            None => 0,
+            Some(&top) => {
+                (self.mag.len() as u64 - 1) * 64 + (64 - u64::from(top.leading_zeros()))
+            }
+        }
+    }
+
+    /// Converts to `i64` if it fits.
+    #[must_use]
+    pub fn to_i64(&self) -> Option<i64> {
+        match self.mag.len() {
+            0 => Some(0),
+            1 => {
+                let m = self.mag[0];
+                match self.sign {
+                    Sign::Positive if m <= i64::MAX as u64 => Some(m as i64),
+                    Sign::Negative if m <= i64::MAX as u64 + 1 => Some((m as i128 * -1) as i64),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Approximate conversion to `f64` (for reporting only; never used in decisions).
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &limb in self.mag.iter().rev() {
+            acc = acc * 1.8446744073709552e19 + limb as f64;
+        }
+        match self.sign {
+            Sign::Negative => -acc,
+            _ => acc,
+        }
+    }
+
+    // ---- magnitude helpers -------------------------------------------------
+
+    fn cmp_mag(a: &[u64], b: &[u64]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for i in (0..a.len()).rev() {
+            match a[i].cmp(&b[i]) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let x = long[i] as u128;
+            let y = if i < short.len() { short[i] as u128 } else { 0 };
+            let s = x + y + carry as u128;
+            out.push(s as u64);
+            carry = (s >> 64) as u64;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        out
+    }
+
+    /// Requires `a >= b` as magnitudes.
+    fn sub_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0i128;
+        for i in 0..a.len() {
+            let x = a[i] as i128;
+            let y = if i < b.len() { b[i] as i128 } else { 0 };
+            let mut d = x - y - borrow;
+            if d < 0 {
+                d += 1i128 << 64;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(d as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    fn mul_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &bj) in b.iter().enumerate() {
+                let cur = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Binary long division on magnitudes: returns `(quotient, remainder)`.
+    ///
+    /// Panics if `b` is zero.
+    fn divmod_mag(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+        assert!(!b.is_empty(), "division by zero");
+        if Self::cmp_mag(a, b) == Ordering::Less {
+            return (Vec::new(), a.to_vec());
+        }
+        let total_bits = a.len() * 64;
+        let mut quotient = vec![0u64; a.len()];
+        let mut rem: Vec<u64> = Vec::new();
+        for bit in (0..total_bits).rev() {
+            // rem = rem << 1 | bit(a, bit)
+            shl1(&mut rem);
+            let abit = (a[bit / 64] >> (bit % 64)) & 1;
+            if abit == 1 {
+                if rem.is_empty() {
+                    rem.push(1);
+                } else {
+                    rem[0] |= 1;
+                }
+            }
+            if Self::cmp_mag(&rem, b) != Ordering::Less {
+                rem = Self::sub_mag(&rem, b);
+                quotient[bit / 64] |= 1 << (bit % 64);
+            }
+        }
+        while quotient.last() == Some(&0) {
+            quotient.pop();
+        }
+        (quotient, rem)
+    }
+
+    /// Truncated division with remainder: `self = q * other + r`, with `|r| < |other|`
+    /// and `r` having the sign of `self` (or zero).
+    ///
+    /// Panics if `other` is zero.
+    #[must_use]
+    pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "division by zero");
+        let (qm, rm) = Self::divmod_mag(&self.mag, &other.mag);
+        let qsign = self.sign.mul(other.sign);
+        let q = BigInt::from_sign_mag(if qm.is_empty() { Sign::Zero } else { qsign }, qm);
+        let r = BigInt::from_sign_mag(if rm.is_empty() { Sign::Zero } else { self.sign }, rm);
+        (q, r)
+    }
+
+    /// Greatest common divisor (always non-negative).
+    #[must_use]
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let r = a.div_rem(&b).1.abs();
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Raises to a non-negative integer power (square-and-multiply).
+    #[must_use]
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            base = &base * &base;
+            exp >>= 1;
+        }
+        acc
+    }
+}
+
+/// Shift a little-endian magnitude left by one bit, in place.
+fn shl1(mag: &mut Vec<u64>) {
+    let mut carry = 0u64;
+    for limb in mag.iter_mut() {
+        let new_carry = *limb >> 63;
+        *limb = (*limb << 1) | carry;
+        carry = new_carry;
+    }
+    if carry != 0 {
+        mag.push(carry);
+    }
+}
+
+// ---- conversions -----------------------------------------------------------
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        BigInt::from(v as i128)
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigInt::zero()
+        } else {
+            BigInt { sign: Sign::Positive, mag: vec![v] }
+        }
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_sign_mag(
+                Sign::Positive,
+                vec![(v as u128) as u64, ((v as u128) >> 64) as u64],
+            ),
+            Ordering::Less => {
+                let m = (v as i128).unsigned_abs();
+                BigInt::from_sign_mag(Sign::Negative, vec![m as u64, (m >> 64) as u64])
+            }
+        }
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(v: i32) -> Self {
+        BigInt::from(i64::from(v))
+    }
+}
+
+// ---- comparison ------------------------------------------------------------
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (a, b) if a != b => a.cmp(&b),
+            (Sign::Zero, Sign::Zero) => Ordering::Equal,
+            (Sign::Positive, Sign::Positive) => Self::cmp_mag(&self.mag, &other.mag),
+            (Sign::Negative, Sign::Negative) => Self::cmp_mag(&other.mag, &self.mag),
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Hash for BigInt {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.sign.hash(state);
+        self.mag.hash(state);
+    }
+}
+
+// ---- arithmetic ------------------------------------------------------------
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt { sign: self.sign.neg(), mag: self.mag.clone() }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = self.sign.neg();
+        self
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_sign_mag(a, BigInt::add_mag(&self.mag, &rhs.mag)),
+            (a, _) => match BigInt::cmp_mag(&self.mag, &rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_sign_mag(a, BigInt::sub_mag(&self.mag, &rhs.mag))
+                }
+                Ordering::Less => {
+                    BigInt::from_sign_mag(rhs.sign, BigInt::sub_mag(&rhs.mag, &self.mag))
+                }
+            },
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let sign = self.sign.mul(rhs.sign);
+        if sign == Sign::Zero {
+            BigInt::zero()
+        } else {
+            BigInt::from_sign_mag(sign, BigInt::mul_mag(&self.mag, &rhs.mag))
+        }
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).1
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add);
+forward_binop!(Sub, sub);
+forward_binop!(Mul, mul);
+forward_binop!(Div, div);
+forward_binop!(Rem, rem);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        *self = &*self * rhs;
+    }
+}
+
+// ---- formatting & parsing ---------------------------------------------------
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeatedly divide by 10^19 (the largest power of ten below 2^64).
+        let chunk = BigInt::from(10_000_000_000_000_000_000u64);
+        let mut n = self.abs();
+        let mut parts: Vec<u64> = Vec::new();
+        while !n.is_zero() {
+            let (q, r) = n.div_rem(&chunk);
+            parts.push(r.to_i64().map(|v| v as u64).unwrap_or_else(|| r.mag.first().copied().unwrap_or(0)));
+            n = q;
+        }
+        if self.is_negative() {
+            write!(f, "-")?;
+        }
+        let mut iter = parts.iter().rev();
+        if let Some(first) = iter.next() {
+            write!(f, "{first}")?;
+        }
+        for part in iter {
+            write!(f, "{part:019}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+/// Error returned when parsing a [`BigInt`] or [`crate::Rat`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNumError {
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "number parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseNumError {}
+
+impl FromStr for BigInt {
+    type Err = ParseNumError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseNumError { message: format!("invalid integer literal {s:?}") });
+        }
+        let ten = BigInt::from(10i64);
+        let mut acc = BigInt::zero();
+        for b in digits.bytes() {
+            acc = &acc * &ten + BigInt::from(i64::from(b - b'0'));
+        }
+        if neg {
+            acc = -acc;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn small_arithmetic_matches_i64() {
+        for &x in &[-7i64, -1, 0, 1, 3, 42, 1_000_000_007] {
+            for &y in &[-13i64, -2, 0, 1, 5, 99, 123_456_789] {
+                assert_eq!((b(x) + b(y)).to_i64(), Some(x + y), "{x}+{y}");
+                assert_eq!((b(x) - b(y)).to_i64(), Some(x - y), "{x}-{y}");
+                assert_eq!((b(x) * b(y)).to_i64(), Some(x * y), "{x}*{y}");
+                if y != 0 {
+                    assert_eq!((b(x) / b(y)).to_i64(), Some(x / y), "{x}/{y}");
+                    assert_eq!((b(x) % b(y)).to_i64(), Some(x % y), "{x}%{y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_matches_i64() {
+        let vals = [-1_000_000i64, -3, -1, 0, 1, 2, 7, 1_000_000_000];
+        for &x in &vals {
+            for &y in &vals {
+                assert_eq!(b(x).cmp(&b(y)), x.cmp(&y));
+            }
+        }
+    }
+
+    #[test]
+    fn large_multiplication_and_division_roundtrip() {
+        let a: BigInt = "123456789012345678901234567890123456789".parse().unwrap();
+        let c: BigInt = "98765432109876543210987654321".parse().unwrap();
+        let prod = &a * &c;
+        let (q, r) = prod.div_rem(&c);
+        assert_eq!(q, a);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for s in ["0", "-1", "42", "18446744073709551616", "-340282366920938463463374607431768211456"] {
+            let n: BigInt = s.parse().unwrap();
+            assert_eq!(n.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(b(12).gcd(&b(18)), b(6));
+        assert_eq!(b(-12).gcd(&b(18)), b(6));
+        assert_eq!(b(0).gcd(&b(5)), b(5));
+        assert_eq!(b(7).gcd(&b(0)), b(7));
+        assert_eq!(b(0).gcd(&b(0)), b(0));
+    }
+
+    #[test]
+    fn pow_matches_reference() {
+        assert_eq!(b(2).pow(10), b(1024));
+        assert_eq!(b(10).pow(0), b(1));
+        assert_eq!(b(-3).pow(3), b(-27));
+        assert_eq!(b(10).pow(25).to_string(), "10000000000000000000000000");
+    }
+
+    #[test]
+    fn bits_counts_significant_bits() {
+        assert_eq!(b(0).bits(), 0);
+        assert_eq!(b(1).bits(), 1);
+        assert_eq!(b(255).bits(), 8);
+        assert_eq!(BigInt::from(1i128 << 70).bits(), 71);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = b(1).div_rem(&b(0));
+    }
+}

@@ -1,0 +1,73 @@
+//! # frdb-num
+//!
+//! Exact arithmetic substrate for the `frdb` constraint-database engine.
+//!
+//! Finitely representable databases (Grumbach & Su) interpret constants over the
+//! ordered rationals `(Q, ≤)` or the ordered real field.  Every engine in the
+//! workspace therefore needs *exact* rational arithmetic: dense-order reasoning only
+//! compares constants, but Fourier–Motzkin elimination (linear constraints) and Sturm
+//! sequences (polynomial constraints) multiply and add them with unbounded coefficient
+//! growth.  This crate provides:
+//!
+//! * [`BigInt`] — arbitrary-precision signed integers (sign + little-endian `u64`
+//!   limbs), with schoolbook multiplication and binary long division.  No `unsafe`,
+//!   no external dependencies.
+//! * [`Rat`] — exact rationals, always kept in lowest terms with a positive
+//!   denominator, so that structural equality, ordering and hashing agree with
+//!   numeric equality.
+//!
+//! The types are deliberately simple rather than maximally fast: database instances in
+//! the paper's setting have a few hundred constraints, and constants stay small except
+//! inside quantifier elimination, where correctness matters far more than speed.
+//!
+//! ```
+//! use frdb_num::{BigInt, Rat};
+//!
+//! let a = Rat::from_pair(355, 113);
+//! let b = Rat::from_i64(3);
+//! assert!(b < a);
+//! assert_eq!((a.clone() - b).to_string(), "16/113");
+//! assert_eq!(BigInt::from(10).pow(20).to_string(), "100000000000000000000");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bigint;
+mod rat;
+
+pub use bigint::BigInt;
+pub use rat::Rat;
+
+/// Sign of a [`BigInt`] or [`Rat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+impl Sign {
+    /// The sign obtained by multiplying two signed quantities.
+    #[must_use]
+    pub fn mul(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (Sign::Positive, Sign::Positive) | (Sign::Negative, Sign::Negative) => Sign::Positive,
+            _ => Sign::Negative,
+        }
+    }
+
+    /// The opposite sign.
+    #[must_use]
+    pub fn neg(self) -> Sign {
+        match self {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! Exact rational numbers.
+//!
+//! A [`Rat`] is always stored in lowest terms with a strictly positive denominator,
+//! so structural equality, ordering and hashing agree with numeric equality.  Rationals
+//! are the constants of the paper's languages `L≤` and `L×`: every constraint atom in
+//! the engine carries them.
+
+use crate::bigint::ParseNumError;
+use crate::{BigInt, Sign};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+use std::str::FromStr;
+
+/// An exact rational number `num / den`, normalized (`gcd(num, den) = 1`, `den > 0`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rat {
+    /// The value `0`.
+    #[must_use]
+    pub fn zero() -> Self {
+        Rat { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The value `1`.
+    #[must_use]
+    pub fn one() -> Self {
+        Rat { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Constructs a rational from numerator and denominator.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn new(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let (num, den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        if num.is_zero() {
+            return Rat::zero();
+        }
+        let g = num.gcd(&den);
+        Rat { num: &num / &g, den: &den / &g }
+    }
+
+    /// Constructs a rational from an integer.
+    #[must_use]
+    pub fn from_i64(v: i64) -> Self {
+        Rat { num: BigInt::from(v), den: BigInt::one() }
+    }
+
+    /// Constructs a rational `num / den` from machine integers.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn from_pair(num: i64, den: i64) -> Self {
+        Rat::new(BigInt::from(num), BigInt::from(den))
+    }
+
+    /// The numerator (sign-carrying).
+    #[must_use]
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// The denominator (always strictly positive).
+    #[must_use]
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Returns `true` iff the value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` iff the value is an integer.
+    #[must_use]
+    pub fn is_integer(&self) -> bool {
+        self.den == BigInt::one()
+    }
+
+    /// The sign of the value.
+    #[must_use]
+    pub fn sign(&self) -> Sign {
+        self.num.sign()
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(&self) -> Rat {
+        Rat { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    #[must_use]
+    pub fn recip(&self) -> Rat {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rat::new(self.den.clone(), self.num.clone())
+    }
+
+    /// The midpoint `(self + other) / 2`.  Density of `Q` made executable: the engine
+    /// uses this to pick witnesses strictly between two rationals.
+    #[must_use]
+    pub fn midpoint(&self, other: &Rat) -> Rat {
+        (self + other) * Rat::from_pair(1, 2)
+    }
+
+    /// Floor as an integer.
+    #[must_use]
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if self.num.is_negative() && !r.is_zero() {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Ceiling as an integer.
+    #[must_use]
+    pub fn ceil(&self) -> BigInt {
+        -(&(-self.clone())).floor()
+    }
+
+    /// Approximate conversion to `f64` (for reporting only).
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / self.den.to_f64()
+    }
+
+    /// Raises to an integer power (negative powers invert; `0^0 = 1`).
+    ///
+    /// # Panics
+    /// Panics when raising zero to a negative power.
+    #[must_use]
+    pub fn pow(&self, exp: i32) -> Rat {
+        if exp >= 0 {
+            Rat { num: self.num.pow(exp as u32), den: self.den.pow(exp as u32) }
+        } else {
+            self.recip().pow(-exp)
+        }
+    }
+
+    /// The smaller of two rationals.
+    #[must_use]
+    pub fn min(self, other: Rat) -> Rat {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two rationals.
+    #[must_use]
+    pub fn max(self, other: Rat) -> Rat {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::zero()
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Self {
+        Rat::from_i64(v)
+    }
+}
+
+impl From<i32> for Rat {
+    fn from(v: i32) -> Self {
+        Rat::from_i64(i64::from(v))
+    }
+}
+
+impl From<BigInt> for Rat {
+    fn from(v: BigInt) -> Self {
+        Rat { num: v, den: BigInt::one() }
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Denominators are positive, so cross-multiplication preserves order.
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl Neg for &Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -(&self.num), den: self.den.clone() }
+    }
+}
+
+impl Add for &Rat {
+    type Output = Rat;
+    fn add(self, rhs: &Rat) -> Rat {
+        Rat::new(&self.num * &rhs.den + &rhs.num * &self.den, &self.den * &rhs.den)
+    }
+}
+
+impl Sub for &Rat {
+    type Output = Rat;
+    fn sub(self, rhs: &Rat) -> Rat {
+        Rat::new(&self.num * &rhs.den - &rhs.num * &self.den, &self.den * &rhs.den)
+    }
+}
+
+impl Mul for &Rat {
+    type Output = Rat;
+    fn mul(self, rhs: &Rat) -> Rat {
+        Rat::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div for &Rat {
+    type Output = Rat;
+    fn div(self, rhs: &Rat) -> Rat {
+        assert!(!rhs.is_zero(), "division by zero rational");
+        Rat::new(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+macro_rules! forward_rat_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: &Rat) -> Rat {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Rat> for &Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_rat_binop!(Add, add);
+forward_rat_binop!(Sub, sub);
+forward_rat_binop!(Mul, mul);
+forward_rat_binop!(Div, div);
+
+impl AddAssign<&Rat> for Rat {
+    fn add_assign(&mut self, rhs: &Rat) {
+        *self = &*self + rhs;
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rat({self})")
+    }
+}
+
+impl FromStr for Rat {
+    type Err = ParseNumError;
+
+    /// Parses `"p"`, `"p/q"` or a decimal literal such as `"2.75"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if let Some((n, d)) = s.split_once('/') {
+            let num: BigInt = n.parse()?;
+            let den: BigInt = d.parse()?;
+            if den.is_zero() {
+                return Err(ParseNumError { message: format!("zero denominator in {s:?}") });
+            }
+            return Ok(Rat::new(num, den));
+        }
+        if let Some((int_part, frac_part)) = s.split_once('.') {
+            if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseNumError { message: format!("invalid decimal literal {s:?}") });
+            }
+            let negative = int_part.trim_start().starts_with('-');
+            let int: BigInt = if int_part.is_empty() || int_part == "-" || int_part == "+" {
+                BigInt::zero()
+            } else {
+                int_part.parse()?
+            };
+            let frac: BigInt = frac_part.parse()?;
+            let scale = BigInt::from(10i64).pow(frac_part.len() as u32);
+            let mag = &int.abs() * &scale + frac;
+            let num = if negative { -mag } else { mag };
+            return Ok(Rat::new(num, scale));
+        }
+        Ok(Rat::from(s.parse::<BigInt>()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rat {
+        Rat::from_pair(n, d)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 5), Rat::zero());
+        assert_eq!(r(6, 3), Rat::from_i64(2));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(2, 3) / r(4, 3), r(1, 2));
+        assert_eq!(-r(1, 2), r(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 1) > r(13, 2));
+        assert_eq!(r(3, 9), r(1, 3));
+    }
+
+    #[test]
+    fn midpoint_is_strictly_between() {
+        let a = r(1, 3);
+        let b = r(1, 2);
+        let m = a.midpoint(&b);
+        assert!(a < m && m < b);
+        assert_eq!(m, r(5, 12));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(7, 2).floor(), BigInt::from(3i64));
+        assert_eq!(r(7, 2).ceil(), BigInt::from(4i64));
+        assert_eq!(r(-7, 2).floor(), BigInt::from(-4i64));
+        assert_eq!(r(-7, 2).ceil(), BigInt::from(-3i64));
+        assert_eq!(r(4, 1).floor(), BigInt::from(4i64));
+        assert_eq!(r(4, 1).ceil(), BigInt::from(4i64));
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!("3".parse::<Rat>().unwrap(), Rat::from_i64(3));
+        assert_eq!("-3/6".parse::<Rat>().unwrap(), r(-1, 2));
+        assert_eq!("2.75".parse::<Rat>().unwrap(), r(11, 4));
+        assert_eq!("-0.5".parse::<Rat>().unwrap(), r(-1, 2));
+        assert!("1/0".parse::<Rat>().is_err());
+        assert!("abc".parse::<Rat>().is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r(1, 2).to_string(), "1/2");
+        assert_eq!(r(-4, 2).to_string(), "-2");
+        assert_eq!(Rat::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn pow_and_recip() {
+        assert_eq!(r(2, 3).pow(2), r(4, 9));
+        assert_eq!(r(2, 3).pow(-1), r(3, 2));
+        assert_eq!(r(2, 3).pow(0), Rat::one());
+        assert_eq!(r(5, 7).recip(), r(7, 5));
+    }
+}

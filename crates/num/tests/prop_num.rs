@@ -1,0 +1,124 @@
+//! Property-based tests for the arithmetic substrate.
+//!
+//! `BigInt` and `Rat` arithmetic is checked against `i128` reference arithmetic on
+//! values small enough not to overflow it, and against algebraic laws (commutativity,
+//! associativity, distributivity, field axioms for `Rat`) on arbitrarily large values
+//! built by multiplying random factors.
+
+use frdb_num::{BigInt, Rat};
+use proptest::prelude::*;
+
+fn bigint_strategy() -> impl Strategy<Value = BigInt> {
+    // Mix of small values and large products that exceed 64 bits.
+    prop_oneof![
+        any::<i64>().prop_map(BigInt::from),
+        (any::<i64>(), any::<i64>(), any::<i64>()).prop_map(|(a, b, c)| {
+            BigInt::from(a) * BigInt::from(b) + BigInt::from(c)
+        }),
+    ]
+}
+
+fn rat_strategy() -> impl Strategy<Value = Rat> {
+    (any::<i32>(), 1i32..=10_000).prop_map(|(n, d)| Rat::from_pair(i64::from(n), i64::from(d)))
+}
+
+proptest! {
+    #[test]
+    fn bigint_add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let sum = BigInt::from(a) + BigInt::from(b);
+        prop_assert_eq!(sum, BigInt::from(i128::from(a) + i128::from(b)));
+    }
+
+    #[test]
+    fn bigint_mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let prod = BigInt::from(a) * BigInt::from(b);
+        prop_assert_eq!(prod, BigInt::from(i128::from(a) * i128::from(b)));
+    }
+
+    #[test]
+    fn bigint_cmp_matches_i64(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(BigInt::from(a).cmp(&BigInt::from(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn bigint_div_rem_invariant(a in bigint_strategy(), b in bigint_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&q * &b + &r, a.clone());
+        prop_assert!(r.abs() < b.abs());
+    }
+
+    #[test]
+    fn bigint_add_commutative_associative(a in bigint_strategy(), b in bigint_strategy(), c in bigint_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn bigint_mul_distributes(a in bigint_strategy(), b in bigint_strategy(), c in bigint_strategy()) {
+        prop_assert_eq!(&a * &(&b + &c), &a * &b + &a * &c);
+    }
+
+    #[test]
+    fn bigint_display_parse_roundtrip(a in bigint_strategy()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<BigInt>().unwrap(), a);
+    }
+
+    #[test]
+    fn bigint_gcd_divides_both(a in bigint_strategy(), b in bigint_strategy()) {
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!(a.div_rem(&g).1.is_zero());
+            prop_assert!(b.div_rem(&g).1.is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn rat_field_axioms(a in rat_strategy(), b in rat_strategy(), c in rat_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &a * &b + &a * &c);
+        prop_assert_eq!(&a + &Rat::zero(), a.clone());
+        prop_assert_eq!(&a * &Rat::one(), a.clone());
+        prop_assert_eq!(&a - &a, Rat::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(&a * &a.recip(), Rat::one());
+        }
+    }
+
+    #[test]
+    fn rat_ordering_total_and_consistent(a in rat_strategy(), b in rat_strategy()) {
+        let diff = &a - &b;
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(diff.sign() == frdb_num::Sign::Negative),
+            std::cmp::Ordering::Equal => prop_assert!(diff.is_zero()),
+            std::cmp::Ordering::Greater => prop_assert!(diff.sign() == frdb_num::Sign::Positive),
+        }
+    }
+
+    #[test]
+    fn rat_midpoint_between(a in rat_strategy(), b in rat_strategy()) {
+        prop_assume!(a != b);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let m = lo.midpoint(&hi);
+        prop_assert!(lo < m && m < hi);
+    }
+
+    #[test]
+    fn rat_display_parse_roundtrip(a in rat_strategy()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Rat>().unwrap(), a);
+    }
+
+    #[test]
+    fn rat_floor_ceil_bracket(a in rat_strategy()) {
+        let f = Rat::from(a.floor());
+        let c = Rat::from(a.ceil());
+        prop_assert!(f <= a && a <= c);
+        prop_assert!(&c - &f <= Rat::one());
+    }
+}

@@ -1,0 +1,33 @@
+//! # frdb-poly
+//!
+//! Exact univariate polynomial constraints over the reals with rational coefficients —
+//! the fragment of the real-field context `R = (R, ≤, +, ×)` that the paper actually
+//! exercises:
+//!
+//! * **Proposition 2.9**: every `L×`-representable monadic relation over `R` is a
+//!   finite union of intervals.  [`decompose`] computes that decomposition exactly,
+//!   with algebraic endpoints represented by isolating intervals.
+//! * **o-minimality** (Section 3): the definable monadic sets are finite unions of
+//!   intervals — the hypothesis under which compactness fails and satisfiability is
+//!   undecidable.  The decomposition gives an executable witness (a bound on the
+//!   number of pieces in terms of the degrees involved).
+//! * **Section 7**: the relative cost of polynomial constraints versus order and
+//!   linear constraints, measured by the benchmark harness.
+//!
+//! Multivariate real quantifier elimination (Tarski / cylindrical algebraic
+//! decomposition) is out of scope; `DESIGN.md` documents the substitution.
+//!
+//! The machinery is classical: polynomial arithmetic over `Rat`, Sturm sequences for
+//! exact root counting, bisection-based root isolation, and sign evaluation on sample
+//! points between isolated roots.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod poly;
+mod roots;
+mod sets;
+
+pub use poly::Poly;
+pub use roots::{isolate_roots, sturm_sequence, AlgebraicNumber, RootInterval};
+pub use sets::{decompose, membership, piece_count, PolyConstraint, RealEndpoint, RealPiece, SignOp};

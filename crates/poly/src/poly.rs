@@ -1,0 +1,321 @@
+//! Univariate polynomials with exact rational coefficients.
+
+use frdb_num::{Rat, Sign};
+use std::fmt;
+
+/// A univariate polynomial `Σ cᵢ·xⁱ` with rational coefficients, stored in ascending
+/// degree order with no trailing zero coefficients.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Poly {
+    coeffs: Vec<Rat>,
+}
+
+impl Poly {
+    /// Builds a polynomial from coefficients in ascending degree order.
+    #[must_use]
+    pub fn new(mut coeffs: Vec<Rat>) -> Self {
+        while coeffs.last().map(Rat::is_zero) == Some(true) {
+            coeffs.pop();
+        }
+        Poly { coeffs }
+    }
+
+    /// Builds a polynomial from integer coefficients in ascending degree order.
+    #[must_use]
+    pub fn from_i64(coeffs: &[i64]) -> Self {
+        Poly::new(coeffs.iter().map(|&c| Rat::from_i64(c)).collect())
+    }
+
+    /// The zero polynomial.
+    #[must_use]
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    #[must_use]
+    pub fn constant(c: Rat) -> Self {
+        Poly::new(vec![c])
+    }
+
+    /// The monomial `x`.
+    #[must_use]
+    pub fn x() -> Self {
+        Poly::from_i64(&[0, 1])
+    }
+
+    /// Whether this is the zero polynomial.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The degree, or `None` for the zero polynomial.
+    #[must_use]
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// The coefficients in ascending degree order.
+    #[must_use]
+    pub fn coeffs(&self) -> &[Rat] {
+        &self.coeffs
+    }
+
+    /// The leading coefficient (`None` for the zero polynomial).
+    #[must_use]
+    pub fn leading(&self) -> Option<&Rat> {
+        self.coeffs.last()
+    }
+
+    /// Evaluates the polynomial at a rational point (Horner's scheme).
+    #[must_use]
+    pub fn eval(&self, x: &Rat) -> Rat {
+        let mut acc = Rat::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = &(&acc * x) + c;
+        }
+        acc
+    }
+
+    /// The sign of the polynomial at a rational point.
+    #[must_use]
+    pub fn sign_at(&self, x: &Rat) -> Sign {
+        self.eval(x).sign()
+    }
+
+    /// The formal derivative.
+    #[must_use]
+    pub fn derivative(&self) -> Poly {
+        if self.coeffs.len() <= 1 {
+            return Poly::zero();
+        }
+        Poly::new(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(i, c)| c * &Rat::from_i64(i as i64))
+                .collect(),
+        )
+    }
+
+    /// Polynomial addition.
+    #[must_use]
+    pub fn add(&self, other: &Poly) -> Poly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = self.coeffs.get(i).cloned().unwrap_or_else(Rat::zero);
+            let b = other.coeffs.get(i).cloned().unwrap_or_else(Rat::zero);
+            out.push(&a + &b);
+        }
+        Poly::new(out)
+    }
+
+    /// Polynomial subtraction.
+    #[must_use]
+    pub fn sub(&self, other: &Poly) -> Poly {
+        self.add(&other.neg())
+    }
+
+    /// Negation.
+    #[must_use]
+    pub fn neg(&self) -> Poly {
+        Poly { coeffs: self.coeffs.iter().map(|c| -c).collect() }
+    }
+
+    /// Multiplication by a rational scalar.
+    #[must_use]
+    pub fn scale(&self, k: &Rat) -> Poly {
+        if k.is_zero() {
+            return Poly::zero();
+        }
+        Poly { coeffs: self.coeffs.iter().map(|c| c * k).collect() }
+    }
+
+    /// Polynomial multiplication.
+    #[must_use]
+    pub fn mul(&self, other: &Poly) -> Poly {
+        if self.is_zero() || other.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![Rat::zero(); self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            for (j, b) in other.coeffs.iter().enumerate() {
+                out[i + j] = &out[i + j] + &(a * b);
+            }
+        }
+        Poly::new(out)
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)` with
+    /// `self = quotient·divisor + remainder` and `deg(remainder) < deg(divisor)`.
+    ///
+    /// # Panics
+    /// Panics if the divisor is the zero polynomial.
+    #[must_use]
+    pub fn div_rem(&self, divisor: &Poly) -> (Poly, Poly) {
+        assert!(!divisor.is_zero(), "polynomial division by zero");
+        let mut rem = self.clone();
+        let mut quot = vec![Rat::zero(); self.coeffs.len().saturating_sub(divisor.coeffs.len() - 1)];
+        let dlead = divisor.leading().expect("non-zero divisor").clone();
+        let ddeg = divisor.degree().expect("non-zero divisor");
+        while !rem.is_zero() && rem.degree().unwrap_or(0) >= ddeg && rem.degree().is_some() {
+            let rdeg = rem.degree().unwrap();
+            if rdeg < ddeg {
+                break;
+            }
+            let factor = rem.leading().unwrap() / &dlead;
+            let shift = rdeg - ddeg;
+            if shift < quot.len() {
+                quot[shift] = &quot[shift] + &factor;
+            } else {
+                quot.resize(shift + 1, Rat::zero());
+                quot[shift] = factor.clone();
+            }
+            // rem -= factor · x^shift · divisor
+            let mut sub = vec![Rat::zero(); shift];
+            sub.extend(divisor.coeffs.iter().map(|c| c * &factor));
+            rem = rem.sub(&Poly::new(sub));
+        }
+        (Poly::new(quot), rem)
+    }
+
+    /// The remainder of Euclidean division.
+    #[must_use]
+    pub fn rem(&self, divisor: &Poly) -> Poly {
+        self.div_rem(divisor).1
+    }
+
+    /// Monic normalization (leading coefficient 1); the zero polynomial is unchanged.
+    #[must_use]
+    pub fn monic(&self) -> Poly {
+        match self.leading() {
+            None => Poly::zero(),
+            Some(l) => self.scale(&l.recip()),
+        }
+    }
+
+    /// Greatest common divisor (monic), by the Euclidean algorithm.
+    #[must_use]
+    pub fn gcd(&self, other: &Poly) -> Poly {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r.monic();
+        }
+        a.monic()
+    }
+
+    /// The square-free part `self / gcd(self, self')`, which has the same real roots
+    /// without multiplicities — the polynomial Sturm's theorem is applied to.
+    #[must_use]
+    pub fn square_free(&self) -> Poly {
+        if self.degree().unwrap_or(0) <= 1 {
+            return self.clone();
+        }
+        let g = self.gcd(&self.derivative());
+        if g.degree() == Some(0) {
+            self.clone()
+        } else {
+            self.div_rem(&g).0
+        }
+    }
+
+    /// The Cauchy root bound: every real root lies in `(-B, B)` with
+    /// `B = 1 + max |cᵢ / c_lead|`.
+    ///
+    /// # Panics
+    /// Panics on the zero polynomial.
+    #[must_use]
+    pub fn root_bound(&self) -> Rat {
+        let lead = self.leading().expect("root bound of the zero polynomial").abs();
+        let max = self
+            .coeffs
+            .iter()
+            .take(self.coeffs.len() - 1)
+            .map(|c| &c.abs() / &lead)
+            .fold(Rat::zero(), Rat::max);
+        &Rat::one() + &max
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (i, c) in self.coeffs.iter().enumerate().rev() {
+            if c.is_zero() {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            match i {
+                0 => write!(f, "{c}")?,
+                1 => write!(f, "{c}·x")?,
+                _ => write!(f, "{c}·x^{i}")?,
+            }
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+
+    #[test]
+    fn arithmetic_and_eval() {
+        // (x - 1)(x + 2) = x² + x - 2
+        let p = Poly::from_i64(&[-1, 1]).mul(&Poly::from_i64(&[2, 1]));
+        assert_eq!(p, Poly::from_i64(&[-2, 1, 1]));
+        assert_eq!(p.eval(&r(1)), r(0));
+        assert_eq!(p.eval(&r(-2)), r(0));
+        assert_eq!(p.eval(&r(2)), r(4));
+        assert_eq!(p.degree(), Some(2));
+        assert_eq!(p.derivative(), Poly::from_i64(&[1, 2]));
+        assert_eq!(p.add(&p.neg()), Poly::zero());
+    }
+
+    #[test]
+    fn division_invariant() {
+        let p = Poly::from_i64(&[1, 0, 0, 1]); // x³ + 1
+        let d = Poly::from_i64(&[1, 1]); // x + 1
+        let (q, rem) = p.div_rem(&d);
+        assert_eq!(q.mul(&d).add(&rem), p);
+        assert!(rem.is_zero());
+        let (q2, r2) = Poly::from_i64(&[1, 0, 1]).div_rem(&d); // x² + 1 = (x+1)(x-1) + 2
+        assert_eq!(q2.mul(&d).add(&r2), Poly::from_i64(&[1, 0, 1]));
+        assert_eq!(r2, Poly::constant(r(2)));
+    }
+
+    #[test]
+    fn gcd_and_square_free() {
+        // gcd((x-1)²(x+2), (x-1)(x+3)) = x - 1 (monic).
+        let a = Poly::from_i64(&[-1, 1]).mul(&Poly::from_i64(&[-1, 1])).mul(&Poly::from_i64(&[2, 1]));
+        let b = Poly::from_i64(&[-1, 1]).mul(&Poly::from_i64(&[3, 1]));
+        assert_eq!(a.gcd(&b), Poly::from_i64(&[-1, 1]));
+        // Square-free part of (x-1)²(x+2) is (x-1)(x+2).
+        let sf = a.square_free();
+        assert_eq!(sf.monic(), Poly::from_i64(&[-1, 1]).mul(&Poly::from_i64(&[2, 1])).monic());
+    }
+
+    #[test]
+    fn root_bound_contains_roots() {
+        let p = Poly::from_i64(&[-6, 11, -6, 1]); // (x-1)(x-2)(x-3)
+        let b = p.root_bound();
+        assert!(b > r(3));
+        assert!(p.eval(&b) != r(0));
+    }
+}

@@ -1,0 +1,339 @@
+//! Sturm sequences, exact root counting and root isolation.
+
+use crate::poly::Poly;
+use frdb_num::{Rat, Sign};
+use std::cmp::Ordering;
+
+/// The Sturm sequence of the square-free part of a polynomial.
+///
+/// `seq[0]` is the square-free part, `seq[1]` its derivative, and
+/// `seq[i+1] = −rem(seq[i−1], seq[i])`.
+#[must_use]
+pub fn sturm_sequence(p: &Poly) -> Vec<Poly> {
+    let sf = p.square_free();
+    if sf.is_zero() || sf.degree() == Some(0) {
+        return vec![sf];
+    }
+    let mut seq = vec![sf.clone(), sf.derivative()];
+    loop {
+        let n = seq.len();
+        let rem = seq[n - 2].rem(&seq[n - 1]);
+        if rem.is_zero() {
+            break;
+        }
+        seq.push(rem.neg());
+    }
+    seq
+}
+
+fn sign_variations(signs: impl Iterator<Item = Sign>) -> usize {
+    let mut count = 0;
+    let mut last: Option<Sign> = None;
+    for s in signs {
+        if s == Sign::Zero {
+            continue;
+        }
+        if let Some(prev) = last {
+            if prev != s {
+                count += 1;
+            }
+        }
+        last = Some(s);
+    }
+    count
+}
+
+/// Sign variations of the Sturm sequence at a rational point.
+#[must_use]
+pub fn variations_at(seq: &[Poly], x: &Rat) -> usize {
+    sign_variations(seq.iter().map(|p| p.sign_at(x)))
+}
+
+/// The number of *distinct* real roots of `p` in the half-open interval `(a, b]`
+/// (provided neither `a` nor `b` is a root; the isolation routine maintains that
+/// invariant).
+#[must_use]
+pub fn count_roots_in(seq: &[Poly], a: &Rat, b: &Rat) -> usize {
+    variations_at(seq, a).saturating_sub(variations_at(seq, b))
+}
+
+/// An isolating interval for a single real root of a polynomial.
+#[derive(Clone, Debug)]
+pub struct RootInterval {
+    /// The (square-free) polynomial whose unique root in `(lo, hi)` is represented.
+    pub poly: Poly,
+    /// Lower endpoint (not a root).
+    pub lo: Rat,
+    /// Upper endpoint (not a root).
+    pub hi: Rat,
+}
+
+/// A real algebraic number: either an explicit rational or a root isolated in an
+/// interval.  This is the exact endpoint representation used by the decomposition of
+/// Proposition 2.9.
+#[derive(Clone, Debug)]
+pub enum AlgebraicNumber {
+    /// An explicit rational value.
+    Rational(Rat),
+    /// The unique root of `poly` in `(lo, hi)`.
+    Isolated(RootInterval),
+}
+
+impl AlgebraicNumber {
+    /// A rational lower bound of the number.
+    #[must_use]
+    pub fn lower(&self) -> Rat {
+        match self {
+            AlgebraicNumber::Rational(r) => r.clone(),
+            AlgebraicNumber::Isolated(iv) => iv.lo.clone(),
+        }
+    }
+
+    /// A rational upper bound of the number.
+    #[must_use]
+    pub fn upper(&self) -> Rat {
+        match self {
+            AlgebraicNumber::Rational(r) => r.clone(),
+            AlgebraicNumber::Isolated(iv) => iv.hi.clone(),
+        }
+    }
+
+    /// A rational approximation (the interval midpoint, or the value itself).
+    #[must_use]
+    pub fn approx(&self) -> Rat {
+        match self {
+            AlgebraicNumber::Rational(r) => r.clone(),
+            AlgebraicNumber::Isolated(iv) => iv.lo.midpoint(&iv.hi),
+        }
+    }
+
+    /// Halves the isolating interval (no effect on rationals).
+    pub fn refine(&mut self) {
+        if let AlgebraicNumber::Isolated(iv) = self {
+            let seq = sturm_sequence(&iv.poly);
+            let mid = iv.lo.midpoint(&iv.hi);
+            if iv.poly.eval(&mid).is_zero() {
+                *self = AlgebraicNumber::Rational(mid);
+                return;
+            }
+            if count_roots_in(&seq, &iv.lo, &mid) == 1 {
+                iv.hi = mid;
+            } else {
+                iv.lo = mid;
+            }
+        }
+    }
+
+    /// Compares the algebraic number with a rational, refining as needed.
+    #[must_use]
+    pub fn cmp_rat(&self, x: &Rat) -> Ordering {
+        match self {
+            AlgebraicNumber::Rational(r) => r.cmp(x),
+            AlgebraicNumber::Isolated(iv) => {
+                if iv.poly.eval(x).is_zero() && *x > iv.lo && *x < iv.hi {
+                    // x is a root of the defining polynomial inside the isolating
+                    // interval, hence x *is* the represented number.
+                    return Ordering::Equal;
+                }
+                let mut me = self.clone();
+                loop {
+                    if me.upper() < *x {
+                        return Ordering::Less;
+                    }
+                    if me.lower() > *x {
+                        return Ordering::Greater;
+                    }
+                    if let AlgebraicNumber::Rational(r) = &me {
+                        return r.cmp(x);
+                    }
+                    me.refine();
+                }
+            }
+        }
+    }
+
+    /// Exact comparison of two algebraic numbers.
+    ///
+    /// Distinct numbers are separated by refinement; potential equality (overlapping
+    /// isolating intervals) is decided through the gcd of the defining polynomials.
+    #[must_use]
+    pub fn compare(&self, other: &AlgebraicNumber) -> Ordering {
+        match (self, other) {
+            (AlgebraicNumber::Rational(a), AlgebraicNumber::Rational(b)) => a.cmp(b),
+            (AlgebraicNumber::Rational(a), AlgebraicNumber::Isolated(_)) => {
+                other.cmp_rat(a).reverse()
+            }
+            (AlgebraicNumber::Isolated(_), AlgebraicNumber::Rational(b)) => self.cmp_rat(b),
+            (AlgebraicNumber::Isolated(a), AlgebraicNumber::Isolated(b)) => {
+                // Equality test: a common root inside the intersection of the
+                // isolating intervals.
+                let g = a.poly.gcd(&b.poly);
+                if g.degree().unwrap_or(0) >= 1 {
+                    let lo = a.lo.clone().max(b.lo.clone());
+                    let hi = a.hi.clone().min(b.hi.clone());
+                    if lo < hi {
+                        let seq = sturm_sequence(&g);
+                        if count_roots_in(&seq, &lo, &hi) >= 1 {
+                            return Ordering::Equal;
+                        }
+                    }
+                }
+                // Otherwise refine until the intervals separate.
+                let mut x = self.clone();
+                let mut y = other.clone();
+                loop {
+                    if x.upper() < y.lower() {
+                        return Ordering::Less;
+                    }
+                    if y.upper() < x.lower() {
+                        return Ordering::Greater;
+                    }
+                    if let (AlgebraicNumber::Rational(a), AlgebraicNumber::Rational(b)) = (&x, &y) {
+                        return a.cmp(b);
+                    }
+                    x.refine();
+                    y.refine();
+                }
+            }
+        }
+    }
+}
+
+/// Isolates all distinct real roots of a polynomial, returned in increasing order.
+///
+/// Rational roots discovered during bisection are reported exactly; the remaining
+/// roots are returned as isolating intervals of the (deflated) square-free part.
+#[must_use]
+pub fn isolate_roots(p: &Poly) -> Vec<AlgebraicNumber> {
+    if p.is_zero() || p.degree() == Some(0) {
+        return Vec::new();
+    }
+    let mut sf = p.square_free().monic();
+    let mut rational_roots: Vec<Rat> = Vec::new();
+
+    'restart: loop {
+        if sf.degree().unwrap_or(0) == 0 {
+            break;
+        }
+        let seq = sturm_sequence(&sf);
+        let mut bound = sf.root_bound();
+        // Make sure the bounds themselves are not roots (the Cauchy bound already
+        // guarantees it, but be defensive).
+        while sf.eval(&bound).is_zero() || sf.eval(&-bound.clone()).is_zero() {
+            bound = &bound + &Rat::one();
+        }
+        let mut stack = vec![(-bound.clone(), bound.clone())];
+        let mut intervals: Vec<(Rat, Rat)> = Vec::new();
+        while let Some((a, b)) = stack.pop() {
+            let n = count_roots_in(&seq, &a, &b);
+            if n == 0 {
+                continue;
+            }
+            if n == 1 {
+                intervals.push((a, b));
+                continue;
+            }
+            let m = a.midpoint(&b);
+            if sf.eval(&m).is_zero() {
+                // Deflate and start over with the reduced polynomial.
+                rational_roots.push(m.clone());
+                let factor = Poly::new(vec![-m, Rat::one()]);
+                sf = sf.div_rem(&factor).0;
+                continue 'restart;
+            }
+            stack.push((a, m.clone()));
+            stack.push((m, b));
+        }
+        let mut out: Vec<AlgebraicNumber> =
+            rational_roots.iter().cloned().map(AlgebraicNumber::Rational).collect();
+        out.extend(intervals.into_iter().map(|(lo, hi)| {
+            AlgebraicNumber::Isolated(RootInterval { poly: sf.clone(), lo, hi })
+        }));
+        out.sort_by(|a, b| a.compare(b));
+        return out;
+    }
+    let mut out: Vec<AlgebraicNumber> =
+        rational_roots.into_iter().map(AlgebraicNumber::Rational).collect();
+    out.sort_by(|a, b| a.compare(b));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+
+    #[test]
+    fn sturm_counts_roots_of_cubic() {
+        // (x-1)(x-2)(x-3): three roots in (0, 4].
+        let p = Poly::from_i64(&[-6, 11, -6, 1]);
+        let seq = sturm_sequence(&p);
+        assert_eq!(count_roots_in(&seq, &r(0), &r(4)), 3);
+        assert_eq!(count_roots_in(&seq, &"3/2".parse().unwrap(), &r(4)), 2);
+        assert_eq!(count_roots_in(&seq, &r(4), &r(10)), 0);
+    }
+
+    #[test]
+    fn multiple_roots_are_counted_once() {
+        // (x-1)²(x+2): two distinct roots.
+        let p = Poly::from_i64(&[-1, 1]).mul(&Poly::from_i64(&[-1, 1])).mul(&Poly::from_i64(&[2, 1]));
+        let seq = sturm_sequence(&p);
+        assert_eq!(count_roots_in(&seq, &r(-10), &r(10)), 2);
+        let roots = isolate_roots(&p);
+        assert_eq!(roots.len(), 2);
+    }
+
+    #[test]
+    fn isolate_roots_of_x2_minus_2() {
+        // x² − 2: roots ±√2, both irrational.
+        let p = Poly::from_i64(&[-2, 0, 1]);
+        let roots = isolate_roots(&p);
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0].cmp_rat(&r(-2)), Ordering::Greater);
+        assert_eq!(roots[0].cmp_rat(&r(-1)), Ordering::Less);
+        assert_eq!(roots[1].cmp_rat(&r(1)), Ordering::Greater);
+        assert_eq!(roots[1].cmp_rat(&r(2)), Ordering::Less);
+        // The two roots are distinct and ordered.
+        assert_eq!(roots[0].compare(&roots[1]), Ordering::Less);
+        // Comparing √2 (isolated twice) detects equality through the gcd.
+        let again = isolate_roots(&p);
+        assert_eq!(roots[1].compare(&again[1]), Ordering::Equal);
+    }
+
+    #[test]
+    fn rational_roots_found_exactly_when_hit() {
+        // (x - 1)(x² - 2): bisection hits small rational midpoints.
+        let p = Poly::from_i64(&[-1, 1]).mul(&Poly::from_i64(&[-2, 0, 1]));
+        let roots = isolate_roots(&p);
+        assert_eq!(roots.len(), 3);
+        // Exactly one of them equals 1.
+        let ones = roots.iter().filter(|r0| r0.cmp_rat(&r(1)) == Ordering::Equal).count();
+        assert_eq!(ones, 1);
+    }
+
+    #[test]
+    fn refinement_converges() {
+        let p = Poly::from_i64(&[-2, 0, 1]);
+        let mut root = isolate_roots(&p).pop().unwrap();
+        for _ in 0..20 {
+            root.refine();
+        }
+        let width = &root.upper() - &root.lower();
+        assert!(width < "1/1000".parse().unwrap());
+        let approx = root.approx();
+        // approx² is close to 2.
+        let err = (&(&approx * &approx) - &r(2)).abs();
+        assert!(err < "1/100".parse().unwrap());
+    }
+
+    #[test]
+    fn no_roots_for_positive_definite() {
+        let p = Poly::from_i64(&[1, 0, 1]); // x² + 1
+        assert!(isolate_roots(&p).is_empty());
+        assert!(isolate_roots(&Poly::constant(r(5))).is_empty());
+        assert!(isolate_roots(&Poly::zero()).is_empty());
+    }
+}

@@ -1,0 +1,376 @@
+//! Semialgebraic subsets of the real line: Proposition 2.9 made executable.
+//!
+//! A monadic `L×`-representable relation over `R` is given by a quantifier-free
+//! formula in one variable; a conjunction of polynomial sign conditions is the
+//! building block.  [`decompose`] turns such a conjunction into the finite union of
+//! points and intervals that Proposition 2.9 guarantees, with exact algebraic
+//! endpoints.
+
+use crate::poly::Poly;
+use crate::roots::{isolate_roots, AlgebraicNumber};
+use frdb_num::{Rat, Sign};
+use std::cmp::Ordering;
+
+/// The sign condition of a polynomial constraint `p(x) ⋈ 0`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SignOp {
+    /// `p(x) < 0`.
+    Lt,
+    /// `p(x) ≤ 0`.
+    Le,
+    /// `p(x) = 0`.
+    Eq,
+    /// `p(x) ≠ 0`.
+    Ne,
+    /// `p(x) ≥ 0`.
+    Ge,
+    /// `p(x) > 0`.
+    Gt,
+}
+
+impl SignOp {
+    /// Whether a value of the given sign satisfies the condition.
+    #[must_use]
+    pub fn admits(self, sign: Sign) -> bool {
+        match self {
+            SignOp::Lt => sign == Sign::Negative,
+            SignOp::Le => sign != Sign::Positive,
+            SignOp::Eq => sign == Sign::Zero,
+            SignOp::Ne => sign != Sign::Zero,
+            SignOp::Ge => sign != Sign::Negative,
+            SignOp::Gt => sign == Sign::Positive,
+        }
+    }
+}
+
+/// A univariate polynomial constraint `poly(x) ⋈ 0`.
+#[derive(Clone, Debug)]
+pub struct PolyConstraint {
+    /// The polynomial.
+    pub poly: Poly,
+    /// The sign condition.
+    pub op: SignOp,
+}
+
+impl PolyConstraint {
+    /// Creates a constraint.
+    #[must_use]
+    pub fn new(poly: Poly, op: SignOp) -> Self {
+        PolyConstraint { poly, op }
+    }
+
+    /// Whether a rational point satisfies the constraint.
+    #[must_use]
+    pub fn holds_at(&self, x: &Rat) -> bool {
+        self.op.admits(self.poly.sign_at(x))
+    }
+}
+
+/// An endpoint of a piece of the decomposition: an exact real algebraic number.
+pub type RealEndpoint = AlgebraicNumber;
+
+/// A maximal piece of a semialgebraic subset of the line.
+#[derive(Clone, Debug)]
+pub enum RealPiece {
+    /// An isolated point.
+    Point(RealEndpoint),
+    /// A maximal interval with optional endpoints (`None` = unbounded) and
+    /// inclusion flags.
+    Interval {
+        /// Lower endpoint and whether it belongs to the set.
+        lo: Option<(RealEndpoint, bool)>,
+        /// Upper endpoint and whether it belongs to the set.
+        hi: Option<(RealEndpoint, bool)>,
+    },
+}
+
+impl RealPiece {
+    /// Whether the piece is a single point.
+    #[must_use]
+    pub fn is_point(&self) -> bool {
+        matches!(self, RealPiece::Point(_))
+    }
+}
+
+/// Whether a rational point satisfies a conjunction of polynomial constraints
+/// (Proposition 2.4 for the real-field context: membership is decided by evaluating
+/// the representation).
+#[must_use]
+pub fn membership(constraints: &[PolyConstraint], x: &Rat) -> bool {
+    constraints.iter().all(|c| c.holds_at(x))
+}
+
+/// The sign of a polynomial at an algebraic number.
+fn sign_at_algebraic(p: &Poly, x: &AlgebraicNumber) -> Sign {
+    match x {
+        AlgebraicNumber::Rational(r) => p.sign_at(r),
+        AlgebraicNumber::Isolated(iv) => {
+            // If p shares the root, the sign is zero (soundness argued via the gcd as
+            // in `AlgebraicNumber::compare`).
+            let g = p.gcd(&iv.poly);
+            if g.degree().unwrap_or(0) >= 1 {
+                let seq = crate::roots::sturm_sequence(&g);
+                if crate::roots::count_roots_in(&seq, &iv.lo, &iv.hi) >= 1 {
+                    return Sign::Zero;
+                }
+            }
+            // Otherwise refine the isolating interval until p has no root inside it,
+            // then the sign is constant on the interval and can be sampled.
+            let mut x = x.clone();
+            let seq_p = crate::roots::sturm_sequence(p);
+            loop {
+                if let AlgebraicNumber::Rational(r) = &x {
+                    return p.sign_at(r);
+                }
+                let (lo, hi) = (x.lower(), x.upper());
+                if crate::roots::count_roots_in(&seq_p, &lo, &hi) == 0 {
+                    return p.sign_at(&lo.midpoint(&hi));
+                }
+                x.refine();
+            }
+        }
+    }
+}
+
+/// Decomposes the solution set of a conjunction of univariate polynomial constraints
+/// into its maximal pieces, in increasing order.
+///
+/// This is the executable content of Proposition 2.9: the number of pieces is finite
+/// (bounded by one plus the total number of distinct roots of the polynomials
+/// involved), so every `L×`-representable monadic relation is a finite union of
+/// intervals — the o-minimality of the real field, restricted to the fragment the
+/// engine implements exactly.
+#[must_use]
+pub fn decompose(constraints: &[PolyConstraint]) -> Vec<RealPiece> {
+    // Degenerate cases: constant polynomials contribute globally true/false.
+    let mut globally_false = false;
+    let mut roots: Vec<AlgebraicNumber> = Vec::new();
+    for c in constraints {
+        if c.poly.degree().unwrap_or(0) == 0 {
+            let sign = c.poly.coeffs().first().map_or(Sign::Zero, Rat::sign);
+            if !c.op.admits(sign) {
+                globally_false = true;
+            }
+            continue;
+        }
+        roots.extend(isolate_roots(&c.poly));
+    }
+    if globally_false {
+        return Vec::new();
+    }
+    roots.sort_by(AlgebraicNumber::compare);
+    roots.dedup_by(|a, b| a.compare(b) == Ordering::Equal);
+
+    // Membership of each elementary region: the points (the roots themselves) and the
+    // open regions between consecutive roots (sampled at rational points).
+    let holds_at_root = |x: &AlgebraicNumber| {
+        constraints.iter().all(|c| c.op.admits(sign_at_algebraic(&c.poly, x)))
+    };
+    let sample_between = |left: Option<&AlgebraicNumber>, right: Option<&AlgebraicNumber>| -> Rat {
+        match (left, right) {
+            (None, None) => Rat::zero(),
+            (None, Some(r)) => &r.lower() - &Rat::one(),
+            (Some(l), None) => &l.upper() + &Rat::one(),
+            (Some(l), Some(r)) => {
+                // Refine both until their bounding intervals separate, then take a
+                // rational strictly between them.
+                let mut a = l.clone();
+                let mut b = r.clone();
+                loop {
+                    if a.upper() < b.lower() {
+                        return a.upper().midpoint(&b.lower());
+                    }
+                    a.refine();
+                    b.refine();
+                }
+            }
+        }
+    };
+
+    // Region list: open(-∞,α₁), {α₁}, open(α₁,α₂), …, {αₘ}, open(αₘ,+∞).
+    let mut region_member: Vec<bool> = Vec::new();
+    let mut region_is_point: Vec<Option<usize>> = Vec::new();
+    let m = roots.len();
+    for i in 0..=m {
+        let left = if i == 0 { None } else { Some(&roots[i - 1]) };
+        let right = if i == m { None } else { Some(&roots[i]) };
+        let sample = sample_between(left, right);
+        region_member.push(membership(constraints, &sample));
+        region_is_point.push(None);
+        if i < m {
+            region_member.push(holds_at_root(&roots[i]));
+            region_is_point.push(Some(i));
+        }
+    }
+
+    // Merge consecutive member regions into maximal pieces.
+    let mut pieces = Vec::new();
+    let mut idx = 0;
+    while idx < region_member.len() {
+        if !region_member[idx] {
+            idx += 1;
+            continue;
+        }
+        let start = idx;
+        let mut end = idx;
+        while end + 1 < region_member.len() && region_member[end + 1] {
+            end += 1;
+        }
+        if start == end {
+            if let Some(k) = region_is_point[start] {
+                pieces.push(RealPiece::Point(roots[k].clone()));
+                idx = end + 1;
+                continue;
+            }
+        }
+        // The piece spans regions start..=end; figure out its endpoints.
+        let lo = match region_is_point[start] {
+            Some(k) => Some((roots[k].clone(), true)),
+            None => {
+                // An open region: its left endpoint is the root before it (excluded),
+                // or −∞ if it is the leftmost region.
+                let open_index = start / 2; // open regions sit at even indices
+                if open_index == 0 {
+                    None
+                } else {
+                    Some((roots[open_index - 1].clone(), false))
+                }
+            }
+        };
+        let hi = match region_is_point[end] {
+            Some(k) => Some((roots[k].clone(), true)),
+            None => {
+                let open_index = end / 2;
+                if open_index == m {
+                    None
+                } else {
+                    Some((roots[open_index].clone(), false))
+                }
+            }
+        };
+        pieces.push(RealPiece::Interval { lo, hi });
+        idx = end + 1;
+    }
+    pieces
+}
+
+/// The number of maximal pieces of the solution set — the quantity Proposition 2.9
+/// asserts to be finite.
+#[must_use]
+pub fn piece_count(constraints: &[PolyConstraint]) -> usize {
+    decompose(constraints).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+
+    #[test]
+    fn half_circle_projection_shape() {
+        // x² ≤ 1: the closed interval [−1, 1].
+        let c = PolyConstraint::new(Poly::from_i64(&[-1, 0, 1]), SignOp::Le);
+        let pieces = decompose(&[c.clone()]);
+        assert_eq!(pieces.len(), 1);
+        match &pieces[0] {
+            RealPiece::Interval { lo: Some((lo, true)), hi: Some((hi, true)) } => {
+                assert_eq!(lo.cmp_rat(&r(-1)), Ordering::Equal);
+                assert_eq!(hi.cmp_rat(&r(1)), Ordering::Equal);
+            }
+            other => panic!("unexpected piece {other:?}"),
+        }
+        assert!(membership(&[c.clone()], &r(0)));
+        assert!(!membership(&[c], &r(2)));
+    }
+
+    #[test]
+    fn strict_and_equality_conditions() {
+        // x² − 2 = 0: two isolated (irrational) points.
+        let eq = PolyConstraint::new(Poly::from_i64(&[-2, 0, 1]), SignOp::Eq);
+        let pieces = decompose(&[eq]);
+        assert_eq!(pieces.len(), 2);
+        assert!(pieces.iter().all(RealPiece::is_point));
+        // x² − 2 ≠ 0: three open intervals.
+        let ne = PolyConstraint::new(Poly::from_i64(&[-2, 0, 1]), SignOp::Ne);
+        let pieces = decompose(&[ne]);
+        assert_eq!(pieces.len(), 3);
+        assert!(pieces.iter().all(|p| !p.is_point()));
+    }
+
+    #[test]
+    fn conjunction_intersects_pieces() {
+        // x² ≥ 1 ∧ x ≥ 0 ∧ (x − 3) < 0: the interval [1, 3).
+        let cs = vec![
+            PolyConstraint::new(Poly::from_i64(&[-1, 0, 1]), SignOp::Ge),
+            PolyConstraint::new(Poly::from_i64(&[0, 1]), SignOp::Ge),
+            PolyConstraint::new(Poly::from_i64(&[-3, 1]), SignOp::Lt),
+        ];
+        let pieces = decompose(&cs);
+        assert_eq!(pieces.len(), 1);
+        match &pieces[0] {
+            RealPiece::Interval { lo: Some((lo, true)), hi: Some((hi, false)) } => {
+                assert_eq!(lo.cmp_rat(&r(1)), Ordering::Equal);
+                assert_eq!(hi.cmp_rat(&r(3)), Ordering::Equal);
+            }
+            other => panic!("unexpected piece {other:?}"),
+        }
+        assert!(membership(&cs, &r(2)));
+        assert!(membership(&cs, &r(1)));
+        assert!(!membership(&cs, &r(3)));
+        assert!(!membership(&cs, &r(0)));
+    }
+
+    #[test]
+    fn empty_and_full_sets() {
+        // x² + 1 ≤ 0 is empty; x² + 1 > 0 is all of R.
+        let empty = decompose(&[PolyConstraint::new(Poly::from_i64(&[1, 0, 1]), SignOp::Le)]);
+        assert!(empty.is_empty());
+        let full = decompose(&[PolyConstraint::new(Poly::from_i64(&[1, 0, 1]), SignOp::Gt)]);
+        assert_eq!(full.len(), 1);
+        match &full[0] {
+            RealPiece::Interval { lo: None, hi: None } => {}
+            other => panic!("unexpected piece {other:?}"),
+        }
+        // A false constant constraint empties everything.
+        let falsum = decompose(&[PolyConstraint::new(Poly::constant(r(1)), SignOp::Lt)]);
+        assert!(falsum.is_empty());
+        // No constraints at all: the whole line.
+        assert_eq!(decompose(&[]).len(), 1);
+    }
+
+    #[test]
+    fn piece_count_is_bounded_by_degrees() {
+        // Proposition 2.9 / o-minimality: the number of pieces of a single constraint
+        // of degree d is at most d + 1.
+        for (coeffs, op) in [
+            (vec![-6i64, 11, -6, 1], SignOp::Gt),
+            (vec![-6, 11, -6, 1], SignOp::Le),
+            (vec![0, 0, 0, 0, 1], SignOp::Ge),
+            (vec![-1, 0, 0, 0, 0, 1], SignOp::Ne),
+        ] {
+            let p = Poly::from_i64(&coeffs);
+            let d = p.degree().unwrap();
+            let n = piece_count(&[PolyConstraint::new(p, op)]);
+            assert!(n <= d + 1, "{n} pieces for degree {d}");
+            assert!(n >= 1);
+        }
+    }
+
+    #[test]
+    fn shared_roots_between_constraints() {
+        // (x−1)(x−2) ≤ 0 ∧ (x−1)(x−3) ≥ 0: {1} ∪ ∅ ... compute and check by sampling.
+        let cs = vec![
+            PolyConstraint::new(Poly::from_i64(&[2, -3, 1]), SignOp::Le),
+            PolyConstraint::new(Poly::from_i64(&[3, -4, 1]), SignOp::Ge),
+        ];
+        let pieces = decompose(&cs);
+        // [1,2] ∩ ((−∞,1] ∪ [3,∞)) = {1}.
+        assert_eq!(pieces.len(), 1);
+        assert!(pieces[0].is_point());
+        assert!(membership(&cs, &r(1)));
+        assert!(!membership(&cs, &"3/2".parse().unwrap()));
+    }
+}

@@ -1,0 +1,265 @@
+//! Region connectivity and holes, in any dimension.
+//!
+//! The paper's k-dimensional *region connectivity* query (Section 5) asks whether
+//! every pair of points of the region can be linked by a continuous curve inside it;
+//! *at least one hole* and *exactly one hole* ask about the connectivity of the
+//! complement.  Connectivity is not FO-definable for k ≥ 2 (Lemma 5.5) but is
+//! expressible in `DATALOG¬` (Example 6.3); this module provides the direct
+//! polynomial-time algorithm that the PTIME-capture theorem guarantees must exist.
+//!
+//! **Algorithm.**  A dense-order constraint region is a finite union of *convex*
+//! cells: every prime tuple is an intersection of half-spaces of the forms `x ⋈ c` and
+//! `x ⋈ y`.  For convex sets `A`, `B` the union `A ∪ B` is connected iff
+//! `A ∩ cl(B) ≠ ∅` or `cl(A) ∩ B ≠ ∅` (if `x ∈ A ∩ cl(B)` then the half-open segment
+//! from `x` to any point of `B` stays in `B` by convexity; conversely two sets that
+//! are separated in that sense are topologically separated).  The closure of a
+//! nonempty cell is obtained by relaxing its strict atoms to non-strict ones.  The
+//! region is therefore connected iff the graph on its cells with those adjacency edges
+//! is connected, and the number of its connected components is the number of graph
+//! components — all decided with the dense-order satisfiability procedure, no
+//! numerical geometry involved.
+//!
+//! As in the constraint-database literature, the region denoted by a formula is read
+//! over the reals (the rational points alone would be totally disconnected); all
+//! decisions are still exact rational computations.
+
+use frdb_core::dense::{CmpOp, DenseAtom, DenseOrder};
+use frdb_core::normal::{cover, PrimeTuple};
+use frdb_core::relation::Relation;
+use frdb_core::theory::Theory;
+
+/// Relaxes every strict atom of a conjunction to its non-strict counterpart — the
+/// topological closure of the (convex, nonempty) cell it defines.
+fn closure_of(conj: &[DenseAtom]) -> Vec<DenseAtom> {
+    conj.iter()
+        .map(|a| match a.op {
+            CmpOp::Lt => DenseAtom::le(a.lhs.clone(), a.rhs.clone()),
+            _ => a.clone(),
+        })
+        .collect()
+}
+
+/// Whether two convex cells are adjacent within the region: their union is connected.
+fn cells_adjacent(a: &[DenseAtom], b: &[DenseAtom]) -> bool {
+    let a_meets_clb = {
+        let mut sys = a.to_vec();
+        sys.extend(closure_of(b));
+        DenseOrder::satisfiable(&sys)
+    };
+    if a_meets_clb {
+        return true;
+    }
+    let cla_meets_b = {
+        let mut sys = closure_of(a);
+        sys.extend(b.iter().cloned());
+        DenseOrder::satisfiable(&sys)
+    };
+    cla_meets_b
+}
+
+fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+    if parent[i] != i {
+        let root = find(parent, parent[i]);
+        parent[i] = root;
+    }
+    parent[i]
+}
+
+/// Groups arbitrary convex cells (conjunctions) into connected components
+/// (union–find over the adjacency graph); returns the cells grouped by component.
+#[must_use]
+pub fn group_cells(conjs: &[Vec<DenseAtom>]) -> Vec<Vec<usize>> {
+    let n = conjs.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if find(&mut parent, i) != find(&mut parent, j) && cells_adjacent(&conjs[i], &conjs[j]) {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                parent[ri] = rj;
+            }
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for i in 0..n {
+        groups.entry(find(&mut parent, i)).or_default().push(i);
+    }
+    groups.into_values().collect()
+}
+
+/// Groups the cells of a *cover* into connected components, returning prime tuples
+/// (used by queries that need the tabular form of each cell, e.g. line separation).
+#[must_use]
+pub fn components(relation: &Relation<DenseOrder>) -> Vec<Vec<PrimeTuple>> {
+    let cells = cover(relation);
+    let conjs: Vec<Vec<DenseAtom>> = cells.iter().map(PrimeTuple::to_conj).collect();
+    group_cells(&conjs)
+        .into_iter()
+        .map(|group| group.into_iter().map(|i| cells[i].clone()).collect())
+        .collect()
+}
+
+/// The number of connected components of the region (0 for the empty region).
+///
+/// The generalized tuples of the canonical representation are themselves convex
+/// cells, so no further decomposition is needed to run the adjacency argument.
+#[must_use]
+pub fn component_count(relation: &Relation<DenseOrder>) -> usize {
+    group_cells(relation.tuples()).len()
+}
+
+/// The k-dimensional region connectivity query: is the region connected?
+/// (The empty region counts as connected, matching the 1-D convention of Theorem 5.3:
+/// "connectivity holds if the input consists of at most one interval".)
+#[must_use]
+pub fn is_connected(relation: &Relation<DenseOrder>) -> bool {
+    component_count(relation) <= 1
+}
+
+/// The *at least one hole* query: the complement of the region is disconnected.
+#[must_use]
+pub fn has_hole(relation: &Relation<DenseOrder>) -> bool {
+    component_count(&relation.complement()) >= 2
+}
+
+/// The *exactly one hole* query: the complement of the region has exactly two
+/// connected components (the unbounded outside and one bounded hole).
+#[must_use]
+pub fn has_exactly_one_hole(relation: &Relation<DenseOrder>) -> bool {
+    component_count(&relation.complement()) == 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frdb_core::logic::{Term, Var};
+    use frdb_core::relation::GenTuple;
+    use frdb_num::Rat;
+
+    fn vx() -> Var {
+        Var::new("x")
+    }
+    fn vy() -> Var {
+        Var::new("y")
+    }
+
+    fn rect(x0: i64, x1: i64, y0: i64, y1: i64) -> GenTuple<DenseAtom> {
+        GenTuple::new(vec![
+            DenseAtom::le(Term::cst(x0), Term::var("x")),
+            DenseAtom::le(Term::var("x"), Term::cst(x1)),
+            DenseAtom::le(Term::cst(y0), Term::var("y")),
+            DenseAtom::le(Term::var("y"), Term::cst(y1)),
+        ])
+    }
+
+    fn rel2(tuples: Vec<GenTuple<DenseAtom>>) -> Relation<DenseOrder> {
+        Relation::new(vec![vx(), vy()], tuples)
+    }
+
+    #[test]
+    fn overlapping_and_touching_rectangles_are_connected() {
+        // Overlapping.
+        assert!(is_connected(&rel2(vec![rect(0, 2, 0, 2), rect(1, 3, 1, 3)])));
+        // Touching along an edge.
+        assert!(is_connected(&rel2(vec![rect(0, 1, 0, 1), rect(1, 2, 0, 1)])));
+        // Touching at a single corner point still connects the union.
+        assert!(is_connected(&rel2(vec![rect(0, 1, 0, 1), rect(1, 2, 1, 2)])));
+    }
+
+    #[test]
+    fn disjoint_rectangles_are_disconnected() {
+        let rel = rel2(vec![rect(0, 1, 0, 1), rect(3, 4, 3, 4)]);
+        assert!(!is_connected(&rel));
+        assert_eq!(component_count(&rel), 2);
+        let three = rel2(vec![rect(0, 1, 0, 1), rect(3, 4, 0, 1), rect(6, 7, 0, 1)]);
+        assert_eq!(component_count(&three), 3);
+    }
+
+    #[test]
+    fn open_cells_touching_only_in_a_missing_point_are_disconnected() {
+        // Two open rectangles whose closures share the corner (1,1), which belongs to
+        // neither: the union is *not* connected.
+        let open_rect = |x0: i64, x1: i64, y0: i64, y1: i64| {
+            GenTuple::new(vec![
+                DenseAtom::lt(Term::cst(x0), Term::var("x")),
+                DenseAtom::lt(Term::var("x"), Term::cst(x1)),
+                DenseAtom::lt(Term::cst(y0), Term::var("y")),
+                DenseAtom::lt(Term::var("y"), Term::cst(y1)),
+            ])
+        };
+        let rel = rel2(vec![open_rect(0, 1, 0, 1), open_rect(1, 2, 1, 2)]);
+        assert!(!is_connected(&rel));
+        // Adding the shared corner point reconnects it.
+        let with_corner = rel.union(&Relation::from_points(
+            vec![vx(), vy()],
+            vec![vec![Rat::from_i64(1), Rat::from_i64(1)]],
+        ));
+        assert!(is_connected(&with_corner));
+    }
+
+    #[test]
+    fn empty_and_single_cell_regions() {
+        assert!(is_connected(&Relation::empty(vec![vx(), vy()])));
+        assert_eq!(component_count(&Relation::empty(vec![vx(), vy()])), 0);
+        assert!(is_connected(&rel2(vec![rect(0, 5, 0, 5)])));
+        assert!(is_connected(&Relation::universal(vec![vx(), vy()])));
+    }
+
+    #[test]
+    fn one_dimensional_connectivity_agrees_with_interval_count() {
+        let seg = |lo: i64, hi: i64| {
+            GenTuple::new(vec![
+                DenseAtom::le(Term::cst(lo), Term::var("x")),
+                DenseAtom::le(Term::var("x"), Term::cst(hi)),
+            ])
+        };
+        let one = Relation::new(vec![vx()], vec![seg(0, 2), seg(2, 5)]);
+        assert!(is_connected(&one));
+        let two = Relation::new(vec![vx()], vec![seg(0, 2), seg(3, 5)]);
+        assert!(!is_connected(&two));
+        assert_eq!(component_count(&two), 2);
+    }
+
+    #[test]
+    fn square_annulus_has_exactly_one_hole() {
+        // A square ring: the 6×6 square with the open 2×2 middle removed.
+        let outer = rel2(vec![rect(0, 6, 0, 6)]);
+        let inner_open = rel2(vec![GenTuple::new(vec![
+            DenseAtom::lt(Term::cst(2), Term::var("x")),
+            DenseAtom::lt(Term::var("x"), Term::cst(4)),
+            DenseAtom::lt(Term::cst(2), Term::var("y")),
+            DenseAtom::lt(Term::var("y"), Term::cst(4)),
+        ])]);
+        let ring = outer.difference(&inner_open);
+        assert!(is_connected(&ring));
+        assert!(has_hole(&ring));
+        assert!(has_exactly_one_hole(&ring));
+        // A solid square has no hole; its complement is connected.
+        assert!(!has_hole(&outer));
+        // Two separate rings have two holes, not exactly one.
+        let shifted = ring.map_constants(&|c| c + &Rat::from_i64(20));
+        let shifted = shifted.rename(vec![vx(), vy()]);
+        let two_rings = ring.union(&shifted);
+        assert!(has_hole(&two_rings));
+        assert!(!has_exactly_one_hole(&two_rings));
+    }
+
+    #[test]
+    fn three_dimensional_connectivity() {
+        // Two unit cubes sharing a face are connected; far apart they are not.
+        let vz = Var::new("z");
+        let cube = |x0: i64| {
+            GenTuple::new(vec![
+                DenseAtom::le(Term::cst(x0), Term::var("x")),
+                DenseAtom::le(Term::var("x"), Term::cst(x0 + 1)),
+                DenseAtom::le(Term::cst(0), Term::var("y")),
+                DenseAtom::le(Term::var("y"), Term::cst(1)),
+                DenseAtom::le(Term::cst(0), Term::var("z")),
+                DenseAtom::le(Term::var("z"), Term::cst(1)),
+            ])
+        };
+        let touching = Relation::new(vec![vx(), vy(), vz.clone()], vec![cube(0), cube(1)]);
+        assert!(is_connected(&touching));
+        let apart = Relation::new(vec![vx(), vy(), vz], vec![cube(0), cube(5)]);
+        assert!(!is_connected(&apart));
+    }
+}

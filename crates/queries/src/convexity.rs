@@ -1,0 +1,189 @@
+//! Convexity and k-convex covering (Lemma 5.4 / Fig. 2).
+//!
+//! The paper shows convexity and k-convex covering to be FO-definable with dense-order
+//! constraints by enumerating the finitely many representable shapes.  This module
+//! provides:
+//!
+//! * a direct decision procedure for 1-D inputs (convex ⇔ at most one maximal piece)
+//!   and the k-convex covering query in 1-D (at most `k` maximal pieces);
+//! * the **midpoint-convexity sentence** in `FO(≤, +)` for any dimension, evaluated by
+//!   the linear-constraint engine of `frdb-linear`.  For a finite union of convex
+//!   polyhedral cells (which every dense-order constraint region is), midpoint
+//!   convexity is equivalent to convexity: the dyadic points of a segment between two
+//!   members are members, and the intersection of the segment with the region is a
+//!   finite union of subintervals, so a missing open piece would contain a dyadic
+//!   point.  `DESIGN.md` records this as the substitution for the paper's
+//!   shape-enumeration formula.
+
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::fo::eval_sentence;
+use frdb_core::logic::{Formula, Term, Var};
+use frdb_core::normal::decompose_1d;
+use frdb_core::relation::{Instance, Relation};
+use frdb_core::schema::Schema;
+use frdb_linear::{LinAtom, LinExpr, LinearOrder};
+
+/// 1-D convexity: the region is empty, a point, or a single interval.
+#[must_use]
+pub fn is_convex_1d(relation: &Relation<DenseOrder>) -> bool {
+    decompose_1d(relation).len() <= 1
+}
+
+/// 1-D k-convex covering: the region is a union of at most `k` convex sets, i.e. has
+/// at most `k` maximal pieces.
+#[must_use]
+pub fn k_convex_covering_1d(relation: &Relation<DenseOrder>, k: usize) -> bool {
+    decompose_1d(relation).len() <= k
+}
+
+/// Translates a dense-order atom into the linear-constraint language (every `L≤` atom
+/// is a special case of an `L+` atom).
+fn dense_to_linear(atom: &DenseAtom) -> LinAtom {
+    let lhs = LinExpr::from_term(&atom.lhs);
+    let rhs = LinExpr::from_term(&atom.rhs);
+    match atom.op {
+        frdb_core::dense::CmpOp::Lt => LinAtom::lt(lhs, rhs),
+        frdb_core::dense::CmpOp::Le => LinAtom::le(lhs, rhs),
+        frdb_core::dense::CmpOp::Eq => LinAtom::eq(lhs, rhs),
+    }
+}
+
+/// Converts a dense-order constraint relation into the equivalent linear-constraint
+/// relation (same columns, same points).
+#[must_use]
+pub fn to_linear_relation(relation: &Relation<DenseOrder>) -> Relation<LinearOrder> {
+    Relation::from_dnf(
+        relation.vars().to_vec(),
+        relation
+            .tuples()
+            .iter()
+            .map(|conj| conj.iter().map(dense_to_linear).collect())
+            .collect(),
+    )
+}
+
+/// The midpoint-convexity sentence for a `k`-ary relation named `r`:
+/// `∀p̅ ∀q̅ ∀m̅ ( R(p̅) ∧ R(q̅) ∧ ⋀ᵢ mᵢ + mᵢ = pᵢ + qᵢ → R(m̅) )`, phrased in its
+/// equivalent `¬∃` form (no counterexample midpoint exists), which the evaluator
+/// handles with a single block of quantifier eliminations.
+#[must_use]
+pub fn midpoint_convexity_sentence(r: &str, arity: usize) -> Formula<LinAtom> {
+    let p: Vec<Var> = (0..arity).map(|i| Var::new(format!("p{i}"))).collect();
+    let q: Vec<Var> = (0..arity).map(|i| Var::new(format!("q{i}"))).collect();
+    let m: Vec<Var> = (0..arity).map(|i| Var::new(format!("m{i}"))).collect();
+    let mut conj: Vec<Formula<LinAtom>> = vec![
+        Formula::rel(r, p.iter().cloned().map(Term::Var)),
+        Formula::rel(r, q.iter().cloned().map(Term::Var)),
+    ];
+    for i in 0..arity {
+        // mᵢ + mᵢ = pᵢ + qᵢ
+        conj.push(Formula::Atom(LinAtom::eq(
+            LinExpr::var(m[i].clone()).scale(&frdb_num::Rat::from_i64(2)),
+            LinExpr::var(p[i].clone()).add(&LinExpr::var(q[i].clone())),
+        )));
+    }
+    // The counterexample: members p̅ and q̅ whose midpoint m̅ is not a member.
+    conj.push(Formula::rel(r, m.iter().cloned().map(Term::Var)).not());
+    let mut all_vars: Vec<Var> = Vec::new();
+    all_vars.extend(p);
+    all_vars.extend(q);
+    all_vars.extend(m);
+    Formula::Exists(all_vars, Box::new(Formula::conj(conj))).not()
+}
+
+/// The convexity query for a dense-order constraint region of any arity, decided by
+/// evaluating the midpoint-convexity sentence over the linear-constraint engine.
+///
+/// # Errors
+/// Propagates evaluation errors from the FO engine (never expected for well-formed
+/// input).
+pub fn is_convex(relation: &Relation<DenseOrder>) -> Result<bool, frdb_core::fo::EvalError> {
+    let arity = relation.arity();
+    let schema = Schema::from_pairs([("R", arity)]);
+    let mut inst: Instance<LinearOrder> = Instance::new(schema);
+    inst.set("R", to_linear_relation(relation));
+    eval_sentence(&midpoint_convexity_sentence("R", arity), &inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frdb_core::relation::GenTuple;
+    use frdb_num::Rat;
+
+    fn vx() -> Var {
+        Var::new("x")
+    }
+    fn vy() -> Var {
+        Var::new("y")
+    }
+
+    fn seg(lo: i64, hi: i64) -> GenTuple<DenseAtom> {
+        GenTuple::new(vec![
+            DenseAtom::le(Term::cst(lo), Term::var("x")),
+            DenseAtom::le(Term::var("x"), Term::cst(hi)),
+        ])
+    }
+
+    #[test]
+    fn one_dimensional_convexity() {
+        let one = Relation::new(vec![vx()], vec![seg(0, 4), seg(2, 7)]);
+        assert!(is_convex_1d(&one));
+        assert!(k_convex_covering_1d(&one, 1));
+        let two = Relation::new(vec![vx()], vec![seg(0, 1), seg(3, 4)]);
+        assert!(!is_convex_1d(&two));
+        assert!(k_convex_covering_1d(&two, 2));
+        assert!(!k_convex_covering_1d(&two, 1));
+        assert!(is_convex_1d(&Relation::empty(vec![vx()])));
+        assert!(is_convex_1d(&Relation::from_points(vec![vx()], vec![vec![Rat::from_i64(3)]])));
+    }
+
+    #[test]
+    fn midpoint_convexity_agrees_in_one_dimension() {
+        let convex = Relation::new(vec![vx()], vec![seg(0, 4)]);
+        let not_convex = Relation::new(vec![vx()], vec![seg(0, 1), seg(3, 4)]);
+        assert!(is_convex(&convex).unwrap());
+        assert!(!is_convex(&not_convex).unwrap());
+    }
+
+    #[test]
+    fn two_dimensional_convexity() {
+        let rect = Relation::new(
+            vec![vx(), vy()],
+            vec![GenTuple::new(vec![
+                DenseAtom::le(Term::cst(0), Term::var("x")),
+                DenseAtom::le(Term::var("x"), Term::cst(2)),
+                DenseAtom::le(Term::cst(0), Term::var("y")),
+                DenseAtom::le(Term::var("y"), Term::cst(2)),
+            ])],
+        );
+        assert!(is_convex(&rect).unwrap());
+        // A triangle bounded by the diagonal is convex (one of the Fig. 2 shapes).
+        let triangle = Relation::new(
+            vec![vx(), vy()],
+            vec![GenTuple::new(vec![
+                DenseAtom::le(Term::cst(0), Term::var("x")),
+                DenseAtom::le(Term::var("x"), Term::var("y")),
+                DenseAtom::le(Term::var("y"), Term::cst(3)),
+            ])],
+        );
+        assert!(is_convex(&triangle).unwrap());
+        // Two disjoint rectangles are not convex.
+        let rect2 = rect.map_constants(&|c| c + &Rat::from_i64(10)).rename(vec![vx(), vy()]);
+        let both = rect.union(&rect2);
+        assert!(!is_convex(&both).unwrap());
+        // An L-shaped union of two touching rectangles is connected but not convex.
+        let ell = rect.union(
+            &Relation::new(
+                vec![vx(), vy()],
+                vec![GenTuple::new(vec![
+                    DenseAtom::le(Term::cst(2), Term::var("x")),
+                    DenseAtom::le(Term::var("x"), Term::cst(4)),
+                    DenseAtom::le(Term::cst(0), Term::var("y")),
+                    DenseAtom::le(Term::var("y"), Term::cst(1)),
+                ])],
+            ),
+        );
+        assert!(!is_convex(&ell).unwrap());
+    }
+}

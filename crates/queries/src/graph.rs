@@ -1,0 +1,241 @@
+//! Finite-graph queries embedded in the constraint model: parity and transitive
+//! closure (Lemma 5.6: neither is FO-definable with dense-order constraints; both are
+//! in `DATALOG¬`, Theorem 6.5).
+//!
+//! Finite relations are the classical relational model embedded into the constraint
+//! model (a tuple is a conjunction of equalities, Section 2.2); the direct algorithms
+//! below work on that embedding, and the `DATALOG¬` counterpart of transitive closure
+//! lives in [`frdb_datalog::transitive_closure_program`].
+
+use frdb_core::dense::DenseOrder;
+use frdb_core::normal::{decompose_1d, Piece1};
+use frdb_core::relation::Relation;
+use frdb_num::Rat;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Errors for queries that require a *finite* input relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FiniteInputError {
+    /// The relation contains an infinite piece (an interval), so the query is not
+    /// defined on it.
+    NotFinite,
+}
+
+impl std::fmt::Display for FiniteInputError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the query requires a finite input relation")
+    }
+}
+
+impl std::error::Error for FiniteInputError {}
+
+/// The elements of a finite monadic relation, in increasing order.
+///
+/// # Errors
+/// Fails if the relation has an interval piece (it is not finite).
+pub fn finite_elements(relation: &Relation<DenseOrder>) -> Result<Vec<Rat>, FiniteInputError> {
+    let mut out = Vec::new();
+    for piece in decompose_1d(relation) {
+        match piece {
+            Piece1::Point(p) => out.push(p),
+            Piece1::Interval { .. } => return Err(FiniteInputError::NotFinite),
+        }
+    }
+    Ok(out)
+}
+
+/// The parity query: does the finite monadic relation have an even number of
+/// elements?
+///
+/// # Errors
+/// Fails if the relation is not finite.
+pub fn parity(relation: &Relation<DenseOrder>) -> Result<bool, FiniteInputError> {
+    Ok(finite_elements(relation)?.len() % 2 == 0)
+}
+
+/// The pairs of a finite binary relation, read off its canonical representation.
+///
+/// # Errors
+/// Fails if some generalized tuple does not pin both columns to constants.
+pub fn finite_pairs(
+    relation: &Relation<DenseOrder>,
+) -> Result<Vec<(Rat, Rat)>, FiniteInputError> {
+    use frdb_core::normal::{cover, Bound};
+    let mut out = BTreeSet::new();
+    for cell in cover(relation) {
+        if cell.arity() != 2 || !cell.is_pinned(0) || !cell.is_pinned(1) {
+            return Err(FiniteInputError::NotFinite);
+        }
+        let x = match cell.lower(0) {
+            Bound::Finite(v) => v.clone(),
+            Bound::Infinite => return Err(FiniteInputError::NotFinite),
+        };
+        let y = match cell.lower(1) {
+            Bound::Finite(v) => v.clone(),
+            Bound::Infinite => return Err(FiniteInputError::NotFinite),
+        };
+        out.insert((x, y));
+    }
+    Ok(out.into_iter().collect())
+}
+
+/// The transitive closure of a finite binary relation, as explicit pairs
+/// (semi-naive iteration; polynomial time).
+///
+/// # Errors
+/// Fails if the relation is not a finite set of pairs.
+pub fn transitive_closure(
+    relation: &Relation<DenseOrder>,
+) -> Result<Vec<(Rat, Rat)>, FiniteInputError> {
+    let edges = finite_pairs(relation)?;
+    let mut closure: BTreeSet<(Rat, Rat)> = edges.iter().cloned().collect();
+    let mut frontier: BTreeSet<(Rat, Rat)> = closure.clone();
+    let mut succ: BTreeMap<Rat, Vec<Rat>> = BTreeMap::new();
+    for (a, b) in &edges {
+        succ.entry(a.clone()).or_default().push(b.clone());
+    }
+    while !frontier.is_empty() {
+        let mut next = BTreeSet::new();
+        for (a, b) in &frontier {
+            if let Some(cs) = succ.get(b) {
+                for c in cs {
+                    let pair = (a.clone(), c.clone());
+                    if !closure.contains(&pair) {
+                        next.insert(pair);
+                    }
+                }
+            }
+        }
+        closure.extend(next.iter().cloned());
+        frontier = next;
+    }
+    Ok(closure.into_iter().collect())
+}
+
+/// The graph-connectivity query: is the (undirected view of the) finite graph
+/// connected?
+///
+/// # Errors
+/// Fails if the relation is not a finite set of pairs.
+pub fn graph_connected(relation: &Relation<DenseOrder>) -> Result<bool, FiniteInputError> {
+    let edges = finite_pairs(relation)?;
+    let mut nodes: BTreeSet<Rat> = BTreeSet::new();
+    for (a, b) in &edges {
+        nodes.insert(a.clone());
+        nodes.insert(b.clone());
+    }
+    if nodes.len() <= 1 {
+        return Ok(true);
+    }
+    let mut adj: BTreeMap<Rat, Vec<Rat>> = BTreeMap::new();
+    for (a, b) in &edges {
+        adj.entry(a.clone()).or_default().push(b.clone());
+        adj.entry(b.clone()).or_default().push(a.clone());
+    }
+    let start = nodes.iter().next().unwrap().clone();
+    let mut seen: BTreeSet<Rat> = BTreeSet::new();
+    let mut stack = vec![start];
+    while let Some(v) = stack.pop() {
+        if !seen.insert(v.clone()) {
+            continue;
+        }
+        for w in adj.get(&v).into_iter().flatten() {
+            if !seen.contains(w) {
+                stack.push(w.clone());
+            }
+        }
+    }
+    Ok(seen.len() == nodes.len())
+}
+
+/// Builds the finite monadic relation `{1, …, n}` (a convenient parity workload).
+#[must_use]
+pub fn integer_set(n: usize) -> Relation<DenseOrder> {
+    Relation::from_points(
+        vec![frdb_core::logic::Var::new("x")],
+        (1..=n as i64).map(|i| vec![Rat::from_i64(i)]),
+    )
+}
+
+/// Builds a finite path graph `1 → 2 → … → n` as a binary constraint relation.
+#[must_use]
+pub fn path_graph(n: usize) -> Relation<DenseOrder> {
+    Relation::from_points(
+        vec![frdb_core::logic::Var::new("x"), frdb_core::logic::Var::new("y")],
+        (1..n as i64).map(|i| vec![Rat::from_i64(i), Rat::from_i64(i + 1)]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frdb_core::dense::DenseAtom;
+    use frdb_core::logic::{Term, Var};
+    use frdb_core::relation::GenTuple;
+    use frdb_core::schema::{RelName, Schema};
+    use frdb_datalog::transitive_closure_program;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+
+    #[test]
+    fn parity_counts_points() {
+        assert!(parity(&integer_set(0)).unwrap());
+        assert!(!parity(&integer_set(3)).unwrap());
+        assert!(parity(&integer_set(8)).unwrap());
+        // Parity is undefined on infinite relations.
+        let interval = Relation::new(
+            vec![Var::new("x")],
+            vec![GenTuple::new(vec![
+                DenseAtom::le(Term::cst(0), Term::var("x")),
+                DenseAtom::le(Term::var("x"), Term::cst(1)),
+            ])],
+        );
+        assert!(parity(&interval).is_err());
+    }
+
+    #[test]
+    fn transitive_closure_direct_matches_datalog() {
+        let edges = path_graph(5);
+        let direct = transitive_closure(&edges).unwrap();
+        // Via the DATALOG¬ engine (Theorem 6.5(3)).
+        let schema = Schema::from_pairs([("edge", 2)]);
+        let mut inst = frdb_core::relation::Instance::new(schema);
+        inst.set("edge", edges);
+        let program = transitive_closure_program("edge", "tc");
+        let tc = program.run_for(&inst, &RelName::new("tc")).unwrap();
+        for i in 1..=5i64 {
+            for j in 1..=5i64 {
+                let expected = i < j;
+                assert_eq!(direct.contains(&(r(i), r(j))), expected);
+                assert_eq!(tc.contains(&[r(i), r(j)]), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn graph_connectivity() {
+        assert!(graph_connected(&path_graph(6)).unwrap());
+        // Two disjoint edges are disconnected.
+        let rel = Relation::from_points(
+            vec![Var::new("x"), Var::new("y")],
+            vec![vec![r(1), r(2)], vec![r(5), r(6)]],
+        );
+        assert!(!graph_connected(&rel).unwrap());
+        assert!(graph_connected(&Relation::empty(vec![Var::new("x"), Var::new("y")])).unwrap());
+    }
+
+    #[test]
+    fn finite_pairs_rejects_infinite_relations() {
+        let segment = Relation::new(
+            vec![Var::new("x"), Var::new("y")],
+            vec![GenTuple::new(vec![
+                DenseAtom::eq(Term::var("y"), Term::cst(0)),
+                DenseAtom::le(Term::cst(0), Term::var("x")),
+                DenseAtom::le(Term::var("x"), Term::cst(1)),
+            ])],
+        );
+        assert!(finite_pairs(&segment).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # frdb-queries
+//!
+//! The query catalog of Grumbach & Su, *Finitely Representable Databases*, Sections 5
+//! and 6 — the concrete queries whose definability status makes up Fig. 8:
+//!
+//! | query | FO | DATALOG¬ | here |
+//! |---|---|---|---|
+//! | convexity, k-convex covering | yes (Lemma 5.4) | yes | [`convexity`] |
+//! | 1-D connectivity / holes / Euler | yes | yes | [`shape1d`] |
+//! | k-D region connectivity (k ≥ 2) | no (Lemma 5.5) | yes (Ex. 6.3) | [`connectivity`], [`programs`] |
+//! | at least / exactly one hole (k ≥ 2) | no | yes | [`connectivity`] |
+//! | Eulerian traversal (k ≥ 2) | no (Lemma 5.7) | yes (Ex. 6.4) | [`euler`] |
+//! | parity, transitive closure | no (Lemma 5.6) | yes | [`graph`], [`frdb_datalog`] |
+//! | 1-D homeomorphism | no | yes | [`shape1d`] |
+//! | line separation, grid | not order-generic (Ex. 4.5) | — | [`separation`] |
+//!
+//! Each query is provided as a direct polynomial-time algorithm on the canonical
+//! (cover) form and — where the paper gives one — as an FO sentence or `DATALOG¬`
+//! program evaluated by the engines, so the two can be cross-checked.  The module
+//! [`reductions`] contains the workload generators of Figs. 3–6 (majority / parity /
+//! half reductions), and [`workload`] random-instance generators for the benchmark
+//! harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod connectivity;
+pub mod convexity;
+pub mod euler;
+pub mod graph;
+pub mod programs;
+pub mod reductions;
+pub mod separation;
+pub mod shape1d;
+pub mod workload;

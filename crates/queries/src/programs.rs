@@ -1,0 +1,158 @@
+//! The `DATALOG¬` programs of Section 6 (Example 6.3): region connectivity by
+//! alternating sweeps and transitive closure.
+//!
+//! The program follows the paper's construction: a first-order rule defines
+//! `sweep(x, y, u, v)` — both points are in `R` and the axis-parallel or diagonal
+//! segment between them lies entirely in `R` — and two recursive rules compute its
+//! transitive closure `conn`.  The region is connected iff every pair of points of
+//! `R` ends up related by `conn`, a check performed on the fixpoint (re-evaluating the
+//! final condition on the completed instance replaces the timestamp trick the paper
+//! mentions for pure inflationary semantics).
+
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::logic::{Formula, Term, Var};
+use frdb_core::relation::{Instance, Relation};
+use frdb_core::schema::{RelName, Schema};
+use frdb_datalog::{DatalogError, Literal, Program, Rule};
+
+/// "`z` lies (weakly) between `a` and `b`" as a dense-order formula.
+fn between(z: &str, a: &str, b: &str) -> Formula<DenseAtom> {
+    Formula::disj([
+        Formula::conj([
+            Formula::Atom(DenseAtom::le(Term::var(a), Term::var(z))),
+            Formula::Atom(DenseAtom::le(Term::var(z), Term::var(b))),
+        ]),
+        Formula::conj([
+            Formula::Atom(DenseAtom::le(Term::var(b), Term::var(z))),
+            Formula::Atom(DenseAtom::le(Term::var(z), Term::var(a))),
+        ]),
+    ])
+}
+
+/// The sweep body of Example 6.3: `(x,y)` and `(u,v)` are in `R` and are joined by a
+/// vertical, horizontal, or diagonal segment entirely contained in `R`.
+fn sweep_body(r: &str) -> Formula<DenseAtom> {
+    let in_r = |a: &str, b: &str| Formula::rel(r, [Term::var(a), Term::var(b)]);
+    // Vertical sweep: x = u and every (x, z) with z between y and v is in R.
+    let vertical = Formula::conj([
+        Formula::Atom(DenseAtom::eq(Term::var("x"), Term::var("u"))),
+        Formula::Exists(
+            vec![Var::new("z")],
+            Box::new(between("z", "y", "v").and(Formula::rel(r, [Term::var("x"), Term::var("z")]).not())),
+        )
+        .not(),
+    ]);
+    // Horizontal sweep: y = v and every (z, y) with z between x and u is in R.
+    let horizontal = Formula::conj([
+        Formula::Atom(DenseAtom::eq(Term::var("y"), Term::var("v"))),
+        Formula::Exists(
+            vec![Var::new("z")],
+            Box::new(between("z", "x", "u").and(Formula::rel(r, [Term::var("z"), Term::var("y")]).not())),
+        )
+        .not(),
+    ]);
+    // Diagonal sweep: x = y, u = v, and every (z, z) with z between x and u is in R.
+    let diagonal = Formula::conj([
+        Formula::Atom(DenseAtom::eq(Term::var("x"), Term::var("y"))),
+        Formula::Atom(DenseAtom::eq(Term::var("u"), Term::var("v"))),
+        Formula::Exists(
+            vec![Var::new("z")],
+            Box::new(between("z", "x", "u").and(Formula::rel(r, [Term::var("z"), Term::var("z")]).not())),
+        )
+        .not(),
+    ]);
+    Formula::conj([
+        in_r("x", "y"),
+        in_r("u", "v"),
+        Formula::disj([vertical, horizontal, diagonal]),
+    ])
+}
+
+/// The region-connectivity program of Example 6.3 over a binary EDB relation `r`:
+/// derives `sweep` and its transitive closure `conn`.
+#[must_use]
+pub fn region_connectivity_program(r: &str) -> Program<DenseAtom> {
+    let head_vars = ["x", "y", "u", "v"];
+    let mut program = Program::from_rules(vec![
+        Rule::from_formula("sweep", head_vars, sweep_body(r)),
+        Rule::new(
+            "conn",
+            head_vars,
+            vec![Literal::pos("sweep", [Term::var("x"), Term::var("y"), Term::var("u"), Term::var("v")])],
+        ),
+        Rule::new(
+            "conn",
+            head_vars,
+            vec![
+                Literal::pos("conn", [Term::var("x"), Term::var("y"), Term::var("w"), Term::var("t")]),
+                Literal::pos("conn", [Term::var("w"), Term::var("t"), Term::var("u"), Term::var("v")]),
+            ],
+        ),
+    ]);
+    program = program.with_max_iterations(64);
+    program
+}
+
+/// Runs the Example 6.3 program on a binary region and reads off the Boolean answer:
+/// every pair of points of the region is `conn`-related on the fixpoint.
+///
+/// # Errors
+/// Propagates `DATALOG¬` evaluation errors.
+pub fn region_connected_datalog(region: &Relation<DenseOrder>) -> Result<bool, DatalogError> {
+    let schema = Schema::from_pairs([("R", 2)]);
+    let mut edb: Instance<DenseOrder> = Instance::new(schema);
+    let region = region.rename(vec![Var::new("x"), Var::new("y")]);
+    edb.set("R", region.clone());
+    let program = region_connectivity_program("R");
+    let result = program.run(&edb)?;
+    let conn = result
+        .instance
+        .get(&RelName::new("conn"))
+        .ok_or_else(|| DatalogError::IterationLimit(0))?;
+    // R × R ⊆ conn ?
+    let vars = vec![Var::new("x"), Var::new("y"), Var::new("u"), Var::new("v")];
+    let left = region.rename(vec![Var::new("x"), Var::new("y")]);
+    let right = region.rename(vec![Var::new("u"), Var::new("v")]);
+    let mut product_tuples = Vec::new();
+    for a in left.tuples() {
+        for b in right.tuples() {
+            let mut c = a.clone();
+            c.extend(b.iter().cloned());
+            product_tuples.push(c);
+        }
+    }
+    let product = Relation::<DenseOrder>::from_dnf(vars.clone(), product_tuples);
+    let conn = conn.rename(vars);
+    Ok(product.subset_of(&conn))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+    use frdb_core::relation::GenTuple;
+
+    fn rect(x0: i64, x1: i64, y0: i64, y1: i64) -> GenTuple<DenseAtom> {
+        GenTuple::new(vec![
+            DenseAtom::le(Term::cst(x0), Term::var("x")),
+            DenseAtom::le(Term::var("x"), Term::cst(x1)),
+            DenseAtom::le(Term::cst(y0), Term::var("y")),
+            DenseAtom::le(Term::var("y"), Term::cst(y1)),
+        ])
+    }
+
+    #[test]
+    fn datalog_connectivity_matches_direct_algorithm() {
+        // Kept deliberately small: the generic bottom-up evaluator is polynomial but
+        // not fast; the benchmark harness measures its scaling on larger inputs.
+        let connected = Relation::new(vec![Var::new("x"), Var::new("y")], vec![rect(0, 3, 0, 3)]);
+        let disconnected = Relation::new(
+            vec![Var::new("x"), Var::new("y")],
+            vec![rect(0, 1, 0, 1), rect(3, 4, 3, 4)],
+        );
+        for (region, expected) in [(connected, true), (disconnected, false)] {
+            assert_eq!(is_connected(&region), expected);
+            assert_eq!(region_connected_datalog(&region).unwrap(), expected);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! The reductions of Figs. 3–6: from the Boolean functions `majority`, `parity` and
+//! `half` to the topological queries.
+//!
+//! These are the constructions behind the non-definability results of Lemmas 5.5–5.7:
+//! because `majority`, `parity` and `half` are not in AC⁰ while FO with dense-order
+//! constraints is (Theorem 5.2), any query to which they reduce by such simple
+//! constructions cannot be FO-definable.  Here the constructions serve two purposes:
+//! they are *correctness tests* (the reduction output must give back the Boolean
+//! value when fed to the direct query algorithms) and *workload generators* for the
+//! benchmark harness.
+//!
+//! Where the paper's figure uses diagonal segments (not representable with dense-order
+//! constraints — the paper itself replaces them with staircases, Fig. 3b) or leaves
+//! coordinates partly implicit, the construction below uses an equivalent staircase
+//! layout; `DESIGN.md` records the adaptation.
+
+use crate::euler::Segment;
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::logic::{Term, Var};
+use frdb_core::relation::{GenTuple, Relation};
+use frdb_num::Rat;
+
+/// The Boolean `majority` function: more than half of the inputs are true.
+#[must_use]
+pub fn majority(bits: &[bool]) -> bool {
+    2 * bits.iter().filter(|&&b| b).count() > bits.len()
+}
+
+/// The Boolean `parity` function: an even number of inputs are true.
+#[must_use]
+pub fn parity(bits: &[bool]) -> bool {
+    bits.iter().filter(|&&b| b).count() % 2 == 0
+}
+
+/// The Boolean `half` function: exactly half of the inputs are true.
+#[must_use]
+pub fn half(bits: &[bool]) -> bool {
+    2 * bits.iter().filter(|&&b| b).count() == bits.len()
+}
+
+fn hseg2(y: Rat, x0: Rat, x1: Rat) -> GenTuple<DenseAtom> {
+    GenTuple::new(vec![
+        DenseAtom::eq(Term::var("y"), Term::rat(y)),
+        DenseAtom::le(Term::rat(x0), Term::var("x")),
+        DenseAtom::le(Term::var("x"), Term::rat(x1)),
+    ])
+}
+
+fn vseg2(x: Rat, y0: Rat, y1: Rat) -> GenTuple<DenseAtom> {
+    GenTuple::new(vec![
+        DenseAtom::eq(Term::var("x"), Term::rat(x)),
+        DenseAtom::le(Term::rat(y0), Term::var("y")),
+        DenseAtom::le(Term::var("y"), Term::rat(y1)),
+    ])
+}
+
+/// The staircase path encoding of a Boolean vector: starting at `(0, 0)`, step right
+/// one unit per variable, climbing one unit first whenever the variable is true
+/// (Fig. 3b's staircase replacement of the diagonal).  Returns the constraint tuples
+/// and the height reached at `x = n`.
+fn staircase(bits: &[bool]) -> (Vec<GenTuple<DenseAtom>>, i64) {
+    let mut tuples = Vec::new();
+    let mut height = 0i64;
+    for (i, &bit) in bits.iter().enumerate() {
+        let x = i as i64;
+        if bit {
+            tuples.push(vseg2(
+                Rat::from_i64(x),
+                Rat::from_i64(height),
+                Rat::from_i64(height + 1),
+            ));
+            height += 1;
+        }
+        tuples.push(hseg2(
+            Rat::from_i64(height),
+            Rat::from_i64(x),
+            Rat::from_i64(x + 1),
+        ));
+    }
+    (tuples, height)
+}
+
+/// Fig. 3: the reduction from `majority` to 2-dimensional region connectivity.  The
+/// output region is connected iff `majority(bits)` is true.
+#[must_use]
+pub fn majority_to_connectivity(bits: &[bool]) -> Relation<DenseOrder> {
+    let n = bits.len() as i64;
+    let (mut tuples, _height) = staircase(bits);
+    // The target segment on the line x = n, starting strictly above n/2: the staircase
+    // reaches it iff the number of ones exceeds n/2.
+    let target_lo = Rat::from_pair(2 * n + 1, 4); // n/2 + 1/4
+    tuples.push(vseg2(Rat::from_i64(n), target_lo, Rat::from_i64(n + 1)));
+    Relation::new(vec![Var::new("x"), Var::new("y")], tuples)
+}
+
+/// Fig. 4: the reduction from `majority` to the *at least / exactly one hole* queries.
+/// The output region has (exactly) one hole iff `majority(bits)` is true.
+#[must_use]
+pub fn majority_to_holes(bits: &[bool]) -> Relation<DenseOrder> {
+    let n = bits.len() as i64;
+    let (mut tuples, _height) = staircase(bits);
+    let target_lo = Rat::from_pair(2 * n + 1, 4);
+    let top = Rat::from_i64(n + 1);
+    // The target segment, plus a frame closing a loop through it: right edge, bottom
+    // edge and a top connector.  When the staircase reaches the target a cycle (hence
+    // a hole) is created; otherwise the figure is a tree and has no hole.
+    tuples.push(vseg2(Rat::from_i64(n), target_lo, top.clone()));
+    tuples.push(hseg2(top.clone(), Rat::from_i64(n), Rat::from_i64(n + 2)));
+    tuples.push(vseg2(Rat::from_i64(n + 2), Rat::from_i64(0), top));
+    tuples.push(hseg2(Rat::from_i64(0), Rat::from_i64(0), Rat::from_i64(n + 2)));
+    Relation::new(vec![Var::new("x"), Var::new("y")], tuples)
+}
+
+/// Fig. 5: the reduction from `parity` to 3-dimensional region connectivity.  The
+/// output (a set of axis-parallel segments and points in `Q³`) is connected iff
+/// `parity(bits)` is true (an even number of ones).
+#[must_use]
+pub fn parity_to_connectivity_3d(bits: &[bool]) -> Relation<DenseOrder> {
+    let positions: Vec<i64> =
+        bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i as i64 + 1).collect();
+    let m = positions.len();
+    let vx = Var::new("x");
+    let vy = Var::new("y");
+    let vz = Var::new("z");
+    let seg3 = |a: (i64, i64, i64), b: (i64, i64, i64)| {
+        let mut atoms = Vec::new();
+        for (var, (lo, hi)) in [
+            ("x", (a.0.min(b.0), a.0.max(b.0))),
+            ("y", (a.1.min(b.1), a.1.max(b.1))),
+            ("z", (a.2.min(b.2), a.2.max(b.2))),
+        ] {
+            if lo == hi {
+                atoms.push(DenseAtom::eq(Term::var(var), Term::cst(lo)));
+            } else {
+                atoms.push(DenseAtom::le(Term::cst(lo), Term::var(var)));
+                atoms.push(DenseAtom::le(Term::var(var), Term::cst(hi)));
+            }
+        }
+        GenTuple::new(atoms)
+    };
+    let mut tuples = Vec::new();
+    // The base points (aᵢ, 0, 0).
+    for &a in &positions {
+        tuples.push(seg3((a, 0, 0), (a, 0, 0)));
+    }
+    // Arcs linking aᵢ to aᵢ₊₂ through the planes y = 1 and height z = aᵢ, exactly as
+    // in the paper's construction, so arcs of the odd and even chains never touch.
+    for i in 0..m.saturating_sub(2) {
+        let a = positions[i];
+        let b = positions[i + 2];
+        tuples.push(seg3((a, 0, 0), (a, 0, a)));
+        tuples.push(seg3((a, 0, a), (a, 1, a)));
+        tuples.push(seg3((a, 1, a), (b, 1, a)));
+        tuples.push(seg3((b, 1, a), (b, 0, a)));
+        tuples.push(seg3((b, 0, a), (b, 0, 0)));
+    }
+    // The closing arc from the last position back to the first, in the plane z = 0.
+    if m >= 2 {
+        let first = positions[0];
+        let last = positions[m - 1];
+        tuples.push(seg3((last, 0, 0), (last, 1, 0)));
+        tuples.push(seg3((last, 1, 0), (first, 1, 0)));
+        tuples.push(seg3((first, 1, 0), (first, 0, 0)));
+    } else if m == 1 {
+        // A single 1-bit: add a far-away point so that the figure is disconnected,
+        // matching parity = odd.
+        tuples.push(seg3((-10, -10, -10), (-10, -10, -10)));
+    }
+    Relation::new(vec![vx, vy, vz], tuples)
+}
+
+/// Fig. 6: the reduction from `half` to the 2-dimensional Eulerian traversal, as an
+/// explicit list of segments.  A traversal exists iff exactly half of the bits are
+/// true.
+#[must_use]
+pub fn half_to_euler(bits: &[bool]) -> Vec<Segment> {
+    let n = bits.len() as i64;
+    let mut segments = Vec::new();
+    let mut height = Rat::zero();
+    for (i, &bit) in bits.iter().enumerate() {
+        let x = Rat::from_i64(i as i64);
+        if bit {
+            let top = &height + &Rat::one();
+            segments.push(Segment::new((x.clone(), height.clone()), (x.clone(), top.clone())));
+            height = top;
+        }
+        segments.push(Segment::new(
+            (x.clone(), height.clone()),
+            (&x + &Rat::one(), height.clone()),
+        ));
+    }
+    // A small square loop whose lower-left corner sits at (n, n/2): the staircase ends
+    // exactly there iff half(bits), attaching the path to the loop and leaving exactly
+    // two odd-degree vertices.  The side length 1/4 keeps every other loop point at a
+    // non-integer height, so no unintended attachment can occur.
+    let corner_y = Rat::from_pair(n, 2);
+    let side = Rat::from_pair(1, 4);
+    let nx = Rat::from_i64(n);
+    let c = |dx: &Rat, dy: &Rat| (&nx + dx, &corner_y + dy);
+    let zero = Rat::zero();
+    segments.push(Segment::new(c(&zero, &zero), c(&side, &zero)));
+    segments.push(Segment::new(c(&side, &zero), c(&side, &side)));
+    segments.push(Segment::new(c(&side, &side), c(&zero, &side)));
+    segments.push(Segment::new(c(&zero, &side), c(&zero, &zero)));
+    segments
+}
+
+/// Fig. 6 (second part): the reduction from `half` to 1-dimensional homeomorphism.
+/// Returns the two monadic relations `R₁ = {−1, …, −n}` and
+/// `R₂ = {i, n+i | bitᵢ = 1}`; they are homeomorphic iff `half(bits)` is true.
+#[must_use]
+pub fn half_to_homeomorphism(bits: &[bool]) -> (Relation<DenseOrder>, Relation<DenseOrder>) {
+    let n = bits.len() as i64;
+    let r1 = Relation::from_points(
+        vec![Var::new("x")],
+        (1..=n).map(|i| vec![Rat::from_i64(-i)]),
+    );
+    let mut pts = Vec::new();
+    for (i, &bit) in bits.iter().enumerate() {
+        if bit {
+            let i = i as i64 + 1;
+            pts.push(vec![Rat::from_i64(i)]);
+            pts.push(vec![Rat::from_i64(n + i)]);
+        }
+    }
+    let r2 = Relation::from_points(vec![Var::new("x")], pts);
+    (r1, r2)
+}
+
+/// Deterministic pseudo-random Boolean vectors for the test and benchmark workloads.
+#[must_use]
+pub fn boolean_vector(n: usize, ones: usize) -> Vec<bool> {
+    let mut bits = vec![false; n];
+    // Spread the ones deterministically.
+    let mut idx = 0usize;
+    for k in 0..ones.min(n) {
+        bits[idx % n] = true;
+        idx += 2 * k + 3;
+        while k + 1 < ones.min(n) && bits[idx % n] {
+            idx += 1;
+        }
+    }
+    // Ensure the exact count.
+    let mut count = bits.iter().filter(|&&b| b).count();
+    let mut i = 0;
+    while count < ones.min(n) {
+        if !bits[i] {
+            bits[i] = true;
+            count += 1;
+        }
+        i += 1;
+    }
+    while count > ones.min(n) {
+        if bits[i % n] {
+            bits[i % n] = false;
+            count -= 1;
+        }
+        i += 1;
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::{has_exactly_one_hole, has_hole, is_connected};
+    use crate::euler::euler_traversal;
+    use crate::shape1d::homeomorphic_1d;
+
+    #[test]
+    fn boolean_functions() {
+        assert!(majority(&[true, true, false]));
+        assert!(!majority(&[true, false, false, false]));
+        assert!(parity(&[]));
+        assert!(!parity(&[true, false, true, true]));
+        assert!(half(&[true, false, true, false]));
+        assert!(!half(&[true, true, true, false]));
+        let v = boolean_vector(10, 4);
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.iter().filter(|&&b| b).count(), 4);
+    }
+
+    #[test]
+    fn majority_reduction_to_connectivity_is_correct() {
+        for ones in 0..=6 {
+            let bits = boolean_vector(6, ones);
+            let region = majority_to_connectivity(&bits);
+            assert_eq!(
+                is_connected(&region),
+                majority(&bits),
+                "majority→connectivity failed for {ones} ones out of 6"
+            );
+        }
+    }
+
+    #[test]
+    fn majority_reduction_to_holes_is_correct() {
+        for ones in 0..=5 {
+            let bits = boolean_vector(5, ones);
+            let region = majority_to_holes(&bits);
+            assert_eq!(has_hole(&region), majority(&bits), "{ones} ones out of 5");
+            assert_eq!(has_exactly_one_hole(&region), majority(&bits), "{ones} ones out of 5");
+        }
+    }
+
+    #[test]
+    fn parity_reduction_to_3d_connectivity_is_correct() {
+        for ones in 0..=5 {
+            let bits = boolean_vector(5, ones);
+            let region = parity_to_connectivity_3d(&bits);
+            assert_eq!(is_connected(&region), parity(&bits), "{ones} ones out of 5");
+        }
+    }
+
+    #[test]
+    fn half_reductions_are_correct() {
+        for ones in 0..=6 {
+            let bits = boolean_vector(6, ones);
+            let segments = half_to_euler(&bits);
+            assert_eq!(euler_traversal(&segments), half(&bits), "euler: {ones} ones of 6");
+            let (r1, r2) = half_to_homeomorphism(&bits);
+            assert_eq!(homeomorphic_1d(&r1, &r2), half(&bits), "homeo: {ones} ones of 6");
+        }
+    }
+}

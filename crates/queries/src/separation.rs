@@ -1,0 +1,250 @@
+//! Queries that are **not** order-generic (Example 4.5 / Fig. 1): line separation and
+//! the grid query.
+//!
+//! These queries are perfectly computable, but they do not commute with the
+//! automorphisms of `(Q, ≤)` — the paper's Example 4.5 exhibits an instance and an
+//! automorphism under which the *line separation* answer flips.  The experiment E1 of
+//! `DESIGN.md` reproduces exactly that flip.
+//!
+//! The separation decision uses the fact that a line missing a connected set leaves it
+//! entirely inside one open half-plane: a separating line exists iff the connected
+//! components of the input can be split into two non-empty groups that are *strictly
+//! linearly separable*.  Strict separability of two finite groups of bounded convex
+//! cells is a linear feasibility question over the line coefficients `(a, b, c)`,
+//! decided exactly with the Fourier–Motzkin engine of `frdb-linear`.
+
+use crate::connectivity::components;
+use frdb_core::dense::DenseOrder;
+use frdb_core::normal::{Bound, PrimeTuple};
+use frdb_core::relation::Relation;
+use frdb_core::theory::Theory;
+use frdb_linear::{LinAtom, LinExpr, LinearOrder};
+use frdb_num::Rat;
+
+/// Errors of the separation query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeparationError {
+    /// The input has an unbounded cell; the query is only implemented for bounded
+    /// figures (all the paper's instances are bounded).
+    Unbounded,
+}
+
+impl std::fmt::Display for SeparationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line separation is only implemented for bounded figures")
+    }
+}
+
+impl std::error::Error for SeparationError {}
+
+/// The corner points of a bounded 2-dimensional prime tuple (the extreme points of
+/// its closure); the cell lies strictly on one side of a line iff all its corners do.
+fn corners(cell: &PrimeTuple) -> Result<Vec<(Rat, Rat)>, SeparationError> {
+    let bound_pair = |i: usize| -> Result<(Rat, Rat), SeparationError> {
+        match (cell.lower(i), cell.upper(i)) {
+            (Bound::Finite(l), Bound::Finite(u)) => Ok((l.clone(), u.clone())),
+            _ => Err(SeparationError::Unbounded),
+        }
+    };
+    let (xl, xu) = bound_pair(0)?;
+    let (yl, yu) = bound_pair(1)?;
+    let mut out = Vec::new();
+    for x in [xl, xu] {
+        for y in [yl.clone(), yu.clone()] {
+            if !out.contains(&(x.clone(), y.clone())) {
+                out.push((x.clone(), y));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Whether two non-empty groups of corner points are strictly separable by a line
+/// `a·x + b·y = c`: a linear feasibility problem in `(a, b, c)`, checked for the four
+/// normalizations `a = ±1`, `b = ±1` (every separating line can be rescaled into one
+/// of them).
+fn strictly_separable(group1: &[(Rat, Rat)], group2: &[(Rat, Rat)]) -> bool {
+    let va = frdb_core::logic::Var::new("a");
+    let vb = frdb_core::logic::Var::new("b");
+    let vc = frdb_core::logic::Var::new("c");
+    let line_value = |p: &(Rat, Rat)| {
+        LinExpr::var(va.clone())
+            .scale(&p.0)
+            .add(&LinExpr::var(vb.clone()).scale(&p.1))
+    };
+    for (fixed, value) in [(&va, 1i64), (&va, -1), (&vb, 1), (&vb, -1)] {
+        let mut system: Vec<LinAtom> = vec![LinAtom::eq(
+            LinExpr::var(fixed.clone()),
+            LinExpr::constant(Rat::from_i64(value)),
+        )];
+        for p in group1 {
+            system.push(LinAtom::lt(line_value(p), LinExpr::var(vc.clone())));
+        }
+        for q in group2 {
+            system.push(LinAtom::lt(LinExpr::var(vc.clone()), line_value(q)));
+        }
+        if LinearOrder::satisfiable(&system) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The *line separation* query of Example 4.5: is there a straight line with empty
+/// intersection with the (bounded, binary) input region that has points of the region
+/// strictly on both sides?
+///
+/// # Errors
+/// Returns an error if the region has an unbounded cell.
+pub fn line_separation(relation: &Relation<DenseOrder>) -> Result<bool, SeparationError> {
+    let comps = components(relation);
+    if comps.len() < 2 {
+        // A connected (or empty) figure cannot be split by a line that misses it.
+        return Ok(false);
+    }
+    let mut corner_groups: Vec<Vec<(Rat, Rat)>> = Vec::with_capacity(comps.len());
+    for comp in &comps {
+        let mut pts = Vec::new();
+        for cell in comp {
+            pts.extend(corners(cell)?);
+        }
+        corner_groups.push(pts);
+    }
+    // Try every bipartition of the components (the instances of interest have very
+    // few components; Example 4.5 has two).
+    let n = comps.len();
+    for mask in 1..(1u32 << (n - 1)) {
+        let mut g1: Vec<(Rat, Rat)> = Vec::new();
+        let mut g2: Vec<(Rat, Rat)> = Vec::new();
+        for (i, pts) in corner_groups.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                g1.extend(pts.iter().cloned());
+            } else {
+                g2.extend(pts.iter().cloned());
+            }
+        }
+        if g1.is_empty() || g2.is_empty() {
+            continue;
+        }
+        if strictly_separable(&g1, &g2) || strictly_separable(&g2, &g1) {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// The exact input relation `R` of Example 4.5 (Fig. 1a): two touching axis-parallel
+/// segments and one isolated point at `(5, 90)`.
+#[must_use]
+pub fn example_4_5_instance() -> Relation<DenseOrder> {
+    use frdb_core::dense::DenseAtom;
+    use frdb_core::logic::{Term, Var};
+    use frdb_core::relation::GenTuple;
+    Relation::new(
+        vec![Var::new("x"), Var::new("y")],
+        vec![
+            // y = 0 ∧ 0 ≤ x ≤ 100
+            GenTuple::new(vec![
+                DenseAtom::eq(Term::var("y"), Term::cst(0)),
+                DenseAtom::le(Term::cst(0), Term::var("x")),
+                DenseAtom::le(Term::var("x"), Term::cst(100)),
+            ]),
+            // x = 0 ∧ 0 ≤ y ≤ 100
+            GenTuple::new(vec![
+                DenseAtom::eq(Term::var("x"), Term::cst(0)),
+                DenseAtom::le(Term::cst(0), Term::var("y")),
+                DenseAtom::le(Term::var("y"), Term::cst(100)),
+            ]),
+            // the isolated point (5, 90)
+            GenTuple::new(vec![
+                DenseAtom::eq(Term::var("x"), Term::cst(5)),
+                DenseAtom::eq(Term::var("y"), Term::cst(90)),
+            ]),
+        ],
+    )
+}
+
+/// The *grid* query of Example 4.5: the input is a finite set of points lying on a
+/// uniform grid `x = x₀ + i·Δx`, `y = y₀ + j·Δy`.
+///
+/// # Errors
+/// Returns an error if the input is not a finite set of points.
+pub fn is_grid(relation: &Relation<DenseOrder>) -> Result<bool, crate::graph::FiniteInputError> {
+    let pts = crate::graph::finite_pairs(relation)?;
+    if pts.len() <= 1 {
+        return Ok(true);
+    }
+    let uniform = |values: Vec<Rat>| -> bool {
+        let mut v = values;
+        v.sort();
+        v.dedup();
+        if v.len() <= 2 {
+            return true;
+        }
+        let step = &v[1] - &v[0];
+        // Every value must be v[0] + k·step for an integer k.
+        v.iter().all(|x| {
+            let d = x - &v[0];
+            (&d / &step).is_integer()
+        })
+    };
+    let xs: Vec<Rat> = pts.iter().map(|(x, _)| x.clone()).collect();
+    let ys: Vec<Rat> = pts.iter().map(|(_, y)| y.clone()).collect();
+    Ok(uniform(xs) && uniform(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frdb_core::generic::Automorphism;
+    use frdb_core::logic::Var;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+
+    #[test]
+    fn example_4_5_is_not_separable_but_its_image_is() {
+        // Fig. 1: the isolated point (5, 90) cannot be separated from the two
+        // segments, but after the automorphism µ (which moves it to (15, 90)) the line
+        // y = −x + 101 separates it — so line separation is not order-generic.
+        let original = example_4_5_instance();
+        assert_eq!(line_separation(&original), Ok(false));
+        let mu = Automorphism::example_4_5();
+        let image = mu.apply_relation(&original);
+        assert_eq!(line_separation(&image), Ok(true));
+    }
+
+    #[test]
+    fn separable_and_inseparable_figures() {
+        // Two far-apart points are separable.
+        let two_points = Relation::from_points(
+            vec![Var::new("x"), Var::new("y")],
+            vec![vec![r(0), r(0)], vec![r(10), r(10)]],
+        );
+        assert_eq!(line_separation(&two_points), Ok(true));
+        // A single point is not (nothing on the other side).
+        let one = Relation::from_points(vec![Var::new("x"), Var::new("y")], vec![vec![r(0), r(0)]]);
+        assert_eq!(line_separation(&one), Ok(false));
+    }
+
+    #[test]
+    fn grid_query() {
+        let grid = Relation::from_points(
+            vec![Var::new("x"), Var::new("y")],
+            vec![
+                vec![r(0), r(0)],
+                vec![r(2), r(0)],
+                vec![r(4), r(0)],
+                vec![r(0), r(3)],
+                vec![r(2), r(3)],
+            ],
+        );
+        assert_eq!(is_grid(&grid), Ok(true));
+        let not_grid = Relation::from_points(
+            vec![Var::new("x"), Var::new("y")],
+            vec![vec![r(0), r(0)], vec![r(2), r(0)], vec![r(5), r(0)], vec![r(9), r(0)]],
+        );
+        assert_eq!(is_grid(&not_grid), Ok(false));
+    }
+}

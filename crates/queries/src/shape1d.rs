@@ -1,0 +1,240 @@
+//! One-dimensional queries: connectivity, holes, Eulerian traversal and
+//! homeomorphism of monadic relations.
+//!
+//! Theorem 5.3(iii) notes that the one-dimensional versions of the topological
+//! queries *are* FO-definable ("the connectivity of one-dimensional regions holds if
+//! the input consists of at most one interval"); this module provides both the direct
+//! algorithms on the canonical interval decomposition and the FO sentences, so the
+//! engines can be cross-checked.
+
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::logic::{Formula, Term};
+use frdb_core::normal::{decompose_1d, Piece1};
+use frdb_core::relation::Relation;
+
+/// 1-D region connectivity: the region is a single interval or point (or empty).
+#[must_use]
+pub fn is_connected_1d(relation: &Relation<DenseOrder>) -> bool {
+    decompose_1d(relation).len() <= 1
+}
+
+/// 1-D "at least one hole": a bounded gap exists between two pieces, i.e. the region
+/// has at least two pieces.
+#[must_use]
+pub fn has_hole_1d(relation: &Relation<DenseOrder>) -> bool {
+    decompose_1d(relation).len() >= 2
+}
+
+/// 1-D "exactly one hole": exactly two maximal pieces.
+#[must_use]
+pub fn has_exactly_one_hole_1d(relation: &Relation<DenseOrder>) -> bool {
+    decompose_1d(relation).len() == 2
+}
+
+/// 1-D Eulerian traversal: a continuous traversal visiting each point exactly once
+/// exists iff the region is a single interval or point.
+#[must_use]
+pub fn euler_traversal_1d(relation: &Relation<DenseOrder>) -> bool {
+    is_connected_1d(relation)
+}
+
+/// The FO sentence expressing 1-D connectivity of the relation named `r`:
+/// `∀x∀y∀z (R(x) ∧ R(y) ∧ x ≤ z ∧ z ≤ y → R(z))` — the region is order-convex.
+#[must_use]
+pub fn connectivity_1d_sentence(r: &str) -> Formula<DenseAtom> {
+    Formula::forall(
+        ["x", "y", "z"],
+        Formula::conj([
+            Formula::rel(r, [Term::var("x")]),
+            Formula::rel(r, [Term::var("y")]),
+            Formula::Atom(DenseAtom::le(Term::var("x"), Term::var("z"))),
+            Formula::Atom(DenseAtom::le(Term::var("z"), Term::var("y"))),
+        ])
+        .implies(Formula::rel(r, [Term::var("z")])),
+    )
+}
+
+/// The abstract "shape type" of a 1-D piece, used by the homeomorphism test: two
+/// subsets of the line are homeomorphic iff their ordered sequences of piece types
+/// agree (the paper's Example 6.4 discussion: "the same sequence of points and
+/// intervals").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PieceType {
+    /// An isolated point.
+    Point,
+    /// A bounded interval containing both, one, or none of its endpoints.
+    Bounded {
+        /// Whether the lower endpoint belongs to the set.
+        lo_closed: bool,
+        /// Whether the upper endpoint belongs to the set.
+        hi_closed: bool,
+    },
+    /// An interval unbounded below (and bounded above).
+    UnboundedBelow {
+        /// Whether the upper endpoint belongs to the set.
+        hi_closed: bool,
+    },
+    /// An interval unbounded above (and bounded below).
+    UnboundedAbove {
+        /// Whether the lower endpoint belongs to the set.
+        lo_closed: bool,
+    },
+    /// The whole line.
+    Line,
+}
+
+/// The ordered sequence of piece types of a monadic relation.
+#[must_use]
+pub fn piece_types(relation: &Relation<DenseOrder>) -> Vec<PieceType> {
+    decompose_1d(relation)
+        .into_iter()
+        .map(|p| match p {
+            Piece1::Point(_) => PieceType::Point,
+            Piece1::Interval { lo, hi } => match (lo, hi) {
+                (None, None) => PieceType::Line,
+                (None, Some((_, hc))) => PieceType::UnboundedBelow { hi_closed: hc },
+                (Some((_, lc)), None) => PieceType::UnboundedAbove { lo_closed: lc },
+                (Some((_, lc)), Some((_, hc))) => {
+                    PieceType::Bounded { lo_closed: lc, hi_closed: hc }
+                }
+            },
+        })
+        .collect()
+}
+
+/// The mirror image of a piece-type sequence (a homeomorphism of the line may reverse
+/// orientation, swapping the roles of the endpoints).
+fn reversed(types: &[PieceType]) -> Vec<PieceType> {
+    types
+        .iter()
+        .rev()
+        .map(|t| match *t {
+            PieceType::Point => PieceType::Point,
+            PieceType::Line => PieceType::Line,
+            PieceType::Bounded { lo_closed, hi_closed } => {
+                PieceType::Bounded { lo_closed: hi_closed, hi_closed: lo_closed }
+            }
+            PieceType::UnboundedBelow { hi_closed } => {
+                PieceType::UnboundedAbove { lo_closed: hi_closed }
+            }
+            PieceType::UnboundedAbove { lo_closed } => {
+                PieceType::UnboundedBelow { hi_closed: lo_closed }
+            }
+        })
+        .collect()
+}
+
+/// 1-D homeomorphism: two monadic relations are homeomorphic (as subsets of the line,
+/// under a bi-continuous bijection of the line) iff they decompose into the same
+/// ordered sequence of piece types, possibly after reversing orientation.
+#[must_use]
+pub fn homeomorphic_1d(a: &Relation<DenseOrder>, b: &Relation<DenseOrder>) -> bool {
+    let ta = piece_types(a);
+    let tb = piece_types(b);
+    ta == tb || ta == reversed(&tb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frdb_core::fo::eval_sentence;
+    use frdb_core::logic::Var;
+    use frdb_core::relation::{GenTuple, Instance};
+    use frdb_core::schema::Schema;
+    use frdb_num::Rat;
+
+    fn seg(lo: i64, hi: i64) -> GenTuple<DenseAtom> {
+        GenTuple::new(vec![
+            DenseAtom::le(Term::cst(lo), Term::var("x")),
+            DenseAtom::le(Term::var("x"), Term::cst(hi)),
+        ])
+    }
+
+    fn rel(tuples: Vec<GenTuple<DenseAtom>>) -> Relation<DenseOrder> {
+        Relation::new(vec![Var::new("x")], tuples)
+    }
+
+    #[test]
+    fn direct_and_fo_connectivity_agree() {
+        let connected = rel(vec![seg(0, 3), seg(3, 8)]);
+        let split = rel(vec![seg(0, 3), seg(5, 8)]);
+        assert!(is_connected_1d(&connected));
+        assert!(!is_connected_1d(&split));
+        // The FO sentence gives the same answers (Theorem 5.3(iii)).
+        let schema = Schema::from_pairs([("R", 1)]);
+        let sentence = connectivity_1d_sentence("R");
+        for (relation, expected) in [(connected, true), (split, false)] {
+            let mut inst = Instance::new(schema.clone());
+            inst.set("R", relation);
+            assert_eq!(eval_sentence(&sentence, &inst).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn hole_queries_1d() {
+        assert!(!has_hole_1d(&rel(vec![seg(0, 5)])));
+        assert!(has_hole_1d(&rel(vec![seg(0, 1), seg(2, 3)])));
+        assert!(has_exactly_one_hole_1d(&rel(vec![seg(0, 1), seg(2, 3)])));
+        assert!(!has_exactly_one_hole_1d(&rel(vec![seg(0, 1), seg(2, 3), seg(4, 5)])));
+        assert!(euler_traversal_1d(&rel(vec![seg(0, 5)])));
+        assert!(!euler_traversal_1d(&rel(vec![seg(0, 1), seg(2, 3)])));
+    }
+
+    #[test]
+    fn homeomorphism_ignores_lengths_but_not_structure() {
+        // [0,1] ∪ {5}  ≅  [10,400] ∪ {999}
+        let a = rel(vec![seg(0, 1)]).union(&Relation::from_points(
+            vec![Var::new("x")],
+            vec![vec![Rat::from_i64(5)]],
+        ));
+        let b = rel(vec![seg(10, 400)]).union(&Relation::from_points(
+            vec![Var::new("x")],
+            vec![vec![Rat::from_i64(999)]],
+        ));
+        assert!(homeomorphic_1d(&a, &b));
+        // But a closed interval is not homeomorphic to a half-open one, and the order
+        // of the pieces matters.
+        let half_open = Relation::from_dnf(
+            vec![Var::new("x")],
+            vec![vec![
+                DenseAtom::le(Term::cst(0), Term::var("x")),
+                DenseAtom::lt(Term::var("x"), Term::cst(1)),
+            ]],
+        );
+        assert!(!homeomorphic_1d(&rel(vec![seg(0, 1)]), &half_open));
+        // An interval followed by a point IS homeomorphic to a point followed by an
+        // interval: x ↦ −x reverses the line.
+        let point_then_interval = Relation::from_points(
+            vec![Var::new("x")],
+            vec![vec![Rat::from_i64(-5)]],
+        )
+        .union(&rel(vec![seg(0, 1)]));
+        assert!(homeomorphic_1d(&a, &point_then_interval));
+        // But an interval plus a point is not homeomorphic to two points.
+        let two_points = Relation::from_points(
+            vec![Var::new("x")],
+            vec![vec![Rat::from_i64(0)], vec![Rat::from_i64(1)]],
+        );
+        assert!(!homeomorphic_1d(&a, &two_points));
+    }
+
+    #[test]
+    fn piece_types_cover_unbounded_cases() {
+        let below = Relation::from_dnf(
+            vec![Var::new("x")],
+            vec![vec![DenseAtom::le(Term::var("x"), Term::cst(0))]],
+        );
+        assert_eq!(piece_types(&below), vec![PieceType::UnboundedBelow { hi_closed: true }]);
+        let above = Relation::from_dnf(
+            vec![Var::new("x")],
+            vec![vec![DenseAtom::lt(Term::cst(0), Term::var("x"))]],
+        );
+        assert_eq!(piece_types(&above), vec![PieceType::UnboundedAbove { lo_closed: false }]);
+        assert_eq!(
+            piece_types(&Relation::universal(vec![Var::new("x")])),
+            vec![PieceType::Line]
+        );
+        assert!(homeomorphic_1d(&below, &below));
+        assert!(!homeomorphic_1d(&below, &above));
+    }
+}

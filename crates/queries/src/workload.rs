@@ -1,0 +1,104 @@
+//! Random-instance generators for property tests and the benchmark harness.
+
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::logic::{Term, Var};
+use frdb_core::relation::{GenTuple, Instance, Relation};
+use frdb_core::schema::Schema;
+use frdb_num::Rat;
+use rand::Rng;
+
+/// A random monadic relation: the union of `n` random closed intervals with integer
+/// endpoints in `[0, range]`.
+#[must_use]
+pub fn random_intervals(rng: &mut impl Rng, n: usize, range: i64) -> Relation<DenseOrder> {
+    let tuples = (0..n)
+        .map(|_| {
+            let a = rng.gen_range(0..=range);
+            let b = rng.gen_range(0..=range);
+            let (lo, hi) = (a.min(b), a.max(b));
+            GenTuple::new(vec![
+                DenseAtom::le(Term::cst(lo), Term::var("x")),
+                DenseAtom::le(Term::var("x"), Term::cst(hi)),
+            ])
+        })
+        .collect();
+    Relation::new(vec![Var::new("x")], tuples)
+}
+
+/// A random binary region: the union of `n` random axis-parallel rectangles (some of
+/// them degenerate segments) with integer corners in `[0, range]²`.
+#[must_use]
+pub fn random_region2(rng: &mut impl Rng, n: usize, range: i64) -> Relation<DenseOrder> {
+    let tuples = (0..n)
+        .map(|_| {
+            let x0 = rng.gen_range(0..=range);
+            let x1 = (x0 + rng.gen_range(0..=range / 4 + 1)).min(range);
+            let y0 = rng.gen_range(0..=range);
+            let y1 = (y0 + rng.gen_range(0..=range / 4 + 1)).min(range);
+            GenTuple::new(vec![
+                DenseAtom::le(Term::cst(x0), Term::var("x")),
+                DenseAtom::le(Term::var("x"), Term::cst(x1)),
+                DenseAtom::le(Term::cst(y0), Term::var("y")),
+                DenseAtom::le(Term::var("y"), Term::cst(y1)),
+            ])
+        })
+        .collect();
+    Relation::new(vec![Var::new("x"), Var::new("y")], tuples)
+}
+
+/// A random finite directed graph on `nodes` vertices with `edges` edges, embedded as
+/// a finite binary constraint relation.
+#[must_use]
+pub fn random_graph(rng: &mut impl Rng, nodes: usize, edges: usize) -> Relation<DenseOrder> {
+    let points: Vec<Vec<Rat>> = (0..edges)
+        .map(|_| {
+            let a = rng.gen_range(0..nodes.max(1)) as i64;
+            let b = rng.gen_range(0..nodes.max(1)) as i64;
+            vec![Rat::from_i64(a), Rat::from_i64(b)]
+        })
+        .collect();
+    Relation::from_points(vec![Var::new("x"), Var::new("y")], points)
+}
+
+/// Wraps a relation named `name` into a single-relation instance.
+#[must_use]
+pub fn single_relation_instance(name: &str, relation: Relation<DenseOrder>) -> Instance<DenseOrder> {
+    let schema = Schema::from_pairs([(name, relation.arity())]);
+    let mut inst = Instance::new(schema);
+    inst.set(name, relation);
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generators_produce_relations_of_the_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r1 = random_intervals(&mut rng, 10, 100);
+        assert_eq!(r1.arity(), 1);
+        assert!(r1.num_tuples() <= 10);
+        let r2 = random_region2(&mut rng, 8, 50);
+        assert_eq!(r2.arity(), 2);
+        let g = random_graph(&mut rng, 10, 20);
+        assert_eq!(g.arity(), 2);
+        let inst = single_relation_instance("R", r2);
+        assert_eq!(inst.schema().arity(&"R".into()), Some(2));
+    }
+
+    #[test]
+    fn random_regions_admit_the_catalog_queries() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..3 {
+            let r = random_intervals(&mut rng, 6, 60);
+            // The 1-D queries never panic and are mutually consistent.
+            let connected = crate::shape1d::is_connected_1d(&r);
+            let convex = crate::convexity::is_convex_1d(&r);
+            assert_eq!(connected, convex);
+            let _ = crate::shape1d::has_hole_1d(&r);
+        }
+    }
+}

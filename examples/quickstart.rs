@@ -1,0 +1,86 @@
+//! Quickstart: define a constraint database, query it with the relational calculus,
+//! and inspect its canonical form and encoding size.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use frdb::prelude::*;
+use frdb_core::normal::{cover, decompose_1d};
+
+fn main() {
+    // A schema with a spatial relation (a region of the rational plane) and a
+    // temporal relation (a set of time intervals).
+    let schema = Schema::from_pairs([("region", 2), ("busy", 1)]);
+    let mut db: Instance<DenseOrder> = Instance::new(schema);
+
+    // The region is the union of a filled rectangle and a triangle bounded by the
+    // diagonal — the shapes of Example 2.5 / Fig. 2.
+    db.set(
+        "region",
+        Relation::new(
+            vec![Var::new("x"), Var::new("y")],
+            vec![
+                GenTuple::new(vec![
+                    DenseAtom::le(Term::cst(0), Term::var("x")),
+                    DenseAtom::le(Term::var("x"), Term::cst(4)),
+                    DenseAtom::le(Term::cst(0), Term::var("y")),
+                    DenseAtom::le(Term::var("y"), Term::cst(2)),
+                ]),
+                GenTuple::new(vec![
+                    DenseAtom::le(Term::cst(4), Term::var("x")),
+                    DenseAtom::le(Term::var("x"), Term::var("y")),
+                    DenseAtom::le(Term::var("y"), Term::cst(6)),
+                ]),
+            ],
+        ),
+    );
+    // Busy times: two closed intervals.
+    db.set(
+        "busy",
+        Relation::new(
+            vec![Var::new("t")],
+            vec![
+                GenTuple::new(vec![
+                    DenseAtom::le(Term::cst(1), Term::var("t")),
+                    DenseAtom::le(Term::var("t"), Term::cst(3)),
+                ]),
+                GenTuple::new(vec![
+                    DenseAtom::le(Term::cst(5), Term::var("t")),
+                    DenseAtom::le(Term::var("t"), Term::cst(8)),
+                ]),
+            ],
+        ),
+    );
+
+    println!("database size (standard encoding of §4.2): {} symbols", database_size(&db));
+
+    // Relational calculus: the projection of the region on the x axis.
+    let shadow_query: Formula<DenseAtom> =
+        Formula::exists(["y"], Formula::rel("region", [Term::var("x"), Term::var("y")]));
+    let shadow = eval_query(&shadow_query, &[Var::new("x")], &db).unwrap();
+    println!("\nprojection on x:  {shadow}");
+    for piece in decompose_1d(&shadow) {
+        println!("  piece: {piece:?}");
+    }
+
+    // A Boolean query: is the whole region contained in the half-plane x ≤ 6?
+    let bounded: Formula<DenseAtom> = Formula::forall(
+        ["x", "y"],
+        Formula::rel("region", [Term::var("x"), Term::var("y")])
+            .implies(Formula::Atom(DenseAtom::le(Term::var("x"), Term::cst(6)))),
+    );
+    println!("\nregion ⊆ {{x ≤ 6}} ?  {}", eval_sentence(&bounded, &db).unwrap());
+
+    // Free time: the complement of busy within the working day [0, 10].
+    let free_query: Formula<DenseAtom> = Formula::rel("busy", [Term::var("t")])
+        .not()
+        .and(Formula::Atom(DenseAtom::le(Term::cst(0), Term::var("t"))))
+        .and(Formula::Atom(DenseAtom::le(Term::var("t"), Term::cst(10))));
+    let free = eval_query(&free_query, &[Var::new("t")], &db).unwrap();
+    println!("\nfree time within [0,10]: {free}");
+
+    // The canonical cover (prime tuples of §6) of the region.
+    println!("\nprime-tuple cover of the region:");
+    for cell in cover(&db.get(&RelName::new("region")).unwrap()) {
+        println!("  {cell}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Integration + property tests for experiment E9: covers (Definition 6.9, Lemma
+//! 6.10) and the finite relational encoding of Section 6 (Example 6.11) round-trip on
+//! random regions, and the standard encoding of §4.2 grows with the representation.
+
+use frdb::prelude::*;
+use frdb_core::encode::{
+    database_size, decode_relation_cover, encode_relation_cover, AdomMap,
+};
+use frdb_core::normal::{cover, nonredundant_cover};
+use frdb_queries::workload::{random_intervals, random_region2, single_relation_instance};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn covers_are_equivalent_and_nonredundant_on_random_regions() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for n in [2usize, 4, 6] {
+        let rel = random_region2(&mut rng, n, 20);
+        let c = nonredundant_cover(&rel);
+        let rebuilt = Relation::<DenseOrder>::from_dnf(
+            rel.vars().to_vec(),
+            c.iter().map(|t| t.to_conj()).collect(),
+        );
+        assert!(rebuilt.equivalent(&rel), "cover must be equivalent to the relation");
+        for i in 0..c.len() {
+            let mut rest = c.clone();
+            rest.remove(i);
+            let partial = Relation::<DenseOrder>::from_dnf(
+                rel.vars().to_vec(),
+                rest.iter().map(|t| t.to_conj()).collect(),
+            );
+            assert!(!partial.equivalent(&rel), "cover must be non-redundant");
+        }
+    }
+}
+
+#[test]
+fn relational_encoding_roundtrip_on_random_regions() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for n in [1usize, 3, 5] {
+        let rel = random_region2(&mut rng, n, 15);
+        let rows = encode_relation_cover(&rel);
+        let back = decode_relation_cover(rel.vars(), &rows).unwrap();
+        assert!(back.equivalent(&rel), "encode/decode must round-trip");
+        // Lemma 6.10: the number of encoded tuples is polynomial in the number of
+        // constraints (here: comfortably bounded by a quadratic).
+        let constraints = rel.num_atoms().max(1);
+        assert!(rows.len() <= 4 * constraints * constraints + 4);
+    }
+}
+
+#[test]
+fn adom_map_commutes_with_equivalence() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let rel = random_intervals(&mut rng, 5, 50);
+    let inst = single_relation_instance("R", rel);
+    let map = AdomMap::for_instance(&inst);
+    assert!(map.is_order_preserving());
+    let image = map.apply_instance(&inst);
+    // The image has the same component structure (it is an order-isomorphic copy).
+    let orig_pieces =
+        frdb_core::normal::decompose_1d(&inst.get(&RelName::new("R")).unwrap()).len();
+    let image_pieces =
+        frdb_core::normal::decompose_1d(&image.get(&RelName::new("R")).unwrap()).len();
+    assert_eq!(orig_pieces, image_pieces);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The §4.2 size measure is positive and monotone under union with fresh material.
+    #[test]
+    fn database_size_is_monotone(seed in 0u64..1000, n in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let small = random_intervals(&mut rng, n, 40);
+        let extra = random_intervals(&mut rng, n, 40).map_constants(&|c| c + &Rat::from_i64(1000));
+        let large = small.union(&extra.rename(small.vars().to_vec()));
+        let inst_small = single_relation_instance("R", small);
+        let inst_large = single_relation_instance("R", large);
+        prop_assert!(database_size(&inst_small) > 0);
+        prop_assert!(database_size(&inst_large) >= database_size(&inst_small));
+    }
+
+    /// Covers of random monadic relations reproduce membership exactly.
+    #[test]
+    fn cover_preserves_membership(seed in 0u64..1000, n in 1usize..6, probe in -10i64..60) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rel = random_intervals(&mut rng, n, 50);
+        let c = cover(&rel);
+        let rebuilt = Relation::<DenseOrder>::from_dnf(
+            rel.vars().to_vec(),
+            c.iter().map(|t| t.to_conj()).collect(),
+        );
+        let p = Rat::from_i64(probe);
+        prop_assert_eq!(rel.contains(&[p.clone()]), rebuilt.contains(&[p]));
+    }
+}

@@ -1,0 +1,101 @@
+//! Integration test for experiment E8 (Fig. 8): the query catalog gives consistent
+//! answers across its three implementations — direct algorithms, FO sentences and
+//! DATALOG¬ programs — on representative instances.
+
+use frdb::prelude::*;
+use frdb_core::fo::eval_sentence;
+use frdb_queries::connectivity::{component_count, is_connected};
+use frdb_queries::convexity::{is_convex, is_convex_1d};
+use frdb_queries::graph::{graph_connected, integer_set, parity, path_graph, transitive_closure};
+use frdb_queries::programs::region_connected_datalog;
+use frdb_queries::shape1d::{connectivity_1d_sentence, is_connected_1d};
+use frdb_datalog::transitive_closure_program;
+
+fn seg1(lo: i64, hi: i64) -> GenTuple<DenseAtom> {
+    GenTuple::new(vec![
+        DenseAtom::le(Term::cst(lo), Term::var("x")),
+        DenseAtom::le(Term::var("x"), Term::cst(hi)),
+    ])
+}
+
+fn rect(x0: i64, x1: i64, y0: i64, y1: i64) -> GenTuple<DenseAtom> {
+    GenTuple::new(vec![
+        DenseAtom::le(Term::cst(x0), Term::var("x")),
+        DenseAtom::le(Term::var("x"), Term::cst(x1)),
+        DenseAtom::le(Term::cst(y0), Term::var("y")),
+        DenseAtom::le(Term::var("y"), Term::cst(y1)),
+    ])
+}
+
+#[test]
+fn one_dimensional_queries_agree_between_fo_and_direct() {
+    let schema = Schema::from_pairs([("R", 1)]);
+    let cases = vec![
+        (Relation::<DenseOrder>::new(vec![Var::new("x")], vec![seg1(0, 5), seg1(3, 9)]), true),
+        (Relation::new(vec![Var::new("x")], vec![seg1(0, 1), seg1(4, 5)]), false),
+        (Relation::empty(vec![Var::new("x")]), true),
+    ];
+    for (relation, expected) in cases {
+        assert_eq!(is_connected_1d(&relation), expected);
+        assert_eq!(is_convex_1d(&relation), expected);
+        assert_eq!(is_connected(&relation), expected);
+        let mut inst = Instance::new(schema.clone());
+        inst.set("R", relation);
+        assert_eq!(
+            eval_sentence(&connectivity_1d_sentence("R"), &inst).unwrap(),
+            expected
+        );
+    }
+}
+
+#[test]
+fn two_dimensional_connectivity_direct_vs_datalog() {
+    let vars = vec![Var::new("x"), Var::new("y")];
+    let connected = Relation::<DenseOrder>::new(vars.clone(), vec![rect(0, 2, 0, 2)]);
+    let split = Relation::new(vars, vec![rect(0, 1, 0, 1), rect(4, 5, 4, 5)]);
+    assert!(is_connected(&connected));
+    assert!(!is_connected(&split));
+    assert_eq!(component_count(&split), 2);
+    assert!(region_connected_datalog(&connected).unwrap());
+    assert!(!region_connected_datalog(&split).unwrap());
+}
+
+#[test]
+fn transitive_closure_three_ways() {
+    // Direct algorithm, DATALOG¬ program and the FO-undefinability side condition
+    // (we only check the two computable routes agree).
+    let edges = path_graph(6);
+    let direct = transitive_closure(&edges).unwrap();
+    let mut inst = Instance::new(Schema::from_pairs([("edge", 2)]));
+    inst.set("edge", edges.clone());
+    let tc = transitive_closure_program("edge", "tc")
+        .run_for(&inst, &RelName::new("tc"))
+        .unwrap();
+    for i in 1..=6i64 {
+        for j in 1..=6i64 {
+            let expected = i < j;
+            assert_eq!(direct.contains(&(Rat::from_i64(i), Rat::from_i64(j))), expected);
+            assert_eq!(tc.contains(&[Rat::from_i64(i), Rat::from_i64(j)]), expected);
+        }
+    }
+    assert!(graph_connected(&edges).unwrap());
+}
+
+#[test]
+fn parity_and_convexity_catalog_entries() {
+    assert!(parity(&integer_set(4)).unwrap());
+    assert!(!parity(&integer_set(5)).unwrap());
+    // 2-D convexity through the linear engine on a triangle and a split region.
+    let vars = vec![Var::new("x"), Var::new("y")];
+    let triangle = Relation::<DenseOrder>::new(
+        vars.clone(),
+        vec![GenTuple::new(vec![
+            DenseAtom::le(Term::cst(0), Term::var("x")),
+            DenseAtom::le(Term::var("x"), Term::var("y")),
+            DenseAtom::le(Term::var("y"), Term::cst(4)),
+        ])],
+    );
+    assert!(is_convex(&triangle).unwrap());
+    let split = Relation::new(vars, vec![rect(0, 1, 0, 1), rect(5, 6, 5, 6)]);
+    assert!(!is_convex(&split).unwrap());
+}

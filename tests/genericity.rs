@@ -1,0 +1,67 @@
+//! Integration test for experiment E1 and Propositions 4.9/4.10 / Theorem 6.1:
+//! constant-free FO and DATALOG¬ queries are order-generic, and the Example 4.5
+//! queries are not.
+
+use frdb::prelude::*;
+use frdb_core::generic::{boolean_commutes_with, commutes_with};
+use frdb_queries::connectivity::is_connected;
+use frdb_queries::separation::{example_4_5_instance, line_separation};
+use frdb_queries::workload::{random_region2, single_relation_instance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn example_4_5_line_separation_is_not_order_generic() {
+    let relation = example_4_5_instance();
+    let mu = Automorphism::example_4_5();
+    let before = line_separation(&relation).unwrap();
+    let after = line_separation(&mu.apply_relation(&relation)).unwrap();
+    assert!(!before);
+    assert!(after);
+    assert_ne!(before, after, "Fig. 1: the answer must flip under µ");
+}
+
+#[test]
+fn constant_free_fo_queries_commute_with_random_automorphisms() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let query = |inst: &Instance<DenseOrder>| {
+        // {(x, y) | R(x, y) ∧ ∃z (R(x, z) ∧ y < z)}  — constant-free, hence generic.
+        let f: Formula<DenseAtom> = Formula::rel("R", [Term::var("x"), Term::var("y")]).and(
+            Formula::exists(
+                ["z"],
+                Formula::rel("R", [Term::var("x"), Term::var("z")])
+                    .and(Formula::Atom(DenseAtom::lt(Term::var("y"), Term::var("z")))),
+            ),
+        );
+        eval_query(&f, &[Var::new("x"), Var::new("y")], inst).unwrap()
+    };
+    for _ in 0..3 {
+        let region = random_region2(&mut rng, 4, 30);
+        let inst = single_relation_instance("R", region);
+        for _ in 0..3 {
+            let mu = Automorphism::random(&mut rng, 3, 40);
+            assert!(commutes_with(&query, &inst, &mu), "Proposition 4.10 violated");
+        }
+    }
+}
+
+#[test]
+fn topological_queries_are_order_generic_boolean_queries() {
+    // Theorem 6.1 / the catalog: connectivity commutes with automorphisms.
+    let mut rng = StdRng::seed_from_u64(7);
+    let query = |inst: &Instance<DenseOrder>| {
+        is_connected(&inst.get(&RelName::new("R")).unwrap())
+    };
+    for _ in 0..3 {
+        let region = random_region2(&mut rng, 5, 40);
+        let inst = single_relation_instance("R", region);
+        for _ in 0..3 {
+            let mu = Automorphism::random(&mut rng, 4, 60);
+            assert!(boolean_commutes_with(&query, &inst, &mu));
+        }
+    }
+    // And specifically with the Example 4.5 automorphism on the Example 4.5 instance,
+    // in contrast to line separation.
+    let inst = single_relation_instance("R", example_4_5_instance());
+    assert!(boolean_commutes_with(&query, &inst, &Automorphism::example_4_5()));
+}

@@ -1,0 +1,49 @@
+//! Property tests for experiments E3–E6: the reductions of Figs. 3–6 are correct on
+//! arbitrary Boolean vectors — the reduction output, fed to the direct query
+//! algorithms, returns exactly the Boolean function value.
+
+use frdb_queries::connectivity::{has_exactly_one_hole, has_hole, is_connected};
+use frdb_queries::euler::euler_traversal;
+use frdb_queries::reductions::{
+    half, half_to_euler, half_to_homeomorphism, majority, majority_to_connectivity,
+    majority_to_holes, parity, parity_to_connectivity_3d,
+};
+use frdb_queries::shape1d::homeomorphic_1d;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn majority_reduction_to_connectivity(bits in proptest::collection::vec(any::<bool>(), 1..7)) {
+        let region = majority_to_connectivity(&bits);
+        prop_assert_eq!(is_connected(&region), majority(&bits));
+    }
+
+    #[test]
+    fn majority_reduction_to_holes(bits in proptest::collection::vec(any::<bool>(), 1..5)) {
+        // Hole counting goes through the complement of the figure, the most expensive
+        // operation in the engine, so the vectors are kept short here; the unit tests
+        // and the benchmark harness cover larger instances.
+        let region = majority_to_holes(&bits);
+        prop_assert_eq!(has_hole(&region), majority(&bits));
+    }
+
+    #[test]
+    fn parity_reduction_to_3d_connectivity(bits in proptest::collection::vec(any::<bool>(), 0..6)) {
+        let region = parity_to_connectivity_3d(&bits);
+        prop_assert_eq!(is_connected(&region), parity(&bits));
+    }
+
+    #[test]
+    fn half_reduction_to_euler(bits in proptest::collection::vec(any::<bool>(), 1..7)) {
+        let segments = half_to_euler(&bits);
+        prop_assert_eq!(euler_traversal(&segments), half(&bits));
+    }
+
+    #[test]
+    fn half_reduction_to_homeomorphism(bits in proptest::collection::vec(any::<bool>(), 0..8)) {
+        let (r1, r2) = half_to_homeomorphism(&bits);
+        prop_assert_eq!(homeomorphic_1d(&r1, &r2), half(&bits));
+    }
+}
