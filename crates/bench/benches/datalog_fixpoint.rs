@@ -6,9 +6,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use frdb_bench::region_relation;
+use frdb_core::logic::Var;
 use frdb_core::relation::{Instance, Relation};
 use frdb_core::schema::{RelName, Schema};
-use frdb_core::logic::Var;
 use frdb_datalog::transitive_closure_program;
 use frdb_num::Rat;
 use frdb_queries::connectivity::component_count;
@@ -28,7 +28,9 @@ fn path_instance(n: usize) -> Instance<frdb_core::dense::DenseOrder> {
 
 fn bench_transitive_closure(c: &mut Criterion) {
     let mut group = c.benchmark_group("E11_datalog_transitive_closure_vs_graph_size");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [4usize, 6, 8, 10] {
         let inst = path_instance(n);
         let program = transitive_closure_program("edge", "tc");
@@ -41,7 +43,9 @@ fn bench_transitive_closure(c: &mut Criterion) {
 
 fn bench_direct_connectivity(c: &mut Criterion) {
     let mut group = c.benchmark_group("E11_ptime_region_connectivity_vs_cells");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [4usize, 8, 16, 32] {
         let region = region_relation(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -51,5 +55,32 @@ fn bench_direct_connectivity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_transitive_closure, bench_direct_connectivity);
+fn bench_semi_naive_vs_naive(c: &mut Criterion) {
+    // The acceptance benchmark for the semi-naive engine: the same
+    // transitive-closure fixpoint computed by delta evaluation (`run`) and by
+    // naive re-evaluation (`run_naive`).  The JSON results let each PR track
+    // the ratio.
+    let mut group = c.benchmark_group("E11_datalog_semi_naive_vs_naive");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for n in [6usize, 8, 10] {
+        let inst = path_instance(n);
+        let program = transitive_closure_program("edge", "tc");
+        group.bench_with_input(BenchmarkId::new("semi_naive", n), &n, |b, _| {
+            b.iter(|| program.run(&inst).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| program.run_naive(&inst).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transitive_closure,
+    bench_direct_connectivity,
+    bench_semi_naive_vs_naive
+);
 criterion_main!(benches);

@@ -7,14 +7,16 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use frdb_bench::{gap_query, gap_query_free, interval_instance, region_instance};
+use frdb_core::dense::DenseAtom;
 use frdb_core::fo::{eval_query, eval_sentence};
 use frdb_core::logic::{Formula, Term};
-use frdb_core::dense::DenseAtom;
 use std::time::Duration;
 
 fn bench_fixed_query_growing_data(c: &mut Criterion) {
     let mut group = c.benchmark_group("E10_fo_gap_query_vs_database_size");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [4usize, 8, 16, 32, 64] {
         let inst = interval_instance(n);
         let q = gap_query();
@@ -28,7 +30,9 @@ fn bench_fixed_query_growing_data(c: &mut Criterion) {
 
 fn bench_planar_projection(c: &mut Criterion) {
     let mut group = c.benchmark_group("E10_fo_planar_projection_vs_database_size");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let q: Formula<DenseAtom> =
         Formula::exists(["y"], Formula::rel("R", [Term::var("x"), Term::var("y")]));
     let free = vec![frdb_core::logic::Var::new("x")];
@@ -43,7 +47,9 @@ fn bench_planar_projection(c: &mut Criterion) {
 
 fn bench_boolean_sentence(c: &mut Criterion) {
     let mut group = c.benchmark_group("E10_fo_boolean_sentence_vs_database_size");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     // ∃x∃y. R(x) ∧ R(y) ∧ x < y  — a rank-2 sentence.
     let q: Formula<DenseAtom> = Formula::exists(
         ["x", "y"],

@@ -12,7 +12,9 @@ use std::time::Duration;
 
 fn bench_cover(c: &mut Criterion) {
     let mut group = c.benchmark_group("E9_prime_tuple_cover_vs_constraints");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [2usize, 4, 8, 16] {
         let region = region_relation(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -24,7 +26,9 @@ fn bench_cover(c: &mut Criterion) {
 
 fn bench_encoding(c: &mut Criterion) {
     let mut group = c.benchmark_group("E9_relational_encoding_vs_constraints");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [2usize, 4, 8, 16] {
         let region = region_relation(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -36,7 +40,9 @@ fn bench_encoding(c: &mut Criterion) {
 
 fn bench_database_size_and_1d_decomposition(c: &mut Criterion) {
     let mut group = c.benchmark_group("E9_standard_encoding_and_1d_decomposition");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [8usize, 32, 128, 512] {
         let inst = interval_instance(n);
         group.bench_with_input(BenchmarkId::new("database_size", n), &n, |b, _| {
@@ -54,5 +60,10 @@ fn bench_database_size_and_1d_decomposition(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cover, bench_encoding, bench_database_size_and_1d_decomposition);
+criterion_group!(
+    benches,
+    bench_cover,
+    bench_encoding,
+    bench_database_size_and_1d_decomposition
+);
 criterion_main!(benches);

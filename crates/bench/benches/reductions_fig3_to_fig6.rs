@@ -15,7 +15,9 @@ use std::time::Duration;
 
 fn bench_majority_connectivity(c: &mut Criterion) {
     let mut group = c.benchmark_group("E3_majority_to_connectivity");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [4usize, 8, 16, 24] {
         let bits = boolean_vector(n, n / 2 + 1);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -27,7 +29,9 @@ fn bench_majority_connectivity(c: &mut Criterion) {
 
 fn bench_majority_holes(c: &mut Criterion) {
     let mut group = c.benchmark_group("E4_majority_to_holes");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [4usize, 6, 8] {
         let bits = boolean_vector(n, n / 2 + 1);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -39,7 +43,9 @@ fn bench_majority_holes(c: &mut Criterion) {
 
 fn bench_parity_3d(c: &mut Criterion) {
     let mut group = c.benchmark_group("E5_parity_to_3d_connectivity");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [4usize, 8, 12] {
         let bits = boolean_vector(n, n / 2);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -51,7 +57,9 @@ fn bench_parity_3d(c: &mut Criterion) {
 
 fn bench_half_reductions(c: &mut Criterion) {
     let mut group = c.benchmark_group("E6_half_to_euler_and_homeomorphism");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [8usize, 32, 128] {
         let bits = boolean_vector(n, n / 2);
         group.bench_with_input(BenchmarkId::new("euler", n), &n, |b, _| {

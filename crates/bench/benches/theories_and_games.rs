@@ -25,7 +25,10 @@ use std::time::Duration;
 fn order_chain(n: usize) -> Vec<DenseAtom> {
     let mut atoms = vec![DenseAtom::lt(Term::cst(0), Term::var("v0"))];
     for i in 0..n {
-        atoms.push(DenseAtom::lt(Term::var(format!("v{i}")), Term::var(format!("v{}", i + 1))));
+        atoms.push(DenseAtom::lt(
+            Term::var(format!("v{i}")),
+            Term::var(format!("v{}", i + 1)),
+        ));
     }
     atoms.push(DenseAtom::lt(Term::var(format!("v{n}")), Term::cst(1)));
     atoms
@@ -33,7 +36,10 @@ fn order_chain(n: usize) -> Vec<DenseAtom> {
 
 /// The same chain in the linear language, with an extra additive constraint.
 fn linear_chain(n: usize) -> Vec<LinAtom> {
-    let mut atoms = vec![LinAtom::lt(LinExpr::constant(frdb_num::Rat::zero()), LinExpr::var("v0"))];
+    let mut atoms = vec![LinAtom::lt(
+        LinExpr::constant(frdb_num::Rat::zero()),
+        LinExpr::var("v0"),
+    )];
     for i in 0..n {
         atoms.push(LinAtom::lt(
             LinExpr::var(format!("v{i}")),
@@ -49,7 +55,9 @@ fn linear_chain(n: usize) -> Vec<LinAtom> {
 
 fn bench_theories(c: &mut Criterion) {
     let mut group = c.benchmark_group("E12_theory_satisfiability_cost");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [4usize, 8, 16] {
         let oc = order_chain(n);
         group.bench_with_input(BenchmarkId::new("dense_order", n), &n, |b, _| {
@@ -62,7 +70,10 @@ fn bench_theories(c: &mut Criterion) {
         // A polynomial workload of comparable size: decompose Π (x - i) ≥ 0.
         let mut poly = Poly::from_i64(&[1]);
         for i in 1..=n as i64 {
-            poly = poly.mul(&Poly::new(vec![frdb_num::Rat::from_i64(-i), frdb_num::Rat::one()]));
+            poly = poly.mul(&Poly::new(vec![
+                frdb_num::Rat::from_i64(-i),
+                frdb_num::Rat::one(),
+            ]));
         }
         let constraint = vec![PolyConstraint::new(poly, SignOp::Ge)];
         group.bench_with_input(BenchmarkId::new("polynomial_sturm", n), &n, |b, _| {
@@ -74,7 +85,9 @@ fn bench_theories(c: &mut Criterion) {
 
 fn bench_games(c: &mut Criterion) {
     let mut group = c.benchmark_group("E7_ef_games_on_combs");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for teeth in [2usize, 3] {
         let a = comb_instance(teeth, true);
         let b = comb_instance(teeth, false);
@@ -87,7 +100,9 @@ fn bench_games(c: &mut Criterion) {
 
 fn bench_genericity_and_convexity(c: &mut Criterion) {
     let mut group = c.benchmark_group("E1_E2_genericity_and_convexity");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let fig1 = example_4_5_instance();
     let mu = Automorphism::example_4_5();
     group.bench_function("E1_line_separation_flip", |b| {
@@ -107,5 +122,10 @@ fn bench_genericity_and_convexity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_theories, bench_games, bench_genericity_and_convexity);
+criterion_group!(
+    benches,
+    bench_theories,
+    bench_games,
+    bench_genericity_and_convexity
+);
 criterion_main!(benches);

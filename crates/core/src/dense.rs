@@ -24,7 +24,7 @@
 use crate::logic::{Term, Var};
 use crate::theory::{Atom, Conj, Dnf, Theory};
 use frdb_num::Rat;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 /// Comparison operators of the dense-order language (after normalization).
@@ -63,19 +63,31 @@ impl DenseAtom {
     /// The atom `lhs < rhs`.
     #[must_use]
     pub fn lt(lhs: impl Into<Term>, rhs: impl Into<Term>) -> Self {
-        DenseAtom { lhs: lhs.into(), op: CmpOp::Lt, rhs: rhs.into() }
+        DenseAtom {
+            lhs: lhs.into(),
+            op: CmpOp::Lt,
+            rhs: rhs.into(),
+        }
     }
 
     /// The atom `lhs ≤ rhs`.
     #[must_use]
     pub fn le(lhs: impl Into<Term>, rhs: impl Into<Term>) -> Self {
-        DenseAtom { lhs: lhs.into(), op: CmpOp::Le, rhs: rhs.into() }
+        DenseAtom {
+            lhs: lhs.into(),
+            op: CmpOp::Le,
+            rhs: rhs.into(),
+        }
     }
 
     /// The atom `lhs = rhs`.
     #[must_use]
     pub fn eq(lhs: impl Into<Term>, rhs: impl Into<Term>) -> Self {
-        DenseAtom { lhs: lhs.into(), op: CmpOp::Eq, rhs: rhs.into() }
+        DenseAtom {
+            lhs: lhs.into(),
+            op: CmpOp::Eq,
+            rhs: rhs.into(),
+        }
     }
 
     /// The atom `lhs > rhs`, normalized to `rhs < lhs`.
@@ -159,12 +171,24 @@ impl Atom for DenseAtom {
         }
     }
 
+    fn subst_simultaneous(&self, map: &HashMap<Var, Term>) -> Self {
+        DenseAtom {
+            lhs: self.lhs.subst_simultaneous(map),
+            op: self.op,
+            rhs: self.rhs.subst_simultaneous(map),
+        }
+    }
+
     fn map_constants(&self, f: &impl Fn(&Rat) -> Rat) -> Self {
         let map = |t: &Term| match t {
             Term::Var(v) => Term::Var(v.clone()),
             Term::Const(c) => Term::Const(f(c)),
         };
-        DenseAtom { lhs: map(&self.lhs), op: self.op, rhs: map(&self.rhs) }
+        DenseAtom {
+            lhs: map(&self.lhs),
+            op: self.op,
+            rhs: map(&self.rhs),
+        }
     }
 }
 
@@ -198,19 +222,20 @@ impl Rel {
 #[derive(Clone, Debug)]
 pub struct OrderClosure {
     nodes: Vec<Term>,
-    index: BTreeMap<Term, usize>,
+    index: HashMap<Term, usize>,
     rel: Vec<Vec<Rel>>,
     satisfiable: bool,
 }
 
 impl OrderClosure {
     /// Builds the closure of a conjunction, additionally registering `extra_terms` as
-    /// nodes (useful for implication checks against atoms mentioning new constants).
+    /// nodes (useful when callers want closure entries for terms of their own;
+    /// entailment of atoms over foreign constants is exact even without them).
     #[must_use]
     pub fn new(conj: &[DenseAtom], extra_terms: &[Term]) -> Self {
-        let mut index: BTreeMap<Term, usize> = BTreeMap::new();
+        let mut index: HashMap<Term, usize> = HashMap::new();
         let mut nodes: Vec<Term> = Vec::new();
-        let intern = |t: &Term, nodes: &mut Vec<Term>, index: &mut BTreeMap<Term, usize>| {
+        let intern = |t: &Term, nodes: &mut Vec<Term>, index: &mut HashMap<Term, usize>| {
             if let Some(&i) = index.get(t) {
                 i
             } else {
@@ -270,7 +295,12 @@ impl OrderClosure {
             }
         }
         let satisfiable = (0..n).all(|i| rel[i][i] != Rel::Lt);
-        OrderClosure { nodes, index, rel, satisfiable }
+        OrderClosure {
+            nodes,
+            index,
+            rel,
+            satisfiable,
+        }
     }
 
     /// Whether the underlying conjunction is satisfiable over `(Q, ≤)`.
@@ -289,10 +319,67 @@ impl OrderClosure {
         self.index.get(t).copied()
     }
 
+    /// The strongest relation `node_i ⋈ c` entailed for a constant `c` that is
+    /// not itself a node: every such entailment must factor through some
+    /// constant node `d` with `node_i ⋈ d` in the closure (a quantifier-free
+    /// premise can only bound a term through its own constants).
+    fn rel_to_foreign_const(&self, i: usize, c: &Rat) -> Rel {
+        let mut best = Rel::None;
+        for (j, node) in self.nodes.iter().enumerate() {
+            if let Term::Const(d) = node {
+                let via = match d.cmp(c) {
+                    std::cmp::Ordering::Less => self.rel[i][j].compose(Rel::Lt),
+                    std::cmp::Ordering::Equal => self.rel[i][j],
+                    std::cmp::Ordering::Greater => Rel::None,
+                };
+                best = best.max(via);
+            }
+        }
+        best
+    }
+
+    /// The strongest relation `c ⋈ node_i` entailed for a foreign constant `c`.
+    fn rel_from_foreign_const(&self, c: &Rat, i: usize) -> Rel {
+        let mut best = Rel::None;
+        for (j, node) in self.nodes.iter().enumerate() {
+            if let Term::Const(d) = node {
+                let via = match c.cmp(d) {
+                    std::cmp::Ordering::Less => Rel::Lt.compose(self.rel[j][i]),
+                    std::cmp::Ordering::Equal => self.rel[j][i],
+                    std::cmp::Ordering::Greater => Rel::None,
+                };
+                best = best.max(via);
+            }
+        }
+        best
+    }
+
+    /// The strongest entailed relation from `s` to `t`, covering terms that are
+    /// not nodes of the closure: foreign constants are bounded exactly through
+    /// the closure's own constants; foreign variables are unconstrained.
+    fn directed_rel(&self, s: &Term, t: &Term) -> Rel {
+        match (self.idx(s), self.idx(t)) {
+            (Some(i), Some(j)) => self.rel[i][j],
+            (Some(i), None) => match t {
+                Term::Const(c) => self.rel_to_foreign_const(i, c),
+                Term::Var(_) => Rel::None,
+            },
+            (None, Some(j)) => match s {
+                Term::Const(c) => self.rel_from_foreign_const(c, j),
+                Term::Var(_) => Rel::None,
+            },
+            (None, None) => Rel::None,
+        }
+    }
+
     /// Does the closure entail `lhs ⋈ rhs`?
     ///
-    /// Terms not interned in the closure are unconstrained variables (entails nothing
-    /// except reflexive facts) or constants (entails their numeric comparisons).
+    /// Exact for arbitrary terms: interned pairs read the closure table;
+    /// constant–constant atoms are decided numerically; atoms against foreign
+    /// constants are decided through the closure's constant bounds (complete
+    /// over a dense order, where any entailed comparison with a constant
+    /// outside the premise factors through a constant of the premise); foreign
+    /// variables entail only reflexive facts.
     #[must_use]
     pub fn entails(&self, atom: &DenseAtom) -> bool {
         if !self.satisfiable {
@@ -309,13 +396,13 @@ impl OrderClosure {
         if atom.lhs == atom.rhs {
             return matches!(atom.op, CmpOp::Le | CmpOp::Eq);
         }
-        let (Some(i), Some(j)) = (self.idx(&atom.lhs), self.idx(&atom.rhs)) else {
-            return false;
-        };
         match atom.op {
-            CmpOp::Lt => self.rel[i][j] == Rel::Lt,
-            CmpOp::Le => self.rel[i][j] >= Rel::Le,
-            CmpOp::Eq => self.rel[i][j] >= Rel::Le && self.rel[j][i] >= Rel::Le,
+            CmpOp::Lt => self.directed_rel(&atom.lhs, &atom.rhs) == Rel::Lt,
+            CmpOp::Le => self.directed_rel(&atom.lhs, &atom.rhs) >= Rel::Le,
+            CmpOp::Eq => {
+                self.directed_rel(&atom.lhs, &atom.rhs) >= Rel::Le
+                    && self.directed_rel(&atom.rhs, &atom.lhs) >= Rel::Le
+            }
         }
     }
 
@@ -351,7 +438,10 @@ impl OrderClosure {
                     continue;
                 }
                 // Skip facts about two constants: they carry no information.
-                if matches!((&self.nodes[i], &self.nodes[j]), (Term::Const(_), Term::Const(_))) {
+                if matches!(
+                    (&self.nodes[i], &self.nodes[j]),
+                    (Term::Const(_), Term::Const(_))
+                ) {
                     continue;
                 }
                 let forward = self.rel[i][j];
@@ -382,6 +472,7 @@ impl OrderClosure {
     /// through a not-yet-assigned variable class — is already visible when a class is
     /// placed, so the construction never backtracks.
     #[must_use]
+    #[allow(clippy::needless_range_loop)] // index-parallel sweeps over `class`/`rel`
     pub fn witness(&self) -> Option<BTreeMap<Var, Rat>> {
         if !self.satisfiable {
             return None;
@@ -398,7 +489,8 @@ impl OrderClosure {
             class[i] = c;
             reps.push(i);
             for j in (i + 1)..n {
-                if class[j] == usize::MAX && self.rel[i][j] >= Rel::Le && self.rel[j][i] >= Rel::Le {
+                if class[j] == usize::MAX && self.rel[i][j] >= Rel::Le && self.rel[j][i] >= Rel::Le
+                {
                     class[j] = c;
                 }
             }
@@ -413,15 +505,12 @@ impl OrderClosure {
         }
         // Kahn-style assignment of the remaining classes: repeatedly pick a class all
         // of whose strict-partial-order predecessors are assigned.
-        loop {
-            let Some(c) = (0..m).find(|&c| {
-                value[c].is_none()
-                    && (0..m).all(|d| {
-                        d == c || value[d].is_some() || self.rel[reps[d]][reps[c]] == Rel::None
-                    })
-            }) else {
-                break;
-            };
+        while let Some(c) = (0..m).find(|&c| {
+            value[c].is_none()
+                && (0..m).all(|d| {
+                    d == c || value[d].is_some() || self.rel[reps[d]][reps[c]] == Rel::None
+                })
+        }) {
             let rc = reps[c];
             let mut lower: Option<(Rat, bool)> = None; // (value, strict)
             let mut upper: Option<(Rat, bool)> = None;
@@ -433,13 +522,13 @@ impl OrderClosure {
                 let rd = reps[d];
                 if self.rel[rd][rc] != Rel::None {
                     let strict = self.rel[rd][rc] == Rel::Lt;
-                    if lower.as_ref().map_or(true, |(lv, _)| v > lv) {
+                    if lower.as_ref().is_none_or(|(lv, _)| v > lv) {
                         lower = Some((v.clone(), strict));
                     }
                 }
                 if self.rel[rc][rd] != Rel::None {
                     let strict = self.rel[rc][rd] == Rel::Lt;
-                    if upper.as_ref().map_or(true, |(uv, _)| v < uv) {
+                    if upper.as_ref().is_none_or(|(uv, _)| v < uv) {
                         upper = Some((v.clone(), strict));
                     }
                 }
@@ -495,43 +584,40 @@ pub struct DenseOrder;
 
 impl Theory for DenseOrder {
     type A = DenseAtom;
+    type Ctx = OrderClosure;
 
     fn name() -> &'static str {
         "dense order (Q, ≤)"
     }
 
-    fn satisfiable(conj: &[DenseAtom]) -> bool {
-        OrderClosure::new(conj, &[]).satisfiable()
+    fn context(conj: &[DenseAtom]) -> OrderClosure {
+        OrderClosure::new(conj, &[])
     }
 
-    fn canonicalize(conj: &[DenseAtom]) -> Option<Conj<DenseAtom>> {
-        let closure = OrderClosure::new(conj, &[]);
-        if !closure.satisfiable() {
+    fn ctx_satisfiable(ctx: &OrderClosure) -> bool {
+        ctx.satisfiable()
+    }
+
+    fn ctx_canonical(ctx: &OrderClosure) -> Option<Conj<DenseAtom>> {
+        if !ctx.satisfiable() {
             return None;
         }
-        Some(closure.atoms_among(&|_| true))
+        Some(ctx.atoms_among(&|_| true))
     }
 
-    fn eliminate(var: &Var, conj: &[DenseAtom]) -> Dnf<DenseAtom> {
-        let closure = OrderClosure::new(conj, &[]);
-        if !closure.satisfiable() {
+    fn ctx_eliminate(ctx: &OrderClosure, var: &Var) -> Dnf<DenseAtom> {
+        if !ctx.satisfiable() {
             return Vec::new();
         }
         let target = Term::Var(var.clone());
-        vec![closure.atoms_among(&|t| *t != target)]
+        vec![ctx.atoms_among(&|t| *t != target)]
     }
 
-    fn implies(premise: &[DenseAtom], conclusion: &[DenseAtom]) -> bool {
-        let mut extra: Vec<Term> = Vec::new();
-        for a in conclusion {
-            extra.push(a.lhs.clone());
-            extra.push(a.rhs.clone());
-        }
-        let closure = OrderClosure::new(premise, &extra);
-        if !closure.satisfiable() {
+    fn ctx_entails(ctx: &OrderClosure, conclusion: &[DenseAtom]) -> bool {
+        if !ctx.satisfiable() {
             return true;
         }
-        conclusion.iter().all(|a| closure.entails(a))
+        conclusion.iter().all(|a| ctx.entails(a))
     }
 }
 
@@ -554,9 +640,18 @@ mod tests {
 
     #[test]
     fn satisfiability_basic() {
-        assert!(DenseOrder::satisfiable(&[DenseAtom::lt(x(), y()), DenseAtom::lt(y(), z())]));
-        assert!(!DenseOrder::satisfiable(&[DenseAtom::lt(x(), y()), DenseAtom::lt(y(), x())]));
-        assert!(DenseOrder::satisfiable(&[DenseAtom::le(x(), y()), DenseAtom::le(y(), x())]));
+        assert!(DenseOrder::satisfiable(&[
+            DenseAtom::lt(x(), y()),
+            DenseAtom::lt(y(), z())
+        ]));
+        assert!(!DenseOrder::satisfiable(&[
+            DenseAtom::lt(x(), y()),
+            DenseAtom::lt(y(), x())
+        ]));
+        assert!(DenseOrder::satisfiable(&[
+            DenseAtom::le(x(), y()),
+            DenseAtom::le(y(), x())
+        ]));
         assert!(!DenseOrder::satisfiable(&[
             DenseAtom::le(x(), y()),
             DenseAtom::le(y(), x()),
@@ -566,11 +661,26 @@ mod tests {
 
     #[test]
     fn satisfiability_with_constants() {
-        assert!(DenseOrder::satisfiable(&[DenseAtom::lt(c(0), x()), DenseAtom::lt(x(), c(1))]));
-        assert!(!DenseOrder::satisfiable(&[DenseAtom::lt(c(1), x()), DenseAtom::lt(x(), c(0))]));
-        assert!(!DenseOrder::satisfiable(&[DenseAtom::le(c(1), x()), DenseAtom::le(x(), c(0))]));
-        assert!(DenseOrder::satisfiable(&[DenseAtom::le(c(1), x()), DenseAtom::le(x(), c(1))]));
-        assert!(!DenseOrder::satisfiable(&[DenseAtom::eq(x(), c(3)), DenseAtom::eq(x(), c(4))]));
+        assert!(DenseOrder::satisfiable(&[
+            DenseAtom::lt(c(0), x()),
+            DenseAtom::lt(x(), c(1))
+        ]));
+        assert!(!DenseOrder::satisfiable(&[
+            DenseAtom::lt(c(1), x()),
+            DenseAtom::lt(x(), c(0))
+        ]));
+        assert!(!DenseOrder::satisfiable(&[
+            DenseAtom::le(c(1), x()),
+            DenseAtom::le(x(), c(0))
+        ]));
+        assert!(DenseOrder::satisfiable(&[
+            DenseAtom::le(c(1), x()),
+            DenseAtom::le(x(), c(1))
+        ]));
+        assert!(!DenseOrder::satisfiable(&[
+            DenseAtom::eq(x(), c(3)),
+            DenseAtom::eq(x(), c(4))
+        ]));
     }
 
     #[test]
@@ -672,5 +782,26 @@ mod tests {
         let closure = OrderClosure::new(&[DenseAtom::lt(x(), c(3))], &[c(7)]);
         assert!(closure.entails(&DenseAtom::lt(x(), c(7))));
         assert!(!closure.entails(&DenseAtom::lt(x(), c(2))));
+    }
+
+    #[test]
+    fn entails_foreign_constants_without_registration() {
+        // The cached closure answers atoms over constants it has never seen:
+        // entailment factors through the premise's own constants.
+        let upper = OrderClosure::new(&[DenseAtom::lt(x(), c(3))], &[]);
+        assert!(upper.entails(&DenseAtom::lt(x(), c(7))));
+        assert!(upper.entails(&DenseAtom::le(x(), c(3))));
+        assert!(!upper.entails(&DenseAtom::lt(x(), c(2))));
+        assert!(!upper.entails(&DenseAtom::eq(x(), c(3))));
+
+        let lower = OrderClosure::new(&[DenseAtom::lt(c(5), x())], &[]);
+        assert!(lower.entails(&DenseAtom::lt(c(2), x())));
+        assert!(!lower.entails(&DenseAtom::lt(c(6), x())));
+
+        // Equality pins propagate through chains: y = x ∧ x = 4 entails y = 4.
+        let pinned = OrderClosure::new(&[DenseAtom::eq(y(), x()), DenseAtom::eq(x(), c(4))], &[]);
+        assert!(pinned.entails(&DenseAtom::eq(y(), c(4))));
+        assert!(pinned.entails(&DenseAtom::lt(y(), c(9))));
+        assert!(!pinned.entails(&DenseAtom::lt(y(), c(4))));
     }
 }

@@ -81,8 +81,13 @@ fn encode_atom(atom: &DenseAtom, var_index: &BTreeMap<Var, usize>, out: &mut Str
 /// `R[enc(φ₁)] ∨ … ∨ [enc(φₗ)]*`.
 #[must_use]
 pub fn encode_relation(name: &str, relation: &Relation<DenseOrder>) -> String {
-    let var_index: BTreeMap<Var, usize> =
-        relation.vars().iter().cloned().enumerate().map(|(i, v)| (v, i)).collect();
+    let var_index: BTreeMap<Var, usize> = relation
+        .vars()
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, v)| (v, i))
+        .collect();
     let mut out = String::new();
     out.push_str(name);
     for (i, conj) in relation.tuples().iter().enumerate() {
@@ -90,7 +95,7 @@ pub fn encode_relation(name: &str, relation: &Relation<DenseOrder>) -> String {
             out.push('∨');
         }
         out.push('[');
-        for (j, atom) in conj.iter().enumerate() {
+        for (j, atom) in conj.atoms().iter().enumerate() {
             if j > 0 {
                 out.push('∧');
             }
@@ -208,19 +213,31 @@ impl std::error::Error for DecodeError {}
 ///
 /// # Errors
 /// Returns an error if the vector has the wrong length or contains invalid symbols.
+#[allow(clippy::needless_range_loop)] // `i` indexes `vars` and the encoded pairs in lockstep
 pub fn decode_prime_tuple(vars: &[Var], data: &[Rat]) -> Result<Vec<DenseAtom>, DecodeError> {
     let k = vars.len();
     let expected = 2 * (2 * k + k * k);
     if data.len() != expected {
-        return Err(DecodeError::WrongLength { expected, found: data.len() });
+        return Err(DecodeError::WrongLength {
+            expected,
+            found: data.len(),
+        });
     }
     let pair = |idx: usize| -> (&Rat, &Rat) { (&data[2 * idx], &data[2 * idx + 1]) };
     let mut atoms = Vec::new();
     for i in 0..k {
         let (lflag, lval) = pair(2 * i);
         let (uflag, uval) = pair(2 * i + 1);
-        let lower = if lflag.is_zero() { Some(lval.clone()) } else { None };
-        let upper = if uflag.is_zero() { Some(uval.clone()) } else { None };
+        let lower = if lflag.is_zero() {
+            Some(lval.clone())
+        } else {
+            None
+        };
+        let upper = if uflag.is_zero() {
+            Some(uval.clone())
+        } else {
+            None
+        };
         let x = crate::logic::Term::Var(vars[i].clone());
         match (lower, upper) {
             (Some(l), Some(u)) if l == u => {
@@ -240,7 +257,9 @@ pub fn decode_prime_tuple(vars: &[Var], data: &[Rat]) -> Result<Vec<DenseAtom>, 
         for j in 0..k {
             let (flag, val) = pair(2 * k + i * k + j);
             if flag.is_zero() {
-                return Err(DecodeError::BadSymbol(format!("matrix entry ({i},{j}) is a number")));
+                return Err(DecodeError::BadSymbol(format!(
+                    "matrix entry ({i},{j}) is a number"
+                )));
             }
             if i >= j {
                 continue;
@@ -304,7 +323,7 @@ impl AdomMap {
     /// Builds the map for an instance's active domain.
     #[must_use]
     pub fn for_instance(instance: &Instance<DenseOrder>) -> Self {
-        Self::for_constants(instance.active_domain().into_iter())
+        Self::for_constants(instance.active_domain())
     }
 
     /// Builds the map for an explicit set of constants.
@@ -349,7 +368,10 @@ impl AdomMap {
     /// domain, matching "the automorphism is the identity elsewhere up to order").
     #[must_use]
     pub fn apply(&self, c: &Rat) -> Rat {
-        self.forward.get(c).map(|i| Rat::from(i.clone())).unwrap_or_else(|| c.clone())
+        self.forward
+            .get(c)
+            .map(|i| Rat::from(i.clone()))
+            .unwrap_or_else(|| c.clone())
     }
 
     /// Maps an integer back to the active-domain constant it encodes.
@@ -391,7 +413,11 @@ impl AdomMap {
 pub fn bin_relation(i: &BigInt) -> Vec<(BigInt, BigInt)> {
     let mut rows = vec![(
         BigInt::zero(),
-        if i.is_negative() { BigInt::from(-1i64) } else { BigInt::one() },
+        if i.is_negative() {
+            BigInt::from(-1i64)
+        } else {
+            BigInt::one()
+        },
     )];
     let mag = i.abs();
     if mag.is_zero() {
@@ -450,11 +476,17 @@ mod tests {
         let mut small = Instance::new(schema.clone());
         small.set("R", sample_relation());
         let mut large = Instance::new(schema);
-        large.set("R", sample_relation().union(&sample_relation().map_constants(&|c| c + &r(100))));
+        large.set(
+            "R",
+            sample_relation().union(&sample_relation().map_constants(&|c| c + &r(100))),
+        );
         let s1 = database_size(&small);
         let s2 = database_size(&large);
         assert!(s1 > 0);
-        assert!(s2 > s1, "a larger representation must have a larger encoding");
+        assert!(
+            s2 > s1,
+            "a larger representation must have a larger encoding"
+        );
         let text = encode_instance(&small);
         assert!(text.contains('R') && text.ends_with("**"));
     }
@@ -516,9 +548,8 @@ mod tests {
         inst.set("R", sample_relation());
         let map = AdomMap::for_instance(&inst);
         let image = map.apply_instance(&inst);
-        let back = image.map_constants(&|c| {
-            map.invert(&c.numer().clone()).unwrap_or_else(|| c.clone())
-        });
+        let back =
+            image.map_constants(&|c| map.invert(&c.numer().clone()).unwrap_or_else(|| c.clone()));
         assert!(back.equivalent(&inst));
     }
 

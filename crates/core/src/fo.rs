@@ -13,8 +13,10 @@
 //! measures the polynomial scaling, see `DESIGN.md` experiment E10).
 
 use crate::logic::{Formula, Var};
-use crate::relation::{negate_dnf, simplify_dnf, Instance, Relation};
-use crate::theory::{eliminate_all, Atom, Conj, Dnf, Theory};
+use crate::relation::{
+    eliminate_tuple, negate_tuples, simplify_tuples, GenTuple, Instance, Relation,
+};
+use crate::theory::{Atom, Dnf, Theory};
 
 /// Errors raised during query evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,7 +38,11 @@ impl std::fmt::Display for EvalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EvalError::UnknownRelation(r) => write!(f, "unknown relation symbol {r}"),
-            EvalError::ArityMismatch { relation, expected, found } => write!(
+            EvalError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
                 f,
                 "relation {relation} expects {expected} arguments but the atom has {found}"
             ),
@@ -72,18 +78,20 @@ pub fn expand_relations<T: Theory>(
                 });
             }
             // Rename the relation's columns to fresh variables, then substitute the
-            // atom's arguments for them.
+            // atom's arguments for them (one simultaneous pass per step).
             let fresh: Vec<Var> = rel.vars().iter().map(|_| Var::fresh(counter)).collect();
             let renamed = rel.rename(fresh.clone());
+            let subst: std::collections::HashMap<Var, crate::logic::Term> =
+                fresh.iter().cloned().zip(args.iter().cloned()).collect();
             let dnf: Dnf<T::A> = renamed
                 .tuples()
                 .iter()
-                .map(|conj| {
-                    let mut c: Conj<T::A> = conj.clone();
-                    for (tmp, arg) in fresh.iter().zip(args) {
-                        c = c.iter().map(|a| a.subst(tmp, arg)).collect();
-                    }
-                    c
+                .map(|tuple| {
+                    tuple
+                        .atoms()
+                        .iter()
+                        .map(|a| a.subst_simultaneous(&subst))
+                        .collect()
                 })
                 .collect();
             Formula::Or(
@@ -103,44 +111,50 @@ pub fn expand_relations<T: Theory>(
                 .map(|g| expand_relations(g, instance, counter))
                 .collect::<Result<_, _>>()?,
         ),
-        Formula::Exists(vs, g) => {
-            Formula::Exists(vs.clone(), Box::new(expand_relations(g, instance, counter)?))
-        }
-        Formula::Forall(vs, g) => {
-            Formula::Forall(vs.clone(), Box::new(expand_relations(g, instance, counter)?))
-        }
+        Formula::Exists(vs, g) => Formula::Exists(
+            vs.clone(),
+            Box::new(expand_relations(g, instance, counter)?),
+        ),
+        Formula::Forall(vs, g) => Formula::Forall(
+            vs.clone(),
+            Box::new(expand_relations(g, instance, counter)?),
+        ),
     })
 }
 
-/// Evaluates a relation-free formula to an equivalent quantifier-free DNF via
-/// quantifier elimination.
-fn eval_formula<T: Theory>(formula: &Formula<T::A>) -> Dnf<T::A> {
+/// Evaluates a relation-free formula to an equivalent quantifier-free
+/// disjunction of cache-carrying generalized tuples via quantifier
+/// elimination.  Every tuple created here carries its canonical context, so
+/// the satisfiability pruning, the per-step simplification and the final
+/// relation construction share one closure per conjunction.
+fn eval_formula<T: Theory>(formula: &Formula<T::A>) -> Vec<GenTuple<T::A>> {
     match formula {
-        Formula::True => vec![Vec::new()],
+        Formula::True => vec![GenTuple::universal()],
         Formula::False => Vec::new(),
-        Formula::Atom(a) => vec![vec![a.clone()]],
+        Formula::Atom(a) => vec![GenTuple::new(vec![a.clone()])],
         Formula::Rel { .. } => {
             unreachable!("relation atoms must be expanded before evaluation")
         }
         Formula::Not(g) => {
             let inner = eval_formula::<T>(g);
-            negate_dnf::<T>(&inner)
+            negate_tuples::<T>(&inner)
         }
         Formula::And(fs) => {
-            let mut acc: Dnf<T::A> = vec![Vec::new()];
+            let mut acc: Vec<GenTuple<T::A>> = vec![GenTuple::universal()];
             for g in fs {
                 let rhs = eval_formula::<T>(g);
-                let mut next: Dnf<T::A> = Vec::new();
+                let mut next: Vec<GenTuple<T::A>> = Vec::new();
                 for a in &acc {
                     for b in &rhs {
-                        let mut c = a.clone();
-                        c.extend(b.iter().cloned());
-                        if T::satisfiable(&c) {
-                            next.push(c);
+                        let mut atoms = a.atoms().to_vec();
+                        atoms.extend(b.atoms().iter().cloned());
+                        let candidate = GenTuple::new(atoms);
+                        if candidate.is_satisfiable::<T>() {
+                            next.push(candidate);
                         }
                     }
                 }
-                acc = simplify_dnf::<T>(next);
+                acc = simplify_tuples::<T>(next);
                 if acc.is_empty() {
                     return Vec::new();
                 }
@@ -148,30 +162,30 @@ fn eval_formula<T: Theory>(formula: &Formula<T::A>) -> Dnf<T::A> {
             acc
         }
         Formula::Or(fs) => {
-            let mut acc: Dnf<T::A> = Vec::new();
+            let mut acc: Vec<GenTuple<T::A>> = Vec::new();
             for g in fs {
                 acc.extend(eval_formula::<T>(g));
             }
-            simplify_dnf::<T>(acc)
+            simplify_tuples::<T>(acc)
         }
         Formula::Exists(vs, g) => {
             let inner = eval_formula::<T>(g);
-            let mut out: Dnf<T::A> = Vec::new();
-            for conj in &inner {
-                out.extend(eliminate_all::<T>(vs, conj));
+            let mut out: Vec<GenTuple<T::A>> = Vec::new();
+            for tuple in &inner {
+                out.extend(eliminate_tuple::<T>(vs, tuple));
             }
-            simplify_dnf::<T>(out)
+            simplify_tuples::<T>(out)
         }
         Formula::Forall(vs, g) => {
             // ∀x̅.φ  ≡  ¬∃x̅.¬φ
             let inner = eval_formula::<T>(g);
-            let negated = negate_dnf::<T>(&inner);
-            let mut exists: Dnf<T::A> = Vec::new();
-            for conj in &negated {
-                exists.extend(eliminate_all::<T>(vs, conj));
+            let negated = negate_tuples::<T>(&inner);
+            let mut exists: Vec<GenTuple<T::A>> = Vec::new();
+            for tuple in &negated {
+                exists.extend(eliminate_tuple::<T>(vs, tuple));
             }
-            let exists = simplify_dnf::<T>(exists);
-            negate_dnf::<T>(&exists)
+            let exists = simplify_tuples::<T>(exists);
+            negate_tuples::<T>(&exists)
         }
     }
 }
@@ -189,8 +203,8 @@ pub fn eval_query<T: Theory>(
 ) -> Result<Relation<T>, EvalError> {
     let mut counter = 0usize;
     let expanded = expand_relations(formula, instance, &mut counter)?;
-    let dnf = eval_formula::<T>(&expanded);
-    Ok(Relation::from_dnf(free.to_vec(), dnf))
+    let tuples = eval_formula::<T>(&expanded);
+    Ok(Relation::new(free.to_vec(), tuples))
 }
 
 /// Evaluates a Boolean query (sentence) on an instance.
@@ -231,7 +245,10 @@ mod tests {
                 DenseAtom::le(Term::var("x"), Term::cst(hi)),
             ])
         };
-        inst.set("R", Relation::new(vec![Var::new("x")], vec![seg(0, 10), seg(20, 30)]));
+        inst.set(
+            "R",
+            Relation::new(vec![Var::new("x")], vec![seg(0, 10), seg(20, 30)]),
+        );
         inst.set(
             "S",
             Relation::from_points(
@@ -329,7 +346,10 @@ mod tests {
         // No endpoints: ∃x ∀y. x ≤ y  is false.
         let q2: F = Formula::exists(
             ["x"],
-            Formula::forall(["y"], Formula::Atom(DenseAtom::le(Term::var("x"), Term::var("y")))),
+            Formula::forall(
+                ["y"],
+                Formula::Atom(DenseAtom::le(Term::var("x"), Term::var("y"))),
+            ),
         );
         assert!(!eval_sentence::<DenseOrder>(&q2, &inst).unwrap());
     }

@@ -32,7 +32,9 @@ impl Automorphism {
     /// The identity automorphism.
     #[must_use]
     pub fn identity() -> Self {
-        Automorphism { breakpoints: Vec::new() }
+        Automorphism {
+            breakpoints: Vec::new(),
+        }
     }
 
     /// Builds an automorphism from breakpoints.
@@ -122,7 +124,11 @@ impl Automorphism {
     #[must_use]
     pub fn inverse(&self) -> Automorphism {
         Automorphism {
-            breakpoints: self.breakpoints.iter().map(|(x, y)| (y.clone(), x.clone())).collect(),
+            breakpoints: self
+                .breakpoints
+                .iter()
+                .map(|(x, y)| (y.clone(), x.clone()))
+                .collect(),
         }
     }
 

@@ -1,0 +1,162 @@
+//! Global symbol interning.
+//!
+//! Every variable and relation name in the engine is an interned [`Sym`]: a
+//! small integer handle into a process-wide, append-only string pool.  This is
+//! the canonical-representation substrate of the workspace (in the spirit of
+//! the succinct-representation literature): equality and hashing of symbols —
+//! the innermost operations of the dense-order closure, DNF deduplication and
+//! the Datalog engine — are single integer comparisons instead of string
+//! walks, and every occurrence of a name shares one allocation.
+//!
+//! Interned strings are leaked deliberately: a database engine's vocabulary of
+//! variable and relation names is tiny and lives for the whole process.  Each
+//! symbol carries its `&'static str` inline, so the entire read path — string
+//! access, comparison, ordering — touches no lock; the pool lock is only taken
+//! while interning a new name.
+//!
+//! Ordering of [`Sym`] is **lexicographic on the underlying string** (with an
+//! identity fast path), not on the numeric id.  This keeps every `BTreeSet` /
+//! `BTreeMap` over variables deterministic and independent of interning order,
+//! which the canonicalization machinery relies on for stable output.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string symbol: a numeric id plus the leaked string itself.
+///
+/// Cheap to copy; equality and hashing are single integer comparisons on the
+/// id, and the string is read **without any lock** (the pool lock is touched
+/// only while interning a new name).
+#[derive(Clone, Copy)]
+pub struct Sym {
+    id: u32,
+    text: &'static str,
+}
+
+struct Pool {
+    map: HashMap<&'static str, Sym>,
+}
+
+fn pool() -> &'static RwLock<Pool> {
+    static POOL: OnceLock<RwLock<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        RwLock::new(Pool {
+            map: HashMap::new(),
+        })
+    })
+}
+
+impl Sym {
+    /// Interns a string, returning its symbol (idempotent).
+    #[must_use]
+    pub fn new(name: &str) -> Sym {
+        let lock = pool();
+        if let Some(&sym) = lock.read().expect("interner poisoned").map.get(name) {
+            return sym;
+        }
+        let mut pool = lock.write().expect("interner poisoned");
+        if let Some(&sym) = pool.map.get(name) {
+            return sym;
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(pool.map.len()).expect("interner overflow");
+        let sym = Sym { id, text: leaked };
+        pool.map.insert(leaked, sym);
+        sym
+    }
+
+    /// The interned string (lock-free).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        self.text
+    }
+
+    /// The numeric id (useful as a dense array index).
+    #[must_use]
+    pub fn id(self) -> u32 {
+        self.id
+    }
+}
+
+impl PartialEq for Sym {
+    fn eq(&self, other: &Sym) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Sym {}
+
+impl std::hash::Hash for Sym {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Sym) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Sym {
+    fn cmp(&self, other: &Sym) -> std::cmp::Ordering {
+        if self.id == other.id {
+            return std::cmp::Ordering::Equal;
+        }
+        self.text.cmp(other.text)
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({})", self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_fast_to_compare() {
+        let a = Sym::new("x");
+        let b = Sym::new("x");
+        let c = Sym::new("y");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "x");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        // Intern out of lexicographic order on purpose.
+        let z = Sym::new("zzz");
+        let a = Sym::new("aaa");
+        let m = Sym::new("mmm");
+        let mut v = [z, a, m];
+        v.sort();
+        let names: Vec<&str> = v.iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, ["aaa", "mmm", "zzz"]);
+    }
+
+    #[test]
+    fn symbols_are_sendable_between_threads() {
+        let s = Sym::new("shared");
+        let handle = std::thread::spawn(move || s.as_str().len());
+        assert_eq!(handle.join().unwrap(), 6);
+    }
+}

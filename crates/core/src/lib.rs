@@ -15,17 +15,25 @@
 //!
 //! This crate provides:
 //!
+//! * [`intern`] — process-wide interned symbols ([`intern::Sym`]) behind every
+//!   variable and relation name: O(1) equality and hashing with deterministic
+//!   lexicographic ordering.
 //! * [`logic`] — variables, terms, and the generic first-order [`logic::Formula`] AST
 //!   over an abstract constraint-atom type.
-//! * [`theory`] — the [`theory::Atom`] and [`theory::Theory`] abstractions: a theory
-//!   supplies conjunction satisfiability, tightening, single-variable quantifier
-//!   elimination and implication, which is all the evaluator needs.
+//! * [`theory`] — the [`theory::Atom`] and [`theory::Theory`] abstractions.  A theory
+//!   names a *canonical context* type ([`theory::Theory::Ctx`], e.g. the dense-order
+//!   transitive closure), builds it **once** per conjunction
+//!   ([`theory::Theory::context`]), and answers satisfiability, canonicalization,
+//!   single-variable quantifier elimination and implication from it (the `ctx_*`
+//!   methods) — which is all the evaluator needs, and what generalized tuples cache.
 //! * [`dense`] — the paper's case study: dense-order constraints over `(Q, ≤)`
 //!   (language `L≤`), with a transitive-closure based decision procedure and exact
 //!   quantifier elimination.
-//! * [`relation`] — generalized relations in disjunctive normal form with the full
-//!   relation algebra (union, intersection, complement, containment, equivalence,
-//!   membership), mirroring the closure properties of Section 2.2.
+//! * [`relation`] — cache-carrying generalized tuples ([`relation::GenTuple`]:
+//!   canonical form, satisfiability verdict and closure computed lazily, shared
+//!   across clones) and generalized relations in disjunctive normal form with the
+//!   full relation algebra (union, intersection, complement, containment,
+//!   equivalence, membership), mirroring the closure properties of Section 2.2.
 //! * [`fo`] — the generic FO evaluator (natural / unrestricted semantics via QE).
 //! * [`normal`] — prime primitive tuples, the tabular form of Example 6.8, covers
 //!   (Definition 6.9) and the atomic-shape classification of Fig. 9.
@@ -58,6 +66,7 @@ pub mod dense;
 pub mod encode;
 pub mod fo;
 pub mod generic;
+pub mod intern;
 pub mod logic;
 pub mod normal;
 pub mod pointctx;
@@ -72,6 +81,7 @@ pub mod prelude {
     pub use crate::dense::{CmpOp, DenseAtom, DenseOrder};
     pub use crate::fo::{eval_query, eval_sentence};
     pub use crate::generic::Automorphism;
+    pub use crate::intern::Sym;
     pub use crate::logic::{Formula, Term, Var};
     pub use crate::relation::{GenTuple, Instance, Relation};
     pub use crate::schema::{RelName, Schema};

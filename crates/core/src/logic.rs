@@ -7,33 +7,44 @@
 //! atoms have been expanded is what finitely *represents* an infinite relation
 //! (Definition 2.3).
 
+use crate::intern::Sym;
 use crate::schema::RelName;
 use frdb_num::Rat;
 use std::collections::BTreeSet;
 use std::fmt;
 
-/// A first-order variable, identified by name.
+/// A first-order variable, identified by an interned name.
+///
+/// Equality and hashing are single integer comparisons on the interned
+/// [`Sym`]; ordering is lexicographic on the name, so variable sets iterate
+/// deterministically regardless of interning order.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Var(String);
+pub struct Var(Sym);
 
 impl Var {
-    /// Creates a variable with the given name.
+    /// Creates a variable with the given name (interning it).
     #[must_use]
-    pub fn new(name: impl Into<String>) -> Self {
-        Var(name.into())
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Var(Sym::new(name.as_ref()))
     }
 
     /// The variable's name.
     #[must_use]
-    pub fn name(&self) -> &str {
-        &self.0
+    pub fn name(&self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// The interned symbol behind the variable.
+    #[must_use]
+    pub fn sym(&self) -> Sym {
+        self.0
     }
 
     /// A fresh variable guaranteed (by naming convention `#k`) not to clash with any
     /// user-written variable, given a monotone counter.
     #[must_use]
     pub fn fresh(counter: &mut usize) -> Var {
-        let v = Var(format!("#{counter}"));
+        let v = Var::new(format!("#{counter}"));
         *counter += 1;
         v
     }
@@ -63,6 +74,12 @@ impl From<String> for Var {
     }
 }
 
+impl From<Sym> for Var {
+    fn from(s: Sym) -> Self {
+        Var(s)
+    }
+}
+
 /// A term of the dense-order language: a variable or a rational constant.
 ///
 /// The paper assumes a constant symbol for every rational number (Section 2.1); terms
@@ -78,7 +95,7 @@ pub enum Term {
 impl Term {
     /// A variable term.
     #[must_use]
-    pub fn var(name: impl Into<String>) -> Term {
+    pub fn var(name: impl AsRef<str>) -> Term {
         Term::Var(Var::new(name))
     }
 
@@ -118,6 +135,16 @@ impl Term {
         match self {
             Term::Var(v) if v == var => replacement.clone(),
             other => other.clone(),
+        }
+    }
+
+    /// Applies a simultaneous substitution: if this term is a variable with an
+    /// image in `map`, returns the image; otherwise returns the term unchanged.
+    #[must_use]
+    pub fn subst_simultaneous(&self, map: &std::collections::HashMap<Var, Term>) -> Term {
+        match self {
+            Term::Var(v) => map.get(v).cloned().unwrap_or_else(|| self.clone()),
+            Term::Const(_) => self.clone(),
         }
     }
 }
@@ -201,6 +228,7 @@ impl<A> Formula<A> {
 
     /// Negation.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Formula<A> {
         Formula::Not(Box::new(self))
     }
@@ -234,8 +262,14 @@ impl<A> Formula<A> {
 
     /// A relation atom `R(args…)`.
     #[must_use]
-    pub fn rel(name: impl Into<RelName>, args: impl IntoIterator<Item = impl Into<Term>>) -> Formula<A> {
-        Formula::Rel { name: name.into(), args: args.into_iter().map(Into::into).collect() }
+    pub fn rel(
+        name: impl Into<RelName>,
+        args: impl IntoIterator<Item = impl Into<Term>>,
+    ) -> Formula<A> {
+        Formula::Rel {
+            name: name.into(),
+            args: args.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Conjunction of an arbitrary number of formulas.
@@ -297,13 +331,9 @@ impl<A: crate::theory::Atom> Formula<A> {
         match self {
             Formula::True | Formula::False => BTreeSet::new(),
             Formula::Atom(a) => a.vars(),
-            Formula::Rel { args, .. } => {
-                args.iter().filter_map(Term::as_var).cloned().collect()
-            }
+            Formula::Rel { args, .. } => args.iter().filter_map(Term::as_var).cloned().collect(),
             Formula::Not(f) => f.free_vars(),
-            Formula::And(fs) | Formula::Or(fs) => {
-                fs.iter().flat_map(Formula::free_vars).collect()
-            }
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().flat_map(Formula::free_vars).collect(),
             Formula::Exists(vs, f) | Formula::Forall(vs, f) => {
                 let mut set = f.free_vars();
                 for v in vs {
@@ -364,9 +394,7 @@ impl<A: crate::theory::Atom> Formula<A> {
         match self {
             Formula::True | Formula::False => BTreeSet::new(),
             Formula::Atom(a) => a.constants(),
-            Formula::Rel { args, .. } => {
-                args.iter().filter_map(Term::as_const).cloned().collect()
-            }
+            Formula::Rel { args, .. } => args.iter().filter_map(Term::as_const).cloned().collect(),
             Formula::Not(f) => f.constants(),
             Formula::And(fs) | Formula::Or(fs) => fs.iter().flat_map(Formula::constants).collect(),
             Formula::Exists(_, f) | Formula::Forall(_, f) => f.constants(),
@@ -467,10 +495,8 @@ mod tests {
     fn display_is_readable() {
         let f: Formula<DenseAtom> = Formula::forall(
             ["x"],
-            Formula::rel("R", [Term::var("x")]).implies(Formula::Atom(DenseAtom::le(
-                Term::cst(0),
-                Term::var("x"),
-            ))),
+            Formula::rel("R", [Term::var("x")])
+                .implies(Formula::Atom(DenseAtom::le(Term::cst(0), Term::var("x")))),
         );
         let s = f.to_string();
         assert!(s.contains('∀'));

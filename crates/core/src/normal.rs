@@ -180,11 +180,11 @@ impl PrimeTuple {
                 if closure.entails(&DenseAtom::eq(x.clone(), ct.clone())) {
                     pin = Some(c.clone());
                 } else if closure.entails(&DenseAtom::lt(ct.clone(), x.clone())) {
-                    if lo.value().map_or(true, |cur| c > cur) {
+                    if lo.value().is_none_or(|cur| c > cur) {
                         lo = Bound::Finite(c.clone());
                     }
                 } else if closure.entails(&DenseAtom::lt(x.clone(), ct.clone())) {
-                    if hi.value().map_or(true, |cur| c < cur) {
+                    if hi.value().is_none_or(|cur| c < cur) {
                         hi = Bound::Finite(c.clone());
                     }
                 } else if closure.entails(&DenseAtom::le(ct.clone(), x.clone()))
@@ -230,7 +230,13 @@ impl PrimeTuple {
                 }
             }
         }
-        Some(PrimeTuple { vars: vars.to_vec(), lower, upper, pinned, pairs })
+        Some(PrimeTuple {
+            vars: vars.to_vec(),
+            lower,
+            upper,
+            pinned,
+            pairs,
+        })
     }
 }
 
@@ -259,7 +265,11 @@ impl fmt::Display for PrimeTuple {
         for i in 0..self.vars.len() {
             for j in (i + 1)..self.vars.len() {
                 if self.pairs[i][j] != PairRel::Unrelated {
-                    write!(f, " ∧ {} {} {}", self.vars[i], self.pairs[i][j], self.vars[j])?;
+                    write!(
+                        f,
+                        " ∧ {} {} {}",
+                        self.vars[i], self.pairs[i][j], self.vars[j]
+                    )?;
                 }
             }
         }
@@ -322,7 +332,7 @@ pub fn cover(relation: &Relation<DenseOrder>) -> Vec<PrimeTuple> {
     let vars = relation.vars().to_vec();
     let mut primes: Vec<PrimeTuple> = Vec::new();
     for conj in relation.tuples() {
-        for prim in primitive_decomposition(&vars, conj) {
+        for prim in primitive_decomposition(&vars, conj.atoms()) {
             if let Some(pt) = PrimeTuple::from_primitive(&vars, &prim) {
                 primes.push(pt);
             }
@@ -407,7 +417,8 @@ pub fn classify_shape2(tuple: &PrimeTuple) -> Shape2 {
     assert_eq!(tuple.arity(), 2, "shape classification requires arity 2");
     let bounded = |i: usize| {
         tuple.is_pinned(i)
-            || (matches!(tuple.lower(i), Bound::Finite(_)) && matches!(tuple.upper(i), Bound::Finite(_)))
+            || (matches!(tuple.lower(i), Bound::Finite(_))
+                && matches!(tuple.upper(i), Bound::Finite(_)))
     };
     let diagonal = tuple.pair(0, 1) == PairRel::Eq;
     match (tuple.is_pinned(0), tuple.is_pinned(1)) {
@@ -476,7 +487,11 @@ impl Piece1 {
 /// Panics if the relation is not monadic.
 #[must_use]
 pub fn decompose_1d(relation: &Relation<DenseOrder>) -> Vec<Piece1> {
-    assert_eq!(relation.arity(), 1, "decompose_1d requires a monadic relation");
+    assert_eq!(
+        relation.arity(),
+        1,
+        "decompose_1d requires a monadic relation"
+    );
     let mut constants: Vec<Rat> = relation.constants().into_iter().collect();
     constants.sort();
     constants.dedup();
@@ -502,12 +517,18 @@ pub fn decompose_1d(relation: &Relation<DenseOrder>) -> Vec<Piece1> {
     for i in 0..constants.len() {
         regions.push((Region::At(i), constants[i].clone()));
         if i + 1 < constants.len() {
-            regions.push((Region::Between(i, i + 1), constants[i].midpoint(&constants[i + 1])));
+            regions.push((
+                Region::Between(i, i + 1),
+                constants[i].midpoint(&constants[i + 1]),
+            ));
         }
     }
     regions.push((Region::Above, constants.last().unwrap() + &Rat::one()));
 
-    let membership: Vec<bool> = regions.iter().map(|(_, s)| relation.contains(&[s.clone()])).collect();
+    let membership: Vec<bool> = regions
+        .iter()
+        .map(|(_, s)| relation.contains(std::slice::from_ref(s)))
+        .collect();
 
     // Merge consecutive member regions into maximal pieces.
     let mut pieces: Vec<Piece1> = Vec::new();
@@ -643,7 +664,10 @@ mod tests {
         let vars = vec![vx(), vy()];
         let point = PrimeTuple::from_primitive(
             &vars,
-            &[DenseAtom::eq(x(), Term::cst(1)), DenseAtom::eq(y(), Term::cst(2))],
+            &[
+                DenseAtom::eq(x(), Term::cst(1)),
+                DenseAtom::eq(y(), Term::cst(2)),
+            ],
         )
         .unwrap();
         assert_eq!(classify_shape2(&point), Shape2::Point);
@@ -705,8 +729,14 @@ mod tests {
         let rel = Relation::<DenseOrder>::from_dnf(
             vec![vx()],
             vec![
-                vec![DenseAtom::le(Term::cst(0), x()), DenseAtom::le(x(), Term::cst(2))],
-                vec![DenseAtom::lt(Term::cst(2), x()), DenseAtom::lt(x(), Term::cst(3))],
+                vec![
+                    DenseAtom::le(Term::cst(0), x()),
+                    DenseAtom::le(x(), Term::cst(2)),
+                ],
+                vec![
+                    DenseAtom::lt(Term::cst(2), x()),
+                    DenseAtom::lt(x(), Term::cst(3)),
+                ],
                 vec![DenseAtom::eq(x(), Term::cst(5))],
             ],
         );
@@ -714,7 +744,10 @@ mod tests {
         assert_eq!(pieces.len(), 2);
         assert_eq!(
             pieces[0],
-            Piece1::Interval { lo: Some((r(0), true)), hi: Some((r(3), false)) }
+            Piece1::Interval {
+                lo: Some((r(0), true)),
+                hi: Some((r(3), false))
+            }
         );
         assert_eq!(pieces[1], Piece1::Point(r(5)));
     }
@@ -724,7 +757,10 @@ mod tests {
         let empty = Relation::<DenseOrder>::empty(vec![vx()]);
         assert!(decompose_1d(&empty).is_empty());
         let all = Relation::<DenseOrder>::universal(vec![vx()]);
-        assert_eq!(decompose_1d(&all), vec![Piece1::Interval { lo: None, hi: None }]);
+        assert_eq!(
+            decompose_1d(&all),
+            vec![Piece1::Interval { lo: None, hi: None }]
+        );
         let cofinite = Relation::<DenseOrder>::from_dnf(
             vec![vx()],
             vec![

@@ -31,7 +31,10 @@ impl PointVar {
     /// Creates the point variable `name`, with coordinates `name.x` and `name.y`.
     #[must_use]
     pub fn new(name: &str) -> Self {
-        PointVar { x: Var::new(format!("{name}.x")), y: Var::new(format!("{name}.y")) }
+        PointVar {
+            x: Var::new(format!("{name}.x")),
+            y: Var::new(format!("{name}.y")),
+        }
     }
 
     /// The two coordinate variables, in order.
@@ -104,7 +107,10 @@ impl PointRelation {
     /// Panics if the arity is odd.
     #[must_use]
     pub fn from_value(relation: Relation<DenseOrder>) -> Self {
-        assert!(relation.arity() % 2 == 0, "a point relation needs an even value arity");
+        assert!(
+            relation.arity().is_multiple_of(2),
+            "a point relation needs an even value arity"
+        );
         PointRelation { relation }
     }
 
@@ -123,8 +129,10 @@ impl PointRelation {
     /// Membership of a tuple of points.
     #[must_use]
     pub fn contains_points(&self, points: &[(Rat, Rat)]) -> bool {
-        let flat: Vec<Rat> =
-            points.iter().flat_map(|(a, b)| [a.clone(), b.clone()]).collect();
+        let flat: Vec<Rat> = points
+            .iter()
+            .flat_map(|(a, b)| [a.clone(), b.clone()])
+            .collect();
         self.relation.contains(&flat)
     }
 }

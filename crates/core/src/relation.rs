@@ -15,28 +15,79 @@ use crate::logic::{Formula, Term, Var};
 use crate::schema::{RelName, Schema};
 use crate::theory::{eval_conj, Atom, Conj, Dnf, Theory};
 use frdb_num::Rat;
-use std::collections::{BTreeMap, BTreeSet};
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::marker::PhantomData;
+use std::sync::{Arc, OnceLock};
+
+/// The lazily computed canonical state of one generalized tuple under one
+/// theory: the saturated context (for dense order, the transitive closure),
+/// the satisfiability verdict read off it, and — on demand — the canonical
+/// atom list.
+struct TupleCache<T: Theory> {
+    ctx: T::Ctx,
+    satisfiable: bool,
+    canonical: OnceLock<Option<Vec<T::A>>>,
+}
 
 /// A generalized tuple: a conjunction of constraint atoms (a "k-ary generalized tuple"
 /// in the sense of [KKR95] when it has k free variables).
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// The tuple lazily computes and **caches** its canonical context (see
+/// [`Theory::Ctx`]), its satisfiability verdict and its canonical form.  The
+/// cache is shared through an [`Arc`], so cloning a tuple — which the relation
+/// algebra and the Datalog fixpoint do constantly — shares the work already
+/// done instead of repeating it.  Equality, hashing and ordering look only at
+/// the atoms; the cache is invisible.
 pub struct GenTuple<A> {
     atoms: Vec<A>,
+    cache: OnceLock<Arc<dyn Any + Send + Sync>>,
+}
+
+impl<A: fmt::Debug> fmt::Debug for GenTuple<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("GenTuple").field(&self.atoms).finish()
+    }
+}
+
+impl<A: Clone> Clone for GenTuple<A> {
+    fn clone(&self) -> Self {
+        GenTuple {
+            atoms: self.atoms.clone(),
+            cache: self.cache.clone(),
+        }
+    }
+}
+
+impl<A: PartialEq> PartialEq for GenTuple<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.atoms == other.atoms
+    }
+}
+
+impl<A: Eq> Eq for GenTuple<A> {}
+
+impl<A: std::hash::Hash> std::hash::Hash for GenTuple<A> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.atoms.hash(state);
+    }
 }
 
 impl<A: Atom> GenTuple<A> {
     /// Creates a generalized tuple from its atoms.
     #[must_use]
     pub fn new(atoms: Vec<A>) -> Self {
-        GenTuple { atoms }
+        GenTuple {
+            atoms,
+            cache: OnceLock::new(),
+        }
     }
 
     /// The empty conjunction (the universal tuple).
     #[must_use]
     pub fn universal() -> Self {
-        GenTuple { atoms: Vec::new() }
+        GenTuple::new(Vec::new())
     }
 
     /// The atoms of the conjunction.
@@ -68,6 +119,81 @@ impl<A: Atom> GenTuple<A> {
     pub fn eval(&self, assignment: &dyn Fn(&Var) -> Rat) -> bool {
         eval_conj(&self.atoms, assignment)
     }
+
+    fn build_cache<T: Theory<A = A>>(atoms: &[A]) -> TupleCache<T> {
+        let ctx = T::context(atoms);
+        let satisfiable = T::ctx_satisfiable(&ctx);
+        TupleCache::<T> {
+            ctx,
+            satisfiable,
+            canonical: OnceLock::new(),
+        }
+    }
+
+    fn cache_for<T: Theory<A = A>>(&self) -> Arc<TupleCache<T>> {
+        let entry = self
+            .cache
+            .get_or_init(|| Arc::new(Self::build_cache::<T>(&self.atoms)));
+        match entry.clone().downcast::<TupleCache<T>>() {
+            Ok(cache) => cache,
+            // The cache slot is occupied by a *different* theory over the same
+            // atom type (possible for downstream theories sharing an atom
+            // language).  Stay correct: build a fresh context for this call
+            // instead of panicking.  Note this path re-saturates the context
+            // on every query — a tuple population queried under two theories
+            // should be cloned per theory (fresh `GenTuple::new` per side) so
+            // each copy caches its own context.
+            Err(_) => Arc::new(Self::build_cache::<T>(&self.atoms)),
+        }
+    }
+
+    /// The cached satisfiability verdict of the conjunction under theory `T`.
+    #[must_use]
+    pub fn is_satisfiable<T: Theory<A = A>>(&self) -> bool {
+        self.cache_for::<T>().satisfiable
+    }
+
+    /// Runs `f` against the cached canonical context of the conjunction under
+    /// theory `T`, building it on first use.
+    pub fn with_ctx<T: Theory<A = A>, R>(&self, f: impl FnOnce(&T::Ctx) -> R) -> R {
+        let cache = self.cache_for::<T>();
+        f(&cache.ctx)
+    }
+
+    /// The cached canonical form of the conjunction under theory `T`
+    /// (`None` when unsatisfiable), computing it on first use.
+    #[must_use]
+    pub fn canonical<T: Theory<A = A>>(&self) -> Option<Vec<A>> {
+        let cache = self.cache_for::<T>();
+        cache
+            .canonical
+            .get_or_init(|| T::ctx_canonical(&cache.ctx))
+            .clone()
+    }
+
+    /// Whether the conjunction entails every atom of `conclusion`, answered
+    /// from the cached context.
+    #[must_use]
+    pub fn entails<T: Theory<A = A>>(&self, conclusion: &[A]) -> bool {
+        let cache = self.cache_for::<T>();
+        T::ctx_entails(&cache.ctx, conclusion)
+    }
+
+    /// The tuple rewritten to its canonical atom list, **sharing** the already
+    /// computed cache (canonicalization is idempotent, and the canonical form
+    /// represents the same conjunction, so the context stays valid).  `None`
+    /// when unsatisfiable.
+    #[must_use]
+    fn to_canonical<T: Theory<A = A>>(&self) -> Option<GenTuple<A>> {
+        let cache = self.cache_for::<T>();
+        let atoms = cache
+            .canonical
+            .get_or_init(|| T::ctx_canonical(&cache.ctx))
+            .clone()?;
+        let slot = OnceLock::new();
+        let _ = slot.set(cache as Arc<dyn Any + Send + Sync>);
+        Some(GenTuple { atoms, cache: slot })
+    }
 }
 
 impl<A: Atom> fmt::Display for GenTuple<A> {
@@ -85,19 +211,24 @@ impl<A: Atom> fmt::Display for GenTuple<A> {
     }
 }
 
-/// Simplifies a DNF: canonicalizes every conjunction, drops unsatisfiable ones,
-/// removes duplicates and conjunctions absorbed (implied) by another disjunct.
+/// Simplifies a disjunction of generalized tuples: canonicalizes every tuple
+/// (via its cached context), drops unsatisfiable ones, removes structural
+/// duplicates by **hashing** the canonical atom lists, and drops disjuncts
+/// absorbed (implied) by another disjunct.
+///
+/// The absorption loop performs no closure construction: each premise uses the
+/// tuple's cached context and each conclusion is the other tuple's cached
+/// canonical form, so the quadratic pass costs only table lookups.
 #[must_use]
-pub fn simplify_dnf<T: Theory>(dnf: Dnf<T::A>) -> Dnf<T::A> {
-    let mut canon: Vec<Conj<T::A>> = Vec::with_capacity(dnf.len());
-    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
-    for conj in dnf {
-        if let Some(c) = T::canonicalize(&conj) {
-            // Cheap structural dedup on the canonical printing.
-            let key: Vec<String> = c.iter().map(|a| format!("{a:?}")).collect();
-            if seen.insert(key) {
-                canon.push(c);
-            }
+pub fn simplify_tuples<T: Theory>(tuples: Vec<GenTuple<T::A>>) -> Vec<GenTuple<T::A>> {
+    let mut canon: Vec<GenTuple<T::A>> = Vec::with_capacity(tuples.len());
+    let mut seen: HashSet<Vec<T::A>> = HashSet::with_capacity(tuples.len());
+    for tuple in tuples {
+        let Some(canonical) = tuple.to_canonical::<T>() else {
+            continue; // unsatisfiable
+        };
+        if seen.insert(canonical.atoms().to_vec()) {
+            canon.push(canonical);
         }
     }
     // Absorption: drop any disjunct implied by another (it contributes nothing).
@@ -111,7 +242,7 @@ pub fn simplify_dnf<T: Theory>(dnf: Dnf<T::A>) -> Dnf<T::A> {
                 continue;
             }
             // If disjunct i implies disjunct j, then i ⊆ j and i can be dropped.
-            if T::implies(&canon[i], &canon[j]) {
+            if canon[i].entails::<T>(canon[j].atoms()) {
                 keep[i] = false;
                 break;
             }
@@ -124,28 +255,53 @@ pub fn simplify_dnf<T: Theory>(dnf: Dnf<T::A>) -> Dnf<T::A> {
         .collect()
 }
 
-/// Negates a DNF, returning a DNF of the complement.
+/// Simplifies a bare DNF (compatibility wrapper over [`simplify_tuples`]).
+#[must_use]
+pub fn simplify_dnf<T: Theory>(dnf: Dnf<T::A>) -> Dnf<T::A> {
+    simplify_tuples::<T>(dnf.into_iter().map(GenTuple::new).collect())
+        .into_iter()
+        .map(GenTuple::into_atoms)
+        .collect()
+}
+
+/// Negates a disjunction of generalized tuples, returning the complement.
 ///
 /// `¬(C₁ ∨ … ∨ Cₘ) = ¬C₁ ∧ … ∧ ¬Cₘ`, where each `¬Cᵢ` is the disjunction of the
 /// (atomic) negations of its atoms; the conjunction of disjunctions is redistributed
-/// into DNF with unsatisfiable branches pruned eagerly.
+/// into DNF with unsatisfiable branches pruned eagerly.  Each candidate's
+/// satisfiability check seeds the context cache that the per-round
+/// simplification then reuses for canonicalization and absorption.
 #[must_use]
-pub fn negate_dnf<T: Theory>(dnf: &[Conj<T::A>]) -> Dnf<T::A> {
-    let mut acc: Dnf<T::A> = vec![Vec::new()];
-    for conj in dnf {
-        let mut next: Dnf<T::A> = Vec::new();
+pub fn negate_tuples<T: Theory>(tuples: &[GenTuple<T::A>]) -> Vec<GenTuple<T::A>> {
+    conjoin_negation::<T>(vec![GenTuple::universal()], tuples)
+}
+
+/// Conjoins `¬(t₁ ∨ … ∨ tₘ)` onto a seed DNF: for each negated tuple the
+/// accumulated disjuncts are extended by one negated atom at a time, with
+/// unsatisfiable branches pruned eagerly and each round simplified.  Shared by
+/// [`negate_tuples`] (seed = the universal tuple) and the residual computation
+/// behind difference/containment (seed = the tuple being covered), so the
+/// pruning and simplification policy cannot drift between them.
+fn conjoin_negation<T: Theory>(
+    seed: Vec<GenTuple<T::A>>,
+    negated: &[GenTuple<T::A>],
+) -> Vec<GenTuple<T::A>> {
+    let mut acc = seed;
+    for tuple in negated {
+        let mut next: Vec<GenTuple<T::A>> = Vec::new();
         for prefix in &acc {
-            for atom in conj {
+            for atom in tuple.atoms() {
                 for neg in atom.negate() {
-                    let mut candidate = prefix.clone();
-                    candidate.push(neg);
-                    if T::satisfiable(&candidate) {
+                    let mut atoms = prefix.atoms().to_vec();
+                    atoms.push(neg);
+                    let candidate = GenTuple::new(atoms);
+                    if candidate.is_satisfiable::<T>() {
                         next.push(candidate);
                     }
                 }
             }
         }
-        acc = simplify_dnf::<T>(next);
+        acc = simplify_tuples::<T>(next);
         if acc.is_empty() {
             return Vec::new();
         }
@@ -153,18 +309,59 @@ pub fn negate_dnf<T: Theory>(dnf: &[Conj<T::A>]) -> Dnf<T::A> {
     acc
 }
 
+/// Negates a bare DNF (compatibility wrapper over [`negate_tuples`]).
+#[must_use]
+pub fn negate_dnf<T: Theory>(dnf: &[Conj<T::A>]) -> Dnf<T::A> {
+    let tuples: Vec<GenTuple<T::A>> = dnf.iter().map(|c| GenTuple::new(c.clone())).collect();
+    negate_tuples::<T>(&tuples)
+        .into_iter()
+        .map(GenTuple::into_atoms)
+        .collect()
+}
+
+/// Eliminates a list of variables from a generalized tuple by repeated
+/// single-variable elimination; the first round reuses the tuple's cached
+/// context.
+#[must_use]
+pub fn eliminate_tuple<T: Theory>(vars: &[Var], tuple: &GenTuple<T::A>) -> Vec<GenTuple<T::A>> {
+    let mut tuples: Vec<GenTuple<T::A>> = vec![tuple.clone()];
+    for v in vars {
+        let mut next: Vec<GenTuple<T::A>> = Vec::new();
+        for t in &tuples {
+            if !t.is_satisfiable::<T>() {
+                continue;
+            }
+            next.extend(
+                t.with_ctx::<T, _>(|ctx| T::ctx_eliminate(ctx, v))
+                    .into_iter()
+                    .map(GenTuple::new),
+            );
+        }
+        tuples = next;
+    }
+    tuples.retain(|t| t.is_satisfiable::<T>());
+    tuples
+}
+
 /// A finitely representable relation: a list of free variables (the relation's
 /// columns) and a disjunction of generalized tuples over them.
+///
+/// The stored tuples are canonical and carry their cached contexts (see
+/// [`GenTuple`]); cloning a relation shares every cache.
 #[derive(Debug)]
 pub struct Relation<T: Theory> {
     vars: Vec<Var>,
-    tuples: Dnf<T::A>,
+    tuples: Vec<GenTuple<T::A>>,
     _theory: PhantomData<T>,
 }
 
 impl<T: Theory> Clone for Relation<T> {
     fn clone(&self) -> Self {
-        Relation { vars: self.vars.clone(), tuples: self.tuples.clone(), _theory: PhantomData }
+        Relation {
+            vars: self.vars.clone(),
+            tuples: self.tuples.clone(),
+            _theory: PhantomData,
+        }
     }
 }
 
@@ -173,26 +370,37 @@ impl<T: Theory> Relation<T> {
     /// unsatisfiable tuples.
     #[must_use]
     pub fn new(vars: Vec<Var>, tuples: Vec<GenTuple<T::A>>) -> Self {
-        let dnf = tuples.into_iter().map(GenTuple::into_atoms).collect();
-        Relation { vars, tuples: simplify_dnf::<T>(dnf), _theory: PhantomData }
+        Relation {
+            vars,
+            tuples: simplify_tuples::<T>(tuples),
+            _theory: PhantomData,
+        }
     }
 
     /// Builds a relation directly from a DNF of conjunctions.
     #[must_use]
     pub fn from_dnf(vars: Vec<Var>, dnf: Dnf<T::A>) -> Self {
-        Relation { vars, tuples: simplify_dnf::<T>(dnf), _theory: PhantomData }
+        Relation::new(vars, dnf.into_iter().map(GenTuple::new).collect())
     }
 
     /// The empty relation of the given column variables.
     #[must_use]
     pub fn empty(vars: Vec<Var>) -> Self {
-        Relation { vars, tuples: Vec::new(), _theory: PhantomData }
+        Relation {
+            vars,
+            tuples: Vec::new(),
+            _theory: PhantomData,
+        }
     }
 
     /// The universal relation (all of `Qᵏ`) over the given column variables.
     #[must_use]
     pub fn universal(vars: Vec<Var>) -> Self {
-        Relation { vars, tuples: vec![Vec::new()], _theory: PhantomData }
+        Relation {
+            vars,
+            tuples: vec![GenTuple::universal()],
+            _theory: PhantomData,
+        }
     }
 
     /// The column variables.
@@ -207,10 +415,17 @@ impl<T: Theory> Relation<T> {
         self.vars.len()
     }
 
-    /// The generalized tuples (canonical DNF).
+    /// The generalized tuples (canonical, cache-carrying DNF).
     #[must_use]
-    pub fn tuples(&self) -> &[Conj<T::A>] {
+    pub fn tuples(&self) -> &[GenTuple<T::A>] {
         &self.tuples
+    }
+
+    /// The representation as a bare DNF of atom lists (cloned; prefer
+    /// [`Relation::tuples`] where the caches matter).
+    #[must_use]
+    pub fn to_dnf(&self) -> Dnf<T::A> {
+        self.tuples.iter().map(|t| t.atoms().to_vec()).collect()
     }
 
     /// Number of generalized tuples in the representation.
@@ -224,7 +439,7 @@ impl<T: Theory> Relation<T> {
     /// tuples").
     #[must_use]
     pub fn num_atoms(&self) -> usize {
-        self.tuples.iter().map(Vec::len).sum()
+        self.tuples.iter().map(|t| t.atoms().len()).sum()
     }
 
     /// Returns `true` iff the relation is (semantically) empty.
@@ -237,7 +452,7 @@ impl<T: Theory> Relation<T> {
     /// encoding of Section 6).
     #[must_use]
     pub fn constants(&self) -> BTreeSet<Rat> {
-        self.tuples.iter().flatten().flat_map(Atom::constants).collect()
+        self.tuples.iter().flat_map(GenTuple::constants).collect()
     }
 
     /// Membership of a point (Proposition 2.4: decidable by evaluating the
@@ -254,7 +469,7 @@ impl<T: Theory> Relation<T> {
                 panic!("tuple mentions variable {v} outside the relation's columns")
             })
         };
-        self.tuples.iter().any(|c| eval_conj(c, &assignment))
+        self.tuples.iter().any(|c| c.eval(&assignment))
     }
 
     /// Union with another relation over the same columns.
@@ -263,10 +478,13 @@ impl<T: Theory> Relation<T> {
     /// Panics if the column variables differ.
     #[must_use]
     pub fn union(&self, other: &Relation<T>) -> Relation<T> {
-        assert_eq!(self.vars, other.vars, "union of relations over different columns");
-        let mut dnf = self.tuples.clone();
-        dnf.extend(other.tuples.clone());
-        Relation::from_dnf(self.vars.clone(), dnf)
+        assert_eq!(
+            self.vars, other.vars,
+            "union of relations over different columns"
+        );
+        let mut tuples = self.tuples.clone();
+        tuples.extend(other.tuples.iter().cloned());
+        Relation::new(self.vars.clone(), tuples)
     }
 
     /// Intersection with another relation over the same columns.
@@ -275,64 +493,51 @@ impl<T: Theory> Relation<T> {
     /// Panics if the column variables differ.
     #[must_use]
     pub fn intersect(&self, other: &Relation<T>) -> Relation<T> {
-        assert_eq!(self.vars, other.vars, "intersection of relations over different columns");
-        let mut dnf = Vec::new();
+        assert_eq!(
+            self.vars, other.vars,
+            "intersection of relations over different columns"
+        );
+        let mut tuples = Vec::new();
         for a in &self.tuples {
             for b in &other.tuples {
-                let mut c = a.clone();
-                c.extend(b.iter().cloned());
-                dnf.push(c);
+                let mut atoms = a.atoms().to_vec();
+                atoms.extend(b.atoms().iter().cloned());
+                tuples.push(GenTuple::new(atoms));
             }
         }
-        Relation::from_dnf(self.vars.clone(), dnf)
+        Relation::new(self.vars.clone(), tuples)
     }
 
     /// Complement within `Qᵏ` (finitely representable relations are closed under
     /// complement, Section 2.2).
     #[must_use]
     pub fn complement(&self) -> Relation<T> {
-        Relation::from_dnf(self.vars.clone(), negate_dnf::<T>(&self.tuples))
+        Relation::new(self.vars.clone(), negate_tuples::<T>(&self.tuples))
     }
 
-    /// The part of a single conjunction not covered by this relation, as a DNF:
-    /// `conj ∧ ¬self`.  The negation is distributed tuple by tuple with the
+    /// The part of a single generalized tuple not covered by this relation:
+    /// `tuple ∧ ¬self`.  The negation is distributed tuple by tuple with the
     /// conjunction as a seed, which prunes far more aggressively than computing the
     /// full complement first.
-    fn residual_of_conj(&self, conj: &Conj<T::A>) -> Dnf<T::A> {
-        let mut acc: Dnf<T::A> = vec![conj.clone()];
-        if !T::satisfiable(conj) {
+    fn residual_of_tuple(&self, tuple: &GenTuple<T::A>) -> Vec<GenTuple<T::A>> {
+        if !tuple.is_satisfiable::<T>() {
             return Vec::new();
         }
-        for tuple in &self.tuples {
-            let mut next: Dnf<T::A> = Vec::new();
-            for prefix in &acc {
-                for atom in tuple {
-                    for neg in atom.negate() {
-                        let mut candidate = prefix.clone();
-                        candidate.push(neg);
-                        if T::satisfiable(&candidate) {
-                            next.push(candidate);
-                        }
-                    }
-                }
-            }
-            acc = simplify_dnf::<T>(next);
-            if acc.is_empty() {
-                return Vec::new();
-            }
-        }
-        acc
+        conjoin_negation::<T>(vec![tuple.clone()], &self.tuples)
     }
 
     /// Set difference `self \ other`.
     #[must_use]
     pub fn difference(&self, other: &Relation<T>) -> Relation<T> {
-        assert_eq!(self.vars, other.vars, "difference of relations over different columns");
-        let mut dnf: Dnf<T::A> = Vec::new();
-        for conj in &self.tuples {
-            dnf.extend(other.residual_of_conj(conj));
+        assert_eq!(
+            self.vars, other.vars,
+            "difference of relations over different columns"
+        );
+        let mut tuples: Vec<GenTuple<T::A>> = Vec::new();
+        for tuple in &self.tuples {
+            tuples.extend(other.residual_of_tuple(tuple));
         }
-        Relation::from_dnf(self.vars.clone(), dnf)
+        Relation::new(self.vars.clone(), tuples)
     }
 
     /// Containment `self ⊆ other` (both over the same columns), decided by checking
@@ -342,8 +547,21 @@ impl<T: Theory> Relation<T> {
     /// Panics if the column variables differ.
     #[must_use]
     pub fn subset_of(&self, other: &Relation<T>) -> bool {
-        assert_eq!(self.vars, other.vars, "containment of relations over different columns");
-        self.tuples.iter().all(|conj| other.residual_of_conj(conj).is_empty())
+        assert_eq!(
+            self.vars, other.vars,
+            "containment of relations over different columns"
+        );
+        self.tuples
+            .iter()
+            .all(|tuple| other.residual_of_tuple(tuple).is_empty())
+    }
+
+    /// Whether a single generalized tuple is entirely contained in this
+    /// relation (used by the semi-naive Datalog engine to compute deltas
+    /// without a full relation difference).
+    #[must_use]
+    pub fn covers_tuple(&self, tuple: &GenTuple<T::A>) -> bool {
+        self.residual_of_tuple(tuple).is_empty()
     }
 
     /// Semantic equivalence of two representations (query equivalence of §4.3 at the
@@ -353,43 +571,59 @@ impl<T: Theory> Relation<T> {
         self.subset_of(other) && other.subset_of(self)
     }
 
-    /// Renames the column variables (the tuples are rewritten accordingly).
+    /// Renames the column variables (the tuples are rewritten accordingly) in a
+    /// **single simultaneous substitution pass** — permutations need no
+    /// temporary variables, so each atom is rewritten exactly once.
     ///
     /// # Panics
     /// Panics if the number of new variables differs from the arity.
     #[must_use]
     pub fn rename(&self, new_vars: Vec<Var>) -> Relation<T> {
-        assert_eq!(new_vars.len(), self.arity(), "rename with wrong number of columns");
-        // Two-phase rename through fresh intermediates to allow permutations.
-        let mut counter = 0usize;
-        let temps: Vec<Var> = self.vars.iter().map(|_| Var::fresh(&mut counter)).collect();
-        let dnf = self
+        assert_eq!(
+            new_vars.len(),
+            self.arity(),
+            "rename with wrong number of columns"
+        );
+        if new_vars == self.vars {
+            return self.clone();
+        }
+        let map: HashMap<Var, Term> = self
+            .vars
+            .iter()
+            .zip(&new_vars)
+            .filter(|(old, new)| old != new)
+            .map(|(old, new)| (old.clone(), Term::Var(new.clone())))
+            .collect();
+        let tuples = self
             .tuples
             .iter()
-            .map(|conj| {
-                let mut c: Vec<T::A> = conj.clone();
-                for (old, tmp) in self.vars.iter().zip(&temps) {
-                    c = c.iter().map(|a| a.subst(old, &Term::Var(tmp.clone()))).collect();
-                }
-                for (tmp, new) in temps.iter().zip(&new_vars) {
-                    c = c.iter().map(|a| a.subst(tmp, &Term::Var(new.clone()))).collect();
-                }
-                c
+            .map(|tuple| {
+                GenTuple::new(
+                    tuple
+                        .atoms()
+                        .iter()
+                        .map(|a| a.subst_simultaneous(&map))
+                        .collect(),
+                )
             })
             .collect();
-        Relation { vars: new_vars, tuples: dnf, _theory: PhantomData }
+        Relation {
+            vars: new_vars,
+            tuples,
+            _theory: PhantomData,
+        }
     }
 
     /// Applies a mapping to every constant in the representation (the image of the
     /// relation under a morphism, Definition 4.3 / Proposition 4.4).
     #[must_use]
     pub fn map_constants(&self, f: &impl Fn(&Rat) -> Rat) -> Relation<T> {
-        let dnf = self
+        let tuples = self
             .tuples
             .iter()
-            .map(|conj| conj.iter().map(|a| a.map_constants(f)).collect())
+            .map(|tuple| GenTuple::new(tuple.atoms().iter().map(|a| a.map_constants(f)).collect()))
             .collect();
-        Relation::from_dnf(self.vars.clone(), dnf)
+        Relation::new(self.vars.clone(), tuples)
     }
 
     /// The quantifier-free formula representing the relation.
@@ -398,7 +632,9 @@ impl<T: Theory> Relation<T> {
         Formula::Or(
             self.tuples
                 .iter()
-                .map(|conj| Formula::And(conj.iter().cloned().map(Formula::Atom).collect()))
+                .map(|tuple| {
+                    Formula::And(tuple.atoms().iter().cloned().map(Formula::Atom).collect())
+                })
                 .collect(),
         )
     }
@@ -411,17 +647,19 @@ impl<T: Theory> Relation<T> {
     where
         T::A: FromEquality,
     {
-        let dnf: Dnf<T::A> = points
+        let tuples: Vec<GenTuple<T::A>> = points
             .into_iter()
             .map(|p| {
                 assert_eq!(p.len(), vars.len(), "point arity mismatch");
-                vars.iter()
-                    .zip(p)
-                    .map(|(v, c)| T::A::equality(Term::Var(v.clone()), Term::Const(c)))
-                    .collect()
+                GenTuple::new(
+                    vars.iter()
+                        .zip(p)
+                        .map(|(v, c)| T::A::equality(Term::Var(v.clone()), Term::Const(c)))
+                        .collect(),
+                )
             })
             .collect();
-        Relation::from_dnf(vars, dnf)
+        Relation::new(vars, tuples)
     }
 }
 
@@ -438,15 +676,15 @@ impl<T: Theory> fmt::Display for Relation<T> {
         if self.tuples.is_empty() {
             write!(f, "false")?;
         }
-        for (i, conj) in self.tuples.iter().enumerate() {
+        for (i, tuple) in self.tuples.iter().enumerate() {
             if i > 0 {
                 write!(f, " ∨ ")?;
             }
-            if conj.is_empty() {
+            if tuple.atoms().is_empty() {
                 write!(f, "true")?;
             } else {
                 write!(f, "(")?;
-                for (j, a) in conj.iter().enumerate() {
+                for (j, a) in tuple.atoms().iter().enumerate() {
                     if j > 0 {
                         write!(f, " ∧ ")?;
                     }
@@ -482,7 +720,10 @@ pub struct Instance<T: Theory> {
 
 impl<T: Theory> Clone for Instance<T> {
     fn clone(&self) -> Self {
-        Instance { schema: self.schema.clone(), relations: self.relations.clone() }
+        Instance {
+            schema: self.schema.clone(),
+            relations: self.relations.clone(),
+        }
     }
 }
 
@@ -490,7 +731,10 @@ impl<T: Theory> Instance<T> {
     /// An empty instance of the given schema (every relation empty).
     #[must_use]
     pub fn new(schema: Schema) -> Self {
-        Instance { schema, relations: BTreeMap::new() }
+        Instance {
+            schema,
+            relations: BTreeMap::new(),
+        }
     }
 
     /// The schema.
@@ -538,7 +782,10 @@ impl<T: Theory> Instance<T> {
     /// Lemma 6.13).
     #[must_use]
     pub fn active_domain(&self) -> BTreeSet<Rat> {
-        self.relations.values().flat_map(Relation::constants).collect()
+        self.relations
+            .values()
+            .flat_map(Relation::constants)
+            .collect()
     }
 
     /// Applies a mapping to every constant of every relation (the image `µ(I)` of the
@@ -561,13 +808,15 @@ impl<T: Theory> Instance<T> {
         if self.schema != other.schema {
             return false;
         }
-        self.schema.iter().all(|(name, _)| match (self.get(name), other.get(name)) {
-            (Some(a), Some(b)) => {
-                let b = b.rename(a.vars().to_vec());
-                a.equivalent(&b)
-            }
-            _ => false,
-        })
+        self.schema
+            .iter()
+            .all(|(name, _)| match (self.get(name), other.get(name)) {
+                (Some(a), Some(b)) => {
+                    let b = b.rename(a.vars().to_vec());
+                    a.equivalent(&b)
+                }
+                _ => false,
+            })
     }
 }
 

@@ -5,24 +5,32 @@
 //! logical predicates (`=`, `≤`, …) live in constraint atoms, relation symbols live in
 //! [`RelName`]s.
 
+use crate::intern::Sym;
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// The name of a schema relation symbol.
+/// The name of a schema relation symbol, interned for O(1) comparison and
+/// hashing (ordering stays lexicographic on the name).
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct RelName(String);
+pub struct RelName(Sym);
 
 impl RelName {
-    /// Creates a relation name.
+    /// Creates a relation name (interning it).
     #[must_use]
-    pub fn new(name: impl Into<String>) -> Self {
-        RelName(name.into())
+    pub fn new(name: impl AsRef<str>) -> Self {
+        RelName(Sym::new(name.as_ref()))
     }
 
     /// The underlying string.
     #[must_use]
-    pub fn as_str(&self) -> &str {
-        &self.0
+    pub fn as_str(&self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// The interned symbol behind the name.
+    #[must_use]
+    pub fn sym(&self) -> Sym {
+        self.0
     }
 }
 

@@ -11,12 +11,16 @@
 
 use crate::logic::{Term, Var};
 use frdb_num::Rat;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt::{Debug, Display};
 use std::hash::Hash;
 
 /// A constraint atom of some first-order language interpreted over the rationals.
-pub trait Atom: Clone + Eq + Hash + Debug + Display {
+///
+/// The `Send + Sync + 'static` bounds let conjunctions over any atom type carry
+/// shared, lazily computed canonical caches (see
+/// [`crate::relation::GenTuple`]).
+pub trait Atom: Clone + Eq + Hash + Debug + Display + Send + Sync + 'static {
     /// The variables occurring in the atom.
     fn vars(&self) -> BTreeSet<Var>;
 
@@ -39,6 +43,11 @@ pub trait Atom: Clone + Eq + Hash + Debug + Display {
     /// Substitutes a term (variable or constant) for a variable.
     fn subst(&self, var: &Var, replacement: &Term) -> Self;
 
+    /// Applies a **simultaneous** substitution: every variable in `map` is
+    /// replaced by its image in one pass, so permutations need no temporary
+    /// variables (unlike chained [`Atom::subst`] calls).
+    fn subst_simultaneous(&self, map: &HashMap<Var, Term>) -> Self;
+
     /// Applies a mapping to every constant of the atom (Definition 4.3).
     fn map_constants(&self, f: &impl Fn(&Rat) -> Rat) -> Self;
 }
@@ -52,54 +61,103 @@ pub type Dnf<A> = Vec<Conj<A>>;
 
 /// A first-order theory with quantifier elimination, sufficient to drive the
 /// constraint query evaluator.
-pub trait Theory {
+///
+/// ## The canonical context
+///
+/// Every decision the evaluator needs — satisfiability, canonicalization,
+/// quantifier elimination, implication — is a view of one saturated object per
+/// conjunction (for dense order: the transitive order closure).  The
+/// associated type [`Theory::Ctx`] names that object, [`Theory::context`]
+/// builds it **once**, and the `ctx_*` methods answer every question from it
+/// without re-saturating.  Generalized tuples cache their context (see
+/// [`crate::relation::GenTuple`]), so repeated queries against the same
+/// conjunction — the inner loops of DNF simplification and of the Datalog
+/// fixpoint — cost closure lookups, not closure constructions.
+///
+/// The conjunction-level conveniences (`satisfiable`, `canonicalize`,
+/// `eliminate`, `implies`) have default implementations that build a throwaway
+/// context; callers holding a [`crate::relation::GenTuple`] should prefer the
+/// `ctx_*` forms through the tuple's cache.
+pub trait Theory: Sized + 'static {
     /// The atom type of the theory's language.
     type A: Atom;
+
+    /// The saturated canonical context of a conjunction (e.g. the dense-order
+    /// transitive closure), from which all decisions are read off.
+    type Ctx: Clone + Send + Sync + 'static;
 
     /// Human-readable name of the theory (used in reports and benchmarks).
     fn name() -> &'static str;
 
+    /// Builds the canonical context of a conjunction.  This is the only
+    /// saturating (potentially super-linear) operation of the theory.
+    fn context(conj: &[Self::A]) -> Self::Ctx;
+
+    /// Whether the context's conjunction is satisfiable over the structure.
+    fn ctx_satisfiable(ctx: &Self::Ctx) -> bool;
+
+    /// The canonical (tightest) form of the context's conjunction, or `None`
+    /// if unsatisfiable.
+    ///
+    /// Canonical means: two equivalent satisfiable conjunctions over the same
+    /// variables and constants produce equal atom lists, so the result can be
+    /// used for hash-based duplicate elimination.
+    fn ctx_canonical(ctx: &Self::Ctx) -> Option<Conj<Self::A>>;
+
+    /// Eliminates an existentially quantified variable, returning an
+    /// equivalent quantifier-free DNF over the remaining variables.  The
+    /// context is assumed satisfiable.
+    ///
+    /// For dense order and linear constraints the result is a single
+    /// conjunction; the DNF return type leaves room for theories where
+    /// elimination genuinely branches.
+    fn ctx_eliminate(ctx: &Self::Ctx, var: &Var) -> Dnf<Self::A>;
+
+    /// Whether the context's conjunction implies every atom of `conclusion`
+    /// (with all variables implicitly universally quantified).  Must be exact
+    /// even for constants of `conclusion` that do not occur in the premise.
+    fn ctx_entails(ctx: &Self::Ctx, conclusion: &[Self::A]) -> bool;
+
     /// Decides whether a conjunction of atoms is satisfiable over the context
     /// structure.
-    fn satisfiable(conj: &[Self::A]) -> bool;
+    fn satisfiable(conj: &[Self::A]) -> bool {
+        Self::ctx_satisfiable(&Self::context(conj))
+    }
 
     /// Tightens a conjunction to an equivalent canonical conjunction, or `None` if it
     /// is unsatisfiable.
-    ///
-    /// Canonical means: two equivalent satisfiable conjunctions over the same variables
-    /// and constants tighten to equal atom sets, so the result can be used for
-    /// duplicate elimination.
-    fn canonicalize(conj: &[Self::A]) -> Option<Conj<Self::A>>;
+    fn canonicalize(conj: &[Self::A]) -> Option<Conj<Self::A>> {
+        Self::ctx_canonical(&Self::context(conj))
+    }
 
-    /// Eliminates an existentially quantified variable from a satisfiable conjunction,
-    /// returning an equivalent quantifier-free DNF over the remaining variables.
-    ///
-    /// For dense order and linear constraints the result is a single conjunction; the
-    /// DNF return type leaves room for theories where elimination genuinely branches.
-    fn eliminate(var: &Var, conj: &[Self::A]) -> Dnf<Self::A>;
+    /// Eliminates an existentially quantified variable from a conjunction,
+    /// returning an equivalent quantifier-free DNF over the remaining variables
+    /// (empty if the conjunction is unsatisfiable).
+    fn eliminate(var: &Var, conj: &[Self::A]) -> Dnf<Self::A> {
+        let ctx = Self::context(conj);
+        if !Self::ctx_satisfiable(&ctx) {
+            return Vec::new();
+        }
+        Self::ctx_eliminate(&ctx, var)
+    }
 
     /// Decides whether conjunction `premise` implies conjunction `conclusion` over the
     /// context structure (with all variables implicitly universally quantified).
-    fn implies(premise: &[Self::A], conclusion: &[Self::A]) -> bool;
+    fn implies(premise: &[Self::A], conclusion: &[Self::A]) -> bool {
+        Self::ctx_entails(&Self::context(premise), conclusion)
+    }
 }
 
 /// Eliminates a list of variables from a conjunction by repeated single-variable
-/// elimination, producing a DNF.
+/// elimination, producing a DNF (a thin wrapper over
+/// [`crate::relation::eliminate_tuple`], which carries the context cache).
 #[must_use]
 pub fn eliminate_all<T: Theory>(vars: &[Var], conj: &[T::A]) -> Dnf<T::A> {
-    let mut dnf: Dnf<T::A> = vec![conj.to_vec()];
-    for v in vars {
-        let mut next: Dnf<T::A> = Vec::new();
-        for c in &dnf {
-            if !T::satisfiable(c) {
-                continue;
-            }
-            next.extend(T::eliminate(v, c));
-        }
-        dnf = next;
-    }
-    dnf.retain(|c| T::satisfiable(c));
-    dnf
+    let tuple = crate::relation::GenTuple::new(conj.to_vec());
+    crate::relation::eliminate_tuple::<T>(vars, &tuple)
+        .into_iter()
+        .map(crate::relation::GenTuple::into_atoms)
+        .collect()
 }
 
 /// Evaluates a conjunction of atoms under a total assignment.

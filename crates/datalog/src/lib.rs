@@ -30,7 +30,7 @@
 
 use frdb_core::fo::{eval_query, EvalError};
 use frdb_core::logic::{Formula, Term, Var};
-use frdb_core::relation::{Instance, Relation};
+use frdb_core::relation::{GenTuple, Instance, Relation};
 use frdb_core::schema::{RelName, Schema};
 use frdb_core::theory::Theory;
 use std::collections::{BTreeMap, BTreeSet};
@@ -83,7 +83,11 @@ impl<A> Literal<A> {
 impl<A: fmt::Display> fmt::Display for Literal<A> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Literal::Rel { positive, name, args } => {
+            Literal::Rel {
+                positive,
+                name,
+                args,
+            } => {
                 if !positive {
                     write!(f, "¬")?;
                 }
@@ -156,6 +160,15 @@ impl<A: frdb_core::theory::Atom> Rule<A> {
     /// variables existentially quantified.
     #[must_use]
     pub fn body_formula(&self) -> Formula<A> {
+        self.body_formula_mapped(&|_, name| name.clone())
+    }
+
+    /// Like [`Rule::body_formula`], but the relation name of each body literal
+    /// is passed through `map` together with its literal index — the hook the
+    /// semi-naive evaluator uses to point one positive occurrence at a delta
+    /// relation.  Formula-bodied rules ignore the mapping (they are evaluated
+    /// naively).
+    fn body_formula_mapped(&self, map: &dyn Fn(usize, &RelName) -> RelName) -> Formula<A> {
         if let Some(f) = &self.formula {
             let head_set: BTreeSet<Var> = self.head_vars.iter().cloned().collect();
             let free: Vec<Var> = f.free_vars().difference(&head_set).cloned().collect();
@@ -167,15 +180,22 @@ impl<A: frdb_core::theory::Atom> Rule<A> {
         }
         let mut parts: Vec<Formula<A>> = Vec::with_capacity(self.body.len());
         let mut body_vars: BTreeSet<Var> = BTreeSet::new();
-        for lit in &self.body {
+        for (idx, lit) in self.body.iter().enumerate() {
             match lit {
-                Literal::Rel { positive, name, args } => {
+                Literal::Rel {
+                    positive,
+                    name,
+                    args,
+                } => {
                     for a in args {
                         if let Term::Var(v) = a {
                             body_vars.insert(v.clone());
                         }
                     }
-                    let atom = Formula::Rel { name: name.clone(), args: args.clone() };
+                    let atom = Formula::Rel {
+                        name: map(idx, name),
+                        args: args.clone(),
+                    };
                     parts.push(if *positive { atom } else { atom.not() });
                 }
                 Literal::Constraint(a) => {
@@ -192,6 +212,38 @@ impl<A: frdb_core::theory::Atom> Rule<A> {
         } else {
             Formula::Exists(quantified, Box::new(conj))
         }
+    }
+
+    /// Indices of the positive body literals over one of the given intensional
+    /// predicates (empty for formula-bodied rules).
+    fn positive_idb_literals(&self, idb: &BTreeMap<RelName, usize>) -> Vec<usize> {
+        if self.formula.is_some() {
+            return Vec::new();
+        }
+        self.body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, lit)| match lit {
+                Literal::Rel {
+                    positive: true,
+                    name,
+                    ..
+                } if idb.contains_key(name) => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether the rule's body mentions any of the given intensional predicates
+    /// at all (positively, negatively, or inside a formula body).
+    fn mentions_idb(&self, idb: &BTreeMap<RelName, usize>) -> bool {
+        if let Some(f) = &self.formula {
+            return f.relation_names().iter().any(|n| idb.contains_key(n));
+        }
+        self.body.iter().any(|lit| match lit {
+            Literal::Rel { name, .. } => idb.contains_key(name),
+            Literal::Constraint(_) => false,
+        })
     }
 }
 
@@ -253,6 +305,54 @@ impl From<EvalError> for DatalogError {
     }
 }
 
+/// The reserved name of the per-round delta relation of an intensional
+/// predicate (semi-naive evaluation only).
+fn delta_name(name: &RelName) -> RelName {
+    RelName::new(format!("Δ{name}"))
+}
+
+/// The canonical column variables (`c0`, `c1`, …) of an intensional predicate.
+fn idb_columns(arity: usize) -> Vec<Var> {
+    (0..arity).map(|i| Var::new(format!("c{i}"))).collect()
+}
+
+/// Builds the combined evaluation schema (EDB relations plus IDB predicates,
+/// plus their reserved delta relations when `with_deltas`), the initial
+/// instance, and the empty IDB state.  Shared by both engines so the schema
+/// assembly and column-naming convention — which their iteration-parity
+/// contract depends on — cannot drift apart.
+fn seed_state<A: frdb_core::theory::Atom, T: Theory<A = A>>(
+    edb: &Instance<T>,
+    idb: &BTreeMap<RelName, usize>,
+    with_deltas: bool,
+) -> (Instance<T>, BTreeMap<RelName, Relation<T>>) {
+    let mut schema = Schema::new();
+    for (name, arity) in edb.schema().iter() {
+        schema.add(name.clone(), arity);
+    }
+    for (name, arity) in idb {
+        schema.add(name.clone(), *arity);
+        if with_deltas {
+            schema.add(delta_name(name), *arity);
+        }
+    }
+    let mut current: Instance<T> = Instance::new(schema);
+    for (name, rel) in edb.iter() {
+        current.set(name.clone(), rel.clone());
+    }
+    let idb_state: BTreeMap<RelName, Relation<T>> = idb
+        .iter()
+        .map(|(name, arity)| (name.clone(), Relation::empty(idb_columns(*arity))))
+        .collect();
+    for (name, rel) in &idb_state {
+        current.set(name.clone(), rel.clone());
+        if with_deltas {
+            current.set(delta_name(name), rel.clone());
+        }
+    }
+    (current, idb_state)
+}
+
 /// An inflationary `DATALOG¬` program.
 #[derive(Clone, Debug, Default)]
 pub struct Program<A> {
@@ -273,13 +373,19 @@ impl<A: frdb_core::theory::Atom> Program<A> {
     /// Creates an empty program with the default iteration cap.
     #[must_use]
     pub fn new() -> Self {
-        Program { rules: Vec::new(), max_iterations: 10_000 }
+        Program {
+            rules: Vec::new(),
+            max_iterations: 10_000,
+        }
     }
 
     /// Creates a program from rules.
     #[must_use]
     pub fn from_rules(rules: Vec<Rule<A>>) -> Self {
-        Program { rules, max_iterations: 10_000 }
+        Program {
+            rules,
+            max_iterations: 10_000,
+        }
     }
 
     /// Adds a rule.
@@ -319,40 +425,221 @@ impl<A: frdb_core::theory::Atom> Program<A> {
         Ok(out)
     }
 
-    /// Runs the program to its inflationary fixpoint over an input instance.
+    fn validated_idb(&self, edb_schema: &Schema) -> Result<BTreeMap<RelName, usize>, DatalogError> {
+        let idb = self.idb_schema()?;
+        for name in idb.keys() {
+            if edb_schema.contains(name) {
+                return Err(DatalogError::HeadShadowsEdb(name.to_string()));
+            }
+        }
+        Ok(idb)
+    }
+
+    /// Runs the program to its inflationary fixpoint over an input instance
+    /// using **semi-naive (delta) evaluation**.
+    ///
+    /// Each round evaluates, for every rule with positive intensional body
+    /// literals, one *delta variant* per such literal — the occurrence pointed
+    /// at the tuples derived in the previous round (exposed in the evaluation
+    /// instance under the reserved `Δ`-prefixed names), all other literals at
+    /// their full current values.  Because negated literals and constraints
+    /// can only *lose* satisfying tuples as the intensional relations grow,
+    /// every fact newly derivable in a round uses at least one delta tuple in
+    /// a positive position, so the variants find exactly the naive round's new
+    /// facts: the fixpoint **and the iteration count** coincide with
+    /// [`Program::run_naive`].  Rules whose body is an arbitrary formula over
+    /// an intensional predicate are re-evaluated naively each round (a formula
+    /// may be non-monotone in the predicate, e.g. under a universal
+    /// quantifier, so delta rewriting would be unsound for them); rules that
+    /// never mention an intensional predicate run only in the first round.
     ///
     /// # Errors
     /// Returns an error if a rule fails to evaluate, head arities are inconsistent, an
     /// IDB predicate shadows an EDB relation, or the iteration cap is exceeded.
-    pub fn run<T: Theory<A = A>>(&self, edb: &Instance<T>) -> Result<FixpointResult<T>, DatalogError> {
-        let idb = self.idb_schema()?;
-        for name in idb.keys() {
-            if edb.schema().contains(name) {
-                return Err(DatalogError::HeadShadowsEdb(name.to_string()));
-            }
+    pub fn run<T: Theory<A = A>>(
+        &self,
+        edb: &Instance<T>,
+    ) -> Result<FixpointResult<T>, DatalogError> {
+        let idb = self.validated_idb(edb.schema())?;
+        // The delta namespace is reserved; a `Δ`-prefixed name anywhere — an
+        // IDB head, an EDB relation, or a reference inside any rule body —
+        // could collide with the engine's internal delta relations, so fall
+        // back to the naive engine (which has no reserved names and therefore
+        // reports the same result or error a user would expect for them).
+        if idb.keys().any(|n| n.as_str().starts_with('Δ'))
+            || edb
+                .schema()
+                .iter()
+                .any(|(n, _)| n.as_str().starts_with('Δ'))
+            || self.rules.iter().any(|rule| {
+                rule.body_formula()
+                    .relation_names()
+                    .iter()
+                    .any(|n| n.as_str().starts_with('Δ'))
+            })
+        {
+            return self.run_naive(edb);
         }
-        // Combined schema: EDB relations plus IDB predicates.
-        let mut schema = Schema::new();
-        for (name, arity) in edb.schema().iter() {
-            schema.add(name.clone(), arity);
+        // Evaluation schema and state: EDB relations, IDB predicates, and
+        // their deltas (initially empty, like the IDB itself).
+        let (mut current, mut idb_state) = seed_state(edb, &idb, true);
+
+        // Precompute per rule: the full body, the delta variants (one per
+        // positive IDB literal), and whether the body mentions the IDB at all.
+        struct CompiledRule<A> {
+            head: RelName,
+            head_vars: Vec<Var>,
+            full_body: Formula<A>,
+            // (idb predicate whose delta gates the variant, rewritten body)
+            variants: Vec<(RelName, Formula<A>)>,
+            mentions_idb: bool,
+            has_literal_body: bool,
         }
-        for (name, arity) in &idb {
-            schema.add(name.clone(), *arity);
-        }
-        let mut current: Instance<T> = Instance::new(schema);
-        for (name, rel) in edb.iter() {
-            current.set(name.clone(), rel.clone());
-        }
-        let mut idb_state: BTreeMap<RelName, Relation<T>> = idb
+        let compiled: Vec<CompiledRule<A>> = self
+            .rules
             .iter()
-            .map(|(name, arity)| {
-                let vars: Vec<Var> = (0..*arity).map(|i| Var::new(format!("c{i}"))).collect();
-                (name.clone(), Relation::empty(vars))
+            .map(|rule| {
+                let variants = rule
+                    .positive_idb_literals(&idb)
+                    .into_iter()
+                    .map(|target| {
+                        let gate = match &rule.body[target] {
+                            Literal::Rel { name, .. } => name.clone(),
+                            Literal::Constraint(_) => {
+                                unreachable!("target literal is a positive IDB literal")
+                            }
+                        };
+                        let body = rule.body_formula_mapped(&|idx, name| {
+                            if idx == target {
+                                delta_name(name)
+                            } else {
+                                name.clone()
+                            }
+                        });
+                        (gate, body)
+                    })
+                    .collect();
+                CompiledRule {
+                    head: rule.head.clone(),
+                    head_vars: rule.head_vars.clone(),
+                    full_body: rule.body_formula(),
+                    variants,
+                    mentions_idb: rule.mentions_idb(&idb),
+                    has_literal_body: rule.formula.is_none(),
+                }
             })
             .collect();
-        for (name, rel) in &idb_state {
-            current.set(name.clone(), rel.clone());
+
+        for iteration in 0..self.max_iterations {
+            let mut changed = false;
+            let mut next_state = idb_state.clone();
+            let mut next_delta: BTreeMap<RelName, Vec<GenTuple<A>>> =
+                idb.keys().map(|n| (n.clone(), Vec::new())).collect();
+            for rule in &compiled {
+                // Which evaluations does this rule need this round?
+                let derived: Option<Relation<T>> = if iteration == 0 {
+                    // First round: every rule runs naively against the empty IDB.
+                    Some(eval_query(&rule.full_body, &rule.head_vars, &current)?)
+                } else if rule.has_literal_body && !rule.variants.is_empty() {
+                    // Semi-naive: one variant per positive IDB literal, gated on
+                    // that predicate's delta being nonempty.
+                    let mut acc: Option<Relation<T>> = None;
+                    for (gate, body) in &rule.variants {
+                        let gate_delta = current
+                            .get(&delta_name(gate))
+                            .expect("delta relations are declared");
+                        if gate_delta.is_empty() {
+                            continue;
+                        }
+                        let part = eval_query(body, &rule.head_vars, &current)?;
+                        acc = Some(match acc {
+                            None => part,
+                            Some(prev) => prev.union(&part.rename(prev.vars().to_vec())),
+                        });
+                    }
+                    acc
+                } else if rule.mentions_idb {
+                    // Formula-bodied rule over the IDB: possibly non-monotone,
+                    // re-evaluate naively every round.
+                    Some(eval_query(&rule.full_body, &rule.head_vars, &current)?)
+                } else {
+                    // EDB-only rule: nothing new after the first round.
+                    None
+                };
+                let Some(derived) = derived else { continue };
+                let existing = next_state
+                    .get(&rule.head)
+                    .expect("idb_schema lists every head predicate")
+                    .clone();
+                let derived = derived.rename(existing.vars().to_vec());
+                // Inflationary semantics: keep only the genuinely new tuples.
+                let fresh: Vec<GenTuple<A>> = derived
+                    .tuples()
+                    .iter()
+                    .filter(|t| !existing.covers_tuple(t))
+                    .cloned()
+                    .collect();
+                if fresh.is_empty() {
+                    continue;
+                }
+                changed = true;
+                let fresh_rel = Relation::new(existing.vars().to_vec(), fresh.clone());
+                next_state.insert(rule.head.clone(), existing.union(&fresh_rel));
+                next_delta
+                    .get_mut(&rule.head)
+                    .expect("initialized for every head")
+                    .extend(fresh);
+            }
+            idb_state = next_state;
+            for (name, rel) in &idb_state {
+                current.set(name.clone(), rel.clone());
+            }
+            for (name, arity) in &idb {
+                let tuples = next_delta.remove(name).unwrap_or_default();
+                let delta_rel = Relation::new(idb_columns(*arity), tuples);
+                current.set(delta_name(name), delta_rel);
+            }
+            if !changed {
+                // Return a clean instance without the reserved delta relations.
+                let mut out_schema = Schema::new();
+                for (name, arity) in edb.schema().iter() {
+                    out_schema.add(name.clone(), arity);
+                }
+                for (name, arity) in &idb {
+                    out_schema.add(name.clone(), *arity);
+                }
+                let mut out = Instance::new(out_schema);
+                for (name, rel) in edb.iter() {
+                    out.set(name.clone(), rel.clone());
+                }
+                for (name, rel) in &idb_state {
+                    out.set(name.clone(), rel.clone());
+                }
+                return Ok(FixpointResult {
+                    instance: out,
+                    iterations: iteration + 1,
+                });
+            }
         }
+        Err(DatalogError::IterationLimit(self.max_iterations))
+    }
+
+    /// Runs the program to its inflationary fixpoint by **naive re-evaluation**
+    /// — every rule body against the full current instance, every round.
+    ///
+    /// Retained as the semantics baseline: [`Program::run`] must produce the
+    /// same fixpoint in the same number of iterations, and the benchmark
+    /// harness measures the speedup of the delta engine against this path.
+    ///
+    /// # Errors
+    /// As for [`Program::run`].
+    pub fn run_naive<T: Theory<A = A>>(
+        &self,
+        edb: &Instance<T>,
+    ) -> Result<FixpointResult<T>, DatalogError> {
+        let idb = self.validated_idb(edb.schema())?;
+        // Combined schema and state: EDB relations plus IDB predicates.
+        let (mut current, mut idb_state) = seed_state(edb, &idb, false);
 
         for iteration in 0..self.max_iterations {
             let mut changed = false;
@@ -378,7 +665,10 @@ impl<A: frdb_core::theory::Atom> Program<A> {
                 current.set(name.clone(), rel.clone());
             }
             if !changed {
-                return Ok(FixpointResult { instance: current, iterations: iteration + 1 });
+                return Ok(FixpointResult {
+                    instance: current,
+                    iterations: iteration + 1,
+                });
             }
         }
         Err(DatalogError::IterationLimit(self.max_iterations))
@@ -418,7 +708,11 @@ pub fn transitive_closure_program(
     let y = || Term::var("y");
     let z = || Term::var("z");
     Program::from_rules(vec![
-        Rule::new(tc.clone(), ["x", "y"], vec![Literal::pos(edge.clone(), [x(), y()])]),
+        Rule::new(
+            tc.clone(),
+            ["x", "y"],
+            vec![Literal::pos(edge.clone(), [x(), y()])],
+        ),
         Rule::new(
             tc.clone(),
             ["x", "y"],
@@ -472,6 +766,85 @@ mod tests {
     }
 
     #[test]
+    fn semi_naive_pins_iteration_count_on_path_closure() {
+        // The linear tc rule extends paths by one edge per round: a path with n
+        // edges needs n productive rounds plus the quiescent one, and the
+        // semi-naive engine must take exactly as many rounds as the naive one.
+        for n in [1i64, 2, 4, 5] {
+            let inst = path_graph(n);
+            let program = transitive_closure_program("edge", "tc");
+            let semi = program.run(&inst).unwrap();
+            let naive = program.run_naive(&inst).unwrap();
+            assert_eq!(semi.iterations, naive.iterations, "path({n})");
+            assert_eq!(semi.iterations as i64, n + 1, "path({n})");
+        }
+    }
+
+    #[test]
+    fn semi_naive_matches_naive_fixpoint_with_negation_and_constraints() {
+        // A program mixing positive recursion, negation over an IDB predicate
+        // and a constraint literal: the two engines must agree on every
+        // intensional relation and on the round count.
+        let mut inst = path_graph(4);
+        let mut schema = Schema::from_pairs([("edge", 2), ("node", 1)]);
+        schema.add("node", 1);
+        let mut inst2 = Instance::new(schema);
+        inst2.set("edge", inst.get(&RelName::new("edge")).unwrap());
+        let nodes: Vec<Vec<Rat>> = (0..=4).chain(20..=21).map(|i| vec![r(i)]).collect();
+        inst2.set("node", Relation::from_points(vec![Var::new("x")], nodes));
+        inst = inst2;
+
+        let mut program = transitive_closure_program("edge", "tc");
+        program.add_rule(Rule::new(
+            "reach0",
+            ["x"],
+            vec![Literal::pos("tc", [Term::cst(0), Term::var("x")])],
+        ));
+        program.add_rule(Rule::new(
+            "far",
+            ["x"],
+            vec![
+                Literal::pos("node", [Term::var("x")]),
+                Literal::neg("reach0", [Term::var("x")]),
+                Literal::constraint(DenseAtom::lt(Term::cst(1), Term::var("x"))),
+            ],
+        ));
+        let semi = program.run(&inst).unwrap();
+        let naive = program.run_naive(&inst).unwrap();
+        assert_eq!(semi.iterations, naive.iterations);
+        for name in ["tc", "reach0", "far"] {
+            let a = semi.instance.get(&RelName::new(name)).unwrap();
+            let b = naive.instance.get(&RelName::new(name)).unwrap();
+            let b = b.rename(a.vars().to_vec());
+            assert!(a.equivalent(&b), "fixpoints differ on {name}");
+        }
+    }
+
+    #[test]
+    fn semi_naive_handles_formula_bodied_rules() {
+        // A formula-bodied rule over an IDB predicate is re-evaluated naively
+        // inside the semi-naive engine; results must still agree.
+        let inst = path_graph(3);
+        let mut program = transitive_closure_program("edge", "tc");
+        program.add_rule(Rule::from_formula(
+            "has_succ",
+            ["x"],
+            Formula::exists(
+                ["y"],
+                Formula::<DenseAtom>::rel("tc", [Term::var("x"), Term::var("y")]),
+            ),
+        ));
+        let semi = program.run(&inst).unwrap();
+        let naive = program.run_naive(&inst).unwrap();
+        assert_eq!(semi.iterations, naive.iterations);
+        let a = semi.instance.get(&RelName::new("has_succ")).unwrap();
+        let b = naive.instance.get(&RelName::new("has_succ")).unwrap();
+        assert!(a.equivalent(&b.rename(a.vars().to_vec())));
+        assert!(a.contains(&[r(0)]));
+        assert!(!a.contains(&[r(3)]));
+    }
+
+    #[test]
     fn negation_in_bodies() {
         // unreachable-from-0 nodes of the vertex set: node(x) ∧ ¬tc0(x)
         // where tc0(x) ← tc(0, x) and tc is the closure of edge.
@@ -494,7 +867,10 @@ mod tests {
         program.add_rule(Rule::new(
             "isolated",
             ["x"],
-            vec![Literal::pos("node", [Term::var("x")]), Literal::neg("reach0", [Term::var("x")])],
+            vec![
+                Literal::pos("node", [Term::var("x")]),
+                Literal::neg("reach0", [Term::var("x")]),
+            ],
         ));
         // Note: with inflationary semantics the `isolated` rule may fire early while
         // `reach0` is still growing; re-running the body on the *final* instance is the
@@ -551,6 +927,35 @@ mod tests {
     }
 
     #[test]
+    fn reserved_delta_names_fall_back_to_naive() {
+        // A rule body referencing a Δ-prefixed relation must behave exactly
+        // like the naive engine (here: an unknown-relation error), never read
+        // the semi-naive engine's internal delta state.
+        let inst = path_graph(2);
+        let mut program = transitive_closure_program("edge", "tc");
+        program.add_rule(Rule::new(
+            "p",
+            ["x", "y"],
+            vec![Literal::pos("Δtc", [Term::var("x"), Term::var("y")])],
+        ));
+        let semi = program.run(&inst);
+        let naive = program.run_naive(&inst);
+        assert!(matches!(semi, Err(DatalogError::Eval(_))));
+        assert!(matches!(naive, Err(DatalogError::Eval(_))));
+
+        // A Δ-prefixed EDB relation also routes through the naive engine and
+        // still computes the right fixpoint.
+        let mut inst2: Instance<DenseOrder> = Instance::new(Schema::from_pairs([("Δedge", 2)]));
+        inst2.set(
+            "Δedge",
+            Relation::from_points(vec![Var::new("x"), Var::new("y")], vec![vec![r(1), r(2)]]),
+        );
+        let p2 = transitive_closure_program("Δedge", "tc");
+        let tc = p2.run_for(&inst2, &RelName::new("tc")).unwrap();
+        assert!(tc.contains(&[r(1), r(2)]));
+    }
+
+    #[test]
     fn errors_are_surfaced() {
         let inst = path_graph(2);
         // Head shadowing an EDB relation.
@@ -559,17 +964,27 @@ mod tests {
             ["x", "y"],
             vec![Literal::pos("edge", [Term::var("x"), Term::var("y")])],
         )]);
-        assert!(matches!(bad.run(&inst), Err(DatalogError::HeadShadowsEdb(_))));
+        assert!(matches!(
+            bad.run(&inst),
+            Err(DatalogError::HeadShadowsEdb(_))
+        ));
         // Inconsistent arities.
         let bad2 = Program::<DenseAtom>::from_rules(vec![
-            Rule::new("p", ["x"], vec![Literal::pos("edge", [Term::var("x"), Term::var("y")])]),
+            Rule::new(
+                "p",
+                ["x"],
+                vec![Literal::pos("edge", [Term::var("x"), Term::var("y")])],
+            ),
             Rule::new(
                 "p",
                 ["x", "y"],
                 vec![Literal::pos("edge", [Term::var("x"), Term::var("y")])],
             ),
         ]);
-        assert!(matches!(bad2.run(&inst), Err(DatalogError::InconsistentHeadArity(_))));
+        assert!(matches!(
+            bad2.run(&inst),
+            Err(DatalogError::InconsistentHeadArity(_))
+        ));
         // Unknown EDB relation inside a body.
         let bad3 = Program::<DenseAtom>::from_rules(vec![Rule::new(
             "p",

@@ -70,7 +70,10 @@ pub fn comb_instance(teeth: usize, connected: bool) -> Instance<DenseOrder> {
         tuples.push(vseg(width, 0, 10));
     }
     let mut inst = Instance::new(comb_schema());
-    inst.set("R", Relation::new(vec![Var::new("x"), Var::new("y")], tuples));
+    inst.set(
+        "R",
+        Relation::new(vec![Var::new("x"), Var::new("y")], tuples),
+    );
     inst
 }
 

@@ -193,7 +193,11 @@ pub fn duplicator_wins_value(
     let mut a = Vec::new();
     let mut b = Vec::new();
     let wins = search.duplicator_wins(&mut a, &mut b, rounds);
-    GameReport { rounds, duplicator_wins: wins, positions_explored: search.positions }
+    GameReport {
+        rounds,
+        duplicator_wins: wins,
+        positions_explored: search.positions,
+    }
 }
 
 /// Decides whether the duplicator wins the `rounds`-round **point game** between two
@@ -209,7 +213,11 @@ pub fn duplicator_wins_point(
     let mut a = Vec::new();
     let mut b = Vec::new();
     let wins = search.duplicator_wins(&mut a, &mut b, rounds);
-    GameReport { rounds, duplicator_wins: wins, positions_explored: search.positions }
+    GameReport {
+        rounds,
+        duplicator_wins: wins,
+        positions_explored: search.positions,
+    }
 }
 
 #[cfg(test)]
@@ -288,7 +296,10 @@ mod tests {
         let mut a = Instance::new(schema.clone());
         a.set("R", Relation::new(vec![Var::new("x")], vec![seg(0, 10)]));
         let mut b = Instance::new(schema);
-        b.set("R", Relation::new(vec![Var::new("x")], vec![seg(0, 4), seg(6, 10)]));
+        b.set(
+            "R",
+            Relation::new(vec![Var::new("x")], vec![seg(0, 4), seg(6, 10)]),
+        );
         assert!(duplicator_wins_value(&a, &b, 1).duplicator_wins);
         assert!(!duplicator_wins_value(&a, &b, 2).duplicator_wins);
     }
@@ -324,7 +335,7 @@ mod tests {
     }
 
     #[test]
-    fn theorem_5_9_direction_on_small_instances(){
+    fn theorem_5_9_direction_on_small_instances() {
         // Theorem 5.9(2): indistinguishability in the point game with r² rounds implies
         // indistinguishability in the value game with r rounds.  Check the contrapositive
         // shape on a pair the value game separates at rank 2: the point game with

@@ -50,7 +50,10 @@ impl LinExpr {
     /// A constant expression.
     #[must_use]
     pub fn constant(c: impl Into<Rat>) -> Self {
-        LinExpr { coeffs: BTreeMap::new(), constant: c.into() }
+        LinExpr {
+            coeffs: BTreeMap::new(),
+            constant: c.into(),
+        }
     }
 
     /// Converts a [`Term`] (variable or constant) into a linear expression.
@@ -115,7 +118,11 @@ impl LinExpr {
             return LinExpr::zero();
         }
         LinExpr {
-            coeffs: self.coeffs.iter().map(|(v, c)| (v.clone(), c * k)).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|(v, c)| (v.clone(), c * k))
+                .collect(),
             constant: &self.constant * k,
         }
     }
@@ -203,19 +210,28 @@ impl LinAtom {
     /// The atom `lhs < rhs`.
     #[must_use]
     pub fn lt(lhs: LinExpr, rhs: LinExpr) -> Self {
-        LinAtom { expr: lhs.sub(&rhs), op: LinOp::Lt }
+        LinAtom {
+            expr: lhs.sub(&rhs),
+            op: LinOp::Lt,
+        }
     }
 
     /// The atom `lhs ≤ rhs`.
     #[must_use]
     pub fn le(lhs: LinExpr, rhs: LinExpr) -> Self {
-        LinAtom { expr: lhs.sub(&rhs), op: LinOp::Le }
+        LinAtom {
+            expr: lhs.sub(&rhs),
+            op: LinOp::Le,
+        }
     }
 
     /// The atom `lhs = rhs`.
     #[must_use]
     pub fn eq(lhs: LinExpr, rhs: LinExpr) -> Self {
-        LinAtom { expr: lhs.sub(&rhs), op: LinOp::Eq }
+        LinAtom {
+            expr: lhs.sub(&rhs),
+            op: LinOp::Eq,
+        }
     }
 
     /// Normalizes the atom: scales so that the leading coefficient (first variable in
@@ -233,7 +249,10 @@ impl LinAtom {
             return self.clone();
         }
         let k = scale.abs().recip();
-        LinAtom { expr: self.expr.scale(&k), op: self.op }
+        LinAtom {
+            expr: self.expr.scale(&k),
+            op: self.op,
+        }
     }
 
     /// The number of `+` occurrences of the constraint ([GST94] k-boundedness).
@@ -278,13 +297,25 @@ impl Atom for LinAtom {
         let neg = self.expr.scale(&Rat::from_i64(-1));
         match self.op {
             // ¬(e < 0) ≡ -e ≤ 0
-            LinOp::Lt => vec![LinAtom { expr: neg, op: LinOp::Le }],
+            LinOp::Lt => vec![LinAtom {
+                expr: neg,
+                op: LinOp::Le,
+            }],
             // ¬(e ≤ 0) ≡ -e < 0
-            LinOp::Le => vec![LinAtom { expr: neg, op: LinOp::Lt }],
+            LinOp::Le => vec![LinAtom {
+                expr: neg,
+                op: LinOp::Lt,
+            }],
             // ¬(e = 0) ≡ e < 0 ∨ -e < 0
             LinOp::Eq => vec![
-                LinAtom { expr: self.expr.clone(), op: LinOp::Lt },
-                LinAtom { expr: neg, op: LinOp::Lt },
+                LinAtom {
+                    expr: self.expr.clone(),
+                    op: LinOp::Lt,
+                },
+                LinAtom {
+                    expr: neg,
+                    op: LinOp::Lt,
+                },
             ],
         }
     }
@@ -296,13 +327,45 @@ impl Atom for LinAtom {
         }
     }
 
+    fn subst_simultaneous(&self, map: &std::collections::HashMap<Var, Term>) -> Self {
+        // One pass over the coefficient map: every substituted variable's
+        // coefficient is redistributed onto its image expression.
+        let mut expr = LinExpr {
+            coeffs: BTreeMap::new(),
+            constant: self.expr.constant.clone(),
+        };
+        for (v, c) in &self.expr.coeffs {
+            match map.get(v) {
+                None => {
+                    let entry = expr.coeffs.entry(v.clone()).or_insert_with(Rat::zero);
+                    *entry = &*entry + c;
+                }
+                Some(t) => {
+                    let image = LinExpr::from_term(t).scale(c);
+                    for (iv, ic) in &image.coeffs {
+                        let entry = expr.coeffs.entry(iv.clone()).or_insert_with(Rat::zero);
+                        *entry = &*entry + ic;
+                    }
+                    expr.constant = &expr.constant + &image.constant;
+                }
+            }
+        }
+        expr.coeffs.retain(|_, c| !c.is_zero());
+        LinAtom { expr, op: self.op }
+    }
+
     fn map_constants(&self, f: &impl Fn(&Rat) -> Rat) -> Self {
         // The purely syntactic operation of Definition 4.3 (replace every constant of
         // the formula); note that for FO(≤,+) the automorphism group is smaller than
         // for FO(≤), so this is used for reporting rather than genericity proofs.
         LinAtom {
             expr: LinExpr {
-                coeffs: self.expr.coeffs.iter().map(|(v, c)| (v.clone(), f(c))).collect(),
+                coeffs: self
+                    .expr
+                    .coeffs
+                    .iter()
+                    .map(|(v, c)| (v.clone(), f(c)))
+                    .collect(),
                 constant: f(&self.expr.constant),
             },
             op: self.op,
@@ -333,7 +396,10 @@ impl LinearOrder {
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| *i != idx)
-                .map(|(_, a)| LinAtom { expr: a.expr.subst_expr(var, &solution), op: a.op })
+                .map(|(_, a)| LinAtom {
+                    expr: a.expr.subst_expr(var, &solution),
+                    op: a.op,
+                })
                 .collect();
         }
         let mut lowers: Vec<(LinExpr, bool)> = Vec::new(); // (bound expr, strict): bound ⋈ var
@@ -379,14 +445,10 @@ impl LinearOrder {
     }
 }
 
-impl Theory for LinearOrder {
-    type A = LinAtom;
-
-    fn name() -> &'static str {
-        "linear order (Q, ≤, +)"
-    }
-
-    fn satisfiable(conj: &[LinAtom]) -> bool {
+impl LinearOrder {
+    /// Full Fourier–Motzkin satisfiability of a conjunction (the saturating
+    /// operation of the theory; everything else is read off its verdict).
+    fn fm_satisfiable(conj: &[LinAtom]) -> bool {
         let mut current: Vec<LinAtom> = conj.to_vec();
         loop {
             let vars: BTreeSet<Var> = current.iter().flat_map(Atom::vars).collect();
@@ -403,21 +465,57 @@ impl Theory for LinearOrder {
                                 LinOp::Eq => a.expr.constant.is_zero(),
                             })
                     });
-                    if current.iter().any(|a| a.expr.is_constant()) && !Self::ground_consistent(
-                        &current.iter().filter(|a| a.expr.is_constant()).cloned().collect::<Vec<_>>(),
-                    ) {
+                    if current.iter().any(|a| a.expr.is_constant())
+                        && !Self::ground_consistent(
+                            &current
+                                .iter()
+                                .filter(|a| a.expr.is_constant())
+                                .cloned()
+                                .collect::<Vec<_>>(),
+                        )
+                    {
                         return false;
                     }
                 }
             }
         }
     }
+}
 
-    fn canonicalize(conj: &[LinAtom]) -> Option<Conj<LinAtom>> {
-        if !Self::satisfiable(conj) {
+/// The canonical context of a linear conjunction: the atoms together with the
+/// Fourier–Motzkin satisfiability verdict, computed once and cached by the
+/// generalized tuples that carry it.
+#[derive(Clone, Debug)]
+pub struct LinCtx {
+    conj: Vec<LinAtom>,
+    satisfiable: bool,
+}
+
+impl Theory for LinearOrder {
+    type A = LinAtom;
+    type Ctx = LinCtx;
+
+    fn name() -> &'static str {
+        "linear order (Q, ≤, +)"
+    }
+
+    fn context(conj: &[LinAtom]) -> LinCtx {
+        LinCtx {
+            conj: conj.to_vec(),
+            satisfiable: Self::fm_satisfiable(conj),
+        }
+    }
+
+    fn ctx_satisfiable(ctx: &LinCtx) -> bool {
+        ctx.satisfiable
+    }
+
+    fn ctx_canonical(ctx: &LinCtx) -> Option<Conj<LinAtom>> {
+        if !ctx.satisfiable {
             return None;
         }
-        let mut out: Vec<LinAtom> = conj
+        let mut out: Vec<LinAtom> = ctx
+            .conj
             .iter()
             .map(LinAtom::normalized)
             .filter(|a| {
@@ -435,22 +533,22 @@ impl Theory for LinearOrder {
         Some(out)
     }
 
-    fn eliminate(var: &Var, conj: &[LinAtom]) -> Dnf<LinAtom> {
-        if !Self::satisfiable(conj) {
+    fn ctx_eliminate(ctx: &LinCtx, var: &Var) -> Dnf<LinAtom> {
+        if !ctx.satisfiable {
             return Vec::new();
         }
-        vec![Self::fm_eliminate(var, conj)]
+        vec![Self::fm_eliminate(var, &ctx.conj)]
     }
 
-    fn implies(premise: &[LinAtom], conclusion: &[LinAtom]) -> bool {
-        if !Self::satisfiable(premise) {
+    fn ctx_entails(ctx: &LinCtx, conclusion: &[LinAtom]) -> bool {
+        if !ctx.satisfiable {
             return true;
         }
         conclusion.iter().all(|goal| {
             goal.negate().iter().all(|neg| {
-                let mut system = premise.to_vec();
+                let mut system = ctx.conj.clone();
                 system.push(neg.clone());
-                !Self::satisfiable(&system)
+                !Self::fm_satisfiable(&system)
             })
         })
     }
@@ -464,19 +562,28 @@ pub mod build {
     /// `lhs < rhs` as a formula.
     #[must_use]
     pub fn lt(lhs: &Term, rhs: &Term) -> Formula<LinAtom> {
-        Formula::Atom(LinAtom::lt(LinExpr::from_term(lhs), LinExpr::from_term(rhs)))
+        Formula::Atom(LinAtom::lt(
+            LinExpr::from_term(lhs),
+            LinExpr::from_term(rhs),
+        ))
     }
 
     /// `lhs ≤ rhs` as a formula.
     #[must_use]
     pub fn le(lhs: &Term, rhs: &Term) -> Formula<LinAtom> {
-        Formula::Atom(LinAtom::le(LinExpr::from_term(lhs), LinExpr::from_term(rhs)))
+        Formula::Atom(LinAtom::le(
+            LinExpr::from_term(lhs),
+            LinExpr::from_term(rhs),
+        ))
     }
 
     /// `lhs = rhs` as a formula.
     #[must_use]
     pub fn eq(lhs: &Term, rhs: &Term) -> Formula<LinAtom> {
-        Formula::Atom(LinAtom::eq(LinExpr::from_term(lhs), LinExpr::from_term(rhs)))
+        Formula::Atom(LinAtom::eq(
+            LinExpr::from_term(lhs),
+            LinExpr::from_term(rhs),
+        ))
     }
 
     /// `a + b = c` as a formula (the addition predicate of `FO(≤,+)`).
@@ -493,7 +600,10 @@ pub mod build {
 /// conjunction is *k-bounded* in the sense of [GST94] when this is at most `k`.
 #[must_use]
 pub fn k_boundedness(conj: &[LinAtom]) -> usize {
-    conj.iter().map(LinAtom::plus_occurrences).max().unwrap_or(0)
+    conj.iter()
+        .map(LinAtom::plus_occurrences)
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -532,8 +642,14 @@ mod tests {
             LinAtom::le(k(1), y()),
         ]));
         // Strictness matters: x < y ∧ y < x is unsat, x ≤ y ∧ y ≤ x is sat.
-        assert!(!LinearOrder::satisfiable(&[LinAtom::lt(x(), y()), LinAtom::lt(y(), x())]));
-        assert!(LinearOrder::satisfiable(&[LinAtom::le(x(), y()), LinAtom::le(y(), x())]));
+        assert!(!LinearOrder::satisfiable(&[
+            LinAtom::lt(x(), y()),
+            LinAtom::lt(y(), x())
+        ]));
+        assert!(LinearOrder::satisfiable(&[
+            LinAtom::le(x(), y()),
+            LinAtom::le(y(), x())
+        ]));
         // Equalities: 2x = 3 ∧ x < 1 is unsat.
         assert!(!LinearOrder::satisfiable(&[
             LinAtom::eq(x().scale(&r(2)), k(3)),
@@ -560,8 +676,14 @@ mod tests {
                 LinAtom::le(y(), k(1)),
             ],
         );
-        assert!(LinearOrder::implies(&out[0], &[LinAtom::le(k(0), x()), LinAtom::le(x(), k(2))]));
-        assert!(LinearOrder::implies(&[LinAtom::le(k(0), x()), LinAtom::le(x(), k(2))], &out[0]));
+        assert!(LinearOrder::implies(
+            &out[0],
+            &[LinAtom::le(k(0), x()), LinAtom::le(x(), k(2))]
+        ));
+        assert!(LinearOrder::implies(
+            &[LinAtom::le(k(0), x()), LinAtom::le(x(), k(2))],
+            &out[0]
+        ));
     }
 
     #[test]
@@ -594,10 +716,8 @@ mod tests {
             ),
         );
         // The projection ∃y.R(x,y) is exactly [0, 1].
-        let q: Formula<LinAtom> = Formula::exists(
-            ["y"],
-            Formula::rel("R", [Term::var("x"), Term::var("y")]),
-        );
+        let q: Formula<LinAtom> =
+            Formula::exists(["y"], Formula::rel("R", [Term::var("x"), Term::var("y")]));
         let ans = eval_query(&q, &[Var::new("x")], &inst).unwrap();
         assert!(ans.contains(&[r(0)]));
         assert!(ans.contains(&["1/2".parse().unwrap()]));
@@ -612,9 +732,8 @@ mod tests {
         // A sentence with addition: ∀x∀y. R(x,y) → x + y ≤ 1.
         let q3: Formula<LinAtom> = Formula::forall(
             ["x", "y"],
-            Formula::rel("R", [Term::var("x"), Term::var("y")]).implies(Formula::Atom(
-                LinAtom::le(x().add(&y()), k(1)),
-            )),
+            Formula::rel("R", [Term::var("x"), Term::var("y")])
+                .implies(Formula::Atom(LinAtom::le(x().add(&y()), k(1)))),
         );
         assert!(eval_sentence(&q3, &inst).unwrap());
     }

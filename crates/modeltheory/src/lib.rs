@@ -95,7 +95,10 @@ pub mod reduction {
     /// `i` is 0-based and must be 0 or 1.
     #[must_use]
     pub fn alpha(i: usize) -> Formula<DenseAtom> {
-        assert!(i < 2, "alpha is defined for the columns of a binary relation");
+        assert!(
+            i < 2,
+            "alpha is defined for the columns of a binary relation"
+        );
         let proj = |value: &str| {
             // φ_i(value) = ∃ other. R(...)
             let other = Var::new(format!("o_{value}"));
@@ -104,7 +107,13 @@ pub mod reduction {
             } else {
                 vec![Term::Var(other.clone()), Term::var(value)]
             };
-            Formula::Exists(vec![other], Box::new(Formula::Rel { name: "R".into(), args }))
+            Formula::Exists(
+                vec![other],
+                Box::new(Formula::Rel {
+                    name: "R".into(),
+                    args,
+                }),
+            )
         };
         // ∀x∀y (φ(x) ∧ φ(y) ∧ x < y → ∃z (x < z < y ∧ ¬φ(z)))
         Formula::forall(
@@ -199,9 +208,7 @@ pub mod iso_sentence {
         // R is exactly the union of the pieces.
         membership.push(Formula::Forall(
             vec![x.clone()],
-            Box::new(
-                Formula::rel("R", [Term::Var(x.clone())]).iff(Formula::disj(piece_formulas)),
-            ),
+            Box::new(Formula::rel("R", [Term::Var(x.clone())]).iff(Formula::disj(piece_formulas))),
         ));
         let body = Formula::conj(order.into_iter().chain(membership));
         if vars.is_empty() {
@@ -370,7 +377,10 @@ mod tests {
                 DenseAtom::le(Term::var("x"), Term::cst(1)),
             ])],
         )
-        .union(&Relation::from_points(vec![Var::new("x")], vec![vec![r(5)]]));
+        .union(&Relation::from_points(
+            vec![Var::new("x")],
+            vec![vec![r(5)]],
+        ));
         let sigma = iso_sentence::sigma(&b);
         // B itself is a model.
         assert!(eval_sentence(&sigma, &monadic_instance(b.clone())).unwrap());
@@ -387,10 +397,7 @@ mod tests {
             ])],
         );
         assert!(!eval_sentence(&sigma, &monadic_instance(missing_point)).unwrap());
-        let two_points = Relation::from_points(
-            vec![Var::new("x")],
-            vec![vec![r(0)], vec![r(5)]],
-        );
+        let two_points = Relation::from_points(vec![Var::new("x")], vec![vec![r(0)], vec![r(5)]]);
         assert!(!eval_sentence(&sigma, &monadic_instance(two_points)).unwrap());
     }
 

@@ -24,7 +24,10 @@ impl BigInt {
     /// The value `0`.
     #[must_use]
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Zero, mag: Vec::new() }
+        BigInt {
+            sign: Sign::Zero,
+            mag: Vec::new(),
+        }
     }
 
     /// The value `1`.
@@ -61,7 +64,11 @@ impl BigInt {
     #[must_use]
     pub fn abs(&self) -> BigInt {
         BigInt {
-            sign: if self.sign == Sign::Zero { Sign::Zero } else { Sign::Positive },
+            sign: if self.sign == Sign::Zero {
+                Sign::Zero
+            } else {
+                Sign::Positive
+            },
             mag: self.mag.clone(),
         }
     }
@@ -84,9 +91,7 @@ impl BigInt {
     pub fn bits(&self) -> u64 {
         match self.mag.last() {
             None => 0,
-            Some(&top) => {
-                (self.mag.len() as u64 - 1) * 64 + (64 - u64::from(top.leading_zeros()))
-            }
+            Some(&top) => (self.mag.len() as u64 - 1) * 64 + (64 - u64::from(top.leading_zeros())),
         }
     }
 
@@ -99,7 +104,7 @@ impl BigInt {
                 let m = self.mag[0];
                 match self.sign {
                     Sign::Positive if m <= i64::MAX as u64 => Some(m as i64),
-                    Sign::Negative if m <= i64::MAX as u64 + 1 => Some((m as i128 * -1) as i64),
+                    Sign::Negative if m <= i64::MAX as u64 + 1 => Some(-(m as i128) as i64),
                     _ => None,
                 }
             }
@@ -307,7 +312,10 @@ impl From<u64> for BigInt {
         if v == 0 {
             BigInt::zero()
         } else {
-            BigInt { sign: Sign::Positive, mag: vec![v] }
+            BigInt {
+                sign: Sign::Positive,
+                mag: vec![v],
+            }
         }
     }
 }
@@ -321,7 +329,7 @@ impl From<i128> for BigInt {
                 vec![(v as u128) as u64, ((v as u128) >> 64) as u64],
             ),
             Ordering::Less => {
-                let m = (v as i128).unsigned_abs();
+                let m = v.unsigned_abs();
                 BigInt::from_sign_mag(Sign::Negative, vec![m as u64, (m >> 64) as u64])
             }
         }
@@ -366,7 +374,10 @@ impl Hash for BigInt {
 impl Neg for &BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        BigInt { sign: self.sign.neg(), mag: self.mag.clone() }
+        BigInt {
+            sign: self.sign.neg(),
+            mag: self.mag.clone(),
+        }
     }
 }
 
@@ -387,9 +398,7 @@ impl Add for &BigInt {
             (a, b) if a == b => BigInt::from_sign_mag(a, BigInt::add_mag(&self.mag, &rhs.mag)),
             (a, _) => match BigInt::cmp_mag(&self.mag, &rhs.mag) {
                 Ordering::Equal => BigInt::zero(),
-                Ordering::Greater => {
-                    BigInt::from_sign_mag(a, BigInt::sub_mag(&self.mag, &rhs.mag))
-                }
+                Ordering::Greater => BigInt::from_sign_mag(a, BigInt::sub_mag(&self.mag, &rhs.mag)),
                 Ordering::Less => {
                     BigInt::from_sign_mag(rhs.sign, BigInt::sub_mag(&rhs.mag, &self.mag))
                 }
@@ -491,7 +500,11 @@ impl fmt::Display for BigInt {
         let mut parts: Vec<u64> = Vec::new();
         while !n.is_zero() {
             let (q, r) = n.div_rem(&chunk);
-            parts.push(r.to_i64().map(|v| v as u64).unwrap_or_else(|| r.mag.first().copied().unwrap_or(0)));
+            parts.push(
+                r.to_i64()
+                    .map(|v| v as u64)
+                    .unwrap_or_else(|| r.mag.first().copied().unwrap_or(0)),
+            );
             n = q;
         }
         if self.is_negative() {
@@ -539,7 +552,9 @@ impl FromStr for BigInt {
             None => (false, s.strip_prefix('+').unwrap_or(s)),
         };
         if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
-            return Err(ParseNumError { message: format!("invalid integer literal {s:?}") });
+            return Err(ParseNumError {
+                message: format!("invalid integer literal {s:?}"),
+            });
         }
         let ten = BigInt::from(10i64);
         let mut acc = BigInt::zero();
@@ -598,7 +613,13 @@ mod tests {
 
     #[test]
     fn display_and_parse_roundtrip() {
-        for s in ["0", "-1", "42", "18446744073709551616", "-340282366920938463463374607431768211456"] {
+        for s in [
+            "0",
+            "-1",
+            "42",
+            "18446744073709551616",
+            "-340282366920938463463374607431768211456",
+        ] {
             let n: BigInt = s.parse().unwrap();
             assert_eq!(n.to_string(), s);
         }

@@ -53,6 +53,7 @@ pub enum Sign {
 impl Sign {
     /// The sign obtained by multiplying two signed quantities.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Sign) -> Sign {
         match (self, other) {
             (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
@@ -63,6 +64,7 @@ impl Sign {
 
     /// The opposite sign.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Sign {
         match self {
             Sign::Negative => Sign::Positive,

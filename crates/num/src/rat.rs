@@ -23,13 +23,19 @@ impl Rat {
     /// The value `0`.
     #[must_use]
     pub fn zero() -> Self {
-        Rat { num: BigInt::zero(), den: BigInt::one() }
+        Rat {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
     }
 
     /// The value `1`.
     #[must_use]
     pub fn one() -> Self {
-        Rat { num: BigInt::one(), den: BigInt::one() }
+        Rat {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
     }
 
     /// Constructs a rational from numerator and denominator.
@@ -39,18 +45,28 @@ impl Rat {
     #[must_use]
     pub fn new(num: BigInt, den: BigInt) -> Self {
         assert!(!den.is_zero(), "rational with zero denominator");
-        let (num, den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        let (num, den) = if den.is_negative() {
+            (-num, -den)
+        } else {
+            (num, den)
+        };
         if num.is_zero() {
             return Rat::zero();
         }
         let g = num.gcd(&den);
-        Rat { num: &num / &g, den: &den / &g }
+        Rat {
+            num: &num / &g,
+            den: &den / &g,
+        }
     }
 
     /// Constructs a rational from an integer.
     #[must_use]
     pub fn from_i64(v: i64) -> Self {
-        Rat { num: BigInt::from(v), den: BigInt::one() }
+        Rat {
+            num: BigInt::from(v),
+            den: BigInt::one(),
+        }
     }
 
     /// Constructs a rational `num / den` from machine integers.
@@ -95,7 +111,10 @@ impl Rat {
     /// Absolute value.
     #[must_use]
     pub fn abs(&self) -> Rat {
-        Rat { num: self.num.abs(), den: self.den.clone() }
+        Rat {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// The multiplicative inverse.
@@ -129,7 +148,7 @@ impl Rat {
     /// Ceiling as an integer.
     #[must_use]
     pub fn ceil(&self) -> BigInt {
-        -(&(-self.clone())).floor()
+        -(-self.clone()).floor()
     }
 
     /// Approximate conversion to `f64` (for reporting only).
@@ -145,7 +164,10 @@ impl Rat {
     #[must_use]
     pub fn pow(&self, exp: i32) -> Rat {
         if exp >= 0 {
-            Rat { num: self.num.pow(exp as u32), den: self.den.pow(exp as u32) }
+            Rat {
+                num: self.num.pow(exp as u32),
+                den: self.den.pow(exp as u32),
+            }
         } else {
             self.recip().pow(-exp)
         }
@@ -192,7 +214,10 @@ impl From<i32> for Rat {
 
 impl From<BigInt> for Rat {
     fn from(v: BigInt) -> Self {
-        Rat { num: v, den: BigInt::one() }
+        Rat {
+            num: v,
+            den: BigInt::one(),
+        }
     }
 }
 
@@ -212,28 +237,40 @@ impl PartialOrd for Rat {
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -self.num, den: self.den }
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
 impl Neg for &Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -(&self.num), den: self.den.clone() }
+        Rat {
+            num: -(&self.num),
+            den: self.den.clone(),
+        }
     }
 }
 
 impl Add for &Rat {
     type Output = Rat;
     fn add(self, rhs: &Rat) -> Rat {
-        Rat::new(&self.num * &rhs.den + &rhs.num * &self.den, &self.den * &rhs.den)
+        Rat::new(
+            &self.num * &rhs.den + &rhs.num * &self.den,
+            &self.den * &rhs.den,
+        )
     }
 }
 
 impl Sub for &Rat {
     type Output = Rat;
     fn sub(self, rhs: &Rat) -> Rat {
-        Rat::new(&self.num * &rhs.den - &rhs.num * &self.den, &self.den * &rhs.den)
+        Rat::new(
+            &self.num * &rhs.den - &rhs.num * &self.den,
+            &self.den * &rhs.den,
+        )
     }
 }
 
@@ -312,13 +349,17 @@ impl FromStr for Rat {
             let num: BigInt = n.parse()?;
             let den: BigInt = d.parse()?;
             if den.is_zero() {
-                return Err(ParseNumError { message: format!("zero denominator in {s:?}") });
+                return Err(ParseNumError {
+                    message: format!("zero denominator in {s:?}"),
+                });
             }
             return Ok(Rat::new(num, den));
         }
         if let Some((int_part, frac_part)) = s.split_once('.') {
             if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
-                return Err(ParseNumError { message: format!("invalid decimal literal {s:?}") });
+                return Err(ParseNumError {
+                    message: format!("invalid decimal literal {s:?}"),
+                });
             }
             let negative = int_part.trim_start().starts_with('-');
             let int: BigInt = if int_part.is_empty() || int_part == "-" || int_part == "+" {

@@ -12,9 +12,8 @@ fn bigint_strategy() -> impl Strategy<Value = BigInt> {
     // Mix of small values and large products that exceed 64 bits.
     prop_oneof![
         any::<i64>().prop_map(BigInt::from),
-        (any::<i64>(), any::<i64>(), any::<i64>()).prop_map(|(a, b, c)| {
-            BigInt::from(a) * BigInt::from(b) + BigInt::from(c)
-        }),
+        (any::<i64>(), any::<i64>(), any::<i64>())
+            .prop_map(|(a, b, c)| { BigInt::from(a) * BigInt::from(b) + BigInt::from(c) }),
     ]
 }
 

@@ -30,4 +30,6 @@ mod sets;
 
 pub use poly::Poly;
 pub use roots::{isolate_roots, sturm_sequence, AlgebraicNumber, RootInterval};
-pub use sets::{decompose, membership, piece_count, PolyConstraint, RealEndpoint, RealPiece, SignOp};
+pub use sets::{
+    decompose, membership, piece_count, PolyConstraint, RealEndpoint, RealPiece, SignOp,
+};

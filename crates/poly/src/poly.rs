@@ -122,7 +122,9 @@ impl Poly {
     /// Negation.
     #[must_use]
     pub fn neg(&self) -> Poly {
-        Poly { coeffs: self.coeffs.iter().map(|c| -c).collect() }
+        Poly {
+            coeffs: self.coeffs.iter().map(|c| -c).collect(),
+        }
     }
 
     /// Multiplication by a rational scalar.
@@ -131,7 +133,9 @@ impl Poly {
         if k.is_zero() {
             return Poly::zero();
         }
-        Poly { coeffs: self.coeffs.iter().map(|c| c * k).collect() }
+        Poly {
+            coeffs: self.coeffs.iter().map(|c| c * k).collect(),
+        }
     }
 
     /// Polynomial multiplication.
@@ -158,7 +162,8 @@ impl Poly {
     pub fn div_rem(&self, divisor: &Poly) -> (Poly, Poly) {
         assert!(!divisor.is_zero(), "polynomial division by zero");
         let mut rem = self.clone();
-        let mut quot = vec![Rat::zero(); self.coeffs.len().saturating_sub(divisor.coeffs.len() - 1)];
+        let mut quot =
+            vec![Rat::zero(); self.coeffs.len().saturating_sub(divisor.coeffs.len() - 1)];
         let dlead = divisor.leading().expect("non-zero divisor").clone();
         let ddeg = divisor.degree().expect("non-zero divisor");
         while !rem.is_zero() && rem.degree().unwrap_or(0) >= ddeg && rem.degree().is_some() {
@@ -232,7 +237,10 @@ impl Poly {
     /// Panics on the zero polynomial.
     #[must_use]
     pub fn root_bound(&self) -> Rat {
-        let lead = self.leading().expect("root bound of the zero polynomial").abs();
+        let lead = self
+            .leading()
+            .expect("root bound of the zero polynomial")
+            .abs();
         let max = self
             .coeffs
             .iter()
@@ -303,12 +311,19 @@ mod tests {
     #[test]
     fn gcd_and_square_free() {
         // gcd((x-1)²(x+2), (x-1)(x+3)) = x - 1 (monic).
-        let a = Poly::from_i64(&[-1, 1]).mul(&Poly::from_i64(&[-1, 1])).mul(&Poly::from_i64(&[2, 1]));
+        let a = Poly::from_i64(&[-1, 1])
+            .mul(&Poly::from_i64(&[-1, 1]))
+            .mul(&Poly::from_i64(&[2, 1]));
         let b = Poly::from_i64(&[-1, 1]).mul(&Poly::from_i64(&[3, 1]));
         assert_eq!(a.gcd(&b), Poly::from_i64(&[-1, 1]));
         // Square-free part of (x-1)²(x+2) is (x-1)(x+2).
         let sf = a.square_free();
-        assert_eq!(sf.monic(), Poly::from_i64(&[-1, 1]).mul(&Poly::from_i64(&[2, 1])).monic());
+        assert_eq!(
+            sf.monic(),
+            Poly::from_i64(&[-1, 1])
+                .mul(&Poly::from_i64(&[2, 1]))
+                .monic()
+        );
     }
 
     #[test]

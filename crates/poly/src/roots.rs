@@ -244,16 +244,25 @@ pub fn isolate_roots(p: &Poly) -> Vec<AlgebraicNumber> {
             stack.push((a, m.clone()));
             stack.push((m, b));
         }
-        let mut out: Vec<AlgebraicNumber> =
-            rational_roots.iter().cloned().map(AlgebraicNumber::Rational).collect();
+        let mut out: Vec<AlgebraicNumber> = rational_roots
+            .iter()
+            .cloned()
+            .map(AlgebraicNumber::Rational)
+            .collect();
         out.extend(intervals.into_iter().map(|(lo, hi)| {
-            AlgebraicNumber::Isolated(RootInterval { poly: sf.clone(), lo, hi })
+            AlgebraicNumber::Isolated(RootInterval {
+                poly: sf.clone(),
+                lo,
+                hi,
+            })
         }));
         out.sort_by(|a, b| a.compare(b));
         return out;
     }
-    let mut out: Vec<AlgebraicNumber> =
-        rational_roots.into_iter().map(AlgebraicNumber::Rational).collect();
+    let mut out: Vec<AlgebraicNumber> = rational_roots
+        .into_iter()
+        .map(AlgebraicNumber::Rational)
+        .collect();
     out.sort_by(|a, b| a.compare(b));
     out
 }
@@ -279,7 +288,9 @@ mod tests {
     #[test]
     fn multiple_roots_are_counted_once() {
         // (x-1)²(x+2): two distinct roots.
-        let p = Poly::from_i64(&[-1, 1]).mul(&Poly::from_i64(&[-1, 1])).mul(&Poly::from_i64(&[2, 1]));
+        let p = Poly::from_i64(&[-1, 1])
+            .mul(&Poly::from_i64(&[-1, 1]))
+            .mul(&Poly::from_i64(&[2, 1]));
         let seq = sturm_sequence(&p);
         assert_eq!(count_roots_in(&seq, &r(-10), &r(10)), 2);
         let roots = isolate_roots(&p);
@@ -310,7 +321,10 @@ mod tests {
         let roots = isolate_roots(&p);
         assert_eq!(roots.len(), 3);
         // Exactly one of them equals 1.
-        let ones = roots.iter().filter(|r0| r0.cmp_rat(&r(1)) == Ordering::Equal).count();
+        let ones = roots
+            .iter()
+            .filter(|r0| r0.cmp_rat(&r(1)) == Ordering::Equal)
+            .count();
         assert_eq!(ones, 1);
     }
 

@@ -164,7 +164,9 @@ pub fn decompose(constraints: &[PolyConstraint]) -> Vec<RealPiece> {
     // Membership of each elementary region: the points (the roots themselves) and the
     // open regions between consecutive roots (sampled at rational points).
     let holds_at_root = |x: &AlgebraicNumber| {
-        constraints.iter().all(|c| c.op.admits(sign_at_algebraic(&c.poly, x)))
+        constraints
+            .iter()
+            .all(|c| c.op.admits(sign_at_algebraic(&c.poly, x)))
     };
     let sample_between = |left: Option<&AlgebraicNumber>, right: Option<&AlgebraicNumber>| -> Rat {
         match (left, right) {
@@ -273,16 +275,19 @@ mod tests {
     fn half_circle_projection_shape() {
         // x² ≤ 1: the closed interval [−1, 1].
         let c = PolyConstraint::new(Poly::from_i64(&[-1, 0, 1]), SignOp::Le);
-        let pieces = decompose(&[c.clone()]);
+        let pieces = decompose(std::slice::from_ref(&c));
         assert_eq!(pieces.len(), 1);
         match &pieces[0] {
-            RealPiece::Interval { lo: Some((lo, true)), hi: Some((hi, true)) } => {
+            RealPiece::Interval {
+                lo: Some((lo, true)),
+                hi: Some((hi, true)),
+            } => {
                 assert_eq!(lo.cmp_rat(&r(-1)), Ordering::Equal);
                 assert_eq!(hi.cmp_rat(&r(1)), Ordering::Equal);
             }
             other => panic!("unexpected piece {other:?}"),
         }
-        assert!(membership(&[c.clone()], &r(0)));
+        assert!(membership(std::slice::from_ref(&c), &r(0)));
         assert!(!membership(&[c], &r(2)));
     }
 
@@ -311,7 +316,10 @@ mod tests {
         let pieces = decompose(&cs);
         assert_eq!(pieces.len(), 1);
         match &pieces[0] {
-            RealPiece::Interval { lo: Some((lo, true)), hi: Some((hi, false)) } => {
+            RealPiece::Interval {
+                lo: Some((lo, true)),
+                hi: Some((hi, false)),
+            } => {
                 assert_eq!(lo.cmp_rat(&r(1)), Ordering::Equal);
                 assert_eq!(hi.cmp_rat(&r(3)), Ordering::Equal);
             }

@@ -73,7 +73,8 @@ pub fn group_cells(conjs: &[Vec<DenseAtom>]) -> Vec<Vec<usize>> {
     let mut parent: Vec<usize> = (0..n).collect();
     for i in 0..n {
         for j in (i + 1)..n {
-            if find(&mut parent, i) != find(&mut parent, j) && cells_adjacent(&conjs[i], &conjs[j]) {
+            if find(&mut parent, i) != find(&mut parent, j) && cells_adjacent(&conjs[i], &conjs[j])
+            {
                 let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
                 parent[ri] = rj;
             }
@@ -104,7 +105,12 @@ pub fn components(relation: &Relation<DenseOrder>) -> Vec<Vec<PrimeTuple>> {
 /// cells, so no further decomposition is needed to run the adjacency argument.
 #[must_use]
 pub fn component_count(relation: &Relation<DenseOrder>) -> usize {
-    group_cells(relation.tuples()).len()
+    let cells: Vec<Vec<DenseAtom>> = relation
+        .tuples()
+        .iter()
+        .map(|t| t.atoms().to_vec())
+        .collect();
+    group_cells(&cells).len()
 }
 
 /// The k-dimensional region connectivity query: is the region connected?
@@ -158,11 +164,20 @@ mod tests {
     #[test]
     fn overlapping_and_touching_rectangles_are_connected() {
         // Overlapping.
-        assert!(is_connected(&rel2(vec![rect(0, 2, 0, 2), rect(1, 3, 1, 3)])));
+        assert!(is_connected(&rel2(vec![
+            rect(0, 2, 0, 2),
+            rect(1, 3, 1, 3)
+        ])));
         // Touching along an edge.
-        assert!(is_connected(&rel2(vec![rect(0, 1, 0, 1), rect(1, 2, 0, 1)])));
+        assert!(is_connected(&rel2(vec![
+            rect(0, 1, 0, 1),
+            rect(1, 2, 0, 1)
+        ])));
         // Touching at a single corner point still connects the union.
-        assert!(is_connected(&rel2(vec![rect(0, 1, 0, 1), rect(1, 2, 1, 2)])));
+        assert!(is_connected(&rel2(vec![
+            rect(0, 1, 0, 1),
+            rect(1, 2, 1, 2)
+        ])));
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub fn to_linear_relation(relation: &Relation<DenseOrder>) -> Relation<LinearOrd
         relation
             .tuples()
             .iter()
-            .map(|conj| conj.iter().map(dense_to_linear).collect())
+            .map(|conj| conj.atoms().iter().map(dense_to_linear).collect())
             .collect(),
     )
 }
@@ -135,7 +135,10 @@ mod tests {
         assert!(k_convex_covering_1d(&two, 2));
         assert!(!k_convex_covering_1d(&two, 1));
         assert!(is_convex_1d(&Relation::empty(vec![vx()])));
-        assert!(is_convex_1d(&Relation::from_points(vec![vx()], vec![vec![Rat::from_i64(3)]])));
+        assert!(is_convex_1d(&Relation::from_points(
+            vec![vx()],
+            vec![vec![Rat::from_i64(3)]]
+        )));
     }
 
     #[test]
@@ -169,21 +172,21 @@ mod tests {
         );
         assert!(is_convex(&triangle).unwrap());
         // Two disjoint rectangles are not convex.
-        let rect2 = rect.map_constants(&|c| c + &Rat::from_i64(10)).rename(vec![vx(), vy()]);
+        let rect2 = rect
+            .map_constants(&|c| c + &Rat::from_i64(10))
+            .rename(vec![vx(), vy()]);
         let both = rect.union(&rect2);
         assert!(!is_convex(&both).unwrap());
         // An L-shaped union of two touching rectangles is connected but not convex.
-        let ell = rect.union(
-            &Relation::new(
-                vec![vx(), vy()],
-                vec![GenTuple::new(vec![
-                    DenseAtom::le(Term::cst(2), Term::var("x")),
-                    DenseAtom::le(Term::var("x"), Term::cst(4)),
-                    DenseAtom::le(Term::cst(0), Term::var("y")),
-                    DenseAtom::le(Term::var("y"), Term::cst(1)),
-                ])],
-            ),
-        );
+        let ell = rect.union(&Relation::new(
+            vec![vx(), vy()],
+            vec![GenTuple::new(vec![
+                DenseAtom::le(Term::cst(2), Term::var("x")),
+                DenseAtom::le(Term::var("x"), Term::cst(4)),
+                DenseAtom::le(Term::cst(0), Term::var("y")),
+                DenseAtom::le(Term::var("y"), Term::cst(1)),
+            ])],
+        ));
         assert!(!is_convex(&ell).unwrap());
     }
 }

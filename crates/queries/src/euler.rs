@@ -63,9 +63,7 @@ pub fn euler_traversal(segments: &[Segment]) -> bool {
                 pts.push(s.a.clone());
             }
         }
-        let on_some_segment = |p: &(Rat, Rat)|
-
-            proper.iter().any(|s| s.a == *p || s.b == *p);
+        let on_some_segment = |p: &(Rat, Rat)| proper.iter().any(|s| s.a == *p || s.b == *p);
         if !pts.iter().all(on_some_segment) {
             return false;
         }
@@ -74,17 +72,18 @@ pub fn euler_traversal(segments: &[Segment]) -> bool {
     let mut index: BTreeMap<(Rat, Rat), usize> = BTreeMap::new();
     let mut degree: Vec<usize> = Vec::new();
     let mut adj: Vec<Vec<usize>> = Vec::new();
-    let mut intern = |p: &(Rat, Rat), degree: &mut Vec<usize>, adj: &mut Vec<Vec<usize>>| -> usize {
-        if let Some(&i) = index.get(p) {
-            i
-        } else {
-            let i = degree.len();
-            index.insert(p.clone(), i);
-            degree.push(0);
-            adj.push(Vec::new());
-            i
-        }
-    };
+    let mut intern =
+        |p: &(Rat, Rat), degree: &mut Vec<usize>, adj: &mut Vec<Vec<usize>>| -> usize {
+            if let Some(&i) = index.get(p) {
+                i
+            } else {
+                let i = degree.len();
+                index.insert(p.clone(), i);
+                degree.push(0);
+                adj.push(Vec::new());
+                i
+            }
+        };
     for s in &proper {
         let i = intern(&s.a, &mut degree, &mut adj);
         let j = intern(&s.b, &mut degree, &mut adj);

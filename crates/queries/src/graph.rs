@@ -57,9 +57,7 @@ pub fn parity(relation: &Relation<DenseOrder>) -> Result<bool, FiniteInputError>
 ///
 /// # Errors
 /// Fails if some generalized tuple does not pin both columns to constants.
-pub fn finite_pairs(
-    relation: &Relation<DenseOrder>,
-) -> Result<Vec<(Rat, Rat)>, FiniteInputError> {
+pub fn finite_pairs(relation: &Relation<DenseOrder>) -> Result<Vec<(Rat, Rat)>, FiniteInputError> {
     use frdb_core::normal::{cover, Bound};
     let mut out = BTreeSet::new();
     for cell in cover(relation) {
@@ -161,7 +159,10 @@ pub fn integer_set(n: usize) -> Relation<DenseOrder> {
 #[must_use]
 pub fn path_graph(n: usize) -> Relation<DenseOrder> {
     Relation::from_points(
-        vec![frdb_core::logic::Var::new("x"), frdb_core::logic::Var::new("y")],
+        vec![
+            frdb_core::logic::Var::new("x"),
+            frdb_core::logic::Var::new("y"),
+        ],
         (1..n as i64).map(|i| vec![Rat::from_i64(i), Rat::from_i64(i + 1)]),
     )
 }

@@ -38,7 +38,9 @@ fn sweep_body(r: &str) -> Formula<DenseAtom> {
         Formula::Atom(DenseAtom::eq(Term::var("x"), Term::var("u"))),
         Formula::Exists(
             vec![Var::new("z")],
-            Box::new(between("z", "y", "v").and(Formula::rel(r, [Term::var("x"), Term::var("z")]).not())),
+            Box::new(
+                between("z", "y", "v").and(Formula::rel(r, [Term::var("x"), Term::var("z")]).not()),
+            ),
         )
         .not(),
     ]);
@@ -47,7 +49,9 @@ fn sweep_body(r: &str) -> Formula<DenseAtom> {
         Formula::Atom(DenseAtom::eq(Term::var("y"), Term::var("v"))),
         Formula::Exists(
             vec![Var::new("z")],
-            Box::new(between("z", "x", "u").and(Formula::rel(r, [Term::var("z"), Term::var("y")]).not())),
+            Box::new(
+                between("z", "x", "u").and(Formula::rel(r, [Term::var("z"), Term::var("y")]).not()),
+            ),
         )
         .not(),
     ]);
@@ -57,7 +61,9 @@ fn sweep_body(r: &str) -> Formula<DenseAtom> {
         Formula::Atom(DenseAtom::eq(Term::var("u"), Term::var("v"))),
         Formula::Exists(
             vec![Var::new("z")],
-            Box::new(between("z", "x", "u").and(Formula::rel(r, [Term::var("z"), Term::var("z")]).not())),
+            Box::new(
+                between("z", "x", "u").and(Formula::rel(r, [Term::var("z"), Term::var("z")]).not()),
+            ),
         )
         .not(),
     ]);
@@ -78,14 +84,38 @@ pub fn region_connectivity_program(r: &str) -> Program<DenseAtom> {
         Rule::new(
             "conn",
             head_vars,
-            vec![Literal::pos("sweep", [Term::var("x"), Term::var("y"), Term::var("u"), Term::var("v")])],
+            vec![Literal::pos(
+                "sweep",
+                [
+                    Term::var("x"),
+                    Term::var("y"),
+                    Term::var("u"),
+                    Term::var("v"),
+                ],
+            )],
         ),
         Rule::new(
             "conn",
             head_vars,
             vec![
-                Literal::pos("conn", [Term::var("x"), Term::var("y"), Term::var("w"), Term::var("t")]),
-                Literal::pos("conn", [Term::var("w"), Term::var("t"), Term::var("u"), Term::var("v")]),
+                Literal::pos(
+                    "conn",
+                    [
+                        Term::var("x"),
+                        Term::var("y"),
+                        Term::var("w"),
+                        Term::var("t"),
+                    ],
+                ),
+                Literal::pos(
+                    "conn",
+                    [
+                        Term::var("w"),
+                        Term::var("t"),
+                        Term::var("u"),
+                        Term::var("v"),
+                    ],
+                ),
             ],
         ),
     ]);
@@ -108,7 +138,7 @@ pub fn region_connected_datalog(region: &Relation<DenseOrder>) -> Result<bool, D
     let conn = result
         .instance
         .get(&RelName::new("conn"))
-        .ok_or_else(|| DatalogError::IterationLimit(0))?;
+        .ok_or(DatalogError::IterationLimit(0))?;
     // R × R ⊆ conn ?
     let vars = vec![Var::new("x"), Var::new("y"), Var::new("u"), Var::new("v")];
     let left = region.rename(vec![Var::new("x"), Var::new("y")]);
@@ -116,8 +146,8 @@ pub fn region_connected_datalog(region: &Relation<DenseOrder>) -> Result<bool, D
     let mut product_tuples = Vec::new();
     for a in left.tuples() {
         for b in right.tuples() {
-            let mut c = a.clone();
-            c.extend(b.iter().cloned());
+            let mut c = a.atoms().to_vec();
+            c.extend(b.atoms().iter().cloned());
             product_tuples.push(c);
         }
     }

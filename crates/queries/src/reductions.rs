@@ -107,7 +107,11 @@ pub fn majority_to_holes(bits: &[bool]) -> Relation<DenseOrder> {
     tuples.push(vseg2(Rat::from_i64(n), target_lo, top.clone()));
     tuples.push(hseg2(top.clone(), Rat::from_i64(n), Rat::from_i64(n + 2)));
     tuples.push(vseg2(Rat::from_i64(n + 2), Rat::from_i64(0), top));
-    tuples.push(hseg2(Rat::from_i64(0), Rat::from_i64(0), Rat::from_i64(n + 2)));
+    tuples.push(hseg2(
+        Rat::from_i64(0),
+        Rat::from_i64(0),
+        Rat::from_i64(n + 2),
+    ));
     Relation::new(vec![Var::new("x"), Var::new("y")], tuples)
 }
 
@@ -116,8 +120,12 @@ pub fn majority_to_holes(bits: &[bool]) -> Relation<DenseOrder> {
 /// `parity(bits)` is true (an even number of ones).
 #[must_use]
 pub fn parity_to_connectivity_3d(bits: &[bool]) -> Relation<DenseOrder> {
-    let positions: Vec<i64> =
-        bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i as i64 + 1).collect();
+    let positions: Vec<i64> = bits
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| i as i64 + 1)
+        .collect();
     let m = positions.len();
     let vx = Var::new("x");
     let vy = Var::new("y");
@@ -181,7 +189,10 @@ pub fn half_to_euler(bits: &[bool]) -> Vec<Segment> {
         let x = Rat::from_i64(i as i64);
         if bit {
             let top = &height + &Rat::one();
-            segments.push(Segment::new((x.clone(), height.clone()), (x.clone(), top.clone())));
+            segments.push(Segment::new(
+                (x.clone(), height.clone()),
+                (x.clone(), top.clone()),
+            ));
             height = top;
         }
         segments.push(Segment::new(
@@ -299,7 +310,11 @@ mod tests {
             let bits = boolean_vector(5, ones);
             let region = majority_to_holes(&bits);
             assert_eq!(has_hole(&region), majority(&bits), "{ones} ones out of 5");
-            assert_eq!(has_exactly_one_hole(&region), majority(&bits), "{ones} ones out of 5");
+            assert_eq!(
+                has_exactly_one_hole(&region),
+                majority(&bits),
+                "{ones} ones out of 5"
+            );
         }
     }
 
@@ -317,9 +332,17 @@ mod tests {
         for ones in 0..=6 {
             let bits = boolean_vector(6, ones);
             let segments = half_to_euler(&bits);
-            assert_eq!(euler_traversal(&segments), half(&bits), "euler: {ones} ones of 6");
+            assert_eq!(
+                euler_traversal(&segments),
+                half(&bits),
+                "euler: {ones} ones of 6"
+            );
             let (r1, r2) = half_to_homeomorphism(&bits);
-            assert_eq!(homeomorphic_1d(&r1, &r2), half(&bits), "homeo: {ones} ones of 6");
+            assert_eq!(
+                homeomorphic_1d(&r1, &r2),
+                half(&bits),
+                "homeo: {ones} ones of 6"
+            );
         }
     }
 }

@@ -243,7 +243,12 @@ mod tests {
         assert_eq!(is_grid(&grid), Ok(true));
         let not_grid = Relation::from_points(
             vec![Var::new("x"), Var::new("y")],
-            vec![vec![r(0), r(0)], vec![r(2), r(0)], vec![r(5), r(0)], vec![r(9), r(0)]],
+            vec![
+                vec![r(0), r(0)],
+                vec![r(2), r(0)],
+                vec![r(5), r(0)],
+                vec![r(9), r(0)],
+            ],
         );
         assert_eq!(is_grid(&not_grid), Ok(false));
     }

@@ -94,9 +94,10 @@ pub fn piece_types(relation: &Relation<DenseOrder>) -> Vec<PieceType> {
                 (None, None) => PieceType::Line,
                 (None, Some((_, hc))) => PieceType::UnboundedBelow { hi_closed: hc },
                 (Some((_, lc)), None) => PieceType::UnboundedAbove { lo_closed: lc },
-                (Some((_, lc)), Some((_, hc))) => {
-                    PieceType::Bounded { lo_closed: lc, hi_closed: hc }
-                }
+                (Some((_, lc)), Some((_, hc))) => PieceType::Bounded {
+                    lo_closed: lc,
+                    hi_closed: hc,
+                },
             },
         })
         .collect()
@@ -111,15 +112,19 @@ fn reversed(types: &[PieceType]) -> Vec<PieceType> {
         .map(|t| match *t {
             PieceType::Point => PieceType::Point,
             PieceType::Line => PieceType::Line,
-            PieceType::Bounded { lo_closed, hi_closed } => {
-                PieceType::Bounded { lo_closed: hi_closed, hi_closed: lo_closed }
-            }
-            PieceType::UnboundedBelow { hi_closed } => {
-                PieceType::UnboundedAbove { lo_closed: hi_closed }
-            }
-            PieceType::UnboundedAbove { lo_closed } => {
-                PieceType::UnboundedBelow { hi_closed: lo_closed }
-            }
+            PieceType::Bounded {
+                lo_closed,
+                hi_closed,
+            } => PieceType::Bounded {
+                lo_closed: hi_closed,
+                hi_closed: lo_closed,
+            },
+            PieceType::UnboundedBelow { hi_closed } => PieceType::UnboundedAbove {
+                lo_closed: hi_closed,
+            },
+            PieceType::UnboundedAbove { lo_closed } => PieceType::UnboundedBelow {
+                hi_closed: lo_closed,
+            },
         })
         .collect()
 }
@@ -175,7 +180,11 @@ mod tests {
         assert!(!has_hole_1d(&rel(vec![seg(0, 5)])));
         assert!(has_hole_1d(&rel(vec![seg(0, 1), seg(2, 3)])));
         assert!(has_exactly_one_hole_1d(&rel(vec![seg(0, 1), seg(2, 3)])));
-        assert!(!has_exactly_one_hole_1d(&rel(vec![seg(0, 1), seg(2, 3), seg(4, 5)])));
+        assert!(!has_exactly_one_hole_1d(&rel(vec![
+            seg(0, 1),
+            seg(2, 3),
+            seg(4, 5)
+        ])));
         assert!(euler_traversal_1d(&rel(vec![seg(0, 5)])));
         assert!(!euler_traversal_1d(&rel(vec![seg(0, 1), seg(2, 3)])));
     }
@@ -204,11 +213,9 @@ mod tests {
         assert!(!homeomorphic_1d(&rel(vec![seg(0, 1)]), &half_open));
         // An interval followed by a point IS homeomorphic to a point followed by an
         // interval: x ↦ −x reverses the line.
-        let point_then_interval = Relation::from_points(
-            vec![Var::new("x")],
-            vec![vec![Rat::from_i64(-5)]],
-        )
-        .union(&rel(vec![seg(0, 1)]));
+        let point_then_interval =
+            Relation::from_points(vec![Var::new("x")], vec![vec![Rat::from_i64(-5)]])
+                .union(&rel(vec![seg(0, 1)]));
         assert!(homeomorphic_1d(&a, &point_then_interval));
         // But an interval plus a point is not homeomorphic to two points.
         let two_points = Relation::from_points(
@@ -224,12 +231,18 @@ mod tests {
             vec![Var::new("x")],
             vec![vec![DenseAtom::le(Term::var("x"), Term::cst(0))]],
         );
-        assert_eq!(piece_types(&below), vec![PieceType::UnboundedBelow { hi_closed: true }]);
+        assert_eq!(
+            piece_types(&below),
+            vec![PieceType::UnboundedBelow { hi_closed: true }]
+        );
         let above = Relation::from_dnf(
             vec![Var::new("x")],
             vec![vec![DenseAtom::lt(Term::cst(0), Term::var("x"))]],
         );
-        assert_eq!(piece_types(&above), vec![PieceType::UnboundedAbove { lo_closed: false }]);
+        assert_eq!(
+            piece_types(&above),
+            vec![PieceType::UnboundedAbove { lo_closed: false }]
+        );
         assert_eq!(
             piece_types(&Relation::universal(vec![Var::new("x")])),
             vec![PieceType::Line]

@@ -62,7 +62,10 @@ pub fn random_graph(rng: &mut impl Rng, nodes: usize, edges: usize) -> Relation<
 
 /// Wraps a relation named `name` into a single-relation instance.
 #[must_use]
-pub fn single_relation_instance(name: &str, relation: Relation<DenseOrder>) -> Instance<DenseOrder> {
+pub fn single_relation_instance(
+    name: &str,
+    relation: Relation<DenseOrder>,
+) -> Instance<DenseOrder> {
     let schema = Schema::from_pairs([(name, relation.arity())]);
     let mut inst = Instance::new(schema);
     inst.set(name, relation);

@@ -1,0 +1,301 @@
+//! A tiny, dependency-free, in-workspace stand-in for the parts of the
+//! `criterion` benchmarking API this workspace uses, with one deliberate
+//! extension: every benchmark group writes **machine-readable JSON** results so
+//! the repository can track performance trajectories across PRs.
+//!
+//! The build environment is fully offline, so the real `criterion` cannot be
+//! fetched.  The measurement model is intentionally simple — wall-clock timing
+//! of batched iterations with a warm-up pass — but the reported statistics
+//! (mean / min / max nanoseconds per iteration over `sample_size` samples) are
+//! sufficient for regression tracking.
+//!
+//! ## JSON output
+//!
+//! Results land in `$FRDB_BENCH_JSON_DIR` (default `target/frdb-bench`,
+//! resolved against `$CARGO_TARGET_DIR`'s parent when set, else the current
+//! directory), one file per benchmark group, as an array of objects:
+//!
+//! ```json
+//! [{"group":"E11_...","id":"4","mean_ns":123,"min_ns":100,"max_ns":150,
+//!   "samples":10,"iters_per_sample":8}]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::hint;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one measurement inside a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to measurement closures; runs and times the workload.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Sample>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    nanos_per_iter: f64,
+}
+
+impl Bencher<'_> {
+    /// Measures the closure: a warm-up pass sizes the per-sample batch, then
+    /// `sample_size` timed batches are recorded (subject to the group's
+    /// measurement-time budget).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up & calibration: time a single call.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        // Aim for each sample to take roughly budget / sample_size.
+        let per_sample = self.measurement_time.as_nanos() / (self.sample_size.max(1) as u128);
+        let iters = ((per_sample / once.as_nanos().max(1)).max(1) as u64).min(1_000_000);
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            self.samples.push(Sample {
+                nanos_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+            });
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// One finished measurement, as serialised to JSON.
+#[derive(Clone, Debug)]
+struct Record {
+    group: String,
+    id: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn output_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("FRDB_BENCH_JSON_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Ok(target) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(target).join("frdb-bench");
+    }
+    // `cargo bench` runs with the package directory as cwd; the shared target
+    // directory lives at the workspace root, so walk up to the first existing
+    // `target` before falling back to `./target`.
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.as_path();
+    loop {
+        let candidate = dir.join("target");
+        if candidate.is_dir() {
+            return candidate.join("frdb-bench");
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return cwd.join("target").join("frdb-bench"),
+        }
+    }
+}
+
+/// A group of related measurements sharing configuration, à la criterion.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    records: Vec<Record>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher<'_>)) {
+        let mut samples = Vec::new();
+        {
+            let mut bencher = Bencher {
+                samples: &mut samples,
+                sample_size: self.sample_size,
+                measurement_time: self.measurement_time,
+            };
+            f(&mut bencher);
+        }
+        if samples.is_empty() {
+            return;
+        }
+        let mean = samples.iter().map(|s| s.nanos_per_iter).sum::<f64>() / samples.len() as f64;
+        let min = samples
+            .iter()
+            .map(|s| s.nanos_per_iter)
+            .fold(f64::INFINITY, f64::min);
+        let max = samples
+            .iter()
+            .map(|s| s.nanos_per_iter)
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:<60} time: [{:>12.1} ns {:>12.1} ns {:>12.1} ns]",
+            format!("{}/{}", self.name, id),
+            min,
+            mean,
+            max
+        );
+        self.records.push(Record {
+            group: self.name.clone(),
+            id,
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            samples: samples.len(),
+        });
+    }
+
+    /// Benchmarks a closure that receives an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a plain closure.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(id.into(), |b| f(b));
+        self
+    }
+
+    /// Finishes the group, writing its JSON result file.
+    pub fn finish(self) {
+        let dir = output_dir();
+        if fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let mut body = String::from("[");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!(
+                "\n  {{\"group\":\"{}\",\"id\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{}}}",
+                json_escape(&r.group),
+                json_escape(&r.id),
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples,
+            ));
+        }
+        body.push_str("\n]\n");
+        let file = dir.join(format!("{}.json", self.name.replace(['/', ' '], "_")));
+        let _ = fs::write(file, body);
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            records: Vec::new(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a plain closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<String> + Clone,
+        mut f: F,
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(id, &mut f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

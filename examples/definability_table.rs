@@ -42,12 +42,20 @@ fn main() {
         "query (Fig. 8)", "FO", "DATALOG¬"
     );
     println!("{}", "-".repeat(100));
-    row("convexity", "yes", "yes", format!("square convex = {}", is_convex(&square).unwrap()));
+    row(
+        "convexity",
+        "yes",
+        "yes",
+        format!("square convex = {}", is_convex(&square).unwrap()),
+    );
     row(
         "k-convex covering (1-D, k=2)",
         "yes",
         "yes",
-        format!("two intervals covered = {}", k_convex_covering_1d(&one_d, 2)),
+        format!(
+            "two intervals covered = {}",
+            k_convex_covering_1d(&one_d, 2)
+        ),
     );
     row(
         "1-D connectivity / convexity",
@@ -68,13 +76,20 @@ fn main() {
         "at least / exactly one hole",
         "no",
         "yes",
-        format!("solid square = {} / {}", has_hole(&square), has_exactly_one_hole(&square)),
+        format!(
+            "solid square = {} / {}",
+            has_hole(&square),
+            has_exactly_one_hole(&square)
+        ),
     );
     row(
         "Eulerian traversal",
         "no (L.5.7)",
         "yes (Ex.6.4)",
-        format!("half reduction (Fig. 6) = {}", euler_traversal(&half_to_euler(&half_bits))),
+        format!(
+            "half reduction (Fig. 6) = {}",
+            euler_traversal(&half_to_euler(&half_bits))
+        ),
     );
     row(
         "parity",
@@ -86,7 +101,10 @@ fn main() {
         "transitive closure / graph conn.",
         "no (L.5.6)",
         "yes",
-        format!("path graph connected = {}", graph_connected(&path_graph(6)).unwrap()),
+        format!(
+            "path graph connected = {}",
+            graph_connected(&path_graph(6)).unwrap()
+        ),
     );
     row(
         "1-D homeomorphism",
@@ -94,7 +112,12 @@ fn main() {
         "yes",
         format!("[0,2]∪[5,8] ≅ itself = {}", homeomorphic_1d(&one_d, &one_d)),
     );
-    row("k-D homeomorphism (k ≥ 2)", "no", "open", "not implemented (open in the paper)".to_string());
+    row(
+        "k-D homeomorphism (k ≥ 2)",
+        "no",
+        "open",
+        "not implemented (open in the paper)".to_string(),
+    );
     println!("{}", "-".repeat(100));
     println!("The FO / DATALOG¬ columns restate Theorem 5.3 and Theorem 6.5 (Fig. 8).");
 }

@@ -20,7 +20,10 @@ fn main() {
     // Two land owners; each owns a union of rectangular parcels.
     let vars = vec![Var::new("x"), Var::new("y")];
     let alice = Relation::new(vars.clone(), vec![parcel(0, 4, 0, 4), parcel(4, 8, 0, 2)]);
-    let bob = Relation::new(vars.clone(), vec![parcel(6, 10, 1, 5), parcel(20, 24, 0, 4)]);
+    let bob = Relation::new(
+        vars.clone(),
+        vec![parcel(6, 10, 1, 5), parcel(20, 24, 0, 4)],
+    );
 
     let schema = Schema::from_pairs([("alice", 2), ("bob", 2)]);
     let mut db: Instance<DenseOrder> = Instance::new(schema);
@@ -33,7 +36,10 @@ fn main() {
         Formula::rel("alice", [Term::var("x"), Term::var("y")])
             .and(Formula::rel("bob", [Term::var("x"), Term::var("y")])),
     );
-    println!("estates overlap?          {}", eval_sentence(&overlap, &db).unwrap());
+    println!(
+        "estates overlap?          {}",
+        eval_sentence(&overlap, &db).unwrap()
+    );
 
     // The disputed strip: the intersection, as a new constraint relation.
     let disputed = alice.intersect(&bob.rename(vars.clone()));

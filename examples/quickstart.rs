@@ -51,11 +51,16 @@ fn main() {
         ),
     );
 
-    println!("database size (standard encoding of §4.2): {} symbols", database_size(&db));
+    println!(
+        "database size (standard encoding of §4.2): {} symbols",
+        database_size(&db)
+    );
 
     // Relational calculus: the projection of the region on the x axis.
-    let shadow_query: Formula<DenseAtom> =
-        Formula::exists(["y"], Formula::rel("region", [Term::var("x"), Term::var("y")]));
+    let shadow_query: Formula<DenseAtom> = Formula::exists(
+        ["y"],
+        Formula::rel("region", [Term::var("x"), Term::var("y")]),
+    );
     let shadow = eval_query(&shadow_query, &[Var::new("x")], &db).unwrap();
     println!("\nprojection on x:  {shadow}");
     for piece in decompose_1d(&shadow) {
@@ -68,7 +73,10 @@ fn main() {
         Formula::rel("region", [Term::var("x"), Term::var("y")])
             .implies(Formula::Atom(DenseAtom::le(Term::var("x"), Term::cst(6)))),
     );
-    println!("\nregion ⊆ {{x ≤ 6}} ?  {}", eval_sentence(&bounded, &db).unwrap());
+    println!(
+        "\nregion ⊆ {{x ≤ 6}} ?  {}",
+        eval_sentence(&bounded, &db).unwrap()
+    );
 
     // Free time: the complement of busy within the working day [0, 10].
     let free_query: Formula<DenseAtom> = Formula::rel("busy", [Term::var("t")])

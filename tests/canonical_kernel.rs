@@ -1,0 +1,127 @@
+//! Property tests for the canonical constraint kernel: DNF simplification
+//! preserves relation semantics, and the semi-naive Datalog engine agrees with
+//! the naive baseline — fixpoint and iteration count — on the reduction
+//! workloads of Figs. 3–6 and on random graph closures.
+
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::logic::{Term, Var};
+use frdb_core::relation::{simplify_dnf, Relation};
+use frdb_core::schema::RelName;
+use frdb_core::theory::{eval_dnf, Dnf};
+use frdb_datalog::transitive_closure_program;
+use frdb_num::Rat;
+use frdb_queries::programs::region_connectivity_program;
+use frdb_queries::reductions::majority_to_connectivity;
+use frdb_queries::workload::random_graph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn r(v: i64) -> Rat {
+    Rat::from_i64(v)
+}
+
+/// A strategy for dense-order atoms over `x` and `y` with small integer
+/// constants — rich enough to produce duplicates, subsumptions and
+/// contradictions once combined into conjunctions.
+fn atom_strategy() -> impl Strategy<Value = DenseAtom> {
+    let c = || -4i64..=4;
+    prop_oneof![
+        c().prop_map(|a| DenseAtom::le(Term::cst(a), Term::var("x"))),
+        c().prop_map(|a| DenseAtom::le(Term::var("x"), Term::cst(a))),
+        c().prop_map(|a| DenseAtom::lt(Term::cst(a), Term::var("y"))),
+        c().prop_map(|a| DenseAtom::le(Term::var("y"), Term::cst(a))),
+        (0u8..=2).prop_map(|k| match k {
+            0 => DenseAtom::lt(Term::var("x"), Term::var("y")),
+            1 => DenseAtom::le(Term::var("y"), Term::var("x")),
+            _ => DenseAtom::eq(Term::var("x"), Term::var("y")),
+        }),
+        c().prop_map(|a| DenseAtom::eq(Term::var("x"), Term::cst(a))),
+    ]
+}
+
+fn dnf_strategy() -> impl Strategy<Value = Dnf<DenseAtom>> {
+    proptest::collection::vec(proptest::collection::vec(atom_strategy(), 0..5), 0..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simplify_dnf_preserves_relation_equivalence(dnf in dnf_strategy()) {
+        let vars = vec![Var::new("x"), Var::new("y")];
+        let simplified = simplify_dnf::<DenseOrder>(dnf.clone());
+        // Simplification never grows the representation.
+        prop_assert!(simplified.len() <= dnf.len());
+        // Semantic equivalence at the relation level.
+        let before = Relation::<DenseOrder>::from_dnf(vars.clone(), dnf.clone());
+        let after = Relation::<DenseOrder>::from_dnf(vars.clone(), simplified.clone());
+        prop_assert!(before.equivalent(&after));
+        // Pointwise agreement between the raw DNF and the simplified relation
+        // on an integer grid spanning all constants used by the strategy.
+        for px in -5..=5i64 {
+            for py in -5..=5i64 {
+                let assign = |v: &Var| if v.name() == "x" { r(px) } else { r(py) };
+                prop_assert_eq!(
+                    eval_dnf(&dnf, &assign),
+                    after.contains(&[r(px), r(py)]),
+                    "disagreement at ({}, {})", px, py
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_dnf_is_idempotent(dnf in dnf_strategy()) {
+        let once = simplify_dnf::<DenseOrder>(dnf);
+        let twice = simplify_dnf::<DenseOrder>(once.clone());
+        prop_assert_eq!(once, twice);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn semi_naive_matches_naive_on_random_graph_closures(seed in 0u64..1_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = random_graph(&mut rng, 5, 6);
+        let inst = frdb_queries::workload::single_relation_instance("edge", graph);
+        let program = transitive_closure_program("edge", "tc");
+        let semi = program.run(&inst).unwrap();
+        let naive = program.run_naive(&inst).unwrap();
+        prop_assert_eq!(semi.iterations, naive.iterations);
+        let a = semi.instance.get(&RelName::new("tc")).unwrap();
+        let b = naive.instance.get(&RelName::new("tc")).unwrap();
+        let b = b.rename(a.vars().to_vec());
+        prop_assert!(a.equivalent(&b));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn semi_naive_matches_naive_on_fig3_reduction_workloads(
+        bits in proptest::collection::vec(any::<bool>(), 1..4)
+    ) {
+        // The Fig. 3 majority-to-connectivity regions drive the Example 6.3
+        // program, which mixes a formula-bodied sweep rule with recursive
+        // literal rules — both evaluation paths of the semi-naive engine.
+        let region = majority_to_connectivity(&bits);
+        let edb = frdb_queries::workload::single_relation_instance(
+            "R",
+            region.rename(vec![Var::new("x"), Var::new("y")]),
+        );
+        let program = region_connectivity_program("R");
+        let semi = program.run(&edb).unwrap();
+        let naive = program.run_naive(&edb).unwrap();
+        prop_assert_eq!(semi.iterations, naive.iterations);
+        for name in ["sweep", "conn"] {
+            let a = semi.instance.get(&RelName::new(name)).unwrap();
+            let b = naive.instance.get(&RelName::new(name)).unwrap();
+            let b = b.rename(a.vars().to_vec());
+            prop_assert!(a.equivalent(&b), "fixpoints differ on {}", name);
+        }
+    }
+}

@@ -3,9 +3,7 @@
 //! random regions, and the standard encoding of §4.2 grows with the representation.
 
 use frdb::prelude::*;
-use frdb_core::encode::{
-    database_size, decode_relation_cover, encode_relation_cover, AdomMap,
-};
+use frdb_core::encode::{database_size, decode_relation_cover, encode_relation_cover, AdomMap};
 use frdb_core::normal::{cover, nonredundant_cover};
 use frdb_queries::workload::{random_intervals, random_region2, single_relation_instance};
 use proptest::prelude::*;
@@ -22,7 +20,10 @@ fn covers_are_equivalent_and_nonredundant_on_random_regions() {
             rel.vars().to_vec(),
             c.iter().map(|t| t.to_conj()).collect(),
         );
-        assert!(rebuilt.equivalent(&rel), "cover must be equivalent to the relation");
+        assert!(
+            rebuilt.equivalent(&rel),
+            "cover must be equivalent to the relation"
+        );
         for i in 0..c.len() {
             let mut rest = c.clone();
             rest.remove(i);
@@ -59,8 +60,7 @@ fn adom_map_commutes_with_equivalence() {
     assert!(map.is_order_preserving());
     let image = map.apply_instance(&inst);
     // The image has the same component structure (it is an order-isomorphic copy).
-    let orig_pieces =
-        frdb_core::normal::decompose_1d(&inst.get(&RelName::new("R")).unwrap()).len();
+    let orig_pieces = frdb_core::normal::decompose_1d(&inst.get(&RelName::new("R")).unwrap()).len();
     let image_pieces =
         frdb_core::normal::decompose_1d(&image.get(&RelName::new("R")).unwrap()).len();
     assert_eq!(orig_pieces, image_pieces);
@@ -93,6 +93,6 @@ proptest! {
             c.iter().map(|t| t.to_conj()).collect(),
         );
         let p = Rat::from_i64(probe);
-        prop_assert_eq!(rel.contains(&[p.clone()]), rebuilt.contains(&[p]));
+        prop_assert_eq!(rel.contains(std::slice::from_ref(&p)), rebuilt.contains(&[p]));
     }
 }

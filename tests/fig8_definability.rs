@@ -4,12 +4,12 @@
 
 use frdb::prelude::*;
 use frdb_core::fo::eval_sentence;
+use frdb_datalog::transitive_closure_program;
 use frdb_queries::connectivity::{component_count, is_connected};
 use frdb_queries::convexity::{is_convex, is_convex_1d};
 use frdb_queries::graph::{graph_connected, integer_set, parity, path_graph, transitive_closure};
 use frdb_queries::programs::region_connected_datalog;
 use frdb_queries::shape1d::{connectivity_1d_sentence, is_connected_1d};
-use frdb_datalog::transitive_closure_program;
 
 fn seg1(lo: i64, hi: i64) -> GenTuple<DenseAtom> {
     GenTuple::new(vec![
@@ -31,8 +31,14 @@ fn rect(x0: i64, x1: i64, y0: i64, y1: i64) -> GenTuple<DenseAtom> {
 fn one_dimensional_queries_agree_between_fo_and_direct() {
     let schema = Schema::from_pairs([("R", 1)]);
     let cases = vec![
-        (Relation::<DenseOrder>::new(vec![Var::new("x")], vec![seg1(0, 5), seg1(3, 9)]), true),
-        (Relation::new(vec![Var::new("x")], vec![seg1(0, 1), seg1(4, 5)]), false),
+        (
+            Relation::<DenseOrder>::new(vec![Var::new("x")], vec![seg1(0, 5), seg1(3, 9)]),
+            true,
+        ),
+        (
+            Relation::new(vec![Var::new("x")], vec![seg1(0, 1), seg1(4, 5)]),
+            false,
+        ),
         (Relation::empty(vec![Var::new("x")]), true),
     ];
     for (relation, expected) in cases {
@@ -74,7 +80,10 @@ fn transitive_closure_three_ways() {
     for i in 1..=6i64 {
         for j in 1..=6i64 {
             let expected = i < j;
-            assert_eq!(direct.contains(&(Rat::from_i64(i), Rat::from_i64(j))), expected);
+            assert_eq!(
+                direct.contains(&(Rat::from_i64(i), Rat::from_i64(j))),
+                expected
+            );
             assert_eq!(tc.contains(&[Rat::from_i64(i), Rat::from_i64(j)]), expected);
         }
     }

@@ -26,13 +26,12 @@ fn constant_free_fo_queries_commute_with_random_automorphisms() {
     let mut rng = StdRng::seed_from_u64(2024);
     let query = |inst: &Instance<DenseOrder>| {
         // {(x, y) | R(x, y) ∧ ∃z (R(x, z) ∧ y < z)}  — constant-free, hence generic.
-        let f: Formula<DenseAtom> = Formula::rel("R", [Term::var("x"), Term::var("y")]).and(
-            Formula::exists(
+        let f: Formula<DenseAtom> =
+            Formula::rel("R", [Term::var("x"), Term::var("y")]).and(Formula::exists(
                 ["z"],
                 Formula::rel("R", [Term::var("x"), Term::var("z")])
                     .and(Formula::Atom(DenseAtom::lt(Term::var("y"), Term::var("z")))),
-            ),
-        );
+            ));
         eval_query(&f, &[Var::new("x"), Var::new("y")], inst).unwrap()
     };
     for _ in 0..3 {
@@ -40,7 +39,10 @@ fn constant_free_fo_queries_commute_with_random_automorphisms() {
         let inst = single_relation_instance("R", region);
         for _ in 0..3 {
             let mu = Automorphism::random(&mut rng, 3, 40);
-            assert!(commutes_with(&query, &inst, &mu), "Proposition 4.10 violated");
+            assert!(
+                commutes_with(&query, &inst, &mu),
+                "Proposition 4.10 violated"
+            );
         }
     }
 }
@@ -49,9 +51,7 @@ fn constant_free_fo_queries_commute_with_random_automorphisms() {
 fn topological_queries_are_order_generic_boolean_queries() {
     // Theorem 6.1 / the catalog: connectivity commutes with automorphisms.
     let mut rng = StdRng::seed_from_u64(7);
-    let query = |inst: &Instance<DenseOrder>| {
-        is_connected(&inst.get(&RelName::new("R")).unwrap())
-    };
+    let query = |inst: &Instance<DenseOrder>| is_connected(&inst.get(&RelName::new("R")).unwrap());
     for _ in 0..3 {
         let region = random_region2(&mut rng, 5, 40);
         let inst = single_relation_instance("R", region);
@@ -63,5 +63,9 @@ fn topological_queries_are_order_generic_boolean_queries() {
     // And specifically with the Example 4.5 automorphism on the Example 4.5 instance,
     // in contrast to line separation.
     let inst = single_relation_instance("R", example_4_5_instance());
-    assert!(boolean_commutes_with(&query, &inst, &Automorphism::example_4_5()));
+    assert!(boolean_commutes_with(
+        &query,
+        &inst,
+        &Automorphism::example_4_5()
+    ));
 }

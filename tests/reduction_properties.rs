@@ -2,7 +2,7 @@
 //! arbitrary Boolean vectors — the reduction output, fed to the direct query
 //! algorithms, returns exactly the Boolean function value.
 
-use frdb_queries::connectivity::{has_exactly_one_hole, has_hole, is_connected};
+use frdb_queries::connectivity::{has_hole, is_connected};
 use frdb_queries::euler::euler_traversal;
 use frdb_queries::reductions::{
     half, half_to_euler, half_to_homeomorphism, majority, majority_to_connectivity,
