@@ -1,0 +1,170 @@
+//! Evaluator comparison: the relational-algebra evaluator (PR 2) against the
+//! expand-then-eliminate baseline of Section 4.1, on the multi-relation-join
+//! workloads the paper's reductions generate (Figs. 3–6) and on finite graph
+//! joins.
+//!
+//! The expand baseline inlines every relation atom as a DNF sub-formula and
+//! re-distributes conjunctions of those DNFs tuple by tuple; the algebraic
+//! evaluator joins relation values directly, prunes candidate pairs through
+//! cached contexts, and memoizes repeated sub-plans.  The expected shape is
+//! the algebraic evaluator winning on every join workload with the margin
+//! growing in the instance size.  Results are written as JSON to
+//! `target/frdb-bench/` and snapshotted in `BENCH_PR2.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frdb_core::dense::DenseOrder;
+use frdb_core::fo::{eval_query, eval_query_expand};
+use frdb_core::logic::Var;
+use frdb_core::relation::{Instance, Relation};
+use frdb_num::Rat;
+use frdb_queries::catalog::{iff_shadow_query, three_hop_query, two_hop_query};
+use frdb_queries::programs::sweep_body;
+use frdb_queries::reductions::{boolean_vector, majority_to_connectivity};
+use frdb_queries::workload::{random_graph, single_relation_instance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn v(name: &str) -> Var {
+    Var::new(name)
+}
+
+fn graph_instance(n: usize) -> Instance<DenseOrder> {
+    let mut rng = StdRng::seed_from_u64(n as u64 + 3);
+    single_relation_instance("S", random_graph(&mut rng, n, 2 * n))
+}
+
+fn fig3_instance(n: usize) -> Instance<DenseOrder> {
+    let region = majority_to_connectivity(&boolean_vector(n, n / 2 + 1));
+    single_relation_instance("R", region.rename(vec![v("x"), v("y")]))
+}
+
+/// The chain `0 → 1 → … → n` as a finite binary relation — the skeleton of the
+/// Fig. 3 staircase, and the worst case for the expand baseline's pairwise
+/// redistribution (n² candidate pairs, n of them satisfiable).
+fn chain_instance(n: usize) -> Instance<DenseOrder> {
+    let points: Vec<Vec<Rat>> = (0..n as i64)
+        .map(|i| vec![Rat::from_i64(i), Rat::from_i64(i + 1)])
+        .collect();
+    single_relation_instance("S", Relation::from_points(vec![v("x"), v("y")], points))
+}
+
+/// Benchmarks one query under both evaluators across instance sizes.
+fn compare(
+    c: &mut Criterion,
+    group_name: &str,
+    sizes: &[usize],
+    make_instance: fn(usize) -> Instance<DenseOrder>,
+    query: &frdb_core::logic::Formula<frdb_core::dense::DenseAtom>,
+    free: &[Var],
+) {
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for &n in sizes {
+        let inst = make_instance(n);
+        group.bench_with_input(BenchmarkId::new("algebraic", n), &n, |b, _| {
+            b.iter(|| eval_query(query, free, &inst).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("expand", n), &n, |b, _| {
+            b.iter(|| eval_query_expand(query, free, &inst).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_hop(c: &mut Criterion) {
+    compare(
+        c,
+        "PR2_evaluator_two_hop_join",
+        &[6, 10, 14],
+        graph_instance,
+        &two_hop_query(),
+        &[v("x"), v("z")],
+    );
+}
+
+fn bench_three_hop(c: &mut Criterion) {
+    compare(
+        c,
+        "PR2_evaluator_three_hop_join",
+        &[6, 10],
+        graph_instance,
+        &three_hop_query(),
+        &[v("x"), v("w")],
+    );
+}
+
+/// The Fig. 3 region itself under the two-hop join's schema (`S` binary).
+fn fig3_region_as_s(n: usize) -> Instance<DenseOrder> {
+    let region = majority_to_connectivity(&boolean_vector(n, n / 2 + 1));
+    single_relation_instance("S", region.rename(vec![v("x"), v("y")]))
+}
+
+fn bench_fig3_region_join(c: &mut Criterion) {
+    compare(
+        c,
+        "PR2_evaluator_fig3_region_join",
+        &[2, 4, 8],
+        fig3_region_as_s,
+        &two_hop_query(),
+        &[v("x"), v("z")],
+    );
+}
+
+fn bench_two_hop_chain(c: &mut Criterion) {
+    compare(
+        c,
+        "PR2_evaluator_two_hop_chain",
+        &[8, 16, 32, 64],
+        chain_instance,
+        &two_hop_query(),
+        &[v("x"), v("z")],
+    );
+}
+
+fn bench_three_hop_chain(c: &mut Criterion) {
+    compare(
+        c,
+        "PR2_evaluator_three_hop_chain",
+        &[8, 16, 32],
+        chain_instance,
+        &three_hop_query(),
+        &[v("x"), v("w")],
+    );
+}
+
+fn bench_iff_shadow_fig3(c: &mut Criterion) {
+    compare(
+        c,
+        "PR2_evaluator_iff_shadow_fig3",
+        &[2, 4, 6],
+        fig3_instance,
+        &iff_shadow_query(),
+        &[v("x")],
+    );
+}
+
+fn bench_sweep_fig3(c: &mut Criterion) {
+    compare(
+        c,
+        "PR2_evaluator_sweep_fig3",
+        &[1, 2],
+        fig3_instance,
+        &sweep_body("R"),
+        &[v("x"), v("y"), v("u"), v("v")],
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_two_hop,
+    bench_three_hop,
+    bench_two_hop_chain,
+    bench_three_hop_chain,
+    bench_fig3_region_join,
+    bench_iff_shadow_fig3,
+    bench_sweep_fig3
+);
+criterion_main!(benches);

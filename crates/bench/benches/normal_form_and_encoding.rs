@@ -46,7 +46,7 @@ fn bench_database_size_and_1d_decomposition(c: &mut Criterion) {
     for n in [8usize, 32, 128, 512] {
         let inst = interval_instance(n);
         group.bench_with_input(BenchmarkId::new("database_size", n), &n, |b, _| {
-            b.iter(|| database_size(&inst))
+            b.iter(|| database_size(&inst).unwrap())
         });
         let rel = inst.get(&RelName::new("R")).unwrap();
         group.bench_with_input(BenchmarkId::new("decompose_1d", n), &n, |b, _| {
@@ -54,7 +54,7 @@ fn bench_database_size_and_1d_decomposition(c: &mut Criterion) {
         });
         let planar = region_instance(n.min(64));
         group.bench_with_input(BenchmarkId::new("database_size_planar", n), &n, |b, _| {
-            b.iter(|| database_size(&planar))
+            b.iter(|| database_size(&planar).unwrap())
         });
     }
     group.finish();

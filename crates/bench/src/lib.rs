@@ -7,7 +7,7 @@
 #![warn(missing_docs)]
 
 use frdb_core::dense::{DenseAtom, DenseOrder};
-use frdb_core::logic::{Formula, Term, Var};
+use frdb_core::logic::{Formula, Var};
 use frdb_core::relation::{Instance, Relation};
 use frdb_core::schema::Schema;
 use frdb_queries::workload::{random_intervals, random_region2};
@@ -41,21 +41,11 @@ pub fn region_relation(n: usize) -> Relation<DenseOrder> {
 }
 
 /// A fixed FO query of quantifier depth 2 over the monadic schema: the "gap" query
-/// `{x | ¬R(x) ∧ ∃y (R(y) ∧ y < x) ∧ ∃z (R(z) ∧ x < z)}`.
+/// `{x | ¬R(x) ∧ ∃y (R(y) ∧ y < x) ∧ ∃z (R(z) ∧ x < z)}` (re-exported from the
+/// shared catalog so the test and bench workloads stay in sync).
 #[must_use]
 pub fn gap_query() -> Formula<DenseAtom> {
-    Formula::rel("R", [Term::var("x")])
-        .not()
-        .and(Formula::exists(
-            ["y"],
-            Formula::rel("R", [Term::var("y")])
-                .and(Formula::Atom(DenseAtom::lt(Term::var("y"), Term::var("x")))),
-        ))
-        .and(Formula::exists(
-            ["z"],
-            Formula::rel("R", [Term::var("z")])
-                .and(Formula::Atom(DenseAtom::lt(Term::var("x"), Term::var("z")))),
-        ))
+    frdb_queries::catalog::gap_query()
 }
 
 /// The free variable of [`gap_query`].

@@ -461,6 +461,73 @@ impl OrderClosure {
         out.into_iter().collect()
     }
 
+    /// A sound pairwise filter for joint satisfiability with another closure,
+    /// answered **without building the merged closure**.
+    ///
+    /// For every pair of terms that both closures can relate (shared nodes,
+    /// and each side's constant nodes, which [`OrderClosure::entails`]-style
+    /// foreign-constant reasoning bounds exactly), the strongest directed
+    /// relations of the two closures are combined; a pair whose combined
+    /// forward and backward relations compose to a *strict* cycle proves the
+    /// merged conjunction unsatisfiable.  Cycles alternating through three or
+    /// more terms are left to the full merged closure, so `true` decides
+    /// nothing — this is the dense-order implementation of
+    /// [`crate::theory::Theory::ctx_compatible`], the join pre-filter.
+    #[must_use]
+    pub fn compatible_with(&self, other: &OrderClosure) -> bool {
+        if !self.satisfiable || !other.satisfiable {
+            return false;
+        }
+        // Terms both sides can bound: nodes of one closure that the other
+        // either interns too or can reach through its constants.
+        let mut terms: Vec<&Term> = Vec::new();
+        for t in &self.nodes {
+            if other.idx(t).is_some() || matches!(t, Term::Const(_)) {
+                terms.push(t);
+            }
+        }
+        for t in &other.nodes {
+            if self.idx(t).is_none() && matches!(t, Term::Const(_)) {
+                terms.push(t);
+            }
+        }
+        for (i, s) in terms.iter().enumerate() {
+            for t in terms.iter().skip(i + 1) {
+                let forward = self.directed_rel(s, t).max(other.directed_rel(s, t));
+                if forward == Rel::None {
+                    continue;
+                }
+                let backward = self.directed_rel(t, s).max(other.directed_rel(t, s));
+                if forward.compose(backward) == Rel::Lt {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The constant the closure pins a variable to: `Some(c)` iff the
+    /// conjunction entails `var = c` (the variable's node is mutually `≤` with
+    /// a constant node).  Exactness matters — the join hash-partitioning
+    /// relies on `Some` meaning *forced* — and holds because the closure is
+    /// transitively complete: any entailed equality with a constant appears as
+    /// a two-way `≤` in the table.
+    #[must_use]
+    pub fn pinned_const(&self, var: &Var) -> Option<Rat> {
+        if !self.satisfiable {
+            return None;
+        }
+        let i = self.idx(&Term::Var(var.clone()))?;
+        for (j, node) in self.nodes.iter().enumerate() {
+            if let Term::Const(c) = node {
+                if self.rel[i][j] >= Rel::Le && self.rel[j][i] >= Rel::Le {
+                    return Some(c.clone());
+                }
+            }
+        }
+        None
+    }
+
     /// Produces a satisfying assignment for the variables of the conjunction, if
     /// satisfiable: a concrete witness of density and of the absence of endpoints.
     ///
@@ -551,8 +618,14 @@ impl OrderClosure {
                 }
                 (Some((l, ls)), Some((u, us))) => {
                     if l == u {
-                        // Bounds meet; a strict bound here would contradict satisfiability.
-                        debug_assert!(!*ls && !*us);
+                        // Bounds meet; a strict bound here would contradict
+                        // satisfiability.  Enforced unconditionally: emitting a
+                        // point on a strict bound would fabricate a witness
+                        // that violates the constraints.
+                        assert!(
+                            !*ls && !*us,
+                            "witness: strict bounds meet at {l} in a closure reported satisfiable"
+                        );
                         l.clone()
                     } else if *ls || *us {
                         l.midpoint(u)
@@ -565,12 +638,16 @@ impl OrderClosure {
         }
         // Any class still unassigned has no path to an assigned class and no
         // unassigned predecessor — which cannot happen after the loop above unless
-        // the DAG were cyclic (ruled out by satisfiability).
-        debug_assert!(value.iter().all(Option::is_some));
+        // the DAG were cyclic (ruled out by satisfiability).  A release-mode
+        // fallback value here could silently emit a point violating the
+        // constraints, so the invariant is a hard error instead.
         let mut out = BTreeMap::new();
         for (i, node) in self.nodes.iter().enumerate() {
             if let Term::Var(v) = node {
-                out.insert(v.clone(), value[class[i]].clone().unwrap_or_else(Rat::zero));
+                let val = value[class[i]].clone().unwrap_or_else(|| {
+                    panic!("witness: class of {v} left unassigned in a satisfiable closure")
+                });
+                out.insert(v.clone(), val);
             }
         }
         Some(out)
@@ -618,6 +695,14 @@ impl Theory for DenseOrder {
             return true;
         }
         conclusion.iter().all(|a| ctx.entails(a))
+    }
+
+    fn ctx_compatible(a: &OrderClosure, b: &OrderClosure) -> bool {
+        a.compatible_with(b)
+    }
+
+    fn ctx_pinned(ctx: &OrderClosure, var: &Var) -> Option<Rat> {
+        ctx.pinned_const(var)
     }
 }
 
@@ -775,6 +860,84 @@ mod tests {
         let assign = |v: &Var| w[v].clone();
         assert!(conj.iter().all(|a| a.eval(&assign)));
         assert_eq!(w[&Var::new("z")], Rat::from_i64(5));
+    }
+
+    /// A small pool of atoms over {x, y, z} and the constants {0, 1, 5}, used
+    /// to enumerate conjunctions exhaustively.
+    fn atom_pool() -> Vec<DenseAtom> {
+        vec![
+            DenseAtom::lt(c(0), x()),
+            DenseAtom::lt(x(), c(1)),
+            DenseAtom::le(x(), c(0)),
+            DenseAtom::eq(x(), c(5)),
+            DenseAtom::lt(x(), y()),
+            DenseAtom::le(y(), x()),
+            DenseAtom::eq(x(), y()),
+            DenseAtom::lt(y(), z()),
+            DenseAtom::le(z(), c(1)),
+            DenseAtom::eq(z(), c(0)),
+        ]
+    }
+
+    #[test]
+    fn every_witness_satisfies_its_conjunction() {
+        // Exhaustively over all conjunctions of up to three pool atoms: whenever the
+        // closure reports satisfiable, the constructed witness must satisfy every
+        // atom — the regression for the former silent `Rat::zero()` fallback.
+        let pool = atom_pool();
+        let n = pool.len();
+        for i in 0..n {
+            for j in i..n {
+                for k in j..n {
+                    let conj = vec![pool[i].clone(), pool[j].clone(), pool[k].clone()];
+                    let closure = OrderClosure::new(&conj, &[]);
+                    let Some(w) = closure.witness() else {
+                        assert!(!closure.satisfiable(), "witness lost for satisfiable conj");
+                        continue;
+                    };
+                    let assign = |v: &Var| w[v].clone();
+                    assert!(
+                        conj.iter().all(|a| a.eval(&assign)),
+                        "witness {w:?} violates {conj:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compatibility_filter_is_sound_and_catches_pair_conflicts() {
+        let pool = atom_pool();
+        // Soundness: whenever the filter rejects a pair, the merged conjunction is
+        // genuinely unsatisfiable.  Checked exhaustively over pairs of two-atom
+        // conjunctions from the pool.
+        let n = pool.len();
+        for i in 0..n {
+            for j in 0..n {
+                let left = vec![pool[i].clone()];
+                let right = vec![pool[j].clone()];
+                let a = OrderClosure::new(&left, &[]);
+                let b = OrderClosure::new(&right, &[]);
+                let mut merged = left.clone();
+                merged.extend(right.clone());
+                if !a.compatible_with(&b) {
+                    assert!(
+                        !DenseOrder::satisfiable(&merged),
+                        "filter rejected the satisfiable pair {left:?} / {right:?}"
+                    );
+                }
+            }
+        }
+        // Effectiveness on the join-shaped conflicts the evaluator meets: points
+        // pinned to different constants, and bound/pin contradictions.
+        let pin2 = OrderClosure::new(&[DenseAtom::eq(y(), c(2))], &[]);
+        let pin3 = OrderClosure::new(&[DenseAtom::eq(y(), c(3))], &[]);
+        assert!(!pin2.compatible_with(&pin3));
+        let below = OrderClosure::new(&[DenseAtom::lt(y(), c(2))], &[]);
+        assert!(!pin3.compatible_with(&below));
+        assert!(!pin2.compatible_with(&below));
+        let pin1 = OrderClosure::new(&[DenseAtom::eq(y(), c(1))], &[]);
+        assert!(pin1.compatible_with(&below));
     }
 
     #[test]

@@ -59,28 +59,77 @@ impl std::fmt::Binary for BigIntBits<'_> {
     }
 }
 
-fn encode_atom(atom: &DenseAtom, var_index: &BTreeMap<Var, usize>, out: &mut String) {
-    let term = |t: &crate::logic::Term, out: &mut String| match t {
-        crate::logic::Term::Var(v) => {
-            let _ = write!(out, "x{:b}", var_index.get(v).copied().unwrap_or(0));
+/// Errors from producing the standard string encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A generalized tuple mentions a variable that is not among the
+    /// relation's declared columns, so it has no index in the encoding.
+    UndeclaredVariable {
+        /// The relation being encoded.
+        relation: String,
+        /// The offending variable.
+        variable: String,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::UndeclaredVariable { relation, variable } => write!(
+                f,
+                "relation {relation} mentions variable {variable} outside its declared columns"
+            ),
         }
-        crate::logic::Term::Const(c) => encode_rat(c, out),
-    };
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+fn encode_atom(
+    atom: &DenseAtom,
+    relation: &str,
+    var_index: &BTreeMap<Var, usize>,
+    out: &mut String,
+) -> Result<(), EncodeError> {
+    let term =
+        |t: &crate::logic::Term, out: &mut String| -> Result<(), EncodeError> {
+            match t {
+                crate::logic::Term::Var(v) => {
+                    // A variable outside the declared columns has no index; encoding
+                    // it as column 0 would silently corrupt `database_size`.
+                    let idx = var_index.get(v).copied().ok_or_else(|| {
+                        EncodeError::UndeclaredVariable {
+                            relation: relation.to_string(),
+                            variable: v.to_string(),
+                        }
+                    })?;
+                    let _ = write!(out, "x{idx:b}");
+                    Ok(())
+                }
+                crate::logic::Term::Const(c) => {
+                    encode_rat(c, out);
+                    Ok(())
+                }
+            }
+        };
     out.push('(');
-    term(&atom.lhs, out);
+    term(&atom.lhs, out)?;
     out.push(match atom.op {
         crate::dense::CmpOp::Lt => '<',
         crate::dense::CmpOp::Le => '≤',
         crate::dense::CmpOp::Eq => '=',
     });
-    term(&atom.rhs, out);
+    term(&atom.rhs, out)?;
     out.push(')');
+    Ok(())
 }
 
 /// Encodes a relation in the standard alphabet of Section 4.2:
 /// `R[enc(φ₁)] ∨ … ∨ [enc(φₗ)]*`.
-#[must_use]
-pub fn encode_relation(name: &str, relation: &Relation<DenseOrder>) -> String {
+///
+/// # Errors
+/// Returns an error if a tuple mentions a variable outside the relation's columns.
+pub fn encode_relation(name: &str, relation: &Relation<DenseOrder>) -> Result<String, EncodeError> {
     let var_index: BTreeMap<Var, usize> = relation
         .vars()
         .iter()
@@ -99,34 +148,39 @@ pub fn encode_relation(name: &str, relation: &Relation<DenseOrder>) -> String {
             if j > 0 {
                 out.push('∧');
             }
-            encode_atom(atom, &var_index, &mut out);
+            encode_atom(atom, name, &var_index, &mut out)?;
         }
         out.push(']');
     }
     out.push('*');
-    out
+    Ok(out)
 }
 
 /// Encodes a whole instance: `enc(I(R₁))* … *enc(I(Rₙ))**` with relations taken in
 /// schema (name) order.
-#[must_use]
-pub fn encode_instance(instance: &Instance<DenseOrder>) -> String {
+///
+/// # Errors
+/// Returns an error if a stored tuple mentions a variable outside its relation's
+/// columns.
+pub fn encode_instance(instance: &Instance<DenseOrder>) -> Result<String, EncodeError> {
     let mut out = String::new();
     for (name, _) in instance.schema().iter() {
         if let Some(rel) = instance.get(name) {
-            out.push_str(&encode_relation(name.as_str(), &rel));
+            out.push_str(&encode_relation(name.as_str(), &rel)?);
             out.push('*');
         }
     }
     out.push('*');
-    out
+    Ok(out)
 }
 
 /// The size of a database instance: the length of its standard encoding
 /// (Section 4.2).  All data-complexity benchmarks report against this measure.
-#[must_use]
-pub fn database_size(instance: &Instance<DenseOrder>) -> usize {
-    encode_instance(instance).chars().count()
+///
+/// # Errors
+/// As for [`encode_instance`].
+pub fn database_size(instance: &Instance<DenseOrder>) -> Result<usize, EncodeError> {
+    Ok(encode_instance(instance)?.chars().count())
 }
 
 // ---------------------------------------------------------------------------
@@ -266,7 +320,19 @@ pub fn decode_prime_tuple(vars: &[Var], data: &[Rat]) -> Result<Vec<DenseAtom>, 
             }
             let xi = crate::logic::Term::Var(vars[i].clone());
             let xj = crate::logic::Term::Var(vars[j].clone());
-            let code = val.numer().to_i64().unwrap_or(-1);
+            // A symbol code must be a small integer; anything else (a fraction,
+            // or a numerator outside `i64`) is a malformed input, not the `-1`
+            // sentinel the old fallback silently collapsed it to.
+            if !val.is_integer() {
+                return Err(DecodeError::BadSymbol(format!(
+                    "non-integer symbol code {val} at matrix entry ({i},{j})"
+                )));
+            }
+            let code = val.numer().to_i64().ok_or_else(|| {
+                DecodeError::BadSymbol(format!(
+                    "symbol code {val} at matrix entry ({i},{j}) overflows i64"
+                ))
+            })?;
             match code {
                 SYM_EQ => atoms.push(DenseAtom::eq(xi, xj)),
                 SYM_LT => atoms.push(DenseAtom::lt(xi, xj)),
@@ -480,15 +546,64 @@ mod tests {
             "R",
             sample_relation().union(&sample_relation().map_constants(&|c| c + &r(100))),
         );
-        let s1 = database_size(&small);
-        let s2 = database_size(&large);
+        let s1 = database_size(&small).unwrap();
+        let s2 = database_size(&large).unwrap();
         assert!(s1 > 0);
         assert!(
             s2 > s1,
             "a larger representation must have a larger encoding"
         );
-        let text = encode_instance(&small);
+        let text = encode_instance(&small).unwrap();
         assert!(text.contains('R') && text.ends_with("**"));
+    }
+
+    #[test]
+    fn undeclared_variables_are_an_encoding_error() {
+        // A tuple mentioning a variable outside the declared columns used to be
+        // silently encoded as column 0, corrupting `database_size`.
+        let rogue = Relation::new(
+            vec![vx()],
+            vec![GenTuple::new(vec![DenseAtom::lt(
+                Term::var("x"),
+                Term::var("zz"),
+            )])],
+        );
+        let err = encode_relation("R", &rogue).unwrap_err();
+        assert!(matches!(err, EncodeError::UndeclaredVariable { .. }));
+        let schema = Schema::from_pairs([("R", 1)]);
+        let mut inst = Instance::new(schema);
+        inst.set("R", rogue);
+        assert!(encode_instance(&inst).is_err());
+        assert!(database_size(&inst).is_err());
+        // Well-formed relations still encode.
+        assert!(encode_relation("R", &sample_relation()).is_ok());
+    }
+
+    #[test]
+    fn oversized_symbol_codes_are_a_decode_error() {
+        // A symbol code with a numerator outside `i64` used to collapse to the
+        // sentinel `-1` and be reported as a plain unknown code; it must be a
+        // distinct, loud error (and never collide with genuine codes).
+        let vars = vec![Var::new("x1"), Var::new("x2")];
+        let conj = vec![DenseAtom::lt(Term::var("x1"), Term::var("x2"))];
+        let pt = PrimeTuple::from_primitive(&vars, &conj).unwrap();
+        let mut encoded = encode_prime_tuple(&pt);
+        // k = 2: the matrix entry (0, 1) sits at pair index 2k + 0·k + 1 = 5,
+        // i.e. flat offsets 10 (flag) and 11 (value).
+        let huge = BigInt::from(i64::MAX).pow(2);
+        assert!(huge.to_i64().is_none());
+        encoded[11] = Rat::from(huge);
+        let err = decode_prime_tuple(&vars, &encoded).unwrap_err();
+        match err {
+            DecodeError::BadSymbol(msg) => assert!(msg.contains("overflows"), "{msg}"),
+            other => panic!("expected BadSymbol, got {other:?}"),
+        }
+        // Fractional codes are rejected too.
+        encoded[11] = Rat::from_pair(1, 2);
+        assert!(matches!(
+            decode_prime_tuple(&vars, &encoded),
+            Err(DecodeError::BadSymbol(_))
+        ));
     }
 
     #[test]

@@ -1,22 +1,42 @@
 //! The first-order constraint query evaluator.
 //!
 //! Section 4.1 of the paper: a formula `φ` in `L ∪ σ` with free variables `x₁,…,xₙ`
-//! defines the query `{(x₁,…,xₙ) | φ}`.  Evaluation proceeds exactly as described
-//! there — every occurrence of a schema relation symbol `R` is replaced by a
-//! quantifier-free formula representing `I(R)`, and the resulting `L`-formula is turned
-//! into an equivalent quantifier-free formula by quantifier elimination (question Q1),
-//! which exists for the dense-order and linear theories used in this workspace.
+//! defines the query `{(x₁,…,xₙ) | φ}`.  Evaluation is *bottom-up and closed-form*:
+//! the result is again a finitely representable relation, so queries compose, and
+//! data complexity is polynomial for a fixed query (Theorem 5.2 states the sharper
+//! AC⁰ bound).
 //!
-//! The evaluator is *bottom-up and closed-form*: the result is again a finitely
-//! representable relation, so queries compose.  Data complexity is polynomial for a
-//! fixed query (Theorem 5.2 states the sharper AC⁰ bound; the benchmark harness
-//! measures the polynomial scaling, see `DESIGN.md` experiment E10).
+//! Two evaluators are provided:
+//!
+//! * the **relational-algebra evaluator** ([`eval_query`], [`CompiledQuery`]) —
+//!   the default.  The formula is compiled once into a small plan IR
+//!   (scan / rename / select / natural-join / union / complement /
+//!   project-via-eliminate), **hash-consed** so structurally equal sub-formulas
+//!   become the *same* plan node, and evaluated compositionally over
+//!   [`Relation`] values with a per-query memo table — a repeated sub-plan is
+//!   evaluated once per instance.  Joins prune candidate tuple pairs through
+//!   the cached canonical contexts ([`crate::theory::Theory::ctx_compatible`])
+//!   before any merged context is saturated.
+//!
+//! * the **expand-then-eliminate baseline** ([`eval_query_expand`]) — the
+//!   literal transcription of Section 4.1: every relation atom is textually
+//!   replaced by a DNF sub-formula ([`expand_relations`]) and the resulting
+//!   `L`-formula is flattened by quantifier elimination.  Retained as the
+//!   semantics baseline (the equivalence property tests pin the two evaluators
+//!   against each other) and as the benchmark anchor for the algebraic
+//!   evaluator's speedups.
 
-use crate::logic::{Formula, Var};
+use crate::logic::{Formula, Term, Var};
 use crate::relation::{
     eliminate_tuple, negate_tuples, simplify_tuples, GenTuple, Instance, Relation,
 };
+use crate::schema::RelName;
 use crate::theory::{Atom, Dnf, Theory};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Errors raised during query evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,11 +72,16 @@ impl std::fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
+// ---------------------------------------------------------------------------
+// The expand-then-eliminate baseline (Section 4.1 verbatim)
+// ---------------------------------------------------------------------------
+
 /// Replaces every relation atom `R(t̅)` by a quantifier-free formula representing
 /// `I(R)(t̅)` (the first step of Section 4.1's evaluation).
 ///
 /// The stored relation's column variables are renamed apart before substituting the
-/// atom's argument terms, so variable capture cannot occur.
+/// atom's argument terms, so variable capture cannot occur (the fresh names live in
+/// the reserved `#` namespace, which [`Var::new`] refuses to user code).
 pub fn expand_relations<T: Theory>(
     formula: &Formula<T::A>,
     instance: &Instance<T>,
@@ -190,8 +215,845 @@ fn eval_formula<T: Theory>(formula: &Formula<T::A>) -> Vec<GenTuple<T::A>> {
     }
 }
 
-/// Evaluates a (possibly non-Boolean) query `{free | formula}` on an instance,
-/// producing the answer relation over the listed free variables.
+/// Evaluates a query with the **expand-then-eliminate baseline**: relation
+/// atoms are textually inlined as DNF sub-formulas and the result is flattened
+/// by quantifier elimination, exactly as written in Section 4.1.
+///
+/// The algebraic evaluator ([`eval_query`]) computes the same relation; this
+/// path is retained as the semantics baseline and benchmark anchor.
+///
+/// # Errors
+/// Returns an error if the formula mentions undeclared relations or uses them with the
+/// wrong arity.
+pub fn eval_query_expand<T: Theory>(
+    formula: &Formula<T::A>,
+    free: &[Var],
+    instance: &Instance<T>,
+) -> Result<Relation<T>, EvalError> {
+    let mut counter = 0usize;
+    let expanded = expand_relations(formula, instance, &mut counter)?;
+    let tuples = eval_formula::<T>(&expanded);
+    Ok(Relation::new(free.to_vec(), tuples))
+}
+
+/// Evaluates a Boolean query (sentence) with the expand-then-eliminate
+/// baseline; see [`eval_query_expand`].
+///
+/// # Errors
+/// As for [`eval_query_expand`].
+pub fn eval_sentence_expand<T: Theory>(
+    formula: &Formula<T::A>,
+    instance: &Instance<T>,
+) -> Result<bool, EvalError> {
+    let answer = eval_query_expand(formula, &[], instance)?;
+    Ok(!answer.is_empty())
+}
+
+// ---------------------------------------------------------------------------
+// The relational-algebra plan IR
+// ---------------------------------------------------------------------------
+
+/// A node of the relational-algebra plan IR.
+///
+/// Every node denotes a finitely representable relation over its column list
+/// under *cylinder semantics*: a generalized tuple constrains only the
+/// variables it mentions and is universal in every other variable, so union
+/// branches and join operands over different column sets compose without
+/// explicit padding, and complement is complement over all of `Qᵏ`.
+enum PlanNode<T: Theory> {
+    /// The empty relation (`false`).
+    Empty,
+    /// The universal relation (`true`).
+    Universal,
+    /// A conjunction of constraint atoms (selection from the universal
+    /// relation).
+    Select(Vec<T::A>),
+    /// A stored relation read with its columns renamed to distinct argument
+    /// variables — the fused scan + rename of the common case `R(x̅)`, which
+    /// evaluates through [`Relation::rename`]'s single simultaneous pass (and
+    /// shares the stored tuple caches when the renaming is the identity).
+    Rename {
+        /// The relation name.
+        name: RelName,
+        /// The distinct column variables after renaming.
+        to: Vec<Var>,
+    },
+    /// A stored relation read under a general argument list (repeated
+    /// variables and constants allowed): column variables are substituted by
+    /// the argument terms, and unsatisfiable tuples are pruned — scan fused
+    /// with the induced selection.
+    Scan {
+        /// The relation name.
+        name: RelName,
+        /// The argument terms of the relation atom.
+        args: Vec<Term>,
+    },
+    /// Natural join of the children (conjunction).
+    Join(Vec<Plan<T>>),
+    /// Union of the children (disjunction).
+    Union(Vec<Plan<T>>),
+    /// Complement of the child within `Qᵏ` (negation).
+    Complement(Plan<T>),
+    /// Projection of the child **out of** the listed variables via quantifier
+    /// elimination (existential quantification).
+    Project {
+        /// The child plan.
+        input: Plan<T>,
+        /// The variables eliminated.
+        eliminate: Vec<Var>,
+    },
+}
+
+struct PlanInner<T: Theory> {
+    node: PlanNode<T>,
+    /// Output columns: the free variables of the denoted sub-formula (after
+    /// compile-time simplification).
+    cols: Vec<Var>,
+    /// Structural hash, precomputed at interning time; children contribute
+    /// their own cached hashes, so hashing any node is O(local fields).
+    hash: u64,
+}
+
+/// A hash-consed relational-algebra plan.
+///
+/// Plans are immutable and shared: the compiler interns every node, so
+/// structurally equal sub-formulas of one query become the *same* (pointer
+/// equal) plan node, and the evaluator's memo table then evaluates each
+/// distinct sub-plan once per instance.  Equality and hashing are structural
+/// (with a pointer fast path and the cached hash).
+pub struct Plan<T: Theory>(Arc<PlanInner<T>>);
+
+impl<T: Theory> Clone for Plan<T> {
+    fn clone(&self) -> Self {
+        Plan(Arc::clone(&self.0))
+    }
+}
+
+impl<T: Theory> Plan<T> {
+    /// The output columns of the plan: the free variables of the compiled
+    /// (simplified) sub-formula.
+    #[must_use]
+    pub fn cols(&self) -> &[Var] {
+        &self.0.cols
+    }
+
+    /// Number of distinct nodes in the plan DAG (shared nodes counted once) —
+    /// the unit of the evaluator's memoization.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        self.count_nodes(&mut seen);
+        seen.len()
+    }
+
+    fn count_nodes(&self, seen: &mut std::collections::HashSet<usize>) {
+        if !seen.insert(Arc::as_ptr(&self.0) as usize) {
+            return;
+        }
+        match &self.0.node {
+            PlanNode::Empty
+            | PlanNode::Universal
+            | PlanNode::Select(_)
+            | PlanNode::Rename { .. }
+            | PlanNode::Scan { .. } => {}
+            PlanNode::Join(children) | PlanNode::Union(children) => {
+                for c in children {
+                    c.count_nodes(seen);
+                }
+            }
+            PlanNode::Complement(p) => p.count_nodes(seen),
+            PlanNode::Project { input, .. } => input.count_nodes(seen),
+        }
+    }
+
+    fn ptr_eq(&self, other: &Plan<T>) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl<T: Theory> PartialEq for Plan<T> {
+    fn eq(&self, other: &Self) -> bool {
+        if self.ptr_eq(other) {
+            return true;
+        }
+        if self.0.hash != other.0.hash {
+            return false;
+        }
+        node_eq(&self.0.node, &other.0.node)
+    }
+}
+
+impl<T: Theory> Eq for Plan<T> {}
+
+impl<T: Theory> Hash for Plan<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.hash);
+    }
+}
+
+fn node_eq<T: Theory>(a: &PlanNode<T>, b: &PlanNode<T>) -> bool {
+    match (a, b) {
+        (PlanNode::Empty, PlanNode::Empty) | (PlanNode::Universal, PlanNode::Universal) => true,
+        (PlanNode::Select(x), PlanNode::Select(y)) => x == y,
+        (PlanNode::Rename { name: n1, to: t1 }, PlanNode::Rename { name: n2, to: t2 }) => {
+            n1 == n2 && t1 == t2
+        }
+        (PlanNode::Scan { name: n1, args: a1 }, PlanNode::Scan { name: n2, args: a2 }) => {
+            n1 == n2 && a1 == a2
+        }
+        (PlanNode::Join(x), PlanNode::Join(y)) | (PlanNode::Union(x), PlanNode::Union(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p == q)
+        }
+        (PlanNode::Complement(x), PlanNode::Complement(y)) => x == y,
+        (
+            PlanNode::Project {
+                input: i1,
+                eliminate: e1,
+            },
+            PlanNode::Project {
+                input: i2,
+                eliminate: e2,
+            },
+        ) => e1 == e2 && i1 == i2,
+        _ => false,
+    }
+}
+
+fn node_hash<T: Theory>(node: &PlanNode<T>) -> u64 {
+    let mut h = DefaultHasher::new();
+    match node {
+        PlanNode::Empty => h.write_u8(0),
+        PlanNode::Universal => h.write_u8(1),
+        PlanNode::Select(atoms) => {
+            h.write_u8(2);
+            for a in atoms {
+                a.hash(&mut h);
+            }
+        }
+        PlanNode::Rename { name, to } => {
+            h.write_u8(3);
+            name.hash(&mut h);
+            to.hash(&mut h);
+        }
+        PlanNode::Scan { name, args } => {
+            h.write_u8(4);
+            name.hash(&mut h);
+            args.hash(&mut h);
+        }
+        PlanNode::Join(children) => {
+            h.write_u8(5);
+            for c in children {
+                h.write_u64(c.0.hash);
+            }
+        }
+        PlanNode::Union(children) => {
+            h.write_u8(6);
+            for c in children {
+                h.write_u64(c.0.hash);
+            }
+        }
+        PlanNode::Complement(p) => {
+            h.write_u8(7);
+            h.write_u64(p.0.hash);
+        }
+        PlanNode::Project { input, eliminate } => {
+            h.write_u8(8);
+            h.write_u64(input.0.hash);
+            eliminate.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+impl<T: Theory> fmt::Display for Plan<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0.node {
+            PlanNode::Empty => write!(f, "⊥"),
+            PlanNode::Universal => write!(f, "⊤"),
+            PlanNode::Select(atoms) => {
+                write!(f, "σ[")?;
+                for (i, a) in atoms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "]")
+            }
+            PlanNode::Rename { name, to } => {
+                write!(f, "{name}(")?;
+                for (i, v) in to.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            PlanNode::Scan { name, args } => {
+                write!(f, "scan {name}(")?;
+                for (i, t) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            PlanNode::Join(children) => {
+                write!(f, "(")?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ⋈ ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            PlanNode::Union(children) => {
+                write!(f, "(")?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∪ ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            PlanNode::Complement(p) => write!(f, "¬{p}"),
+            PlanNode::Project { input, eliminate } => {
+                write!(f, "π-{{")?;
+                for (i, v) in eliminate.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}{input}")
+            }
+        }
+    }
+}
+
+impl<T: Theory> fmt::Debug for Plan<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Plan({self})")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compilation (with hash-consing)
+// ---------------------------------------------------------------------------
+
+/// The hash-consing plan builder: structurally equal nodes constructed during
+/// one compilation are interned to a single shared [`Plan`], so the evaluator
+/// can memoize by node identity.
+struct PlanBuilder<T: Theory> {
+    interned: HashMap<u64, Vec<Plan<T>>>,
+}
+
+impl<T: Theory> PlanBuilder<T> {
+    fn new() -> Self {
+        PlanBuilder {
+            interned: HashMap::new(),
+        }
+    }
+
+    fn intern(&mut self, node: PlanNode<T>, cols: Vec<Var>) -> Plan<T> {
+        let hash = node_hash(&node);
+        let bucket = self.interned.entry(hash).or_default();
+        for existing in bucket.iter() {
+            if node_eq(&existing.0.node, &node) {
+                return existing.clone();
+            }
+        }
+        let plan = Plan(Arc::new(PlanInner { node, cols, hash }));
+        bucket.push(plan.clone());
+        plan
+    }
+
+    fn empty(&mut self, cols: Vec<Var>) -> Plan<T> {
+        self.intern(PlanNode::Empty, cols)
+    }
+
+    fn universal(&mut self, cols: Vec<Var>) -> Plan<T> {
+        self.intern(PlanNode::Universal, cols)
+    }
+
+    fn select(&mut self, atoms: Vec<T::A>) -> Plan<T> {
+        let cols: Vec<Var> = atoms
+            .iter()
+            .flat_map(Atom::vars)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        self.intern(PlanNode::Select(atoms), cols)
+    }
+
+    /// `¬p`, with double negation and the trivial complements folded away.
+    fn complement_of(&mut self, p: Plan<T>) -> Plan<T> {
+        let cols = p.cols().to_vec();
+        match &p.0.node {
+            PlanNode::Complement(inner) => inner.clone(),
+            PlanNode::Empty => self.universal(cols),
+            PlanNode::Universal => self.empty(cols),
+            _ => self.intern(PlanNode::Complement(p), cols),
+        }
+    }
+
+    /// `∃ vs . p`, restricted to the variables actually among `p`'s columns;
+    /// nested projections are merged into a single elimination list.
+    fn project_of(&mut self, p: Plan<T>, vs: &[Var]) -> Plan<T> {
+        let mut eliminate: Vec<Var> = Vec::new();
+        for v in vs {
+            if p.cols().contains(v) && !eliminate.contains(v) {
+                eliminate.push(v.clone());
+            }
+        }
+        if eliminate.is_empty() {
+            return p;
+        }
+        let (input, eliminate) = match &p.0.node {
+            PlanNode::Project {
+                input,
+                eliminate: inner,
+            } => {
+                let mut merged = inner.clone();
+                merged.extend(eliminate);
+                (input.clone(), merged)
+            }
+            _ => (p.clone(), eliminate),
+        };
+        let cols: Vec<Var> = input
+            .cols()
+            .iter()
+            .filter(|v| !eliminate.contains(v))
+            .cloned()
+            .collect();
+        match &input.0.node {
+            // Projection cannot revive an empty relation or constrain a
+            // universal one.
+            PlanNode::Empty => self.empty(cols),
+            PlanNode::Universal => self.universal(cols),
+            _ => self.intern(PlanNode::Project { input, eliminate }, cols),
+        }
+    }
+
+    /// Natural join of the children: nested joins are flattened, `⊤` operands
+    /// and duplicates dropped, selections merged, and `⊥` annihilates.
+    fn join_of(&mut self, children: Vec<Plan<T>>) -> Plan<T> {
+        let mut flat: Vec<Plan<T>> = Vec::new();
+        for c in children {
+            match &c.0.node {
+                PlanNode::Join(inner) => flat.extend(inner.iter().cloned()),
+                _ => flat.push(c),
+            }
+        }
+        let all_cols = union_cols(&flat);
+        if flat.iter().any(|c| matches!(c.0.node, PlanNode::Empty)) {
+            return self.empty(all_cols);
+        }
+        let mut atoms: Vec<T::A> = Vec::new();
+        let mut kept: Vec<Plan<T>> = Vec::new();
+        for c in flat {
+            match &c.0.node {
+                PlanNode::Universal => {}
+                PlanNode::Select(sel) => {
+                    for a in sel {
+                        if !atoms.contains(a) {
+                            atoms.push(a.clone());
+                        }
+                    }
+                }
+                _ => {
+                    if !kept.iter().any(|k| k.ptr_eq(&c)) {
+                        kept.push(c);
+                    }
+                }
+            }
+        }
+        if !atoms.is_empty() {
+            // A single merged selection, placed first so the join prunes early.
+            kept.insert(0, self.select(atoms));
+        }
+        match kept.len() {
+            0 => self.universal(all_cols),
+            1 => kept.pop().expect("length checked"),
+            _ => {
+                let cols = union_cols(&kept);
+                self.intern(PlanNode::Join(kept), cols)
+            }
+        }
+    }
+
+    /// Union of the children: nested unions are flattened, `⊥` operands and
+    /// duplicates dropped, and `⊤` annihilates.
+    fn union_of(&mut self, children: Vec<Plan<T>>) -> Plan<T> {
+        let mut flat: Vec<Plan<T>> = Vec::new();
+        for c in children {
+            match &c.0.node {
+                PlanNode::Union(inner) => flat.extend(inner.iter().cloned()),
+                _ => flat.push(c),
+            }
+        }
+        let all_cols = union_cols(&flat);
+        if flat.iter().any(|c| matches!(c.0.node, PlanNode::Universal)) {
+            return self.universal(all_cols);
+        }
+        let mut kept: Vec<Plan<T>> = Vec::new();
+        for c in flat {
+            match &c.0.node {
+                PlanNode::Empty => {}
+                _ => {
+                    if !kept.iter().any(|k| k.ptr_eq(&c)) {
+                        kept.push(c);
+                    }
+                }
+            }
+        }
+        match kept.len() {
+            0 => self.empty(all_cols),
+            1 => kept.pop().expect("length checked"),
+            _ => {
+                let cols = union_cols(&kept);
+                self.intern(PlanNode::Union(kept), cols)
+            }
+        }
+    }
+
+    fn compile(&mut self, formula: &Formula<T::A>) -> Plan<T> {
+        match formula {
+            Formula::True => self.universal(Vec::new()),
+            Formula::False => self.empty(Vec::new()),
+            Formula::Atom(a) => self.select(vec![a.clone()]),
+            Formula::Rel { name, args } => {
+                let arg_vars: Vec<Var> = args.iter().filter_map(Term::as_var).cloned().collect();
+                let distinct = arg_vars.len() == args.len() && {
+                    let mut seen = std::collections::HashSet::new();
+                    arg_vars.iter().all(|v| seen.insert(v.clone()))
+                };
+                if distinct {
+                    self.intern(
+                        PlanNode::Rename {
+                            name: name.clone(),
+                            to: arg_vars.clone(),
+                        },
+                        arg_vars,
+                    )
+                } else {
+                    let mut cols: Vec<Var> = Vec::new();
+                    for v in &arg_vars {
+                        if !cols.contains(v) {
+                            cols.push(v.clone());
+                        }
+                    }
+                    self.intern(
+                        PlanNode::Scan {
+                            name: name.clone(),
+                            args: args.clone(),
+                        },
+                        cols,
+                    )
+                }
+            }
+            Formula::Not(g) => {
+                let inner = self.compile(g);
+                self.complement_of(inner)
+            }
+            Formula::And(fs) => {
+                let children: Vec<Plan<T>> = fs.iter().map(|g| self.compile(g)).collect();
+                self.join_of(children)
+            }
+            Formula::Or(fs) => {
+                let children: Vec<Plan<T>> = fs.iter().map(|g| self.compile(g)).collect();
+                self.union_of(children)
+            }
+            Formula::Exists(vs, g) => {
+                let inner = self.compile(g);
+                self.project_of(inner, vs)
+            }
+            Formula::Forall(vs, g) => {
+                // ∀x̅.φ  ≡  ¬∃x̅.¬φ
+                let inner = self.compile(g);
+                let negated = self.complement_of(inner);
+                let projected = self.project_of(negated, vs);
+                self.complement_of(projected)
+            }
+        }
+    }
+}
+
+/// The union of the children's column lists, in first-occurrence order.
+fn union_cols<T: Theory>(children: &[Plan<T>]) -> Vec<Var> {
+    let mut cols: Vec<Var> = Vec::new();
+    for c in children {
+        for v in c.cols() {
+            if !cols.contains(v) {
+                cols.push(v.clone());
+            }
+        }
+    }
+    cols
+}
+
+fn collect_rel_atoms<A>(formula: &Formula<A>, out: &mut Vec<(RelName, usize)>) {
+    match formula {
+        Formula::True | Formula::False | Formula::Atom(_) => {}
+        Formula::Rel { name, args } => {
+            if !out.iter().any(|(n, a)| n == name && *a == args.len()) {
+                out.push((name.clone(), args.len()));
+            }
+        }
+        Formula::Not(g) => collect_rel_atoms(g, out),
+        Formula::And(fs) | Formula::Or(fs) => {
+            for f in fs {
+                collect_rel_atoms(f, out);
+            }
+        }
+        Formula::Exists(_, g) | Formula::Forall(_, g) => collect_rel_atoms(g, out),
+    }
+}
+
+/// A query compiled once into a (hash-consed) relational-algebra plan,
+/// reusable across instances — the Datalog engine compiles every rule body a
+/// single time and re-evaluates the plan each fixpoint round.
+pub struct CompiledQuery<T: Theory> {
+    plan: Plan<T>,
+    free: Vec<Var>,
+    /// Relation atoms of the source formula in traversal order, for upfront
+    /// schema validation (matching the error behavior of the expand baseline,
+    /// which validates every atom before evaluating anything).
+    rels: Vec<(RelName, usize)>,
+}
+
+impl<T: Theory> Clone for CompiledQuery<T> {
+    fn clone(&self) -> Self {
+        CompiledQuery {
+            plan: self.plan.clone(),
+            free: self.free.clone(),
+            rels: self.rels.clone(),
+        }
+    }
+}
+
+impl<T: Theory> fmt::Debug for CompiledQuery<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CompiledQuery({})", self.plan)
+    }
+}
+
+/// Compiles a query `{free | formula}` into a reusable plan.
+#[must_use]
+pub fn compile_query<T: Theory>(formula: &Formula<T::A>, free: &[Var]) -> CompiledQuery<T> {
+    let mut builder = PlanBuilder::new();
+    let plan = builder.compile(formula);
+    let mut rels = Vec::new();
+    collect_rel_atoms(formula, &mut rels);
+    CompiledQuery {
+        plan,
+        free: free.to_vec(),
+        rels,
+    }
+}
+
+impl<T: Theory> CompiledQuery<T> {
+    /// The compiled plan.
+    #[must_use]
+    pub fn plan(&self) -> &Plan<T> {
+        &self.plan
+    }
+
+    /// The free (answer) variables.
+    #[must_use]
+    pub fn free(&self) -> &[Var] {
+        &self.free
+    }
+
+    /// Evaluates the plan on an instance, producing the answer relation over
+    /// the compiled free-variable list.  Sub-plans are memoized per call, so
+    /// every distinct node of the plan DAG is evaluated exactly once.
+    ///
+    /// # Errors
+    /// Returns an error if the formula mentions undeclared relations or uses
+    /// them with the wrong arity.
+    pub fn eval(&self, instance: &Instance<T>) -> Result<Relation<T>, EvalError> {
+        // Validate every relation atom upfront (compile-time simplification
+        // may have pruned some from the plan; the source formula's errors must
+        // surface regardless, as they do in the expand baseline).
+        for (name, arity) in &self.rels {
+            fetch(instance, name, *arity)?;
+        }
+        let mut memo: HashMap<usize, Relation<T>> = HashMap::new();
+        let answer = eval_plan(&self.plan, instance, &mut memo)?;
+        // The plan result is already canonical (every operator finishes in
+        // `Relation::new`); when the requested free list covers its columns,
+        // re-wrap without re-running simplification and absorption.
+        if answer.vars().iter().all(|v| self.free.contains(v)) {
+            Ok(answer.with_columns(self.free.clone()))
+        } else {
+            Ok(Relation::new(self.free.clone(), answer.tuples().to_vec()))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan evaluation (memoized)
+// ---------------------------------------------------------------------------
+
+fn eval_plan<T: Theory>(
+    plan: &Plan<T>,
+    instance: &Instance<T>,
+    memo: &mut HashMap<usize, Relation<T>>,
+) -> Result<Relation<T>, EvalError> {
+    let key = Arc::as_ptr(&plan.0) as usize;
+    if let Some(cached) = memo.get(&key) {
+        return Ok(cached.clone());
+    }
+    let cols = plan.cols().to_vec();
+    let result = match &plan.0.node {
+        PlanNode::Empty => Relation::empty(cols),
+        PlanNode::Universal => Relation::universal(cols),
+        PlanNode::Select(atoms) => Relation::new(cols, vec![GenTuple::new(atoms.clone())]),
+        PlanNode::Rename { name, to } => {
+            let rel = fetch(instance, name, to.len())?;
+            rel.rename(to.clone())
+        }
+        PlanNode::Scan { name, args } => {
+            let rel = fetch(instance, name, args.len())?;
+            let subst: HashMap<Var, Term> = rel
+                .vars()
+                .iter()
+                .cloned()
+                .zip(args.iter().cloned())
+                .collect();
+            let tuples = rel
+                .tuples()
+                .iter()
+                .map(|tuple| {
+                    GenTuple::new(
+                        tuple
+                            .atoms()
+                            .iter()
+                            .map(|a| a.subst_simultaneous(&subst))
+                            .collect(),
+                    )
+                })
+                .collect();
+            Relation::new(cols, tuples)
+        }
+        PlanNode::Join(children) => {
+            let joined = eval_join_fold(children, &[], instance, memo)?;
+            match joined {
+                None => Relation::empty(cols),
+                Some(rel) => rel.with_columns(cols),
+            }
+        }
+        PlanNode::Union(children) => {
+            let mut tuples: Vec<GenTuple<T::A>> = Vec::new();
+            for child in children {
+                let rel = eval_plan(child, instance, memo)?;
+                tuples.extend(rel.tuples().iter().cloned());
+            }
+            Relation::new(cols, tuples)
+        }
+        PlanNode::Complement(input) => {
+            let rel = eval_plan(input, instance, memo)?;
+            Relation::new(cols, negate_tuples::<T>(rel.tuples()))
+        }
+        PlanNode::Project { input, eliminate } => {
+            let rel = if let PlanNode::Join(children) = &input.0.node {
+                // Fused join + early projection (see `eval_join_fold`).
+                match eval_join_fold(children, eliminate, instance, memo)? {
+                    None => return finish(memo, key, Relation::empty(cols)),
+                    Some(rel) => rel,
+                }
+            } else {
+                eval_plan(input, instance, memo)?
+            };
+            rel.project_out(eliminate).with_columns(cols)
+        }
+    };
+    finish(memo, key, result)
+}
+
+/// Folds a join's children left to right with **early projection**: a variable
+/// from `eliminate` is projected out as soon as no remaining operand mentions
+/// it (`∃y (φ ∧ ψ) = (∃y φ) ∧ ψ` when `y ∉ free(ψ)`), so intermediate results
+/// collapse before they are multiplied further.  Returns `None` when the join
+/// annihilates early — the remaining operands cannot revive it (their schema
+/// errors were surfaced by the upfront validation).  Variables of `eliminate`
+/// still present in the result are the caller's to project.
+fn eval_join_fold<T: Theory>(
+    children: &[Plan<T>],
+    eliminate: &[Var],
+    instance: &Instance<T>,
+    memo: &mut HashMap<usize, Relation<T>>,
+) -> Result<Option<Relation<T>>, EvalError> {
+    let mut acc: Option<Relation<T>> = None;
+    for (i, child) in children.iter().enumerate() {
+        let rel = eval_plan(child, instance, memo)?;
+        let mut joined = match acc {
+            None => rel,
+            Some(prev) => prev.join(&rel),
+        };
+        let dead: Vec<Var> = eliminate
+            .iter()
+            .filter(|v| {
+                joined.vars().contains(v) && !children[i + 1..].iter().any(|c| c.cols().contains(v))
+            })
+            .cloned()
+            .collect();
+        if !dead.is_empty() {
+            joined = joined.project_out(&dead);
+        }
+        if joined.is_empty() {
+            return Ok(None);
+        }
+        acc = Some(joined);
+    }
+    Ok(Some(acc.expect("join nodes have at least two children")))
+}
+
+fn finish<T: Theory>(
+    memo: &mut HashMap<usize, Relation<T>>,
+    key: usize,
+    result: Relation<T>,
+) -> Result<Relation<T>, EvalError> {
+    memo.insert(key, result.clone());
+    Ok(result)
+}
+
+fn fetch<T: Theory>(
+    instance: &Instance<T>,
+    name: &RelName,
+    arity: usize,
+) -> Result<Relation<T>, EvalError> {
+    let rel = instance
+        .get(name)
+        .ok_or_else(|| EvalError::UnknownRelation(name.to_string()))?;
+    if rel.arity() != arity {
+        return Err(EvalError::ArityMismatch {
+            relation: name.to_string(),
+            expected: rel.arity(),
+            found: arity,
+        });
+    }
+    Ok(rel)
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Evaluates a (possibly non-Boolean) query `{free | formula}` on an instance
+/// with the **relational-algebra evaluator**, producing the answer relation
+/// over the listed free variables.
+///
+/// The formula is compiled to a hash-consed plan and evaluated with sub-plan
+/// memoization; see the module documentation.  For one-shot evaluation this
+/// convenience compiles and evaluates in one call — callers re-evaluating the
+/// same query on changing instances (the Datalog engine) should compile once
+/// via [`compile_query`].
 ///
 /// # Errors
 /// Returns an error if the formula mentions undeclared relations or uses them with the
@@ -201,10 +1063,7 @@ pub fn eval_query<T: Theory>(
     free: &[Var],
     instance: &Instance<T>,
 ) -> Result<Relation<T>, EvalError> {
-    let mut counter = 0usize;
-    let expanded = expand_relations(formula, instance, &mut counter)?;
-    let tuples = eval_formula::<T>(&expanded);
-    Ok(Relation::new(free.to_vec(), tuples))
+    compile_query(formula, free).eval(instance)
 }
 
 /// Evaluates a Boolean query (sentence) on an instance.
@@ -259,13 +1118,24 @@ mod tests {
         inst
     }
 
+    /// Both evaluators on the same query must produce equivalent relations.
+    fn both(q: &F, free: &[Var], inst: &Instance<DenseOrder>) -> Relation<DenseOrder> {
+        let algebraic = eval_query(q, free, inst).unwrap();
+        let expand = eval_query_expand(q, free, inst).unwrap();
+        assert!(
+            algebraic.equivalent(&expand),
+            "evaluators disagree on {q}: algebraic {algebraic} vs expand {expand}"
+        );
+        algebraic
+    }
+
     #[test]
     fn selection_query() {
         // {x | R(x) ∧ x < 5}
         let inst = interval_instance();
         let q: F = Formula::rel("R", [Term::var("x")])
             .and(Formula::Atom(DenseAtom::lt(Term::var("x"), Term::cst(5))));
-        let ans = eval_query(&q, &[Var::new("x")], &inst).unwrap();
+        let ans = both(&q, &[Var::new("x")], &inst);
         assert!(ans.contains(&[r(3)]));
         assert!(!ans.contains(&[r(7)]));
         assert!(!ans.contains(&[r(25)]));
@@ -276,7 +1146,7 @@ mod tests {
         // {x | ∃y. S(x, y)} = {1, 2, 3}
         let inst = interval_instance();
         let q: F = Formula::exists(["y"], Formula::rel("S", [Term::var("x"), Term::var("y")]));
-        let ans = eval_query(&q, &[Var::new("x")], &inst).unwrap();
+        let ans = both(&q, &[Var::new("x")], &inst);
         assert!(ans.contains(&[r(1)]) && ans.contains(&[r(2)]) && ans.contains(&[r(3)]));
         assert!(!ans.contains(&[r(4)]));
     }
@@ -290,7 +1160,7 @@ mod tests {
             Formula::rel("S", [Term::var("x"), Term::var("y")])
                 .and(Formula::rel("S", [Term::var("y"), Term::var("z")])),
         );
-        let ans = eval_query(&q, &[Var::new("x"), Var::new("z")], &inst).unwrap();
+        let ans = both(&q, &[Var::new("x"), Var::new("z")], &inst);
         assert!(ans.contains(&[r(1), r(3)]));
         assert!(ans.contains(&[r(2), r(4)]));
         assert!(!ans.contains(&[r(1), r(2)]));
@@ -313,6 +1183,8 @@ mod tests {
         );
         assert!(eval_sentence(&holds, &inst).unwrap());
         assert!(!eval_sentence(&fails, &inst).unwrap());
+        assert!(eval_sentence_expand(&holds, &inst).unwrap());
+        assert!(!eval_sentence_expand(&fails, &inst).unwrap());
     }
 
     #[test]
@@ -323,7 +1195,7 @@ mod tests {
             .not()
             .and(Formula::Atom(DenseAtom::le(Term::cst(0), Term::var("x"))))
             .and(Formula::Atom(DenseAtom::le(Term::var("x"), Term::cst(30))));
-        let ans = eval_query(&q, &[Var::new("x")], &inst).unwrap();
+        let ans = both(&q, &[Var::new("x")], &inst);
         assert!(ans.contains(&[r(15)]));
         assert!(!ans.contains(&[r(5)]));
         assert!(!ans.contains(&[r(25)]));
@@ -362,6 +1234,8 @@ mod tests {
         let q_false: F = Formula::rel("R", [Term::cst(15)]);
         assert!(eval_sentence(&q_true, &inst).unwrap());
         assert!(!eval_sentence(&q_false, &inst).unwrap());
+        assert!(eval_sentence_expand(&q_true, &inst).unwrap());
+        assert!(!eval_sentence_expand(&q_false, &inst).unwrap());
     }
 
     #[test]
@@ -369,7 +1243,7 @@ mod tests {
         // {x | S(x, x)} is empty for our S.
         let inst = interval_instance();
         let q: F = Formula::rel("S", [Term::var("x"), Term::var("x")]);
-        let ans = eval_query(&q, &[Var::new("x")], &inst).unwrap();
+        let ans = both(&q, &[Var::new("x")], &inst);
         assert!(ans.is_empty());
     }
 
@@ -386,6 +1260,16 @@ mod tests {
             eval_query(&wrong_arity, &[Var::new("x")], &inst),
             Err(EvalError::ArityMismatch { .. })
         ));
+        // Errors surface even from sub-formulas the plan simplifier prunes.
+        let pruned: F = Formula::False.and(Formula::rel("T", [Term::var("x")]));
+        assert!(matches!(
+            eval_query(&pruned, &[Var::new("x")], &inst),
+            Err(EvalError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            eval_query_expand(&pruned, &[Var::new("x")], &inst),
+            Err(EvalError::UnknownRelation(_))
+        ));
     }
 
     #[test]
@@ -394,11 +1278,100 @@ mod tests {
         let inst = interval_instance();
         let q: F = Formula::rel("R", [Term::var("x")])
             .and(Formula::Atom(DenseAtom::lt(Term::var("x"), Term::cst(5))));
-        let ans = eval_query(&q, &[Var::new("x")], &inst).unwrap();
+        let ans = both(&q, &[Var::new("x")], &inst);
         let schema = Schema::from_pairs([("A", 1)]);
         let mut inst2 = Instance::new(schema);
         inst2.set("A", ans);
         let q2: F = Formula::exists(["x"], Formula::rel("A", [Term::var("x")]));
         assert!(eval_sentence(&q2, &inst2).unwrap());
+    }
+
+    #[test]
+    fn repeated_subformulas_are_hash_consed_and_memoized() {
+        // φ ↔ ψ duplicates both sides; hash-consing must collapse the copies.
+        let phi: F = Formula::exists(["y"], Formula::rel("S", [Term::var("x"), Term::var("y")]));
+        let psi: F = Formula::rel("R", [Term::var("x")]);
+        let q = phi.clone().iff(psi.clone());
+        let compiled = compile_query::<DenseOrder>(&q, &[Var::new("x")]);
+        // The naive tree has two copies of φ and ψ each (plus complements);
+        // the DAG must contain a single φ node.
+        let duplicated = {
+            let tree: F = Formula::disj([phi.clone().not().and(psi.clone()), psi.not().and(phi)]);
+            compile_query::<DenseOrder>(&tree, &[Var::new("x")])
+        };
+        assert!(compiled.plan().node_count() <= duplicated.plan().node_count());
+        // And the evaluation agrees with the baseline.
+        let inst = interval_instance();
+        let a = compiled.eval(&inst).unwrap();
+        let b = eval_query_expand(&q, &[Var::new("x")], &inst).unwrap();
+        assert!(a.equivalent(&b));
+    }
+
+    #[test]
+    fn compiled_queries_are_reusable_across_instances() {
+        let q: F = Formula::exists(["y"], Formula::rel("S", [Term::var("x"), Term::var("y")]));
+        let compiled = compile_query::<DenseOrder>(&q, &[Var::new("x")]);
+        let inst = interval_instance();
+        let a = compiled.eval(&inst).unwrap();
+        assert!(a.contains(&[r(1)]));
+        // Second instance with a different S.
+        let mut inst2 = Instance::new(Schema::from_pairs([("R", 1), ("S", 2)]));
+        inst2.set(
+            "S",
+            Relation::from_points(vec![Var::new("x"), Var::new("y")], vec![vec![r(7), r(8)]]),
+        );
+        let b = compiled.eval(&inst2).unwrap();
+        assert!(b.contains(&[r(7)]));
+        assert!(!b.contains(&[r(1)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn queries_over_the_fresh_namespace_are_rejected() {
+        // Capture regression: a query whose variable is literally named `#0`
+        // would shadow the first fresh variable minted by relation expansion.
+        // Constructing it now fails loudly at the variable, before any
+        // expansion can capture.
+        let q: F = Formula::exists(
+            ["#0"],
+            Formula::rel("R", [Term::var("#0")])
+                .and(Formula::Atom(DenseAtom::lt(Term::var("#0"), Term::cst(5)))),
+        );
+        let _ = eval_query(&q, &[], &interval_instance());
+    }
+
+    #[test]
+    fn near_miss_fresh_names_do_not_confuse_expansion() {
+        // Legal names resembling the fresh pattern ("f0", "x0") expand and
+        // evaluate correctly on both paths.
+        let schema = Schema::from_pairs([("S", 2)]);
+        let mut inst: Instance<DenseOrder> = Instance::new(schema);
+        inst.set(
+            "S",
+            Relation::from_points(
+                vec![Var::new("f0"), Var::new("f1")],
+                vec![vec![r(1), r(2)], vec![r(2), r(3)]],
+            ),
+        );
+        let q: F = Formula::exists(
+            ["f1"],
+            Formula::rel("S", [Term::var("f0"), Term::var("f1")])
+                .and(Formula::rel("S", [Term::var("f1"), Term::var("x0")])),
+        );
+        let ans = both(&q, &[Var::new("f0"), Var::new("x0")], &inst);
+        assert!(ans.contains(&[r(1), r(3)]));
+        assert!(!ans.contains(&[r(2), r(3)]));
+    }
+
+    #[test]
+    fn plan_simplifier_folds_constants_and_double_negation() {
+        let q: F = Formula::True.and(Formula::rel("R", [Term::var("x")]).not().not());
+        let compiled = compile_query::<DenseOrder>(&q, &[Var::new("x")]);
+        // ⊤ ∧ ¬¬R(x) collapses to the bare rename leaf.
+        assert_eq!(compiled.plan().node_count(), 1);
+        assert_eq!(compiled.plan().to_string(), "R(x)");
+        let inst = interval_instance();
+        let ans = both(&q, &[Var::new("x")], &inst);
+        assert!(ans.contains(&[r(5)]));
     }
 }

@@ -23,9 +23,22 @@ pub struct Var(Sym);
 
 impl Var {
     /// Creates a variable with the given name (interning it).
+    ///
+    /// # Panics
+    /// Panics if the name starts with `#`: that namespace is reserved for the
+    /// internally generated fresh variables of [`Var::fresh`].  Accepting such
+    /// names would let a user variable shadow a fresh one, and the relation
+    /// expansion of the FO evaluator could then capture it silently — the
+    /// reservation turns that latent capture into an immediate, loud error.
     #[must_use]
     pub fn new(name: impl AsRef<str>) -> Self {
-        Var(Sym::new(name.as_ref()))
+        let name = name.as_ref();
+        assert!(
+            !name.starts_with('#'),
+            "variable name {name:?} is reserved: the '#' prefix belongs to \
+             internally generated fresh variables"
+        );
+        Var(Sym::new(name))
     }
 
     /// The variable's name.
@@ -40,11 +53,12 @@ impl Var {
         self.0
     }
 
-    /// A fresh variable guaranteed (by naming convention `#k`) not to clash with any
-    /// user-written variable, given a monotone counter.
+    /// A fresh variable guaranteed not to clash with any user-written
+    /// variable, given a monotone counter: fresh names live in the `#k`
+    /// namespace, which [`Var::new`] rejects for user code.
     #[must_use]
     pub fn fresh(counter: &mut usize) -> Var {
-        let v = Var::new(format!("#{counter}"));
+        let v = Var(Sym::new(&format!("#{counter}")));
         *counter += 1;
         v
     }
@@ -75,6 +89,9 @@ impl From<String> for Var {
 }
 
 impl From<Sym> for Var {
+    /// Wraps an already interned symbol **without** the reserved-namespace
+    /// check of [`Var::new`] — the internal escape hatch for machinery that
+    /// round-trips existing variables through their symbols.
     fn from(s: Sym) -> Self {
         Var(s)
     }
@@ -509,5 +526,21 @@ mod tests {
         let a = Var::fresh(&mut c);
         let b = Var::fresh(&mut c);
         assert_ne!(a, b);
+        assert!(a.name().starts_with('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn user_variables_cannot_shadow_fresh_names() {
+        // A user variable literally named `#0` would shadow the first fresh
+        // variable of relation expansion and could be captured silently; the
+        // constructor rejects the whole `#` namespace instead.
+        let _ = Var::new("#0");
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_namespace_is_rejected_through_conversions_too() {
+        let _: Var = String::from("#17").into();
     }
 }

@@ -497,15 +497,128 @@ impl<T: Theory> Relation<T> {
             self.vars, other.vars,
             "intersection of relations over different columns"
         );
-        let mut tuples = Vec::new();
-        for a in &self.tuples {
-            for b in &other.tuples {
-                let mut atoms = a.atoms().to_vec();
-                atoms.extend(b.atoms().iter().cloned());
-                tuples.push(GenTuple::new(atoms));
+        self.join(other)
+    }
+
+    /// Natural join with another relation: the columns are the union of the
+    /// two column lists (`self`'s order first), and a tuple pair contributes
+    /// the conjunction of its atoms.
+    ///
+    /// Two layers of pruning run off the **cached** tuple contexts, with no
+    /// context construction in the inner loop:
+    ///
+    /// 1. **Hash partitioning** — when the relations share a column, tuples
+    ///    are bucketed by the constant that column is pinned to
+    ///    ([`Theory::ctx_pinned`]); a pinned tuple meets only the matching
+    ///    bucket plus the unpinned wildcards, so finite (point-like)
+    ///    relations join in near-linear time instead of the quadratic pair
+    ///    space.
+    /// 2. **Compatibility filtering** — every surviving pair is screened by
+    ///    [`Theory::ctx_compatible`] (for dense order: strict-cycle detection
+    ///    across the two closures), dropping visibly conflicting pairs before
+    ///    the merged conjunction is built.
+    ///
+    /// Pairs passing both filters are canonicalized once by the final
+    /// [`Relation::new`], which also seeds the joined tuples' caches for
+    /// downstream operators.
+    #[must_use]
+    pub fn join(&self, other: &Relation<T>) -> Relation<T> {
+        let mut vars = self.vars.clone();
+        for v in other.vars() {
+            if !vars.contains(v) {
+                vars.push(v.clone());
             }
         }
-        Relation::new(self.vars.clone(), tuples)
+        // Partition the right side by the pinned value of the first shared
+        // column (if any): `wild` holds the tuples that do not pin it.
+        let bucket_var = self.vars.iter().find(|v| other.vars.contains(v));
+        let mut buckets: BTreeMap<Rat, Vec<usize>> = BTreeMap::new();
+        let mut wild: Vec<usize> = Vec::new();
+        if let Some(bv) = bucket_var {
+            for (j, b) in other.tuples.iter().enumerate() {
+                match b.with_ctx::<T, _>(|cb| T::ctx_pinned(cb, bv)) {
+                    Some(c) => buckets.entry(c).or_default().push(j),
+                    None => wild.push(j),
+                }
+            }
+        }
+        let all: Vec<usize> = (0..other.tuples.len()).collect();
+        let mut tuples = Vec::new();
+        let mut candidates: Vec<usize> = Vec::new();
+        for a in &self.tuples {
+            let rhs: &[usize] = match bucket_var {
+                None => &all,
+                Some(bv) => match a.with_ctx::<T, _>(|ca| T::ctx_pinned(ca, bv)) {
+                    // Pinned left tuple: only the matching bucket and the
+                    // wildcards can be jointly satisfiable (a tuple pinning
+                    // the shared column to a different constant conflicts).
+                    Some(c) => {
+                        candidates.clear();
+                        if let Some(bucket) = buckets.get(&c) {
+                            candidates.extend_from_slice(bucket);
+                        }
+                        candidates.extend_from_slice(&wild);
+                        &candidates
+                    }
+                    None => &all,
+                },
+            };
+            a.with_ctx::<T, _>(|ca| {
+                for &j in rhs {
+                    let b = &other.tuples[j];
+                    if !b.with_ctx::<T, _>(|cb| T::ctx_compatible(ca, cb)) {
+                        continue;
+                    }
+                    let mut atoms = a.atoms().to_vec();
+                    atoms.extend(b.atoms().iter().cloned());
+                    tuples.push(GenTuple::new(atoms));
+                }
+            });
+        }
+        Relation::new(vars, tuples)
+    }
+
+    /// Projects the listed columns *out* of the relation by quantifier
+    /// elimination (`∃ drop . self`), keeping the remaining columns in order.
+    /// Variables in `drop` that are not columns are eliminated from the tuples
+    /// all the same (a no-op for tuples that do not mention them), so plans
+    /// may project away variables contributed only by pruned sub-plans.
+    #[must_use]
+    pub fn project_out(&self, drop: &[Var]) -> Relation<T> {
+        if drop.is_empty() {
+            return self.clone();
+        }
+        let keep: Vec<Var> = self
+            .vars
+            .iter()
+            .filter(|v| !drop.contains(v))
+            .cloned()
+            .collect();
+        let mut tuples = Vec::new();
+        for t in &self.tuples {
+            tuples.extend(eliminate_tuple::<T>(drop, t));
+        }
+        Relation::new(keep, tuples)
+    }
+
+    /// Reinterprets the relation over a superset (or reordering) of its
+    /// columns without touching the tuples: the relation is universal in the
+    /// added columns.  Used by the algebra evaluator to align union branches
+    /// and join results onto a node's declared column list.
+    ///
+    /// # Panics
+    /// Panics if a current column is missing from `vars`.
+    #[must_use]
+    pub fn with_columns(&self, vars: Vec<Var>) -> Relation<T> {
+        assert!(
+            self.vars.iter().all(|v| vars.contains(v)),
+            "with_columns must keep every existing column"
+        );
+        Relation {
+            vars,
+            tuples: self.tuples.clone(),
+            _theory: PhantomData,
+        }
     }
 
     /// Complement within `Qᵏ` (finitely representable relations are closed under

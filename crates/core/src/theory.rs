@@ -118,6 +118,36 @@ pub trait Theory: Sized + 'static {
     /// even for constants of `conclusion` that do not occur in the premise.
     fn ctx_entails(ctx: &Self::Ctx, conclusion: &[Self::A]) -> bool;
 
+    /// A cheap **sound pre-filter** for joint satisfiability of two contexts:
+    /// returning `false` guarantees that the conjunction of the two underlying
+    /// conjunctions is unsatisfiable; returning `true` decides nothing.
+    ///
+    /// This is the pruning hook of the relational-algebra evaluator's natural
+    /// join ([`crate::relation::Relation::join`]): candidate tuple pairs are
+    /// screened against both cached contexts *without* building the merged
+    /// context, and only surviving pairs pay for a full saturation (which is
+    /// then cached on the joined tuple).  The default accepts every pair;
+    /// theories override it with whatever conflict test their context answers
+    /// in sub-saturation time (dense order: pairwise strict-cycle detection
+    /// across the two closures).
+    fn ctx_compatible(_a: &Self::Ctx, _b: &Self::Ctx) -> bool {
+        true
+    }
+
+    /// The constant the context **pins** a variable to — `Some(c)` only when
+    /// the conjunction entails `var = c`.  Must be exact when returned:
+    /// `Some(c)` with the conjunction satisfiable by any other value of `var`
+    /// would let the join's hash partitioning drop valid pairs.  `None` is
+    /// always safe (the tuple is treated as a wildcard).
+    ///
+    /// [`crate::relation::Relation::join`] buckets tuples by the pinned value
+    /// of a shared column, so finite (point-like) relations join in near-linear
+    /// time instead of enumerating the quadratic pair space.  The default pins
+    /// nothing, which degrades joins to the filtered nested loop.
+    fn ctx_pinned(_ctx: &Self::Ctx, _var: &Var) -> Option<Rat> {
+        None
+    }
+
     /// Decides whether a conjunction of atoms is satisfiable over the context
     /// structure.
     fn satisfiable(conj: &[Self::A]) -> bool {

@@ -28,7 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use frdb_core::fo::{eval_query, EvalError};
+use frdb_core::fo::{compile_query, CompiledQuery, EvalError};
 use frdb_core::logic::{Formula, Term, Var};
 use frdb_core::relation::{GenTuple, Instance, Relation};
 use frdb_core::schema::{RelName, Schema};
@@ -484,18 +484,19 @@ impl<A: frdb_core::theory::Atom> Program<A> {
         // their deltas (initially empty, like the IDB itself).
         let (mut current, mut idb_state) = seed_state(edb, &idb, true);
 
-        // Precompute per rule: the full body, the delta variants (one per
-        // positive IDB literal), and whether the body mentions the IDB at all.
-        struct CompiledRule<A> {
+        // Compile each rule ONCE onto the relational-algebra evaluator: the
+        // full body and the delta variants (one per positive IDB literal)
+        // become reusable plans, re-evaluated against the changing instance
+        // every round without re-expanding or re-planning the formula.
+        struct CompiledRule<T: Theory> {
             head: RelName,
-            head_vars: Vec<Var>,
-            full_body: Formula<A>,
-            // (idb predicate whose delta gates the variant, rewritten body)
-            variants: Vec<(RelName, Formula<A>)>,
+            full_body: CompiledQuery<T>,
+            // (idb predicate whose delta gates the variant, rewritten body plan)
+            variants: Vec<(RelName, CompiledQuery<T>)>,
             mentions_idb: bool,
             has_literal_body: bool,
         }
-        let compiled: Vec<CompiledRule<A>> = self
+        let compiled: Vec<CompiledRule<T>> = self
             .rules
             .iter()
             .map(|rule| {
@@ -516,13 +517,12 @@ impl<A: frdb_core::theory::Atom> Program<A> {
                                 name.clone()
                             }
                         });
-                        (gate, body)
+                        (gate, compile_query::<T>(&body, &rule.head_vars))
                     })
                     .collect();
                 CompiledRule {
                     head: rule.head.clone(),
-                    head_vars: rule.head_vars.clone(),
-                    full_body: rule.body_formula(),
+                    full_body: compile_query::<T>(&rule.body_formula(), &rule.head_vars),
                     variants,
                     mentions_idb: rule.mentions_idb(&idb),
                     has_literal_body: rule.formula.is_none(),
@@ -539,7 +539,7 @@ impl<A: frdb_core::theory::Atom> Program<A> {
                 // Which evaluations does this rule need this round?
                 let derived: Option<Relation<T>> = if iteration == 0 {
                     // First round: every rule runs naively against the empty IDB.
-                    Some(eval_query(&rule.full_body, &rule.head_vars, &current)?)
+                    Some(rule.full_body.eval(&current)?)
                 } else if rule.has_literal_body && !rule.variants.is_empty() {
                     // Semi-naive: one variant per positive IDB literal, gated on
                     // that predicate's delta being nonempty.
@@ -551,7 +551,7 @@ impl<A: frdb_core::theory::Atom> Program<A> {
                         if gate_delta.is_empty() {
                             continue;
                         }
-                        let part = eval_query(body, &rule.head_vars, &current)?;
+                        let part = body.eval(&current)?;
                         acc = Some(match acc {
                             None => part,
                             Some(prev) => prev.union(&part.rename(prev.vars().to_vec())),
@@ -560,8 +560,8 @@ impl<A: frdb_core::theory::Atom> Program<A> {
                     acc
                 } else if rule.mentions_idb {
                     // Formula-bodied rule over the IDB: possibly non-monotone,
-                    // re-evaluate naively every round.
-                    Some(eval_query(&rule.full_body, &rule.head_vars, &current)?)
+                    // re-evaluate (its precompiled plan) every round.
+                    Some(rule.full_body.eval(&current)?)
                 } else {
                     // EDB-only rule: nothing new after the first round.
                     None
@@ -641,12 +641,18 @@ impl<A: frdb_core::theory::Atom> Program<A> {
         // Combined schema and state: EDB relations plus IDB predicates.
         let (mut current, mut idb_state) = seed_state(edb, &idb, false);
 
+        // Bodies are still planned once (the "naive" in naive evaluation is the
+        // full re-evaluation every round, not re-compilation).
+        let bodies: Vec<CompiledQuery<T>> = self
+            .rules
+            .iter()
+            .map(|rule| compile_query::<T>(&rule.body_formula(), &rule.head_vars))
+            .collect();
         for iteration in 0..self.max_iterations {
             let mut changed = false;
             let mut next_state = idb_state.clone();
-            for rule in &self.rules {
-                let body = rule.body_formula();
-                let delta = eval_query(&body, &rule.head_vars, &current)?;
+            for (rule, body) in self.rules.iter().zip(&bodies) {
+                let delta = body.eval(&current)?;
                 let existing = next_state
                     .get(&rule.head)
                     .expect("idb_schema lists every head predicate")
@@ -725,7 +731,7 @@ pub fn transitive_closure_program(
 mod tests {
     use super::*;
     use frdb_core::dense::{DenseAtom, DenseOrder};
-    use frdb_core::fo::eval_sentence;
+    use frdb_core::fo::{eval_query, eval_sentence};
     use frdb_num::Rat;
 
     fn r(v: i64) -> Rat {

@@ -55,8 +55,11 @@ pub use frdb_queries as queries;
 /// The most frequently used types and functions, re-exported for convenience.
 pub mod prelude {
     pub use frdb_core::dense::{CmpOp, DenseAtom, DenseOrder};
-    pub use frdb_core::encode::{database_size, encode_instance};
-    pub use frdb_core::fo::{eval_query, eval_sentence};
+    pub use frdb_core::encode::{database_size, encode_instance, EncodeError};
+    pub use frdb_core::fo::{
+        compile_query, eval_query, eval_query_expand, eval_sentence, eval_sentence_expand,
+        CompiledQuery, EvalError,
+    };
     pub use frdb_core::generic::Automorphism;
     pub use frdb_core::logic::{Formula, Term, Var};
     pub use frdb_core::relation::{GenTuple, Instance, Relation};

@@ -552,6 +552,26 @@ impl Theory for LinearOrder {
             })
         })
     }
+
+    fn ctx_pinned(ctx: &LinCtx, var: &Var) -> Option<Rat> {
+        if !ctx.satisfiable {
+            return None;
+        }
+        // A syntactic single-variable equality `c·var + d = 0` pins the
+        // variable to `-d/c`.  (Entailed equalities hiding behind several
+        // atoms are left unpinned — `None` is always sound for the join's
+        // hash partitioning.)
+        ctx.conj.iter().find_map(|a| {
+            if a.op != LinOp::Eq || a.expr.coeffs.len() != 1 {
+                return None;
+            }
+            let (v, c) = a.expr.coeffs.iter().next()?;
+            if v != var || c.is_zero() {
+                return None;
+            }
+            Some(-(&(&a.expr.constant / c)))
+        })
+    }
 }
 
 /// Convenience constructors for linear formulas over [`Term`]s.

@@ -31,7 +31,12 @@ fn between(z: &str, a: &str, b: &str) -> Formula<DenseAtom> {
 
 /// The sweep body of Example 6.3: `(x,y)` and `(u,v)` are in `R` and are joined by a
 /// vertical, horizontal, or diagonal segment entirely contained in `R`.
-fn sweep_body(r: &str) -> Formula<DenseAtom> {
+///
+/// Public so the evaluator-equivalence tests and the benchmark harness can run
+/// the paper's heaviest FO body (five relation atoms under nested negated
+/// quantifiers) as a standalone query.
+#[must_use]
+pub fn sweep_body(r: &str) -> Formula<DenseAtom> {
     let in_r = |a: &str, b: &str| Formula::rel(r, [Term::var(a), Term::var(b)]);
     // Vertical sweep: x = u and every (x, z) with z between y and v is in R.
     let vertical = Formula::conj([

@@ -63,5 +63,8 @@ fn main() {
     );
 
     // The registry is still a finitely representable database: report its size.
-    println!("registry size (encoding): {} symbols", database_size(&db));
+    println!(
+        "registry size (encoding): {} symbols",
+        database_size(&db).expect("well-formed instance")
+    );
 }

@@ -53,7 +53,7 @@ fn main() {
 
     println!(
         "database size (standard encoding of §4.2): {} symbols",
-        database_size(&db)
+        database_size(&db).expect("well-formed instance")
     );
 
     // Relational calculus: the projection of the region on the x axis.

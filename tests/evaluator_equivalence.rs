@@ -1,0 +1,246 @@
+//! Property tests pinning the relational-algebra evaluator against the
+//! expand-then-eliminate baseline of Section 4.1: on randomized formulas over
+//! both the dense-order and the linear theory, and on the whole `frdb_queries`
+//! FO catalog, the two must produce equivalent answer relations.
+
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::fo::{eval_query, eval_query_expand, eval_sentence, eval_sentence_expand};
+use frdb_core::logic::{Formula, Term, Var};
+use frdb_core::relation::Instance;
+use frdb_core::schema::Schema;
+use frdb_core::theory::Theory;
+use frdb_linear::{LinAtom, LinExpr, LinearOrder};
+use frdb_num::Rat;
+use frdb_queries::catalog::fo_catalog;
+use frdb_queries::convexity::{midpoint_convexity_sentence, to_linear_relation};
+use frdb_queries::workload::{random_graph, random_intervals, single_relation_instance};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Asserts that both evaluators agree on `{free | formula}` over `instance`.
+fn assert_evaluators_agree<T: Theory>(
+    formula: &Formula<T::A>,
+    free: &[Var],
+    instance: &Instance<T>,
+    label: &str,
+) where
+    T::A: std::fmt::Display,
+{
+    let algebraic = eval_query(formula, free, instance)
+        .unwrap_or_else(|e| panic!("{label}: algebraic evaluator failed: {e}"));
+    let expand = eval_query_expand(formula, free, instance)
+        .unwrap_or_else(|e| panic!("{label}: expand baseline failed: {e}"));
+    assert!(
+        algebraic.equivalent(&expand),
+        "{label}: evaluators disagree on {formula}\n  algebraic: {algebraic}\n  expand:    {expand}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Randomized dense-order formulas
+// ---------------------------------------------------------------------------
+
+fn rand_term(rng: &mut StdRng) -> Term {
+    match rng.gen_range(0..=4) {
+        0 => Term::var("x"),
+        1 => Term::var("y"),
+        2 => Term::var("z"),
+        _ => Term::cst(rng.gen_range(-2..=4)),
+    }
+}
+
+fn rand_dense_atom(rng: &mut StdRng) -> DenseAtom {
+    let (l, r) = (rand_term(rng), rand_term(rng));
+    match rng.gen_range(0..=2) {
+        0 => DenseAtom::lt(l, r),
+        1 => DenseAtom::le(l, r),
+        _ => DenseAtom::eq(l, r),
+    }
+}
+
+fn rand_dense_leaf(rng: &mut StdRng) -> Formula<DenseAtom> {
+    match rng.gen_range(0..=3) {
+        0 | 1 => Formula::Atom(rand_dense_atom(rng)),
+        2 => Formula::rel("R", [rand_term(rng)]),
+        _ => Formula::rel("S", [rand_term(rng), rand_term(rng)]),
+    }
+}
+
+fn rand_dense_formula(rng: &mut StdRng, depth: usize) -> Formula<DenseAtom> {
+    if depth == 0 {
+        return rand_dense_leaf(rng);
+    }
+    fn quant_var(rng: &mut StdRng) -> &'static str {
+        match rng.gen_range(0..=2) {
+            0 => "x",
+            1 => "y",
+            _ => "z",
+        }
+    }
+    match rng.gen_range(0..=9) {
+        0..=2 => Formula::And(
+            (0..rng.gen_range(2..=3))
+                .map(|_| rand_dense_formula(rng, depth - 1))
+                .collect(),
+        ),
+        3..=5 => Formula::Or(
+            (0..rng.gen_range(2..=3))
+                .map(|_| rand_dense_formula(rng, depth - 1))
+                .collect(),
+        ),
+        6 => rand_dense_formula(rng, depth - 1).not(),
+        7 => {
+            let v = quant_var(rng);
+            Formula::exists([v], rand_dense_formula(rng, depth - 1))
+        }
+        8 => {
+            let v = quant_var(rng);
+            Formula::forall([v], rand_dense_formula(rng, depth - 1))
+        }
+        _ => rand_dense_leaf(rng),
+    }
+}
+
+fn dense_instance(seed: u64) -> Instance<DenseOrder> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r = random_intervals(&mut rng, 2, 12);
+    let s = random_graph(&mut rng, 4, 4);
+    let mut inst = Instance::new(Schema::from_pairs([("R", 1), ("S", 2)]));
+    inst.set("R", r);
+    inst.set("S", s.rename(vec![Var::new("x"), Var::new("y")]));
+    inst
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn algebraic_matches_expand_on_random_dense_formulas(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let depth = rng.gen_range(1..=3);
+        let formula = rand_dense_formula(&mut rng, depth);
+        let free: Vec<Var> = formula.free_vars().into_iter().collect();
+        let inst = dense_instance(seed ^ 0xABCD);
+        assert_evaluators_agree(&formula, &free, &inst, "random dense formula");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized linear-constraint formulas (the algebra stays theory-generic)
+// ---------------------------------------------------------------------------
+
+fn rand_lin_expr(rng: &mut StdRng) -> LinExpr {
+    let mut e = LinExpr::constant(Rat::from_i64(rng.gen_range(-3..=3)));
+    for v in ["x", "y"] {
+        let c = rng.gen_range(-2..=2);
+        if c != 0 {
+            e = e.add(&LinExpr::var(v).scale(&Rat::from_i64(c)));
+        }
+    }
+    e
+}
+
+fn rand_lin_leaf(rng: &mut StdRng) -> Formula<LinAtom> {
+    if rng.gen_range(0..=2) == 0 {
+        let t = match rng.gen_range(0..=2) {
+            0 => Term::var("x"),
+            1 => Term::var("y"),
+            _ => Term::cst(rng.gen_range(0..=10)),
+        };
+        return Formula::rel("R", [t]);
+    }
+    let (l, r) = (rand_lin_expr(rng), rand_lin_expr(rng));
+    Formula::Atom(match rng.gen_range(0..=2) {
+        0 => LinAtom::lt(l, r),
+        1 => LinAtom::le(l, r),
+        _ => LinAtom::eq(l, r),
+    })
+}
+
+fn rand_lin_formula(rng: &mut StdRng, depth: usize) -> Formula<LinAtom> {
+    if depth == 0 {
+        return rand_lin_leaf(rng);
+    }
+    match rng.gen_range(0..=7) {
+        0 | 1 => Formula::And((0..2).map(|_| rand_lin_formula(rng, depth - 1)).collect()),
+        2 | 3 => Formula::Or((0..2).map(|_| rand_lin_formula(rng, depth - 1)).collect()),
+        4 => rand_lin_formula(rng, depth - 1).not(),
+        5 => Formula::exists(
+            [if rng.gen_range(0..=1) == 0 { "x" } else { "y" }],
+            rand_lin_formula(rng, depth - 1),
+        ),
+        _ => rand_lin_leaf(rng),
+    }
+}
+
+fn linear_instance(seed: u64) -> Instance<LinearOrder> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r = to_linear_relation(&random_intervals(&mut rng, 2, 10));
+    let mut inst = Instance::new(Schema::from_pairs([("R", 1)]));
+    inst.set("R", r);
+    inst
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn algebraic_matches_expand_on_random_linear_formulas(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let depth = rng.gen_range(1..=2);
+        let formula = rand_lin_formula(&mut rng, depth);
+        let free: Vec<Var> = formula.free_vars().into_iter().collect();
+        let inst = linear_instance(seed ^ 0x5EED);
+        assert_evaluators_agree(&formula, &free, &inst, "random linear formula");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The full FO catalog, on both engines
+// ---------------------------------------------------------------------------
+
+#[test]
+fn algebraic_matches_expand_on_the_full_catalog() {
+    for entry in fo_catalog() {
+        for (i, inst) in entry.instances.iter().enumerate() {
+            assert_evaluators_agree(
+                &entry.formula,
+                &entry.free,
+                inst,
+                &format!("catalog entry {} (instance {i})", entry.name),
+            );
+        }
+    }
+}
+
+#[test]
+fn midpoint_convexity_agrees_across_evaluators() {
+    // The Lemma 5.4 convexity query evaluated over the linear theory: a convex
+    // interval and a two-piece non-convex region.
+    for (seed, n) in [(1u64, 1usize), (2, 3)] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let region = random_intervals(&mut rng, n, 20);
+        let mut inst: Instance<LinearOrder> = Instance::new(Schema::from_pairs([("R", 1)]));
+        inst.set("R", to_linear_relation(&region));
+        let sentence = midpoint_convexity_sentence("R", 1);
+        let a = eval_sentence(&sentence, &inst).unwrap();
+        let b = eval_sentence_expand(&sentence, &inst).unwrap();
+        assert_eq!(a, b, "convexity verdicts disagree (seed {seed})");
+        let direct = frdb_queries::convexity::is_convex_1d(&region);
+        assert_eq!(a, direct, "evaluator disagrees with the direct algorithm");
+    }
+}
+
+#[test]
+fn single_relation_instances_round_trip_between_engines() {
+    // A smoke check that the catalog helpers stay aligned with the engines'
+    // column conventions after renames.
+    let mut rng = StdRng::seed_from_u64(9);
+    let inst = single_relation_instance("R", random_intervals(&mut rng, 3, 30));
+    let q: Formula<DenseAtom> = Formula::exists(["x"], Formula::rel("R", [Term::var("x")]));
+    assert_eq!(
+        eval_sentence(&q, &inst).unwrap(),
+        eval_sentence_expand(&q, &inst).unwrap()
+    );
+}
