@@ -22,7 +22,8 @@ fn path_instance(n: usize) -> Instance<frdb_core::dense::DenseOrder> {
             vec![Var::new("x"), Var::new("y")],
             (1..n as i64).map(|i| vec![Rat::from_i64(i), Rat::from_i64(i + 1)]),
         ),
-    );
+    )
+    .unwrap();
     inst
 }
 

@@ -20,7 +20,7 @@ pub fn interval_instance(n: usize) -> Instance<DenseOrder> {
     let mut rng = StdRng::seed_from_u64(n as u64 + 1);
     let rel = random_intervals(&mut rng, n, 10 * n as i64 + 10);
     let mut inst = Instance::new(Schema::from_pairs([("R", 1)]));
-    inst.set("R", rel);
+    inst.set("R", rel).expect("schema declares R");
     inst
 }
 
@@ -30,7 +30,7 @@ pub fn region_instance(n: usize) -> Instance<DenseOrder> {
     let mut rng = StdRng::seed_from_u64(n as u64 + 7);
     let rel = random_region2(&mut rng, n, 8 * n as i64 + 8);
     let mut inst = Instance::new(Schema::from_pairs([("R", 2)]));
-    inst.set("R", rel);
+    inst.set("R", rel).expect("schema declares R");
     inst
 }
 

@@ -1,0 +1,174 @@
+//! `frdb-cli`: run `.frdb` scripts, or start a REPL on an empty database.
+//!
+//! ```text
+//! frdb-cli script.frdb …    # execute scripts in order, exit non-zero on error
+//! frdb-cli                  # interactive REPL (:help, :quit)
+//! ```
+
+use frdb_cli::Session;
+use frdb_core::dense::DenseOrder;
+use frdb_lang::{parse_script, script_theory, ParseError, TheoryKind};
+use frdb_linear::LinearOrder;
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+frdb-cli — finitely representable databases, from text
+
+USAGE:
+  frdb-cli [SCRIPT.frdb ...]   execute scripts in order (non-zero exit on error)
+  frdb-cli                     start an interactive session
+
+A script is a sequence of statements:
+  theory dense;                          // or `theory linear` (header, optional)
+  schema R/2, S/1;                       // declare relations
+  R := {(x, y) | 0 <= x and x <= y};     // set a relation (tuples joined by `or`)
+  query q(x) := exists y. (R(x, y));     // define a query
+  run q;                                 // evaluate and print it
+  check forall x. (S(x) -> 0 <= x);      // print a sentence's truth value
+  assert exists x. (S(x));               // fail the script when false
+  program p { tc(x,y) :- R(x,y). tc(x,y) :- tc(x,z), R(z,y). }
+  fixpoint p;                            // run DATALOG¬ to its fixpoint
+  print tc;                              // print a relation";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.is_empty() {
+        return repl();
+    }
+    let stdout = std::io::stdout();
+    for path in &args {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let kind = match script_theory(&src) {
+            Ok(k) => k,
+            Err(e) => {
+                eprintln!("{}", e.render(path, &src));
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut session = Session::for_theory(kind);
+        let mut out = stdout.lock();
+        let _ = writeln!(out, "== {path} ({} theory)", kind.name());
+        if let Err(e) = session.execute_source(&src, &mut out) {
+            drop(out);
+            eprintln!("{}", e.render(path, &src));
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The interactive loop: statements accumulate until they parse (so multi-line
+/// input works), `:quit` leaves, `:help` prints the usage text.
+fn repl() -> ExitCode {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut session: Option<Session> = None;
+    let mut buffer = String::new();
+    println!("frdb-cli — type statements ending in `;` (:help for help, :quit to leave)");
+    loop {
+        {
+            let mut out = stdout.lock();
+            let _ = write!(
+                out,
+                "{}",
+                if buffer.is_empty() {
+                    "frdb> "
+                } else {
+                    "....> "
+                }
+            );
+            let _ = out.flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => return ExitCode::SUCCESS, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("error reading input: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() {
+            match trimmed {
+                "" => continue,
+                ":quit" | ":q" | ":exit" => return ExitCode::SUCCESS,
+                ":help" | ":h" => {
+                    println!("{USAGE}");
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        buffer.push_str(&line);
+        let src = buffer.clone();
+        // The theory for this input: the session's once one exists, otherwise
+        // whatever the buffer's header declares (dense by default).
+        let kind = match &session {
+            Some(s) => s.kind(),
+            None => match script_theory(&src) {
+                Ok(kind) => kind,
+                Err(e) if e.at_eof => continue,
+                Err(e) => {
+                    eprintln!("{}", e.render("<repl>", &src));
+                    buffer.clear();
+                    continue;
+                }
+            },
+        };
+        // A dry parse first: an unexpected-end-of-input error means the
+        // statement continues on the next line, so keep accumulating.
+        match dry_parse(kind, &src) {
+            Err(e) if e.at_eof => continue,
+            Err(e) => {
+                eprintln!("{}", e.render("<repl>", &src));
+                buffer.clear();
+                continue;
+            }
+            Ok(stmts) => {
+                // Don't pin the session's theory on content-free input (blank
+                // lines, comments) — a later `theory linear;` must still work.
+                if session.is_none() && stmts == 0 && !has_theory_header(&src) {
+                    buffer.clear();
+                    continue;
+                }
+            }
+        }
+        let current = session.get_or_insert_with(|| Session::for_theory(kind));
+        let mut out = stdout.lock();
+        let result = current.execute_source(&src, &mut out);
+        drop(out);
+        if let Err(e) = result {
+            eprintln!("{}", e.render("<repl>", &src));
+        }
+        buffer.clear();
+    }
+}
+
+/// Parses without executing, to classify incomplete vs malformed input;
+/// returns the statement count on success.
+fn dry_parse(kind: TheoryKind, src: &str) -> Result<usize, ParseError> {
+    match kind {
+        TheoryKind::Dense => parse_script::<DenseOrder>(src).map(|s| s.stmts.len()),
+        TheoryKind::Linear => parse_script::<LinearOrder>(src).map(|s| s.stmts.len()),
+    }
+}
+
+/// Whether the input opens with an explicit `theory …` header.
+fn has_theory_header(src: &str) -> bool {
+    matches!(
+        frdb_lang::lexer::lex(src).ok().and_then(|t| t.into_iter().next()),
+        Some(tok) if matches!(&tok.tok, frdb_lang::lexer::Tok::Ident(w) if w == "theory")
+    )
+}

@@ -1,0 +1,344 @@
+//! End-to-end tests for the script runner: every example script executes, the
+//! Fig. 8 catalog text files parse to exactly the Rust-built catalog ASTs, and
+//! the land-registry script reproduces the Rust example's results.
+
+use frdb_cli::{dense_relation, Session};
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::logic::{Term, Var};
+use frdb_core::relation::{GenTuple, Instance, Relation};
+use frdb_core::schema::Schema;
+use frdb_lang::{parse_script, script_theory, Stmt};
+use frdb_queries::catalog::fo_catalog;
+use std::path::PathBuf;
+
+fn scripts_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/scripts")
+}
+
+fn read(path: &PathBuf) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"))
+}
+
+fn run_script(path: &PathBuf) -> (Session, String) {
+    let src = read(path);
+    let kind = script_theory(&src).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+    let mut session = Session::for_theory(kind);
+    let mut out = Vec::new();
+    session
+        .execute_source(&src, &mut out)
+        .unwrap_or_else(|e| panic!("{path:?} failed:\n{}", e.render("script", &src)));
+    (session, String::from_utf8(out).expect("utf-8 output"))
+}
+
+#[test]
+fn every_example_script_executes() {
+    let dir = scripts_dir();
+    let mut count = 0;
+    for sub in [dir.clone(), dir.join("catalog")] {
+        for entry in std::fs::read_dir(&sub).expect("scripts directory") {
+            let path = entry.expect("dir entry").path();
+            if path.extension().is_some_and(|e| e == "frdb") {
+                run_script(&path);
+                count += 1;
+            }
+        }
+    }
+    assert!(
+        count >= 13,
+        "expected the full script corpus, found {count}"
+    );
+}
+
+/// Every Fig. 8 catalog entry re-expressed as text parses to **exactly** the
+/// Rust-built AST: same formula, same answer variables.
+#[test]
+fn catalog_text_files_are_ast_identical_to_the_rust_catalog() {
+    for entry in fo_catalog() {
+        let path = scripts_dir()
+            .join("catalog")
+            .join(format!("{}.frdb", entry.name));
+        let src = read(&path);
+        let script = parse_script::<DenseOrder>(&src)
+            .unwrap_or_else(|e| panic!("{path:?}:\n{}", e.render("script", &src)));
+        let wanted = entry.name.replace('-', "_");
+        let query = script
+            .stmts
+            .iter()
+            .find_map(|s| match &s.node {
+                Stmt::Query {
+                    name,
+                    free,
+                    formula,
+                } if *name == wanted => Some((free.clone(), formula.clone())),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("{path:?} defines no query `{wanted}`"));
+        assert_eq!(query.0, entry.free, "{}: free variables differ", entry.name);
+        assert_eq!(
+            query.1, entry.formula,
+            "{}: parsed formula differs from the Rust AST",
+            entry.name
+        );
+    }
+}
+
+fn parcel(x0: i64, x1: i64, y0: i64, y1: i64) -> GenTuple<DenseAtom> {
+    GenTuple::new(vec![
+        DenseAtom::le(Term::cst(x0), Term::var("x")),
+        DenseAtom::le(Term::var("x"), Term::cst(x1)),
+        DenseAtom::le(Term::cst(y0), Term::var("y")),
+        DenseAtom::le(Term::var("y"), Term::cst(y1)),
+    ])
+}
+
+/// The land-registry script reproduces the Rust example end to end: the
+/// estates overlap and the materialized `disputed` relation equals the
+/// intersection computed through the relation algebra.
+#[test]
+fn land_registry_script_matches_the_rust_example() {
+    let path = scripts_dir().join("land_registry.frdb");
+    let (session, output) = run_script(&path);
+
+    // The Rust example's data, built through the API (examples/land_registry.rs).
+    let vars = vec![Var::new("x"), Var::new("y")];
+    let alice =
+        Relation::<DenseOrder>::new(vars.clone(), vec![parcel(0, 4, 0, 4), parcel(4, 8, 0, 2)]);
+    let bob = Relation::new(
+        vars.clone(),
+        vec![parcel(6, 10, 1, 5), parcel(20, 24, 0, 4)],
+    );
+
+    let script_alice = dense_relation(&session, "alice").expect("alice is set");
+    let script_bob = dense_relation(&session, "bob").expect("bob is set");
+    assert!(script_alice.equivalent(&alice.rename(script_alice.vars().to_vec())));
+    assert!(script_bob.equivalent(&bob.rename(script_bob.vars().to_vec())));
+
+    let disputed = dense_relation(&session, "disputed").expect("disputed is materialized");
+    let expected = alice.intersect(&bob.rename(vars));
+    assert!(
+        disputed.equivalent(&expected.rename(disputed.vars().to_vec())),
+        "script disputed = {disputed}, API intersection = {expected}"
+    );
+    assert!(!disputed.is_empty(), "the estates do overlap");
+    assert!(output.contains("check ∃x,y.((alice(x, y) ∧ bob(x, y))) = true"));
+}
+
+/// The quickstart script's shadow agrees with the API evaluation on the same
+/// region.
+#[test]
+fn quickstart_script_shadow_matches_api_evaluation() {
+    let path = scripts_dir().join("quickstart.frdb");
+    let (session, _) = run_script(&path);
+    let region = dense_relation(&session, "region").expect("region is set");
+    let shadow = dense_relation(&session, "shadow").expect("shadow is materialized");
+    let expected = region.project_out(&[Var::new("y")]);
+    assert!(shadow.equivalent(&expected.rename(shadow.vars().to_vec())));
+}
+
+/// `Instance`'s `Display` output is itself a loadable script: dump an instance
+/// built through the API, execute the dump, and compare states.
+#[test]
+fn instance_display_roundtrips_through_the_interpreter() {
+    let schema = Schema::from_pairs([("R", 1), ("S", 2)]);
+    let mut inst: Instance<DenseOrder> = Instance::new(schema);
+    inst.set(
+        "R",
+        Relation::new(
+            vec![Var::new("x")],
+            vec![GenTuple::new(vec![
+                DenseAtom::le(Term::cst(0), Term::var("x")),
+                DenseAtom::lt(Term::var("x"), Term::cst(7)),
+            ])],
+        ),
+    )
+    .unwrap();
+    inst.set(
+        "S",
+        Relation::from_points(
+            vec![Var::new("x"), Var::new("y")],
+            vec![vec![1.into(), 2.into()], vec![3.into(), 4.into()]],
+        ),
+    )
+    .unwrap();
+
+    let dumped = inst.to_string();
+    let mut session = Session::for_theory(frdb_lang::TheoryKind::Dense);
+    let mut out = Vec::new();
+    session
+        .execute_source(&dumped, &mut out)
+        .unwrap_or_else(|e| panic!("dump failed to load:\n{dumped}\n{e}"));
+    let reloaded_r = dense_relation(&session, "R").expect("R reloaded");
+    let reloaded_s = dense_relation(&session, "S").expect("S reloaded");
+    let orig_r = inst.get(&"R".into()).unwrap();
+    let orig_s = inst.get(&"S".into()).unwrap();
+    assert!(reloaded_r.equivalent(&orig_r.rename(reloaded_r.vars().to_vec())));
+    assert!(reloaded_s.equivalent(&orig_s.rename(reloaded_s.vars().to_vec())));
+}
+
+/// Regression: a query whose declared answer variables do not cover the
+/// formula's free variables is a typed error at `run` time — it used to build
+/// an ill-formed relation and panic later inside membership tests.
+#[test]
+fn uncovered_free_variables_are_an_error_not_a_panic() {
+    let src = "schema R/2;\nR := {(x, y) | x < y};\nquery bad(x) := R(x, y);\nrun bad;\n";
+    let mut session = Session::for_theory(frdb_lang::TheoryKind::Dense);
+    let mut out = Vec::new();
+    let err = session.execute_source(src, &mut out).unwrap_err();
+    assert!(
+        err.message.contains("free variable y"),
+        "unexpected error: {err}"
+    );
+}
+
+/// Regression: `fixpoint` can be re-run — both immediately and after new EDB
+/// facts arrive — instead of tripping over its own previously materialized
+/// intensional relations as shadowed EDB names.
+#[test]
+fn fixpoint_is_rerunnable_and_sees_new_facts() {
+    let mut session = Session::for_theory(frdb_lang::TheoryKind::Dense);
+    let mut out = Vec::new();
+    session
+        .execute_source(
+            "schema edge/2;\n\
+             edge := {(x, y) | x = 0 and y = 1};\n\
+             program p { tc(x, y) :- edge(x, y). tc(x, y) :- tc(x, z), edge(z, y). }\n\
+             fixpoint p;\n\
+             fixpoint p;\n\
+             assert tc(0, 1);\n\
+             assert not tc(0, 2);\n",
+            &mut out,
+        )
+        .expect("running the same program twice must work");
+    // Extend the EDB and re-run: the fixpoint reflects the new facts.
+    session
+        .execute_source(
+            "edge := {(x, y) | x = 0 and y = 1 or x = 1 and y = 2};\n\
+             fixpoint p;\n\
+             assert tc(0, 2);\n",
+            &mut out,
+        )
+        .expect("re-running after new facts must work");
+    // A program head genuinely colliding with a *user* relation still errors.
+    let err = session
+        .execute_source(
+            "schema tc2/2;\n\
+             tc2 := {(x, y) | x = 0 and y = 0};\n\
+             program q { tc2(x, y) :- edge(x, y). }\n\
+             fixpoint q;\n",
+            &mut out,
+        )
+        .unwrap_err();
+    assert!(err.message.contains("shadows"), "unexpected: {err}");
+}
+
+/// Regression: `run` refuses to clobber a stored *user* relation sharing the
+/// query's name, while re-running the same query still overwrites its own
+/// previous answer.
+#[test]
+fn run_never_clobbers_user_relations() {
+    let mut session = Session::for_theory(frdb_lang::TheoryKind::Dense);
+    let mut out = Vec::new();
+    let err = session
+        .execute_source(
+            "schema R/1;\nR := {(x) | 0 <= x and x <= 5};\n\
+             query R(x) := R(x) and x <= 1;\nrun R;\n",
+            &mut out,
+        )
+        .unwrap_err();
+    assert!(err.message.contains("cannot materialize"), "{err}");
+    // The base relation is untouched by the refused run.
+    let r = dense_relation(&session, "R").expect("R still stored");
+    assert!(r.contains(&[4.into()]));
+    // Re-running a differently named query twice overwrites its own answer.
+    session
+        .execute_source(
+            "query small(x) := R(x) and x <= 1;\nrun small;\nrun small;\nassert small(1);\n",
+            &mut out,
+        )
+        .expect("re-running a query is fine");
+}
+
+/// Regression: assigning over a `fixpoint`-derived relation hands it back to
+/// the user — the next `fixpoint` must error on the genuine collision instead
+/// of silently discarding the user's value.
+#[test]
+fn reassigned_derived_relations_are_user_relations_again() {
+    let mut session = Session::for_theory(frdb_lang::TheoryKind::Dense);
+    let mut out = Vec::new();
+    session
+        .execute_source(
+            "schema edge/2;\nedge := {(x, y) | x = 0 and y = 1};\n\
+             program p { tc(x, y) :- edge(x, y). }\nfixpoint p;\n",
+            &mut out,
+        )
+        .unwrap();
+    let err = session
+        .execute_source(
+            "schema tc/2;\ntc := {(x, y) | x = 5 and y = 5};\nfixpoint p;\n",
+            &mut out,
+        )
+        .unwrap_err();
+    assert!(err.message.contains("shadows"), "{err}");
+    // The user's assignment survived.
+    let tc = dense_relation(&session, "tc").expect("tc stored");
+    assert!(tc.contains(&[5.into(), 5.into()]));
+}
+
+/// Regression: relation names that are not ASCII identifiers — the engine's
+/// own `Δ`-prefixed EDB names are explicitly supported — survive the
+/// dump-and-reload round trip.
+#[test]
+fn unicode_relation_names_roundtrip_through_dumps() {
+    let schema = Schema::from_pairs([("Δedge", 2)]);
+    let mut inst: Instance<DenseOrder> = Instance::new(schema);
+    inst.set(
+        "Δedge",
+        Relation::from_points(
+            vec![Var::new("x"), Var::new("y")],
+            vec![vec![1.into(), 2.into()]],
+        ),
+    )
+    .unwrap();
+    let dumped = inst.to_string();
+    let mut session = Session::for_theory(frdb_lang::TheoryKind::Dense);
+    let mut out = Vec::new();
+    session
+        .execute_source(&dumped, &mut out)
+        .unwrap_or_else(|e| panic!("Δ-named dump failed to load:\n{dumped}\n{e}"));
+    let reloaded = dense_relation(&session, "Δedge").expect("Δedge reloaded");
+    assert!(reloaded.contains(&[1.into(), 2.into()]));
+}
+
+/// Regression: duplicate column variables — in relation literals and in query
+/// answer lists — are typed errors, not silently wrong membership answers.
+#[test]
+fn duplicate_columns_are_rejected() {
+    let mut session = Session::for_theory(frdb_lang::TheoryKind::Dense);
+    let mut out = Vec::new();
+    let err = session
+        .execute_source(
+            "schema R/2;\nR := {(x, x) | 0 <= x and x <= 5};\n",
+            &mut out,
+        )
+        .unwrap_err();
+    assert!(err.message.contains("repeated"), "{err}");
+    let err = session
+        .execute_source(
+            "schema S/1;\nS := {(x) | 0 <= x};\nquery q(x, x) := S(x);\nrun q;\n",
+            &mut out,
+        )
+        .unwrap_err();
+    assert!(err.message.contains("listed more than once"), "{err}");
+}
+
+/// Assertions fail loudly with the offending statement's span.
+#[test]
+fn failed_assertions_carry_their_span() {
+    let src = "schema R/1;\nR := {(x) | false};\nassert exists x. (R(x));\n";
+    let mut session = Session::for_theory(frdb_lang::TheoryKind::Dense);
+    let mut out = Vec::new();
+    let err = session.execute_source(src, &mut out).unwrap_err();
+    assert!(err.message.contains("assertion failed"));
+    let span = err.span.expect("span");
+    assert_eq!(&src[span.start..span.end], "assert exists x. (R(x));");
+}

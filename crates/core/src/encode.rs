@@ -540,12 +540,14 @@ mod tests {
     fn string_encoding_is_nonempty_and_monotone_in_content() {
         let schema = Schema::from_pairs([("R", 2)]);
         let mut small = Instance::new(schema.clone());
-        small.set("R", sample_relation());
+        small.set("R", sample_relation()).unwrap();
         let mut large = Instance::new(schema);
-        large.set(
-            "R",
-            sample_relation().union(&sample_relation().map_constants(&|c| c + &r(100))),
-        );
+        large
+            .set(
+                "R",
+                sample_relation().union(&sample_relation().map_constants(&|c| c + &r(100))),
+            )
+            .unwrap();
         let s1 = database_size(&small).unwrap();
         let s2 = database_size(&large).unwrap();
         assert!(s1 > 0);
@@ -560,21 +562,22 @@ mod tests {
     #[test]
     fn undeclared_variables_are_an_encoding_error() {
         // A tuple mentioning a variable outside the declared columns used to be
-        // silently encoded as column 0, corrupting `database_size`.
-        let rogue = Relation::new(
+        // silently encoded as column 0, corrupting `database_size`.  PR 2 made
+        // it an `EncodeError`; the construction-time validation of
+        // `Relation::try_new` now rejects such a relation before it can reach
+        // the encoder at all (the encoder's `UndeclaredVariable` variant stays
+        // as defense in depth).
+        let rogue = Relation::<DenseOrder>::try_new(
             vec![vx()],
             vec![GenTuple::new(vec![DenseAtom::lt(
                 Term::var("x"),
                 Term::var("zz"),
             )])],
         );
-        let err = encode_relation("R", &rogue).unwrap_err();
-        assert!(matches!(err, EncodeError::UndeclaredVariable { .. }));
-        let schema = Schema::from_pairs([("R", 1)]);
-        let mut inst = Instance::new(schema);
-        inst.set("R", rogue);
-        assert!(encode_instance(&inst).is_err());
-        assert!(database_size(&inst).is_err());
+        assert!(matches!(
+            rogue,
+            Err(crate::schema::SchemaError::TupleVariableOutsideColumns { .. })
+        ));
         // Well-formed relations still encode.
         assert!(encode_relation("R", &sample_relation()).is_ok());
     }
@@ -660,7 +663,7 @@ mod tests {
         // — the mechanism that lets Theorem 6.6 work on integer encodings.
         let schema = Schema::from_pairs([("R", 2)]);
         let mut inst = Instance::new(schema);
-        inst.set("R", sample_relation());
+        inst.set("R", sample_relation()).unwrap();
         let map = AdomMap::for_instance(&inst);
         let image = map.apply_instance(&inst);
         let back =

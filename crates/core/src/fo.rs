@@ -52,6 +52,22 @@ pub enum EvalError {
         /// Number of arguments in the atom.
         found: usize,
     },
+    /// The formula has a free variable missing from the requested answer-variable
+    /// list, so `{free | formula}` is not a well-formed query (Section 4.1 requires
+    /// the answer variables to cover the formula's free variables).  Evaluating
+    /// anyway used to build a relation whose tuples mention non-column variables —
+    /// ill-formed, and a later membership test would panic.
+    FreeVariableNotListed {
+        /// The uncovered free variable.
+        variable: String,
+    },
+    /// The requested answer-variable list repeats a variable; the answer
+    /// relation's columns must be distinct (point substitution binds a
+    /// repeated column only once, so membership answers would be wrong).
+    DuplicateAnswerVariable {
+        /// The repeated variable.
+        variable: String,
+    },
 }
 
 impl std::fmt::Display for EvalError {
@@ -66,6 +82,13 @@ impl std::fmt::Display for EvalError {
                 f,
                 "relation {relation} expects {expected} arguments but the atom has {found}"
             ),
+            EvalError::FreeVariableNotListed { variable } => write!(
+                f,
+                "free variable {variable} of the formula is not among the query's answer variables"
+            ),
+            EvalError::DuplicateAnswerVariable { variable } => {
+                write!(f, "answer variable {variable} is listed more than once")
+            }
         }
     }
 }
@@ -230,10 +253,36 @@ pub fn eval_query_expand<T: Theory>(
     free: &[Var],
     instance: &Instance<T>,
 ) -> Result<Relation<T>, EvalError> {
+    check_free_covered(formula, free)?;
     let mut counter = 0usize;
     let expanded = expand_relations(formula, instance, &mut counter)?;
     let tuples = eval_formula::<T>(&expanded);
     Ok(Relation::new(free.to_vec(), tuples))
+}
+
+/// Checks that the answer-variable list is duplicate-free and covers every
+/// free variable of the formula (the well-formedness conditions of Section
+/// 4.1's query definition).
+fn check_free_covered<A: Atom>(formula: &Formula<A>, free: &[Var]) -> Result<(), EvalError> {
+    if let Some(v) = duplicate_answer_var(free) {
+        return Err(EvalError::DuplicateAnswerVariable {
+            variable: v.to_string(),
+        });
+    }
+    match formula.free_vars().into_iter().find(|v| !free.contains(v)) {
+        None => Ok(()),
+        Some(v) => Err(EvalError::FreeVariableNotListed {
+            variable: v.to_string(),
+        }),
+    }
+}
+
+/// The first variable repeated in an answer-variable list, if any.
+fn duplicate_answer_var(free: &[Var]) -> Option<&Var> {
+    free.iter()
+        .enumerate()
+        .find(|(i, v)| free[..*i].contains(v))
+        .map(|(_, v)| v)
 }
 
 /// Evaluates a Boolean query (sentence) with the expand-then-eliminate
@@ -824,6 +873,14 @@ pub struct CompiledQuery<T: Theory> {
     /// schema validation (matching the error behavior of the expand baseline,
     /// which validates every atom before evaluating anything).
     rels: Vec<(RelName, usize)>,
+    /// Free variables of the source formula missing from `free` — recorded at
+    /// compile time, reported as a typed error on evaluation (a query whose
+    /// answer variables do not cover the formula is ill-formed, and evaluating
+    /// it would build relations whose tuples mention non-column variables).
+    uncovered: Vec<Var>,
+    /// A variable repeated in `free`, recorded at compile time and reported
+    /// as a typed error on evaluation (answer columns must be distinct).
+    dup_free: Option<Var>,
 }
 
 impl<T: Theory> Clone for CompiledQuery<T> {
@@ -832,6 +889,8 @@ impl<T: Theory> Clone for CompiledQuery<T> {
             plan: self.plan.clone(),
             free: self.free.clone(),
             rels: self.rels.clone(),
+            uncovered: self.uncovered.clone(),
+            dup_free: self.dup_free.clone(),
         }
     }
 }
@@ -849,10 +908,17 @@ pub fn compile_query<T: Theory>(formula: &Formula<T::A>, free: &[Var]) -> Compil
     let plan = builder.compile(formula);
     let mut rels = Vec::new();
     collect_rel_atoms(formula, &mut rels);
+    let uncovered = formula
+        .free_vars()
+        .into_iter()
+        .filter(|v| !free.contains(v))
+        .collect();
     CompiledQuery {
         plan,
         free: free.to_vec(),
         rels,
+        uncovered,
+        dup_free: duplicate_answer_var(free).cloned(),
     }
 }
 
@@ -877,6 +943,16 @@ impl<T: Theory> CompiledQuery<T> {
     /// Returns an error if the formula mentions undeclared relations or uses
     /// them with the wrong arity.
     pub fn eval(&self, instance: &Instance<T>) -> Result<Relation<T>, EvalError> {
+        if let Some(v) = &self.dup_free {
+            return Err(EvalError::DuplicateAnswerVariable {
+                variable: v.to_string(),
+            });
+        }
+        if let Some(v) = self.uncovered.first() {
+            return Err(EvalError::FreeVariableNotListed {
+                variable: v.to_string(),
+            });
+        }
         // Validate every relation atom upfront (compile-time simplification
         // may have pruned some from the plan; the source formula's errors must
         // surface regardless, as they do in the expand baseline).
@@ -913,7 +989,9 @@ fn eval_plan<T: Theory>(
     let result = match &plan.0.node {
         PlanNode::Empty => Relation::empty(cols),
         PlanNode::Universal => Relation::universal(cols),
-        PlanNode::Select(atoms) => Relation::new(cols, vec![GenTuple::new(atoms.clone())]),
+        PlanNode::Select(atoms) => {
+            Relation::simplified_unchecked(cols, vec![GenTuple::new(atoms.clone())])
+        }
         PlanNode::Rename { name, to } => {
             let rel = fetch(instance, name, to.len())?;
             rel.rename(to.clone())
@@ -939,7 +1017,7 @@ fn eval_plan<T: Theory>(
                     )
                 })
                 .collect();
-            Relation::new(cols, tuples)
+            Relation::simplified_unchecked(cols, tuples)
         }
         PlanNode::Join(children) => {
             let joined = eval_join_fold(children, &[], instance, memo)?;
@@ -954,11 +1032,11 @@ fn eval_plan<T: Theory>(
                 let rel = eval_plan(child, instance, memo)?;
                 tuples.extend(rel.tuples().iter().cloned());
             }
-            Relation::new(cols, tuples)
+            Relation::simplified_unchecked(cols, tuples)
         }
         PlanNode::Complement(input) => {
             let rel = eval_plan(input, instance, memo)?;
-            Relation::new(cols, negate_tuples::<T>(rel.tuples()))
+            Relation::simplified_unchecked(cols, negate_tuples::<T>(rel.tuples()))
         }
         PlanNode::Project { input, eliminate } => {
             let rel = if let PlanNode::Join(children) = &input.0.node {
@@ -1090,6 +1168,35 @@ mod tests {
 
     type F = Formula<DenseAtom>;
 
+    #[test]
+    fn uncovered_free_variables_are_a_typed_error_in_both_evaluators() {
+        // Regression: `{x | R(x, y)}` has the free variable y outside the
+        // answer list; both evaluators used to build a relation whose tuples
+        // mention a non-column variable, which panicked later inside
+        // membership substitution.  They must now report a typed error.
+        let schema = Schema::from_pairs([("R", 2)]);
+        let mut inst: Instance<DenseOrder> = Instance::new(schema);
+        inst.set(
+            "R",
+            Relation::from_dnf(
+                vec![Var::new("x"), Var::new("y")],
+                vec![vec![DenseAtom::lt(Term::var("x"), Term::var("y"))]],
+            ),
+        )
+        .unwrap();
+        let q: F = Formula::rel("R", [Term::var("x"), Term::var("y")]);
+        let free = [Var::new("x")];
+        let expected = EvalError::FreeVariableNotListed {
+            variable: "y".into(),
+        };
+        assert_eq!(eval_query(&q, &free, &inst).unwrap_err(), expected);
+        assert_eq!(eval_query_expand(&q, &free, &inst).unwrap_err(), expected);
+        // A superset of the free variables stays fine (universal in extras).
+        let wide = [Var::new("x"), Var::new("y"), Var::new("z")];
+        assert!(eval_query(&q, &wide, &inst).is_ok());
+        assert!(eval_query_expand(&q, &wide, &inst).is_ok());
+    }
+
     fn r(v: i64) -> Rat {
         Rat::from_i64(v)
     }
@@ -1107,14 +1214,16 @@ mod tests {
         inst.set(
             "R",
             Relation::new(vec![Var::new("x")], vec![seg(0, 10), seg(20, 30)]),
-        );
+        )
+        .unwrap();
         inst.set(
             "S",
             Relation::from_points(
                 vec![Var::new("x"), Var::new("y")],
                 vec![vec![r(1), r(2)], vec![r(2), r(3)], vec![r(3), r(4)]],
             ),
-        );
+        )
+        .unwrap();
         inst
     }
 
@@ -1281,7 +1390,7 @@ mod tests {
         let ans = both(&q, &[Var::new("x")], &inst);
         let schema = Schema::from_pairs([("A", 1)]);
         let mut inst2 = Instance::new(schema);
-        inst2.set("A", ans);
+        inst2.set("A", ans).unwrap();
         let q2: F = Formula::exists(["x"], Formula::rel("A", [Term::var("x")]));
         assert!(eval_sentence(&q2, &inst2).unwrap());
     }
@@ -1316,10 +1425,12 @@ mod tests {
         assert!(a.contains(&[r(1)]));
         // Second instance with a different S.
         let mut inst2 = Instance::new(Schema::from_pairs([("R", 1), ("S", 2)]));
-        inst2.set(
-            "S",
-            Relation::from_points(vec![Var::new("x"), Var::new("y")], vec![vec![r(7), r(8)]]),
-        );
+        inst2
+            .set(
+                "S",
+                Relation::from_points(vec![Var::new("x"), Var::new("y")], vec![vec![r(7), r(8)]]),
+            )
+            .unwrap();
         let b = compiled.eval(&inst2).unwrap();
         assert!(b.contains(&[r(7)]));
         assert!(!b.contains(&[r(1)]));
@@ -1352,7 +1463,8 @@ mod tests {
                 vec![Var::new("f0"), Var::new("f1")],
                 vec![vec![r(1), r(2)], vec![r(2), r(3)]],
             ),
-        );
+        )
+        .unwrap();
         let q: F = Formula::exists(
             ["f1"],
             Formula::rel("S", [Term::var("f0"), Term::var("f1")])

@@ -247,7 +247,8 @@ mod tests {
                     DenseAtom::le(Term::var("y"), Term::cst(20)),
                 ])],
             ),
-        );
+        )
+        .unwrap();
         let q = |i: &Instance<DenseOrder>| {
             let f: Formula<DenseAtom> = Formula::exists(
                 ["y"],
@@ -279,7 +280,8 @@ mod tests {
                     DenseAtom::le(Term::var("x"), Term::cst(10)),
                 ])],
             ),
-        );
+        )
+        .unwrap();
         let q = |i: &Instance<DenseOrder>| {
             let f: Formula<DenseAtom> = Formula::rel("R", [Term::var("x")])
                 .and(Formula::Atom(DenseAtom::lt(Term::var("x"), Term::cst(5))));

@@ -164,7 +164,8 @@ mod tests {
                     DenseAtom::le(Term::var("v"), Term::cst(1)),
                 ])],
             ),
-        );
+        )
+        .unwrap();
         inst
     }
 

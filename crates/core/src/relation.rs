@@ -12,7 +12,7 @@
 //! direct formula evaluation (Proposition 2.4).
 
 use crate::logic::{Formula, Term, Var};
-use crate::schema::{RelName, Schema};
+use crate::schema::{RelName, Schema, SchemaError};
 use crate::theory::{eval_conj, Atom, Conj, Dnf, Theory};
 use frdb_num::Rat;
 use std::any::Any;
@@ -368,8 +368,67 @@ impl<T: Theory> Clone for Relation<T> {
 impl<T: Theory> Relation<T> {
     /// Builds a relation from generalized tuples, canonicalizing and pruning
     /// unsatisfiable tuples.
+    ///
+    /// # Panics
+    /// Panics if a tuple mentions a variable outside `vars` — the invariant
+    /// every later operation (membership, joins, quantifier elimination)
+    /// relies on.  Checking here turns what used to be a panic deep inside
+    /// point substitution into an immediate construction-time failure; callers
+    /// handling untrusted input (file loaders, parsers) should use
+    /// [`Relation::try_new`], which reports the same violation as a typed
+    /// [`SchemaError`] instead.
     #[must_use]
     pub fn new(vars: Vec<Var>, tuples: Vec<GenTuple<T::A>>) -> Self {
+        match Relation::try_new(vars, tuples) {
+            Ok(rel) => rel,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a relation from generalized tuples, validating that the column
+    /// list is duplicate-free and that every tuple mentions only column
+    /// variables, then canonicalizing and pruning unsatisfiable tuples.
+    ///
+    /// # Errors
+    /// Returns [`SchemaError::DuplicateColumn`] if `vars` repeats a variable
+    /// (point substitution would silently bind only the last occurrence) and
+    /// [`SchemaError::TupleVariableOutsideColumns`] if a tuple mentions a
+    /// variable that is not one of `vars`.
+    pub fn try_new(vars: Vec<Var>, tuples: Vec<GenTuple<T::A>>) -> Result<Self, SchemaError> {
+        for (i, v) in vars.iter().enumerate() {
+            if vars[..i].contains(v) {
+                return Err(SchemaError::DuplicateColumn {
+                    variable: v.to_string(),
+                });
+            }
+        }
+        for tuple in &tuples {
+            for atom in tuple.atoms() {
+                if let Some(loose) = atom.vars().into_iter().find(|v| !vars.contains(v)) {
+                    return Err(SchemaError::TupleVariableOutsideColumns {
+                        variable: loose.to_string(),
+                        columns: vars.iter().map(ToString::to_string).collect(),
+                    });
+                }
+            }
+        }
+        Ok(Relation::simplified_unchecked(vars, tuples))
+    }
+
+    /// Canonicalizes and stores tuples **without** the loose-variable check —
+    /// the constructor for the relation algebra's internal operations (join,
+    /// projection, complement, …), which maintain the columns-cover-tuples
+    /// invariant by construction and sit on the evaluator's hot path.  Debug
+    /// builds still assert the invariant, so the test suite would catch an
+    /// operation violating it.
+    pub(crate) fn simplified_unchecked(vars: Vec<Var>, tuples: Vec<GenTuple<T::A>>) -> Self {
+        debug_assert!(
+            tuples
+                .iter()
+                .flat_map(GenTuple::atoms)
+                .all(|a| a.vars().iter().all(|v| vars.contains(v))),
+            "internal relation construction violated the column invariant"
+        );
         Relation {
             vars,
             tuples: simplify_tuples::<T>(tuples),
@@ -378,6 +437,10 @@ impl<T: Theory> Relation<T> {
     }
 
     /// Builds a relation directly from a DNF of conjunctions.
+    ///
+    /// # Panics
+    /// As for [`Relation::new`] when a conjunction mentions a variable outside
+    /// `vars`.
     #[must_use]
     pub fn from_dnf(vars: Vec<Var>, dnf: Dnf<T::A>) -> Self {
         Relation::new(vars, dnf.into_iter().map(GenTuple::new).collect())
@@ -484,7 +547,7 @@ impl<T: Theory> Relation<T> {
         );
         let mut tuples = self.tuples.clone();
         tuples.extend(other.tuples.iter().cloned());
-        Relation::new(self.vars.clone(), tuples)
+        Relation::simplified_unchecked(self.vars.clone(), tuples)
     }
 
     /// Intersection with another relation over the same columns.
@@ -575,7 +638,7 @@ impl<T: Theory> Relation<T> {
                 }
             });
         }
-        Relation::new(vars, tuples)
+        Relation::simplified_unchecked(vars, tuples)
     }
 
     /// Projects the listed columns *out* of the relation by quantifier
@@ -598,7 +661,7 @@ impl<T: Theory> Relation<T> {
         for t in &self.tuples {
             tuples.extend(eliminate_tuple::<T>(drop, t));
         }
-        Relation::new(keep, tuples)
+        Relation::simplified_unchecked(keep, tuples)
     }
 
     /// Reinterprets the relation over a superset (or reordering) of its
@@ -625,7 +688,7 @@ impl<T: Theory> Relation<T> {
     /// complement, Section 2.2).
     #[must_use]
     pub fn complement(&self) -> Relation<T> {
-        Relation::new(self.vars.clone(), negate_tuples::<T>(&self.tuples))
+        Relation::simplified_unchecked(self.vars.clone(), negate_tuples::<T>(&self.tuples))
     }
 
     /// The part of a single generalized tuple not covered by this relation:
@@ -650,7 +713,7 @@ impl<T: Theory> Relation<T> {
         for tuple in &self.tuples {
             tuples.extend(other.residual_of_tuple(tuple));
         }
-        Relation::new(self.vars.clone(), tuples)
+        Relation::simplified_unchecked(self.vars.clone(), tuples)
     }
 
     /// Containment `self ⊆ other` (both over the same columns), decided by checking
@@ -736,7 +799,7 @@ impl<T: Theory> Relation<T> {
             .iter()
             .map(|tuple| GenTuple::new(tuple.atoms().iter().map(|a| a.map_constants(f)).collect()))
             .collect();
-        Relation::new(self.vars.clone(), tuples)
+        Relation::simplified_unchecked(self.vars.clone(), tuples)
     }
 
     /// The quantifier-free formula representing the relation.
@@ -856,24 +919,67 @@ impl<T: Theory> Instance<T> {
         &self.schema
     }
 
+    /// Declares a relation symbol in place, extending the schema (a no-op when
+    /// already declared at the same arity).  Stored relations are untouched.
+    ///
+    /// # Errors
+    /// Returns [`SchemaError::ArityMismatch`] if the name is already declared
+    /// with a different arity.
+    pub fn declare(
+        &mut self,
+        name: impl Into<RelName>,
+        arity: usize,
+    ) -> Result<&mut Self, SchemaError> {
+        let name = name.into();
+        if let Some(declared) = self.schema.arity(&name) {
+            if declared != arity {
+                return Err(SchemaError::ArityMismatch {
+                    relation: name.to_string(),
+                    declared,
+                    found: arity,
+                });
+            }
+            return Ok(self);
+        }
+        self.schema.add(name, arity);
+        Ok(self)
+    }
+
+    /// Removes a relation symbol (and any stored value) from the instance;
+    /// returns the removed relation when one was stored.  Undeclared names are
+    /// a no-op returning `None`.
+    pub fn remove(&mut self, name: &RelName) -> Option<Relation<T>> {
+        let stored = self.relations.remove(name);
+        self.schema.remove(name);
+        stored
+    }
+
     /// Sets a relation.
     ///
-    /// # Panics
-    /// Panics if the relation name is not in the schema or its arity disagrees.
-    pub fn set(&mut self, name: impl Into<RelName>, relation: Relation<T>) -> &mut Self {
+    /// # Errors
+    /// Returns [`SchemaError::UndeclaredRelation`] if the relation name is not
+    /// in the schema, and [`SchemaError::ArityMismatch`] if the relation's
+    /// arity disagrees with the declaration.  (These used to be panics; a file
+    /// loader cannot panic on bad input.)
+    pub fn set(
+        &mut self,
+        name: impl Into<RelName>,
+        relation: Relation<T>,
+    ) -> Result<&mut Self, SchemaError> {
         let name = name.into();
         let declared = self
             .schema
             .arity(&name)
-            .unwrap_or_else(|| panic!("relation {name} not declared in the schema"));
-        assert_eq!(
-            declared,
-            relation.arity(),
-            "relation {name} has arity {} but schema declares {declared}",
-            relation.arity()
-        );
+            .ok_or_else(|| SchemaError::UndeclaredRelation(name.to_string()))?;
+        if declared != relation.arity() {
+            return Err(SchemaError::ArityMismatch {
+                relation: name.to_string(),
+                declared,
+                found: relation.arity(),
+            });
+        }
         self.relations.insert(name, relation);
-        self
+        Ok(self)
     }
 
     /// Looks up a relation; undeclared names return `None`, declared-but-unset names
@@ -930,6 +1036,37 @@ impl<T: Theory> Instance<T> {
                 }
                 _ => false,
             })
+    }
+}
+
+impl<T: Theory> fmt::Display for Instance<T>
+where
+    T::A: fmt::Display,
+{
+    /// Prints the instance as a surface-language script fragment: one `schema`
+    /// statement listing every declared relation with its arity, followed by
+    /// one assignment per stored relation.  The output is parseable by the
+    /// `frdb-lang` script parser, so an instance can be dumped and reloaded —
+    /// provided every relation and column name lexes as an identifier (a
+    /// Unicode letter or `_` followed by letters, digits and `_`, and not one
+    /// of the word operators `and`, `or`, `not`, `exists`, `forall`, `true`,
+    /// `false`); names the Rust API permits beyond that have no textual
+    /// spelling.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.schema.is_empty() {
+            write!(f, "schema ")?;
+            for (i, (name, arity)) in self.schema.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{name}/{arity}")?;
+            }
+            writeln!(f, ";")?;
+        }
+        for (name, rel) in &self.relations {
+            writeln!(f, "{name} := {rel};")?;
+        }
+        Ok(())
     }
 }
 
@@ -1057,12 +1194,98 @@ mod tests {
     fn instance_roundtrip() {
         let schema = Schema::from_pairs([("R", 1), ("S", 2)]);
         let mut inst: Instance<DenseOrder> = Instance::new(schema);
-        inst.set("R", Rel::new(vec![x()], vec![interval(0, 1)]));
+        inst.set("R", Rel::new(vec![x()], vec![interval(0, 1)]))
+            .unwrap();
         assert!(inst.get(&RelName::new("R")).unwrap().contains(&[r(0)]));
         // Unset but declared relation is empty.
         assert!(inst.get(&RelName::new("S")).unwrap().is_empty());
         // Undeclared relation is None.
         assert!(inst.get(&RelName::new("T")).is_none());
         assert_eq!(inst.active_domain().len(), 2);
+    }
+
+    #[test]
+    fn set_rejects_undeclared_relations_with_a_typed_error() {
+        // Regression: this used to be `panic!("relation {name} not declared in
+        // the schema")`, which a script loader could not recover from.
+        let schema = Schema::from_pairs([("R", 1)]);
+        let mut inst: Instance<DenseOrder> = Instance::new(schema);
+        let err = inst
+            .set("ghost", Rel::new(vec![x()], vec![interval(0, 1)]))
+            .unwrap_err();
+        assert_eq!(err, SchemaError::UndeclaredRelation("ghost".into()));
+        // The instance is untouched by the failed insertion.
+        assert!(inst.get(&RelName::new("ghost")).is_none());
+    }
+
+    #[test]
+    fn set_rejects_arity_mismatches_with_a_typed_error() {
+        let schema = Schema::from_pairs([("R", 2)]);
+        let mut inst: Instance<DenseOrder> = Instance::new(schema);
+        let err = inst
+            .set("R", Rel::new(vec![x()], vec![interval(0, 1)]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SchemaError::ArityMismatch {
+                relation: "R".into(),
+                declared: 2,
+                found: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_tuples_with_loose_variables() {
+        // Regression: a tuple mentioning a variable outside the relation's
+        // columns used to be accepted silently and panic later, deep inside
+        // `contains`'s point substitution.
+        let loose = GenTuple::new(vec![DenseAtom::lt(Term::var("y"), Term::cst(0))]);
+        let err = Rel::try_new(vec![x()], vec![loose]).unwrap_err();
+        assert_eq!(
+            err,
+            SchemaError::TupleVariableOutsideColumns {
+                variable: "y".into(),
+                columns: vec!["x".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_duplicate_columns() {
+        // Regression: `{(x, x) | 0 ≤ x ≤ 5}` used to build silently, and the
+        // membership substitution bound only the last occurrence — `contains`
+        // answered `true` for points like (8, 1).
+        let tuple = GenTuple::new(vec![
+            DenseAtom::le(Term::cst(0), Term::var("x")),
+            DenseAtom::le(Term::var("x"), Term::cst(5)),
+        ]);
+        let err = Rel::try_new(vec![x(), x()], vec![tuple]).unwrap_err();
+        assert_eq!(
+            err,
+            SchemaError::DuplicateColumn {
+                variable: "x".into()
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the relation's columns")]
+    fn new_panics_eagerly_on_loose_variables() {
+        // The panicking constructor fails at construction time with the typed
+        // error's message, not later inside substitution.
+        let loose = GenTuple::new(vec![DenseAtom::lt(Term::var("y"), Term::cst(0))]);
+        let _ = Rel::new(vec![x()], vec![loose]);
+    }
+
+    #[test]
+    fn instance_display_is_a_script_fragment() {
+        let schema = Schema::from_pairs([("R", 1), ("S", 2)]);
+        let mut inst: Instance<DenseOrder> = Instance::new(schema);
+        inst.set("R", Rel::new(vec![x()], vec![interval(0, 1)]))
+            .unwrap();
+        let text = inst.to_string();
+        assert!(text.starts_with("schema R/1, S/2;\n"));
+        assert!(text.contains("R := {(x) | "));
     }
 }

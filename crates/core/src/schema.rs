@@ -9,6 +9,73 @@ use crate::intern::Sym;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Typed errors for schema-level mistakes in instance and relation
+/// construction.
+///
+/// These were originally panics deep inside the engine; a file loader (the
+/// `frdb-lang` parser and the `frdb-cli` script runner) must be able to reject
+/// bad input without aborting the process, so the construction APIs surface
+/// them as values instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A relation name is not declared by the schema.
+    UndeclaredRelation(String),
+    /// A relation value's arity disagrees with the schema's declaration.
+    ArityMismatch {
+        /// The relation name.
+        relation: String,
+        /// The arity declared by the schema.
+        declared: usize,
+        /// The arity of the relation value.
+        found: usize,
+    },
+    /// A generalized tuple mentions a variable that is not one of the
+    /// relation's columns (such a tuple has no point semantics over the
+    /// declared columns).
+    TupleVariableOutsideColumns {
+        /// The offending variable.
+        variable: String,
+        /// The relation's column variables.
+        columns: Vec<String>,
+    },
+    /// A relation's column list repeats a variable; point substitution would
+    /// silently bind only the last occurrence, so membership answers would be
+    /// wrong.
+    DuplicateColumn {
+        /// The repeated variable.
+        variable: String,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::UndeclaredRelation(r) => {
+                write!(f, "relation {r} not declared in the schema")
+            }
+            SchemaError::ArityMismatch {
+                relation,
+                declared,
+                found,
+            } => write!(
+                f,
+                "relation {relation} has arity {found} but the schema declares {declared}"
+            ),
+            SchemaError::TupleVariableOutsideColumns { variable, columns } => write!(
+                f,
+                "tuple mentions variable {variable} outside the relation's columns ({})",
+                columns.join(", ")
+            ),
+            SchemaError::DuplicateColumn { variable } => write!(
+                f,
+                "column variable {variable} is repeated in the relation's column list"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
 /// The name of a schema relation symbol, interned for O(1) comparison and
 /// hashing (ordering stays lexicographic on the name).
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -85,6 +152,11 @@ impl Schema {
     pub fn add(&mut self, name: impl Into<RelName>, arity: usize) -> &mut Self {
         self.relations.insert(name.into(), arity);
         self
+    }
+
+    /// Removes a relation symbol, returning its arity when it was declared.
+    pub fn remove(&mut self, name: &RelName) -> Option<usize> {
+        self.relations.remove(name)
     }
 
     /// The arity of a relation symbol, if declared.

@@ -248,6 +248,9 @@ impl<A: frdb_core::theory::Atom> Rule<A> {
 }
 
 impl<A: fmt::Display> fmt::Display for Rule<A> {
+    /// Prints the rule in the surface syntax the `frdb-lang` parser reads
+    /// back: literal bodies as a comma-separated literal list, formula bodies
+    /// (which used to print as an empty body) as the body formula itself.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}(", self.head)?;
         for (i, v) in self.head_vars.iter().enumerate() {
@@ -257,6 +260,9 @@ impl<A: fmt::Display> fmt::Display for Rule<A> {
             write!(f, "{v}")?;
         }
         write!(f, ") ← ")?;
+        if let Some(formula) = &self.formula {
+            return write!(f, "{formula}");
+        }
         for (i, l) in self.body.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
@@ -338,16 +344,22 @@ fn seed_state<A: frdb_core::theory::Atom, T: Theory<A = A>>(
     }
     let mut current: Instance<T> = Instance::new(schema);
     for (name, rel) in edb.iter() {
-        current.set(name.clone(), rel.clone());
+        current
+            .set(name.clone(), rel.clone())
+            .expect("engine-declared relation");
     }
     let idb_state: BTreeMap<RelName, Relation<T>> = idb
         .iter()
         .map(|(name, arity)| (name.clone(), Relation::empty(idb_columns(*arity))))
         .collect();
     for (name, rel) in &idb_state {
-        current.set(name.clone(), rel.clone());
+        current
+            .set(name.clone(), rel.clone())
+            .expect("engine-declared relation");
         if with_deltas {
-            current.set(delta_name(name), rel.clone());
+            current
+                .set(delta_name(name), rel.clone())
+                .expect("engine-declared relation");
         }
     }
     (current, idb_state)
@@ -358,6 +370,17 @@ fn seed_state<A: frdb_core::theory::Atom, T: Theory<A = A>>(
 pub struct Program<A> {
     rules: Vec<Rule<A>>,
     max_iterations: usize,
+}
+
+impl<A: fmt::Display> fmt::Display for Program<A> {
+    /// One `.`-terminated rule per line — the body of a surface-language
+    /// `program name { … }` block.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{rule}.")?;
+        }
+        Ok(())
+    }
 }
 
 /// The result of running a program: the final values of all intensional predicates.
@@ -592,12 +615,16 @@ impl<A: frdb_core::theory::Atom> Program<A> {
             }
             idb_state = next_state;
             for (name, rel) in &idb_state {
-                current.set(name.clone(), rel.clone());
+                current
+                    .set(name.clone(), rel.clone())
+                    .expect("engine-declared relation");
             }
             for (name, arity) in &idb {
                 let tuples = next_delta.remove(name).unwrap_or_default();
                 let delta_rel = Relation::new(idb_columns(*arity), tuples);
-                current.set(delta_name(name), delta_rel);
+                current
+                    .set(delta_name(name), delta_rel)
+                    .expect("engine-declared relation");
             }
             if !changed {
                 // Return a clean instance without the reserved delta relations.
@@ -610,10 +637,12 @@ impl<A: frdb_core::theory::Atom> Program<A> {
                 }
                 let mut out = Instance::new(out_schema);
                 for (name, rel) in edb.iter() {
-                    out.set(name.clone(), rel.clone());
+                    out.set(name.clone(), rel.clone())
+                        .expect("engine-declared relation");
                 }
                 for (name, rel) in &idb_state {
-                    out.set(name.clone(), rel.clone());
+                    out.set(name.clone(), rel.clone())
+                        .expect("engine-declared relation");
                 }
                 return Ok(FixpointResult {
                     instance: out,
@@ -668,7 +697,9 @@ impl<A: frdb_core::theory::Atom> Program<A> {
             }
             idb_state = next_state;
             for (name, rel) in &idb_state {
-                current.set(name.clone(), rel.clone());
+                current
+                    .set(name.clone(), rel.clone())
+                    .expect("engine-declared relation");
             }
             if !changed {
                 return Ok(FixpointResult {
@@ -746,7 +777,8 @@ mod tests {
         inst.set(
             "edge",
             Relation::from_points(vec![Var::new("x"), Var::new("y")], points),
-        );
+        )
+        .unwrap();
         inst
     }
 
@@ -795,9 +827,13 @@ mod tests {
         let mut schema = Schema::from_pairs([("edge", 2), ("node", 1)]);
         schema.add("node", 1);
         let mut inst2 = Instance::new(schema);
-        inst2.set("edge", inst.get(&RelName::new("edge")).unwrap());
+        inst2
+            .set("edge", inst.get(&RelName::new("edge")).unwrap())
+            .unwrap();
         let nodes: Vec<Vec<Rat>> = (0..=4).chain(20..=21).map(|i| vec![r(i)]).collect();
-        inst2.set("node", Relation::from_points(vec![Var::new("x")], nodes));
+        inst2
+            .set("node", Relation::from_points(vec![Var::new("x")], nodes))
+            .unwrap();
         inst = inst2;
 
         let mut program = transitive_closure_program("edge", "tc");
@@ -859,9 +895,13 @@ mod tests {
         let mut schema = Schema::from_pairs([("edge", 2), ("node", 1)]);
         schema.add("node", 1);
         let mut inst2 = Instance::new(schema);
-        inst2.set("edge", inst.get(&RelName::new("edge")).unwrap());
+        inst2
+            .set("edge", inst.get(&RelName::new("edge")).unwrap())
+            .unwrap();
         let nodes: Vec<Vec<Rat>> = (0..=3).chain(10..=11).map(|i| vec![r(i)]).collect();
-        inst2.set("node", Relation::from_points(vec![Var::new("x")], nodes));
+        inst2
+            .set("node", Relation::from_points(vec![Var::new("x")], nodes))
+            .unwrap();
         inst = inst2;
 
         let mut program = transitive_closure_program("edge", "tc");
@@ -952,10 +992,12 @@ mod tests {
         // A Δ-prefixed EDB relation also routes through the naive engine and
         // still computes the right fixpoint.
         let mut inst2: Instance<DenseOrder> = Instance::new(Schema::from_pairs([("Δedge", 2)]));
-        inst2.set(
-            "Δedge",
-            Relation::from_points(vec![Var::new("x"), Var::new("y")], vec![vec![r(1), r(2)]]),
-        );
+        inst2
+            .set(
+                "Δedge",
+                Relation::from_points(vec![Var::new("x"), Var::new("y")], vec![vec![r(1), r(2)]]),
+            )
+            .unwrap();
         let p2 = transitive_closure_program("Δedge", "tc");
         let tc = p2.run_for(&inst2, &RelName::new("tc")).unwrap();
         assert!(tc.contains(&[r(1), r(2)]));

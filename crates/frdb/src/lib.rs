@@ -16,6 +16,9 @@
 //! * [`games`] — Ehrenfeucht–Fraïssé games (Section 5).
 //! * [`queries`] — the query catalog of Fig. 8 and the reductions of Figs. 3–6.
 //! * [`modeltheory`] — compactness failure, the Theorem 3.4 reduction, σ_B.
+//! * [`lang`] — the surface language: parser + printers for schemas,
+//!   instances, FO queries and `DATALOG¬` programs (`.frdb` scripts, run by
+//!   the `frdb-cli` binary).
 //!
 //! ```
 //! use frdb::prelude::*;
@@ -33,7 +36,8 @@
 //!             DenseAtom::le(Term::var("y"), Term::cst(3)),
 //!         ])],
 //!     ),
-//! );
+//! )
+//! .unwrap();
 //! let q: Formula<DenseAtom> = Formula::exists(["y"], Formula::rel("R", [Term::var("x"), Term::var("y")]));
 //! let shadow = eval_query(&q, &[Var::new("x")], &inst).unwrap();
 //! assert!(shadow.contains(&[Rat::from_i64(2)]));
@@ -46,6 +50,7 @@
 pub use frdb_core as core;
 pub use frdb_datalog as datalog;
 pub use frdb_games as games;
+pub use frdb_lang as lang;
 pub use frdb_linear as linear;
 pub use frdb_modeltheory as modeltheory;
 pub use frdb_num as num;
@@ -63,8 +68,12 @@ pub mod prelude {
     pub use frdb_core::generic::Automorphism;
     pub use frdb_core::logic::{Formula, Term, Var};
     pub use frdb_core::relation::{GenTuple, Instance, Relation};
-    pub use frdb_core::schema::{RelName, Schema};
+    pub use frdb_core::schema::{RelName, Schema, SchemaError};
     pub use frdb_core::theory::{Atom, Theory};
     pub use frdb_datalog::{Literal, Program, Rule};
+    pub use frdb_lang::{
+        parse_formula, parse_gen_tuple, parse_program, parse_relation, parse_rule, parse_script,
+        AtomSyntax, ParseError, Script, Stmt, TheoryKind,
+    };
     pub use frdb_num::{BigInt, Rat};
 }

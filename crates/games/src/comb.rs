@@ -73,7 +73,8 @@ pub fn comb_instance(teeth: usize, connected: bool) -> Instance<DenseOrder> {
     inst.set(
         "R",
         Relation::new(vec![Var::new("x"), Var::new("y")], tuples),
-    );
+    )
+    .expect("schema declares the relation");
     inst
 }
 

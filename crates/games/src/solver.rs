@@ -238,7 +238,8 @@ mod tests {
         inst.set(
             "R",
             Relation::from_points(vec![Var::new("x")], (1..=n).map(|i| vec![r(i)])),
-        );
+        )
+        .unwrap();
         inst
     }
 
@@ -294,12 +295,14 @@ mod tests {
             ])
         };
         let mut a = Instance::new(schema.clone());
-        a.set("R", Relation::new(vec![Var::new("x")], vec![seg(0, 10)]));
+        a.set("R", Relation::new(vec![Var::new("x")], vec![seg(0, 10)]))
+            .unwrap();
         let mut b = Instance::new(schema);
         b.set(
             "R",
             Relation::new(vec![Var::new("x")], vec![seg(0, 4), seg(6, 10)]),
-        );
+        )
+        .unwrap();
         assert!(duplicator_wins_value(&a, &b, 1).duplicator_wins);
         assert!(!duplicator_wins_value(&a, &b, 2).duplicator_wins);
     }
@@ -323,12 +326,14 @@ mod tests {
                     DenseAtom::le(Term::var("x"), Term::cst(1)),
                 ])],
             ),
-        );
+        )
+        .unwrap();
         let mut pt = Instance::new(schema);
         pt.set(
             "R",
             Relation::from_points(vec![Var::new("x"), Var::new("y")], vec![vec![r(0), r(0)]]),
-        );
+        )
+        .unwrap();
         let report1 = duplicator_wins_point(&seg, &pt, 1);
         assert!(report1.positions_explored > 0);
         assert!(!duplicator_wins_point(&seg, &pt, 2).duplicator_wins);
@@ -353,7 +358,8 @@ mod tests {
                     vec![Var::new("x"), Var::new("y")],
                     (1..=n).map(|i| vec![r(i), r(i)]),
                 ),
-            );
+            )
+            .unwrap();
             inst
         };
         let pa = mk(1);

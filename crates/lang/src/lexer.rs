@@ -1,0 +1,357 @@
+//! The lexer: source text to a span-carrying token stream.
+//!
+//! Every operator has an ASCII spelling and, where the engine's pretty-printers
+//! emit one, a Unicode spelling (`<=` / `≤`, `and` / `∧`, `exists` / `∃`, …).
+//! Accepting both makes the parser a left inverse of the `Display`
+//! implementations — `parse(print(x)) == x` — while keeping `.frdb` files
+//! typeable on any keyboard.
+//!
+//! The lexer never panics on arbitrary input: unknown characters (including the
+//! `#` that [`frdb_core::logic::Var::new`] reserves for internally generated
+//! fresh variables) are reported as [`ParseError`]s with the offending byte
+//! span.
+
+use crate::{ParseError, Span};
+use std::fmt;
+
+/// The kind of a token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier: a Unicode letter or `_` followed by letters, digits and
+    /// `_` (keywords excluded).
+    Ident(String),
+    /// An unsigned numeric literal: digits, optionally `digits.digits`.
+    Number(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `|`
+    Pipe,
+    /// `/`
+    Slash,
+    /// `:=`
+    Assign,
+    /// `:-` or `←` (rule arrow)
+    Turnstile,
+    /// `<`
+    Lt,
+    /// `<=` or `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=` or `≥`
+    Ge,
+    /// `=`
+    EqOp,
+    /// `!=` or `≠`
+    Ne,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*` or `·` (scalar multiplication)
+    Star,
+    /// `and`, `&` or `∧`
+    And,
+    /// `or` or `∨`
+    Or,
+    /// `not`, `!` or `¬`
+    Not,
+    /// `->` or `→`
+    Implies,
+    /// `<->` or `↔`
+    Iff,
+    /// `exists` or `∃`
+    Exists,
+    /// `forall` or `∀`
+    Forall,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// End of input (always the last token).
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Number(s) => write!(f, "number `{s}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Assign => write!(f, "`:=`"),
+            Tok::Turnstile => write!(f, "`:-`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::EqOp => write!(f, "`=`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::And => write!(f, "`and`"),
+            Tok::Or => write!(f, "`or`"),
+            Tok::Not => write!(f, "`not`"),
+            Tok::Implies => write!(f, "`->`"),
+            Tok::Iff => write!(f, "`<->`"),
+            Tok::Exists => write!(f, "`exists`"),
+            Tok::Forall => write!(f, "`forall`"),
+            Tok::True => write!(f, "`true`"),
+            Tok::False => write!(f, "`false`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its byte span in the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind (and payload, for identifiers and numbers).
+    pub tok: Tok,
+    /// The byte range the token occupies in the source text.
+    pub span: Span,
+}
+
+/// Lexes a source string into tokens (the final token is always [`Tok::Eof`]).
+///
+/// # Errors
+/// Returns a [`ParseError`] on an unknown character, an unterminated block
+/// comment, or a malformed numeric literal; the error carries the byte span.
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let chars: Vec<(usize, char)> = src.char_indices().collect();
+    let mut ci = 0usize; // index into `chars`
+    while ci < chars.len() {
+        let (i, c) = chars[ci];
+        // Whitespace.
+        if c.is_whitespace() {
+            ci += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '/' && matches!(chars.get(ci + 1), Some((_, '/'))) {
+            while ci < chars.len() && chars[ci].1 != '\n' {
+                ci += 1;
+            }
+            continue;
+        }
+        // Block comments.
+        if c == '/' && matches!(chars.get(ci + 1), Some((_, '*'))) {
+            let open = i;
+            ci += 2;
+            loop {
+                match (chars.get(ci), chars.get(ci + 1)) {
+                    (Some((_, '*')), Some((_, '/'))) => {
+                        ci += 2;
+                        break;
+                    }
+                    (Some(_), _) => ci += 1,
+                    (None, _) => {
+                        // The comment runs off the end of the input, so flag
+                        // `at_eof`: interactive front ends keep reading more
+                        // lines instead of reporting a hard error.
+                        return Err(ParseError {
+                            message: "unterminated block comment".into(),
+                            span: Span::new(open, src.len()),
+                            at_eof: true,
+                        });
+                    }
+                }
+            }
+            continue;
+        }
+        let start = i;
+        // Identifiers and word operators.  Identifiers are Unicode letters,
+        // digits and `_` (letter or `_` first), so names the engine itself can
+        // produce — e.g. the `Δ`-prefixed EDB relations the Datalog engine
+        // supports — survive an `Instance` dump-and-reload round trip.  The
+        // operator characters (`∧ ∨ ¬ ∃ ∀ ≤ …`) are symbols, not letters, so
+        // they never collide.
+        if c.is_alphabetic() || c == '_' {
+            let mut end = ci;
+            while end < chars.len() && (chars[end].1.is_alphanumeric() || chars[end].1 == '_') {
+                end += 1;
+            }
+            let stop = chars.get(end).map_or(src.len(), |(p, _)| *p);
+            let word = &src[start..stop];
+            let tok = match word {
+                "and" => Tok::And,
+                "or" => Tok::Or,
+                "not" => Tok::Not,
+                "exists" => Tok::Exists,
+                "forall" => Tok::Forall,
+                "true" => Tok::True,
+                "false" => Tok::False,
+                _ => Tok::Ident(word.to_string()),
+            };
+            out.push(Token {
+                tok,
+                span: Span::new(start, stop),
+            });
+            ci = end;
+            continue;
+        }
+        // Numbers: digits, optionally `.` followed by digits (a lone trailing
+        // `.` stays a separate token so rule terminators after a number work).
+        if c.is_ascii_digit() {
+            let mut end = ci;
+            while end < chars.len() && chars[end].1.is_ascii_digit() {
+                end += 1;
+            }
+            if end < chars.len()
+                && chars[end].1 == '.'
+                && end + 1 < chars.len()
+                && chars[end + 1].1.is_ascii_digit()
+            {
+                end += 1;
+                while end < chars.len() && chars[end].1.is_ascii_digit() {
+                    end += 1;
+                }
+            }
+            let stop = chars.get(end).map_or(src.len(), |(p, _)| *p);
+            out.push(Token {
+                tok: Tok::Number(src[start..stop].to_string()),
+                span: Span::new(start, stop),
+            });
+            ci = end;
+            continue;
+        }
+        // Symbols (ASCII multi-character first, then Unicode aliases).
+        let two = |o: usize| chars.get(ci + o).map(|(_, ch)| *ch);
+        let (tok, consumed) = match c {
+            '(' => (Tok::LParen, 1),
+            ')' => (Tok::RParen, 1),
+            '{' => (Tok::LBrace, 1),
+            '}' => (Tok::RBrace, 1),
+            ',' => (Tok::Comma, 1),
+            ';' => (Tok::Semi, 1),
+            '.' => (Tok::Dot, 1),
+            '|' => (Tok::Pipe, 1),
+            '/' => (Tok::Slash, 1),
+            '+' => (Tok::Plus, 1),
+            '*' => (Tok::Star, 1),
+            '&' => (Tok::And, 1),
+            '=' => (Tok::EqOp, 1),
+            ':' => match two(1) {
+                Some('=') => (Tok::Assign, 2),
+                Some('-') => (Tok::Turnstile, 2),
+                _ => {
+                    return Err(ParseError::new(
+                        "stray `:` (expected `:=` or `:-`)",
+                        Span::new(start, start + 1),
+                    ))
+                }
+            },
+            '<' => match (two(1), two(2)) {
+                (Some('-'), Some('>')) => (Tok::Iff, 3),
+                (Some('='), _) => (Tok::Le, 2),
+                _ => (Tok::Lt, 1),
+            },
+            '>' => match two(1) {
+                Some('=') => (Tok::Ge, 2),
+                _ => (Tok::Gt, 1),
+            },
+            '-' => match two(1) {
+                Some('>') => (Tok::Implies, 2),
+                _ => (Tok::Minus, 1),
+            },
+            '!' => match two(1) {
+                Some('=') => (Tok::Ne, 2),
+                _ => (Tok::Not, 1),
+            },
+            '≤' => (Tok::Le, 1),
+            '≥' => (Tok::Ge, 1),
+            '≠' => (Tok::Ne, 1),
+            '∧' => (Tok::And, 1),
+            '∨' => (Tok::Or, 1),
+            '¬' => (Tok::Not, 1),
+            '∃' => (Tok::Exists, 1),
+            '∀' => (Tok::Forall, 1),
+            '→' => (Tok::Implies, 1),
+            '↔' => (Tok::Iff, 1),
+            '←' => (Tok::Turnstile, 1),
+            '·' => (Tok::Star, 1),
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character {other:?}"),
+                    Span::new(start, start + other.len_utf8()),
+                ))
+            }
+        };
+        // Character-count consumption translated back to byte positions.
+        let stop = chars.get(ci + consumed).map_or(src.len(), |(p, _)| *p);
+        out.push(Token {
+            tok,
+            span: Span::new(start, stop),
+        });
+        ci += consumed;
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(src.len(), src.len()),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn ascii_and_unicode_spell_the_same_tokens() {
+        assert_eq!(kinds("x <= 3 and y"), kinds("x ≤ 3 ∧ y"));
+        assert_eq!(kinds("exists z. not (a -> b)"), kinds("∃z. ¬(a → b)"));
+        assert_eq!(kinds(":-"), kinds("←"));
+    }
+
+    #[test]
+    fn numbers_keep_rule_dots_separate() {
+        // `x < 1.` must lex the dot as a rule terminator, `1.5` as one number.
+        assert_eq!(
+            kinds("1."),
+            vec![Tok::Number("1".into()), Tok::Dot, Tok::Eof]
+        );
+        assert_eq!(kinds("1.5"), vec![Tok::Number("1.5".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("x // trailing\n y"), kinds("x /* inline */ y"));
+    }
+
+    #[test]
+    fn reserved_hash_namespace_is_rejected_with_a_span() {
+        let err = lex("x < #0").unwrap_err();
+        assert_eq!(err.span.start, 4);
+        assert!(err.message.contains("'#'"));
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_an_error() {
+        assert!(lex("/* never closed").is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! # frdb-lang
+//!
+//! The **surface language** for finitely representable databases: a lexer and
+//! recursive-descent parser with span-carrying diagnostics for the concrete
+//! first-order syntax the paper writes its examples in (Examples 2.4–2.5, the
+//! Fig. 8 catalog), covering
+//!
+//! * **schemas** — `schema R/2, S/1;`
+//! * **constraint instances** — generalized tuples of dense-order *and* linear
+//!   `FO(≤,+)` atoms, assigned with `R := {(x, y) | 0 <= x and x <= y ; y = 3};`
+//! * **FO formulas and queries** — `query q(x) := exists y. (R(x, y) and x < y);`
+//! * **inflationary `DATALOG¬` programs** — `tc(x, y) :- tc(x, z), edge(z, y).`
+//!
+//! The parser is **theory generic**: the [`AtomSyntax`] trait extends
+//! [`frdb_core::theory::Theory`] with one hook — how to parse a constraint atom
+//! — and is implemented here for both [`DenseOrder`] (atoms `s ⋈ t`) and
+//! [`LinearOrder`] (affine atoms `2·x + y <= 3`).  Everything above the atoms
+//! (formulas, tuples, relations, rules, scripts) is shared.
+//!
+//! **Printing is parsing's inverse.**  The engine's `Display` implementations
+//! (`Formula`, `GenTuple`, `Relation`, `Instance`, `Rule`, `Program`) emit text
+//! this parser reads back, and the round trip is the identity on the AST:
+//! `parse(print(x)) == x`.  The property tests in `tests/roundtrip.rs` pin this
+//! on randomized values over both theories.
+//!
+//! Errors never panic: every failure — including the reserved `#` fresh-variable
+//! namespace, zero denominators and malformed numbers — is a [`ParseError`]
+//! carrying the byte [`Span`] of the offending text, renderable as a
+//! caret-underlined diagnostic via [`ParseError::render`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod parser;
+pub mod script;
+
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::logic::Formula;
+use frdb_core::relation::{GenTuple, Relation};
+use frdb_datalog::{Program, Rule};
+use frdb_linear::{LinAtom, LinearOrder};
+use std::fmt;
+
+pub use parser::{AtomSyntax, Parser};
+pub use script::{parse_script, script_theory, Script, Spanned, Stmt, TheoryKind};
+
+/// A byte range in the source text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span from byte offsets.
+    #[must_use]
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both operands.
+    #[must_use]
+    pub fn join(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A parse error: a message plus the byte span of the offending text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte span of the offending text (empty at end of input).
+    pub span: Span,
+    /// Whether the error is an unexpected end of input — interactive front
+    /// ends use this to keep reading instead of reporting.
+    pub at_eof: bool,
+}
+
+impl ParseError {
+    /// A parse error at a span.
+    #[must_use]
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+            at_eof: false,
+        }
+    }
+
+    /// Renders the error as a two-line diagnostic with the source line and a
+    /// caret run under the offending span.
+    #[must_use]
+    pub fn render(&self, origin: &str, src: &str) -> String {
+        let start = self.span.start.min(src.len());
+        let line_no = src[..start].matches('\n').count() + 1;
+        let line_start = src[..start].rfind('\n').map_or(0, |p| p + 1);
+        let line_end = src[start..]
+            .find('\n')
+            .map_or(src.len(), |p| start + p)
+            .max(line_start);
+        let line = &src[line_start..line_end];
+        let col = src[line_start..start].chars().count() + 1;
+        let width = src[start..self.span.end.min(src.len()).max(start)]
+            .chars()
+            .count()
+            .max(1);
+        let mut out = format!(
+            "error: {message}\n  --> {origin}:{line_no}:{col} (bytes {span})\n   |\n   | {line}\n   | ",
+            message = self.message,
+            span = self.span,
+        );
+        out.push_str(&" ".repeat(col - 1));
+        out.push_str(&"^".repeat(width));
+        out
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at bytes {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Runs a parser function over a full source string, requiring it to consume
+/// every token.
+fn parse_all<R>(
+    src: &str,
+    f: impl FnOnce(&mut Parser<'_>) -> Result<R, ParseError>,
+) -> Result<R, ParseError> {
+    let tokens = lexer::lex(src)?;
+    let mut p = Parser::new(src, tokens);
+    let value = f(&mut p)?;
+    p.expect_eof()?;
+    Ok(value)
+}
+
+/// Parses a first-order formula over theory `T`'s atoms.
+///
+/// # Errors
+/// Returns a span-carrying [`ParseError`] on malformed input.
+pub fn parse_formula<T: AtomSyntax>(src: &str) -> Result<Formula<T::A>, ParseError> {
+    parse_all(src, parser::formula::<T>)
+}
+
+/// Parses a generalized tuple — a conjunction of constraint atoms such as
+/// `0 <= x ∧ x < y`, or `true` for the universal tuple.
+///
+/// # Errors
+/// Returns a span-carrying [`ParseError`] on malformed input.
+pub fn parse_gen_tuple<T: AtomSyntax>(src: &str) -> Result<GenTuple<T::A>, ParseError> {
+    parse_all(src, parser::gen_tuple::<T>)
+}
+
+/// Parses a relation literal `{(x, y) | tuple ∨ tuple ∨ …}` (with `false` for
+/// the empty relation), validating that every tuple mentions only column
+/// variables.
+///
+/// # Errors
+/// Returns a span-carrying [`ParseError`] on malformed input or a tuple
+/// mentioning a variable outside the columns.
+pub fn parse_relation<T: AtomSyntax>(src: &str) -> Result<Relation<T>, ParseError> {
+    parse_all(src, parser::relation::<T>)
+}
+
+/// Parses one `DATALOG¬` rule, e.g. `tc(x, y) :- tc(x, z), edge(z, y).`
+///
+/// # Errors
+/// Returns a span-carrying [`ParseError`] on malformed input.
+pub fn parse_rule<T: AtomSyntax>(src: &str) -> Result<Rule<T::A>, ParseError> {
+    parse_all(src, parser::rule::<T>)
+}
+
+/// Parses a whole `DATALOG¬` program: a sequence of `.`-terminated rules.
+///
+/// # Errors
+/// Returns a span-carrying [`ParseError`] on malformed input.
+pub fn parse_program<T: AtomSyntax>(src: &str) -> Result<Program<T::A>, ParseError> {
+    parse_all(src, |p| {
+        let rules = parser::rules_until_eof::<T>(p)?;
+        Ok(Program::from_rules(rules))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// AtomSyntax implementations for the two bundled theories
+// ---------------------------------------------------------------------------
+
+impl AtomSyntax for DenseOrder {
+    const THEORY_NAME: &'static str = "dense";
+
+    fn parse_atom(p: &mut Parser<'_>) -> Result<DenseAtom, ParseError> {
+        let lhs = p.parse_term()?;
+        let (op, op_span) = p.parse_cmp_op()?;
+        let rhs = p.parse_term()?;
+        Ok(match op {
+            parser::CmpTok::Lt => DenseAtom::lt(lhs, rhs),
+            parser::CmpTok::Le => DenseAtom::le(lhs, rhs),
+            parser::CmpTok::Eq => DenseAtom::eq(lhs, rhs),
+            parser::CmpTok::Gt => DenseAtom::lt(rhs, lhs),
+            parser::CmpTok::Ge => DenseAtom::le(rhs, lhs),
+            parser::CmpTok::Ne => {
+                return Err(ParseError::new(
+                    "`!=` is not an atom of the dense-order language; \
+                     write `not (s = t)` or a disjunction of strict comparisons",
+                    op_span,
+                ))
+            }
+        })
+    }
+}
+
+impl AtomSyntax for LinearOrder {
+    const THEORY_NAME: &'static str = "linear";
+
+    fn parse_atom(p: &mut Parser<'_>) -> Result<LinAtom, ParseError> {
+        let lhs = p.parse_affine()?;
+        let (op, op_span) = p.parse_cmp_op()?;
+        let rhs = p.parse_affine()?;
+        Ok(match op {
+            parser::CmpTok::Lt => LinAtom::lt(lhs, rhs),
+            parser::CmpTok::Le => LinAtom::le(lhs, rhs),
+            parser::CmpTok::Eq => LinAtom::eq(lhs, rhs),
+            parser::CmpTok::Gt => LinAtom::lt(rhs, lhs),
+            parser::CmpTok::Ge => LinAtom::le(rhs, lhs),
+            parser::CmpTok::Ne => {
+                return Err(ParseError::new(
+                    "`!=` is not an atom of the linear language; \
+                     write `not (s = t)` or a disjunction of strict comparisons",
+                    op_span,
+                ))
+            }
+        })
+    }
+}

@@ -1,0 +1,672 @@
+//! The recursive-descent parser.
+//!
+//! Grammar (EBNF; ASCII spellings shown, Unicode aliases accepted — see
+//! [`crate::lexer`]):
+//!
+//! ```text
+//! formula   := iff
+//! iff       := implies { "<->" implies }                 (left associative)
+//! implies   := or [ "->" implies ]                       (right associative)
+//! or        := and { "or" and }                          (n-ary Or node)
+//! and       := unary { "and" unary }                     (n-ary And node)
+//! unary     := "not" unary
+//!            | ("exists" | "forall") varlist "." unary
+//!            | primary
+//! primary   := "true" | "false" | "(" formula ")"
+//!            | IDENT "(" [ term { "," term } ] ")"       (relation atom)
+//!            | atom                                      (theory constraint)
+//! varlist   := IDENT { "," IDENT }
+//! term      := IDENT | [ "-" ] number
+//! number    := NUMBER [ "/" NUMBER ]                     (rational literal)
+//!
+//! tuple     := "true" | atom { ("," | "and") atom }
+//! relation  := "{" "(" [ varlist ] ")" "|"
+//!                  ( "false" | reltuple { ("or" | ";") reltuple } ) "}"
+//! reltuple  := "true" | "(" atom { ("," | "and") atom } ")"
+//!            | atom { ("," | "and") atom }
+//!
+//! rule      := IDENT "(" [ varlist ] ")" ":-" body "."
+//! body      := bodyitem { "," bodyitem }                 (each at iff level)
+//! ```
+//!
+//! A rule body whose items are all *literals* — `R(t̅)`, `not R(t̅)`, or a
+//! constraint atom — builds a literal-bodied [`Rule`]; any other body (a
+//! quantifier, a parenthesized formula, a disjunction, …) builds a
+//! formula-bodied rule via [`Rule::from_formula`], mirroring how the engine
+//! distinguishes the two (Example 6.3's `sweep` rule needs an embedded
+//! universal quantifier).
+//!
+//! The theory plugs in below `primary`: [`AtomSyntax::parse_atom`] parses one
+//! constraint atom of the theory's language.  The dense-order instance reads
+//! `term ⋈ term`; the linear instance reads affine comparisons
+//! `2·x + y - 3 <= z` via [`Parser::parse_affine`].
+
+use crate::lexer::{Tok, Token};
+use crate::{ParseError, Span};
+use frdb_core::logic::{Formula, Term, Var};
+use frdb_core::relation::{GenTuple, Relation};
+use frdb_core::schema::RelName;
+use frdb_core::theory::Theory;
+use frdb_datalog::{Literal, Rule};
+use frdb_linear::LinExpr;
+use frdb_num::Rat;
+
+/// A theory whose constraint atoms have a concrete syntax.
+///
+/// This is the single extension point that makes the whole surface language —
+/// formulas, generalized tuples, relation literals, `DATALOG¬` rules, scripts
+/// — generic over the constraint theory: implement one method parsing one
+/// atom.  Implemented in this crate for [`frdb_core::dense::DenseOrder`] and
+/// [`frdb_linear::LinearOrder`].
+pub trait AtomSyntax: Theory {
+    /// The name used by the `theory …;` script header (`"dense"`, `"linear"`).
+    const THEORY_NAME: &'static str;
+
+    /// Parses one constraint atom at the parser's current position.
+    ///
+    /// # Errors
+    /// Returns a span-carrying [`ParseError`] on malformed input.
+    fn parse_atom(p: &mut Parser<'_>) -> Result<Self::A, ParseError>;
+}
+
+/// A comparison operator token, handed to [`AtomSyntax`] implementations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpTok {
+    /// `<`
+    Lt,
+    /// `<=` / `≤`
+    Le,
+    /// `=`
+    Eq,
+    /// `>`
+    Gt,
+    /// `>=` / `≥`
+    Ge,
+    /// `!=` / `≠` (no theory accepts it as an atom; kept for a good error)
+    Ne,
+}
+
+/// The maximum formula nesting depth: recursive descent recurses once per
+/// nesting level, so unbounded depth would let `((((…` crash the process with
+/// a stack overflow instead of a [`ParseError`] — and a file loader must never
+/// crash on input.  Each nesting level costs several debug-build frames, and
+/// test threads run on 2 MiB stacks, so the cap is conservative.  A printed
+/// `¬(…)` or quantifier level consumes two units (the operator and its paren
+/// group), so 128 units reparse formulas up to ~64 printed nesting levels —
+/// far beyond any formula the engine or a human produces; deeper input gets a
+/// ParseError naming this bound.
+const MAX_NESTING_DEPTH: usize = 128;
+
+/// The token-stream cursor shared by all grammar productions.
+pub struct Parser<'a> {
+    src: &'a str,
+    tokens: Vec<Token>,
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// A parser over a lexed token stream.
+    #[must_use]
+    pub fn new(src: &'a str, tokens: Vec<Token>) -> Self {
+        Parser {
+            src,
+            tokens,
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    /// Enters one formula nesting level, erroring out beyond
+    /// [`MAX_NESTING_DEPTH`]; paired with [`Parser::exit_nested`].
+    fn enter_nested(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(ParseError::new(
+                format!("formula nesting deeper than {MAX_NESTING_DEPTH} levels"),
+                self.span(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn exit_nested(&mut self) {
+        self.depth -= 1;
+    }
+
+    /// The source text being parsed.
+    #[must_use]
+    pub fn source(&self) -> &'a str {
+        self.src
+    }
+
+    /// The current token.
+    #[must_use]
+    pub fn peek(&self) -> &Tok {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].tok
+    }
+
+    /// The next token after the current one.
+    #[must_use]
+    pub fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    /// The current token's span.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    pub(crate) fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// An error at the current token, flagged `at_eof` when the input ended.
+    pub(crate) fn error_here(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            span: self.span(),
+            at_eof: matches!(self.peek(), Tok::Eof),
+        }
+    }
+
+    pub(crate) fn expect(&mut self, tok: &Tok, what: &str) -> Result<Token, ParseError> {
+        if self.peek() == tok {
+            Ok(self.advance())
+        } else {
+            Err(self.error_here(format!("expected {what}, found {}", self.peek())))
+        }
+    }
+
+    /// Requires the input to be fully consumed.
+    ///
+    /// # Errors
+    /// Returns an error at the first unconsumed token.
+    pub fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected end of input, found {}", self.peek())))
+        }
+    }
+
+    pub(crate) fn ident(&mut self, what: &str) -> Result<(String, Span), ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                let span = self.span();
+                self.advance();
+                Ok((name, span))
+            }
+            other => Err(self.error_here(format!("expected {what}, found {other}"))),
+        }
+    }
+
+    /// Parses an unsigned rational literal: `NUMBER [ "/" NUMBER ]`.
+    fn parse_unsigned_rat(&mut self) -> Result<Rat, ParseError> {
+        let (digits, span) = match self.peek().clone() {
+            Tok::Number(s) => (s, self.span()),
+            other => return Err(self.error_here(format!("expected a number, found {other}"))),
+        };
+        self.advance();
+        let num: Rat = digits
+            .parse()
+            .map_err(|e| ParseError::new(format!("invalid number: {e:?}"), span))?;
+        if matches!(self.peek(), Tok::Slash) {
+            self.advance();
+            let (den_digits, den_span) = match self.peek().clone() {
+                Tok::Number(s) => (s, self.span()),
+                other => {
+                    return Err(self.error_here(format!("expected a denominator, found {other}")))
+                }
+            };
+            self.advance();
+            let den: Rat = den_digits
+                .parse()
+                .map_err(|e| ParseError::new(format!("invalid number: {e:?}"), den_span))?;
+            if den.is_zero() {
+                return Err(ParseError::new(
+                    "zero denominator in rational literal",
+                    span.join(den_span),
+                ));
+            }
+            return Ok(&num / &den);
+        }
+        Ok(num)
+    }
+
+    /// Parses a possibly negated rational literal.
+    ///
+    /// # Errors
+    /// Returns a span-carrying [`ParseError`] on malformed input.
+    pub fn parse_rat(&mut self) -> Result<Rat, ParseError> {
+        if matches!(self.peek(), Tok::Minus) {
+            self.advance();
+            return Ok(-(&self.parse_unsigned_rat()?));
+        }
+        self.parse_unsigned_rat()
+    }
+
+    /// Parses a term: a variable or a rational constant.
+    ///
+    /// # Errors
+    /// Returns a span-carrying [`ParseError`] on malformed input.
+    pub fn parse_term(&mut self) -> Result<Term, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.advance();
+                Ok(Term::Var(Var::new(name)))
+            }
+            Tok::Number(_) | Tok::Minus => Ok(Term::Const(self.parse_rat()?)),
+            other => Err(self.error_here(format!(
+                "expected a term (variable or constant), found {other}"
+            ))),
+        }
+    }
+
+    /// Parses a comparison operator, returning its kind and span.
+    ///
+    /// # Errors
+    /// Returns a span-carrying [`ParseError`] if the current token is not a
+    /// comparison.
+    pub fn parse_cmp_op(&mut self) -> Result<(CmpTok, Span), ParseError> {
+        let span = self.span();
+        let op = match self.peek() {
+            Tok::Lt => CmpTok::Lt,
+            Tok::Le => CmpTok::Le,
+            Tok::EqOp => CmpTok::Eq,
+            Tok::Gt => CmpTok::Gt,
+            Tok::Ge => CmpTok::Ge,
+            Tok::Ne => CmpTok::Ne,
+            other => {
+                return Err(self.error_here(format!(
+                    "expected a comparison operator (`<`, `<=`, `=`, `>=`, `>`), found {other}"
+                )))
+            }
+        };
+        self.advance();
+        Ok((op, span))
+    }
+
+    /// Parses an affine expression `[-] monom { (+|-) monom }` where a monom
+    /// is `rat`, `rat · IDENT`, or `IDENT` — the syntax of `FO(≤,+)` atoms and
+    /// exactly what [`frdb_linear::LinExpr`]'s printer emits.
+    ///
+    /// # Errors
+    /// Returns a span-carrying [`ParseError`] on malformed input.
+    pub fn parse_affine(&mut self) -> Result<LinExpr, ParseError> {
+        let mut acc = self.parse_monom()?;
+        loop {
+            let negate = match self.peek() {
+                Tok::Plus => false,
+                Tok::Minus => true,
+                _ => break,
+            };
+            self.advance();
+            let monom = self.parse_monom()?;
+            acc = if negate {
+                acc.sub(&monom)
+            } else {
+                acc.add(&monom)
+            };
+        }
+        Ok(acc)
+    }
+
+    fn parse_monom(&mut self) -> Result<LinExpr, ParseError> {
+        let mut sign = Rat::one();
+        if matches!(self.peek(), Tok::Minus) {
+            self.advance();
+            sign = -(&sign);
+        }
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.advance();
+                Ok(LinExpr::var(Var::new(name)).scale(&sign))
+            }
+            Tok::Number(_) => {
+                let coef = self.parse_unsigned_rat()?;
+                if matches!(self.peek(), Tok::Star) {
+                    self.advance();
+                    let (name, _) = self.ident("a variable after `·`")?;
+                    Ok(LinExpr::var(Var::new(name)).scale(&(&coef * &sign)))
+                } else {
+                    Ok(LinExpr::constant(&coef * &sign))
+                }
+            }
+            other => Err(self.error_here(format!(
+                "expected a monomial (number, `c·x`, or variable), found {other}"
+            ))),
+        }
+    }
+
+    /// Parses a relation arity: a plain nonnegative integer.
+    pub(crate) fn parse_arity(&mut self) -> Result<usize, ParseError> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Number(s) => {
+                self.advance();
+                s.parse::<usize>().map_err(|_| {
+                    ParseError::new(format!("invalid arity `{s}` (expected an integer)"), span)
+                })
+            }
+            other => Err(self.error_here(format!("expected an arity, found {other}"))),
+        }
+    }
+
+    /// Parses a nonempty comma-separated variable list.
+    ///
+    /// # Errors
+    /// Returns a span-carrying [`ParseError`] on malformed input.
+    pub fn varlist(&mut self) -> Result<Vec<Var>, ParseError> {
+        let mut out = Vec::new();
+        let (first, _) = self.ident("a variable name")?;
+        out.push(Var::new(first));
+        while matches!(self.peek(), Tok::Comma) {
+            self.advance();
+            let (name, _) = self.ident("a variable name")?;
+            out.push(Var::new(name));
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Formulas
+// ---------------------------------------------------------------------------
+
+/// Parses a formula at the lowest precedence level.
+///
+/// # Errors
+/// Returns a span-carrying [`ParseError`] on malformed input.
+pub fn formula<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Formula<T::A>, ParseError> {
+    iff_level::<T>(p)
+}
+
+fn iff_level<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Formula<T::A>, ParseError> {
+    let mut lhs = implies_level::<T>(p)?;
+    while matches!(p.peek(), Tok::Iff) {
+        p.advance();
+        let rhs = implies_level::<T>(p)?;
+        lhs = lhs.iff(rhs);
+    }
+    Ok(lhs)
+}
+
+fn implies_level<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Formula<T::A>, ParseError> {
+    let lhs = or_level::<T>(p)?;
+    if matches!(p.peek(), Tok::Implies) {
+        p.advance();
+        let rhs = implies_level::<T>(p)?; // right associative
+        return Ok(lhs.implies(rhs));
+    }
+    Ok(lhs)
+}
+
+fn or_level<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Formula<T::A>, ParseError> {
+    let mut parts = vec![and_level::<T>(p)?];
+    while matches!(p.peek(), Tok::Or) {
+        p.advance();
+        parts.push(and_level::<T>(p)?);
+    }
+    Ok(if parts.len() == 1 {
+        parts.pop().expect("nonempty")
+    } else {
+        Formula::Or(parts)
+    })
+}
+
+fn and_level<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Formula<T::A>, ParseError> {
+    let mut parts = vec![unary_level::<T>(p)?];
+    while matches!(p.peek(), Tok::And) {
+        p.advance();
+        parts.push(unary_level::<T>(p)?);
+    }
+    Ok(if parts.len() == 1 {
+        parts.pop().expect("nonempty")
+    } else {
+        Formula::And(parts)
+    })
+}
+
+/// Every recursion cycle of the formula grammar passes through here (paren
+/// groups via `primary -> formula -> … -> unary`, negations and quantifier
+/// bodies directly), so this single depth guard bounds the whole parse stack.
+fn unary_level<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Formula<T::A>, ParseError> {
+    p.enter_nested()?;
+    let result = unary_level_inner::<T>(p);
+    p.exit_nested();
+    result
+}
+
+fn unary_level_inner<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Formula<T::A>, ParseError> {
+    match p.peek() {
+        Tok::Not => {
+            p.advance();
+            Ok(Formula::Not(Box::new(unary_level::<T>(p)?)))
+        }
+        Tok::Exists | Tok::Forall => {
+            let exists = matches!(p.peek(), Tok::Exists);
+            p.advance();
+            let vars = p.varlist()?;
+            p.expect(&Tok::Dot, "`.` after the quantified variables")?;
+            let body = Box::new(unary_level::<T>(p)?);
+            Ok(if exists {
+                Formula::Exists(vars, body)
+            } else {
+                Formula::Forall(vars, body)
+            })
+        }
+        _ => primary::<T>(p),
+    }
+}
+
+fn primary<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Formula<T::A>, ParseError> {
+    match p.peek().clone() {
+        Tok::True => {
+            p.advance();
+            Ok(Formula::True)
+        }
+        Tok::False => {
+            p.advance();
+            Ok(Formula::False)
+        }
+        Tok::LParen => {
+            p.advance();
+            let inner = formula::<T>(p)?;
+            p.expect(&Tok::RParen, "`)`")?;
+            Ok(inner)
+        }
+        Tok::Ident(name) if matches!(p.peek2(), Tok::LParen) => {
+            p.advance(); // name
+            p.advance(); // (
+            let mut args = Vec::new();
+            if !matches!(p.peek(), Tok::RParen) {
+                args.push(p.parse_term()?);
+                while matches!(p.peek(), Tok::Comma) {
+                    p.advance();
+                    args.push(p.parse_term()?);
+                }
+            }
+            p.expect(&Tok::RParen, "`)` after the relation's arguments")?;
+            Ok(Formula::Rel {
+                name: RelName::new(name),
+                args,
+            })
+        }
+        _ => Ok(Formula::Atom(T::parse_atom(p)?)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generalized tuples and relation literals
+// ---------------------------------------------------------------------------
+
+fn atom_list<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Vec<T::A>, ParseError> {
+    let mut atoms = vec![T::parse_atom(p)?];
+    while matches!(p.peek(), Tok::Comma | Tok::And) {
+        p.advance();
+        atoms.push(T::parse_atom(p)?);
+    }
+    Ok(atoms)
+}
+
+/// Parses a generalized tuple: `true` or a conjunction of atoms.
+///
+/// # Errors
+/// Returns a span-carrying [`ParseError`] on malformed input.
+pub fn gen_tuple<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<GenTuple<T::A>, ParseError> {
+    if matches!(p.peek(), Tok::True) {
+        p.advance();
+        return Ok(GenTuple::universal());
+    }
+    Ok(GenTuple::new(atom_list::<T>(p)?))
+}
+
+fn rel_tuple<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<GenTuple<T::A>, ParseError> {
+    match p.peek() {
+        Tok::True => {
+            p.advance();
+            Ok(GenTuple::universal())
+        }
+        Tok::LParen => {
+            p.advance();
+            let atoms = if matches!(p.peek(), Tok::True) {
+                p.advance();
+                Vec::new()
+            } else {
+                atom_list::<T>(p)?
+            };
+            p.expect(&Tok::RParen, "`)` closing the tuple")?;
+            Ok(GenTuple::new(atoms))
+        }
+        _ => Ok(GenTuple::new(atom_list::<T>(p)?)),
+    }
+}
+
+/// Parses a relation literal `{(x, y) | tuples}` and validates the tuples
+/// against the column list.
+///
+/// # Errors
+/// Returns a span-carrying [`ParseError`] on malformed input or when a tuple
+/// mentions a variable outside the columns.
+pub fn relation<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Relation<T>, ParseError> {
+    let open = p
+        .expect(&Tok::LBrace, "`{` opening a relation literal")?
+        .span;
+    p.expect(&Tok::LParen, "`(` before the column variables")?;
+    let vars = if matches!(p.peek(), Tok::RParen) {
+        Vec::new()
+    } else {
+        p.varlist()?
+    };
+    p.expect(&Tok::RParen, "`)` after the column variables")?;
+    p.expect(&Tok::Pipe, "`|` between columns and tuples")?;
+    let tuples = if matches!(p.peek(), Tok::False) {
+        p.advance();
+        Vec::new()
+    } else {
+        let mut ts = vec![rel_tuple::<T>(p)?];
+        while matches!(p.peek(), Tok::Or | Tok::Semi) {
+            p.advance();
+            ts.push(rel_tuple::<T>(p)?);
+        }
+        ts
+    };
+    let close = p
+        .expect(&Tok::RBrace, "`}` closing the relation literal")?
+        .span;
+    Relation::try_new(vars, tuples).map_err(|e| ParseError::new(e.to_string(), open.join(close)))
+}
+
+// ---------------------------------------------------------------------------
+// DATALOG¬ rules
+// ---------------------------------------------------------------------------
+
+/// Converts a parsed body item into a rule literal when it has literal shape:
+/// `R(t̅)`, `not R(t̅)` (without extra parentheses), or a constraint atom.
+fn literal_of<A: frdb_core::theory::Atom>(f: &Formula<A>) -> Option<Literal<A>> {
+    match f {
+        Formula::Rel { name, args } => Some(Literal::Rel {
+            positive: true,
+            name: name.clone(),
+            args: args.clone(),
+        }),
+        Formula::Not(inner) => match &**inner {
+            Formula::Rel { name, args } => Some(Literal::Rel {
+                positive: false,
+                name: name.clone(),
+                args: args.clone(),
+            }),
+            _ => None,
+        },
+        Formula::Atom(a) => Some(Literal::Constraint(a.clone())),
+        _ => None,
+    }
+}
+
+/// Parses one rule `head(x̅) :- body.`; a body of literals builds a
+/// literal-bodied [`Rule`], any richer body a formula-bodied one.
+///
+/// # Errors
+/// Returns a span-carrying [`ParseError`] on malformed input.
+pub fn rule<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Rule<T::A>, ParseError> {
+    let (head, _) = p.ident("a rule head")?;
+    p.expect(&Tok::LParen, "`(` after the rule head")?;
+    let head_vars = if matches!(p.peek(), Tok::RParen) {
+        Vec::new()
+    } else {
+        p.varlist()?
+    };
+    p.expect(&Tok::RParen, "`)` after the head variables")?;
+    p.expect(&Tok::Turnstile, "`:-` between head and body")?;
+    let mut items = vec![formula::<T>(p)?];
+    while matches!(p.peek(), Tok::Comma) {
+        p.advance();
+        items.push(formula::<T>(p)?);
+    }
+    p.expect(&Tok::Dot, "`.` terminating the rule")?;
+    let literals: Option<Vec<Literal<T::A>>> = items.iter().map(literal_of).collect();
+    Ok(match literals {
+        Some(body) => Rule::new(head, head_vars, body),
+        None => {
+            let body = if items.len() == 1 {
+                items.pop().expect("nonempty")
+            } else {
+                Formula::And(items)
+            };
+            Rule::from_formula(head, head_vars, body)
+        }
+    })
+}
+
+/// Parses rules until end of input.
+///
+/// # Errors
+/// Returns a span-carrying [`ParseError`] on malformed input.
+pub fn rules_until_eof<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Vec<Rule<T::A>>, ParseError> {
+    let mut out = Vec::new();
+    while !matches!(p.peek(), Tok::Eof) {
+        out.push(rule::<T>(p)?);
+    }
+    Ok(out)
+}
+
+/// Parses rules until a closing `}` (used by `program name { … }` blocks; the
+/// brace itself is left unconsumed).
+///
+/// # Errors
+/// Returns a span-carrying [`ParseError`] on malformed input.
+pub fn rules_until_rbrace<T: AtomSyntax>(
+    p: &mut Parser<'_>,
+) -> Result<Vec<Rule<T::A>>, ParseError> {
+    let mut out = Vec::new();
+    while !matches!(p.peek(), Tok::RBrace | Tok::Eof) {
+        out.push(rule::<T>(p)?);
+    }
+    Ok(out)
+}

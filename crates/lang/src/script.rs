@@ -1,0 +1,330 @@
+//! `.frdb` scripts: the statement language driven by `frdb-cli`.
+//!
+//! ```text
+//! script    := [ "theory" ("dense" | "linear") ";" ] { stmt }
+//! stmt      := "schema" IDENT "/" NUMBER { "," IDENT "/" NUMBER } ";"
+//!            | IDENT ":=" relation ";"                  (set a relation)
+//!            | "query" IDENT "(" [ varlist ] ")" ":=" formula ";"
+//!            | "run" IDENT ";"                          (evaluate and print)
+//!            | "check" formula ";"                      (print true/false)
+//!            | "assert" formula ";"                     (error when false)
+//!            | "program" IDENT "{" { rule } "}"
+//!            | "fixpoint" IDENT ";"                     (run a program)
+//!            | "print" IDENT ";"                        (print a relation)
+//! ```
+//!
+//! The statement keywords are contextual: a relation may be called `query` or
+//! `print`, because an identifier followed by `:=` always parses as an
+//! assignment.
+
+use crate::lexer::{lex, Tok};
+use crate::parser::{self, AtomSyntax, Parser};
+use crate::{ParseError, Span};
+use frdb_core::logic::{Formula, Var};
+use frdb_core::relation::Relation;
+use frdb_core::schema::RelName;
+use frdb_core::theory::Theory;
+use frdb_datalog::Program;
+
+/// The constraint theory a script runs over, declared by its `theory` header
+/// (dense order is the default, matching the paper's case study).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TheoryKind {
+    /// Dense order `(Q, ≤)` — `frdb_core::dense::DenseOrder`.
+    Dense,
+    /// Linear constraints `(Q, ≤, +)` — `frdb_linear::LinearOrder`.
+    Linear,
+}
+
+impl TheoryKind {
+    /// The name used in the `theory …;` header.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TheoryKind::Dense => "dense",
+            TheoryKind::Linear => "linear",
+        }
+    }
+
+    /// The kind with the given header name, if any.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<TheoryKind> {
+        match name {
+            "dense" => Some(TheoryKind::Dense),
+            "linear" => Some(TheoryKind::Linear),
+            _ => None,
+        }
+    }
+}
+
+/// A node paired with its byte span, for execution-time diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned<T> {
+    /// The node.
+    pub node: T,
+    /// Its byte span in the source.
+    pub span: Span,
+}
+
+/// One script statement over theory `T`.
+#[derive(Clone, Debug)]
+pub enum Stmt<T: Theory> {
+    /// `schema R/2, S/1;` — declare relations with arities.
+    Schema(Vec<(RelName, usize)>),
+    /// `R := {(x, y) | …};` — set a declared relation's value.
+    Assign {
+        /// The relation name.
+        name: RelName,
+        /// The parsed relation literal.
+        relation: Relation<T>,
+    },
+    /// `query q(x, z) := …;` — define a named query.
+    Query {
+        /// The query name.
+        name: String,
+        /// The declared answer variables.
+        free: Vec<Var>,
+        /// The query formula.
+        formula: Formula<T::A>,
+    },
+    /// `run q;` — evaluate a named query and print the answer relation.
+    Run {
+        /// The query name.
+        name: String,
+    },
+    /// `check φ;` — evaluate a sentence and print `true` / `false`.
+    Check {
+        /// The sentence.
+        formula: Formula<T::A>,
+    },
+    /// `assert φ;` — evaluate a sentence, error (non-zero exit) when false.
+    Assert {
+        /// The sentence.
+        formula: Formula<T::A>,
+    },
+    /// `program p { … }` — define a named `DATALOG¬` program.
+    DefProgram {
+        /// The program name.
+        name: String,
+        /// The parsed program.
+        program: Program<T::A>,
+    },
+    /// `fixpoint p;` — run a named program to its inflationary fixpoint and
+    /// merge the intensional relations into the current instance.
+    Fixpoint {
+        /// The program name.
+        name: String,
+    },
+    /// `print R;` — print a relation's current value.
+    Print {
+        /// The relation name.
+        name: RelName,
+    },
+}
+
+/// A parsed script: the declared theory and the statement list.
+#[derive(Clone, Debug)]
+pub struct Script<T: Theory> {
+    /// The theory declared by the header (or the dense default).
+    pub theory: TheoryKind,
+    /// The statements in source order.
+    pub stmts: Vec<Spanned<Stmt<T>>>,
+}
+
+/// Reads a script's `theory …;` header without parsing the rest — the hook a
+/// driver uses to choose the theory before instantiating [`parse_script`].
+///
+/// # Errors
+/// Returns a span-carrying [`ParseError`] when the source does not lex or the
+/// header names an unknown theory.
+pub fn script_theory(src: &str) -> Result<TheoryKind, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(src, tokens);
+    Ok(read_theory_header(&mut p)?.unwrap_or(TheoryKind::Dense))
+}
+
+/// Parses the optional `theory …;` header, returning the declared kind when
+/// one is present.
+fn read_theory_header(p: &mut Parser<'_>) -> Result<Option<TheoryKind>, ParseError> {
+    if let Tok::Ident(word) = p.peek() {
+        if word == "theory" {
+            p.advance();
+            let (name, name_span) = p.ident("a theory name (`dense` or `linear`)")?;
+            let Some(kind) = TheoryKind::from_name(&name) else {
+                return Err(ParseError::new(
+                    format!("unknown theory `{name}` (expected `dense` or `linear`)"),
+                    name_span,
+                ));
+            };
+            p.expect(&Tok::Semi, "`;` after the theory header")?;
+            return Ok(Some(kind));
+        }
+    }
+    Ok(None)
+}
+
+/// Parses a whole `.frdb` script over theory `T`.
+///
+/// An explicit `theory` header must agree with `T` (use [`script_theory`]
+/// first to pick the instantiation); a script without a header parses over
+/// whichever theory it is instantiated at.
+///
+/// # Errors
+/// Returns a span-carrying [`ParseError`] on malformed input or a theory
+/// header mismatching `T`.
+pub fn parse_script<T: AtomSyntax>(src: &str) -> Result<Script<T>, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(src, tokens);
+    let declared = read_theory_header(&mut p)?;
+    if let Some(d) = declared {
+        if d.name() != T::THEORY_NAME {
+            return Err(ParseError::new(
+                format!(
+                    "script declares theory `{}` but is being parsed over `{}`",
+                    d.name(),
+                    T::THEORY_NAME
+                ),
+                Span::new(0, 0),
+            ));
+        }
+    }
+    let theory = declared
+        .or_else(|| TheoryKind::from_name(T::THEORY_NAME))
+        .unwrap_or(TheoryKind::Dense);
+    let mut stmts = Vec::new();
+    while !matches!(p.peek(), Tok::Eof) {
+        stmts.push(statement::<T>(&mut p)?);
+    }
+    Ok(Script { theory, stmts })
+}
+
+fn statement<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Spanned<Stmt<T>>, ParseError> {
+    let start = p.span();
+    // An identifier followed by `:=` is always an assignment, whatever the
+    // identifier says; statement keywords are only recognized otherwise.
+    if let Tok::Ident(word) = p.peek().clone() {
+        if matches!(p.peek2(), Tok::Assign) {
+            p.advance(); // name
+            p.advance(); // :=
+            let relation = parser::relation::<T>(p)?;
+            let end = p.expect(&Tok::Semi, "`;` terminating the assignment")?.span;
+            return Ok(Spanned {
+                node: Stmt::Assign {
+                    name: RelName::new(word),
+                    relation,
+                },
+                span: start.join(end),
+            });
+        }
+        match word.as_str() {
+            "schema" => {
+                p.advance();
+                let mut decls = Vec::new();
+                loop {
+                    let (name, _) = p.ident("a relation name")?;
+                    p.expect(&Tok::Slash, "`/` between relation name and arity")?;
+                    let arity = p.parse_arity()?;
+                    decls.push((RelName::new(name), arity));
+                    if matches!(p.peek(), Tok::Comma) {
+                        p.advance();
+                    } else {
+                        break;
+                    }
+                }
+                let end = p
+                    .expect(&Tok::Semi, "`;` terminating the schema statement")?
+                    .span;
+                return Ok(Spanned {
+                    node: Stmt::Schema(decls),
+                    span: start.join(end),
+                });
+            }
+            "query" => {
+                p.advance();
+                let (name, _) = p.ident("a query name")?;
+                p.expect(&Tok::LParen, "`(` before the answer variables")?;
+                let free = if matches!(p.peek(), Tok::RParen) {
+                    Vec::new()
+                } else {
+                    p.varlist()?
+                };
+                p.expect(&Tok::RParen, "`)` after the answer variables")?;
+                p.expect(&Tok::Assign, "`:=` before the query formula")?;
+                let formula = parser::formula::<T>(p)?;
+                let end = p
+                    .expect(&Tok::Semi, "`;` terminating the query definition")?
+                    .span;
+                return Ok(Spanned {
+                    node: Stmt::Query {
+                        name,
+                        free,
+                        formula,
+                    },
+                    span: start.join(end),
+                });
+            }
+            "run" | "fixpoint" => {
+                let is_run = word == "run";
+                p.advance();
+                let (name, _) = p.ident(if is_run {
+                    "a query name"
+                } else {
+                    "a program name"
+                })?;
+                let end = p.expect(&Tok::Semi, "`;` terminating the statement")?.span;
+                return Ok(Spanned {
+                    node: if is_run {
+                        Stmt::Run { name }
+                    } else {
+                        Stmt::Fixpoint { name }
+                    },
+                    span: start.join(end),
+                });
+            }
+            "check" | "assert" => {
+                let is_check = word == "check";
+                p.advance();
+                let formula = parser::formula::<T>(p)?;
+                let end = p.expect(&Tok::Semi, "`;` terminating the statement")?.span;
+                return Ok(Spanned {
+                    node: if is_check {
+                        Stmt::Check { formula }
+                    } else {
+                        Stmt::Assert { formula }
+                    },
+                    span: start.join(end),
+                });
+            }
+            "program" => {
+                p.advance();
+                let (name, _) = p.ident("a program name")?;
+                p.expect(&Tok::LBrace, "`{` opening the program body")?;
+                let rules = parser::rules_until_rbrace::<T>(p)?;
+                let end = p.expect(&Tok::RBrace, "`}` closing the program body")?.span;
+                return Ok(Spanned {
+                    node: Stmt::DefProgram {
+                        name,
+                        program: Program::from_rules(rules),
+                    },
+                    span: start.join(end),
+                });
+            }
+            "print" => {
+                p.advance();
+                let (name, _) = p.ident("a relation name")?;
+                let end = p.expect(&Tok::Semi, "`;` terminating the statement")?.span;
+                return Ok(Spanned {
+                    node: Stmt::Print {
+                        name: RelName::new(name),
+                    },
+                    span: start.join(end),
+                });
+            }
+            _ => {}
+        }
+    }
+    Err(p.error_here(
+        "expected a statement (`schema`, `R := …`, `query`, `run`, `check`, \
+         `assert`, `program`, `fixpoint`, or `print`)",
+    ))
+}

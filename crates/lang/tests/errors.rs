@@ -1,0 +1,123 @@
+//! Golden tests pinning the parser's error diagnostics — message **and** byte
+//! span — for a catalog of malformed inputs.  The rendered diagnostics live in
+//! `tests/golden_errors.txt`; regenerate with `BLESS=1 cargo test -p frdb-lang
+//! --test errors` after an intentional change.
+
+use frdb_core::dense::DenseOrder;
+use frdb_lang::{parse_formula, parse_relation, parse_rule, parse_script};
+use frdb_linear::LinearOrder;
+
+/// A diagnostics case: a name, the malformed source, and the parser entry
+/// point it exercises.
+type Case = (&'static str, &'static str, fn(&str) -> String);
+
+/// The malformed inputs.
+fn cases() -> Vec<Case> {
+    fn formula_dense(src: &str) -> String {
+        parse_formula::<DenseOrder>(src).map_or_else(|e| e.render("<test>", src), |_| "OK".into())
+    }
+    fn formula_linear(src: &str) -> String {
+        parse_formula::<LinearOrder>(src).map_or_else(|e| e.render("<test>", src), |_| "OK".into())
+    }
+    fn relation_dense(src: &str) -> String {
+        parse_relation::<DenseOrder>(src).map_or_else(|e| e.render("<test>", src), |_| "OK".into())
+    }
+    fn rule_dense(src: &str) -> String {
+        parse_rule::<DenseOrder>(src).map_or_else(|e| e.render("<test>", src), |_| "OK".into())
+    }
+    fn script_dense(src: &str) -> String {
+        parse_script::<DenseOrder>(src).map_or_else(|e| e.render("<test>", src), |_| "OK".into())
+    }
+    vec![
+        ("truncated-comparison", "x <", formula_dense),
+        ("unclosed-rel-atom", "R(x", formula_dense),
+        ("reserved-hash-namespace", "x < #0", formula_dense),
+        ("neq-is-not-an-atom", "x != y", formula_dense),
+        ("zero-denominator", "x < 1/0", formula_dense),
+        ("empty-quantifier-varlist", "exists . R(x)", formula_dense),
+        (
+            "missing-dot-after-varlist",
+            "forall x (R(x))",
+            formula_dense,
+        ),
+        ("linear-neq-is-not-an-atom", "2·x + y != 0", formula_linear),
+        (
+            "loose-variable-in-relation",
+            "{(x) | y < 1}",
+            relation_dense,
+        ),
+        ("missing-rule-terminator", "p(x) :- R(x)", rule_dense),
+        ("rule-missing-turnstile", "p(x) R(x).", rule_dense),
+        (
+            "run-without-query-name",
+            "schema R/2;\nrun ;\n",
+            script_dense,
+        ),
+        ("not-a-statement", "<= 3;", script_dense),
+        ("bad-arity", "schema R/x;", script_dense),
+        ("unknown-theory", "theory euclidean;", script_dense),
+        (
+            "unterminated-statement",
+            "schema R/1;\nR := {(x) | x < 1}",
+            script_dense,
+        ),
+    ]
+}
+
+#[test]
+fn diagnostics_match_golden_file() {
+    let mut rendered = String::new();
+    for (name, src, run) in cases() {
+        rendered.push_str(&format!("==== {name}\ninput: {src:?}\n{}\n\n", run(src)));
+    }
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_errors.txt");
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(golden_path, &rendered).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — run with BLESS=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "diagnostics drifted from the golden file; run with BLESS=1 if intentional"
+    );
+}
+
+#[test]
+fn every_case_is_actually_an_error() {
+    for (name, src, run) in cases() {
+        assert!(run(src) != "OK", "{name} unexpectedly parsed: {src}");
+    }
+}
+
+#[test]
+fn deep_nesting_is_an_error_not_a_stack_overflow() {
+    // Regression: unbounded recursive descent crashed the process on deeply
+    // nested input; a file loader must report a ParseError instead.
+    for n in [1_000usize, 100_000] {
+        let deep = format!("{}true{}", "(".repeat(n), ")".repeat(n));
+        let err = parse_formula::<DenseOrder>(&deep).unwrap_err();
+        assert!(err.message.contains("nesting deeper"), "{err}");
+        let nots = format!("{}true", "not ".repeat(n));
+        let err = parse_formula::<DenseOrder>(&nots).unwrap_err();
+        assert!(err.message.contains("nesting deeper"), "{err}");
+    }
+    // Readably deep formulas still parse.
+    let fine = format!("{}true{}", "(".repeat(50), ")".repeat(50));
+    assert!(parse_formula::<DenseOrder>(&fine).is_ok());
+}
+
+#[test]
+fn eof_errors_are_flagged_for_interactive_continuation() {
+    let err = parse_formula::<DenseOrder>("exists x. (R(x)").unwrap_err();
+    assert!(err.at_eof, "unterminated input must set at_eof");
+    let err = parse_script::<DenseOrder>("schema R/1;\nR := {(x) | x < 1}").unwrap_err();
+    assert!(err.at_eof);
+    // A mid-input error is not an EOF error.
+    let err = parse_formula::<DenseOrder>("x != y").unwrap_err();
+    assert!(!err.at_eof);
+    // An unterminated block comment runs off the end of the input, so the
+    // REPL must keep reading rather than report it (regression).
+    let err = parse_script::<DenseOrder>("/* a multi-line").unwrap_err();
+    assert!(err.at_eof, "unterminated block comment must set at_eof");
+}

@@ -1,0 +1,342 @@
+//! Property tests pinning the parser as the left inverse of the printers:
+//! `parse(print(x)) == x` on randomized formulas, generalized tuples, relation
+//! literals and `DATALOG¬` rules over **both** bundled theories, plus a
+//! fuzz-style property that the parser never panics on arbitrary input.
+
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::logic::{Formula, Term, Var};
+use frdb_core::relation::{GenTuple, Relation};
+use frdb_datalog::{Literal, Program, Rule};
+use frdb_lang::{
+    parse_formula, parse_gen_tuple, parse_program, parse_relation, parse_rule, parse_script,
+};
+use frdb_linear::{LinAtom, LinExpr, LinearOrder};
+use frdb_num::Rat;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// Dense-order generators
+// ---------------------------------------------------------------------------
+
+fn rand_rat(rng: &mut StdRng) -> Rat {
+    let num = rng.gen_range(-6i64..=9);
+    if rng.gen_range(0..3) == 0 {
+        // A non-integer rational, to exercise `p/q` literals.
+        Rat::new(num.into(), rng.gen_range(2i64..=4).into())
+    } else {
+        Rat::from_i64(num)
+    }
+}
+
+fn rand_dense_term(rng: &mut StdRng) -> Term {
+    match rng.gen_range(0..=4) {
+        0 => Term::var("x"),
+        1 => Term::var("y"),
+        2 => Term::var("z"),
+        _ => Term::rat(rand_rat(rng)),
+    }
+}
+
+fn rand_dense_atom(rng: &mut StdRng) -> DenseAtom {
+    let (l, r) = (rand_dense_term(rng), rand_dense_term(rng));
+    match rng.gen_range(0..=2) {
+        0 => DenseAtom::lt(l, r),
+        1 => DenseAtom::le(l, r),
+        _ => DenseAtom::eq(l, r),
+    }
+}
+
+fn rand_dense_leaf(rng: &mut StdRng) -> Formula<DenseAtom> {
+    match rng.gen_range(0..=5) {
+        0 => Formula::True,
+        1 => Formula::False,
+        2 => Formula::rel("R", vec![rand_dense_term(rng)]),
+        3 => Formula::rel("S", vec![rand_dense_term(rng), rand_dense_term(rng)]),
+        _ => Formula::Atom(rand_dense_atom(rng)),
+    }
+}
+
+/// A random formula whose `Display` output must parse back to itself: n-ary
+/// connectives have at least two operands and quantifier blocks at least one
+/// variable (empty and singleton nodes print as their simplified forms, which
+/// parse to different — equivalent — ASTs, so the generator avoids them).
+fn rand_dense_formula(rng: &mut StdRng, depth: usize) -> Formula<DenseAtom> {
+    if depth == 0 {
+        return rand_dense_leaf(rng);
+    }
+    match rng.gen_range(0..=7) {
+        0 => rand_dense_formula(rng, depth - 1).not(),
+        1 | 2 => {
+            let n = rng.gen_range(2..=3);
+            Formula::And((0..n).map(|_| rand_dense_formula(rng, depth - 1)).collect())
+        }
+        3 | 4 => {
+            let n = rng.gen_range(2..=3);
+            Formula::Or((0..n).map(|_| rand_dense_formula(rng, depth - 1)).collect())
+        }
+        5 => {
+            let vars = ["u", "v", "w"][..rng.gen_range(1..=3)].to_vec();
+            Formula::exists(vars, rand_dense_formula(rng, depth - 1))
+        }
+        6 => {
+            let vars = ["u", "v"][..rng.gen_range(1..=2)].to_vec();
+            Formula::forall(vars, rand_dense_formula(rng, depth - 1))
+        }
+        _ => {
+            let a = rand_dense_formula(rng, depth - 1);
+            let b = rand_dense_formula(rng, depth - 1);
+            if rng.gen_range(0..2) == 0 {
+                a.implies(b)
+            } else {
+                a.iff(b)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear generators
+// ---------------------------------------------------------------------------
+
+fn rand_lin_expr(rng: &mut StdRng) -> LinExpr {
+    let mut e = LinExpr::constant(rand_rat(rng));
+    for name in ["x", "y", "z"] {
+        if rng.gen_range(0..2) == 0 {
+            let coef = rand_rat(rng);
+            e = e.add(&LinExpr::var(name).scale(&coef));
+        }
+    }
+    e
+}
+
+fn rand_lin_atom(rng: &mut StdRng) -> LinAtom {
+    let (l, r) = (rand_lin_expr(rng), rand_lin_expr(rng));
+    match rng.gen_range(0..=2) {
+        0 => LinAtom::lt(l, r),
+        1 => LinAtom::le(l, r),
+        _ => LinAtom::eq(l, r),
+    }
+}
+
+fn rand_lin_formula(rng: &mut StdRng, depth: usize) -> Formula<LinAtom> {
+    if depth == 0 {
+        return match rng.gen_range(0..=3) {
+            0 => Formula::rel("R", vec![rand_dense_term(rng)]),
+            _ => Formula::Atom(rand_lin_atom(rng)),
+        };
+    }
+    match rng.gen_range(0..=4) {
+        0 => rand_lin_formula(rng, depth - 1).not(),
+        1 => {
+            let n = rng.gen_range(2..=3);
+            Formula::And((0..n).map(|_| rand_lin_formula(rng, depth - 1)).collect())
+        }
+        2 => {
+            let n = rng.gen_range(2..=3);
+            Formula::Or((0..n).map(|_| rand_lin_formula(rng, depth - 1)).collect())
+        }
+        3 => Formula::exists(["u"], rand_lin_formula(rng, depth - 1)),
+        _ => Formula::forall(["u"], rand_lin_formula(rng, depth - 1)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule generators
+// ---------------------------------------------------------------------------
+
+fn rand_dense_literal(rng: &mut StdRng) -> Literal<DenseAtom> {
+    match rng.gen_range(0..=2) {
+        0 => Literal::pos("S", vec![rand_dense_term(rng), rand_dense_term(rng)]),
+        1 => Literal::neg("R", vec![rand_dense_term(rng)]),
+        _ => Literal::constraint(rand_dense_atom(rng)),
+    }
+}
+
+fn rand_dense_rule(rng: &mut StdRng) -> Rule<DenseAtom> {
+    let head_vars: Vec<&str> = ["x", "y"][..rng.gen_range(1..=2)].to_vec();
+    if rng.gen_range(0..2) == 0 {
+        let n = rng.gen_range(1..=3);
+        Rule::new(
+            "p",
+            head_vars,
+            (0..n).map(|_| rand_dense_literal(rng)).collect(),
+        )
+    } else {
+        // Formula bodies are kept visibly formula-shaped (a quantifier or an
+        // n-ary connective): a body printing exactly like a literal list
+        // legitimately parses back as one.
+        let body = match rng.gen_range(0..=2) {
+            0 => Formula::exists(["q"], rand_dense_formula(rng, 1)),
+            1 => Formula::forall(["q"], rand_dense_formula(rng, 1)),
+            _ => Formula::And(vec![rand_dense_formula(rng, 1), rand_dense_formula(rng, 1)]),
+        };
+        Rule::from_formula("p", head_vars, body)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn dense_formulas_roundtrip(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let depth = rng.gen_range(1..=3);
+        let formula = rand_dense_formula(&mut rng, depth);
+        let printed = formula.to_string();
+        let parsed = parse_formula::<DenseOrder>(&printed)
+            .unwrap_or_else(|e| panic!("printed formula must parse: {printed}\n  {e}"));
+        prop_assert_eq!(&parsed, &formula, "roundtrip changed {}", printed);
+    }
+
+    #[test]
+    fn linear_formulas_roundtrip(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let depth = rng.gen_range(1..=2);
+        let formula = rand_lin_formula(&mut rng, depth);
+        let printed = formula.to_string();
+        let parsed = parse_formula::<LinearOrder>(&printed)
+            .unwrap_or_else(|e| panic!("printed formula must parse: {printed}\n  {e}"));
+        prop_assert_eq!(&parsed, &formula, "roundtrip changed {}", printed);
+    }
+
+    #[test]
+    fn dense_tuples_roundtrip(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(0..=4);
+        let tuple = GenTuple::new((0..n).map(|_| rand_dense_atom(&mut rng)).collect());
+        let printed = tuple.to_string();
+        let parsed = parse_gen_tuple::<DenseOrder>(&printed)
+            .unwrap_or_else(|e| panic!("printed tuple must parse: {printed}\n  {e}"));
+        prop_assert_eq!(parsed.atoms(), tuple.atoms());
+    }
+
+    #[test]
+    fn linear_tuples_roundtrip(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(0..=3);
+        let tuple = GenTuple::new((0..n).map(|_| rand_lin_atom(&mut rng)).collect());
+        let printed = tuple.to_string();
+        let parsed = parse_gen_tuple::<LinearOrder>(&printed)
+            .unwrap_or_else(|e| panic!("printed tuple must parse: {printed}\n  {e}"));
+        prop_assert_eq!(parsed.atoms(), tuple.atoms());
+    }
+
+    #[test]
+    fn dense_rules_roundtrip(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rule = rand_dense_rule(&mut rng);
+        let printed = rule.to_string();
+        let full = format!("{printed}.");
+        let parsed = parse_rule::<DenseOrder>(&full)
+            .unwrap_or_else(|e| panic!("printed rule must parse: {full}\n  {e}"));
+        prop_assert_eq!(&parsed, &rule, "roundtrip changed {}", full);
+    }
+
+    #[test]
+    fn dense_programs_roundtrip(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..=4);
+        let program = Program::from_rules((0..n).map(|_| rand_dense_rule(&mut rng)).collect());
+        let printed = program.to_string();
+        let parsed = parse_program::<DenseOrder>(&printed)
+            .unwrap_or_else(|e| panic!("printed program must parse:\n{printed}\n  {e}"));
+        prop_assert_eq!(parsed.rules(), program.rules());
+    }
+
+    #[test]
+    fn dense_relations_roundtrip(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vars = vec![Var::new("x"), Var::new("y")];
+        // Atoms drawn over the columns only: a loose variable is rejected at
+        // construction time (see `try_new_rejects_tuples_with_loose_variables`).
+        let column_atom = |rng: &mut StdRng| {
+            let term = |rng: &mut StdRng| match rng.gen_range(0..=3) {
+                0 => Term::var("x"),
+                1 => Term::var("y"),
+                _ => Term::rat(rand_rat(rng)),
+            };
+            let (l, r) = (term(rng), term(rng));
+            match rng.gen_range(0..=2) {
+                0 => DenseAtom::lt(l, r),
+                1 => DenseAtom::le(l, r),
+                _ => DenseAtom::eq(l, r),
+            }
+        };
+        let n = rng.gen_range(0..=3);
+        let tuples: Vec<GenTuple<DenseAtom>> = (0..n)
+            .map(|_| {
+                let k = rng.gen_range(0..=3);
+                GenTuple::new((0..k).map(|_| column_atom(&mut rng)).collect())
+            })
+            .collect();
+        let relation: Relation<DenseOrder> = Relation::new(vars, tuples);
+        let printed = relation.to_string();
+        let parsed = parse_relation::<DenseOrder>(&printed)
+            .unwrap_or_else(|e| panic!("printed relation must parse: {printed}\n  {e}"));
+        // The stored tuples are canonical, and canonicalization is idempotent,
+        // so the reparsed representation is syntactically identical.
+        prop_assert_eq!(parsed.vars(), relation.vars());
+        prop_assert_eq!(parsed.to_dnf(), relation.to_dnf());
+        prop_assert!(parsed.equivalent(&relation));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz: the parser never panics on arbitrary input
+// ---------------------------------------------------------------------------
+
+/// Characters drawn by the fuzzer: everything the grammar uses, plus noise
+/// (the reserved `#`, stray unicode, unbalanced brackets).
+const FUZZ_CHARS: &[char] = &[
+    'a', 'b', 'R', 'S', 'x', 'y', '_', '0', '1', '9', '(', ')', '{', '}', ',', ';', '.', '|', '/',
+    ':', '=', '<', '>', '!', '+', '-', '*', '&', ' ', '\n', '∧', '∨', '¬', '∃', '∀', '≤', '≥', '≠',
+    '→', '↔', '←', '·', '#', '@', 'é', '"',
+];
+
+fn fuzz_string(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0..=80);
+    (0..len)
+        .map(|_| FUZZ_CHARS[rng.gen_range(0..FUZZ_CHARS.len())])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_strings(seed in 0u64..10_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = fuzz_string(&mut rng);
+        // Any outcome is fine — panics are not.
+        let _ = parse_script::<DenseOrder>(&input);
+        let _ = parse_script::<LinearOrder>(&input);
+        let _ = parse_formula::<DenseOrder>(&input);
+        let _ = parse_relation::<DenseOrder>(&input);
+        let _ = parse_rule::<LinearOrder>(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutated_valid_scripts(seed in 0u64..10_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let valid = "theory dense;\nschema R/2;\nR := {(x, y) | 0 <= x and x <= y};\n\
+                     query q(x) := exists y. (R(x, y));\nrun q;\n";
+        let mut mutated: Vec<char> = valid.chars().collect();
+        for _ in 0..rng.gen_range(1..=6) {
+            let pos = rng.gen_range(0..mutated.len());
+            let c = FUZZ_CHARS[rng.gen_range(0..FUZZ_CHARS.len())];
+            if rng.gen_range(0..2) == 0 {
+                mutated[pos] = c;
+            } else {
+                mutated.insert(pos, c);
+            }
+        }
+        let input: String = mutated.into_iter().collect();
+        let _ = parse_script::<DenseOrder>(&input);
+    }
+}

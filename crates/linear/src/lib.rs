@@ -734,7 +734,8 @@ mod tests {
                     LinAtom::le(x().add(&y()), k(1)),
                 ]],
             ),
-        );
+        )
+        .unwrap();
         // The projection ∃y.R(x,y) is exactly [0, 1].
         let q: Formula<LinAtom> =
             Formula::exists(["y"], Formula::rel("R", [Term::var("x"), Term::var("y")]));

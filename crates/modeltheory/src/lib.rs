@@ -268,13 +268,13 @@ mod tests {
 
     fn monadic_instance(rel: Relation<DenseOrder>) -> Instance<DenseOrder> {
         let mut inst = Instance::new(Schema::from_pairs([("R", 1)]));
-        inst.set("R", rel);
+        inst.set("R", rel).unwrap();
         inst
     }
 
     fn binary_instance(rel: Relation<DenseOrder>) -> Instance<DenseOrder> {
         let mut inst = Instance::new(Schema::from_pairs([("R", 2)]));
-        inst.set("R", rel);
+        inst.set("R", rel).unwrap();
         inst
     }
 

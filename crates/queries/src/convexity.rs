@@ -101,7 +101,8 @@ pub fn is_convex(relation: &Relation<DenseOrder>) -> Result<bool, frdb_core::fo:
     let arity = relation.arity();
     let schema = Schema::from_pairs([("R", arity)]);
     let mut inst: Instance<LinearOrder> = Instance::new(schema);
-    inst.set("R", to_linear_relation(relation));
+    inst.set("R", to_linear_relation(relation))
+        .expect("schema declares R");
     eval_sentence(&midpoint_convexity_sentence("R", arity), &inst)
 }
 

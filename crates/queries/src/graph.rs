@@ -203,7 +203,7 @@ mod tests {
         // Via the DATALOG¬ engine (Theorem 6.5(3)).
         let schema = Schema::from_pairs([("edge", 2)]);
         let mut inst = frdb_core::relation::Instance::new(schema);
-        inst.set("edge", edges);
+        inst.set("edge", edges).unwrap();
         let program = transitive_closure_program("edge", "tc");
         let tc = program.run_for(&inst, &RelName::new("tc")).unwrap();
         for i in 1..=5i64 {

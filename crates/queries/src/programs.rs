@@ -137,7 +137,7 @@ pub fn region_connected_datalog(region: &Relation<DenseOrder>) -> Result<bool, D
     let schema = Schema::from_pairs([("R", 2)]);
     let mut edb: Instance<DenseOrder> = Instance::new(schema);
     let region = region.rename(vec![Var::new("x"), Var::new("y")]);
-    edb.set("R", region.clone());
+    edb.set("R", region.clone()).expect("schema declares R");
     let program = region_connectivity_program("R");
     let result = program.run(&edb)?;
     let conn = result

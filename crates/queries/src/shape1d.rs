@@ -170,7 +170,7 @@ mod tests {
         let sentence = connectivity_1d_sentence("R");
         for (relation, expected) in [(connected, true), (split, false)] {
             let mut inst = Instance::new(schema.clone());
-            inst.set("R", relation);
+            inst.set("R", relation).unwrap();
             assert_eq!(eval_sentence(&sentence, &inst).unwrap(), expected);
         }
     }

@@ -68,7 +68,8 @@ pub fn single_relation_instance(
 ) -> Instance<DenseOrder> {
     let schema = Schema::from_pairs([(name, relation.arity())]);
     let mut inst = Instance::new(schema);
-    inst.set(name, relation);
+    inst.set(name, relation)
+        .expect("schema built from the relation");
     inst
 }
 

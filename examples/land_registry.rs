@@ -27,8 +27,8 @@ fn main() {
 
     let schema = Schema::from_pairs([("alice", 2), ("bob", 2)]);
     let mut db: Instance<DenseOrder> = Instance::new(schema);
-    db.set("alice", alice.clone());
-    db.set("bob", bob.clone());
+    db.set("alice", alice.clone()).unwrap();
+    db.set("bob", bob.clone()).unwrap();
 
     // Do the two estates overlap?  A Boolean FO query.
     let overlap: Formula<DenseAtom> = Formula::exists(

@@ -1,7 +1,13 @@
 //! Quickstart: define a constraint database, query it with the relational calculus,
 //! and inspect its canonical form and encoding size.
 //!
-//! Run with `cargo run --example quickstart`.
+//! Every value built here through the Rust API has a **surface-language twin**:
+//! the script `examples/scripts/quickstart.frdb` expresses the same database
+//! and queries as text, runnable with
+//! `cargo run -p frdb-cli -- examples/scripts/quickstart.frdb` — each step
+//! below shows the text form next to the AST form.
+//!
+//! Run this file with `cargo run --example quickstart`.
 
 use frdb::prelude::*;
 use frdb_core::normal::{cover, decompose_1d};
@@ -9,11 +15,16 @@ use frdb_core::normal::{cover, decompose_1d};
 fn main() {
     // A schema with a spatial relation (a region of the rational plane) and a
     // temporal relation (a set of time intervals).
+    //
+    // text form:   schema region/2, busy/1;
     let schema = Schema::from_pairs([("region", 2), ("busy", 1)]);
     let mut db: Instance<DenseOrder> = Instance::new(schema);
 
     // The region is the union of a filled rectangle and a triangle bounded by the
     // diagonal — the shapes of Example 2.5 / Fig. 2.
+    //
+    // text form:   region := {(x, y) | (0 <= x and x <= 4 and 0 <= y and y <= 2)
+    //                                or (4 <= x and x <= y and y <= 6)};
     db.set(
         "region",
         Relation::new(
@@ -32,8 +43,11 @@ fn main() {
                 ]),
             ],
         ),
-    );
+    )
+    .expect("region is declared");
     // Busy times: two closed intervals.
+    //
+    // text form:   busy := {(t) | (1 <= t and t <= 3) or (5 <= t and t <= 8)};
     db.set(
         "busy",
         Relation::new(
@@ -49,14 +63,21 @@ fn main() {
                 ]),
             ],
         ),
-    );
+    )
+    .expect("busy is declared");
 
+    // The same instance could have been *parsed*: `db.to_string()` prints a
+    // script fragment that the surface-language parser reads back.
+    println!("the instance, as surface text:\n{db}");
     println!(
         "database size (standard encoding of §4.2): {} symbols",
         database_size(&db).expect("well-formed instance")
     );
 
     // Relational calculus: the projection of the region on the x axis.
+    //
+    // text form:   query shadow(x) := exists y. (region(x, y));
+    //              run shadow;
     let shadow_query: Formula<DenseAtom> = Formula::exists(
         ["y"],
         Formula::rel("region", [Term::var("x"), Term::var("y")]),
@@ -68,6 +89,8 @@ fn main() {
     }
 
     // A Boolean query: is the whole region contained in the half-plane x ≤ 6?
+    //
+    // text form:   check forall x, y. (region(x, y) -> x <= 6);
     let bounded: Formula<DenseAtom> = Formula::forall(
         ["x", "y"],
         Formula::rel("region", [Term::var("x"), Term::var("y")])
@@ -79,6 +102,9 @@ fn main() {
     );
 
     // Free time: the complement of busy within the working day [0, 10].
+    //
+    // text form:   query free_time(t) := not busy(t) and 0 <= t and t <= 10;
+    //              run free_time;
     let free_query: Formula<DenseAtom> = Formula::rel("busy", [Term::var("t")])
         .not()
         .and(Formula::Atom(DenseAtom::le(Term::cst(0), Term::var("t"))))
@@ -91,4 +117,11 @@ fn main() {
     for cell in cover(&db.get(&RelName::new("region")).unwrap()) {
         println!("  {cell}");
     }
+
+    // Round trip: the text form of the shadow query parses back to the very
+    // same AST that was built by hand above.
+    let reparsed: Formula<DenseAtom> =
+        parse_formula::<DenseOrder>("exists y. (region(x, y))").unwrap();
+    assert_eq!(reparsed, shadow_query);
+    println!("\nparse(\"exists y. (region(x, y))\") == the hand-built AST ✓");
 }

@@ -107,8 +107,9 @@ fn dense_instance(seed: u64) -> Instance<DenseOrder> {
     let r = random_intervals(&mut rng, 2, 12);
     let s = random_graph(&mut rng, 4, 4);
     let mut inst = Instance::new(Schema::from_pairs([("R", 1), ("S", 2)]));
-    inst.set("R", r);
-    inst.set("S", s.rename(vec![Var::new("x"), Var::new("y")]));
+    inst.set("R", r).unwrap();
+    inst.set("S", s.rename(vec![Var::new("x"), Var::new("y")]))
+        .unwrap();
     inst
 }
 
@@ -178,7 +179,7 @@ fn linear_instance(seed: u64) -> Instance<LinearOrder> {
     let mut rng = StdRng::seed_from_u64(seed);
     let r = to_linear_relation(&random_intervals(&mut rng, 2, 10));
     let mut inst = Instance::new(Schema::from_pairs([("R", 1)]));
-    inst.set("R", r);
+    inst.set("R", r).unwrap();
     inst
 }
 
@@ -222,7 +223,7 @@ fn midpoint_convexity_agrees_across_evaluators() {
         let mut rng = StdRng::seed_from_u64(seed);
         let region = random_intervals(&mut rng, n, 20);
         let mut inst: Instance<LinearOrder> = Instance::new(Schema::from_pairs([("R", 1)]));
-        inst.set("R", to_linear_relation(&region));
+        inst.set("R", to_linear_relation(&region)).unwrap();
         let sentence = midpoint_convexity_sentence("R", 1);
         let a = eval_sentence(&sentence, &inst).unwrap();
         let b = eval_sentence_expand(&sentence, &inst).unwrap();

@@ -46,7 +46,7 @@ fn one_dimensional_queries_agree_between_fo_and_direct() {
         assert_eq!(is_convex_1d(&relation), expected);
         assert_eq!(is_connected(&relation), expected);
         let mut inst = Instance::new(schema.clone());
-        inst.set("R", relation);
+        inst.set("R", relation).unwrap();
         assert_eq!(
             eval_sentence(&connectivity_1d_sentence("R"), &inst).unwrap(),
             expected
@@ -73,7 +73,7 @@ fn transitive_closure_three_ways() {
     let edges = path_graph(6);
     let direct = transitive_closure(&edges).unwrap();
     let mut inst = Instance::new(Schema::from_pairs([("edge", 2)]));
-    inst.set("edge", edges.clone());
+    inst.set("edge", edges.clone()).unwrap();
     let tc = transitive_closure_program("edge", "tc")
         .run_for(&inst, &RelName::new("tc"))
         .unwrap();
