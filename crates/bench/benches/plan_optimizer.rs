@@ -1,0 +1,224 @@
+//! Plan-optimizer comparison (PR 5): the cost-guided optimizer and the
+//! parallel executor against the unoptimized serial evaluator of PR 2, on
+//! join workloads whose *written* conjunct order is poor.
+//!
+//! Four configurations per workload:
+//!
+//! * `unopt`        — `OptLevel::None`, serial: the PR 2 syntactic-order plan.
+//! * `opt`          — the default cost-guided plan, serial.
+//! * `opt-2threads` / `opt-4threads` — the optimized plan with the evaluator's
+//!   worker pool enabled (joins/projections partition their tuples; results
+//!   are bit-identical to serial, so this measures pure scheduling).
+//!
+//! Workloads (every query re-optimized against the instance's statistics, as
+//! the CLI's `run`/`explain` path does):
+//!
+//! * **chain joins** — the zigzag (cross-product-first three-hop) on the
+//!   0→1→…→n chain, and the three-hop chain with a trailing selection.
+//! * **Fig. 3 region joins** — the zigzag over the staircase region of the
+//!   majority reduction (no pinned columns: the optimizer works from shared
+//!   columns alone).
+//! * **zigzag (new catalog entry)** — the same shape on random finite graphs.
+//! * **two-hop / three-hop chains and iff-shadow** — regression guards: the
+//!   optimizer finds nothing to improve and must not cost more than noise.
+//!
+//! Results are written as JSON to `target/frdb-bench/` and snapshotted in
+//! `BENCH_PR5.json` (uploaded as a CI artifact).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::fo::{compile_query_with, CompiledQuery, PlanConfig, Statistics};
+use frdb_core::logic::{Formula, Term, Var};
+use frdb_core::relation::{Instance, Relation};
+use frdb_num::Rat;
+use frdb_queries::catalog::{iff_shadow_query, three_hop_query, two_hop_query, zigzag_query};
+use frdb_queries::reductions::{boolean_vector, majority_to_connectivity};
+use frdb_queries::workload::{random_graph, single_relation_instance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn v(name: &str) -> Var {
+    Var::new(name)
+}
+
+/// The chain `0 → 1 → … → n` as a finite binary relation.
+fn chain_instance(n: usize) -> Instance<DenseOrder> {
+    let points: Vec<Vec<Rat>> = (0..n as i64)
+        .map(|i| vec![Rat::from_i64(i), Rat::from_i64(i + 1)])
+        .collect();
+    single_relation_instance("S", Relation::from_points(vec![v("x"), v("y")], points))
+}
+
+/// A random finite graph under the catalog's `S` schema.
+fn graph_instance(n: usize) -> Instance<DenseOrder> {
+    let mut rng = StdRng::seed_from_u64(n as u64 + 3);
+    single_relation_instance("S", random_graph(&mut rng, n, 2 * n))
+}
+
+/// The Fig. 3 staircase region of the majority reduction as `S`.
+fn fig3_region_as_s(n: usize) -> Instance<DenseOrder> {
+    let region = majority_to_connectivity(&boolean_vector(n, n / 2 + 1));
+    single_relation_instance("S", region.rename(vec![v("x"), v("y")]))
+}
+
+/// Three-hop chain with a trailing selection on the *last* join variable —
+/// the shape selection placement moves to the fold position that binds it.
+fn three_hop_bounded(bound: i64) -> Formula<DenseAtom> {
+    Formula::exists(
+        ["y", "z"],
+        Formula::conj([
+            Formula::rel("S", [Term::var("x"), Term::var("y")]),
+            Formula::rel("S", [Term::var("y"), Term::var("z")]),
+            Formula::rel("S", [Term::var("z"), Term::var("w")]),
+            Formula::Atom(DenseAtom::le(Term::var("w"), Term::cst(bound))),
+        ]),
+    )
+}
+
+/// Compiles under `config` and re-optimizes against the instance statistics —
+/// the exact pipeline the CLI's `run` statement executes.
+fn prepare(
+    query: &Formula<DenseAtom>,
+    free: &[Var],
+    config: &PlanConfig,
+    inst: &Instance<DenseOrder>,
+) -> CompiledQuery<DenseOrder> {
+    compile_query_with::<DenseOrder>(query, free, config).optimized_for(&Statistics::collect(inst))
+}
+
+/// Benchmarks one query across instance sizes under the four configurations.
+fn compare(
+    c: &mut Criterion,
+    group_name: &str,
+    sizes: &[usize],
+    make_instance: fn(usize) -> Instance<DenseOrder>,
+    query: &Formula<DenseAtom>,
+    free: &[Var],
+) {
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let configs: [(&str, PlanConfig); 4] = [
+        ("unopt", PlanConfig::baseline()),
+        ("opt", PlanConfig::default()),
+        (
+            "opt-2threads",
+            PlanConfig {
+                threads: 2,
+                ..PlanConfig::default()
+            },
+        ),
+        (
+            "opt-4threads",
+            PlanConfig {
+                threads: 4,
+                ..PlanConfig::default()
+            },
+        ),
+    ];
+    for &n in sizes {
+        let inst = make_instance(n);
+        for (label, config) in &configs {
+            let compiled = prepare(query, free, config, &inst);
+            group.bench_with_input(BenchmarkId::new(*label, n), &n, |b, _| {
+                b.iter(|| compiled.eval(&inst).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_zigzag_chain(c: &mut Criterion) {
+    compare(
+        c,
+        "PR5_optimizer_zigzag_chain",
+        &[8, 16, 32],
+        chain_instance,
+        &zigzag_query(),
+        &[v("x"), v("w")],
+    );
+}
+
+fn bench_three_hop_bounded_chain(c: &mut Criterion) {
+    compare(
+        c,
+        "PR5_optimizer_three_hop_bounded_chain",
+        &[8, 16, 32],
+        chain_instance,
+        &three_hop_bounded(4),
+        &[v("x"), v("w")],
+    );
+}
+
+fn bench_zigzag_fig3_region(c: &mut Criterion) {
+    compare(
+        c,
+        "PR5_optimizer_zigzag_fig3_region",
+        &[2, 4, 6],
+        fig3_region_as_s,
+        &zigzag_query(),
+        &[v("x"), v("w")],
+    );
+}
+
+fn bench_zigzag_graph(c: &mut Criterion) {
+    compare(
+        c,
+        "PR5_optimizer_zigzag_graph",
+        &[6, 10, 14],
+        graph_instance,
+        &zigzag_query(),
+        &[v("x"), v("w")],
+    );
+}
+
+fn bench_two_hop_chain_regression(c: &mut Criterion) {
+    compare(
+        c,
+        "PR5_optimizer_two_hop_chain_regression",
+        &[16, 32],
+        chain_instance,
+        &two_hop_query(),
+        &[v("x"), v("z")],
+    );
+}
+
+fn bench_three_hop_chain_regression(c: &mut Criterion) {
+    compare(
+        c,
+        "PR5_optimizer_three_hop_chain_regression",
+        &[16, 32],
+        chain_instance,
+        &three_hop_query(),
+        &[v("x"), v("w")],
+    );
+}
+
+fn bench_iff_shadow_regression(c: &mut Criterion) {
+    fn fig3_instance(n: usize) -> Instance<DenseOrder> {
+        let region = majority_to_connectivity(&boolean_vector(n, n / 2 + 1));
+        single_relation_instance("R", region.rename(vec![v("x"), v("y")]))
+    }
+    compare(
+        c,
+        "PR5_optimizer_iff_shadow_regression",
+        &[2, 4],
+        fig3_instance,
+        &iff_shadow_query(),
+        &[v("x")],
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_zigzag_chain,
+    bench_three_hop_bounded_chain,
+    bench_zigzag_fig3_region,
+    bench_zigzag_graph,
+    bench_two_hop_chain_regression,
+    bench_three_hop_chain_regression,
+    bench_iff_shadow_regression
+);
+criterion_main!(benches);

@@ -15,7 +15,7 @@
 #![warn(missing_docs)]
 
 use frdb_core::dense::DenseOrder;
-use frdb_core::fo::{compile_query, CompiledQuery, EvalError};
+use frdb_core::fo::{compile_query, CompiledQuery, EvalError, Statistics};
 use frdb_core::logic::{Formula, Var};
 use frdb_core::relation::{Instance, Relation};
 use frdb_core::schema::{RelName, Schema, SchemaError};
@@ -281,8 +281,17 @@ where
                 ));
             }
             let start = Instant::now();
+            // Re-optimize the stored plan against statistics of the relations
+            // this query reads (cheap plan rewriting, scoped to the query —
+            // unrelated stored relations are not scanned) — `explain` shows
+            // exactly this plan.
+            let statistics = Statistics::collect_only(
+                &state.instance,
+                query.compiled.relations().iter().map(|(name, _)| name),
+            );
             let answer = query
                 .compiled
+                .optimized_for(&statistics)
                 .eval(&state.instance)
                 .map_err(|e| eval_err(span, &e))?;
             let elapsed = ms(start);
@@ -311,6 +320,26 @@ where
                 .set(rel_name.clone(), answer)
                 .map_err(|e| schema_err(span, &e))?;
             state.materialized.insert(rel_name);
+        }
+        Stmt::Explain { name } => {
+            let query = state
+                .queries
+                .get(name)
+                .ok_or_else(|| CliError::at(span, format!("unknown query `{name}`")))?;
+            // The same statistics-driven plan `run` executes, evaluated for
+            // its actual per-node cardinalities, rendered deterministically
+            // (no timings), so transcripts can be pinned by golden tests.
+            let statistics = Statistics::collect_only(
+                &state.instance,
+                query.compiled.relations().iter().map(|(name, _)| name),
+            );
+            let (_, explain) = query
+                .compiled
+                .optimized_for(&statistics)
+                .eval_explained(&state.instance)
+                .map_err(|e| eval_err(span, &e))?;
+            writeln!(out, "explain {name}").map_err(io_err)?;
+            write!(out, "{explain}").map_err(io_err)?;
         }
         Stmt::Check { formula } => {
             let start = Instant::now();

@@ -25,6 +25,8 @@ A script is a sequence of statements:
   R := {(x, y) | 0 <= x and x <= y};     // set a relation (tuples joined by `or`)
   query q(x) := exists y. (R(x, y));     // define a query
   run q;                                 // evaluate and print it
+  explain q;                             // print the optimized plan tree with
+                                         // estimated + actual cardinalities
   check forall x. (S(x) -> 0 <= x);      // print a sentence's truth value
   assert exists x. (S(x));               // fail the script when false
   program p { tc(x,y) :- R(x,y). tc(x,y) :- tc(x,z), R(z,y). }

@@ -123,6 +123,26 @@ fn land_registry_script_matches_the_rust_example() {
     assert!(output.contains("check ∃x,y.((alice(x, y) ∧ bob(x, y))) = true"));
 }
 
+/// Golden test: the land-registry `explain disputed;` transcript is pinned
+/// verbatim (and reproduced in `docs/ARCHITECTURE.md`).  The rendering is
+/// deterministic — estimated cardinalities from the statistics snapshot,
+/// actual generalized-tuple counts from the evaluator's memo, no timings.
+#[test]
+fn land_registry_explain_transcript_is_pinned() {
+    let path = scripts_dir().join("land_registry.frdb");
+    let (_, output) = run_script(&path);
+    let golden = "\
+explain disputed
+⋈ join → (x, y)  [est≈1, actual=1]
+├─ alice(x, y)  [est≈2, actual=2]
+└─ bob(x, y)  [est≈2, actual=2]
+";
+    assert!(
+        output.contains(golden),
+        "explain transcript drifted.\nwanted:\n{golden}\ngot:\n{output}"
+    );
+}
+
 /// The quickstart script's shadow agrees with the API evaluation on the same
 /// region.
 #[test]
@@ -218,6 +238,14 @@ fn fixpoint_is_rerunnable_and_sees_new_facts() {
             &mut out,
         )
         .expect("re-running after new facts must work");
+    // Regression: the stored program's rule plans compiled on the first
+    // `fixpoint` and were reused by the later ones — the CLI fixpoint path
+    // must not re-plan per statement (let alone per iteration).
+    let state = session.dense().expect("dense session");
+    assert!(
+        state.programs["p"].plans_cached::<DenseOrder>(),
+        "fixpoint left the program's compiled-plan cache cold"
+    );
     // A program head genuinely colliding with a *user* relation still errors.
     let err = session
         .execute_source(

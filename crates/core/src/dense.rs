@@ -655,7 +655,7 @@ impl OrderClosure {
 }
 
 /// The dense-order theory `Th(Q, =, ≤, (q)_{q∈Q})`: complete, decidable, with
-/// quantifier elimination (Theorem 2.1 of the paper, after [CK73]).
+/// quantifier elimination (Theorem 2.1 of the paper, after \[CK73\]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DenseOrder;
 

@@ -1,0 +1,312 @@
+//! `EXPLAIN` rendering: the optimized plan tree annotated with estimated and
+//! actual cardinalities.
+//!
+//! An [`Explain`] is produced by [`super::CompiledQuery::eval_explained`]: the
+//! plan is evaluated as usual (so the answer relation comes back too), the
+//! evaluator's memo table supplies the **actual** generalized-tuple count of
+//! every evaluated node, and the optimizer's cost model supplies the
+//! **estimate** each node was ordered by.  Rendering is deterministic — no
+//! timings, no pointers — so transcripts can be pinned by golden tests.
+//!
+//! Nodes shared through hash-consing are printed once and referenced by a
+//! `#n` marker afterwards, making memoization visible in the output: a
+//! sub-plan annotated `#1` is evaluated once per query however often it
+//! appears.  Nodes the evaluator never materialized (operands of a join that
+//! annihilated early, or joins fused into their parent projection) show
+//! `actual=-`.
+
+use super::optimize::{estimate_plan, Est};
+use super::stats::Statistics;
+use super::{Plan, PlanNode};
+use crate::relation::Relation;
+use crate::theory::Theory;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// One rendered node of the explained plan tree.
+#[derive(Clone, Debug)]
+struct ExplainNode {
+    /// Operator label, e.g. `⋈ join`, `alice(x, y)`, `σ[x < 2]`.
+    label: String,
+    /// Estimated output cardinality under the optimizer's cost model.
+    est: f64,
+    /// Actual generalized-tuple count, when the evaluator materialized the
+    /// node.
+    actual: Option<usize>,
+    /// Sharing marker: `Some(id)` when the node has several parents in the
+    /// plan DAG.
+    shared: Option<usize>,
+    /// Children (empty on repeat visits to a shared node).
+    children: Vec<ExplainNode>,
+    /// Whether this is a repeat visit (children elided).
+    repeat: bool,
+}
+
+/// A deterministic, printable account of an evaluated plan: the operator
+/// tree with estimated and actual cardinalities per node.
+#[derive(Clone, Debug)]
+pub struct Explain {
+    root: ExplainNode,
+}
+
+impl Explain {
+    /// Builds the explain tree for a plan: estimates from `stats`, actuals
+    /// from the evaluator's memo (`actuals`, keyed by node identity).
+    pub(super) fn build<T: Theory>(
+        plan: &Plan<T>,
+        stats: &Statistics,
+        actuals: &HashMap<usize, Relation<T>>,
+    ) -> Explain {
+        // First pass: reference counts, to decide which nodes get `#n` ids.
+        let mut refs: HashMap<usize, usize> = HashMap::new();
+        count_refs(plan, &mut refs, true);
+        let mut est_memo: HashMap<usize, Est> = HashMap::new();
+        let mut ids: HashMap<usize, usize> = HashMap::new();
+        let mut next_id = 1usize;
+        let root = build_node(
+            plan,
+            stats,
+            actuals,
+            &refs,
+            &mut est_memo,
+            &mut ids,
+            &mut next_id,
+        );
+        Explain { root }
+    }
+}
+
+fn count_refs<T: Theory>(plan: &Plan<T>, refs: &mut HashMap<usize, usize>, root: bool) {
+    let key = Arc::as_ptr(&plan.0) as usize;
+    let n = refs.entry(key).or_insert(0);
+    *n += 1;
+    if *n > 1 && !root {
+        return;
+    }
+    match &plan.0.node {
+        PlanNode::Empty
+        | PlanNode::Universal
+        | PlanNode::Select(_)
+        | PlanNode::Rename { .. }
+        | PlanNode::Scan { .. } => {}
+        PlanNode::Join(children) | PlanNode::Union(children) => {
+            for c in children {
+                count_refs(c, refs, false);
+            }
+        }
+        PlanNode::Complement(p) => count_refs(p, refs, false),
+        PlanNode::Project { input, .. } => count_refs(input, refs, false),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_node<T: Theory>(
+    plan: &Plan<T>,
+    stats: &Statistics,
+    actuals: &HashMap<usize, Relation<T>>,
+    refs: &HashMap<usize, usize>,
+    est_memo: &mut HashMap<usize, Est>,
+    ids: &mut HashMap<usize, usize>,
+    next_id: &mut usize,
+) -> ExplainNode {
+    let key = Arc::as_ptr(&plan.0) as usize;
+    let est = estimate_plan(plan, stats, est_memo).rows;
+    let actual = actuals.get(&key).map(Relation::num_tuples);
+    let multi = refs.get(&key).copied().unwrap_or(0) > 1;
+    if multi {
+        if let Some(&id) = ids.get(&key) {
+            // Repeat visit: reference the earlier occurrence.
+            return ExplainNode {
+                label: node_label(plan),
+                est,
+                actual,
+                shared: Some(id),
+                children: Vec::new(),
+                repeat: true,
+            };
+        }
+        ids.insert(key, *next_id);
+        *next_id += 1;
+    }
+    let shared = ids.get(&key).copied();
+    let children = match &plan.0.node {
+        PlanNode::Empty
+        | PlanNode::Universal
+        | PlanNode::Select(_)
+        | PlanNode::Rename { .. }
+        | PlanNode::Scan { .. } => Vec::new(),
+        PlanNode::Join(cs) | PlanNode::Union(cs) => cs
+            .iter()
+            .map(|c| build_node(c, stats, actuals, refs, est_memo, ids, next_id))
+            .collect(),
+        PlanNode::Complement(p) => {
+            vec![build_node(p, stats, actuals, refs, est_memo, ids, next_id)]
+        }
+        PlanNode::Project { input, .. } => {
+            vec![build_node(
+                input, stats, actuals, refs, est_memo, ids, next_id,
+            )]
+        }
+    };
+    ExplainNode {
+        label: node_label(plan),
+        est,
+        actual,
+        shared,
+        children,
+        repeat: false,
+    }
+}
+
+/// The operator label of a node: leaves print themselves, inner nodes print a
+/// short operator name (their full sub-tree follows as children).
+fn node_label<T: Theory>(plan: &Plan<T>) -> String {
+    match &plan.0.node {
+        PlanNode::Empty | PlanNode::Universal | PlanNode::Select(_) => plan.to_string(),
+        PlanNode::Rename { .. } | PlanNode::Scan { .. } => plan.to_string(),
+        PlanNode::Join(_) => format!("⋈ join → ({})", cols_of(plan)),
+        PlanNode::Union(_) => format!("∪ union → ({})", cols_of(plan)),
+        PlanNode::Complement(_) => format!("¬ complement → ({})", cols_of(plan)),
+        PlanNode::Project { eliminate, .. } => {
+            let vars: Vec<String> = eliminate.iter().map(ToString::to_string).collect();
+            format!("π-{{{}}} project → ({})", vars.join(","), cols_of(plan))
+        }
+    }
+}
+
+fn cols_of<T: Theory>(plan: &Plan<T>) -> String {
+    let cols: Vec<String> = plan.cols().iter().map(ToString::to_string).collect();
+    cols.join(", ")
+}
+
+/// Formats an estimate: integers plainly, fractional values with one decimal.
+fn fmt_est(est: f64) -> String {
+    if (est - est.round()).abs() < 1e-9 {
+        format!("{}", est.round() as i64)
+    } else {
+        format!("{est:.1}")
+    }
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn line(node: &ExplainNode, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", node.label)?;
+            if let Some(id) = node.shared {
+                if node.repeat {
+                    write!(f, "  #{id} (shared, evaluated once)")?;
+                    return Ok(());
+                }
+                write!(f, "  #{id}")?;
+            }
+            write!(f, "  [est≈{}", fmt_est(node.est))?;
+            match node.actual {
+                Some(n) => write!(f, ", actual={n}]"),
+                None => write!(f, ", actual=-]"),
+            }
+        }
+        fn walk(
+            node: &ExplainNode,
+            prefix: &str,
+            is_last: bool,
+            is_root: bool,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            if is_root {
+                line(node, f)?;
+                writeln!(f)?;
+            } else {
+                let branch = if is_last { "└─ " } else { "├─ " };
+                write!(f, "{prefix}{branch}")?;
+                line(node, f)?;
+                writeln!(f)?;
+            }
+            let child_prefix = if is_root {
+                String::new()
+            } else if is_last {
+                format!("{prefix}   ")
+            } else {
+                format!("{prefix}│  ")
+            };
+            for (i, c) in node.children.iter().enumerate() {
+                walk(c, &child_prefix, i + 1 == node.children.len(), false, f)?;
+            }
+            Ok(())
+        }
+        walk(&self.root, "", true, true, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::compile_query;
+    use crate::dense::{DenseAtom, DenseOrder};
+    use crate::logic::{Formula, Term, Var};
+    use crate::relation::{GenTuple, Instance, Relation};
+    use crate::schema::Schema;
+
+    fn rect(x0: i64, x1: i64, y0: i64, y1: i64) -> GenTuple<DenseAtom> {
+        GenTuple::new(vec![
+            DenseAtom::le(Term::cst(x0), Term::var("x")),
+            DenseAtom::le(Term::var("x"), Term::cst(x1)),
+            DenseAtom::le(Term::cst(y0), Term::var("y")),
+            DenseAtom::le(Term::var("y"), Term::cst(y1)),
+        ])
+    }
+
+    #[test]
+    fn explain_renders_a_deterministic_tree_with_est_and_actual() {
+        let mut inst: Instance<DenseOrder> =
+            Instance::new(Schema::from_pairs([("alice", 2), ("bob", 2)]));
+        let cols = || vec![Var::new("x"), Var::new("y")];
+        inst.set(
+            "alice",
+            Relation::new(cols(), vec![rect(0, 4, 0, 4), rect(4, 8, 0, 2)]),
+        )
+        .unwrap();
+        inst.set(
+            "bob",
+            Relation::new(cols(), vec![rect(6, 10, 1, 5), rect(20, 24, 0, 4)]),
+        )
+        .unwrap();
+        let q: Formula<DenseAtom> = Formula::rel("alice", [Term::var("x"), Term::var("y")])
+            .and(Formula::rel("bob", [Term::var("x"), Term::var("y")]));
+        let compiled = compile_query::<DenseOrder>(&q, &cols());
+        let (answer, explain) = compiled.eval_explained(&inst).unwrap();
+        assert_eq!(answer.num_tuples(), 1);
+        assert_eq!(
+            explain.to_string(),
+            "⋈ join → (x, y)  [est≈1, actual=1]\n\
+             ├─ alice(x, y)  [est≈2, actual=2]\n\
+             └─ bob(x, y)  [est≈2, actual=2]\n"
+        );
+    }
+
+    #[test]
+    fn shared_subplans_are_marked_and_elided_on_repeat() {
+        // φ ↔ ψ duplicates both sides; the DAG-shared nodes get `#n` markers.
+        let phi: Formula<DenseAtom> =
+            Formula::exists(["y"], Formula::rel("S", [Term::var("x"), Term::var("y")]));
+        let psi: Formula<DenseAtom> = Formula::rel("R", [Term::var("x")]);
+        let q = phi.iff(psi);
+        let mut inst: Instance<DenseOrder> =
+            Instance::new(Schema::from_pairs([("R", 1), ("S", 2)]));
+        inst.set(
+            "S",
+            Relation::from_points(
+                vec![Var::new("x"), Var::new("y")],
+                vec![vec![1.into(), 2.into()]],
+            ),
+        )
+        .unwrap();
+        let compiled = compile_query::<DenseOrder>(&q, &[Var::new("x")]);
+        let (_, explain) = compiled.eval_explained(&inst).unwrap();
+        let text = explain.to_string();
+        assert!(text.contains("#1"), "no sharing marker in:\n{text}");
+        assert!(
+            text.contains("(shared, evaluated once)"),
+            "no repeat elision in:\n{text}"
+        );
+    }
+}

@@ -25,6 +25,28 @@
 //!   semantics baseline (the equivalence property tests pin the two evaluators
 //!   against each other) and as the benchmark anchor for the algebraic
 //!   evaluator's speedups.
+//!
+//! Compiled plans pass through the **cost-guided optimizer** ([`optimize`]):
+//! joins are flattened and greedily re-ordered on estimated intermediate
+//! cardinality (driven by [`stats::Statistics`] snapshots of the instance),
+//! selections are placed at their earliest applicable fold position, and
+//! complements push through leaf unions — all while preserving hash-consing,
+//! so memoization still fires across shared sub-plans.  [`compile_query`]
+//! optimizes with uniform defaults; [`CompiledQuery::optimized_for`]
+//! re-optimizes against a concrete instance's statistics, and
+//! [`CompiledQuery::eval_explained`] additionally returns an [`Explain`] tree
+//! annotating every node with its estimated and actual cardinality.  A
+//! [`PlanConfig`] also carries the evaluator's worker-thread count: joins and
+//! projections over large relations partition their tuples across a
+//! `std::thread::scope` pool, bit-identically to the serial path.
+
+pub mod explain;
+pub mod optimize;
+pub mod stats;
+
+pub use explain::Explain;
+pub use optimize::{OptLevel, PlanConfig};
+pub use stats::{ColumnStats, RelationStats, Statistics};
 
 use crate::logic::{Formula, Term, Var};
 use crate::relation::{
@@ -869,6 +891,9 @@ fn collect_rel_atoms<A>(formula: &Formula<A>, out: &mut Vec<(RelName, usize)>) {
 pub struct CompiledQuery<T: Theory> {
     plan: Plan<T>,
     free: Vec<Var>,
+    /// The configuration the query was compiled with (optimization level and
+    /// evaluator thread count).
+    config: PlanConfig,
     /// Relation atoms of the source formula in traversal order, for upfront
     /// schema validation (matching the error behavior of the expand baseline,
     /// which validates every atom before evaluating anything).
@@ -888,6 +913,7 @@ impl<T: Theory> Clone for CompiledQuery<T> {
         CompiledQuery {
             plan: self.plan.clone(),
             free: self.free.clone(),
+            config: self.config,
             rels: self.rels.clone(),
             uncovered: self.uncovered.clone(),
             dup_free: self.dup_free.clone(),
@@ -901,11 +927,53 @@ impl<T: Theory> fmt::Debug for CompiledQuery<T> {
     }
 }
 
-/// Compiles a query `{free | formula}` into a reusable plan.
+/// Compiles a query `{free | formula}` into a reusable plan with the default
+/// configuration: cost-guided optimization against uniform statistics, serial
+/// evaluation.
+///
+/// # Examples
+/// ```
+/// use frdb_core::prelude::*;
+/// use frdb_core::fo::compile_query;
+///
+/// // Compile {x | ∃y. S(x, y)} once, evaluate it on an instance.
+/// let q: Formula<DenseAtom> =
+///     Formula::exists(["y"], Formula::rel("S", [Term::var("x"), Term::var("y")]));
+/// let compiled = compile_query::<DenseOrder>(&q, &[Var::new("x")]);
+///
+/// let mut inst: Instance<DenseOrder> = Instance::new(Schema::from_pairs([("S", 2)]));
+/// inst.set(
+///     "S",
+///     Relation::from_points(
+///         vec![Var::new("x"), Var::new("y")],
+///         vec![vec![Rat::from_i64(1), Rat::from_i64(2)]],
+///     ),
+/// )
+/// .unwrap();
+/// let answer = compiled.eval(&inst).unwrap();
+/// assert!(answer.contains(&[Rat::from_i64(1)]));
+/// ```
 #[must_use]
 pub fn compile_query<T: Theory>(formula: &Formula<T::A>, free: &[Var]) -> CompiledQuery<T> {
+    compile_query_with(formula, free, &PlanConfig::default())
+}
+
+/// Compiles a query `{free | formula}` under an explicit [`PlanConfig`]:
+/// [`OptLevel::None`] reproduces the syntactic-order plan exactly, and
+/// `threads > 1` lets the evaluator partition large joins and projections
+/// across a worker pool.
+#[must_use]
+pub fn compile_query_with<T: Theory>(
+    formula: &Formula<T::A>,
+    free: &[Var],
+    config: &PlanConfig,
+) -> CompiledQuery<T> {
     let mut builder = PlanBuilder::new();
     let plan = builder.compile(formula);
+    let plan = match config.opt {
+        OptLevel::None => plan,
+        OptLevel::Full => optimize::optimize_plan(&plan, &Statistics::none(), &mut builder),
+    };
     let mut rels = Vec::new();
     collect_rel_atoms(formula, &mut rels);
     let uncovered = formula
@@ -916,6 +984,7 @@ pub fn compile_query<T: Theory>(formula: &Formula<T::A>, free: &[Var]) -> Compil
     CompiledQuery {
         plan,
         free: free.to_vec(),
+        config: *config,
         rels,
         uncovered,
         dup_free: duplicate_answer_var(free).cloned(),
@@ -935,6 +1004,50 @@ impl<T: Theory> CompiledQuery<T> {
         &self.free
     }
 
+    /// The configuration the query was compiled with.
+    #[must_use]
+    pub fn config(&self) -> &PlanConfig {
+        &self.config
+    }
+
+    /// The relation symbols the source formula reads, with their arities —
+    /// the right scope for a [`Statistics::collect_only`] snapshot when
+    /// re-optimizing this query for an instance.
+    #[must_use]
+    pub fn relations(&self) -> &[(RelName, usize)] {
+        &self.rels
+    }
+
+    /// The same query with the evaluator's worker-thread count replaced.
+    /// Thread count never changes results — parallel joins and projections
+    /// partition tuples and merge in order, bit-identically to serial
+    /// evaluation.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads.max(1);
+        self
+    }
+
+    /// Re-optimizes the compiled plan against a [`Statistics`] snapshot of a
+    /// concrete instance (a no-op at [`OptLevel::None`]).  Re-optimization
+    /// rewrites the existing plan — it does not need the source formula — and
+    /// preserves hash-consing, so the rewritten plan memoizes exactly like
+    /// the original.
+    #[must_use]
+    pub fn optimized_for(&self, statistics: &Statistics) -> CompiledQuery<T> {
+        match self.config.opt {
+            OptLevel::None => self.clone(),
+            OptLevel::Full => {
+                let mut builder = PlanBuilder::new();
+                let plan = optimize::optimize_plan(&self.plan, statistics, &mut builder);
+                CompiledQuery {
+                    plan,
+                    ..self.clone()
+                }
+            }
+        }
+    }
+
     /// Evaluates the plan on an instance, producing the answer relation over
     /// the compiled free-variable list.  Sub-plans are memoized per call, so
     /// every distinct node of the plan DAG is evaluated exactly once.
@@ -942,7 +1055,55 @@ impl<T: Theory> CompiledQuery<T> {
     /// # Errors
     /// Returns an error if the formula mentions undeclared relations or uses
     /// them with the wrong arity.
+    ///
+    /// # Examples
+    /// ```
+    /// use frdb_core::prelude::*;
+    /// use frdb_core::fo::compile_query;
+    ///
+    /// let mut inst: Instance<DenseOrder> = Instance::new(Schema::from_pairs([("R", 1)]));
+    /// inst.set(
+    ///     "R",
+    ///     Relation::from_points(vec![Var::new("x")], vec![vec![Rat::from_i64(3)]]),
+    /// )
+    /// .unwrap();
+    /// // {x | R(x) ∧ x ≤ 5}
+    /// let q: Formula<DenseAtom> = Formula::rel("R", [Term::var("x")])
+    ///     .and(Formula::Atom(DenseAtom::le(Term::var("x"), Term::cst(5))));
+    /// let answer = compile_query::<DenseOrder>(&q, &[Var::new("x")])
+    ///     .eval(&inst)
+    ///     .unwrap();
+    /// assert!(answer.contains(&[Rat::from_i64(3)]));
+    /// ```
     pub fn eval(&self, instance: &Instance<T>) -> Result<Relation<T>, EvalError> {
+        let mut memo: HashMap<usize, Relation<T>> = HashMap::new();
+        self.eval_with_memo(instance, &mut memo)
+    }
+
+    /// Evaluates the plan *and* returns the [`Explain`] tree: the operator
+    /// tree annotated, per node, with the cost model's estimated cardinality
+    /// (under statistics collected from `instance`) and the actual
+    /// generalized-tuple count the evaluator materialized.  The rendering is
+    /// deterministic, so transcripts can be pinned by golden tests.
+    ///
+    /// # Errors
+    /// As for [`CompiledQuery::eval`].
+    pub fn eval_explained(
+        &self,
+        instance: &Instance<T>,
+    ) -> Result<(Relation<T>, Explain), EvalError> {
+        let mut memo: HashMap<usize, Relation<T>> = HashMap::new();
+        let answer = self.eval_with_memo(instance, &mut memo)?;
+        let statistics = Statistics::collect_only(instance, self.rels.iter().map(|(n, _)| n));
+        let explain = Explain::build(&self.plan, &statistics, &memo);
+        Ok((answer, explain))
+    }
+
+    fn eval_with_memo(
+        &self,
+        instance: &Instance<T>,
+        memo: &mut HashMap<usize, Relation<T>>,
+    ) -> Result<Relation<T>, EvalError> {
         if let Some(v) = &self.dup_free {
             return Err(EvalError::DuplicateAnswerVariable {
                 variable: v.to_string(),
@@ -959,8 +1120,7 @@ impl<T: Theory> CompiledQuery<T> {
         for (name, arity) in &self.rels {
             fetch(instance, name, *arity)?;
         }
-        let mut memo: HashMap<usize, Relation<T>> = HashMap::new();
-        let answer = eval_plan(&self.plan, instance, &mut memo)?;
+        let answer = eval_plan(&self.plan, instance, memo, self.config.threads)?;
         // The plan result is already canonical (every operator finishes in
         // `Relation::new`); when the requested free list covers its columns,
         // re-wrap without re-running simplification and absorption.
@@ -980,6 +1140,7 @@ fn eval_plan<T: Theory>(
     plan: &Plan<T>,
     instance: &Instance<T>,
     memo: &mut HashMap<usize, Relation<T>>,
+    threads: usize,
 ) -> Result<Relation<T>, EvalError> {
     let key = Arc::as_ptr(&plan.0) as usize;
     if let Some(cached) = memo.get(&key) {
@@ -1020,7 +1181,7 @@ fn eval_plan<T: Theory>(
             Relation::simplified_unchecked(cols, tuples)
         }
         PlanNode::Join(children) => {
-            let joined = eval_join_fold(children, &[], instance, memo)?;
+            let joined = eval_join_fold(children, &[], instance, memo, threads)?;
             match joined {
                 None => Relation::empty(cols),
                 Some(rel) => rel.with_columns(cols),
@@ -1029,26 +1190,26 @@ fn eval_plan<T: Theory>(
         PlanNode::Union(children) => {
             let mut tuples: Vec<GenTuple<T::A>> = Vec::new();
             for child in children {
-                let rel = eval_plan(child, instance, memo)?;
+                let rel = eval_plan(child, instance, memo, threads)?;
                 tuples.extend(rel.tuples().iter().cloned());
             }
             Relation::simplified_unchecked(cols, tuples)
         }
         PlanNode::Complement(input) => {
-            let rel = eval_plan(input, instance, memo)?;
+            let rel = eval_plan(input, instance, memo, threads)?;
             Relation::simplified_unchecked(cols, negate_tuples::<T>(rel.tuples()))
         }
         PlanNode::Project { input, eliminate } => {
             let rel = if let PlanNode::Join(children) = &input.0.node {
                 // Fused join + early projection (see `eval_join_fold`).
-                match eval_join_fold(children, eliminate, instance, memo)? {
+                match eval_join_fold(children, eliminate, instance, memo, threads)? {
                     None => return finish(memo, key, Relation::empty(cols)),
                     Some(rel) => rel,
                 }
             } else {
-                eval_plan(input, instance, memo)?
+                eval_plan(input, instance, memo, threads)?
             };
-            rel.project_out(eliminate).with_columns(cols)
+            rel.project_out_with(eliminate, threads).with_columns(cols)
         }
     };
     finish(memo, key, result)
@@ -1066,13 +1227,14 @@ fn eval_join_fold<T: Theory>(
     eliminate: &[Var],
     instance: &Instance<T>,
     memo: &mut HashMap<usize, Relation<T>>,
+    threads: usize,
 ) -> Result<Option<Relation<T>>, EvalError> {
     let mut acc: Option<Relation<T>> = None;
     for (i, child) in children.iter().enumerate() {
-        let rel = eval_plan(child, instance, memo)?;
+        let rel = eval_plan(child, instance, memo, threads)?;
         let mut joined = match acc {
             None => rel,
-            Some(prev) => prev.join(&rel),
+            Some(prev) => prev.join_with(&rel, threads),
         };
         let dead: Vec<Var> = eliminate
             .iter()
@@ -1082,7 +1244,7 @@ fn eval_join_fold<T: Theory>(
             .cloned()
             .collect();
         if !dead.is_empty() {
-            joined = joined.project_out(&dead);
+            joined = joined.project_out_with(&dead, threads);
         }
         if joined.is_empty() {
             return Ok(None);
@@ -1473,6 +1635,39 @@ mod tests {
         let ans = both(&q, &[Var::new("f0"), Var::new("x0")], &inst);
         assert!(ans.contains(&[r(1), r(3)]));
         assert!(!ans.contains(&[r(2), r(3)]));
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical_to_serial() {
+        // A chain long enough to clear the parallel engagement threshold: the
+        // two-hop join partitions across workers and must merge to exactly
+        // the serial representation (same tuples, same order).
+        let n = 64i64;
+        let mut inst: Instance<DenseOrder> = Instance::new(Schema::from_pairs([("S", 2)]));
+        let points: Vec<Vec<Rat>> = (0..n).map(|i| vec![r(i), r(i + 1)]).collect();
+        inst.set(
+            "S",
+            Relation::from_points(vec![Var::new("x"), Var::new("y")], points),
+        )
+        .unwrap();
+        let q: F = Formula::exists(
+            ["y"],
+            Formula::rel("S", [Term::var("x"), Term::var("y")])
+                .and(Formula::rel("S", [Term::var("y"), Term::var("z")])),
+        );
+        let free = [Var::new("x"), Var::new("z")];
+        let serial = compile_query::<DenseOrder>(&q, &free).eval(&inst).unwrap();
+        for threads in [2usize, 4] {
+            let parallel = compile_query::<DenseOrder>(&q, &free)
+                .with_threads(threads)
+                .eval(&inst)
+                .unwrap();
+            assert_eq!(
+                serial.to_dnf(),
+                parallel.to_dnf(),
+                "threads={threads} diverged from serial"
+            );
+        }
     }
 
     #[test]

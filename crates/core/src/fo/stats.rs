@@ -1,0 +1,184 @@
+//! Per-relation statistics driving the plan optimizer's cost model.
+//!
+//! The optimizer ([`super::optimize`]) orders join trees by estimated
+//! intermediate cardinality.  Everything it knows about the data comes from a
+//! [`Statistics`] snapshot collected here: per stored relation, the number of
+//! generalized tuples, the total atom count, and — per column — how many
+//! tuples **pin** that column to a constant ([`crate::theory::Theory::ctx_pinned`])
+//! and how many distinct pinned values occur.  Pin counts are read off the
+//! tuples' cached canonical contexts, so collection costs one table lookup per
+//! tuple and column, never a context construction.
+//!
+//! Statistics are a snapshot of one instance: the Datalog engine collects them
+//! once per fixpoint run against the seeded evaluation instance, not per
+//! round, and a compiled query carries none — [`super::compile_query`]
+//! optimizes with uniform defaults, and
+//! [`super::CompiledQuery::optimized_for`] re-optimizes an existing plan
+//! against a snapshot.
+
+use crate::relation::{Instance, Relation};
+use crate::schema::RelName;
+use crate::theory::Theory;
+use frdb_num::Rat;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Pin statistics of one column of a stored relation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ColumnStats {
+    /// Number of generalized tuples whose canonical context pins this column
+    /// to a constant (`col = c` is entailed).
+    pub pinned: usize,
+    /// Number of distinct constants the column is pinned to across the
+    /// relation's tuples.
+    pub distinct_pins: usize,
+}
+
+/// Statistics of one stored relation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RelationStats {
+    /// Number of generalized tuples in the stored representation.
+    pub tuples: usize,
+    /// Total number of constraint atoms across the representation.
+    pub atoms: usize,
+    /// Per-column pin statistics, in the stored column order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl RelationStats {
+    /// Collects the statistics of a single relation value.
+    #[must_use]
+    pub fn of<T: Theory>(rel: &Relation<T>) -> RelationStats {
+        let mut columns: Vec<(usize, BTreeSet<Rat>)> = vec![(0, BTreeSet::new()); rel.arity()];
+        for tuple in rel.tuples() {
+            for (i, var) in rel.vars().iter().enumerate() {
+                if let Some(c) = tuple.with_ctx::<T, _>(|ctx| T::ctx_pinned(ctx, var)) {
+                    columns[i].0 += 1;
+                    columns[i].1.insert(c);
+                }
+            }
+        }
+        RelationStats {
+            tuples: rel.num_tuples(),
+            atoms: rel.num_atoms(),
+            columns: columns
+                .into_iter()
+                .map(|(pinned, values)| ColumnStats {
+                    pinned,
+                    distinct_pins: values.len(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A statistics snapshot of one database instance: per-relation tuple, atom
+/// and column-pin counts, keyed by relation name.
+#[derive(Clone, Debug, Default)]
+pub struct Statistics {
+    rels: BTreeMap<RelName, RelationStats>,
+}
+
+impl Statistics {
+    /// The empty snapshot: every relation estimated with uniform defaults.
+    /// This is what [`super::compile_query`] optimizes against.
+    #[must_use]
+    pub fn none() -> Statistics {
+        Statistics::default()
+    }
+
+    /// Collects statistics for every declared relation of an instance.
+    ///
+    /// The pin queries run against the tuples' cached canonical contexts, so a
+    /// snapshot of an instance whose relations have already been touched by
+    /// the evaluator costs only table lookups.
+    #[must_use]
+    pub fn collect<T: Theory>(instance: &Instance<T>) -> Statistics {
+        Statistics::collect_only(instance, instance.schema().iter().map(|(name, _)| name))
+    }
+
+    /// Collects statistics for the listed relations only — what a caller
+    /// optimizing one query should use ([`super::CompiledQuery::relations`]
+    /// names exactly the relations the query reads), so the cost of a
+    /// snapshot scales with the query, not with the whole instance.
+    /// Undeclared names are skipped.
+    #[must_use]
+    pub fn collect_only<'a, T: Theory>(
+        instance: &Instance<T>,
+        names: impl IntoIterator<Item = &'a RelName>,
+    ) -> Statistics {
+        let mut rels = BTreeMap::new();
+        for name in names {
+            if let Some(rel) = instance.get(name) {
+                rels.insert(name.clone(), RelationStats::of(&rel));
+            }
+        }
+        Statistics { rels }
+    }
+
+    /// The statistics of one relation, when the snapshot covers it.
+    #[must_use]
+    pub fn relation(&self, name: &RelName) -> Option<&RelationStats> {
+        self.rels.get(name)
+    }
+
+    /// Number of relations covered by the snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Whether the snapshot covers no relations (the [`Statistics::none`]
+    /// default).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{DenseAtom, DenseOrder};
+    use crate::logic::{Term, Var};
+    use crate::relation::{GenTuple, Instance, Relation};
+    use crate::schema::Schema;
+
+    #[test]
+    fn collect_reads_pin_counts_off_cached_contexts() {
+        let mut inst: Instance<DenseOrder> =
+            Instance::new(Schema::from_pairs([("S", 2), ("R", 1)]));
+        // S: two point tuples (both columns pinned) and one rectangle (none).
+        inst.set(
+            "S",
+            Relation::new(
+                vec![Var::new("x"), Var::new("y")],
+                vec![
+                    GenTuple::new(vec![
+                        DenseAtom::eq(Term::var("x"), Term::cst(1)),
+                        DenseAtom::eq(Term::var("y"), Term::cst(2)),
+                    ]),
+                    GenTuple::new(vec![
+                        DenseAtom::eq(Term::var("x"), Term::cst(1)),
+                        DenseAtom::eq(Term::var("y"), Term::cst(3)),
+                    ]),
+                    GenTuple::new(vec![
+                        DenseAtom::le(Term::cst(5), Term::var("x")),
+                        DenseAtom::le(Term::var("x"), Term::cst(6)),
+                    ]),
+                ],
+            ),
+        )
+        .unwrap();
+        let stats = Statistics::collect(&inst);
+        let s = stats.relation(&RelName::new("S")).expect("S is stored");
+        assert_eq!(s.tuples, 3);
+        assert_eq!(s.columns.len(), 2);
+        assert_eq!(s.columns[0].pinned, 2);
+        assert_eq!(s.columns[0].distinct_pins, 1); // x pinned to 1 twice
+        assert_eq!(s.columns[1].pinned, 2);
+        assert_eq!(s.columns[1].distinct_pins, 2); // y pinned to 2 and 3
+                                                   // Declared but unset relations are covered with empty stats.
+        let r = stats.relation(&RelName::new("R")).expect("R is declared");
+        assert_eq!(r.tuples, 0);
+    }
+}

@@ -3,7 +3,7 @@
 //! A *generalized tuple* is a conjunction of constraint atoms and a *generalized
 //! (finitely representable) relation* is a finite set — semantically a disjunction — of
 //! generalized tuples over a fixed list of free variables (Section 2.2, after
-//! [KKR95]).  A database instance maps the schema's relation symbols to such relations
+//! \[KKR95\]).  A database instance maps the schema's relation symbols to such relations
 //! (Definition 2.7).
 //!
 //! The module implements the closure properties stated in Section 2.2: finitely
@@ -32,7 +32,7 @@ struct TupleCache<T: Theory> {
 }
 
 /// A generalized tuple: a conjunction of constraint atoms (a "k-ary generalized tuple"
-/// in the sense of [KKR95] when it has k free variables).
+/// in the sense of \[KKR95\] when it has k free variables).
 ///
 /// The tuple lazily computes and **caches** its canonical context (see
 /// [`Theory::Ctx`]), its satisfiability verdict and its canonical form.  The
@@ -343,6 +343,74 @@ pub fn eliminate_tuple<T: Theory>(vars: &[Var], tuple: &GenTuple<T::A>) -> Vec<G
     tuples
 }
 
+/// Minimum number of left-side tuples per worker before the parallel join and
+/// projection paths engage — below this, thread spawn overhead dominates and
+/// the serial path is used regardless of the configured thread count.
+const PARALLEL_MIN_TUPLES: usize = 16;
+
+/// Effective worker count for `items` units of work under a thread budget.
+fn worker_count(threads: usize, items: usize) -> usize {
+    threads.min(items / PARALLEL_MIN_TUPLES).max(1)
+}
+
+/// Produces the join candidates of one partition of left tuples against the
+/// (bucketed) right side; shared by the serial and parallel join paths so the
+/// pruning policy cannot drift between them.  With `warm`, every candidate's
+/// canonical context and form are computed here — in the parallel path this
+/// is the worker's real job, leaving the caller's sequential simplification
+/// pass nothing but cache lookups.
+#[allow(clippy::too_many_arguments)]
+fn join_partition<T: Theory>(
+    left: &[GenTuple<T::A>],
+    right: &[GenTuple<T::A>],
+    bucket_var: Option<&Var>,
+    buckets: &BTreeMap<Rat, Vec<usize>>,
+    wild: &[usize],
+    all: &[usize],
+    warm: bool,
+    out: &mut Vec<GenTuple<T::A>>,
+) {
+    let mut candidates: Vec<usize> = Vec::new();
+    let first = out.len();
+    for a in left {
+        let rhs: &[usize] = match bucket_var {
+            None => all,
+            Some(bv) => match a.with_ctx::<T, _>(|ca| T::ctx_pinned(ca, bv)) {
+                // Pinned left tuple: only the matching bucket and the
+                // wildcards can be jointly satisfiable (a tuple pinning
+                // the shared column to a different constant conflicts).
+                Some(c) => {
+                    candidates.clear();
+                    if let Some(bucket) = buckets.get(&c) {
+                        candidates.extend_from_slice(bucket);
+                    }
+                    candidates.extend_from_slice(wild);
+                    &candidates
+                }
+                None => all,
+            },
+        };
+        a.with_ctx::<T, _>(|ca| {
+            for &j in rhs {
+                let b = &right[j];
+                if !b.with_ctx::<T, _>(|cb| T::ctx_compatible(ca, cb)) {
+                    continue;
+                }
+                let mut atoms = a.atoms().to_vec();
+                atoms.extend(b.atoms().iter().cloned());
+                out.push(GenTuple::new(atoms));
+            }
+        });
+    }
+    if warm {
+        for t in &out[first..] {
+            if t.is_satisfiable::<T>() {
+                let _ = t.canonical::<T>();
+            }
+        }
+    }
+}
+
 /// A finitely representable relation: a list of free variables (the relation's
 /// columns) and a disjunction of generalized tuples over them.
 ///
@@ -352,7 +420,10 @@ pub fn eliminate_tuple<T: Theory>(vars: &[Var], tuple: &GenTuple<T::A>) -> Vec<G
 pub struct Relation<T: Theory> {
     vars: Vec<Var>,
     tuples: Vec<GenTuple<T::A>>,
-    _theory: PhantomData<T>,
+    // `fn() -> T` (not `T`) so relations are `Send + Sync` whenever the atom
+    // type is, independent of the marker theory type — the parallel join and
+    // projection paths share relations across `std::thread::scope` workers.
+    _theory: PhantomData<fn() -> T>,
 }
 
 impl<T: Theory> Clone for Relation<T> {
@@ -586,6 +657,20 @@ impl<T: Theory> Relation<T> {
     /// downstream operators.
     #[must_use]
     pub fn join(&self, other: &Relation<T>) -> Relation<T> {
+        self.join_with(other, 1)
+    }
+
+    /// [`Relation::join`] with an explicit worker-thread budget: when
+    /// `threads > 1` and the left side is large enough to amortize the spawn,
+    /// the left tuples are split into contiguous partitions evaluated on a
+    /// `std::thread::scope` pool.  Each worker produces its partition's
+    /// candidate tuples (against the shared right-side hash buckets) and
+    /// **pre-saturates** their canonical contexts — the expensive part of the
+    /// join — so the final sequential simplification pass costs only cache
+    /// lookups.  Partitions are merged in order, so the result is
+    /// bit-identical to the serial join at any thread count.
+    #[must_use]
+    pub fn join_with(&self, other: &Relation<T>, threads: usize) -> Relation<T> {
         let mut vars = self.vars.clone();
         for v in other.vars() {
             if !vars.contains(v) {
@@ -606,38 +691,45 @@ impl<T: Theory> Relation<T> {
             }
         }
         let all: Vec<usize> = (0..other.tuples.len()).collect();
-        let mut tuples = Vec::new();
-        let mut candidates: Vec<usize> = Vec::new();
-        for a in &self.tuples {
-            let rhs: &[usize] = match bucket_var {
-                None => &all,
-                Some(bv) => match a.with_ctx::<T, _>(|ca| T::ctx_pinned(ca, bv)) {
-                    // Pinned left tuple: only the matching bucket and the
-                    // wildcards can be jointly satisfiable (a tuple pinning
-                    // the shared column to a different constant conflicts).
-                    Some(c) => {
-                        candidates.clear();
-                        if let Some(bucket) = buckets.get(&c) {
-                            candidates.extend_from_slice(bucket);
-                        }
-                        candidates.extend_from_slice(&wild);
-                        &candidates
-                    }
-                    None => &all,
-                },
-            };
-            a.with_ctx::<T, _>(|ca| {
-                for &j in rhs {
-                    let b = &other.tuples[j];
-                    if !b.with_ctx::<T, _>(|cb| T::ctx_compatible(ca, cb)) {
-                        continue;
-                    }
-                    let mut atoms = a.atoms().to_vec();
-                    atoms.extend(b.atoms().iter().cloned());
-                    tuples.push(GenTuple::new(atoms));
-                }
+        let workers = worker_count(threads, self.tuples.len());
+        let tuples = if workers <= 1 {
+            let mut tuples = Vec::new();
+            join_partition::<T>(
+                &self.tuples,
+                &other.tuples,
+                bucket_var,
+                &buckets,
+                &wild,
+                &all,
+                false,
+                &mut tuples,
+            );
+            tuples
+        } else {
+            let chunk = self.tuples.len().div_ceil(workers);
+            let parts: Vec<Vec<GenTuple<T::A>>> = std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .tuples
+                    .chunks(chunk)
+                    .map(|part| {
+                        let (buckets, wild, all) = (&buckets, &wild, &all);
+                        let rhs = &other.tuples;
+                        s.spawn(move || {
+                            let mut out = Vec::new();
+                            join_partition::<T>(
+                                part, rhs, bucket_var, buckets, wild, all, true, &mut out,
+                            );
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("join worker panicked"))
+                    .collect()
             });
-        }
+            parts.concat()
+        };
         Relation::simplified_unchecked(vars, tuples)
     }
 
@@ -648,6 +740,15 @@ impl<T: Theory> Relation<T> {
     /// may project away variables contributed only by pruned sub-plans.
     #[must_use]
     pub fn project_out(&self, drop: &[Var]) -> Relation<T> {
+        self.project_out_with(drop, 1)
+    }
+
+    /// [`Relation::project_out`] with an explicit worker-thread budget: each
+    /// tuple's quantifier elimination is independent, so large relations split
+    /// their tuples across a `std::thread::scope` pool (merged in order —
+    /// results are bit-identical to the serial path at any thread count).
+    #[must_use]
+    pub fn project_out_with(&self, drop: &[Var], threads: usize) -> Relation<T> {
         if drop.is_empty() {
             return self.clone();
         }
@@ -657,10 +758,41 @@ impl<T: Theory> Relation<T> {
             .filter(|v| !drop.contains(v))
             .cloned()
             .collect();
-        let mut tuples = Vec::new();
-        for t in &self.tuples {
-            tuples.extend(eliminate_tuple::<T>(drop, t));
-        }
+        let workers = worker_count(threads, self.tuples.len());
+        let tuples = if workers <= 1 {
+            let mut tuples = Vec::new();
+            for t in &self.tuples {
+                tuples.extend(eliminate_tuple::<T>(drop, t));
+            }
+            tuples
+        } else {
+            let chunk = self.tuples.len().div_ceil(workers);
+            let parts: Vec<Vec<GenTuple<T::A>>> = std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .tuples
+                    .chunks(chunk)
+                    .map(|part| {
+                        s.spawn(move || {
+                            let mut out = Vec::new();
+                            for t in part {
+                                out.extend(eliminate_tuple::<T>(drop, t));
+                            }
+                            // Pre-warm the canonical forms the sequential
+                            // simplification pass will read.
+                            for t in &out {
+                                let _ = t.canonical::<T>();
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("projection worker panicked"))
+                    .collect()
+            });
+            parts.concat()
+        };
         Relation::simplified_unchecked(keep, tuples)
     }
 

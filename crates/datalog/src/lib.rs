@@ -17,7 +17,7 @@
 //! iteration continues until a fixpoint.  Because dense-order quantifier elimination
 //! introduces no constants outside the active domain, the fixpoint is reached after
 //! finitely many rounds and the output is again a finitely representable relation
-//! ("closed form", [KKR95]); the engine nevertheless takes a configurable iteration
+//! ("closed form", \[KKR95\]); the engine nevertheless takes a configurable iteration
 //! cap as a defensive bound.
 //!
 //! `DATALOG¬` expresses exactly the order-generic PTIME queries (Theorem 6.6); the
@@ -26,15 +26,17 @@
 //! polynomial-time algorithms.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
-use frdb_core::fo::{compile_query, CompiledQuery, EvalError};
+use frdb_core::fo::{compile_query_with, CompiledQuery, EvalError, PlanConfig, Statistics};
 use frdb_core::logic::{Formula, Term, Var};
 use frdb_core::relation::{GenTuple, Instance, Relation};
 use frdb_core::schema::{RelName, Schema};
 use frdb_core::theory::Theory;
+use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// A literal of a rule body.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -365,11 +367,153 @@ fn seed_state<A: frdb_core::theory::Atom, T: Theory<A = A>>(
     (current, idb_state)
 }
 
+/// One rule compiled onto the relational-algebra evaluator: the full body and
+/// the semi-naive delta variants become reusable plans, re-evaluated against
+/// the changing instance every round without re-expanding or re-planning the
+/// formula.
+struct CompiledRule<T: Theory> {
+    head: RelName,
+    full_body: CompiledQuery<T>,
+    /// (idb predicate whose delta gates the variant, rewritten body plan).
+    variants: Vec<(RelName, CompiledQuery<T>)>,
+    mentions_idb: bool,
+    has_literal_body: bool,
+}
+
+/// Everything about a program that can be compiled once and reused across
+/// `run` / `run_naive` calls: per-rule plans for both engines and the
+/// `Δ`-namespace scan over the rules themselves.
+struct CompiledProgram<T: Theory> {
+    rules: Vec<CompiledRule<T>>,
+    naive_bodies: Vec<CompiledQuery<T>>,
+    /// Whether any rule head or body touches the reserved `Δ` namespace
+    /// (forces the naive engine; the EDB side of that check stays per-call).
+    rules_touch_delta: bool,
+}
+
+/// Evaluates what one rule derives in the current round (`None` when the rule
+/// has nothing to contribute this round).
+fn derive_rule<T: Theory>(
+    rule: &CompiledRule<T>,
+    current: &Instance<T>,
+    iteration: usize,
+) -> Result<Option<Relation<T>>, DatalogError> {
+    if iteration == 0 {
+        // First round: every rule runs naively against the empty IDB.
+        return Ok(Some(rule.full_body.eval(current)?));
+    }
+    if rule.has_literal_body && !rule.variants.is_empty() {
+        // Semi-naive: one variant per positive IDB literal, gated on that
+        // predicate's delta being nonempty.
+        let mut acc: Option<Relation<T>> = None;
+        for (gate, body) in &rule.variants {
+            let gate_delta = current
+                .get(&delta_name(gate))
+                .expect("delta relations are declared");
+            if gate_delta.is_empty() {
+                continue;
+            }
+            let part = body.eval(current)?;
+            acc = Some(match acc {
+                None => part,
+                Some(prev) => {
+                    let part = part.rename(prev.vars().to_vec());
+                    prev.union(&part)
+                }
+            });
+        }
+        return Ok(acc);
+    }
+    if rule.mentions_idb {
+        // Formula-bodied rule over the IDB: possibly non-monotone,
+        // re-evaluate (its precompiled plan) every round.
+        return Ok(Some(rule.full_body.eval(current)?));
+    }
+    // EDB-only rule: nothing new after the first round.
+    Ok(None)
+}
+
+/// Evaluates one fixpoint round's rule bodies: sequentially, or — with a
+/// thread budget — across a `std::thread::scope` worker pool, one chunk of
+/// rules per worker.  All bodies read the same immutable `current` instance,
+/// and results come back in rule order, so the round is deterministic at any
+/// thread count.
+fn eval_round<T: Theory>(
+    rules: &[CompiledRule<T>],
+    current: &Instance<T>,
+    iteration: usize,
+    threads: usize,
+) -> Result<Vec<Option<Relation<T>>>, DatalogError> {
+    if threads <= 1 || rules.len() < 2 {
+        return rules
+            .iter()
+            .map(|rule| derive_rule(rule, current, iteration))
+            .collect();
+    }
+    let chunk = rules.len().div_ceil(threads);
+    let parts: Vec<Result<Vec<Option<Relation<T>>>, DatalogError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = rules
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move || {
+                    part.iter()
+                        .map(|rule| derive_rule(rule, current, iteration))
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rule worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(rules.len());
+    for part in parts {
+        out.extend(part?);
+    }
+    Ok(out)
+}
+
 /// An inflationary `DATALOG¬` program.
-#[derive(Clone, Debug, Default)]
 pub struct Program<A> {
     rules: Vec<Rule<A>>,
     max_iterations: usize,
+    plan_config: PlanConfig,
+    /// Rule bodies compiled once per theory and reused across `run` /
+    /// `run_naive` calls (a `fixpoint` statement re-running a stored program
+    /// used to re-plan every rule).  Keyed by the concrete theory through
+    /// `Any`; reset by every mutation of the rule set or the configuration.
+    compiled: OnceLock<Arc<dyn Any + Send + Sync>>,
+}
+
+impl<A: Clone> Clone for Program<A> {
+    fn clone(&self) -> Self {
+        Program {
+            rules: self.rules.clone(),
+            max_iterations: self.max_iterations,
+            plan_config: self.plan_config,
+            // The cache is shared: clones have identical rules, so the
+            // compiled plans stay valid for both (mutation resets per value).
+            compiled: self.compiled.clone(),
+        }
+    }
+}
+
+impl<A: fmt::Debug> fmt::Debug for Program<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Program")
+            .field("rules", &self.rules)
+            .field("max_iterations", &self.max_iterations)
+            .field("plan_config", &self.plan_config)
+            .field("plans_cached", &self.compiled.get().is_some())
+            .finish()
+    }
+}
+
+impl<A: frdb_core::theory::Atom> Default for Program<A> {
+    fn default() -> Self {
+        Program::new()
+    }
 }
 
 impl<A: fmt::Display> fmt::Display for Program<A> {
@@ -399,6 +543,8 @@ impl<A: frdb_core::theory::Atom> Program<A> {
         Program {
             rules: Vec::new(),
             max_iterations: 10_000,
+            plan_config: PlanConfig::default(),
+            compiled: OnceLock::new(),
         }
     }
 
@@ -407,13 +553,15 @@ impl<A: frdb_core::theory::Atom> Program<A> {
     pub fn from_rules(rules: Vec<Rule<A>>) -> Self {
         Program {
             rules,
-            max_iterations: 10_000,
+            ..Program::new()
         }
     }
 
-    /// Adds a rule.
+    /// Adds a rule.  Mutating the rule set invalidates the compiled-plan
+    /// cache: the next `run` re-plans every body.
     pub fn add_rule(&mut self, rule: Rule<A>) -> &mut Self {
         self.rules.push(rule);
+        self.compiled = OnceLock::new();
         self
     }
 
@@ -422,6 +570,112 @@ impl<A: frdb_core::theory::Atom> Program<A> {
     pub fn with_max_iterations(mut self, cap: usize) -> Self {
         self.max_iterations = cap;
         self
+    }
+
+    /// Sets the evaluation configuration — the optimization level rule bodies
+    /// compile under, and the worker-thread budget: with `threads > 1`,
+    /// independent rule bodies of each fixpoint round evaluate across a
+    /// `std::thread::scope` pool (and each body's joins may partition
+    /// further).  Thread count never changes the fixpoint or the iteration
+    /// count.  Changing the configuration invalidates the compiled-plan
+    /// cache.
+    #[must_use]
+    pub fn with_plan_config(mut self, config: PlanConfig) -> Self {
+        self.plan_config = config;
+        self.compiled = OnceLock::new();
+        self
+    }
+
+    /// The evaluation configuration rule bodies compile under.
+    #[must_use]
+    pub fn plan_config(&self) -> &PlanConfig {
+        &self.plan_config
+    }
+
+    /// Whether the compiled-plan cache is warm for theory `T` — plans are
+    /// compiled on the first `run`/`run_naive` and reused by later calls
+    /// until a rule is added or the configuration changes.  Observable so
+    /// tests can pin the reuse-and-invalidation contract.
+    #[must_use]
+    pub fn plans_cached<T: Theory<A = A>>(&self) -> bool {
+        self.compiled
+            .get()
+            .is_some_and(|c| c.clone().downcast::<CompiledProgram<T>>().is_ok())
+    }
+
+    /// The compiled plans for theory `T`, building and caching them on first
+    /// use.  A cache slot occupied by a *different* theory over the same atom
+    /// type stays correct: the plans are rebuilt for this call, uncached.
+    fn compiled_for<T: Theory<A = A>>(
+        &self,
+        idb: &BTreeMap<RelName, usize>,
+    ) -> Arc<CompiledProgram<T>> {
+        let build = || {
+            let config = self.plan_config;
+            let rules: Vec<CompiledRule<T>> = self
+                .rules
+                .iter()
+                .map(|rule| {
+                    let variants = rule
+                        .positive_idb_literals(idb)
+                        .into_iter()
+                        .map(|target| {
+                            let gate = match &rule.body[target] {
+                                Literal::Rel { name, .. } => name.clone(),
+                                Literal::Constraint(_) => {
+                                    unreachable!("target literal is a positive IDB literal")
+                                }
+                            };
+                            let body = rule.body_formula_mapped(&|idx, name| {
+                                if idx == target {
+                                    delta_name(name)
+                                } else {
+                                    name.clone()
+                                }
+                            });
+                            (
+                                gate,
+                                compile_query_with::<T>(&body, &rule.head_vars, &config),
+                            )
+                        })
+                        .collect();
+                    CompiledRule {
+                        head: rule.head.clone(),
+                        full_body: compile_query_with::<T>(
+                            &rule.body_formula(),
+                            &rule.head_vars,
+                            &config,
+                        ),
+                        variants,
+                        mentions_idb: rule.mentions_idb(idb),
+                        has_literal_body: rule.formula.is_none(),
+                    }
+                })
+                .collect();
+            // The naive engine evaluates the same full-body plans; cloning is
+            // cheap (the plan is an Arc) and halves both compile time and the
+            // cached-plan footprint.
+            let naive_bodies = rules.iter().map(|r| r.full_body.clone()).collect();
+            let rules_touch_delta = idb.keys().any(|n| n.as_str().starts_with('Δ'))
+                || self.rules.iter().any(|rule| {
+                    rule.body_formula()
+                        .relation_names()
+                        .iter()
+                        .any(|n| n.as_str().starts_with('Δ'))
+                });
+            Arc::new(CompiledProgram {
+                rules,
+                naive_bodies,
+                rules_touch_delta,
+            })
+        };
+        let entry = self
+            .compiled
+            .get_or_init(|| build() as Arc<dyn Any + Send + Sync>);
+        match entry.clone().downcast::<CompiledProgram<T>>() {
+            Ok(cached) => cached,
+            Err(_) => build(),
+        }
     }
 
     /// The rules of the program.
@@ -461,6 +715,30 @@ impl<A: frdb_core::theory::Atom> Program<A> {
     /// Runs the program to its inflationary fixpoint over an input instance
     /// using **semi-naive (delta) evaluation**.
     ///
+    /// # Examples
+    /// ```
+    /// use frdb_core::prelude::*;
+    /// use frdb_datalog::transitive_closure_program;
+    ///
+    /// // The transitive closure of a two-edge path 0 → 1 → 2.
+    /// let mut edb: Instance<DenseOrder> = Instance::new(Schema::from_pairs([("edge", 2)]));
+    /// edb.set(
+    ///     "edge",
+    ///     Relation::from_points(
+    ///         vec![Var::new("x"), Var::new("y")],
+    ///         vec![
+    ///             vec![Rat::from_i64(0), Rat::from_i64(1)],
+    ///             vec![Rat::from_i64(1), Rat::from_i64(2)],
+    ///         ],
+    ///     ),
+    /// )
+    /// .unwrap();
+    /// let program = transitive_closure_program("edge", "tc");
+    /// let result = program.run(&edb).unwrap();
+    /// let tc = result.instance.get(&RelName::new("tc")).unwrap();
+    /// assert!(tc.contains(&[Rat::from_i64(0), Rat::from_i64(2)]));
+    /// ```
+    ///
     /// Each round evaluates, for every rule with positive intensional body
     /// literals, one *delta variant* per such literal — the occurrence pointed
     /// at the tuples derived in the previous round (exposed in the evaluation
@@ -484,22 +762,20 @@ impl<A: frdb_core::theory::Atom> Program<A> {
         edb: &Instance<T>,
     ) -> Result<FixpointResult<T>, DatalogError> {
         let idb = self.validated_idb(edb.schema())?;
+        // Compiled once per program and theory, reused across `run` calls
+        // (the plans re-evaluate against the changing instance every round;
+        // nothing is re-planned per call, let alone per iteration).
+        let compiled = self.compiled_for::<T>(&idb);
         // The delta namespace is reserved; a `Δ`-prefixed name anywhere — an
         // IDB head, an EDB relation, or a reference inside any rule body —
         // could collide with the engine's internal delta relations, so fall
         // back to the naive engine (which has no reserved names and therefore
         // reports the same result or error a user would expect for them).
-        if idb.keys().any(|n| n.as_str().starts_with('Δ'))
+        if compiled.rules_touch_delta
             || edb
                 .schema()
                 .iter()
                 .any(|(n, _)| n.as_str().starts_with('Δ'))
-            || self.rules.iter().any(|rule| {
-                rule.body_formula()
-                    .relation_names()
-                    .iter()
-                    .any(|n| n.as_str().starts_with('Δ'))
-            })
         {
             return self.run_naive(edb);
         }
@@ -507,88 +783,55 @@ impl<A: frdb_core::theory::Atom> Program<A> {
         // their deltas (initially empty, like the IDB itself).
         let (mut current, mut idb_state) = seed_state(edb, &idb, true);
 
-        // Compile each rule ONCE onto the relational-algebra evaluator: the
-        // full body and the delta variants (one per positive IDB literal)
-        // become reusable plans, re-evaluated against the changing instance
-        // every round without re-expanding or re-planning the formula.
-        struct CompiledRule<T: Theory> {
-            head: RelName,
-            full_body: CompiledQuery<T>,
-            // (idb predicate whose delta gates the variant, rewritten body plan)
-            variants: Vec<(RelName, CompiledQuery<T>)>,
-            mentions_idb: bool,
-            has_literal_body: bool,
-        }
-        let compiled: Vec<CompiledRule<T>> = self
+        // Re-optimize the cached plans once per run against statistics of the
+        // seeded instance (cheap plan rewriting — the source formulas are not
+        // touched).  IDB relations start empty, so their operands sort first,
+        // which is exactly where the semi-naive deltas want them.
+        let statistics = Statistics::collect(&current);
+        // Budget split: when the round itself fans rules out across workers,
+        // each body evaluates serially inside its worker — otherwise N rule
+        // workers each spawning N join workers would oversubscribe to N².
+        let threads = self.plan_config.threads.max(1);
+        let body_threads = if threads > 1 && compiled.rules.len() >= 2 {
+            1
+        } else {
+            threads
+        };
+        let rules: Vec<CompiledRule<T>> = compiled
             .rules
             .iter()
-            .map(|rule| {
-                let variants = rule
-                    .positive_idb_literals(&idb)
-                    .into_iter()
-                    .map(|target| {
-                        let gate = match &rule.body[target] {
-                            Literal::Rel { name, .. } => name.clone(),
-                            Literal::Constraint(_) => {
-                                unreachable!("target literal is a positive IDB literal")
-                            }
-                        };
-                        let body = rule.body_formula_mapped(&|idx, name| {
-                            if idx == target {
-                                delta_name(name)
-                            } else {
-                                name.clone()
-                            }
-                        });
-                        (gate, compile_query::<T>(&body, &rule.head_vars))
+            .map(|rule| CompiledRule {
+                head: rule.head.clone(),
+                full_body: rule
+                    .full_body
+                    .optimized_for(&statistics)
+                    .with_threads(body_threads),
+                variants: rule
+                    .variants
+                    .iter()
+                    .map(|(gate, body)| {
+                        (
+                            gate.clone(),
+                            body.optimized_for(&statistics).with_threads(body_threads),
+                        )
                     })
-                    .collect();
-                CompiledRule {
-                    head: rule.head.clone(),
-                    full_body: compile_query::<T>(&rule.body_formula(), &rule.head_vars),
-                    variants,
-                    mentions_idb: rule.mentions_idb(&idb),
-                    has_literal_body: rule.formula.is_none(),
-                }
+                    .collect(),
+                mentions_idb: rule.mentions_idb,
+                has_literal_body: rule.has_literal_body,
             })
             .collect();
-
         for iteration in 0..self.max_iterations {
             let mut changed = false;
             let mut next_state = idb_state.clone();
             let mut next_delta: BTreeMap<RelName, Vec<GenTuple<A>>> =
                 idb.keys().map(|n| (n.clone(), Vec::new())).collect();
-            for rule in &compiled {
-                // Which evaluations does this rule need this round?
-                let derived: Option<Relation<T>> = if iteration == 0 {
-                    // First round: every rule runs naively against the empty IDB.
-                    Some(rule.full_body.eval(&current)?)
-                } else if rule.has_literal_body && !rule.variants.is_empty() {
-                    // Semi-naive: one variant per positive IDB literal, gated on
-                    // that predicate's delta being nonempty.
-                    let mut acc: Option<Relation<T>> = None;
-                    for (gate, body) in &rule.variants {
-                        let gate_delta = current
-                            .get(&delta_name(gate))
-                            .expect("delta relations are declared");
-                        if gate_delta.is_empty() {
-                            continue;
-                        }
-                        let part = body.eval(&current)?;
-                        acc = Some(match acc {
-                            None => part,
-                            Some(prev) => prev.union(&part.rename(prev.vars().to_vec())),
-                        });
-                    }
-                    acc
-                } else if rule.mentions_idb {
-                    // Formula-bodied rule over the IDB: possibly non-monotone,
-                    // re-evaluate (its precompiled plan) every round.
-                    Some(rule.full_body.eval(&current)?)
-                } else {
-                    // EDB-only rule: nothing new after the first round.
-                    None
-                };
+            // Every rule body of a round reads the same `current` instance,
+            // so the evaluations are independent: with a thread budget they
+            // run on a scoped worker pool, merged below in rule order (the
+            // fixpoint and iteration count are identical at any count).
+            let derived_per_rule: Vec<Option<Relation<T>>> =
+                eval_round(&rules, &current, iteration, threads)?;
+            for (rule, derived) in rules.iter().zip(derived_per_rule) {
                 let Some(derived) = derived else { continue };
                 let existing = next_state
                     .get(&rule.head)
@@ -670,17 +913,15 @@ impl<A: frdb_core::theory::Atom> Program<A> {
         // Combined schema and state: EDB relations plus IDB predicates.
         let (mut current, mut idb_state) = seed_state(edb, &idb, false);
 
-        // Bodies are still planned once (the "naive" in naive evaluation is the
-        // full re-evaluation every round, not re-compilation).
-        let bodies: Vec<CompiledQuery<T>> = self
-            .rules
-            .iter()
-            .map(|rule| compile_query::<T>(&rule.body_formula(), &rule.head_vars))
-            .collect();
+        // Bodies are planned once per program and theory and cached across
+        // calls (the "naive" in naive evaluation is the full re-evaluation
+        // every round, not re-compilation).
+        let compiled = self.compiled_for::<T>(&idb);
+        let bodies = &compiled.naive_bodies;
         for iteration in 0..self.max_iterations {
             let mut changed = false;
             let mut next_state = idb_state.clone();
-            for (rule, body) in self.rules.iter().zip(&bodies) {
+            for (rule, body) in self.rules.iter().zip(bodies) {
                 let delta = body.eval(&current)?;
                 let existing = next_state
                     .get(&rule.head)
@@ -1040,6 +1281,95 @@ mod tests {
             vec![Literal::pos("ghost", [Term::var("x")])],
         )]);
         assert!(matches!(bad3.run(&inst), Err(DatalogError::Eval(_))));
+    }
+
+    #[test]
+    fn compiled_plans_are_cached_across_runs_and_invalidated_on_mutation() {
+        // Regression: a stored program re-run by a `fixpoint` statement used
+        // to re-plan every rule body on each call.  Plans must now compile on
+        // the first run, be reused by later runs, and be dropped the moment
+        // the rule set changes (a stale cache would silently evaluate the old
+        // program).
+        let inst = path_graph(3);
+        let mut program = transitive_closure_program("edge", "tc");
+        assert!(!program.plans_cached::<DenseOrder>());
+        let first = program.run(&inst).unwrap();
+        assert!(program.plans_cached::<DenseOrder>());
+        let second = program.run(&inst).unwrap();
+        assert_eq!(first.iterations, second.iterations);
+        // A clone shares the warm cache (same rules, same plans).
+        let cloned = program.clone();
+        assert!(cloned.plans_cached::<DenseOrder>());
+        // Mutation invalidates: the added rule must be part of the next run.
+        program.add_rule(Rule::new(
+            "reach0",
+            ["x"],
+            vec![Literal::pos("tc", [Term::cst(0), Term::var("x")])],
+        ));
+        assert!(!program.plans_cached::<DenseOrder>());
+        let third = program.run(&inst).unwrap();
+        assert!(third
+            .instance
+            .get(&RelName::new("reach0"))
+            .unwrap()
+            .contains(&[r(3)]));
+        // run_naive shares the same cache.
+        let naive = program.run_naive(&inst).unwrap();
+        assert_eq!(third.iterations, naive.iterations);
+    }
+
+    #[test]
+    fn parallel_rule_evaluation_matches_serial_fixpoints() {
+        // The worker-pool round evaluation must reproduce the serial engine's
+        // fixpoint and iteration count exactly, at any thread count.
+        use frdb_core::fo::PlanConfig;
+        let mut inst = path_graph(4);
+        let mut schema = Schema::from_pairs([("edge", 2), ("node", 1)]);
+        schema.add("node", 1);
+        let mut inst2 = Instance::new(schema);
+        inst2
+            .set("edge", inst.get(&RelName::new("edge")).unwrap())
+            .unwrap();
+        let nodes: Vec<Vec<Rat>> = (0..=4).chain(20..=21).map(|i| vec![r(i)]).collect();
+        inst2
+            .set("node", Relation::from_points(vec![Var::new("x")], nodes))
+            .unwrap();
+        inst = inst2;
+        let base = {
+            let mut p = transitive_closure_program("edge", "tc");
+            p.add_rule(Rule::new(
+                "reach0",
+                ["x"],
+                vec![Literal::pos("tc", [Term::cst(0), Term::var("x")])],
+            ));
+            p.add_rule(Rule::new(
+                "far",
+                ["x"],
+                vec![
+                    Literal::pos("node", [Term::var("x")]),
+                    Literal::neg("reach0", [Term::var("x")]),
+                    Literal::constraint(DenseAtom::lt(Term::cst(1), Term::var("x"))),
+                ],
+            ));
+            p
+        };
+        let serial = base.run(&inst).unwrap();
+        for threads in [2usize, 4] {
+            let parallel = base.clone().with_plan_config(PlanConfig {
+                threads,
+                ..PlanConfig::default()
+            });
+            let result = parallel.run(&inst).unwrap();
+            assert_eq!(serial.iterations, result.iterations, "threads={threads}");
+            for name in ["tc", "reach0", "far"] {
+                let a = serial.instance.get(&RelName::new(name)).unwrap();
+                let b = result.instance.get(&RelName::new(name)).unwrap();
+                assert!(
+                    a.equivalent(&b.rename(a.vars().to_vec())),
+                    "threads={threads}: fixpoints differ on {name}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //!            | IDENT ":=" relation ";"                  (set a relation)
 //!            | "query" IDENT "(" [ varlist ] ")" ":=" formula ";"
 //!            | "run" IDENT ";"                          (evaluate and print)
+//!            | "explain" IDENT ";"                      (print the optimized plan
+//!                                                        with est/actual cardinalities)
 //!            | "check" formula ";"                      (print true/false)
 //!            | "assert" formula ";"                     (error when false)
 //!            | "program" IDENT "{" { rule } "}"
@@ -89,6 +91,12 @@ pub enum Stmt<T: Theory> {
     },
     /// `run q;` — evaluate a named query and print the answer relation.
     Run {
+        /// The query name.
+        name: String,
+    },
+    /// `explain q;` — evaluate a named query and print its optimized plan
+    /// tree with estimated and actual cardinalities (no materialization).
+    Explain {
         /// The query name.
         name: String,
     },
@@ -263,20 +271,23 @@ fn statement<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Spanned<Stmt<T>>, Pars
                     span: start.join(end),
                 });
             }
-            "run" | "fixpoint" => {
+            "run" | "explain" | "fixpoint" => {
+                let is_fixpoint = word == "fixpoint";
                 let is_run = word == "run";
                 p.advance();
-                let (name, _) = p.ident(if is_run {
-                    "a query name"
-                } else {
+                let (name, _) = p.ident(if is_fixpoint {
                     "a program name"
+                } else {
+                    "a query name"
                 })?;
                 let end = p.expect(&Tok::Semi, "`;` terminating the statement")?.span;
                 return Ok(Spanned {
                     node: if is_run {
                         Stmt::Run { name }
-                    } else {
+                    } else if is_fixpoint {
                         Stmt::Fixpoint { name }
+                    } else {
+                        Stmt::Explain { name }
                     },
                     span: start.join(end),
                 });
@@ -324,7 +335,7 @@ fn statement<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Spanned<Stmt<T>>, Pars
         }
     }
     Err(p.error_here(
-        "expected a statement (`schema`, `R := …`, `query`, `run`, `check`, \
-         `assert`, `program`, `fixpoint`, or `print`)",
+        "expected a statement (`schema`, `R := …`, `query`, `run`, `explain`, \
+         `check`, `assert`, `program`, `fixpoint`, or `print`)",
     ))
 }

@@ -53,6 +53,11 @@ fn cases() -> Vec<Case> {
             "schema R/2;\nrun ;\n",
             script_dense,
         ),
+        (
+            "explain-without-query-name",
+            "schema R/2;\nexplain + 3;\n",
+            script_dense,
+        ),
         ("not-a-statement", "<= 3;", script_dense),
         ("bad-arity", "schema R/x;", script_dense),
         ("unknown-theory", "theory euclidean;", script_dense),

@@ -1,7 +1,7 @@
 //! # frdb-linear
 //!
 //! Linear constraints over the rationals — the language `FO(≤, +)` of Section 7 of
-//! Grumbach & Su and of [GST94] — as a second full instantiation of the
+//! Grumbach & Su and of \[GST94\] — as a second full instantiation of the
 //! [`frdb_core::theory::Theory`] interface.
 //!
 //! Atoms are affine comparisons `Σ cᵢ·xᵢ + c ⋈ 0` with `⋈ ∈ {<, ≤, =}` and rational
@@ -12,7 +12,7 @@
 //! databases; the benchmark harness compares its cost against the pure dense-order
 //! engine (experiment E12 of `DESIGN.md`).
 //!
-//! The module also provides the *k-bounded* measure of [GST94] (the number of `+`
+//! The module also provides the *k-bounded* measure of \[GST94\] (the number of `+`
 //! occurrences per constraint), and the midpoint-convexity query used to realize the
 //! paper's convexity query (Lemma 5.4) — see `frdb-queries`.
 
@@ -150,7 +150,7 @@ impl LinExpr {
     }
 
     /// The number of `+` occurrences needed to write the expression: the *k-bounded*
-    /// measure of [GST94] (one less than the number of monomials, at least zero).
+    /// measure of \[GST94\] (one less than the number of monomials, at least zero).
     #[must_use]
     pub fn plus_occurrences(&self) -> usize {
         let monomials = self.coeffs.len() + usize::from(!self.constant.is_zero());
@@ -255,7 +255,7 @@ impl LinAtom {
         }
     }
 
-    /// The number of `+` occurrences of the constraint ([GST94] k-boundedness).
+    /// The number of `+` occurrences of the constraint (\[GST94\] k-boundedness).
     #[must_use]
     pub fn plus_occurrences(&self) -> usize {
         self.expr.plus_occurrences()
@@ -617,7 +617,7 @@ pub mod build {
 }
 
 /// The maximum number of `+` occurrences over the atoms of a conjunction — a
-/// conjunction is *k-bounded* in the sense of [GST94] when this is at most `k`.
+/// conjunction is *k-bounded* in the sense of \[GST94\] when this is at most `k`.
 #[must_use]
 pub fn k_boundedness(conj: &[LinAtom]) -> usize {
     conj.iter()

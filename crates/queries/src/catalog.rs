@@ -122,6 +122,24 @@ pub fn three_hop_query() -> Formula<DenseAtom> {
     )
 }
 
+/// The "zigzag" multi-join `{(x, w) | ∃y ∃z. S(x,y) ∧ S(z,w) ∧ S(y,z)}` —
+/// semantically the three-hop chain, deliberately *written* cross-product
+/// first: syntactic-order evaluation multiplies `S(x,y) × S(z,w)` before the
+/// linking conjunct `S(y,z)` arrives.  This is the shape the cost-guided
+/// plan optimizer re-orders into the chain `S(x,y) ⋈ S(y,z) ⋈ S(z,w)`, and
+/// the benchmark harness measures that win on it.
+#[must_use]
+pub fn zigzag_query() -> Formula<DenseAtom> {
+    Formula::exists(
+        ["y", "z"],
+        Formula::conj([
+            Formula::rel("S", [Term::var("x"), Term::var("y")]),
+            Formula::rel("S", [Term::var("z"), Term::var("w")]),
+            Formula::rel("S", [Term::var("y"), Term::var("z")]),
+        ]),
+    )
+}
+
 /// `{x | shadow_R(x) ↔ shadow-of-converse_R(x)}` over a binary region — the
 /// bi-implication duplicates both shadow sub-formulas, exercising the
 /// evaluator's hash-consing and memoization.
@@ -175,6 +193,12 @@ pub fn fo_catalog() -> Vec<CatalogEntry> {
         CatalogEntry {
             name: "three-hop",
             formula: three_hop_query(),
+            free: vec![v("x"), v("w")],
+            instances: graph_instances(),
+        },
+        CatalogEntry {
+            name: "zigzag",
+            formula: zigzag_query(),
             free: vec![v("x"), v("w")],
             instances: graph_instances(),
         },

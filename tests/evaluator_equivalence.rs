@@ -1,10 +1,20 @@
 //! Property tests pinning the relational-algebra evaluator against the
 //! expand-then-eliminate baseline of Section 4.1: on randomized formulas over
 //! both the dense-order and the linear theory, and on the whole `frdb_queries`
-//! FO catalog, the two must produce equivalent answer relations.
+//! FO catalog, the evaluators must produce equivalent answer relations.
+//!
+//! Since the cost-guided optimizer (PR 5), every agreement check runs
+//! **three** pipelines — the optimized plan (the default), the unoptimized
+//! syntactic-order plan (`OptLevel::None`, the PR 2 baseline), and the expand
+//! baseline — and the parallel-executor tests additionally pin that plans
+//! evaluated at 2 and 4 worker threads are *bit-identical* (same tuples, same
+//! order) to the serial evaluation.
 
 use frdb_core::dense::{DenseAtom, DenseOrder};
-use frdb_core::fo::{eval_query, eval_query_expand, eval_sentence, eval_sentence_expand};
+use frdb_core::fo::{
+    compile_query, compile_query_with, eval_query, eval_query_expand, eval_sentence,
+    eval_sentence_expand, PlanConfig, Statistics,
+};
 use frdb_core::logic::{Formula, Term, Var};
 use frdb_core::relation::Instance;
 use frdb_core::schema::Schema;
@@ -18,7 +28,9 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Asserts that both evaluators agree on `{free | formula}` over `instance`.
+/// Asserts that all evaluation pipelines agree on `{free | formula}` over
+/// `instance`: the optimized plan, the statistics-reoptimized plan, the
+/// unoptimized syntactic-order plan, and the expand baseline.
 fn assert_evaluators_agree<T: Theory>(
     formula: &Formula<T::A>,
     free: &[Var],
@@ -35,6 +47,47 @@ fn assert_evaluators_agree<T: Theory>(
         algebraic.equivalent(&expand),
         "{label}: evaluators disagree on {formula}\n  algebraic: {algebraic}\n  expand:    {expand}"
     );
+    let unoptimized = compile_query_with(formula, free, &PlanConfig::baseline())
+        .eval(instance)
+        .unwrap_or_else(|e| panic!("{label}: unoptimized plan failed: {e}"));
+    assert!(
+        unoptimized.equivalent(&expand),
+        "{label}: unoptimized plan disagrees on {formula}\n  unoptimized: {unoptimized}\n  expand:      {expand}"
+    );
+    let tuned = compile_query(formula, free)
+        .optimized_for(&Statistics::collect(instance))
+        .eval(instance)
+        .unwrap_or_else(|e| panic!("{label}: statistics-reoptimized plan failed: {e}"));
+    assert!(
+        tuned.equivalent(&expand),
+        "{label}: statistics-reoptimized plan disagrees on {formula}\n  tuned:  {tuned}\n  expand: {expand}"
+    );
+}
+
+/// Asserts that evaluating the (optimized) plan at 2 and 4 worker threads is
+/// bit-identical to the serial evaluation.
+fn assert_parallel_matches_serial<T: Theory>(
+    formula: &Formula<T::A>,
+    free: &[Var],
+    instance: &Instance<T>,
+    label: &str,
+) where
+    T::A: std::fmt::Display,
+{
+    let serial = compile_query::<T>(formula, free)
+        .eval(instance)
+        .unwrap_or_else(|e| panic!("{label}: serial evaluation failed: {e}"));
+    for threads in [1usize, 2, 4] {
+        let parallel = compile_query::<T>(formula, free)
+            .with_threads(threads)
+            .eval(instance)
+            .unwrap_or_else(|e| panic!("{label}: evaluation at {threads} threads failed: {e}"));
+        assert_eq!(
+            serial.to_dnf(),
+            parallel.to_dnf(),
+            "{label}: {threads}-thread evaluation diverged from serial on {formula}"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -212,6 +265,44 @@ fn algebraic_matches_expand_on_the_full_catalog() {
                 &format!("catalog entry {} (instance {i})", entry.name),
             );
         }
+    }
+}
+
+#[test]
+fn parallel_executor_matches_serial_on_the_full_catalog() {
+    for entry in fo_catalog() {
+        for (i, inst) in entry.instances.iter().enumerate() {
+            assert_parallel_matches_serial(
+                &entry.formula,
+                &entry.free,
+                inst,
+                &format!("catalog entry {} (instance {i})", entry.name),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn parallel_executor_matches_serial_on_random_dense_formulas(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let depth = rng.gen_range(1..=3);
+        let formula = rand_dense_formula(&mut rng, depth);
+        let free: Vec<Var> = formula.free_vars().into_iter().collect();
+        let inst = dense_instance(seed ^ 0xF00D);
+        assert_parallel_matches_serial(&formula, &free, &inst, "random dense formula (parallel)");
+    }
+
+    #[test]
+    fn parallel_executor_matches_serial_on_random_linear_formulas(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let depth = rng.gen_range(1..=2);
+        let formula = rand_lin_formula(&mut rng, depth);
+        let free: Vec<Var> = formula.free_vars().into_iter().collect();
+        let inst = linear_instance(seed ^ 0xBEEF);
+        assert_parallel_matches_serial(&formula, &free, &inst, "random linear formula (parallel)");
     }
 }
 
