@@ -1,0 +1,204 @@
+//! Constraint-aware interval-index joins (PR 6): the sorted-endpoint sweep
+//! against the pairwise candidate scan, at the `Relation` level, plus
+//! regression guards for the stats-driven parallel gate.
+//!
+//! Join workloads use **fixed-width** random ranges in a domain that grows
+//! with `n`, so the number of genuinely overlapping pairs stays O(n) while
+//! the pairwise scan checks O(n²) candidates — the regime where an
+//! output-proportional join shows up as a gap that widens with `n`:
+//!
+//! * `scan`    — [`Relation::join_scan`], the index-off pairwise baseline.
+//! * `indexed` — [`Relation::join_with`] at 1 thread: pin hashing plus the
+//!   sorted-endpoint interval sweep over the cached column index.
+//! * `indexed-2threads` / `indexed-4threads` — the same join under the
+//!   worker pool (engaged only when the estimated candidate work clears the
+//!   cost gate; results are bit-identical to serial).
+//!
+//! The `parallel_gate` groups re-measure the two BENCH_PR5 workloads where
+//! thread counts 2 and 4 used to run *slower* than serial on small
+//! instances (iff-shadow, three-hop chain): with the tuple-count gate
+//! replaced by the stats-driven work estimate, the threaded runs must sit
+//! within noise of serial.
+//!
+//! Results are written as JSON to `target/frdb-bench/` and snapshotted in
+//! `BENCH_PR6.json` (uploaded as a CI artifact).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::fo::{compile_query_with, PlanConfig, Statistics};
+use frdb_core::logic::{Formula, Term, Var};
+use frdb_core::relation::{GenTuple, Instance, Relation};
+use frdb_num::Rat;
+use frdb_queries::catalog::{iff_shadow_query, three_hop_query};
+use frdb_queries::reductions::{boolean_vector, majority_to_connectivity};
+use frdb_queries::workload::single_relation_instance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn v(name: &str) -> Var {
+    Var::new(name)
+}
+
+/// A closed interval of width at most `width` with endpoints in `[0, domain]`.
+fn interval_atoms(rng: &mut StdRng, var: &str, width: i64, domain: i64) -> Vec<DenseAtom> {
+    let lo = rng.gen_range(0..=(domain - width).max(0));
+    let hi = lo + rng.gen_range(0..=width);
+    vec![
+        DenseAtom::le(Term::cst(lo), Term::var(var)),
+        DenseAtom::le(Term::var(var), Term::cst(hi)),
+    ]
+}
+
+/// Two monadic relations of `n` width-≤8 intervals each in `[0, 10n]`,
+/// joining on the shared column `x`.
+fn interval_pair(n: usize) -> (Relation<DenseOrder>, Relation<DenseOrder>) {
+    let mut rng = StdRng::seed_from_u64(n as u64 + 11);
+    let domain = 10 * n as i64;
+    let mut make = |_: usize| {
+        let tuples = (0..n)
+            .map(|_| GenTuple::new(interval_atoms(&mut rng, "x", 8, domain)))
+            .collect();
+        Relation::new(vec![v("x")], tuples)
+    };
+    (make(0), make(1))
+}
+
+/// Two binary box relations `A(x, y)` and `B(y, z)` of `n` tuples each whose
+/// shared column `y` carries a width-≤8 interval in `[0, 10n]`.
+fn box_pair(n: usize) -> (Relation<DenseOrder>, Relation<DenseOrder>) {
+    let mut rng = StdRng::seed_from_u64(n as u64 + 29);
+    let domain = 10 * n as i64;
+    let mut make = |vars: [&str; 2]| {
+        let tuples = (0..n)
+            .map(|_| {
+                let mut atoms = interval_atoms(&mut rng, vars[0], 8, domain);
+                atoms.extend(interval_atoms(&mut rng, vars[1], 8, domain));
+                GenTuple::new(atoms)
+            })
+            .collect();
+        Relation::new(vec![v(vars[0]), v(vars[1])], tuples)
+    };
+    (make(["x", "y"]), make(["y", "z"]))
+}
+
+/// Benchmarks one join workload across sizes, index off and on.
+fn compare_join(
+    c: &mut Criterion,
+    group_name: &str,
+    sizes: &[usize],
+    make: fn(usize) -> (Relation<DenseOrder>, Relation<DenseOrder>),
+) {
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for &n in sizes {
+        let (a, b) = make(n);
+        // Warm the per-tuple context caches and the column index once, so
+        // every configuration measures the steady-state join.
+        let _ = a.join_scan(&b);
+        let _ = a.join_with(&b, 1);
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |bch, _| {
+            bch.iter(|| a.join_scan(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |bch, _| {
+            bch.iter(|| a.join_with(&b, 1))
+        });
+        for threads in [2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("indexed-{threads}threads"), n),
+                &n,
+                |bch, _| bch.iter(|| a.join_with(&b, threads)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_interval_join(c: &mut Criterion) {
+    compare_join(c, "PR6_join_index_intervals", &[8, 32, 128], interval_pair);
+}
+
+fn bench_box_join(c: &mut Criterion) {
+    compare_join(c, "PR6_join_index_boxes", &[8, 32, 128], box_pair);
+}
+
+/// Benchmarks one compiled query at 1/2/4 worker threads — the parallel-gate
+/// regression guard (threaded runs must not lose to serial on small inputs).
+fn guard(
+    c: &mut Criterion,
+    group_name: &str,
+    sizes: &[usize],
+    make_instance: fn(usize) -> Instance<DenseOrder>,
+    query: &Formula<DenseAtom>,
+    free: &[Var],
+) {
+    // Sub-millisecond workloads: more samples and a longer budget, so the
+    // serial-vs-threaded comparison is not dominated by scheduler noise.
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    for &n in sizes {
+        let inst = make_instance(n);
+        for threads in [1usize, 2, 4] {
+            let config = PlanConfig {
+                threads,
+                ..PlanConfig::default()
+            };
+            let compiled = compile_query_with::<DenseOrder>(query, free, &config)
+                .optimized_for(&Statistics::collect(&inst));
+            let label = if threads == 1 {
+                "serial".to_string()
+            } else {
+                format!("{threads}threads")
+            };
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| compiled.eval(&inst).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_iff_shadow_gate(c: &mut Criterion) {
+    fn fig3_instance(n: usize) -> Instance<DenseOrder> {
+        let region = majority_to_connectivity(&boolean_vector(n, n / 2 + 1));
+        single_relation_instance("R", region.rename(vec![v("x"), v("y")]))
+    }
+    guard(
+        c,
+        "PR6_parallel_gate_iff_shadow",
+        &[2, 4],
+        fig3_instance,
+        &iff_shadow_query(),
+        &[v("x")],
+    );
+}
+
+fn bench_three_hop_gate(c: &mut Criterion) {
+    fn chain_instance(n: usize) -> Instance<DenseOrder> {
+        let points: Vec<Vec<Rat>> = (0..n as i64)
+            .map(|i| vec![Rat::from_i64(i), Rat::from_i64(i + 1)])
+            .collect();
+        single_relation_instance("S", Relation::from_points(vec![v("x"), v("y")], points))
+    }
+    guard(
+        c,
+        "PR6_parallel_gate_three_hop",
+        &[16, 32],
+        chain_instance,
+        &three_hop_query(),
+        &[v("x"), v("w")],
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_interval_join,
+    bench_box_join,
+    bench_iff_shadow_gate,
+    bench_three_hop_gate
+);
+criterion_main!(benches);

@@ -133,7 +133,7 @@ fn land_registry_explain_transcript_is_pinned() {
     let (_, output) = run_script(&path);
     let golden = "\
 explain disputed
-⋈ join → (x, y)  [est≈1, actual=1]
+⋈ join → (x, y)  [est≈1.3, actual=1, index-sweep 1/4 pairs]
 ├─ alice(x, y)  [est≈2, actual=2]
 └─ bob(x, y)  [est≈2, actual=2]
 ";

@@ -26,6 +26,7 @@ use crate::theory::{Atom, Conj, Dnf, Theory};
 use frdb_num::Rat;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::ops::Bound;
 
 /// Comparison operators of the dense-order language (after normalization).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -528,6 +529,67 @@ impl OrderClosure {
         None
     }
 
+    /// The constant envelope the closure entails for a variable: the tightest
+    /// lower and upper bounds by *constant nodes* of the closure, with
+    /// strictness read off the entailed relation (`c < var` vs `c ≤ var`).
+    /// `None` when neither side is bounded by a constant (or the variable is
+    /// not interned, or the closure is unsatisfiable).
+    ///
+    /// Soundness mirrors [`OrderClosure::pinned_const`]: the closure is
+    /// transitively complete, so every entailed comparison between the
+    /// variable and a constant of the premise appears directly in the table —
+    /// the envelope therefore contains every satisfying value.  (Bounds
+    /// through constants *outside* the premise cannot be entailed over a
+    /// dense order, so scanning the constant nodes is exhaustive.)
+    #[must_use]
+    pub fn const_bounds(&self, var: &Var) -> Option<(Bound<Rat>, Bound<Rat>)> {
+        if !self.satisfiable {
+            return None;
+        }
+        let i = self.idx(&Term::Var(var.clone()))?;
+        let mut lower: Option<(Rat, bool)> = None; // (value, strict)
+        let mut upper: Option<(Rat, bool)> = None;
+        for (j, node) in self.nodes.iter().enumerate() {
+            if let Term::Const(c) = node {
+                // c ⋈ var: a lower bound.
+                match self.rel[j][i] {
+                    Rel::None => {}
+                    r => {
+                        let strict = r == Rel::Lt;
+                        if lower
+                            .as_ref()
+                            .is_none_or(|(lv, ls)| c > lv || (c == lv && strict && !*ls))
+                        {
+                            lower = Some((c.clone(), strict));
+                        }
+                    }
+                }
+                // var ⋈ c: an upper bound.
+                match self.rel[i][j] {
+                    Rel::None => {}
+                    r => {
+                        let strict = r == Rel::Lt;
+                        if upper
+                            .as_ref()
+                            .is_none_or(|(uv, us)| c < uv || (c == uv && strict && !*us))
+                        {
+                            upper = Some((c.clone(), strict));
+                        }
+                    }
+                }
+            }
+        }
+        if lower.is_none() && upper.is_none() {
+            return None;
+        }
+        let to_bound = |side: Option<(Rat, bool)>| match side {
+            None => Bound::Unbounded,
+            Some((v, true)) => Bound::Excluded(v),
+            Some((v, false)) => Bound::Included(v),
+        };
+        Some((to_bound(lower), to_bound(upper)))
+    }
+
     /// Produces a satisfying assignment for the variables of the conjunction, if
     /// satisfiable: a concrete witness of density and of the absence of endpoints.
     ///
@@ -703,6 +765,10 @@ impl Theory for DenseOrder {
 
     fn ctx_pinned(ctx: &OrderClosure, var: &Var) -> Option<Rat> {
         ctx.pinned_const(var)
+    }
+
+    fn ctx_bounds(ctx: &OrderClosure, var: &Var) -> Option<(Bound<Rat>, Bound<Rat>)> {
+        ctx.const_bounds(var)
     }
 }
 

@@ -18,7 +18,7 @@
 use super::optimize::{estimate_plan, Est};
 use super::stats::Statistics;
 use super::{Plan, PlanNode};
-use crate::relation::Relation;
+use crate::relation::{JoinReport, Relation};
 use crate::theory::Theory;
 use std::collections::HashMap;
 use std::fmt;
@@ -37,6 +37,9 @@ struct ExplainNode {
     /// Sharing marker: `Some(id)` when the node has several parents in the
     /// plan DAG.
     shared: Option<usize>,
+    /// The join strategy that ran (`index-sweep` / `pin-hash` / `scan` /
+    /// `mixed`) with its candidate-pair counts; join nodes only.
+    strategy: Option<JoinReport>,
     /// Children (empty on repeat visits to a shared node).
     children: Vec<ExplainNode>,
     /// Whether this is a repeat visit (children elided).
@@ -52,11 +55,14 @@ pub struct Explain {
 
 impl Explain {
     /// Builds the explain tree for a plan: estimates from `stats`, actuals
-    /// from the evaluator's memo (`actuals`, keyed by node identity).
+    /// from the evaluator's memo (`actuals`, keyed by node identity), and
+    /// join-strategy reports from the evaluator's join runs (`reports`, keyed
+    /// by join-node identity).
     pub(super) fn build<T: Theory>(
         plan: &Plan<T>,
         stats: &Statistics,
         actuals: &HashMap<usize, Relation<T>>,
+        reports: &HashMap<usize, JoinReport>,
     ) -> Explain {
         // First pass: reference counts, to decide which nodes get `#n` ids.
         let mut refs: HashMap<usize, usize> = HashMap::new();
@@ -68,6 +74,7 @@ impl Explain {
             plan,
             stats,
             actuals,
+            reports,
             &refs,
             &mut est_memo,
             &mut ids,
@@ -105,6 +112,7 @@ fn build_node<T: Theory>(
     plan: &Plan<T>,
     stats: &Statistics,
     actuals: &HashMap<usize, Relation<T>>,
+    reports: &HashMap<usize, JoinReport>,
     refs: &HashMap<usize, usize>,
     est_memo: &mut HashMap<usize, Est>,
     ids: &mut HashMap<usize, usize>,
@@ -113,6 +121,10 @@ fn build_node<T: Theory>(
     let key = Arc::as_ptr(&plan.0) as usize;
     let est = estimate_plan(plan, stats, est_memo).rows;
     let actual = actuals.get(&key).map(Relation::num_tuples);
+    let strategy = match &plan.0.node {
+        PlanNode::Join(_) => reports.get(&key).copied(),
+        _ => None,
+    };
     let multi = refs.get(&key).copied().unwrap_or(0) > 1;
     if multi {
         if let Some(&id) = ids.get(&key) {
@@ -122,6 +134,7 @@ fn build_node<T: Theory>(
                 est,
                 actual,
                 shared: Some(id),
+                strategy,
                 children: Vec::new(),
                 repeat: true,
             };
@@ -138,14 +151,16 @@ fn build_node<T: Theory>(
         | PlanNode::Scan { .. } => Vec::new(),
         PlanNode::Join(cs) | PlanNode::Union(cs) => cs
             .iter()
-            .map(|c| build_node(c, stats, actuals, refs, est_memo, ids, next_id))
+            .map(|c| build_node(c, stats, actuals, reports, refs, est_memo, ids, next_id))
             .collect(),
         PlanNode::Complement(p) => {
-            vec![build_node(p, stats, actuals, refs, est_memo, ids, next_id)]
+            vec![build_node(
+                p, stats, actuals, reports, refs, est_memo, ids, next_id,
+            )]
         }
         PlanNode::Project { input, .. } => {
             vec![build_node(
-                input, stats, actuals, refs, est_memo, ids, next_id,
+                input, stats, actuals, reports, refs, est_memo, ids, next_id,
             )]
         }
     };
@@ -154,6 +169,7 @@ fn build_node<T: Theory>(
         est,
         actual,
         shared,
+        strategy,
         children,
         repeat: false,
     }
@@ -202,9 +218,13 @@ impl fmt::Display for Explain {
             }
             write!(f, "  [est≈{}", fmt_est(node.est))?;
             match node.actual {
-                Some(n) => write!(f, ", actual={n}]"),
-                None => write!(f, ", actual=-]"),
+                Some(n) => write!(f, ", actual={n}")?,
+                None => write!(f, ", actual=-")?,
             }
+            if let Some(report) = &node.strategy {
+                write!(f, ", {report}")?;
+            }
+            write!(f, "]")
         }
         fn walk(
             node: &ExplainNode,
@@ -277,7 +297,7 @@ mod tests {
         assert_eq!(answer.num_tuples(), 1);
         assert_eq!(
             explain.to_string(),
-            "⋈ join → (x, y)  [est≈1, actual=1]\n\
+            "⋈ join → (x, y)  [est≈1.3, actual=1, index-sweep 1/4 pairs]\n\
              ├─ alice(x, y)  [est≈2, actual=2]\n\
              └─ bob(x, y)  [est≈2, actual=2]\n"
         );

@@ -50,7 +50,7 @@ pub use stats::{ColumnStats, RelationStats, Statistics};
 
 use crate::logic::{Formula, Term, Var};
 use crate::relation::{
-    eliminate_tuple, negate_tuples, simplify_tuples, GenTuple, Instance, Relation,
+    eliminate_tuple, negate_tuples, simplify_tuples, GenTuple, Instance, JoinReport, Relation,
 };
 use crate::schema::RelName;
 use crate::theory::{Atom, Dnf, Theory};
@@ -1077,7 +1077,8 @@ impl<T: Theory> CompiledQuery<T> {
     /// ```
     pub fn eval(&self, instance: &Instance<T>) -> Result<Relation<T>, EvalError> {
         let mut memo: HashMap<usize, Relation<T>> = HashMap::new();
-        self.eval_with_memo(instance, &mut memo)
+        let mut reports: HashMap<usize, JoinReport> = HashMap::new();
+        self.eval_with_memo(instance, &mut memo, &mut reports)
     }
 
     /// Evaluates the plan *and* returns the [`Explain`] tree: the operator
@@ -1093,9 +1094,10 @@ impl<T: Theory> CompiledQuery<T> {
         instance: &Instance<T>,
     ) -> Result<(Relation<T>, Explain), EvalError> {
         let mut memo: HashMap<usize, Relation<T>> = HashMap::new();
-        let answer = self.eval_with_memo(instance, &mut memo)?;
+        let mut reports: HashMap<usize, JoinReport> = HashMap::new();
+        let answer = self.eval_with_memo(instance, &mut memo, &mut reports)?;
         let statistics = Statistics::collect_only(instance, self.rels.iter().map(|(n, _)| n));
-        let explain = Explain::build(&self.plan, &statistics, &memo);
+        let explain = Explain::build(&self.plan, &statistics, &memo, &reports);
         Ok((answer, explain))
     }
 
@@ -1103,6 +1105,7 @@ impl<T: Theory> CompiledQuery<T> {
         &self,
         instance: &Instance<T>,
         memo: &mut HashMap<usize, Relation<T>>,
+        reports: &mut HashMap<usize, JoinReport>,
     ) -> Result<Relation<T>, EvalError> {
         if let Some(v) = &self.dup_free {
             return Err(EvalError::DuplicateAnswerVariable {
@@ -1120,7 +1123,7 @@ impl<T: Theory> CompiledQuery<T> {
         for (name, arity) in &self.rels {
             fetch(instance, name, *arity)?;
         }
-        let answer = eval_plan(&self.plan, instance, memo, self.config.threads)?;
+        let answer = eval_plan(&self.plan, instance, memo, reports, self.config.threads)?;
         // The plan result is already canonical (every operator finishes in
         // `Relation::new`); when the requested free list covers its columns,
         // re-wrap without re-running simplification and absorption.
@@ -1140,6 +1143,7 @@ fn eval_plan<T: Theory>(
     plan: &Plan<T>,
     instance: &Instance<T>,
     memo: &mut HashMap<usize, Relation<T>>,
+    reports: &mut HashMap<usize, JoinReport>,
     threads: usize,
 ) -> Result<Relation<T>, EvalError> {
     let key = Arc::as_ptr(&plan.0) as usize;
@@ -1181,7 +1185,7 @@ fn eval_plan<T: Theory>(
             Relation::simplified_unchecked(cols, tuples)
         }
         PlanNode::Join(children) => {
-            let joined = eval_join_fold(children, &[], instance, memo, threads)?;
+            let joined = eval_join_fold(children, &[], instance, memo, reports, key, threads)?;
             match joined {
                 None => Relation::empty(cols),
                 Some(rel) => rel.with_columns(cols),
@@ -1190,24 +1194,28 @@ fn eval_plan<T: Theory>(
         PlanNode::Union(children) => {
             let mut tuples: Vec<GenTuple<T::A>> = Vec::new();
             for child in children {
-                let rel = eval_plan(child, instance, memo, threads)?;
+                let rel = eval_plan(child, instance, memo, reports, threads)?;
                 tuples.extend(rel.tuples().iter().cloned());
             }
             Relation::simplified_unchecked(cols, tuples)
         }
         PlanNode::Complement(input) => {
-            let rel = eval_plan(input, instance, memo, threads)?;
+            let rel = eval_plan(input, instance, memo, reports, threads)?;
             Relation::simplified_unchecked(cols, negate_tuples::<T>(rel.tuples()))
         }
         PlanNode::Project { input, eliminate } => {
             let rel = if let PlanNode::Join(children) = &input.0.node {
-                // Fused join + early projection (see `eval_join_fold`).
-                match eval_join_fold(children, eliminate, instance, memo, threads)? {
+                // Fused join + early projection (see `eval_join_fold`); the
+                // join's report stays keyed on the fused join node.
+                let join_key = Arc::as_ptr(&input.0) as usize;
+                match eval_join_fold(
+                    children, eliminate, instance, memo, reports, join_key, threads,
+                )? {
                     None => return finish(memo, key, Relation::empty(cols)),
                     Some(rel) => rel,
                 }
             } else {
-                eval_plan(input, instance, memo, threads)?
+                eval_plan(input, instance, memo, reports, threads)?
             };
             rel.project_out_with(eliminate, threads).with_columns(cols)
         }
@@ -1222,19 +1230,38 @@ fn eval_plan<T: Theory>(
 /// annihilates early — the remaining operands cannot revive it (their schema
 /// errors were surfaced by the upfront validation).  Variables of `eliminate`
 /// still present in the result are the caller's to project.
+#[allow(clippy::too_many_arguments)]
 fn eval_join_fold<T: Theory>(
     children: &[Plan<T>],
     eliminate: &[Var],
     instance: &Instance<T>,
     memo: &mut HashMap<usize, Relation<T>>,
+    reports: &mut HashMap<usize, JoinReport>,
+    report_key: usize,
     threads: usize,
 ) -> Result<Option<Relation<T>>, EvalError> {
+    // Aggregate the fold's pairwise join reports onto the join node, so
+    // `EXPLAIN` shows the strategy and candidate-pair count even when the
+    // join annihilated early or was fused into its parent projection.
+    let mut report: Option<JoinReport> = None;
+    let record = |reports: &mut HashMap<usize, JoinReport>, report: Option<JoinReport>| {
+        if let Some(r) = report {
+            reports.insert(report_key, r);
+        }
+    };
     let mut acc: Option<Relation<T>> = None;
     for (i, child) in children.iter().enumerate() {
-        let rel = eval_plan(child, instance, memo, threads)?;
+        let rel = eval_plan(child, instance, memo, reports, threads)?;
         let mut joined = match acc {
             None => rel,
-            Some(prev) => prev.join_with(&rel, threads),
+            Some(prev) => {
+                let (joined, step) = prev.join_with_report(&rel, threads);
+                match &mut report {
+                    None => report = Some(step),
+                    Some(r) => r.absorb(&step),
+                }
+                joined
+            }
         };
         let dead: Vec<Var> = eliminate
             .iter()
@@ -1247,10 +1274,12 @@ fn eval_join_fold<T: Theory>(
             joined = joined.project_out_with(&dead, threads);
         }
         if joined.is_empty() {
+            record(reports, report);
             return Ok(None);
         }
         acc = Some(joined);
     }
+    record(reports, report);
     Ok(Some(acc.expect("join nodes have at least two children")))
 }
 

@@ -94,13 +94,30 @@ const ATOM_SELECTIVITY: f64 = 0.5;
 /// Selectivity of one shared join column with no pin information.
 const SHARED_COL_SELECTIVITY: f64 = 0.5;
 
+/// The per-column envelope summary an estimate carries: what fraction of the
+/// tuples have a two-sided constant envelope on the column, the value range
+/// those envelopes span, and their average width.  Mirrors
+/// [`super::stats::ColumnStats`] for one plan output.
+#[derive(Clone, Copy, Debug)]
+pub(super) struct ColBound {
+    /// Fraction of tuples carrying a two-sided envelope (0..=1).
+    frac: f64,
+    /// Smallest lower endpoint across those envelopes.
+    lo: f64,
+    /// Largest upper endpoint across those envelopes.
+    hi: f64,
+    /// Average envelope width.
+    avg_width: f64,
+}
+
 /// The cardinality estimate of a sub-plan: expected generalized-tuple count
 /// plus, per column, the number of distinct constants the column is pinned to
-/// (absent when unknown).
+/// and the envelope summary (each absent when unknown).
 #[derive(Clone, Debug)]
 pub(super) struct Est {
     pub rows: f64,
     pub distinct: BTreeMap<Var, f64>,
+    pub bounds: BTreeMap<Var, ColBound>,
 }
 
 impl Est {
@@ -108,8 +125,22 @@ impl Est {
         Est {
             rows,
             distinct: BTreeMap::new(),
+            bounds: BTreeMap::new(),
         }
     }
+}
+
+/// Interval-overlap selectivity of one shared column whose two sides carry
+/// envelope summaries: the probability two random envelopes (average widths
+/// `wa`, `wb`, lower endpoints spread over the union span) overlap, charged
+/// output-proportionally — this is what the join's sorted-endpoint index
+/// leaves for the compatibility filter.  Tuples without envelopes on either
+/// side fall back to the uninformed shared-column selectivity.
+fn overlap_selectivity(a: &ColBound, b: &ColBound) -> f64 {
+    let span = (a.hi.max(b.hi) - a.lo.min(b.lo)).max(1e-9);
+    let overlap = ((a.avg_width + b.avg_width) / span).min(1.0);
+    let both = (a.frac * b.frac).clamp(0.0, 1.0);
+    both * overlap + (1.0 - both) * SHARED_COL_SELECTIVITY
 }
 
 /// Estimated cardinality of joining `a` and `b` (given their column sets), and
@@ -122,7 +153,13 @@ fn join_est(a_cols: &BTreeSet<Var>, a: &Est, b_cols: &BTreeSet<Var>, b: &Est) ->
         let db = b.distinct.get(v).copied();
         let s = match (da, db) {
             (Some(da), Some(db)) => 1.0 / da.max(db).max(1.0),
-            _ => SHARED_COL_SELECTIVITY,
+            // No pins on one side: when both sides carry envelope summaries
+            // the interval index prunes to the overlap-feasible pairs, so
+            // charge the overlap probability instead of the uninformed half.
+            _ => match (a.bounds.get(v), b.bounds.get(v)) {
+                (Some(ba), Some(bb)) => overlap_selectivity(ba, bb),
+                _ => SHARED_COL_SELECTIVITY,
+            },
         };
         selectivity *= s;
     }
@@ -132,9 +169,23 @@ fn join_est(a_cols: &BTreeSet<Var>, a: &Est, b_cols: &BTreeSet<Var>, b: &Est) ->
             .and_modify(|da| *da = da.min(*db))
             .or_insert(*db);
     }
+    // Merged envelopes: keep the narrower summary per column (the joined
+    // tuples satisfy both sides' constraints).
+    let mut bounds = a.bounds.clone();
+    for (v, bb) in &b.bounds {
+        bounds
+            .entry(v.clone())
+            .and_modify(|ba| {
+                if bb.avg_width < ba.avg_width {
+                    *ba = *bb;
+                }
+            })
+            .or_insert(*bb);
+    }
     Est {
         rows: (a.rows * b.rows * selectivity).max(0.0),
         distinct,
+        bounds,
     }
 }
 
@@ -156,16 +207,29 @@ pub(super) fn estimate_plan<T: Theory>(
             None => Est::leaf(DEFAULT_LEAF_ROWS),
             Some(rs) => {
                 let mut distinct = BTreeMap::new();
+                let mut bounds = BTreeMap::new();
                 for (i, var) in to.iter().enumerate() {
                     if let Some(col) = rs.columns.get(i) {
                         if col.distinct_pins > 0 && col.pinned == rs.tuples {
                             distinct.insert(var.clone(), col.distinct_pins as f64);
+                        }
+                        if col.bounded > 0 && rs.tuples > 0 {
+                            bounds.insert(
+                                var.clone(),
+                                ColBound {
+                                    frac: col.bounded as f64 / rs.tuples as f64,
+                                    lo: col.lo,
+                                    hi: col.hi,
+                                    avg_width: col.avg_width,
+                                },
+                            );
                         }
                     }
                 }
                 Est {
                     rows: rs.tuples as f64,
                     distinct,
+                    bounds,
                 }
             }
         },
@@ -220,6 +284,7 @@ pub(super) fn estimate_plan<T: Theory>(
             let mut inner = estimate_plan(input, stats, memo);
             for v in eliminate {
                 inner.distinct.remove(v);
+                inner.bounds.remove(v);
             }
             inner
         }

@@ -21,9 +21,10 @@ use crate::schema::RelName;
 use crate::theory::Theory;
 use frdb_num::Rat;
 use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
 
-/// Pin statistics of one column of a stored relation.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// Pin and bound statistics of one column of a stored relation.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ColumnStats {
     /// Number of generalized tuples whose canonical context pins this column
     /// to a constant (`col = c` is entailed).
@@ -31,10 +32,20 @@ pub struct ColumnStats {
     /// Number of distinct constants the column is pinned to across the
     /// relation's tuples.
     pub distinct_pins: usize,
+    /// Number of tuples whose context entails a **two-sided** constant
+    /// envelope on the column ([`crate::theory::Theory::ctx_bounds`]); pinned
+    /// tuples count as zero-width envelopes.
+    pub bounded: usize,
+    /// Average envelope width across the bounded tuples (0 when none).
+    pub avg_width: f64,
+    /// Smallest lower endpoint across the bounded tuples (0 when none).
+    pub lo: f64,
+    /// Largest upper endpoint across the bounded tuples (0 when none).
+    pub hi: f64,
 }
 
 /// Statistics of one stored relation.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RelationStats {
     /// Number of generalized tuples in the stored representation.
     pub tuples: usize,
@@ -48,12 +59,48 @@ impl RelationStats {
     /// Collects the statistics of a single relation value.
     #[must_use]
     pub fn of<T: Theory>(rel: &Relation<T>) -> RelationStats {
-        let mut columns: Vec<(usize, BTreeSet<Rat>)> = vec![(0, BTreeSet::new()); rel.arity()];
+        /// Accumulator per column: pins, then the envelope aggregates
+        /// (count, total width, min lower, max upper).
+        #[derive(Clone, Default)]
+        struct Acc {
+            pinned: usize,
+            pins: BTreeSet<Rat>,
+            bounded: usize,
+            width_sum: f64,
+            lo: f64,
+            hi: f64,
+        }
+        let finite = |b: &Bound<Rat>| -> Option<f64> {
+            match b {
+                Bound::Unbounded => None,
+                Bound::Included(v) | Bound::Excluded(v) => Some(v.to_f64()),
+            }
+        };
+        let mut columns: Vec<Acc> = vec![Acc::default(); rel.arity()];
         for tuple in rel.tuples() {
             for (i, var) in rel.vars().iter().enumerate() {
-                if let Some(c) = tuple.with_ctx::<T, _>(|ctx| T::ctx_pinned(ctx, var)) {
-                    columns[i].0 += 1;
-                    columns[i].1.insert(c);
+                let acc = &mut columns[i];
+                let pin = tuple.with_ctx::<T, _>(|ctx| T::ctx_pinned(ctx, var));
+                if let Some(c) = &pin {
+                    acc.pinned += 1;
+                    acc.pins.insert(c.clone());
+                }
+                // Two-sided envelopes only (a half-open envelope has no
+                // width); a pin is the degenerate zero-width envelope even
+                // when the theory derives no explicit bounds for it.
+                let env = tuple
+                    .with_ctx::<T, _>(|ctx| T::ctx_bounds(ctx, var))
+                    .and_then(|(lo, hi)| Some((finite(&lo)?, finite(&hi)?)))
+                    .or_else(|| pin.map(|c| (c.to_f64(), c.to_f64())));
+                if let Some((lo, hi)) = env {
+                    if acc.bounded == 0 {
+                        (acc.lo, acc.hi) = (lo, hi);
+                    } else {
+                        acc.lo = acc.lo.min(lo);
+                        acc.hi = acc.hi.max(hi);
+                    }
+                    acc.bounded += 1;
+                    acc.width_sum += (hi - lo).max(0.0);
                 }
             }
         }
@@ -62,9 +109,17 @@ impl RelationStats {
             atoms: rel.num_atoms(),
             columns: columns
                 .into_iter()
-                .map(|(pinned, values)| ColumnStats {
-                    pinned,
-                    distinct_pins: values.len(),
+                .map(|acc| ColumnStats {
+                    pinned: acc.pinned,
+                    distinct_pins: acc.pins.len(),
+                    bounded: acc.bounded,
+                    avg_width: if acc.bounded == 0 {
+                        0.0
+                    } else {
+                        acc.width_sum / acc.bounded as f64
+                    },
+                    lo: acc.lo,
+                    hi: acc.hi,
                 })
                 .collect(),
         }

@@ -83,7 +83,7 @@ pub mod prelude {
     pub use crate::generic::Automorphism;
     pub use crate::intern::Sym;
     pub use crate::logic::{Formula, Term, Var};
-    pub use crate::relation::{GenTuple, Instance, Relation};
+    pub use crate::relation::{GenTuple, Instance, JoinReport, JoinStrategy, Relation};
     pub use crate::schema::{RelName, Schema, SchemaError};
     pub use crate::theory::{Atom, Theory};
     pub use frdb_num::{BigInt, Rat};

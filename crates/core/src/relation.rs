@@ -19,7 +19,8 @@ use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::{Arc, OnceLock};
+use std::ops::Bound;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The lazily computed canonical state of one generalized tuple under one
 /// theory: the saturated context (for dense order, the transitive closure),
@@ -343,53 +344,391 @@ pub fn eliminate_tuple<T: Theory>(vars: &[Var], tuple: &GenTuple<T::A>) -> Vec<G
     tuples
 }
 
-/// Minimum number of left-side tuples per worker before the parallel join and
-/// projection paths engage — below this, thread spawn overhead dominates and
-/// the serial path is used regardless of the configured thread count.
-const PARALLEL_MIN_TUPLES: usize = 16;
+/// Minimum estimated **candidate pairs** per worker before the parallel join
+/// path engages — below this, thread spawn overhead dominates and the serial
+/// path is used regardless of the configured thread count.  Unlike the old
+/// `16 tuples/worker` gate, the threshold is stats-driven: the join estimates
+/// its candidate-pair count per pruning strategy (bucket sizes for pin-hash,
+/// index population for the sweep, `n·m` for the scan), so small instances
+/// whose pruned pair space is tiny stay serial even at high thread budgets.
+const JOIN_WORK_PER_WORKER: usize = 1024;
 
-/// Effective worker count for `items` units of work under a thread budget.
-fn worker_count(threads: usize, items: usize) -> usize {
-    threads.min(items / PARALLEL_MIN_TUPLES).max(1)
+/// Minimum estimated **atom·variable eliminations** per worker before the
+/// parallel projection path engages.  Calibrated against the `join_index`
+/// bench's parallel-gate guards: intermediate relations of a few dozen
+/// tuples must stay serial (their eliminations finish before a worker pool
+/// amortizes), so the floor corresponds to a ≳128-tuple, several-atom
+/// relation per worker.
+const PROJ_WORK_PER_WORKER: usize = 1024;
+
+/// Effective worker count for `items` independent units carrying an estimated
+/// `work` basic operations, gated at `work_per_worker` operations per worker.
+fn worker_count(threads: usize, items: usize, work: usize, work_per_worker: usize) -> usize {
+    threads.min(work / work_per_worker.max(1)).min(items).max(1)
+}
+
+/// Whether two constant envelopes are provably disjoint on one side: `hi` the
+/// upper bound of one envelope, `lo` the lower bound of the other.  `true`
+/// guarantees no rational satisfies both; exact on strictness (touching
+/// endpoints separate only when at least one side is strict).
+fn separated(hi: &Bound<Rat>, lo: &Bound<Rat>) -> bool {
+    match (hi, lo) {
+        (Bound::Unbounded, _) | (_, Bound::Unbounded) => false,
+        (Bound::Included(h), Bound::Included(l)) => h < l,
+        (Bound::Included(h) | Bound::Excluded(h), Bound::Included(l) | Bound::Excluded(l)) => {
+            h <= l
+        }
+    }
+}
+
+/// A constant envelope on one column: `None` on a side means unbounded.
+type Envelope = (Bound<Rat>, Bound<Rat>);
+
+/// The endpoint value of a finite bound as `f64`, for the parallel gate's
+/// work estimates (never used for correctness decisions).
+fn bound_f64(b: &Bound<Rat>) -> Option<f64> {
+    match b {
+        Bound::Unbounded => None,
+        Bound::Included(v) | Bound::Excluded(v) => Some(v.to_f64()),
+    }
+}
+
+/// Discards envelopes that constrain nothing (both sides unbounded).
+fn nontrivial(env: Envelope) -> Option<Envelope> {
+    match env {
+        (Bound::Unbounded, Bound::Unbounded) => None,
+        e => Some(e),
+    }
+}
+
+/// The lower-endpoint sort key of an envelope: `None` (sorting first) for an
+/// unbounded lower side, otherwise the endpoint value.  Strictness is ignored
+/// here — the sweep's prefix cut is value-level and the exact [`separated`]
+/// test runs per candidate.
+fn lower_key(env: &Envelope) -> Option<&Rat> {
+    match &env.0 {
+        Bound::Unbounded => None,
+        Bound::Included(v) | Bound::Excluded(v) => Some(v),
+    }
+}
+
+/// A per-column sorted-endpoint interval index over one relation's tuples,
+/// built from the constant envelopes ([`Theory::ctx_bounds`]) the cached
+/// canonical contexts entail for the column.
+///
+/// The index answers *interval stabbing* queries: given a query envelope, it
+/// returns exactly the tuples whose envelope on the column overlaps it (plus
+/// the envelope-free wildcards), in ascending tuple order.  Tuples it prunes
+/// have provably disjoint envelopes, hence jointly unsatisfiable conjunctions
+/// — they would be dropped by canonicalization anyway, so pruning them never
+/// changes the join result, only the work.
+#[derive(Debug)]
+struct ColumnIndex {
+    /// Per-tuple envelope (`None` = no usable bounds; tuple is a wildcard).
+    bounds: Vec<Option<Envelope>>,
+    /// Indices of enveloped tuples, sorted by lower endpoint ascending
+    /// (unbounded-below first), ties by tuple index.
+    by_lower: Vec<usize>,
+    /// Lower-endpoint values parallel to `by_lower` (`None` = unbounded),
+    /// kept flat so the prefix cut is one cache-friendly binary search.
+    lower_keys: Vec<Option<Rat>>,
+    /// Tuples without a usable envelope — always candidates.
+    unbounded: Vec<usize>,
+    /// Average width of the two-sided envelopes, as `f64` (0 when none) —
+    /// feeds the parallel gate's expected-candidate estimate only.
+    avg_width: f64,
+    /// Width of the span covered by the two-sided envelopes (0 when none).
+    span: f64,
+}
+
+impl ColumnIndex {
+    fn build<T: Theory>(tuples: &[GenTuple<T::A>], var: &Var) -> ColumnIndex {
+        let mut bounds: Vec<Option<Envelope>> = Vec::with_capacity(tuples.len());
+        let mut by_lower: Vec<usize> = Vec::new();
+        let mut unbounded: Vec<usize> = Vec::new();
+        for (j, t) in tuples.iter().enumerate() {
+            let env = t
+                .with_ctx::<T, _>(|ctx| T::ctx_bounds(ctx, var))
+                .and_then(nontrivial);
+            match env {
+                Some(e) => {
+                    by_lower.push(j);
+                    bounds.push(Some(e));
+                }
+                None => {
+                    unbounded.push(j);
+                    bounds.push(None);
+                }
+            }
+        }
+        by_lower.sort_by(|&a, &b| {
+            let (ka, kb) = (
+                bounds[a].as_ref().and_then(lower_key),
+                bounds[b].as_ref().and_then(lower_key),
+            );
+            ka.cmp(&kb).then(a.cmp(&b))
+        });
+        let lower_keys = by_lower
+            .iter()
+            .map(|&j| bounds[j].as_ref().and_then(lower_key).cloned())
+            .collect();
+        let (mut lo_min, mut hi_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut width_sum, mut widths) = (0.0f64, 0usize);
+        for env in bounds.iter().flatten() {
+            if let (Some(lo), Some(hi)) = (bound_f64(&env.0), bound_f64(&env.1)) {
+                lo_min = lo_min.min(lo);
+                hi_max = hi_max.max(hi);
+                width_sum += (hi - lo).max(0.0);
+                widths += 1;
+            }
+        }
+        ColumnIndex {
+            bounds,
+            by_lower,
+            lower_keys,
+            unbounded,
+            avg_width: if widths == 0 {
+                0.0
+            } else {
+                width_sum / widths as f64
+            },
+            span: if hi_max > lo_min {
+                hi_max - lo_min
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Expected number of candidates a sweep with `query` returns, assuming
+    /// envelopes spread uniformly over the indexed span — the parallel
+    /// gate's work estimate.  Half-open queries (or a degenerate span) fall
+    /// back to the whole enveloped population.
+    fn expected_candidates(&self, query: &Envelope) -> usize {
+        let hits = match (bound_f64(&query.0), bound_f64(&query.1)) {
+            (Some(lo), Some(hi)) if self.span > 0.0 => {
+                let frac = (((hi - lo).max(0.0) + self.avg_width) / self.span).min(1.0);
+                (self.enveloped() as f64 * frac).ceil() as usize
+            }
+            _ => self.enveloped(),
+        };
+        hits + self.unbounded.len()
+    }
+
+    /// Collects into `out` the indices of all tuples whose envelope overlaps
+    /// the query envelope, plus the wildcards, in **ascending** index order —
+    /// so every candidate-enumeration path of the join yields the same order
+    /// and the result is bit-identical across strategies and thread counts.
+    fn sweep_into(&self, query: &Envelope, out: &mut Vec<usize>) {
+        let (qlo, qhi) = query;
+        // Prefix cut: entries whose lower endpoint *value* exceeds the query's
+        // upper value are disjoint regardless of strictness; the survivors get
+        // the exact per-candidate separation test below.
+        let prefix = match qhi {
+            Bound::Unbounded => self.by_lower.len(),
+            Bound::Included(v) | Bound::Excluded(v) => self
+                .lower_keys
+                .partition_point(|k| k.as_ref().is_none_or(|lk| lk <= v)),
+        };
+        for &j in &self.by_lower[..prefix] {
+            let (tlo, thi) = self.bounds[j]
+                .as_ref()
+                .expect("enveloped tuple listed in by_lower");
+            if separated(thi, qlo) || separated(qhi, tlo) {
+                continue;
+            }
+            out.push(j);
+        }
+        out.extend_from_slice(&self.unbounded);
+        out.sort_unstable();
+    }
+
+    /// Number of enveloped tuples (the population the sweep can prune).
+    fn enveloped(&self) -> usize {
+        self.by_lower.len()
+    }
+}
+
+/// Lazily built per-column interval indexes of one relation, cached beside the
+/// tuples.  Relations are immutable, so invalidation is construction-only:
+/// constructors that produce a fresh tuple list start with an empty cache,
+/// while `clone`/`with_columns` — which share the identical tuple list —
+/// share the already built indexes too.
+#[derive(Debug, Default)]
+struct IndexCache {
+    columns: Mutex<HashMap<Var, Arc<ColumnIndex>>>,
+}
+
+/// How the join treats one left tuple on the shared bucket column.
+enum LeftKind {
+    /// Pinned to a constant: meets only the matching hash bucket + wildcards.
+    Pinned(Rat),
+    /// Carries a constant envelope: meets only the overlap-feasible tuples
+    /// found by the right side's sorted-endpoint interval index.
+    Bounded(Envelope),
+    /// No constant information: meets every right tuple.
+    Wild,
+}
+
+/// Join outputs tagged with their originating left-tuple index, so parallel
+/// partitions can be merged back into the serial (left-order) sequence.
+type TaggedTuples<A> = Vec<(usize, GenTuple<A>)>;
+
+/// Per-strategy tallies of one join run (left tuples classified, candidate
+/// pairs that reached [`Theory::ctx_compatible`]).
+#[derive(Clone, Copy, Debug, Default)]
+struct JoinCounters {
+    pinned: usize,
+    bounded: usize,
+    wild: usize,
+    candidate_pairs: usize,
+}
+
+impl JoinCounters {
+    fn absorb(&mut self, other: &JoinCounters) {
+        self.pinned += other.pinned;
+        self.bounded += other.bounded;
+        self.wild += other.wild;
+        self.candidate_pairs += other.candidate_pairs;
+    }
+}
+
+/// The candidate-pruning strategy a join ran with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Every left tuple carried a constant envelope: candidates came from the
+    /// sorted-endpoint interval sweep.
+    IndexSweep,
+    /// Every left tuple was pinned to a constant: candidates came from hash
+    /// buckets (the degenerate zero-width envelope case).
+    PinHash,
+    /// No constant information (or no shared column): full pairwise scan.
+    Scan,
+    /// Left tuples of different kinds (or several folded joins disagreeing).
+    Mixed,
+}
+
+impl fmt::Display for JoinStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JoinStrategy::IndexSweep => "index-sweep",
+            JoinStrategy::PinHash => "pin-hash",
+            JoinStrategy::Scan => "scan",
+            JoinStrategy::Mixed => "mixed",
+        })
+    }
+}
+
+/// What one join did: the strategy and how much of the quadratic pair space
+/// actually reached the compatibility filter.  [`JoinReport::absorb`] folds
+/// reports of successive joins (a multi-way join folds pairwise), so `EXPLAIN`
+/// can annotate one plan node with the aggregate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinReport {
+    /// The pruning strategy (uniform kind, or [`JoinStrategy::Mixed`]).
+    pub strategy: JoinStrategy,
+    /// Candidate pairs that reached [`Theory::ctx_compatible`].
+    pub candidate_pairs: usize,
+    /// The full pair space `n·m` the pruning was up against.
+    pub total_pairs: usize,
+}
+
+impl JoinReport {
+    /// Folds another join's report into this one (summed pair counts; the
+    /// strategy stays when both agree and degrades to `Mixed` otherwise).
+    pub fn absorb(&mut self, other: &JoinReport) {
+        if self.strategy != other.strategy {
+            self.strategy = JoinStrategy::Mixed;
+        }
+        self.candidate_pairs += other.candidate_pairs;
+        self.total_pairs += other.total_pairs;
+    }
+}
+
+impl fmt::Display for JoinReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}/{} pairs",
+            self.strategy, self.candidate_pairs, self.total_pairs
+        )
+    }
 }
 
 /// Produces the join candidates of one partition of left tuples against the
-/// (bucketed) right side; shared by the serial and parallel join paths so the
-/// pruning policy cannot drift between them.  With `warm`, every candidate's
-/// canonical context and form are computed here — in the parallel path this
-/// is the worker's real job, leaving the caller's sequential simplification
-/// pass nothing but cache lookups.
+/// (bucketed and index-carrying) right side; shared by the serial and parallel
+/// join paths so the pruning policy cannot drift between them.  `order` lists
+/// the *original* left indices to process, in processing order; each output
+/// tuple is tagged with its left index so the parallel path can restore the
+/// serial output order exactly.  All three candidate sources (hash bucket,
+/// index sweep, full scan) yield right indices in ascending order, so the
+/// output is the nested-loop order minus provably unsatisfiable pairs —
+/// bit-identical across strategies and thread counts after simplification.
+/// With `warm`, every candidate's canonical context and form are computed
+/// here — in the parallel path this is the worker's real job, leaving the
+/// caller's sequential simplification pass nothing but cache lookups.
 #[allow(clippy::too_many_arguments)]
 fn join_partition<T: Theory>(
     left: &[GenTuple<T::A>],
+    order: &[usize],
+    classes: &[LeftKind],
     right: &[GenTuple<T::A>],
-    bucket_var: Option<&Var>,
     buckets: &BTreeMap<Rat, Vec<usize>>,
     wild: &[usize],
     all: &[usize],
+    index: Option<&ColumnIndex>,
     warm: bool,
-    out: &mut Vec<GenTuple<T::A>>,
+    out: &mut Vec<(usize, GenTuple<T::A>)>,
+    counters: &mut JoinCounters,
 ) {
-    let mut candidates: Vec<usize> = Vec::new();
+    // One scratch buffer for the whole partition, pre-sized from the bucket
+    // stats: the largest hash bucket plus the wildcards bounds the pin-hash
+    // candidate count, the index population bounds the sweep's.
+    let cap = buckets
+        .values()
+        .map(Vec::len)
+        .max()
+        .unwrap_or(0)
+        .max(index.map_or(0, |ix| ix.enveloped()))
+        + wild.len()
+        + index.map_or(0, |ix| ix.unbounded.len());
+    let mut candidates: Vec<usize> = Vec::with_capacity(cap.min(right.len()));
     let first = out.len();
-    for a in left {
-        let rhs: &[usize] = match bucket_var {
-            None => all,
-            Some(bv) => match a.with_ctx::<T, _>(|ca| T::ctx_pinned(ca, bv)) {
+    for &i in order {
+        let a = &left[i];
+        let rhs: &[usize] = if classes.is_empty() {
+            counters.wild += 1;
+            all
+        } else {
+            match &classes[i] {
                 // Pinned left tuple: only the matching bucket and the
                 // wildcards can be jointly satisfiable (a tuple pinning
                 // the shared column to a different constant conflicts).
-                Some(c) => {
+                LeftKind::Pinned(c) => {
+                    counters.pinned += 1;
                     candidates.clear();
-                    if let Some(bucket) = buckets.get(&c) {
+                    if let Some(bucket) = buckets.get(c) {
                         candidates.extend_from_slice(bucket);
                     }
                     candidates.extend_from_slice(wild);
+                    candidates.sort_unstable();
                     &candidates
                 }
-                None => all,
-            },
+                // Enveloped left tuple: sweep the right side's interval index.
+                LeftKind::Bounded(env) => {
+                    counters.bounded += 1;
+                    let ix = index.expect("bounded left tuple without a right index");
+                    candidates.clear();
+                    ix.sweep_into(env, &mut candidates);
+                    &candidates
+                }
+                LeftKind::Wild => {
+                    counters.wild += 1;
+                    all
+                }
+            }
         };
+        counters.candidate_pairs += rhs.len();
         a.with_ctx::<T, _>(|ca| {
             for &j in rhs {
                 let b = &right[j];
@@ -398,12 +737,12 @@ fn join_partition<T: Theory>(
                 }
                 let mut atoms = a.atoms().to_vec();
                 atoms.extend(b.atoms().iter().cloned());
-                out.push(GenTuple::new(atoms));
+                out.push((i, GenTuple::new(atoms)));
             }
         });
     }
     if warm {
-        for t in &out[first..] {
+        for (_, t) in &out[first..] {
             if t.is_satisfiable::<T>() {
                 let _ = t.canonical::<T>();
             }
@@ -420,6 +759,9 @@ fn join_partition<T: Theory>(
 pub struct Relation<T: Theory> {
     vars: Vec<Var>,
     tuples: Vec<GenTuple<T::A>>,
+    /// Lazily built per-column interval indexes (see [`ColumnIndex`]); shared
+    /// whenever the tuple list is shared, fresh otherwise.
+    indexes: Arc<IndexCache>,
     // `fn() -> T` (not `T`) so relations are `Send + Sync` whenever the atom
     // type is, independent of the marker theory type — the parallel join and
     // projection paths share relations across `std::thread::scope` workers.
@@ -431,6 +773,7 @@ impl<T: Theory> Clone for Relation<T> {
         Relation {
             vars: self.vars.clone(),
             tuples: self.tuples.clone(),
+            indexes: self.indexes.clone(),
             _theory: PhantomData,
         }
     }
@@ -503,6 +846,7 @@ impl<T: Theory> Relation<T> {
         Relation {
             vars,
             tuples: simplify_tuples::<T>(tuples),
+            indexes: Arc::new(IndexCache::default()),
             _theory: PhantomData,
         }
     }
@@ -523,6 +867,7 @@ impl<T: Theory> Relation<T> {
         Relation {
             vars,
             tuples: Vec::new(),
+            indexes: Arc::new(IndexCache::default()),
             _theory: PhantomData,
         }
     }
@@ -533,6 +878,7 @@ impl<T: Theory> Relation<T> {
         Relation {
             vars,
             tuples: vec![GenTuple::universal()],
+            indexes: Arc::new(IndexCache::default()),
             _theory: PhantomData,
         }
     }
@@ -634,54 +980,96 @@ impl<T: Theory> Relation<T> {
         self.join(other)
     }
 
+    /// The lazily built sorted-endpoint interval index of one column, shared
+    /// through the relation's construction-scoped cache (relations are
+    /// immutable, so a built index stays valid for the relation's lifetime
+    /// and for every [`Relation::clone`]/[`Relation::with_columns`] alias).
+    fn column_index(&self, var: &Var) -> Arc<ColumnIndex> {
+        let mut columns = self
+            .indexes
+            .columns
+            .lock()
+            .expect("column index cache poisoned");
+        if let Some(ix) = columns.get(var) {
+            return ix.clone();
+        }
+        let ix = Arc::new(ColumnIndex::build::<T>(&self.tuples, var));
+        columns.insert(var.clone(), ix.clone());
+        ix
+    }
+
     /// Natural join with another relation: the columns are the union of the
     /// two column lists (`self`'s order first), and a tuple pair contributes
     /// the conjunction of its atoms.
     ///
-    /// Two layers of pruning run off the **cached** tuple contexts, with no
+    /// Three layers of pruning run off the **cached** tuple contexts, with no
     /// context construction in the inner loop:
     ///
-    /// 1. **Hash partitioning** — when the relations share a column, tuples
-    ///    are bucketed by the constant that column is pinned to
-    ///    ([`Theory::ctx_pinned`]); a pinned tuple meets only the matching
-    ///    bucket plus the unpinned wildcards, so finite (point-like)
+    /// 1. **Hash partitioning** — when the relations share a column, right
+    ///    tuples are bucketed by the constant that column is pinned to
+    ///    ([`Theory::ctx_pinned`]); a pinned left tuple meets only the
+    ///    matching bucket plus the unpinned wildcards, so finite (point-like)
     ///    relations join in near-linear time instead of the quadratic pair
     ///    space.
-    /// 2. **Compatibility filtering** — every surviving pair is screened by
+    /// 2. **Interval sweeping** — a left tuple whose context entails a
+    ///    constant *envelope* on the shared column ([`Theory::ctx_bounds`])
+    ///    queries the right side's lazily built sorted-endpoint column
+    ///    index: only overlap-feasible pairs survive, so
+    ///    range-constrained (dense-order) workloads do output-proportional
+    ///    work.  Pin-hash is the degenerate zero-width case of this.
+    /// 3. **Compatibility filtering** — every surviving pair is screened by
     ///    [`Theory::ctx_compatible`] (for dense order: strict-cycle detection
     ///    across the two closures), dropping visibly conflicting pairs before
     ///    the merged conjunction is built.
     ///
-    /// Pairs passing both filters are canonicalized once by the final
-    /// [`Relation::new`], which also seeds the joined tuples' caches for
+    /// Pairs passing the filters are canonicalized once by the final
+    /// simplification, which also seeds the joined tuples' caches for
     /// downstream operators.
     #[must_use]
     pub fn join(&self, other: &Relation<T>) -> Relation<T> {
         self.join_with(other, 1)
     }
 
-    /// [`Relation::join`] with an explicit worker-thread budget: when
-    /// `threads > 1` and the left side is large enough to amortize the spawn,
-    /// the left tuples are split into contiguous partitions evaluated on a
-    /// `std::thread::scope` pool.  Each worker produces its partition's
-    /// candidate tuples (against the shared right-side hash buckets) and
-    /// **pre-saturates** their canonical contexts — the expensive part of the
-    /// join — so the final sequential simplification pass costs only cache
-    /// lookups.  Partitions are merged in order, so the result is
-    /// bit-identical to the serial join at any thread count.
+    /// [`Relation::join`] with an explicit worker-thread budget (see
+    /// [`Relation::join_with_report`], discarding the report).
     #[must_use]
     pub fn join_with(&self, other: &Relation<T>, threads: usize) -> Relation<T> {
+        self.join_with_report(other, threads).0
+    }
+
+    /// [`Relation::join`] with an explicit worker-thread budget, also
+    /// returning a [`JoinReport`] of the pruning strategy that ran and the
+    /// candidate-pair count it left for the compatibility filter.
+    ///
+    /// When the estimated candidate work is large enough to amortize thread
+    /// spawns, the left tuples are split across a `std::thread::scope` pool.
+    /// The parallel processing order sorts left tuples by their envelope's
+    /// lower endpoint, so each worker's index sweeps land on a contiguous
+    /// range of the right index (locality) — outputs are tagged with their
+    /// left index and re-sorted, so the result is **bit-identical** to the
+    /// serial join at any thread count.  Workers also **pre-saturate** their
+    /// candidates' canonical contexts — the expensive part of the join — so
+    /// the final sequential simplification pass costs only cache lookups.
+    #[must_use]
+    pub fn join_with_report(
+        &self,
+        other: &Relation<T>,
+        threads: usize,
+    ) -> (Relation<T>, JoinReport) {
         let mut vars = self.vars.clone();
         for v in other.vars() {
             if !vars.contains(v) {
                 vars.push(v.clone());
             }
         }
+        let (n, m) = (self.tuples.len(), other.tuples.len());
         // Partition the right side by the pinned value of the first shared
-        // column (if any): `wild` holds the tuples that do not pin it.
+        // column (if any): `wild` holds the tuples that do not pin it.  Left
+        // tuples are classified once: pinned, enveloped, or wildcard.
         let bucket_var = self.vars.iter().find(|v| other.vars.contains(v));
         let mut buckets: BTreeMap<Rat, Vec<usize>> = BTreeMap::new();
         let mut wild: Vec<usize> = Vec::new();
+        let mut classes: Vec<LeftKind> = Vec::new();
         if let Some(bv) = bucket_var {
             for (j, b) in other.tuples.iter().enumerate() {
                 match b.with_ctx::<T, _>(|cb| T::ctx_pinned(cb, bv)) {
@@ -689,37 +1077,130 @@ impl<T: Theory> Relation<T> {
                     None => wild.push(j),
                 }
             }
+            classes = self
+                .tuples
+                .iter()
+                .map(|a| {
+                    a.with_ctx::<T, _>(|ca| {
+                        if let Some(c) = T::ctx_pinned(ca, bv) {
+                            return LeftKind::Pinned(c);
+                        }
+                        match T::ctx_bounds(ca, bv).and_then(nontrivial) {
+                            Some(env) => LeftKind::Bounded(env),
+                            None => LeftKind::Wild,
+                        }
+                    })
+                })
+                .collect();
         }
-        let all: Vec<usize> = (0..other.tuples.len()).collect();
-        let workers = worker_count(threads, self.tuples.len());
-        let tuples = if workers <= 1 {
-            let mut tuples = Vec::new();
+        // The right-side interval index is built (or fetched from the cache)
+        // only when some left tuple can actually use it.
+        let index: Option<Arc<ColumnIndex>> = match bucket_var {
+            Some(bv) if classes.iter().any(|k| matches!(k, LeftKind::Bounded(_))) => {
+                Some(other.column_index(bv))
+            }
+            _ => None,
+        };
+        // A pinned left is the zero-width case of a bounded one.  Its bucket
+        // path forwards the matching bucket plus *every* non-pinned right as
+        // a candidate, while a zero-width sweep forwards only the rights
+        // whose envelope contains the constant plus the envelope-free
+        // leftovers — always a subset.  So once the index exists, pinned
+        // lefts sweep too whenever the sweep prunes strictly more (there are
+        // non-pinned rights that do carry envelopes); in point-only
+        // workloads (`wild == unbounded`) the hash probe stays, as the sweep
+        // would return the same set for a prefix-scan price.
+        if let Some(ix) = &index {
+            if wild.len() > ix.unbounded.len() {
+                for k in &mut classes {
+                    if let LeftKind::Pinned(c) = k {
+                        let env = (Bound::Included(c.clone()), Bound::Included(c.clone()));
+                        *k = LeftKind::Bounded(env);
+                    }
+                }
+            }
+        }
+        let all: Vec<usize> = (0..m).collect();
+        // Estimated candidate pairs per strategy — the stats-driven parallel
+        // gate (replacing the old fixed tuples-per-worker threshold).
+        let work: usize = if bucket_var.is_none() {
+            n.saturating_mul(m)
+        } else {
+            classes
+                .iter()
+                .map(|k| match k {
+                    LeftKind::Pinned(c) => buckets.get(c).map_or(0, Vec::len) + wild.len(),
+                    LeftKind::Bounded(env) => {
+                        index.as_ref().map_or(m, |ix| ix.expected_candidates(env))
+                    }
+                    LeftKind::Wild => m,
+                })
+                .sum()
+        };
+        let workers = worker_count(threads, n, work, JOIN_WORK_PER_WORKER);
+        let mut counters = JoinCounters::default();
+        let tuples: Vec<GenTuple<T::A>> = if workers <= 1 {
+            let order: Vec<usize> = (0..n).collect();
+            let mut out = Vec::new();
             join_partition::<T>(
                 &self.tuples,
+                &order,
+                &classes,
                 &other.tuples,
-                bucket_var,
                 &buckets,
                 &wild,
                 &all,
+                index.as_deref(),
                 false,
-                &mut tuples,
+                &mut out,
+                &mut counters,
             );
-            tuples
+            out.into_iter().map(|(_, t)| t).collect()
         } else {
-            let chunk = self.tuples.len().div_ceil(workers);
-            let parts: Vec<Vec<GenTuple<T::A>>> = std::thread::scope(|s| {
-                let handles: Vec<_> = self
-                    .tuples
+            // Sorted-endpoint range partitioning: workers take contiguous
+            // slices of the lefts ordered by envelope lower endpoint (pinned
+            // constants are zero-width envelopes, wildcards go last), so each
+            // worker's sweeps touch a contiguous prefix region of the index.
+            let mut order: Vec<usize> = (0..n).collect();
+            if !classes.is_empty() {
+                fn endpoint(k: &LeftKind) -> (u8, Option<&Rat>) {
+                    match k {
+                        LeftKind::Pinned(c) => (0, Some(c)),
+                        LeftKind::Bounded(env) => (0, lower_key(env)),
+                        LeftKind::Wild => (1, None),
+                    }
+                }
+                order.sort_by(|&a, &b| {
+                    endpoint(&classes[a])
+                        .cmp(&endpoint(&classes[b]))
+                        .then(a.cmp(&b))
+                });
+            }
+            let chunk = n.div_ceil(workers);
+            let parts: Vec<(TaggedTuples<T::A>, JoinCounters)> = std::thread::scope(|s| {
+                let handles: Vec<_> = order
                     .chunks(chunk)
-                    .map(|part| {
-                        let (buckets, wild, all) = (&buckets, &wild, &all);
-                        let rhs = &other.tuples;
+                    .map(|slice| {
+                        let (classes, buckets, wild, all) = (&classes, &buckets, &wild, &all);
+                        let (lhs, rhs) = (&self.tuples, &other.tuples);
+                        let index = index.as_deref();
                         s.spawn(move || {
                             let mut out = Vec::new();
+                            let mut counters = JoinCounters::default();
                             join_partition::<T>(
-                                part, rhs, bucket_var, buckets, wild, all, true, &mut out,
+                                lhs,
+                                slice,
+                                classes,
+                                rhs,
+                                buckets,
+                                wild,
+                                all,
+                                index,
+                                true,
+                                &mut out,
+                                &mut counters,
                             );
-                            out
+                            (out, counters)
                         })
                     })
                     .collect();
@@ -728,9 +1209,61 @@ impl<T: Theory> Relation<T> {
                     .map(|h| h.join().expect("join worker panicked"))
                     .collect()
             });
-            parts.concat()
+            let mut out: Vec<(usize, GenTuple<T::A>)> = Vec::new();
+            for (part, part_counters) in parts {
+                counters.absorb(&part_counters);
+                out.extend(part);
+            }
+            // Stable sort by left index restores the serial output order
+            // (each left's candidates were already emitted ascending).
+            out.sort_by_key(|(i, _)| *i);
+            out.into_iter().map(|(_, t)| t).collect()
         };
-        Relation::simplified_unchecked(vars, tuples)
+        let strategy = match (counters.pinned > 0, counters.bounded > 0, counters.wild > 0) {
+            (true, false, false) => JoinStrategy::PinHash,
+            (false, true, false) => JoinStrategy::IndexSweep,
+            (false, false, _) => JoinStrategy::Scan,
+            _ => JoinStrategy::Mixed,
+        };
+        let report = JoinReport {
+            strategy,
+            candidate_pairs: counters.candidate_pairs,
+            total_pairs: n.saturating_mul(m),
+        };
+        (Relation::simplified_unchecked(vars, tuples), report)
+    }
+
+    /// The reference pairwise-scan join: every `n·m` pair reaches the
+    /// compatibility filter, with no hash or index pruning.  Serves as the
+    /// correctness oracle for the indexed join (exact same output, including
+    /// tuple order) and as the index-off baseline in the join benchmarks.
+    #[must_use]
+    pub fn join_scan(&self, other: &Relation<T>) -> Relation<T> {
+        let mut vars = self.vars.clone();
+        for v in other.vars() {
+            if !vars.contains(v) {
+                vars.push(v.clone());
+            }
+        }
+        let order: Vec<usize> = (0..self.tuples.len()).collect();
+        let all: Vec<usize> = (0..other.tuples.len()).collect();
+        let buckets = BTreeMap::new();
+        let mut out = Vec::new();
+        let mut counters = JoinCounters::default();
+        join_partition::<T>(
+            &self.tuples,
+            &order,
+            &[],
+            &other.tuples,
+            &buckets,
+            &[],
+            &all,
+            None,
+            false,
+            &mut out,
+            &mut counters,
+        );
+        Relation::simplified_unchecked(vars, out.into_iter().map(|(_, t)| t).collect())
     }
 
     /// Projects the listed columns *out* of the relation by quantifier
@@ -758,7 +1291,11 @@ impl<T: Theory> Relation<T> {
             .filter(|v| !drop.contains(v))
             .cloned()
             .collect();
-        let workers = worker_count(threads, self.tuples.len());
+        // Work estimate: each dropped variable revisits every atom of every
+        // tuple, so atoms × dropped variables is the unit count the parallel
+        // gate weighs against the spawn overhead.
+        let work = self.num_atoms().saturating_mul(drop.len());
+        let workers = worker_count(threads, self.tuples.len(), work, PROJ_WORK_PER_WORKER);
         let tuples = if workers <= 1 {
             let mut tuples = Vec::new();
             for t in &self.tuples {
@@ -812,6 +1349,8 @@ impl<T: Theory> Relation<T> {
         Relation {
             vars,
             tuples: self.tuples.clone(),
+            // Same tuple list in the same order — the indexes stay valid.
+            indexes: self.indexes.clone(),
             _theory: PhantomData,
         }
     }
@@ -918,6 +1457,7 @@ impl<T: Theory> Relation<T> {
         Relation {
             vars: new_vars,
             tuples,
+            indexes: Arc::new(IndexCache::default()),
             _theory: PhantomData,
         }
     }

@@ -148,6 +148,27 @@ pub trait Theory: Sized + 'static {
         None
     }
 
+    /// The constant **envelope** the context entails for a variable: `Some((lo,
+    /// up))` only when the conjunction entails `lo ⋈ var` and/or `var ⋈ up`
+    /// for constants `lo`, `up` (with [`std::ops::Bound::Excluded`] marking a
+    /// strict comparison and [`std::ops::Bound::Unbounded`] an unconstrained
+    /// side).  The envelope must be *sound* — every satisfying assignment
+    /// places `var` inside it — but need not be tight; `None` (or a fully
+    /// unbounded pair) is always safe and degrades the interval index to a
+    /// wildcard.
+    ///
+    /// This is the hook behind [`crate::relation::Relation::join`]'s
+    /// sorted-endpoint interval index: tuples whose envelopes on a shared
+    /// column are disjoint are provably jointly unsatisfiable and never reach
+    /// [`Theory::ctx_compatible`].  A pinned column ([`Theory::ctx_pinned`])
+    /// is the degenerate zero-width envelope.  The default derives nothing.
+    fn ctx_bounds(
+        _ctx: &Self::Ctx,
+        _var: &Var,
+    ) -> Option<(std::ops::Bound<Rat>, std::ops::Bound<Rat>)> {
+        None
+    }
+
     /// Decides whether a conjunction of atoms is satisfiable over the context
     /// structure.
     fn satisfiable(conj: &[Self::A]) -> bool {

@@ -1373,6 +1373,44 @@ mod tests {
     }
 
     #[test]
+    fn interval_edb_fixpoint_is_thread_invariant() {
+        // Interval-valued edges drive the rule bodies through the index-sweep
+        // join path (no column is pinned, every column carries an envelope);
+        // the fixpoint must agree with the serial engine at 2 and 4 threads.
+        use frdb_core::fo::PlanConfig;
+        use frdb_core::relation::GenTuple;
+        let tuples = (0..12i64)
+            .map(|i| {
+                GenTuple::new(vec![
+                    DenseAtom::le(Term::cst(i), Term::var("x")),
+                    DenseAtom::le(Term::var("x"), Term::cst(i + 2)),
+                    DenseAtom::le(Term::cst(i + 1), Term::var("y")),
+                    DenseAtom::le(Term::var("y"), Term::cst(i + 3)),
+                ])
+            })
+            .collect();
+        let edge = Relation::new(vec![Var::new("x"), Var::new("y")], tuples);
+        let mut inst: Instance<DenseOrder> = Instance::new(Schema::from_pairs([("edge", 2)]));
+        inst.set("edge", edge).unwrap();
+        let program = transitive_closure_program("edge", "tc");
+        let serial = program.run(&inst).unwrap();
+        for threads in [2usize, 4] {
+            let parallel = program.clone().with_plan_config(PlanConfig {
+                threads,
+                ..PlanConfig::default()
+            });
+            let result = parallel.run(&inst).unwrap();
+            assert_eq!(serial.iterations, result.iterations, "threads={threads}");
+            let a = serial.instance.get(&RelName::new("tc")).unwrap();
+            let b = result.instance.get(&RelName::new("tc")).unwrap();
+            assert!(
+                a.equivalent(&b.rename(a.vars().to_vec())),
+                "threads={threads}: interval fixpoints differ on tc"
+            );
+        }
+    }
+
+    #[test]
     fn boolean_answers_via_sentences_on_the_fixpoint() {
         // The path graph is connected from 0 to 5: tc(0, 5) holds.
         let inst = path_graph(5);

@@ -24,6 +24,7 @@ use frdb_core::theory::{Atom, Conj, Dnf, Theory};
 use frdb_num::Rat;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::ops::Bound as StdBound;
 
 /// An affine expression `Σ cᵢ·xᵢ + c` with rational coefficients.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
@@ -571,6 +572,71 @@ impl Theory for LinearOrder {
             }
             Some(-(&(&a.expr.constant / c)))
         })
+    }
+
+    fn ctx_bounds(ctx: &LinCtx, var: &Var) -> Option<(StdBound<Rat>, StdBound<Rat>)> {
+        if !ctx.satisfiable {
+            return None;
+        }
+        // Syntactic single-variable atoms `c·var + d ⋈ 0` bound the variable
+        // at `-d/c`: an upper bound when `c > 0`, a lower bound when `c < 0`,
+        // both for an equality.  (Bounds entailed only through multi-variable
+        // combinations are left undetected — an unbounded side is always
+        // sound for the join's interval pruning.)
+        let mut lower: Option<(Rat, bool)> = None; // (value, strict)
+        let mut upper: Option<(Rat, bool)> = None;
+        for a in &ctx.conj {
+            if a.expr.coeffs.len() != 1 {
+                continue;
+            }
+            let Some((v, c)) = a.expr.coeffs.iter().next() else {
+                continue;
+            };
+            if v != var || c.is_zero() {
+                continue;
+            }
+            let at = -(&(&a.expr.constant / c));
+            let strict = a.op == LinOp::Lt;
+            let mut tighten_upper = |at: &Rat, strict: bool| {
+                if upper
+                    .as_ref()
+                    .is_none_or(|(uv, us)| at < uv || (at == uv && strict && !*us))
+                {
+                    upper = Some((at.clone(), strict));
+                }
+            };
+            let mut tighten_lower = |at: &Rat, strict: bool| {
+                if lower
+                    .as_ref()
+                    .is_none_or(|(lv, ls)| at > lv || (at == lv && strict && !*ls))
+                {
+                    lower = Some((at.clone(), strict));
+                }
+            };
+            match a.op {
+                LinOp::Eq => {
+                    tighten_upper(&at, false);
+                    tighten_lower(&at, false);
+                }
+                // c·var + d ⋈ 0  ⇔  var ⋈ -d/c when c > 0 (flipped when c < 0).
+                LinOp::Lt | LinOp::Le => {
+                    if *c > Rat::zero() {
+                        tighten_upper(&at, strict);
+                    } else {
+                        tighten_lower(&at, strict);
+                    }
+                }
+            }
+        }
+        if lower.is_none() && upper.is_none() {
+            return None;
+        }
+        let to_bound = |side: Option<(Rat, bool)>| match side {
+            None => StdBound::Unbounded,
+            Some((v, true)) => StdBound::Excluded(v),
+            Some((v, false)) => StdBound::Included(v),
+        };
+        Some((to_bound(lower), to_bound(upper)))
     }
 }
 

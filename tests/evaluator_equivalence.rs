@@ -16,7 +16,7 @@ use frdb_core::fo::{
     eval_sentence_expand, PlanConfig, Statistics,
 };
 use frdb_core::logic::{Formula, Term, Var};
-use frdb_core::relation::Instance;
+use frdb_core::relation::{GenTuple, Instance, Relation};
 use frdb_core::schema::Schema;
 use frdb_core::theory::Theory;
 use frdb_linear::{LinAtom, LinExpr, LinearOrder};
@@ -303,6 +303,142 @@ proptest! {
         let free: Vec<Var> = formula.free_vars().into_iter().collect();
         let inst = linear_instance(seed ^ 0xBEEF);
         assert_parallel_matches_serial(&formula, &free, &inst, "random linear formula (parallel)");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Indexed joins vs the pairwise scan, at the Relation level (PR 6)
+// ---------------------------------------------------------------------------
+
+/// A random generalized tuple constraining each variable to nothing (the
+/// sweep's wildcard class), a pin, a half-open ray, or a possibly-empty
+/// closed/open interval — exactly the envelope shapes the interval index
+/// classifies.
+fn rand_interval_tuple(rng: &mut StdRng, vars: &[Var]) -> GenTuple<DenseAtom> {
+    let mut atoms = Vec::new();
+    for v in vars {
+        let t = || Term::var(v.name());
+        match rng.gen_range(0..=5) {
+            0 => {}
+            1 => atoms.push(DenseAtom::eq(t(), Term::cst(rng.gen_range(-4..=8)))),
+            2 => {
+                let lo = Term::cst(rng.gen_range(-4..=8));
+                atoms.push(if rng.gen_range(0..=1) == 0 {
+                    DenseAtom::le(lo, t())
+                } else {
+                    DenseAtom::lt(lo, t())
+                });
+            }
+            3 => {
+                let hi = Term::cst(rng.gen_range(-4..=8));
+                atoms.push(if rng.gen_range(0..=1) == 0 {
+                    DenseAtom::le(t(), hi)
+                } else {
+                    DenseAtom::lt(t(), hi)
+                });
+            }
+            _ => {
+                // Width 0 with strict endpoints yields unsatisfiable tuples,
+                // on purpose: both join paths must prune them identically.
+                let lo: i64 = rng.gen_range(-4..=6);
+                let hi = lo + rng.gen_range(0..=4i64);
+                atoms.push(if rng.gen_range(0..=1) == 0 {
+                    DenseAtom::le(Term::cst(lo), t())
+                } else {
+                    DenseAtom::lt(Term::cst(lo), t())
+                });
+                atoms.push(if rng.gen_range(0..=1) == 0 {
+                    DenseAtom::le(t(), Term::cst(hi))
+                } else {
+                    DenseAtom::lt(t(), Term::cst(hi))
+                });
+            }
+        }
+    }
+    GenTuple::new(atoms)
+}
+
+fn rand_dense_relation(
+    rng: &mut StdRng,
+    vars: &[&str],
+    min: usize,
+    max: usize,
+) -> Relation<DenseOrder> {
+    let vars: Vec<Var> = vars.iter().map(Var::new).collect();
+    let tuples = (0..rng.gen_range(min..=max))
+        .map(|_| rand_interval_tuple(rng, &vars))
+        .collect();
+    Relation::new(vars, tuples)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The indexed join (interval sweep + pin hashing) must produce the exact
+    /// same DNF — same tuples, same order — as the pairwise candidate scan,
+    /// on dense instances mixing pins, rays, intervals, wildcards, empty
+    /// tuples, and empty relations.
+    #[test]
+    fn indexed_join_matches_pairwise_scan_on_dense_intervals(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_dense_relation(&mut rng, &["x", "y"], 0, 6);
+        let b = rand_dense_relation(&mut rng, &["y", "z"], 0, 6);
+        prop_assert_eq!(
+            a.join_with(&b, 1).to_dnf(),
+            a.join_scan(&b).to_dnf(),
+            "indexed dense join diverged from the pairwise scan\n  a: {}\n  b: {}",
+            a,
+            b
+        );
+    }
+
+    /// Same agreement over the linear theory, whose envelopes come from
+    /// single-variable affine atoms instead of the dense order closure.
+    #[test]
+    fn indexed_join_matches_pairwise_scan_on_linear_intervals(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = to_linear_relation(&rand_dense_relation(&mut rng, &["x", "y"], 0, 6));
+        let b = to_linear_relation(&rand_dense_relation(&mut rng, &["y", "z"], 0, 6));
+        prop_assert_eq!(
+            a.join_with(&b, 1).to_dnf(),
+            a.join_scan(&b).to_dnf(),
+            "indexed linear join diverged from the pairwise scan\n  a: {}\n  b: {}",
+            a,
+            b
+        );
+    }
+}
+
+/// Parallel indexed joins large enough to clear the cost gate must stay
+/// bit-identical to the serial result (and to the pairwise scan) at 1, 2 and
+/// 4 worker threads: every candidate path yields right indices in ascending
+/// order and the parallel merge restores left order.
+#[test]
+fn parallel_indexed_join_is_bit_identical_to_serial() {
+    for seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ seed);
+        let a = rand_dense_relation(&mut rng, &["x", "y"], 96, 128);
+        let b = rand_dense_relation(&mut rng, &["y", "z"], 96, 128);
+        let reference = a.join_scan(&b).to_dnf();
+        for threads in [1usize, 2, 4] {
+            assert_eq!(
+                a.join_with(&b, threads).to_dnf(),
+                reference,
+                "dense join at {threads} threads diverged from the scan (seed {seed})"
+            );
+        }
+    }
+    // One linear round: smaller, since context saturation is costlier there.
+    let mut rng = StdRng::seed_from_u64(0x11EA2);
+    let a = to_linear_relation(&rand_dense_relation(&mut rng, &["x", "y"], 64, 64));
+    let b = to_linear_relation(&rand_dense_relation(&mut rng, &["y", "z"], 64, 64));
+    let reference = a.join_scan(&b).to_dnf();
+    for threads in [1usize, 2, 4] {
+        assert_eq!(
+            a.join_with(&b, threads).to_dnf(),
+            reference,
+            "linear join at {threads} threads diverged from the scan"
+        );
     }
 }
 
