@@ -1,0 +1,306 @@
+//! PR 7 load harness: N client threads replaying the catalog and
+//! land-registry workloads against **one** shared `frdb_db::Database`,
+//! mixed read/write, reporting per-operation p50/p99 latency and aggregate
+//! queries/sec into `BENCH_PR7.json`.
+//!
+//! Phases:
+//!
+//! 1. **Catalog replay, read-only scaling** — the dense catalog scripts and
+//!    the land-registry script are executed once into the shared database
+//!    (their `schema`/`:=`/`query`/`run` statements are the write workload's
+//!    replay); then, for each thread count, N reader threads round-robin over
+//!    every defined query through `Snapshot::eval_query`.  All readers share
+//!    the plan cache at one generation, so this measures snapshot read
+//!    throughput, not planning.
+//! 2. **Mixed read/write** — the same readers run against a writer that
+//!    keeps committing a hot relation (bumping the schema generation, which
+//!    invalidates statistics-reoptimized plans), so reads interleave with
+//!    copy-on-write commits and periodic re-optimization.
+//!
+//! Configuration (environment):
+//!
+//! * `FRDB_LOAD_THREADS` — comma-separated reader thread counts
+//!   (default `1,2,4`).
+//! * `FRDB_LOAD_OPS` — operations per reader thread per phase (default 300).
+//! * `FRDB_LOAD_OUT` — output path (default `BENCH_PR7.json` in the
+//!   workspace root).
+//!
+//! CI runs the smoke configuration `FRDB_LOAD_THREADS=1,2 FRDB_LOAD_OPS=25`.
+//! Note: aggregate-qps scaling across thread counts is only meaningful on a
+//! multi-core host; the `cores` field records what the run actually had.
+
+use frdb_core::dense::DenseOrder;
+use frdb_core::logic::{Formula, Term, Var};
+use frdb_core::relation::Relation;
+use frdb_db::Database;
+use frdb_lang::{parse_script, script_theory, Stmt, TheoryKind};
+use frdb_num::Rat;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+fn scripts_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/scripts")
+}
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// One measured phase: merged per-op latencies plus wall-clock throughput.
+struct Measurement {
+    id: String,
+    threads: usize,
+    total_ops: usize,
+    elapsed_s: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    qps: f64,
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn measure(id: &str, threads: usize, mut latencies: Vec<u64>, elapsed_s: f64) -> Measurement {
+    latencies.sort_unstable();
+    let total_ops = latencies.len();
+    Measurement {
+        id: id.to_string(),
+        threads,
+        total_ops,
+        elapsed_s,
+        p50_ns: quantile(&latencies, 0.50),
+        p99_ns: quantile(&latencies, 0.99),
+        qps: total_ops as f64 / elapsed_s,
+    }
+}
+
+/// The hot relation the mixed-phase writer keeps re-committing: `{0, …, k}`.
+fn hot_value(k: i64) -> Relation<DenseOrder> {
+    Relation::from_points(vec![Var::new("x")], (0..=k).map(|v| vec![Rat::from_i64(v)]))
+}
+
+/// Executes the land-registry script and every dense catalog script into one
+/// shared database (scripts whose schemas collide with an earlier script are
+/// skipped), returning the names of all defined queries — the read workload.
+fn replay_setup(db: &Database<DenseOrder>) -> Vec<String> {
+    let dir = scripts_dir();
+    let mut paths = vec![dir.join("land_registry.frdb")];
+    let mut catalog: Vec<_> = std::fs::read_dir(dir.join("catalog"))
+        .expect("catalog scripts directory")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "frdb"))
+        .collect();
+    catalog.sort();
+    paths.extend(catalog);
+
+    let mut queries = Vec::new();
+    let mut skipped = 0usize;
+    for path in &paths {
+        let src =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"));
+        if script_theory(&src)
+            .map(|k| k != TheoryKind::Dense)
+            .unwrap_or(true)
+        {
+            continue;
+        }
+        let mut out = Vec::new();
+        if db.execute_source(&src, &mut out).is_err() {
+            // Catalog scripts are self-contained; two of them may declare the
+            // same relation name at different arities.  First one wins.
+            skipped += 1;
+            continue;
+        }
+        let script = parse_script::<DenseOrder>(&src).expect("script executed, so it parses");
+        for stmt in &script.stmts {
+            if let Stmt::Query { name, .. } = &stmt.node {
+                queries.push(name.clone());
+            }
+        }
+    }
+    println!(
+        "setup: {} quer{} from {} scripts ({} skipped on schema collision)",
+        queries.len(),
+        if queries.len() == 1 { "y" } else { "ies" },
+        paths.len() - skipped,
+        skipped
+    );
+    assert!(!queries.is_empty(), "the replay defined no queries");
+    queries
+}
+
+/// N reader threads, each performing `ops` round-robin `eval_query` reads
+/// through fresh snapshots; returns merged latencies and the phase wall time.
+fn run_readers(
+    db: &Database<DenseOrder>,
+    queries: &[String],
+    threads: usize,
+    ops: usize,
+) -> (Vec<u64>, f64) {
+    let start = Instant::now();
+    let latencies = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(ops);
+                    for i in 0..ops {
+                        let name = &queries[(t + i) % queries.len()];
+                        let op = Instant::now();
+                        let answer = db.snapshot().eval_query(name).expect("query evaluates");
+                        std::hint::black_box(answer.num_tuples());
+                        lat.push(op.elapsed().as_nanos() as u64);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("reader panicked"))
+            .collect::<Vec<u64>>()
+    });
+    (latencies, start.elapsed().as_secs_f64())
+}
+
+/// Readers as in [`run_readers`], plus one writer thread committing the hot
+/// relation as fast as it can until every reader finishes.  Returns reader
+/// latencies, writer commit latencies, and the phase wall time.
+fn run_mixed(
+    db: &Database<DenseOrder>,
+    queries: &[String],
+    threads: usize,
+    ops: usize,
+) -> (Vec<u64>, Vec<u64>, f64) {
+    let done = AtomicBool::new(false);
+    let start = Instant::now();
+    let (read_lat, write_lat) = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let mut lat = Vec::new();
+            let mut k = 0i64;
+            while !done.load(Ordering::Acquire) {
+                k = (k + 1) % 16;
+                let op = Instant::now();
+                db.set_relation("hot", hot_value(k)).expect("hot commit");
+                lat.push(op.elapsed().as_nanos() as u64);
+            }
+            lat
+        });
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(ops);
+                    for i in 0..ops {
+                        let name = &queries[(t + i) % queries.len()];
+                        let op = Instant::now();
+                        let answer = db.snapshot().eval_query(name).expect("query evaluates");
+                        std::hint::black_box(answer.num_tuples());
+                        lat.push(op.elapsed().as_nanos() as u64);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let read_lat: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("reader panicked"))
+            .collect();
+        done.store(true, Ordering::Release);
+        (read_lat, writer.join().expect("writer panicked"))
+    });
+    (read_lat, write_lat, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let thread_counts: Vec<usize> = std::env::var("FRDB_LOAD_THREADS")
+        .unwrap_or_else(|_| "1,2,4".into())
+        .split(',')
+        .map(|s| s.trim().parse().expect("FRDB_LOAD_THREADS: integers"))
+        .collect();
+    let ops: usize = std::env::var("FRDB_LOAD_OPS")
+        .unwrap_or_else(|_| "300".into())
+        .parse()
+        .expect("FRDB_LOAD_OPS: integer");
+    let out_path = std::env::var("FRDB_LOAD_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| workspace_root().join("BENCH_PR7.json"));
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let db: Database<DenseOrder> = Database::new();
+    let mut queries = replay_setup(&db);
+    // The mixed phase's hot relation and a query over it, so writes actually
+    // invalidate plans the readers use.
+    db.declare("hot", 1).expect("declare hot");
+    db.set_relation("hot", hot_value(0)).expect("seed hot");
+    db.define_query(
+        "hot_all",
+        vec![Var::new("x")],
+        Formula::rel("hot", [Term::var("x")]),
+    )
+    .expect("define hot_all");
+    queries.push("hot_all".to_string());
+
+    let mut results: Vec<(String, Measurement)> = Vec::new();
+
+    // Phase 1: read-only catalog replay at each thread count.
+    for &threads in &thread_counts {
+        // One warm pass so the first measured op is not a cold plan compile.
+        let (_, _) = run_readers(&db, &queries, 1, queries.len());
+        let (lat, elapsed) = run_readers(&db, &queries, threads, ops);
+        let m = measure(&format!("read/{threads}threads"), threads, lat, elapsed);
+        println!(
+            "catalog-read {:>2} thread(s): {:>8.0} qps  p50 {:>7} ns  p99 {:>8} ns  ({} ops)",
+            threads, m.qps, m.p50_ns, m.p99_ns, m.total_ops
+        );
+        results.push(("PR7_catalog_read_scaling".into(), m));
+    }
+
+    // Phase 2: the same readers against a continuously committing writer.
+    for &threads in &thread_counts {
+        let (read_lat, write_lat, elapsed) = run_mixed(&db, &queries, threads, ops);
+        let commits = write_lat.len();
+        let mr = measure(
+            &format!("read/{threads}threads"),
+            threads,
+            read_lat,
+            elapsed,
+        );
+        let mw = measure(&format!("commit/{threads}readers"), 1, write_lat, elapsed);
+        println!(
+            "mixed        {:>2} reader(s): {:>8.0} qps  p50 {:>7} ns  p99 {:>8} ns  \
+             (+{commits} commits at {:>6.0}/s)",
+            threads, mr.qps, mr.p50_ns, mr.p99_ns, mw.qps
+        );
+        results.push(("PR7_mixed_read_write".into(), mr));
+        results.push(("PR7_mixed_read_write".into(), mw));
+    }
+
+    let mut json = String::from("[\n");
+    for (i, (group, m)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        writeln!(
+            json,
+            "  {{\n    \"group\": \"{group}\",\n    \"id\": \"{id}\",\n    \
+             \"threads\": {threads},\n    \"total_ops\": {ops},\n    \
+             \"elapsed_s\": {elapsed:.4},\n    \"qps\": {qps:.1},\n    \
+             \"p50_ns\": {p50},\n    \"p99_ns\": {p99},\n    \"cores\": {cores}\n  }}{sep}",
+            id = m.id,
+            threads = m.threads,
+            ops = m.total_ops,
+            elapsed = m.elapsed_s,
+            qps = m.qps,
+            p50 = m.p50_ns,
+            p99 = m.p99_ns,
+        )
+        .expect("write to string");
+    }
+    json.push_str("]\n");
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path:?}: {e}"));
+    println!("wrote {}", out_path.display());
+}

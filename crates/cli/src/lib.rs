@@ -1,140 +1,68 @@
 //! # frdb-cli
 //!
-//! The interpreter behind the `frdb-cli` binary: a [`Session`] executes parsed
-//! `.frdb` scripts — schema declarations, relation assignments, named FO
-//! queries, `check` / `assert` sentences, and inflationary `DATALOG¬` programs
-//! — against a live [`Instance`], evaluating queries through the compiled-plan
-//! relational-algebra path ([`frdb_core::fo::compile_query`]) and printing
-//! answer relations with timings.
+//! The thin frontend behind the `frdb-cli` binary: a [`Session`] wraps an
+//! embeddable [`Database`] (see `frdb-db`) instantiated at the script's
+//! theory, and forwards `.frdb` sources to its script interpreter.  All
+//! engine logic — snapshot state, the commit path, the shared plan cache,
+//! statement execution — lives in `frdb-db`; this crate only chooses the
+//! theory at runtime and adapts the CLI's flags (`--timings`) to
+//! [`DbConfig`].
 //!
 //! The library half exists so the script runner is testable end to end: the
 //! integration tests drive whole scripts through [`Session::execute_source`]
-//! and inspect the resulting state ([`Session::dense`] / [`Session::linear`]).
+//! and inspect the resulting state via [`Session::dense`] /
+//! [`Session::linear`] snapshots.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use frdb_db::{Database, DbConfig, DbError, FixpointRun, QueryDef, Snapshot};
+
 use frdb_core::dense::DenseOrder;
-use frdb_core::fo::{compile_query, CompiledQuery, EvalError, Statistics};
-use frdb_core::logic::{Formula, Var};
-use frdb_core::relation::{Instance, Relation};
-use frdb_core::schema::{RelName, Schema, SchemaError};
+use frdb_core::relation::Relation;
 use frdb_core::theory::Theory;
-use frdb_datalog::{DatalogError, Program};
-use frdb_lang::{parse_script, AtomSyntax, ParseError, Span, Spanned, Stmt, TheoryKind};
+use frdb_lang::TheoryKind;
 use frdb_linear::LinearOrder;
-use std::collections::BTreeMap;
-use std::fmt;
+use std::any::Any;
 use std::io::Write;
-use std::time::Instant;
 
-/// An error raised while parsing or executing a script, with an optional byte
-/// span into the source that caused it.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct CliError {
-    /// What went wrong.
-    pub message: String,
-    /// Byte span of the offending statement or token, when known.
-    pub span: Option<Span>,
-}
+/// The CLI's error type: an alias of the engine's [`DbError`].
+pub type CliError = DbError;
 
-impl CliError {
-    fn at(span: Span, message: impl Into<String>) -> Self {
-        CliError {
-            message: message.into(),
-            span: Some(span),
-        }
-    }
-
-    /// Renders the error as a caret diagnostic against the source text.
-    #[must_use]
-    pub fn render(&self, origin: &str, src: &str) -> String {
-        match self.span {
-            Some(span) => ParseError::new(self.message.clone(), span).render(origin, src),
-            None => format!("error: {message}\n  --> {origin}", message = self.message),
-        }
-    }
-}
-
-impl fmt::Display for CliError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.span {
-            Some(span) => write!(f, "error at bytes {span}: {}", self.message),
-            None => write!(f, "error: {}", self.message),
-        }
-    }
-}
-
-impl std::error::Error for CliError {}
-
-impl From<ParseError> for CliError {
-    fn from(e: ParseError) -> Self {
-        CliError {
-            message: e.message.clone(),
-            span: Some(e.span),
-        }
-    }
-}
-
-/// A named query: its declared answer variables and the plan compiled once at
-/// definition time (re-evaluated against the changing instance on every
-/// `run`).
-pub struct QueryDef<T: Theory> {
-    /// The declared answer variables.
-    pub free: Vec<Var>,
-    /// The compiled relational-algebra plan.
-    pub compiled: CompiledQuery<T>,
-}
-
-/// The mutable interpreter state over one theory.
-pub struct State<T: AtomSyntax> {
-    /// The current database instance.
-    pub instance: Instance<T>,
-    /// Named queries in definition order.
-    pub queries: BTreeMap<String, QueryDef<T>>,
-    /// Named `DATALOG¬` programs.
-    pub programs: BTreeMap<String, Program<T::A>>,
-    /// Relation names materialized by `fixpoint` merges.  A later `fixpoint`
-    /// over a program whose heads are in this set strips them back out of the
-    /// evaluation EDB first, so programs can be re-run (the engine would
-    /// otherwise reject its own previous output as head-shadowed EDB
-    /// relations); a head colliding with a *user* relation — including a
-    /// derived name the user has since re-assigned, which drops it from this
-    /// set — still errors.
-    pub derived: std::collections::BTreeSet<RelName>,
-    /// Relation names materialized by `run`.  Re-running a query overwrites
-    /// its own previous answer, but a query named like a *user* relation is
-    /// refused rather than silently clobbering stored data.
-    pub materialized: std::collections::BTreeSet<RelName>,
-}
-
-impl<T: AtomSyntax> Default for State<T> {
-    fn default() -> Self {
-        State {
-            instance: Instance::new(Schema::new()),
-            queries: BTreeMap::new(),
-            programs: BTreeMap::new(),
-            derived: std::collections::BTreeSet::new(),
-            materialized: std::collections::BTreeSet::new(),
-        }
-    }
-}
-
-/// A session: interpreter state instantiated at the script's theory.
+/// A session: an embeddable database instantiated at the script's theory.
 pub enum Session {
     /// A dense-order session.
-    Dense(State<DenseOrder>),
+    Dense(Database<DenseOrder>),
     /// A linear (`FO(≤,+)`) session.
-    Linear(State<LinearOrder>),
+    Linear(Database<LinearOrder>),
+}
+
+/// Dispatches `$body` over whichever theory the session runs, binding `$db`
+/// to the underlying [`Database`].  The single point where the theory enum
+/// meets the generic engine — everything downstream is one generic path.
+macro_rules! with_db {
+    ($session:expr, $db:ident => $body:expr) => {
+        match $session {
+            Session::Dense($db) => $body,
+            Session::Linear($db) => $body,
+        }
+    };
 }
 
 impl Session {
-    /// A fresh session over the given theory.
+    /// A fresh session over the given theory with default configuration
+    /// (timings off, shared global plan cache).
     #[must_use]
     pub fn for_theory(kind: TheoryKind) -> Session {
+        Session::with_config(kind, DbConfig::default())
+    }
+
+    /// A fresh session over the given theory and configuration.
+    #[must_use]
+    pub fn with_config(kind: TheoryKind, config: DbConfig) -> Session {
         match kind {
-            TheoryKind::Dense => Session::Dense(State::default()),
-            TheoryKind::Linear => Session::Linear(State::default()),
+            TheoryKind::Dense => Session::Dense(Database::with_config(config)),
+            TheoryKind::Linear => Session::Linear(Database::with_config(config)),
         }
     }
 
@@ -147,301 +75,52 @@ impl Session {
         }
     }
 
-    /// The dense-order state, when this is a dense session.
+    /// The underlying database, when this session runs theory `T` — the one
+    /// generic accessor behind [`Session::dense`] and [`Session::linear`].
     #[must_use]
-    pub fn dense(&self) -> Option<&State<DenseOrder>> {
-        match self {
-            Session::Dense(s) => Some(s),
-            Session::Linear(_) => None,
-        }
+    pub fn database<T: Theory>(&self) -> Option<&Database<T>> {
+        with_db!(self, db => (db as &dyn Any).downcast_ref::<Database<T>>())
     }
 
-    /// The linear state, when this is a linear session.
+    /// The dense-order database, when this is a dense session.
     #[must_use]
-    pub fn linear(&self) -> Option<&State<LinearOrder>> {
-        match self {
-            Session::Linear(s) => Some(s),
-            Session::Dense(_) => None,
-        }
+    pub fn dense(&self) -> Option<&Database<DenseOrder>> {
+        self.database::<DenseOrder>()
+    }
+
+    /// The linear database, when this is a linear session.
+    #[must_use]
+    pub fn linear(&self) -> Option<&Database<LinearOrder>> {
+        self.database::<LinearOrder>()
     }
 
     /// Parses and executes a script against this session, writing statement
-    /// output (answer relations, check results, timings) to `out`.
+    /// output (answer relations, check results, and — when the session was
+    /// built with [`DbConfig::timings`] — timings) to `out`.
     ///
     /// # Errors
     /// Returns the first parse or execution error, with its span when known.
     pub fn execute_source(&mut self, src: &str, out: &mut dyn Write) -> Result<(), CliError> {
-        match self {
-            Session::Dense(state) => execute::<DenseOrder>(state, src, out),
-            Session::Linear(state) => execute::<LinearOrder>(state, src, out),
-        }
+        with_db!(self, db => db.execute_source(src, out))
     }
 }
 
-fn execute<T: AtomSyntax>(
-    state: &mut State<T>,
-    src: &str,
-    out: &mut dyn Write,
-) -> Result<(), CliError>
-where
-    T::A: fmt::Display,
-{
-    let script = parse_script::<T>(src)?;
-    for stmt in &script.stmts {
-        exec_stmt(state, stmt, out)?;
-    }
-    Ok(())
-}
-
-/// Milliseconds with two decimals, for the timing lines.
-fn ms(start: Instant) -> String {
-    format!("{:.2} ms", start.elapsed().as_secs_f64() * 1e3)
-}
-
-fn io_err(e: std::io::Error) -> CliError {
-    CliError {
-        message: format!("failed to write output: {e}"),
-        span: None,
-    }
-}
-
-fn eval_err(span: Span, e: &EvalError) -> CliError {
-    CliError::at(span, e.to_string())
-}
-
-fn schema_err(span: Span, e: &SchemaError) -> CliError {
-    CliError::at(span, e.to_string())
-}
-
-fn datalog_err(span: Span, e: &DatalogError) -> CliError {
-    CliError::at(span, e.to_string())
-}
-
-fn exec_stmt<T: AtomSyntax>(
-    state: &mut State<T>,
-    stmt: &Spanned<Stmt<T>>,
-    out: &mut dyn Write,
-) -> Result<(), CliError>
-where
-    T::A: fmt::Display,
-{
-    let span = stmt.span;
-    match &stmt.node {
-        Stmt::Schema(decls) => {
-            for (name, arity) in decls {
-                state
-                    .instance
-                    .declare(name.clone(), *arity)
-                    .map_err(|e| schema_err(span, &e))?;
-            }
-        }
-        Stmt::Assign { name, relation } => {
-            state
-                .instance
-                .set(name.clone(), relation.clone())
-                .map_err(|e| schema_err(span, &e))?;
-            // An explicit assignment makes the relation the user's again: a
-            // later `fixpoint` must not strip it, and a later `run` must not
-            // clobber it.
-            state.derived.remove(name);
-            state.materialized.remove(name);
-        }
-        Stmt::Query {
-            name,
-            free,
-            formula,
-        } => {
-            state.queries.insert(
-                name.clone(),
-                QueryDef {
-                    free: free.clone(),
-                    compiled: compile_query::<T>(formula, free),
-                },
-            );
-        }
-        Stmt::Run { name } => {
-            let query = state
-                .queries
-                .get(name)
-                .ok_or_else(|| CliError::at(span, format!("unknown query `{name}`")))?;
-            // The answer is materialized under the query's name, so later
-            // statements (asserts, other queries, programs) can read it like
-            // any stored relation; re-running overwrites the previous answer,
-            // but a *user* relation of the same name is never clobbered.
-            let rel_name = RelName::new(name);
-            if state.instance.schema().contains(&rel_name)
-                && !state.materialized.contains(&rel_name)
-            {
-                return Err(CliError::at(
-                    span,
-                    format!(
-                        "cannot materialize query `{name}`: a stored relation with that name \
-                         already exists (rename the query)"
-                    ),
-                ));
-            }
-            let start = Instant::now();
-            // Re-optimize the stored plan against statistics of the relations
-            // this query reads (cheap plan rewriting, scoped to the query —
-            // unrelated stored relations are not scanned) — `explain` shows
-            // exactly this plan.
-            let statistics = Statistics::collect_only(
-                &state.instance,
-                query.compiled.relations().iter().map(|(name, _)| name),
-            );
-            let answer = query
-                .compiled
-                .optimized_for(&statistics)
-                .eval(&state.instance)
-                .map_err(|e| eval_err(span, &e))?;
-            let elapsed = ms(start);
-            // Only now that evaluation succeeded: a previous materialization
-            // at a different arity (the query was redefined in between) is
-            // stale; drop it so re-declaring below cannot fail.  A failed run
-            // must leave the old answer untouched.
-            if state.materialized.contains(&rel_name)
-                && state.instance.schema().arity(&rel_name) != Some(answer.arity())
-            {
-                state.instance.remove(&rel_name);
-            }
-            writeln!(out, "{name} = {answer}").map_err(io_err)?;
-            writeln!(
-                out,
-                "-- {n} generalized tuple(s) in {elapsed}",
-                n = answer.num_tuples()
-            )
-            .map_err(io_err)?;
-            state
-                .instance
-                .declare(rel_name.clone(), answer.arity())
-                .map_err(|e| schema_err(span, &e))?;
-            state
-                .instance
-                .set(rel_name.clone(), answer)
-                .map_err(|e| schema_err(span, &e))?;
-            state.materialized.insert(rel_name);
-        }
-        Stmt::Explain { name } => {
-            let query = state
-                .queries
-                .get(name)
-                .ok_or_else(|| CliError::at(span, format!("unknown query `{name}`")))?;
-            // The same statistics-driven plan `run` executes, evaluated for
-            // its actual per-node cardinalities, rendered deterministically
-            // (no timings), so transcripts can be pinned by golden tests.
-            let statistics = Statistics::collect_only(
-                &state.instance,
-                query.compiled.relations().iter().map(|(name, _)| name),
-            );
-            let (_, explain) = query
-                .compiled
-                .optimized_for(&statistics)
-                .eval_explained(&state.instance)
-                .map_err(|e| eval_err(span, &e))?;
-            writeln!(out, "explain {name}").map_err(io_err)?;
-            write!(out, "{explain}").map_err(io_err)?;
-        }
-        Stmt::Check { formula } => {
-            let start = Instant::now();
-            let holds = eval_sentence_compiled(state, formula, span)?;
-            let elapsed = ms(start);
-            writeln!(out, "check {formula} = {holds}").map_err(io_err)?;
-            writeln!(out, "-- {elapsed}").map_err(io_err)?;
-        }
-        Stmt::Assert { formula } => {
-            let holds = eval_sentence_compiled(state, formula, span)?;
-            if !holds {
-                return Err(CliError::at(span, format!("assertion failed: {formula}")));
-            }
-            writeln!(out, "assert {formula} -- ok").map_err(io_err)?;
-        }
-        Stmt::DefProgram { name, program } => {
-            state.programs.insert(name.clone(), program.clone());
-        }
-        Stmt::Fixpoint { name } => {
-            let program = state
-                .programs
-                .get(name)
-                .ok_or_else(|| CliError::at(span, format!("unknown program `{name}`")))?;
-            let idb = program.idb_schema().map_err(|e| datalog_err(span, &e))?;
-            // Strip relations that an earlier `fixpoint` materialized for the
-            // same heads, so programs can be re-run (against the current EDB)
-            // instead of tripping over their own previous output; a head
-            // colliding with a *user* relation still errors inside `run`.
-            let mut edb = state.instance.clone();
-            for head in idb.keys() {
-                if state.derived.contains(head) {
-                    edb.remove(head);
-                }
-            }
-            let start = Instant::now();
-            let result = program.run(&edb).map_err(|e| datalog_err(span, &e))?;
-            let elapsed = ms(start);
-            writeln!(
-                out,
-                "fixpoint {name}: {iters} iteration(s) in {elapsed}",
-                iters = result.iterations
-            )
-            .map_err(io_err)?;
-            for rel_name in idb.keys() {
-                if let Some(rel) = result.instance.get(rel_name) {
-                    writeln!(out, "{rel_name} = {rel}").map_err(io_err)?;
-                }
-            }
-            // The fixpoint instance (EDB + IDB) becomes the current instance,
-            // so later queries can read the derived predicates.
-            state.instance = result.instance;
-            state.derived.extend(idb.keys().cloned());
-        }
-        Stmt::Print { name } => {
-            let rel = state
-                .instance
-                .get(name)
-                .ok_or_else(|| CliError::at(span, format!("unknown relation `{name}`")))?;
-            writeln!(out, "{name} = {rel}").map_err(io_err)?;
-        }
-    }
-    Ok(())
-}
-
-/// Evaluates a sentence through a throwaway compiled plan; non-sentences
-/// surface the evaluator's `FreeVariableNotListed` error.
-fn eval_sentence_compiled<T: AtomSyntax>(
-    state: &State<T>,
-    formula: &Formula<T::A>,
-    span: Span,
-) -> Result<bool, CliError> {
-    let compiled = compile_query::<T>(formula, &[]);
-    let answer = compiled
-        .eval(&state.instance)
-        .map_err(|e| eval_err(span, &e))?;
-    Ok(!answer.is_empty())
-}
-
-/// Convenience for tests: evaluates a named query in a session, returning the
-/// dense answer relation.
+/// Convenience for tests: evaluates a named query against a snapshot of a
+/// dense session, returning the answer relation (nothing is materialized).
 ///
 /// # Errors
 /// Returns an error if the session is not dense, the query is unknown, or
 /// evaluation fails.
 pub fn run_dense_query(session: &Session, name: &str) -> Result<Relation<DenseOrder>, CliError> {
-    let state = session.dense().ok_or_else(|| CliError {
-        message: "session is not dense".into(),
-        span: None,
-    })?;
-    let query = state.queries.get(name).ok_or_else(|| CliError {
-        message: format!("unknown query `{name}`"),
-        span: None,
-    })?;
-    query.compiled.eval(&state.instance).map_err(|e| CliError {
-        message: e.to_string(),
-        span: None,
-    })
+    let db = session
+        .dense()
+        .ok_or_else(|| CliError::new("session is not dense"))?;
+    db.snapshot().eval_query(name)
 }
 
 /// Convenience for scripts and the REPL: the current value of a relation in a
 /// dense session.
 #[must_use]
 pub fn dense_relation(session: &Session, name: &str) -> Option<Relation<DenseOrder>> {
-    session.dense()?.instance.get(&RelName::new(name))
+    session.dense()?.snapshot().relation(name)
 }

@@ -5,7 +5,7 @@
 //! frdb-cli                  # interactive REPL (:help, :quit)
 //! ```
 
-use frdb_cli::Session;
+use frdb_cli::{DbConfig, Session};
 use frdb_core::dense::DenseOrder;
 use frdb_lang::{parse_script, script_theory, ParseError, TheoryKind};
 use frdb_linear::LinearOrder;
@@ -16,8 +16,13 @@ const USAGE: &str = "\
 frdb-cli — finitely representable databases, from text
 
 USAGE:
-  frdb-cli [SCRIPT.frdb ...]   execute scripts in order (non-zero exit on error)
-  frdb-cli                     start an interactive session
+  frdb-cli [--timings] [SCRIPT.frdb ...]   execute scripts in order
+                                           (non-zero exit on error)
+  frdb-cli [--timings]                     start an interactive session
+
+OPTIONS:
+  --timings   print wall-clock timing lines after run/check/fixpoint
+              (off by default, so script output is byte-deterministic)
 
 A script is a sequence of statements:
   theory dense;                          // or `theory linear` (header, optional)
@@ -34,13 +39,19 @@ A script is a sequence of statements:
   print tc;                              // print a relation";
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
     }
+    let timings = args.iter().any(|a| a == "--timings");
+    args.retain(|a| a != "--timings");
+    let config = DbConfig {
+        timings,
+        ..DbConfig::default()
+    };
     if args.is_empty() {
-        return repl();
+        return repl(&config);
     }
     let stdout = std::io::stdout();
     for path in &args {
@@ -58,7 +69,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let mut session = Session::for_theory(kind);
+        let mut session = Session::with_config(kind, config.clone());
         let mut out = stdout.lock();
         let _ = writeln!(out, "== {path} ({} theory)", kind.name());
         if let Err(e) = session.execute_source(&src, &mut out) {
@@ -72,7 +83,7 @@ fn main() -> ExitCode {
 
 /// The interactive loop: statements accumulate until they parse (so multi-line
 /// input works), `:quit` leaves, `:help` prints the usage text.
-fn repl() -> ExitCode {
+fn repl(config: &DbConfig) -> ExitCode {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut session: Option<Session> = None;
@@ -147,7 +158,7 @@ fn repl() -> ExitCode {
                 }
             }
         }
-        let current = session.get_or_insert_with(|| Session::for_theory(kind));
+        let current = session.get_or_insert_with(|| Session::with_config(kind, config.clone()));
         let mut out = stdout.lock();
         let result = current.execute_source(&src, &mut out);
         drop(out);

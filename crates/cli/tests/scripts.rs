@@ -143,6 +143,30 @@ explain disputed
     );
 }
 
+/// Byte-exact golden transcripts: with timings off (the default), a script's
+/// entire output is deterministic, so whole transcripts can be pinned.  Run
+/// with `UPDATE_GOLDENS=1` to regenerate the `.golden` files after an
+/// intentional output change.
+#[test]
+fn script_transcripts_match_pinned_goldens() {
+    for name in ["land_registry", "quickstart", "graph_reachability"] {
+        let path = scripts_dir().join(format!("{name}.frdb"));
+        let (_, output) = run_script(&path);
+        let golden_path = scripts_dir().join(format!("{name}.golden"));
+        if std::env::var_os("UPDATE_GOLDENS").is_some() {
+            std::fs::write(&golden_path, &output)
+                .unwrap_or_else(|e| panic!("cannot write {golden_path:?}: {e}"));
+            continue;
+        }
+        let golden = read(&golden_path);
+        assert_eq!(
+            output, golden,
+            "{name}.frdb transcript drifted from {name}.golden \
+             (rerun with UPDATE_GOLDENS=1 if intentional)"
+        );
+    }
+}
+
 /// The quickstart script's shadow agrees with the API evaluation on the same
 /// region.
 #[test]
@@ -241,9 +265,12 @@ fn fixpoint_is_rerunnable_and_sees_new_facts() {
     // Regression: the stored program's rule plans compiled on the first
     // `fixpoint` and were reused by the later ones — the CLI fixpoint path
     // must not re-plan per statement (let alone per iteration).
-    let state = session.dense().expect("dense session");
+    let db = session.dense().expect("dense session");
     assert!(
-        state.programs["p"].plans_cached::<DenseOrder>(),
+        db.snapshot()
+            .program("p")
+            .expect("stored program")
+            .plans_cached::<DenseOrder>(),
         "fixpoint left the program's compiled-plan cache cold"
     );
     // A program head genuinely colliding with a *user* relation still errors.

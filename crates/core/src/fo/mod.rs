@@ -40,10 +40,12 @@
 //! projections over large relations partition their tuples across a
 //! `std::thread::scope` pool, bit-identically to the serial path.
 
+pub mod cache;
 pub mod explain;
 pub mod optimize;
 pub mod stats;
 
+pub use cache::{next_generation, PlanCache, PlanCacheStats};
 pub use explain::Explain;
 pub use optimize::{OptLevel, PlanConfig};
 pub use stats::{ColumnStats, RelationStats, Statistics};

@@ -45,7 +45,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// How aggressively to rewrite compiled plans.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum OptLevel {
     /// No rewriting: joins evaluate in syntactic order (the PR 2 baseline).
     None,

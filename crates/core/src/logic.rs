@@ -203,7 +203,7 @@ impl From<Rat> for Term {
 ///
 /// `Formula` is the query language of Section 4.1: each formula `φ` with free variables
 /// `x₁,…,xₙ` defines the query `{(x₁,…,xₙ) | φ}`.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Formula<A> {
     /// The true formula.
     True,

@@ -28,7 +28,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-use frdb_core::fo::{compile_query_with, CompiledQuery, EvalError, PlanConfig, Statistics};
+use frdb_core::fo::{CompiledQuery, EvalError, PlanCache, PlanConfig, Statistics};
 use frdb_core::logic::{Formula, Term, Var};
 use frdb_core::relation::{GenTuple, Instance, Relation};
 use frdb_core::schema::{RelName, Schema};
@@ -606,12 +606,18 @@ impl<A: frdb_core::theory::Atom> Program<A> {
     /// The compiled plans for theory `T`, building and caching them on first
     /// use.  A cache slot occupied by a *different* theory over the same atom
     /// type stays correct: the plans are rebuilt for this call, uncached.
+    ///
+    /// Individual rule-body plans are compiled through the process-wide
+    /// [`PlanCache`], so two programs sharing a rule body (or one program
+    /// recompiled after a mutation that left some rules unchanged) share the
+    /// compiled plans with each other and with the FO query path.
     fn compiled_for<T: Theory<A = A>>(
         &self,
         idb: &BTreeMap<RelName, usize>,
     ) -> Arc<CompiledProgram<T>> {
         let build = || {
             let config = self.plan_config;
+            let cache = PlanCache::global();
             let rules: Vec<CompiledRule<T>> = self
                 .rules
                 .iter()
@@ -633,15 +639,12 @@ impl<A: frdb_core::theory::Atom> Program<A> {
                                     name.clone()
                                 }
                             });
-                            (
-                                gate,
-                                compile_query_with::<T>(&body, &rule.head_vars, &config),
-                            )
+                            (gate, cache.compile::<T>(&body, &rule.head_vars, &config))
                         })
                         .collect();
                     CompiledRule {
                         head: rule.head.clone(),
-                        full_body: compile_query_with::<T>(
+                        full_body: cache.compile::<T>(
                             &rule.body_formula(),
                             &rule.head_vars,
                             &config,

@@ -1,0 +1,72 @@
+//! The engine's error type: a message with an optional byte span into the
+//! source text that caused it (spans exist only for errors raised while
+//! executing scripts; programmatic API calls report span-less errors).
+
+use frdb_lang::{ParseError, Span};
+use std::fmt;
+
+/// An error raised while parsing a script, executing a statement, or calling
+/// the programmatic API, with an optional byte span into the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DbError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte span of the offending statement or token, when known.
+    pub span: Option<Span>,
+}
+
+impl DbError {
+    /// An error with no source location (programmatic API calls).
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        DbError {
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// An error anchored at a byte span of the source text.
+    #[must_use]
+    pub fn at(span: Span, message: impl Into<String>) -> Self {
+        DbError {
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// The same error anchored at `span` unless it already carries one.
+    #[must_use]
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span.get_or_insert(span);
+        self
+    }
+
+    /// Renders the error as a caret diagnostic against the source text.
+    #[must_use]
+    pub fn render(&self, origin: &str, src: &str) -> String {
+        match self.span {
+            Some(span) => ParseError::new(self.message.clone(), span).render(origin, src),
+            None => format!("error: {message}\n  --> {origin}", message = self.message),
+        }
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) => write!(f, "error at bytes {span}: {}", self.message),
+            None => write!(f, "error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<ParseError> for DbError {
+    fn from(e: ParseError) -> Self {
+        DbError {
+            message: e.message.clone(),
+            span: Some(e.span),
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Script execution: parsing and running `.frdb` statements against a
+//! [`Database`], for theories with a concrete syntax ([`AtomSyntax`]).
+//!
+//! Each statement is its own commit (one per declaration inside a `schema`
+//! statement), preserving the interpreter's historical semantics: effects of
+//! statements before a failing one persist.  Read-only statements (`check`,
+//! `assert`, `explain`, `print`) run against a snapshot and consume no
+//! generation.
+//!
+//! Wall-clock timing lines are printed only when the database was built with
+//! [`DbConfig::timings`](crate::DbConfig::timings) — off by default, so script
+//! transcripts are byte-deterministic and golden-testable.
+
+use crate::{Database, DbError};
+use frdb_lang::{parse_script, AtomSyntax, Span, Spanned, Stmt};
+use std::fmt;
+use std::io::Write;
+use std::time::Duration;
+
+/// Milliseconds with two decimals, for the timing lines.
+fn ms(elapsed: Duration) -> String {
+    format!("{:.2} ms", elapsed.as_secs_f64() * 1e3)
+}
+
+fn io_err(e: std::io::Error) -> DbError {
+    DbError::new(format!("failed to write output: {e}"))
+}
+
+impl<T: AtomSyntax> Database<T>
+where
+    T::A: fmt::Display,
+{
+    /// Parses and executes a script against this database, writing statement
+    /// output (answer relations, check results, and — when enabled — timings)
+    /// to `out`.
+    ///
+    /// Statements commit one at a time, so concurrent snapshots observe the
+    /// script's progress as a sequence of consistent states, and effects
+    /// before a failing statement persist.
+    ///
+    /// # Errors
+    /// Returns the first parse or execution error, with its span when known.
+    pub fn execute_source(&self, src: &str, out: &mut dyn Write) -> Result<(), DbError> {
+        let script = parse_script::<T>(src)?;
+        for stmt in &script.stmts {
+            self.exec_stmt(stmt, out)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&self, stmt: &Spanned<Stmt<T>>, out: &mut dyn Write) -> Result<(), DbError> {
+        let span = stmt.span;
+        match &stmt.node {
+            Stmt::Schema(decls) => {
+                // One commit per declaration: a mid-list failure leaves the
+                // earlier declarations applied, exactly as the in-place
+                // interpreter behaved.
+                for (name, arity) in decls {
+                    self.declare(name.clone(), *arity)
+                        .map_err(|e| e.with_span(span))?;
+                }
+            }
+            Stmt::Assign { name, relation } => {
+                self.set_relation(name.clone(), relation.clone())
+                    .map_err(|e| e.with_span(span))?;
+            }
+            Stmt::Query {
+                name,
+                free,
+                formula,
+            } => {
+                self.define_query(name, free.clone(), formula.clone())
+                    .map_err(|e| e.with_span(span))?;
+            }
+            Stmt::Run { name } => {
+                let (answer, elapsed) = self.run_query(name).map_err(|e| e.with_span(span))?;
+                writeln!(out, "{name} = {answer}").map_err(io_err)?;
+                if self.timings() {
+                    writeln!(
+                        out,
+                        "-- {n} generalized tuple(s) in {elapsed}",
+                        n = answer.num_tuples(),
+                        elapsed = ms(elapsed)
+                    )
+                    .map_err(io_err)?;
+                } else {
+                    writeln!(out, "-- {n} generalized tuple(s)", n = answer.num_tuples())
+                        .map_err(io_err)?;
+                }
+            }
+            Stmt::Explain { name } => {
+                let (_, explain) = self
+                    .snapshot()
+                    .explain_query(name)
+                    .map_err(|e| e.with_span(span))?;
+                writeln!(out, "explain {name}").map_err(io_err)?;
+                write!(out, "{explain}").map_err(io_err)?;
+            }
+            Stmt::Check { formula } => {
+                let (holds, elapsed) = self.timed_check(formula, span)?;
+                writeln!(out, "check {formula} = {holds}").map_err(io_err)?;
+                if self.timings() {
+                    writeln!(out, "-- {}", ms(elapsed)).map_err(io_err)?;
+                }
+            }
+            Stmt::Assert { formula } => {
+                let (holds, _) = self.timed_check(formula, span)?;
+                if !holds {
+                    return Err(DbError::at(span, format!("assertion failed: {formula}")));
+                }
+                writeln!(out, "assert {formula} -- ok").map_err(io_err)?;
+            }
+            Stmt::DefProgram { name, program } => {
+                self.define_program(name, program.clone())
+                    .map_err(|e| e.with_span(span))?;
+            }
+            Stmt::Fixpoint { name } => {
+                let run = self.run_fixpoint(name).map_err(|e| e.with_span(span))?;
+                if self.timings() {
+                    writeln!(
+                        out,
+                        "fixpoint {name}: {iters} iteration(s) in {elapsed}",
+                        iters = run.iterations,
+                        elapsed = ms(run.elapsed)
+                    )
+                    .map_err(io_err)?;
+                } else {
+                    writeln!(
+                        out,
+                        "fixpoint {name}: {iters} iteration(s)",
+                        iters = run.iterations
+                    )
+                    .map_err(io_err)?;
+                }
+                for (rel_name, rel) in &run.heads {
+                    writeln!(out, "{rel_name} = {rel}").map_err(io_err)?;
+                }
+            }
+            Stmt::Print { name } => {
+                let rel = self
+                    .snapshot()
+                    .instance()
+                    .get(name)
+                    .ok_or_else(|| DbError::at(span, format!("unknown relation `{name}`")))?;
+                writeln!(out, "{name} = {rel}").map_err(io_err)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates a sentence against a snapshot, timing it; non-sentences
+    /// surface the evaluator's free-variable error with the statement's span.
+    fn timed_check(
+        &self,
+        formula: &frdb_core::logic::Formula<T::A>,
+        span: Span,
+    ) -> Result<(bool, Duration), DbError> {
+        let snapshot = self.snapshot();
+        let start = std::time::Instant::now();
+        let holds = snapshot.check(formula).map_err(|e| e.with_span(span))?;
+        Ok((holds, start.elapsed()))
+    }
+}

@@ -1,0 +1,689 @@
+//! # frdb-db
+//!
+//! The embeddable **concurrent database engine** over finitely representable
+//! instances: what used to be the CLI's single-threaded `Session`/`State`
+//! interpreter, refactored into a [`Database`] handle that many threads can
+//! use at once.
+//!
+//! ## Concurrency model
+//!
+//! All committed state — the [`Instance`], named queries, stored `DATALOG¬`
+//! programs, and the `run`/`fixpoint` bookkeeping — lives in one immutable
+//! [`Arc`]-shared value behind an `ArcSwap`-style cell (an `RwLock` held only
+//! for the pointer swap, never across any computation):
+//!
+//! * **Readers** call [`Database::snapshot`], which clones the `Arc` under a
+//!   momentary read lock and then works entirely lock-free on that frozen
+//!   state.  A snapshot is a consistent point-in-time view; it never blocks
+//!   behind a writer, and a writer never invalidates it.
+//! * **Writers** serialize on a commit mutex, clone the current state, apply
+//!   their mutation to the clone, and swap the new `Arc` in — copy-on-write at
+//!   statement granularity.  The expensive work (query evaluation, fixpoints)
+//!   happens outside the reader lock, so reads stay wait-free throughout.
+//!
+//! Every committed state is stamped with a **schema generation**: a globally
+//! unique token from [`frdb_core::fo::next_generation`].  Generations key the
+//! statistics-reoptimized entries of the process-wide [`PlanCache`], so a
+//! commit automatically invalidates stale per-instance plans — the next query
+//! against the new snapshot re-optimizes once and the cache is warm again.
+//!
+//! ## Plan sharing
+//!
+//! Query compilation goes through the shared [`PlanCache`] (by default the
+//! process-global one, [`PlanCache::global`]): compiled plans are keyed by
+//! `(formula, answer variables, theory, opt level, threads)` and re-optimized
+//! plans additionally by the snapshot generation.  Two sessions — or two
+//! hundred reader threads — asking the same question pay the PR 5
+//! compile/optimize cost once, and repeated reads at one generation perform
+//! **zero** optimizer invocations (observable via [`PlanCache::stats`]).
+//!
+//! ## Script execution
+//!
+//! For theories with a concrete syntax ([`frdb_lang::AtomSyntax`]),
+//! [`Database::execute_source`] parses and executes `.frdb` scripts with the
+//! exact statement semantics the CLI has always had — including partial-script
+//! effects persisting past a failing statement, because each statement is its
+//! own commit.  Timing output is opt-in ([`DbConfig::timings`]), so script
+//! transcripts are byte-deterministic by default.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod error;
+mod exec;
+
+pub use error::DbError;
+
+use frdb_core::fo::{next_generation, CompiledQuery, Explain, PlanCache, PlanConfig, Statistics};
+use frdb_core::logic::{Formula, Var};
+use frdb_core::relation::{Instance, Relation};
+use frdb_core::schema::{RelName, Schema};
+use frdb_core::theory::Theory;
+use frdb_datalog::Program;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// A named query: its declared answer variables, the source formula (the
+/// plan-cache key), and the plan compiled once at definition time.
+pub struct QueryDef<T: Theory> {
+    free: Vec<Var>,
+    formula: Formula<T::A>,
+    compiled: CompiledQuery<T>,
+}
+
+impl<T: Theory> QueryDef<T> {
+    /// The declared answer variables.
+    #[must_use]
+    pub fn free(&self) -> &[Var] {
+        &self.free
+    }
+
+    /// The source formula.
+    #[must_use]
+    pub fn formula(&self) -> &Formula<T::A> {
+        &self.formula
+    }
+
+    /// The compiled relational-algebra plan.
+    #[must_use]
+    pub fn compiled(&self) -> &CompiledQuery<T> {
+        &self.compiled
+    }
+}
+
+impl<T: Theory> Clone for QueryDef<T> {
+    fn clone(&self) -> Self {
+        QueryDef {
+            free: self.free.clone(),
+            formula: self.formula.clone(),
+            compiled: self.compiled.clone(),
+        }
+    }
+}
+
+/// One committed, immutable state of a database.  Shared by `Arc`: snapshots
+/// hold it frozen while the handle swaps in successors.
+struct EngineState<T: Theory> {
+    /// The globally unique schema generation this state was committed at.
+    generation: u64,
+    /// The database instance.
+    instance: Instance<T>,
+    /// Named queries in definition order.
+    queries: BTreeMap<String, QueryDef<T>>,
+    /// Named `DATALOG¬` programs.
+    programs: BTreeMap<String, Program<T::A>>,
+    /// Relation names materialized by `fixpoint` merges.  A later `fixpoint`
+    /// over a program whose heads are in this set strips them back out of the
+    /// evaluation EDB first, so programs can be re-run; a head colliding with
+    /// a *user* relation — including a derived name the user has since
+    /// re-assigned, which drops it from this set — still errors.
+    derived: BTreeSet<RelName>,
+    /// Relation names materialized by `run`.  Re-running a query overwrites
+    /// its own previous answer, but a query named like a *user* relation is
+    /// refused rather than silently clobbering stored data.
+    materialized: BTreeSet<RelName>,
+}
+
+impl<T: Theory> EngineState<T> {
+    fn fresh() -> Self {
+        EngineState {
+            generation: next_generation(),
+            instance: Instance::new(Schema::new()),
+            queries: BTreeMap::new(),
+            programs: BTreeMap::new(),
+            derived: BTreeSet::new(),
+            materialized: BTreeSet::new(),
+        }
+    }
+
+    /// A mutable copy for a commit in progress (same generation until the
+    /// commit stamps its own).  Cheap: relations and compiled plans are
+    /// `Arc`-shared, so this clones maps of pointers, not data.
+    fn working(&self) -> Self {
+        EngineState {
+            generation: self.generation,
+            instance: self.instance.clone(),
+            queries: self.queries.clone(),
+            programs: self.programs.clone(),
+            derived: self.derived.clone(),
+            materialized: self.materialized.clone(),
+        }
+    }
+}
+
+/// A consistent, immutable point-in-time view of a [`Database`].
+///
+/// Snapshots are cheap to take (one `Arc` clone under a momentary read lock)
+/// and entirely lock-free to use: every read method works on state frozen at
+/// [`Snapshot::generation`], unaffected by concurrent commits.  Query
+/// evaluation through a snapshot hits the shared plan cache keyed by this
+/// generation, so repeated reads re-use the statistics-optimized plan without
+/// ever re-running the optimizer.
+pub struct Snapshot<T: Theory> {
+    state: Arc<EngineState<T>>,
+    cache: Arc<PlanCache>,
+    config: PlanConfig,
+}
+
+impl<T: Theory> Clone for Snapshot<T> {
+    fn clone(&self) -> Self {
+        Snapshot {
+            state: Arc::clone(&self.state),
+            cache: Arc::clone(&self.cache),
+            config: self.config,
+        }
+    }
+}
+
+impl<T: Theory> Snapshot<T> {
+    /// The globally unique schema generation this snapshot was committed at.
+    /// Strictly increasing across commits of one database, and never shared
+    /// between two database handles in the same process.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.state.generation
+    }
+
+    /// The instance frozen in this snapshot.
+    #[must_use]
+    pub fn instance(&self) -> &Instance<T> {
+        &self.state.instance
+    }
+
+    /// The current value of a stored relation.
+    #[must_use]
+    pub fn relation(&self, name: &str) -> Option<Relation<T>> {
+        self.state.instance.get(&RelName::new(name))
+    }
+
+    /// A named query definition.
+    #[must_use]
+    pub fn query(&self, name: &str) -> Option<&QueryDef<T>> {
+        self.state.queries.get(name)
+    }
+
+    /// A named `DATALOG¬` program.
+    #[must_use]
+    pub fn program(&self, name: &str) -> Option<&Program<T::A>> {
+        self.state.programs.get(name)
+    }
+
+    /// Whether `name` was materialized by a `fixpoint` merge.
+    #[must_use]
+    pub fn is_derived(&self, name: &str) -> bool {
+        self.state.derived.contains(&RelName::new(name))
+    }
+
+    /// Whether `name` was materialized by a `run`.
+    #[must_use]
+    pub fn is_materialized(&self, name: &str) -> bool {
+        self.state.materialized.contains(&RelName::new(name))
+    }
+
+    /// The statistics-reoptimized plan for a named query at this snapshot's
+    /// generation: served from the shared plan cache when warm (zero optimizer
+    /// work), built and cached once when cold.
+    fn optimized(&self, name: &str) -> Result<CompiledQuery<T>, DbError> {
+        let query = self
+            .query(name)
+            .ok_or_else(|| DbError::new(format!("unknown query `{name}`")))?;
+        Ok(self.cache.reoptimize::<T>(
+            &query.formula,
+            &query.free,
+            &self.config,
+            self.state.generation,
+            || {
+                Statistics::collect_only(
+                    &self.state.instance,
+                    query.compiled.relations().iter().map(|(name, _)| name),
+                )
+            },
+        ))
+    }
+
+    /// Evaluates a named query against this snapshot, returning the answer
+    /// relation.  Pure read: nothing is materialized and no generation is
+    /// consumed, so N threads can evaluate concurrently, all sharing one
+    /// statistics-optimized plan from the cache.
+    ///
+    /// # Errors
+    /// Returns an error if the query is unknown or evaluation fails.
+    pub fn eval_query(&self, name: &str) -> Result<Relation<T>, DbError> {
+        self.optimized(name)?
+            .eval(&self.state.instance)
+            .map_err(|e| DbError::new(e.to_string()))
+    }
+
+    /// Evaluates a named query and returns the answer together with the
+    /// [`Explain`] tree of the statistics-optimized plan that ran — per node,
+    /// the cost model's estimate and the actual materialized cardinality.
+    ///
+    /// # Errors
+    /// As for [`Snapshot::eval_query`].
+    pub fn explain_query(&self, name: &str) -> Result<(Relation<T>, Explain), DbError> {
+        self.optimized(name)?
+            .eval_explained(&self.state.instance)
+            .map_err(|e| DbError::new(e.to_string()))
+    }
+
+    /// Evaluates a sentence (Boolean query) against this snapshot.  The
+    /// throwaway plan is cached too: repeated checks of one sentence compile
+    /// once process-wide.
+    ///
+    /// # Errors
+    /// Returns an error if evaluation fails (unknown relation, arity
+    /// mismatch, or a non-sentence with free variables).
+    pub fn check(&self, formula: &Formula<T::A>) -> Result<bool, DbError> {
+        let compiled = self.cache.compile::<T>(formula, &[], &self.config);
+        let answer = compiled
+            .eval(&self.state.instance)
+            .map_err(|e| DbError::new(e.to_string()))?;
+        Ok(!answer.is_empty())
+    }
+}
+
+/// Construction-time configuration of a [`Database`].
+#[derive(Clone, Default)]
+pub struct DbConfig {
+    /// Whether script execution prints wall-clock timings after `run`,
+    /// `check`, and `fixpoint` statements.  Off by default, so transcripts
+    /// are byte-deterministic (golden-testable); the CLI's `--timings` flag
+    /// turns it on.
+    pub timings: bool,
+    /// The optimization level and evaluator thread budget queries compile
+    /// under.
+    pub plan_config: PlanConfig,
+    /// The plan cache to share.  `None` (the default) uses the process-global
+    /// cache; tests that assert on counters can pass a private one.
+    pub plan_cache: Option<Arc<PlanCache>>,
+}
+
+/// The result of running a stored program to its fixpoint: what a `fixpoint`
+/// statement reports.
+pub struct FixpointRun<T: Theory> {
+    /// Number of iterations to reach the fixpoint.
+    pub iterations: usize,
+    /// The fixpoint value of every intensional predicate, in name order.
+    pub heads: Vec<(RelName, Relation<T>)>,
+    /// Wall-clock evaluation time.
+    pub elapsed: Duration,
+}
+
+/// An embeddable, concurrently usable database over one theory.
+///
+/// The handle is `Send + Sync`: share it behind an `Arc` (or plain references
+/// under `std::thread::scope`) and let every thread take [`Snapshot`]s for
+/// reads and call the mutating methods for writes.  See the module docs for
+/// the concurrency model.
+pub struct Database<T: Theory> {
+    /// The committed state; the lock guards only the `Arc` swap.
+    state: RwLock<Arc<EngineState<T>>>,
+    /// Serializes writers.  Held across clone-apply-swap, never needed by
+    /// readers.
+    commit: Mutex<()>,
+    cache: Arc<PlanCache>,
+    plan_config: PlanConfig,
+    timings: bool,
+}
+
+impl<T: Theory> Default for Database<T> {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl<T: Theory> Database<T> {
+    /// An empty database with the default configuration (shared global plan
+    /// cache, default plan config, timings off).
+    #[must_use]
+    pub fn new() -> Self {
+        Database::with_config(DbConfig::default())
+    }
+
+    /// An empty database with an explicit configuration.
+    #[must_use]
+    pub fn with_config(config: DbConfig) -> Self {
+        Database {
+            state: RwLock::new(Arc::new(EngineState::fresh())),
+            commit: Mutex::new(()),
+            cache: config
+                .plan_cache
+                .unwrap_or_else(|| Arc::clone(PlanCache::global())),
+            plan_config: config.plan_config,
+            timings: config.timings,
+        }
+    }
+
+    /// The plan cache this database compiles through.
+    #[must_use]
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// The plan configuration queries compile under.
+    #[must_use]
+    pub fn plan_config(&self) -> &PlanConfig {
+        &self.plan_config
+    }
+
+    /// Whether script execution prints timings.
+    #[must_use]
+    pub fn timings(&self) -> bool {
+        self.timings
+    }
+
+    /// The current schema generation (that of the latest commit).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.current().generation
+    }
+
+    fn current(&self) -> Arc<EngineState<T>> {
+        Arc::clone(&self.state.read().expect("state lock poisoned"))
+    }
+
+    /// A consistent point-in-time view of the database.  O(1): one `Arc`
+    /// clone under a momentary read lock.  The snapshot never blocks behind
+    /// writers and stays valid (and unchanged) for as long as it is held.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot<T> {
+        Snapshot {
+            state: self.current(),
+            cache: Arc::clone(&self.cache),
+            config: self.plan_config,
+        }
+    }
+
+    /// The copy-on-write commit path: serialize on the commit mutex, clone
+    /// the latest state, apply `mutate`, stamp a fresh generation, and swap
+    /// the new state in.  On error nothing is published.  Readers are never
+    /// blocked — the write lock is held only for the pointer swap.
+    fn commit_with<R>(
+        &self,
+        mutate: impl FnOnce(&mut EngineState<T>) -> Result<R, DbError>,
+    ) -> Result<R, DbError> {
+        let _writer = self.commit.lock().expect("commit lock poisoned");
+        let mut work = self.current().working();
+        let result = mutate(&mut work)?;
+        work.generation = next_generation();
+        *self.state.write().expect("state lock poisoned") = Arc::new(work);
+        Ok(result)
+    }
+
+    /// Declares a relation in the schema.
+    ///
+    /// # Errors
+    /// Returns an error if the name is already declared at a different arity.
+    pub fn declare(&self, name: impl Into<RelName>, arity: usize) -> Result<(), DbError> {
+        let name = name.into();
+        self.commit_with(|work| {
+            work.instance
+                .declare(name.clone(), arity)
+                .map(|_| ())
+                .map_err(|e| DbError::new(e.to_string()))
+        })
+    }
+
+    /// Sets a stored relation.  An explicit assignment makes the relation the
+    /// user's again: a later `fixpoint` will not strip it, and a later `run`
+    /// will refuse to clobber it.
+    ///
+    /// # Errors
+    /// Returns an error if the relation is undeclared or the arity disagrees.
+    pub fn set_relation(
+        &self,
+        name: impl Into<RelName>,
+        relation: Relation<T>,
+    ) -> Result<(), DbError> {
+        let name = name.into();
+        self.commit_with(|work| {
+            work.instance
+                .set(name.clone(), relation)
+                .map_err(|e| DbError::new(e.to_string()))?;
+            work.derived.remove(&name);
+            work.materialized.remove(&name);
+            Ok(())
+        })
+    }
+
+    /// Defines (or redefines) a named query.  The plan compiles through the
+    /// shared cache, so redefining the same text — here or in any other
+    /// session — is free after the first time.
+    ///
+    /// # Errors
+    /// Commit-path errors only; definition itself cannot fail (ill-formed
+    /// queries surface typed errors at evaluation).
+    pub fn define_query(
+        &self,
+        name: &str,
+        free: Vec<Var>,
+        formula: Formula<T::A>,
+    ) -> Result<(), DbError> {
+        let compiled = self.cache.compile::<T>(&formula, &free, &self.plan_config);
+        self.commit_with(|work| {
+            work.queries.insert(
+                name.to_string(),
+                QueryDef {
+                    free,
+                    formula,
+                    compiled,
+                },
+            );
+            Ok(())
+        })
+    }
+
+    /// Defines (or redefines) a named `DATALOG¬` program.
+    ///
+    /// # Errors
+    /// Commit-path errors only.
+    pub fn define_program(&self, name: &str, program: Program<T::A>) -> Result<(), DbError> {
+        self.commit_with(|work| {
+            work.programs.insert(name.to_string(), program);
+            Ok(())
+        })
+    }
+
+    /// Runs a named query and **materializes** its answer under the query's
+    /// name (the `run` statement): later queries and programs read it like
+    /// any stored relation.  Re-running overwrites the previous answer; a
+    /// *user* relation of the same name is never clobbered.
+    ///
+    /// # Errors
+    /// Returns an error if the query is unknown, its name collides with a
+    /// stored user relation, or evaluation fails.
+    pub fn run_query(&self, name: &str) -> Result<(Relation<T>, Duration), DbError> {
+        let cache = &self.cache;
+        let config = self.plan_config;
+        self.commit_with(|work| {
+            let query = work
+                .queries
+                .get(name)
+                .ok_or_else(|| DbError::new(format!("unknown query `{name}`")))?;
+            let rel_name = RelName::new(name);
+            if work.instance.schema().contains(&rel_name) && !work.materialized.contains(&rel_name)
+            {
+                return Err(DbError::new(format!(
+                    "cannot materialize query `{name}`: a stored relation with that name \
+                     already exists (rename the query)"
+                )));
+            }
+            let start = Instant::now();
+            // The statistics-reoptimized plan for this generation, shared
+            // through the cache (scoped statistics: only the relations this
+            // query reads are scanned) — `explain` shows exactly this plan.
+            let optimized = cache.reoptimize::<T>(
+                &query.formula,
+                &query.free,
+                &config,
+                work.generation,
+                || {
+                    Statistics::collect_only(
+                        &work.instance,
+                        query.compiled.relations().iter().map(|(name, _)| name),
+                    )
+                },
+            );
+            let answer = optimized
+                .eval(&work.instance)
+                .map_err(|e| DbError::new(e.to_string()))?;
+            let elapsed = start.elapsed();
+            // Only now that evaluation succeeded: a previous materialization
+            // at a different arity (the query was redefined in between) is
+            // stale; drop it so re-declaring below cannot fail.  A failed run
+            // leaves the old answer untouched.
+            if work.materialized.contains(&rel_name)
+                && work.instance.schema().arity(&rel_name) != Some(answer.arity())
+            {
+                work.instance.remove(&rel_name);
+            }
+            work.instance
+                .declare(rel_name.clone(), answer.arity())
+                .map_err(|e| DbError::new(e.to_string()))?;
+            work.instance
+                .set(rel_name.clone(), answer.clone())
+                .map_err(|e| DbError::new(e.to_string()))?;
+            work.materialized.insert(rel_name);
+            Ok((answer, elapsed))
+        })
+    }
+
+    /// Runs a stored program to its inflationary fixpoint and merges the
+    /// result into the database (the `fixpoint` statement): the fixpoint
+    /// instance (EDB + IDB) becomes the current instance, so later queries
+    /// read the derived predicates.  Heads materialized by an earlier
+    /// `fixpoint` are stripped from the evaluation EDB first, so programs can
+    /// be re-run; a head colliding with a *user* relation errors.
+    ///
+    /// # Errors
+    /// Returns an error if the program is unknown or fails to run.
+    pub fn run_fixpoint(&self, name: &str) -> Result<FixpointRun<T>, DbError> {
+        self.commit_with(|work| {
+            let program = work
+                .programs
+                .get(name)
+                .ok_or_else(|| DbError::new(format!("unknown program `{name}`")))?;
+            let idb = program
+                .idb_schema()
+                .map_err(|e| DbError::new(e.to_string()))?;
+            let mut edb = work.instance.clone();
+            for head in idb.keys() {
+                if work.derived.contains(head) {
+                    edb.remove(head);
+                }
+            }
+            let start = Instant::now();
+            let result = program.run(&edb).map_err(|e| DbError::new(e.to_string()))?;
+            let elapsed = start.elapsed();
+            let heads: Vec<(RelName, Relation<T>)> = idb
+                .keys()
+                .filter_map(|head| result.instance.get(head).map(|rel| (head.clone(), rel)))
+                .collect();
+            work.instance = result.instance;
+            work.derived.extend(idb.keys().cloned());
+            Ok(FixpointRun {
+                iterations: result.iterations,
+                heads,
+                elapsed,
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frdb_core::dense::{DenseAtom, DenseOrder};
+    use frdb_core::logic::Term;
+    use frdb_num::Rat;
+
+    fn points(vals: &[i64]) -> Relation<DenseOrder> {
+        Relation::from_points(
+            vec![Var::new("x")],
+            vals.iter().map(|&v| vec![Rat::from_i64(v)]),
+        )
+    }
+
+    #[test]
+    fn snapshots_are_frozen_while_commits_advance() {
+        let db: Database<DenseOrder> = Database::new();
+        db.declare("R", 1).unwrap();
+        db.set_relation("R", points(&[1, 2])).unwrap();
+        let before = db.snapshot();
+        let g = before.generation();
+        db.set_relation("R", points(&[1, 2, 3])).unwrap();
+        let after = db.snapshot();
+        assert!(after.generation() > g);
+        // The old snapshot still sees the old value; the new one the new.
+        assert!(!before.relation("R").unwrap().contains(&[Rat::from_i64(3)]));
+        assert!(after.relation("R").unwrap().contains(&[Rat::from_i64(3)]));
+    }
+
+    #[test]
+    fn failed_commits_publish_nothing() {
+        let db: Database<DenseOrder> = Database::new();
+        db.declare("R", 1).unwrap();
+        let g = db.generation();
+        // Arity mismatch: the commit fails, generation and state are unchanged.
+        let err = db
+            .set_relation(
+                "R",
+                Relation::from_points(
+                    vec![Var::new("x"), Var::new("y")],
+                    vec![vec![Rat::from_i64(1), Rat::from_i64(2)]],
+                ),
+            )
+            .unwrap_err();
+        assert!(err.message.contains("ar"), "unexpected error: {err}");
+        assert_eq!(db.generation(), g);
+        assert!(db.snapshot().relation("R").unwrap().is_empty());
+    }
+
+    #[test]
+    fn run_query_materializes_and_snapshot_reads_are_pure() {
+        let db: Database<DenseOrder> = Database::new();
+        db.declare("R", 1).unwrap();
+        db.set_relation("R", points(&[0, 3, 7])).unwrap();
+        let f: Formula<DenseAtom> = Formula::rel("R", [Term::var("x")])
+            .and(Formula::Atom(DenseAtom::le(Term::var("x"), Term::cst(3))));
+        db.define_query("small", vec![Var::new("x")], f).unwrap();
+        let snap = db.snapshot();
+        let g = snap.generation();
+        let pure = snap.eval_query("small").unwrap();
+        assert!(pure.contains(&[Rat::from_i64(3)]));
+        // A pure read consumed no generation and materialized nothing.
+        assert_eq!(db.generation(), g);
+        assert!(db.snapshot().relation("small").is_none());
+        // `run_query` materializes (and commits).
+        let (ran, _) = db.run_query("small").unwrap();
+        assert!(ran.equivalent(&pure.rename(ran.vars().to_vec())));
+        assert!(db.snapshot().relation("small").is_some());
+        assert!(db.generation() > g);
+    }
+
+    #[test]
+    fn private_plan_cache_counters_observe_sharing() {
+        let cache = Arc::new(PlanCache::new());
+        let db: Database<DenseOrder> = Database::with_config(DbConfig {
+            plan_cache: Some(Arc::clone(&cache)),
+            ..DbConfig::default()
+        });
+        db.declare("R", 1).unwrap();
+        db.set_relation("R", points(&[1, 2, 3])).unwrap();
+        let f: Formula<DenseAtom> = Formula::rel("R", [Term::var("x")]);
+        db.define_query("q", vec![Var::new("x")], f).unwrap();
+        let snap = db.snapshot();
+        snap.eval_query("q").unwrap();
+        let warm = cache.stats();
+        // Re-reading the same snapshot (or a fresh snapshot at the same
+        // generation) runs zero additional optimizer invocations.
+        snap.eval_query("q").unwrap();
+        db.snapshot().eval_query("q").unwrap();
+        assert_eq!(
+            cache.stats().optimizer_invocations,
+            warm.optimizer_invocations
+        );
+        assert_eq!(cache.stats().reoptimize_hits, warm.reoptimize_hits + 2);
+    }
+}

@@ -1,0 +1,234 @@
+//! Concurrency guarantees of the [`Database`] handle: snapshot isolation
+//! under a committing writer (no torn reads — every read equals some
+//! committed state) and shared-plan-cache behavior across generations
+//! (a commit invalidates statistics-reoptimized plans; a re-query
+//! repopulates them once; warm reads run zero optimizer work).
+
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::fo::PlanCache;
+use frdb_core::logic::{Formula, Term, Var};
+use frdb_core::relation::Relation;
+use frdb_db::{Database, DbConfig};
+use frdb_num::Rat;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The unary relation `{0, 1, …, k}` — the writer's k-th committed state.
+fn prefix(k: i64) -> Relation<DenseOrder> {
+    Relation::from_points(vec![Var::new("x")], (0..=k).map(|v| vec![Rat::from_i64(v)]))
+}
+
+/// Decodes a committed state back out of an answer relation: the largest `k`
+/// such that the relation is exactly `{0, …, k}` (`-1` for empty).  Panics on
+/// any gap — a gap means the read was torn across two commits.
+fn decode_prefix(rel: &Relation<DenseOrder>, max: i64) -> i64 {
+    let mut k = -1i64;
+    for j in 0..=max {
+        if rel.contains(&[Rat::from_i64(j)]) {
+            assert_eq!(j, k + 1, "torn read: {{0..{k}}} observed together with {j}");
+            k = j;
+        }
+    }
+    k
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// N reader threads each take snapshots while one writer commits the
+    /// states `R = {0..0}, {0..1}, …` in order.  Every read must decode to a
+    /// complete prefix (no torn reads), per-reader generations must be
+    /// monotone, and — checked against the writer's own log — every observed
+    /// `(generation, state)` pair must be a state the writer actually
+    /// committed (or the initial empty state).
+    #[test]
+    fn snapshot_reads_always_see_a_committed_state(
+        readers in 1usize..5,
+        writes in 1usize..12,
+    ) {
+        let db: Database<DenseOrder> = Database::new();
+        db.declare("R", 1).unwrap();
+        db.define_query(
+            "all",
+            vec![Var::new("x")],
+            Formula::<DenseAtom>::rel("R", [Term::var("x")]),
+        )
+        .unwrap();
+        let initial_gen = db.generation();
+        let max = writes as i64;
+        let done = AtomicBool::new(false);
+
+        let (writer_log, reader_logs) = std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                let mut log: Vec<(u64, i64)> = vec![(db.generation(), -1)];
+                for k in 0..writes as i64 {
+                    db.set_relation("R", prefix(k)).unwrap();
+                    // Sole writer: the latest generation is this commit's.
+                    log.push((db.generation(), k));
+                }
+                done.store(true, Ordering::Release);
+                log
+            });
+            let handles: Vec<_> = (0..readers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut log: Vec<(u64, i64)> = Vec::new();
+                        let mut last_gen = 0u64;
+                        let mut spins = 0u32;
+                        // Keep reading until the writer finishes, then take
+                        // one final snapshot so the last state is observed.
+                        loop {
+                            let finished = done.load(Ordering::Acquire);
+                            let snap = db.snapshot();
+                            let gen = snap.generation();
+                            assert!(gen >= last_gen, "generations went backwards");
+                            last_gen = gen;
+                            let answer = snap.eval_query("all").unwrap();
+                            let k = decode_prefix(&answer, max);
+                            // The same snapshot re-read: identical, whatever
+                            // the writer has committed meanwhile.
+                            let again = snap.eval_query("all").unwrap();
+                            assert_eq!(decode_prefix(&again, max), k, "snapshot mutated");
+                            assert_eq!(snap.generation(), gen, "snapshot generation drifted");
+                            let stored = snap.relation("R").expect("R is declared");
+                            assert_eq!(decode_prefix(&stored, max), k, "query answer and stored relation disagree in one snapshot");
+                            log.push((gen, k));
+                            spins += 1;
+                            if finished || spins > 10_000 {
+                                break;
+                            }
+                        }
+                        log
+                    })
+                })
+                .collect();
+            (
+                writer.join().expect("writer panicked"),
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("reader panicked"))
+                    .collect::<Vec<_>>(),
+            )
+        });
+
+        // The writer's log is the ground truth: generation -> committed state.
+        let committed: BTreeMap<u64, i64> = writer_log.into_iter().collect();
+        assert_eq!(committed.len(), writes + 1, "every commit got a fresh generation");
+        for log in &reader_logs {
+            for &(gen, k) in log {
+                if gen == initial_gen {
+                    assert_eq!(k, -1, "the initial state is empty");
+                    continue;
+                }
+                let state = committed
+                    .get(&gen)
+                    .unwrap_or_else(|| panic!("reader observed uncommitted generation {gen}"));
+                assert_eq!(
+                    *state, k,
+                    "generation {gen} observed with state {{0..{k}}} but the writer committed {{0..{state}}}"
+                );
+            }
+        }
+    }
+}
+
+/// A schema-generation bump invalidates the statistics-reoptimized plan; the
+/// next query against the new snapshot re-optimizes exactly once and the
+/// cache is warm again — while an old snapshot stays warm at its own
+/// generation.
+#[test]
+fn generation_bump_invalidates_and_requery_repopulates() {
+    let cache = Arc::new(PlanCache::new());
+    let db: Database<DenseOrder> = Database::with_config(DbConfig {
+        plan_cache: Some(Arc::clone(&cache)),
+        ..DbConfig::default()
+    });
+    db.declare("R", 1).unwrap();
+    db.set_relation("R", prefix(3)).unwrap();
+    db.define_query(
+        "all",
+        vec![Var::new("x")],
+        Formula::<DenseAtom>::rel("R", [Term::var("x")]),
+    )
+    .unwrap();
+
+    let old = db.snapshot();
+    old.eval_query("all").unwrap();
+    let warm = cache.stats();
+    old.eval_query("all").unwrap();
+    let after_warm_read = cache.stats();
+    assert_eq!(
+        after_warm_read.optimizer_invocations, warm.optimizer_invocations,
+        "a warm read must run zero optimizer work"
+    );
+    assert_eq!(after_warm_read.reoptimize_hits, warm.reoptimize_hits + 1);
+
+    // A commit bumps the generation: the reoptimized plan is stale for new
+    // snapshots.
+    db.set_relation("R", prefix(7)).unwrap();
+    let new = db.snapshot();
+    assert!(new.generation() > old.generation());
+    new.eval_query("all").unwrap();
+    let after_bump = cache.stats();
+    assert_eq!(
+        after_bump.reoptimize_misses,
+        after_warm_read.reoptimize_misses + 1,
+        "the first read after a commit re-optimizes"
+    );
+    assert_eq!(
+        after_bump.optimizer_invocations,
+        after_warm_read.optimizer_invocations + 1
+    );
+
+    // Repopulated: the second read at the new generation is warm again, and
+    // the *old* snapshot is still warm at its own generation.
+    new.eval_query("all").unwrap();
+    old.eval_query("all").unwrap();
+    let settled = cache.stats();
+    assert_eq!(
+        settled.optimizer_invocations,
+        after_bump.optimizer_invocations
+    );
+    assert_eq!(settled.reoptimize_hits, after_bump.reoptimize_hits + 2);
+}
+
+/// Once one reader has warmed the cache at a generation, any number of
+/// concurrent readers share the plan: zero additional optimizer invocations.
+#[test]
+fn concurrent_warm_readers_share_one_plan() {
+    let cache = Arc::new(PlanCache::new());
+    let db: Database<DenseOrder> = Database::with_config(DbConfig {
+        plan_cache: Some(Arc::clone(&cache)),
+        ..DbConfig::default()
+    });
+    db.declare("R", 1).unwrap();
+    db.set_relation("R", prefix(5)).unwrap();
+    db.define_query(
+        "all",
+        vec![Var::new("x")],
+        Formula::<DenseAtom>::rel("R", [Term::var("x")]),
+    )
+    .unwrap();
+    let expected = db.snapshot().eval_query("all").unwrap();
+    let warm = cache.stats();
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for _ in 0..8 {
+                    let answer = db.snapshot().eval_query("all").unwrap();
+                    assert!(answer.equivalent(&expected));
+                }
+            });
+        }
+    });
+
+    let after = cache.stats();
+    assert_eq!(
+        after.optimizer_invocations, warm.optimizer_invocations,
+        "warm concurrent readers must not re-run the optimizer"
+    );
+    assert_eq!(after.reoptimize_hits, warm.reoptimize_hits + 32);
+}

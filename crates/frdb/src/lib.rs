@@ -19,6 +19,10 @@
 //! * [`lang`] — the surface language: parser + printers for schemas,
 //!   instances, FO queries and `DATALOG¬` programs (`.frdb` scripts, run by
 //!   the `frdb-cli` binary).
+//! * [`db`] — the embeddable concurrent database engine: a shared
+//!   [`Database`](db::Database) handle with atomic snapshot reads, a
+//!   copy-on-write commit path, and plan sharing through the process-wide
+//!   plan cache.
 //!
 //! ```
 //! use frdb::prelude::*;
@@ -49,6 +53,7 @@
 
 pub use frdb_core as core;
 pub use frdb_datalog as datalog;
+pub use frdb_db as db;
 pub use frdb_games as games;
 pub use frdb_lang as lang;
 pub use frdb_linear as linear;
@@ -71,6 +76,7 @@ pub mod prelude {
     pub use frdb_core::schema::{RelName, Schema, SchemaError};
     pub use frdb_core::theory::{Atom, Theory};
     pub use frdb_datalog::{Literal, Program, Rule};
+    pub use frdb_db::{Database, DbConfig, DbError, Snapshot};
     pub use frdb_lang::{
         parse_formula, parse_gen_tuple, parse_program, parse_relation, parse_rule, parse_script,
         AtomSyntax, ParseError, Script, Stmt, TheoryKind,
