@@ -1,0 +1,192 @@
+//! Factorized intermediates (PR 8): plan nodes that keep unions as lazy
+//! lists of parts — joined, projected, and complemented part-by-part — against
+//! the eager baseline that materializes every intermediate to canonical DNF.
+//!
+//! The eager evaluator pays the canonical simplification (pairwise semantic
+//! absorption) of the **whole union** before the join or projection can run;
+//! the factorized evaluator defers it to the plan boundary, where the answer
+//! is already small.  Workloads where that shows up:
+//!
+//! * `union_join`  — `∃y ((R₁ ∨ R₂ ∨ R₃ ∨ R₄)(x, y) ∧ S(y, z))` with a
+//!   selective `S`: each part joins through its column index and only the
+//!   small per-part outputs are merged.
+//! * `projection`  — `∃y (R₁ ∨ R₂ ∨ R₃ ∨ R₄)(x, y)`: per-part projection,
+//!   merge over one-column tuples.
+//! * `box_join`    — `(P₁ ∨ P₂)(x, y) ∧ Z(x, y)`: two shared columns, so each
+//!   part runs the box-sweep (envelope-index-refined) strategy.
+//!
+//! Both configurations produce **bit-identical** canonical answers (pinned by
+//! the `factorized_matches_eager_*` property tests); only the evaluation
+//! order differs.  Results are written as JSON to `target/frdb-bench/` and
+//! snapshotted in `BENCH_PR8.json` (uploaded as a CI artifact).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::fo::{compile_query_with, PlanConfig};
+use frdb_core::logic::{Formula, Term, Var};
+use frdb_core::relation::{GenTuple, Instance, Relation};
+use frdb_core::schema::Schema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn v(name: &str) -> Var {
+    Var::new(name)
+}
+
+/// A closed interval of width at most `width` with endpoints in `[0, domain]`.
+fn interval_atoms(rng: &mut StdRng, var: &str, width: i64, domain: i64) -> Vec<DenseAtom> {
+    let lo = rng.gen_range(0..=(domain - width).max(0));
+    let hi = lo + rng.gen_range(0..=width);
+    vec![
+        DenseAtom::le(Term::cst(lo), Term::var(var)),
+        DenseAtom::le(Term::var(var), Term::cst(hi)),
+    ]
+}
+
+/// A binary relation of `n` random boxes over `(a, b)`, width ≤ 8 per column,
+/// endpoints in `[0, 10n]` — overlapping enough that eager union
+/// simplification has real absorption work to do.
+fn box_relation(rng: &mut StdRng, a: &str, b: &str, n: usize) -> Relation<DenseOrder> {
+    let domain = 10 * n as i64;
+    let tuples = (0..n)
+        .map(|_| {
+            let mut atoms = interval_atoms(rng, a, 8, domain);
+            atoms.extend(interval_atoms(rng, b, 8, domain));
+            GenTuple::new(atoms)
+        })
+        .collect();
+    Relation::new(vec![v(a), v(b)], tuples)
+}
+
+fn union_of(names: &[&str], vars: [&str; 2]) -> Formula<DenseAtom> {
+    Formula::Or(
+        names
+            .iter()
+            .map(|n| Formula::rel(*n, [Term::var(vars[0]), Term::var(vars[1])]))
+            .collect(),
+    )
+}
+
+/// Four union branches `R1..R4(x, y)` of `n` boxes each, plus a selective
+/// 4-box `S(y, z)`.
+fn union_instance(n: usize) -> Instance<DenseOrder> {
+    let mut rng = StdRng::seed_from_u64(n as u64 + 71);
+    let mut inst = Instance::new(Schema::from_pairs([
+        ("R1", 2),
+        ("R2", 2),
+        ("R3", 2),
+        ("R4", 2),
+        ("S", 2),
+    ]));
+    for name in ["R1", "R2", "R3", "R4"] {
+        inst.set(name, box_relation(&mut rng, "x", "y", n)).unwrap();
+    }
+    inst.set("S", box_relation(&mut rng, "y", "z", 4)).unwrap();
+    inst
+}
+
+/// Two union branches `P1, P2(x, y)` of `n` boxes each, plus a 4-box zoning
+/// overlay `Z(x, y)` sharing **both** columns.
+fn box_join_instance(n: usize) -> Instance<DenseOrder> {
+    let mut rng = StdRng::seed_from_u64(n as u64 + 113);
+    let mut inst = Instance::new(Schema::from_pairs([("P1", 2), ("P2", 2), ("Z", 2)]));
+    for name in ["P1", "P2"] {
+        inst.set(name, box_relation(&mut rng, "x", "y", n)).unwrap();
+    }
+    inst.set("Z", box_relation(&mut rng, "x", "y", 4)).unwrap();
+    inst
+}
+
+/// Benchmarks one query under the factorized and the eager configuration, at
+/// 1, 2 and 4 worker threads.
+fn compare_factorized(
+    c: &mut Criterion,
+    group_name: &str,
+    sizes: &[usize],
+    make_instance: fn(usize) -> Instance<DenseOrder>,
+    query: &Formula<DenseAtom>,
+    free: &[Var],
+) {
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for &n in sizes {
+        let inst = make_instance(n);
+        for threads in [1usize, 2, 4] {
+            let config = PlanConfig {
+                threads,
+                ..PlanConfig::default()
+            };
+            let factorized = compile_query_with::<DenseOrder>(query, free, &config);
+            let eager = compile_query_with::<DenseOrder>(query, free, &config.eager());
+            // Warm the per-tuple context caches and the column indexes once,
+            // so both configurations measure the steady state.
+            let _ = factorized.eval(&inst).unwrap();
+            let _ = eager.eval(&inst).unwrap();
+            let suffix = if threads == 1 {
+                String::new()
+            } else {
+                format!("-{threads}threads")
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("factorized{suffix}"), n),
+                &n,
+                |b, _| b.iter(|| factorized.eval(&inst).unwrap()),
+            );
+            group.bench_with_input(BenchmarkId::new(format!("eager{suffix}"), n), &n, |b, _| {
+                b.iter(|| eager.eval(&inst).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_union_join(c: &mut Criterion) {
+    let query = Formula::exists(
+        ["y"],
+        Formula::And(vec![
+            union_of(&["R1", "R2", "R3", "R4"], ["x", "y"]),
+            Formula::rel("S", [Term::var("y"), Term::var("z")]),
+        ]),
+    );
+    compare_factorized(
+        c,
+        "PR8_factorized_union_join",
+        &[8, 32, 128],
+        union_instance,
+        &query,
+        &[v("x"), v("z")],
+    );
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let query = Formula::exists(["y"], union_of(&["R1", "R2", "R3", "R4"], ["x", "y"]));
+    compare_factorized(
+        c,
+        "PR8_factorized_projection",
+        &[8, 32, 128],
+        union_instance,
+        &query,
+        &[v("x")],
+    );
+}
+
+fn bench_box_join(c: &mut Criterion) {
+    let query = Formula::And(vec![
+        union_of(&["P1", "P2"], ["x", "y"]),
+        Formula::rel("Z", [Term::var("x"), Term::var("y")]),
+    ]);
+    compare_factorized(
+        c,
+        "PR8_factorized_box_join",
+        &[8, 32, 128],
+        box_join_instance,
+        &query,
+        &[v("x"), v("y")],
+    );
+}
+
+criterion_group!(benches, bench_union_join, bench_projection, bench_box_join);
+criterion_main!(benches);

@@ -51,10 +51,18 @@ macro_rules! with_db {
 
 impl Session {
     /// A fresh session over the given theory with default configuration
-    /// (timings off, shared global plan cache).
+    /// (timings off).  Each session gets its **own** plan cache, so `stats;`
+    /// output reflects only this session's work and stays deterministic
+    /// (golden-testable) however many sessions share the process.
     #[must_use]
     pub fn for_theory(kind: TheoryKind) -> Session {
-        Session::with_config(kind, DbConfig::default())
+        Session::with_config(
+            kind,
+            DbConfig {
+                plan_cache: Some(std::sync::Arc::new(frdb_core::fo::PlanCache::default())),
+                ..DbConfig::default()
+            },
+        )
     }
 
     /// A fresh session over the given theory and configuration.

@@ -133,7 +133,7 @@ fn land_registry_explain_transcript_is_pinned() {
     let (_, output) = run_script(&path);
     let golden = "\
 explain disputed
-⋈ join → (x, y)  [est≈1.3, actual=1, index-sweep 1/4 pairs]
+⋈ join → (x, y)  [est≈1.3, actual=1, box-sweep 1/4 pairs]
 ├─ alice(x, y)  [est≈2, actual=2]
 └─ bob(x, y)  [est≈2, actual=2]
 ";
@@ -149,7 +149,12 @@ explain disputed
 /// intentional output change.
 #[test]
 fn script_transcripts_match_pinned_goldens() {
-    for name in ["land_registry", "quickstart", "graph_reachability"] {
+    for name in [
+        "land_registry",
+        "quickstart",
+        "graph_reachability",
+        "observability",
+    ] {
         let path = scripts_dir().join(format!("{name}.frdb"));
         let (_, output) = run_script(&path);
         let golden_path = scripts_dir().join(format!("{name}.golden"));

@@ -68,6 +68,7 @@ struct Key {
     theory: TypeId,
     opt: OptLevel,
     threads: usize,
+    factorize: bool,
     stage: Stage,
 }
 
@@ -265,6 +266,7 @@ impl PlanCache {
             theory: TypeId::of::<T>(),
             opt: config.opt,
             threads: config.threads,
+            factorize: config.factorize,
             stage,
         }
     }

@@ -17,8 +17,8 @@
 
 use super::optimize::{estimate_plan, Est};
 use super::stats::Statistics;
-use super::{Plan, PlanNode};
-use crate::relation::{JoinReport, Relation};
+use super::{Factored, Plan, PlanNode};
+use crate::relation::JoinReport;
 use crate::theory::Theory;
 use std::collections::HashMap;
 use std::fmt;
@@ -31,9 +31,11 @@ struct ExplainNode {
     label: String,
     /// Estimated output cardinality under the optimizer's cost model.
     est: f64,
-    /// Actual generalized-tuple count, when the evaluator materialized the
-    /// node.
-    actual: Option<usize>,
+    /// Actual generalized-tuple count and factorized part count, when the
+    /// evaluator produced the node.  A part count above 1 means the node's
+    /// value was held factorized — its tuples were never run through the
+    /// cross-part absorption pass a full materialization would pay for.
+    actual: Option<(usize, usize)>,
     /// Sharing marker: `Some(id)` when the node has several parents in the
     /// plan DAG.
     shared: Option<usize>,
@@ -61,7 +63,7 @@ impl Explain {
     pub(super) fn build<T: Theory>(
         plan: &Plan<T>,
         stats: &Statistics,
-        actuals: &HashMap<usize, Relation<T>>,
+        actuals: &HashMap<usize, Factored<T>>,
         reports: &HashMap<usize, JoinReport>,
     ) -> Explain {
         // First pass: reference counts, to decide which nodes get `#n` ids.
@@ -111,7 +113,7 @@ fn count_refs<T: Theory>(plan: &Plan<T>, refs: &mut HashMap<usize, usize>, root:
 fn build_node<T: Theory>(
     plan: &Plan<T>,
     stats: &Statistics,
-    actuals: &HashMap<usize, Relation<T>>,
+    actuals: &HashMap<usize, Factored<T>>,
     reports: &HashMap<usize, JoinReport>,
     refs: &HashMap<usize, usize>,
     est_memo: &mut HashMap<usize, Est>,
@@ -120,7 +122,7 @@ fn build_node<T: Theory>(
 ) -> ExplainNode {
     let key = Arc::as_ptr(&plan.0) as usize;
     let est = estimate_plan(plan, stats, est_memo).rows;
-    let actual = actuals.get(&key).map(Relation::num_tuples);
+    let actual = actuals.get(&key).map(|f| (f.num_tuples(), f.num_parts()));
     let strategy = match &plan.0.node {
         PlanNode::Join(_) => reports.get(&key).copied(),
         _ => None,
@@ -218,7 +220,8 @@ impl fmt::Display for Explain {
             }
             write!(f, "  [est≈{}", fmt_est(node.est))?;
             match node.actual {
-                Some(n) => write!(f, ", actual={n}")?,
+                Some((n, parts)) if parts > 1 => write!(f, ", actual={n} in {parts} parts")?,
+                Some((n, _)) => write!(f, ", actual={n}")?,
                 None => write!(f, ", actual=-")?,
             }
             if let Some(report) = &node.strategy {
@@ -297,7 +300,7 @@ mod tests {
         assert_eq!(answer.num_tuples(), 1);
         assert_eq!(
             explain.to_string(),
-            "⋈ join → (x, y)  [est≈1.3, actual=1, index-sweep 1/4 pairs]\n\
+            "⋈ join → (x, y)  [est≈1.3, actual=1, box-sweep 1/4 pairs]\n\
              ├─ alice(x, y)  [est≈2, actual=2]\n\
              └─ bob(x, y)  [est≈2, actual=2]\n"
         );

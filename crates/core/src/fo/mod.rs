@@ -1078,7 +1078,7 @@ impl<T: Theory> CompiledQuery<T> {
     /// assert!(answer.contains(&[Rat::from_i64(3)]));
     /// ```
     pub fn eval(&self, instance: &Instance<T>) -> Result<Relation<T>, EvalError> {
-        let mut memo: HashMap<usize, Relation<T>> = HashMap::new();
+        let mut memo: HashMap<usize, Factored<T>> = HashMap::new();
         let mut reports: HashMap<usize, JoinReport> = HashMap::new();
         self.eval_with_memo(instance, &mut memo, &mut reports)
     }
@@ -1095,7 +1095,7 @@ impl<T: Theory> CompiledQuery<T> {
         &self,
         instance: &Instance<T>,
     ) -> Result<(Relation<T>, Explain), EvalError> {
-        let mut memo: HashMap<usize, Relation<T>> = HashMap::new();
+        let mut memo: HashMap<usize, Factored<T>> = HashMap::new();
         let mut reports: HashMap<usize, JoinReport> = HashMap::new();
         let answer = self.eval_with_memo(instance, &mut memo, &mut reports)?;
         let statistics = Statistics::collect_only(instance, self.rels.iter().map(|(n, _)| n));
@@ -1106,7 +1106,7 @@ impl<T: Theory> CompiledQuery<T> {
     fn eval_with_memo(
         &self,
         instance: &Instance<T>,
-        memo: &mut HashMap<usize, Relation<T>>,
+        memo: &mut HashMap<usize, Factored<T>>,
         reports: &mut HashMap<usize, JoinReport>,
     ) -> Result<Relation<T>, EvalError> {
         if let Some(v) = &self.dup_free {
@@ -1125,7 +1125,12 @@ impl<T: Theory> CompiledQuery<T> {
         for (name, arity) in &self.rels {
             fetch(instance, name, *arity)?;
         }
-        let answer = eval_plan(&self.plan, instance, memo, reports, self.config.threads)?;
+        let answer = eval_plan(&self.plan, instance, memo, reports, self.config)?.merged();
+        // Deferred absorption means the factorized evaluator can discover
+        // the final tuples in a different order than the eager one; the plan
+        // boundary sorts canonically so answers are bit-identical across
+        // factorization modes and thread counts.
+        let answer = answer.canonically_sorted();
         // The plan result is already canonical (every operator finishes in
         // `Relation::new`); when the requested free list covers its columns,
         // re-wrap without re-running simplification and absorption.
@@ -1138,30 +1143,150 @@ impl<T: Theory> CompiledQuery<T> {
 }
 
 // ---------------------------------------------------------------------------
+// Factorized intermediates
+// ---------------------------------------------------------------------------
+
+/// Cap on the number of parts a factorized intermediate may hold.  Beyond
+/// this, deferred absorption stops paying for itself (every downstream join
+/// distributes over the parts), so the evaluator merges back to a single
+/// materialized part.  The optimizer's cost model mirrors the cap when
+/// estimating part counts ([`optimize::Est`]).
+pub(crate) const MAX_PARTS: usize = 16;
+
+/// A factorized intermediate: a plan node's value held as a **lazy union of
+/// parts** (each part a canonical [`Relation`] over the node's columns)
+/// instead of one eagerly materialized DNF.  Union nodes concatenate their
+/// children's parts without the quadratic cross-child absorption pass, joins
+/// distribute over the parts pairwise (each pair still runs the indexed
+/// pin-hash / index-sweep strategies), projection eliminates per part, and
+/// complement intersects per-part complements.  Materialization to the exact
+/// canonical DNF ([`Factored::merged`]) happens only at plan boundaries, so
+/// answers stay bit-identical to the eager evaluator at any thread count.
+pub(crate) struct Factored<T: Theory> {
+    /// The node's column list; every part is normalized onto it.
+    cols: Vec<Var>,
+    /// The union's parts.  An empty list is the empty relation; a single
+    /// part is exactly the materialized value.
+    parts: Vec<Relation<T>>,
+}
+
+// Manual impl: `T` is a phantom theory tag, not data — no `T: Clone` bound.
+impl<T: Theory> Clone for Factored<T> {
+    fn clone(&self) -> Self {
+        Factored {
+            cols: self.cols.clone(),
+            parts: self.parts.clone(),
+        }
+    }
+}
+
+impl<T: Theory> Factored<T> {
+    /// Wraps an already-materialized relation as a single-part value.
+    fn single(rel: Relation<T>) -> Factored<T> {
+        Factored {
+            cols: rel.vars().to_vec(),
+            parts: vec![rel],
+        }
+    }
+
+    /// The empty value over `cols`.
+    fn empty(cols: Vec<Var>) -> Factored<T> {
+        Factored {
+            cols,
+            parts: Vec::new(),
+        }
+    }
+
+    /// Number of parts held (0 for the empty value).
+    pub(crate) fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total generalized tuples across the parts — what a full expansion
+    /// would start from, and what `EXPLAIN` reports as the node's actual
+    /// size.
+    pub(crate) fn num_tuples(&self) -> usize {
+        self.parts.iter().map(Relation::num_tuples).sum()
+    }
+
+    /// Materializes the exact canonical DNF: a single part is already
+    /// canonical and is returned as-is (its column indexes survive); several
+    /// parts are concatenated and run through the deferred simplification
+    /// pass (cross-part dedup + absorption).
+    fn merged(&self) -> Relation<T> {
+        match self.parts.len() {
+            0 => Relation::empty(self.cols.clone()),
+            1 => self.parts[0].clone(),
+            _ => Relation::simplified_unchecked(
+                self.cols.clone(),
+                self.parts
+                    .iter()
+                    .flat_map(|p| p.tuples().iter().cloned())
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Re-aligns every part onto `cols` (see [`Relation::with_columns`]).
+    fn with_columns(self, cols: Vec<Var>) -> Factored<T> {
+        let parts = self
+            .parts
+            .into_iter()
+            .map(|p| {
+                if p.vars() == cols.as_slice() {
+                    p
+                } else {
+                    p.with_columns(cols.clone())
+                }
+            })
+            .collect();
+        Factored { cols, parts }
+    }
+}
+
+/// Merges a non-empty uniform-column part list into one canonical relation
+/// (the join fold's cap fallback).
+fn merge_parts<T: Theory>(parts: Vec<Relation<T>>) -> Relation<T> {
+    if parts.len() == 1 {
+        return parts.into_iter().next().expect("len checked");
+    }
+    let vars = parts[0].vars().to_vec();
+    Relation::simplified_unchecked(
+        vars,
+        parts
+            .iter()
+            .flat_map(|p| p.tuples().iter().cloned())
+            .collect(),
+    )
+}
+
+// ---------------------------------------------------------------------------
 // Plan evaluation (memoized)
 // ---------------------------------------------------------------------------
 
 fn eval_plan<T: Theory>(
     plan: &Plan<T>,
     instance: &Instance<T>,
-    memo: &mut HashMap<usize, Relation<T>>,
+    memo: &mut HashMap<usize, Factored<T>>,
     reports: &mut HashMap<usize, JoinReport>,
-    threads: usize,
-) -> Result<Relation<T>, EvalError> {
+    config: PlanConfig,
+) -> Result<Factored<T>, EvalError> {
     let key = Arc::as_ptr(&plan.0) as usize;
     if let Some(cached) = memo.get(&key) {
         return Ok(cached.clone());
     }
     let cols = plan.cols().to_vec();
+    let threads = config.threads;
     let result = match &plan.0.node {
-        PlanNode::Empty => Relation::empty(cols),
-        PlanNode::Universal => Relation::universal(cols),
-        PlanNode::Select(atoms) => {
-            Relation::simplified_unchecked(cols, vec![GenTuple::new(atoms.clone())])
-        }
+        PlanNode::Empty => Factored::single(Relation::empty(cols)),
+        PlanNode::Universal => Factored::single(Relation::universal(cols)),
+        PlanNode::Select(atoms) => Factored::single(Relation::simplified_unchecked(
+            cols,
+            vec![GenTuple::new(atoms.clone())],
+        )),
         PlanNode::Rename { name, to } => {
             let rel = fetch(instance, name, to.len())?;
-            rel.rename(to.clone())
+            Factored::single(rel.rename(to.clone()))
         }
         PlanNode::Scan { name, args } => {
             let rel = fetch(instance, name, args.len())?;
@@ -1184,42 +1309,114 @@ fn eval_plan<T: Theory>(
                     )
                 })
                 .collect();
-            Relation::simplified_unchecked(cols, tuples)
+            Factored::single(Relation::simplified_unchecked(cols, tuples))
         }
         PlanNode::Join(children) => {
-            let joined = eval_join_fold(children, &[], instance, memo, reports, key, threads)?;
+            let joined = eval_join_fold(children, &[], instance, memo, reports, key, config)?;
             match joined {
-                None => Relation::empty(cols),
-                Some(rel) => rel.with_columns(cols),
+                None => Factored::empty(cols),
+                Some(f) => f.with_columns(cols),
             }
         }
         PlanNode::Union(children) => {
-            let mut tuples: Vec<GenTuple<T::A>> = Vec::new();
+            // The factorized union: concatenate the children's parts and
+            // defer cross-part dedup/absorption to the plan boundary (or the
+            // cap).  Eager mode merges here, which is exactly the historical
+            // behavior.
+            let mut parts: Vec<Relation<T>> = Vec::new();
             for child in children {
-                let rel = eval_plan(child, instance, memo, reports, threads)?;
-                tuples.extend(rel.tuples().iter().cloned());
+                let f = eval_plan(child, instance, memo, reports, config)?;
+                for part in f.parts {
+                    if part.is_empty() {
+                        continue;
+                    }
+                    parts.push(if part.vars() == cols.as_slice() {
+                        part
+                    } else {
+                        part.with_columns(cols.clone())
+                    });
+                }
             }
-            Relation::simplified_unchecked(cols, tuples)
+            let f = Factored { cols, parts };
+            if config.factorize && f.parts.len() <= MAX_PARTS {
+                f
+            } else {
+                Factored::single(f.merged())
+            }
         }
         PlanNode::Complement(input) => {
-            let rel = eval_plan(input, instance, memo, reports, threads)?;
-            Relation::simplified_unchecked(cols, negate_tuples::<T>(rel.tuples()))
+            let f = eval_plan(input, instance, memo, reports, config)?;
+            if f.parts.is_empty() {
+                // Complement of the empty relation — the universal negation
+                // path of the eager evaluator.
+                Factored::single(Relation::simplified_unchecked(
+                    cols,
+                    negate_tuples::<T>(&[]),
+                ))
+            } else {
+                // ¬(P₁ ∨ … ∨ Pₖ) = ¬P₁ ⋈ … ⋈ ¬Pₖ: complement each part and
+                // intersect, so a factorized union is negated without ever
+                // materializing it.  For a single part this is exactly the
+                // eager path.
+                let mut acc: Option<Relation<T>> = None;
+                for part in &f.parts {
+                    let neg = Relation::simplified_unchecked(
+                        cols.clone(),
+                        negate_tuples::<T>(part.tuples()),
+                    );
+                    let next = match acc {
+                        None => neg,
+                        Some(prev) => prev.join_with(&neg, threads),
+                    };
+                    let empty = next.is_empty();
+                    acc = Some(next);
+                    if empty {
+                        break;
+                    }
+                }
+                let rel = acc.expect("parts checked non-empty");
+                Factored::single(if rel.vars() == cols.as_slice() {
+                    rel
+                } else {
+                    rel.with_columns(cols)
+                })
+            }
         }
         PlanNode::Project { input, eliminate } => {
-            let rel = if let PlanNode::Join(children) = &input.0.node {
+            let f = if let PlanNode::Join(children) = &input.0.node {
                 // Fused join + early projection (see `eval_join_fold`); the
                 // join's report stays keyed on the fused join node.
                 let join_key = Arc::as_ptr(&input.0) as usize;
                 match eval_join_fold(
-                    children, eliminate, instance, memo, reports, join_key, threads,
+                    children, eliminate, instance, memo, reports, join_key, config,
                 )? {
-                    None => return finish(memo, key, Relation::empty(cols)),
-                    Some(rel) => rel,
+                    None => return finish(memo, key, Factored::empty(cols)),
+                    Some(f) => f,
                 }
             } else {
-                eval_plan(input, instance, memo, reports, threads)?
+                eval_plan(input, instance, memo, reports, config)?
             };
-            rel.project_out_with(eliminate, threads).with_columns(cols)
+            // ∃ distributes over ∨: eliminate per part and defer the
+            // cross-part absorption a merge would run.
+            let parts: Vec<Relation<T>> = f
+                .parts
+                .iter()
+                .map(|p| p.project_out_with(eliminate, threads))
+                .filter(|p| !p.is_empty())
+                .map(|p| {
+                    if p.vars() == cols.as_slice() {
+                        p
+                    } else {
+                        p.with_columns(cols.clone())
+                    }
+                })
+                .collect();
+            let f = Factored { cols, parts };
+            if config.factorize && f.parts.len() <= MAX_PARTS {
+                f
+            } else {
+                Factored::single(f.merged())
+            }
         }
     };
     finish(memo, key, result)
@@ -1237,11 +1434,12 @@ fn eval_join_fold<T: Theory>(
     children: &[Plan<T>],
     eliminate: &[Var],
     instance: &Instance<T>,
-    memo: &mut HashMap<usize, Relation<T>>,
+    memo: &mut HashMap<usize, Factored<T>>,
     reports: &mut HashMap<usize, JoinReport>,
     report_key: usize,
-    threads: usize,
-) -> Result<Option<Relation<T>>, EvalError> {
+    config: PlanConfig,
+) -> Result<Option<Factored<T>>, EvalError> {
+    let threads = config.threads;
     // Aggregate the fold's pairwise join reports onto the join node, so
     // `EXPLAIN` shows the strategy and candidate-pair count even when the
     // join annihilated early or was fused into its parent projection.
@@ -1251,29 +1449,70 @@ fn eval_join_fold<T: Theory>(
             reports.insert(report_key, r);
         }
     };
-    let mut acc: Option<Relation<T>> = None;
+    let mut acc: Option<Vec<Relation<T>>> = None;
     for (i, child) in children.iter().enumerate() {
-        let rel = eval_plan(child, instance, memo, reports, threads)?;
-        let mut joined = match acc {
-            None => rel,
+        let f = eval_plan(child, instance, memo, reports, config)?;
+        let child_cols = f.cols.clone();
+        let next: Vec<Relation<T>> = f.parts.into_iter().filter(|p| !p.is_empty()).collect();
+        let mut joined: Vec<Relation<T>> = match acc {
+            None => next,
             Some(prev) => {
-                let (joined, step) = prev.join_with_report(&rel, threads);
-                match &mut report {
-                    None => report = Some(step),
-                    Some(r) => r.absorb(&step),
+                if next.is_empty() {
+                    // Joining with an empty operand annihilates; still run
+                    // the (trivial) join so the strategy report matches the
+                    // eager evaluator's.
+                    let (_, step) =
+                        merge_parts(prev).join_with_report(&Relation::empty(child_cols), threads);
+                    match &mut report {
+                        None => report = Some(step),
+                        Some(r) => r.absorb(&step),
+                    }
+                    Vec::new()
+                } else {
+                    // The join distributes over parts: (A₁∨A₂) ⋈ (B₁∨B₂) =
+                    // ∨ᵢⱼ (Aᵢ ⋈ Bⱼ), each pairwise join running the indexed
+                    // strategies.  When the cross product would blow the part
+                    // cap, merge the side holding more parts first.
+                    let (lhs, rhs) = if prev.len() * next.len() > MAX_PARTS {
+                        if prev.len() >= next.len() {
+                            (vec![merge_parts(prev)], next)
+                        } else {
+                            (prev, vec![merge_parts(next)])
+                        }
+                    } else {
+                        (prev, next)
+                    };
+                    let mut out = Vec::new();
+                    for a in &lhs {
+                        for b in &rhs {
+                            let (j, step) = a.join_with_report(b, threads);
+                            match &mut report {
+                                None => report = Some(step),
+                                Some(r) => r.absorb(&step),
+                            }
+                            if !j.is_empty() {
+                                out.push(j);
+                            }
+                        }
+                    }
+                    out
                 }
-                joined
             }
         };
         let dead: Vec<Var> = eliminate
             .iter()
             .filter(|v| {
-                joined.vars().contains(v) && !children[i + 1..].iter().any(|c| c.cols().contains(v))
+                joined.iter().any(|p| p.vars().contains(v))
+                    && !children[i + 1..].iter().any(|c| c.cols().contains(v))
             })
             .cloned()
             .collect();
         if !dead.is_empty() {
-            joined = joined.project_out_with(&dead, threads);
+            joined = joined
+                .iter()
+                .map(|p| p.project_out_with(&dead, threads))
+                .filter(|p| !p.is_empty())
+                .collect();
         }
         if joined.is_empty() {
             record(reports, report);
@@ -1282,14 +1521,16 @@ fn eval_join_fold<T: Theory>(
         acc = Some(joined);
     }
     record(reports, report);
-    Ok(Some(acc.expect("join nodes have at least two children")))
+    let parts = acc.expect("join nodes have at least two children");
+    let cols = parts[0].vars().to_vec();
+    Ok(Some(Factored { cols, parts }))
 }
 
 fn finish<T: Theory>(
-    memo: &mut HashMap<usize, Relation<T>>,
+    memo: &mut HashMap<usize, Factored<T>>,
     key: usize,
-    result: Relation<T>,
-) -> Result<Relation<T>, EvalError> {
+    result: Factored<T>,
+) -> Result<Factored<T>, EvalError> {
     memo.insert(key, result.clone());
     Ok(result)
 }

@@ -65,6 +65,15 @@ pub struct PlanConfig {
     /// relations large enough to amortize the thread spawn; results are
     /// bit-identical to the serial path at any thread count.
     pub threads: usize,
+    /// Whether intermediate results may stay **factorized** — union nodes
+    /// hand their children's parts downstream as a lazy union-of-parts
+    /// instead of eagerly absorbing into one DNF; joins and projections
+    /// distribute over the parts and complements of unions become joins of
+    /// part complements (`true`, the default).  `false` materializes every
+    /// node eagerly — the pre-factorization evaluator, kept as the bench
+    /// baseline.  Answers are identical either way: both modes materialize
+    /// and canonically order at plan boundaries.
+    pub factorize: bool,
 }
 
 impl Default for PlanConfig {
@@ -72,6 +81,7 @@ impl Default for PlanConfig {
         PlanConfig {
             opt: OptLevel::Full,
             threads: 1,
+            factorize: true,
         }
     }
 }
@@ -83,6 +93,18 @@ impl PlanConfig {
         PlanConfig {
             opt: OptLevel::None,
             threads: 1,
+            factorize: false,
+        }
+    }
+
+    /// This configuration with eager materialization at every node (the
+    /// factorized evaluator's baseline; optimization level and thread count
+    /// are kept).
+    #[must_use]
+    pub fn eager(self) -> PlanConfig {
+        PlanConfig {
+            factorize: false,
+            ..self
         }
     }
 }
@@ -112,12 +134,15 @@ pub(super) struct ColBound {
 
 /// The cardinality estimate of a sub-plan: expected generalized-tuple count
 /// plus, per column, the number of distinct constants the column is pinned to
-/// and the envelope summary (each absent when unknown).
+/// and the envelope summary (each absent when unknown), plus the number of
+/// factorized **parts** the factorized evaluator would hold the node in
+/// (1 = materialized; >1 only at and downstream of union nodes).
 #[derive(Clone, Debug)]
 pub(super) struct Est {
     pub rows: f64,
     pub distinct: BTreeMap<Var, f64>,
     pub bounds: BTreeMap<Var, ColBound>,
+    pub parts: usize,
 }
 
 impl Est {
@@ -126,6 +151,7 @@ impl Est {
             rows,
             distinct: BTreeMap::new(),
             bounds: BTreeMap::new(),
+            parts: 1,
         }
     }
 }
@@ -182,10 +208,18 @@ fn join_est(a_cols: &BTreeSet<Var>, a: &Est, b_cols: &BTreeSet<Var>, b: &Est) ->
             })
             .or_insert(*bb);
     }
+    // Joins distribute over factorized parts (capped like the evaluator:
+    // the side with more parts is merged when the product would overflow).
+    let parts = if a.parts * b.parts <= super::MAX_PARTS {
+        a.parts * b.parts
+    } else {
+        a.parts.min(b.parts)
+    };
     Est {
         rows: (a.rows * b.rows * selectivity).max(0.0),
         distinct,
         bounds,
+        parts,
     }
 }
 
@@ -230,6 +264,7 @@ pub(super) fn estimate_plan<T: Theory>(
                     rows: rs.tuples as f64,
                     distinct,
                     bounds,
+                    parts: 1,
                 }
             }
         },
@@ -269,10 +304,17 @@ pub(super) fn estimate_plan<T: Theory>(
         }
         PlanNode::Union(children) => {
             let mut rows = 0.0;
+            let mut parts = 0usize;
             for child in children {
-                rows += estimate_plan(child, stats, memo).rows;
+                let child_est = estimate_plan(child, stats, memo);
+                rows += child_est.rows;
+                parts += child_est.parts;
             }
-            Est::leaf(rows)
+            // The factorized evaluator holds the union's children as parts,
+            // merging eagerly only when the cap overflows.
+            let mut est = Est::leaf(rows);
+            est.parts = if parts <= super::MAX_PARTS { parts } else { 1 };
+            est
         }
         PlanNode::Complement(input) => {
             let inner = estimate_plan(input, stats, memo);

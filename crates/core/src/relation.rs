@@ -16,6 +16,7 @@ use crate::schema::{RelName, Schema, SchemaError};
 use crate::theory::{eval_conj, Atom, Conj, Dnf, Theory};
 use frdb_num::Rat;
 use std::any::Any;
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::marker::PhantomData;
@@ -552,11 +553,35 @@ impl ColumnIndex {
 /// Lazily built per-column interval indexes of one relation, cached beside the
 /// tuples.  Relations are immutable, so invalidation is construction-only:
 /// constructors that produce a fresh tuple list start with an empty cache,
-/// while `clone`/`with_columns` — which share the identical tuple list —
-/// share the already built indexes too.
+/// while `clone`/`with_columns`/`rename` — which preserve the tuple list
+/// positionally — share the already built indexes too.  A [`ColumnIndex`]
+/// stores only positional rational data (envelopes, endpoint orders), never
+/// variable names, so a renamed alias reads and populates the same cache
+/// through its stable *index names* (see [`Relation`]).
 #[derive(Debug, Default)]
 struct IndexCache {
     columns: Mutex<HashMap<Var, Arc<ColumnIndex>>>,
+}
+
+thread_local! {
+    /// Column indexes built (cache misses) on this thread.
+    static INDEX_BUILDS: Cell<u64> = const { Cell::new(0) };
+    /// Column index cache hits on this thread.
+    static INDEX_REUSES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// This thread's cumulative `(built, reused)` column-index counters.
+///
+/// A *build* is a cache miss in a relation's lazy per-column index cache (the
+/// sorted-endpoint construction actually ran); a *reuse* is a hit — including
+/// hits through renamed or re-columned aliases of the same tuple list, and
+/// across Datalog fixpoint rounds re-joining an unchanged stored relation.
+/// Counters are thread-local so tests and single-threaded sessions observe
+/// exactly their own joins; callers wanting a window take two snapshots and
+/// subtract.
+#[must_use]
+pub fn column_index_counters() -> (u64, u64) {
+    (INDEX_BUILDS.with(Cell::get), INDEX_REUSES.with(Cell::get))
 }
 
 /// How the join treats one left tuple on the shared bucket column.
@@ -581,6 +606,9 @@ struct JoinCounters {
     pinned: usize,
     bounded: usize,
     wild: usize,
+    /// Left tuples whose candidates were additionally pruned by the
+    /// second-column (bounding-box) envelope filter.
+    boxed: usize,
     candidate_pairs: usize,
 }
 
@@ -589,6 +617,7 @@ impl JoinCounters {
         self.pinned += other.pinned;
         self.bounded += other.bounded;
         self.wild += other.wild;
+        self.boxed += other.boxed;
         self.candidate_pairs += other.candidate_pairs;
     }
 }
@@ -602,6 +631,10 @@ pub enum JoinStrategy {
     /// Every left tuple was pinned to a constant: candidates came from hash
     /// buckets (the degenerate zero-width envelope case).
     PinHash,
+    /// The sweep (or hash probe) on the first shared column was refined by a
+    /// second shared column's envelope index — the two-column bounding-box
+    /// case of spatial workloads.
+    BoxSweep,
     /// No constant information (or no shared column): full pairwise scan.
     Scan,
     /// Left tuples of different kinds (or several folded joins disagreeing).
@@ -613,6 +646,7 @@ impl fmt::Display for JoinStrategy {
         f.write_str(match self {
             JoinStrategy::IndexSweep => "index-sweep",
             JoinStrategy::PinHash => "pin-hash",
+            JoinStrategy::BoxSweep => "box-sweep",
             JoinStrategy::Scan => "scan",
             JoinStrategy::Mixed => "mixed",
         })
@@ -667,6 +701,14 @@ impl fmt::Display for JoinReport {
 /// With `warm`, every candidate's canonical context and form are computed
 /// here — in the parallel path this is the worker's real job, leaving the
 /// caller's sequential simplification pass nothing but cache lookups.
+///
+/// When the relations share a **second** column, `box_ix` carries the right
+/// side's envelope index on it and `box_envs` the left tuples' envelopes:
+/// candidates whose second-column envelopes are provably disjoint from the
+/// left's are dropped before the compatibility filter (the bounding-box
+/// refinement).  The filter preserves ascending candidate order and only
+/// removes pairs whose merged conjunction is unsatisfiable — which the final
+/// simplification would prune anyway — so output stays bit-identical.
 #[allow(clippy::too_many_arguments)]
 fn join_partition<T: Theory>(
     left: &[GenTuple<T::A>],
@@ -677,6 +719,8 @@ fn join_partition<T: Theory>(
     wild: &[usize],
     all: &[usize],
     index: Option<&ColumnIndex>,
+    box_ix: Option<&ColumnIndex>,
+    box_envs: &[Option<Envelope>],
     warm: bool,
     out: &mut Vec<(usize, GenTuple<T::A>)>,
     counters: &mut JoinCounters,
@@ -693,6 +737,7 @@ fn join_partition<T: Theory>(
         + wild.len()
         + index.map_or(0, |ix| ix.unbounded.len());
     let mut candidates: Vec<usize> = Vec::with_capacity(cap.min(right.len()));
+    let mut boxed: Vec<usize> = Vec::new();
     let first = out.len();
     for &i in order {
         let a = &left[i];
@@ -728,6 +773,22 @@ fn join_partition<T: Theory>(
                 }
             }
         };
+        // Bounding-box refinement: when this left tuple carries an envelope
+        // on the second shared column, drop candidates whose envelope there
+        // is provably disjoint (ascending order is preserved).
+        let rhs: &[usize] = match (box_ix, box_envs.get(i).and_then(Option::as_ref)) {
+            (Some(ix2), Some((llo, lhi))) => {
+                counters.boxed += 1;
+                boxed.clear();
+                boxed.extend(rhs.iter().copied().filter(|&j| {
+                    ix2.bounds[j]
+                        .as_ref()
+                        .is_none_or(|(rlo, rhi)| !separated(rhi, llo) && !separated(lhi, rlo))
+                }));
+                &boxed
+            }
+            _ => rhs,
+        };
         counters.candidate_pairs += rhs.len();
         a.with_ctx::<T, _>(|ca| {
             for &j in rhs {
@@ -760,8 +821,18 @@ pub struct Relation<T: Theory> {
     vars: Vec<Var>,
     tuples: Vec<GenTuple<T::A>>,
     /// Lazily built per-column interval indexes (see [`ColumnIndex`]); shared
-    /// whenever the tuple list is shared, fresh otherwise.
+    /// whenever the tuple list is preserved positionally (clone, column
+    /// reinterpretation, **rename**), fresh otherwise.
     indexes: Arc<IndexCache>,
+    /// The stable names the shared index cache is keyed by, positionally
+    /// aligned with `vars` — `None` when they coincide with `vars` (the
+    /// common case).  A [`ColumnIndex`] holds only positional rational data,
+    /// so a renamed alias keeps serving (and populating) the original cache:
+    /// column `i` of the alias looks up `index_names[i]`, not `vars[i]`.
+    /// This is what makes index persistence real across Datalog fixpoint
+    /// rounds and database commits: re-deriving `R(x, y)` from a stored
+    /// relation over `(c0, c1)` every round reuses the index built once.
+    index_names: Option<Vec<Var>>,
     // `fn() -> T` (not `T`) so relations are `Send + Sync` whenever the atom
     // type is, independent of the marker theory type — the parallel join and
     // projection paths share relations across `std::thread::scope` workers.
@@ -774,6 +845,7 @@ impl<T: Theory> Clone for Relation<T> {
             vars: self.vars.clone(),
             tuples: self.tuples.clone(),
             indexes: self.indexes.clone(),
+            index_names: self.index_names.clone(),
             _theory: PhantomData,
         }
     }
@@ -847,6 +919,7 @@ impl<T: Theory> Relation<T> {
             vars,
             tuples: simplify_tuples::<T>(tuples),
             indexes: Arc::new(IndexCache::default()),
+            index_names: None,
             _theory: PhantomData,
         }
     }
@@ -868,6 +941,7 @@ impl<T: Theory> Relation<T> {
             vars,
             tuples: Vec::new(),
             indexes: Arc::new(IndexCache::default()),
+            index_names: None,
             _theory: PhantomData,
         }
     }
@@ -879,6 +953,7 @@ impl<T: Theory> Relation<T> {
             vars,
             tuples: vec![GenTuple::universal()],
             indexes: Arc::new(IndexCache::default()),
+            index_names: None,
             _theory: PhantomData,
         }
     }
@@ -962,6 +1037,15 @@ impl<T: Theory> Relation<T> {
             self.vars, other.vars,
             "union of relations over different columns"
         );
+        // Union with the empty relation is the identity — return the alias
+        // so its tuple caches *and* built column indexes survive (a Datalog
+        // round deriving nothing new keeps the stored relation's indexes).
+        if other.tuples.is_empty() {
+            return self.clone();
+        }
+        if self.tuples.is_empty() {
+            return other.clone();
+        }
         let mut tuples = self.tuples.clone();
         tuples.extend(other.tuples.iter().cloned());
         Relation::simplified_unchecked(self.vars.clone(), tuples)
@@ -983,18 +1067,39 @@ impl<T: Theory> Relation<T> {
     /// The lazily built sorted-endpoint interval index of one column, shared
     /// through the relation's construction-scoped cache (relations are
     /// immutable, so a built index stays valid for the relation's lifetime
-    /// and for every [`Relation::clone`]/[`Relation::with_columns`] alias).
+    /// and for every [`Relation::clone`]/[`Relation::with_columns`]/
+    /// [`Relation::rename`] alias).  Lookups go through the column's stable
+    /// *index name* (see the `index_names` field), so a renamed alias and the
+    /// original relation hit the same entries: whoever builds first, everyone
+    /// reuses.  The thread-local build/reuse tallies feed
+    /// [`column_index_counters`].
     fn column_index(&self, var: &Var) -> Arc<ColumnIndex> {
+        let key: &Var = match &self.index_names {
+            None => var,
+            Some(names) => {
+                let pos = self
+                    .vars
+                    .iter()
+                    .position(|v| v == var)
+                    .expect("column_index of a non-column variable");
+                &names[pos]
+            }
+        };
         let mut columns = self
             .indexes
             .columns
             .lock()
             .expect("column index cache poisoned");
-        if let Some(ix) = columns.get(var) {
+        if let Some(ix) = columns.get(key) {
+            INDEX_REUSES.with(|c| c.set(c.get() + 1));
             return ix.clone();
         }
+        // Built from *this* alias's tuples and variable name — positionally
+        // identical envelope data to what any other alias would build, since
+        // renaming is a bijective variable substitution.
         let ix = Arc::new(ColumnIndex::build::<T>(&self.tuples, var));
-        columns.insert(var.clone(), ix.clone());
+        columns.insert(key.clone(), ix.clone());
+        INDEX_BUILDS.with(|c| c.set(c.get() + 1));
         ix
     }
 
@@ -1101,6 +1206,27 @@ impl<T: Theory> Relation<T> {
             }
             _ => None,
         };
+        // Second shared column (the bounding-box case of spatial workloads):
+        // left envelopes on it refine the first column's candidates through
+        // the right side's envelope index there.  Engaged only when a left
+        // tuple actually carries a second-column envelope.
+        let box_var = bucket_var.and_then(|bv| {
+            self.vars
+                .iter()
+                .find(|v| *v != bv && other.vars.contains(v))
+        });
+        let box_envs: Vec<Option<Envelope>> = match box_var {
+            Some(bv2) if !classes.is_empty() => self
+                .tuples
+                .iter()
+                .map(|a| a.with_ctx::<T, _>(|ca| T::ctx_bounds(ca, bv2).and_then(nontrivial)))
+                .collect(),
+            _ => Vec::new(),
+        };
+        let box_index: Option<Arc<ColumnIndex>> = match box_var {
+            Some(bv2) if box_envs.iter().any(Option::is_some) => Some(other.column_index(bv2)),
+            _ => None,
+        };
         // A pinned left is the zero-width case of a bounded one.  Its bucket
         // path forwards the matching bucket plus *every* non-pinned right as
         // a candidate, while a zero-width sweep forwards only the rights
@@ -1151,6 +1277,8 @@ impl<T: Theory> Relation<T> {
                 &wild,
                 &all,
                 index.as_deref(),
+                box_index.as_deref(),
+                &box_envs,
                 false,
                 &mut out,
                 &mut counters,
@@ -1184,6 +1312,8 @@ impl<T: Theory> Relation<T> {
                         let (classes, buckets, wild, all) = (&classes, &buckets, &wild, &all);
                         let (lhs, rhs) = (&self.tuples, &other.tuples);
                         let index = index.as_deref();
+                        let box_index = box_index.as_deref();
+                        let box_envs = &box_envs;
                         s.spawn(move || {
                             let mut out = Vec::new();
                             let mut counters = JoinCounters::default();
@@ -1196,6 +1326,8 @@ impl<T: Theory> Relation<T> {
                                 wild,
                                 all,
                                 index,
+                                box_index,
+                                box_envs,
                                 true,
                                 &mut out,
                                 &mut counters,
@@ -1224,6 +1356,15 @@ impl<T: Theory> Relation<T> {
             (false, true, false) => JoinStrategy::IndexSweep,
             (false, false, _) => JoinStrategy::Scan,
             _ => JoinStrategy::Mixed,
+        };
+        // The bounding-box refinement upgrades a uniform constant-driven
+        // strategy; mixed and scan stay what they are.
+        let strategy = if counters.boxed > 0
+            && matches!(strategy, JoinStrategy::IndexSweep | JoinStrategy::PinHash)
+        {
+            JoinStrategy::BoxSweep
+        } else {
+            strategy
         };
         let report = JoinReport {
             strategy,
@@ -1259,6 +1400,8 @@ impl<T: Theory> Relation<T> {
             &[],
             &all,
             None,
+            None,
+            &[],
             false,
             &mut out,
             &mut counters,
@@ -1346,11 +1489,33 @@ impl<T: Theory> Relation<T> {
             self.vars.iter().all(|v| vars.contains(v)),
             "with_columns must keep every existing column"
         );
+        // Same tuple list in the same order — the indexes stay valid, but the
+        // stable index names must follow each kept column to its new
+        // position; added columns key under their own name.  A fresh column
+        // whose name collides with a kept column's hidden index name would
+        // alias someone else's entries, so that (rare) case starts clean.
+        let names: Vec<Var> = vars
+            .iter()
+            .map(|v| match self.vars.iter().position(|w| w == v) {
+                Some(pos) => match &self.index_names {
+                    None => v.clone(),
+                    Some(names) => names[pos].clone(),
+                },
+                None => v.clone(),
+            })
+            .collect();
+        let distinct = names.iter().collect::<HashSet<_>>().len().eq(&names.len());
+        let (indexes, index_names) = if distinct {
+            let index_names = if names == vars { None } else { Some(names) };
+            (self.indexes.clone(), index_names)
+        } else {
+            (Arc::new(IndexCache::default()), None)
+        };
         Relation {
             vars,
             tuples: self.tuples.clone(),
-            // Same tuple list in the same order — the indexes stay valid.
-            indexes: self.indexes.clone(),
+            indexes,
+            index_names,
             _theory: PhantomData,
         }
     }
@@ -1422,6 +1587,14 @@ impl<T: Theory> Relation<T> {
     /// **single simultaneous substitution pass** — permutations need no
     /// temporary variables, so each atom is rewritten exactly once.
     ///
+    /// The per-column interval indexes survive the rename: a [`ColumnIndex`]
+    /// stores only positional envelope data, invariant under the bijective
+    /// variable substitution, so the renamed relation shares the original's
+    /// index cache keyed by the columns' stable index names.  This is the
+    /// Datalog fixpoint's and the database commit path's index persistence:
+    /// every round (or snapshot read) that renames the same stored relation
+    /// rebuilds **zero** indexes.
+    ///
     /// # Panics
     /// Panics if the number of new variables differs from the arity.
     #[must_use]
@@ -1454,10 +1627,55 @@ impl<T: Theory> Relation<T> {
                 )
             })
             .collect();
+        // Positions are untouched, so the stable index names carry over
+        // verbatim (defaulting to the pre-rename column names).
+        let index_names = Some(match &self.index_names {
+            Some(names) => names.clone(),
+            None => self.vars.clone(),
+        });
         Relation {
             vars: new_vars,
             tuples,
+            indexes: self.indexes.clone(),
+            index_names,
+            _theory: PhantomData,
+        }
+    }
+
+    /// The same relation with its generalized tuples in **canonical display
+    /// order** (lexicographic by rendered atoms, ties kept stable).
+    ///
+    /// Operator pipelines order their output by evaluation history — which
+    /// tuple was derived first — so two equivalent pipelines (the factorized
+    /// and the eagerly materialized evaluator, say) can produce the same
+    /// canonical tuple *set* in different orders.  Plan boundaries (query
+    /// answers) normalize through this method, making answers reproducible
+    /// across evaluation modes and pinnable by golden transcripts.
+    #[must_use]
+    pub fn canonically_sorted(&self) -> Relation<T> {
+        let keys: Vec<String> = self
+            .tuples
+            .iter()
+            .map(|t| {
+                let mut key = String::new();
+                for a in t.atoms() {
+                    key.push_str(&a.to_string());
+                    key.push('\u{1}');
+                }
+                key
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..self.tuples.len()).collect();
+        order.sort_by(|&a, &b| keys[a].cmp(&keys[b]).then(a.cmp(&b)));
+        if order.iter().enumerate().all(|(i, &j)| i == j) {
+            return self.clone();
+        }
+        let tuples = order.iter().map(|&j| self.tuples[j].clone()).collect();
+        Relation {
+            vars: self.vars.clone(),
+            tuples,
             indexes: Arc::new(IndexCache::default()),
+            index_names: None,
             _theory: PhantomData,
         }
     }

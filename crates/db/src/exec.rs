@@ -144,6 +144,9 @@ where
                     .ok_or_else(|| DbError::at(span, format!("unknown relation `{name}`")))?;
                 writeln!(out, "{name} = {rel}").map_err(io_err)?;
             }
+            Stmt::Stats => {
+                write!(out, "{}", self.stats_report()).map_err(io_err)?;
+            }
         }
         Ok(())
     }

@@ -325,6 +325,10 @@ pub struct Database<T: Theory> {
     cache: Arc<PlanCache>,
     plan_config: PlanConfig,
     timings: bool,
+    /// The thread-local column-index counters at construction time, so a
+    /// `stats;` statement reports only the builds/reuses this database (well,
+    /// this thread) caused since it was opened.
+    index_baseline: (u64, u64),
 }
 
 impl<T: Theory> Default for Database<T> {
@@ -352,7 +356,33 @@ impl<T: Theory> Database<T> {
                 .unwrap_or_else(|| Arc::clone(PlanCache::global())),
             plan_config: config.plan_config,
             timings: config.timings,
+            index_baseline: frdb_core::relation::column_index_counters(),
         }
+    }
+
+    /// A deterministic, golden-testable account of the session's cache work:
+    /// the plan cache's hit/miss/eviction counters and the column-index
+    /// build/reuse counters (relative to this database's construction, on the
+    /// calling thread).  Printed by the `stats;` script statement.
+    #[must_use]
+    pub fn stats_report(&self) -> String {
+        let plan = self.cache.stats();
+        let (builds, reuses) = frdb_core::relation::column_index_counters();
+        let (base_builds, base_reuses) = self.index_baseline;
+        format!(
+            "plan cache: compile {ch} hit(s) / {cm} miss(es); \
+             reoptimize {rh} hit(s) / {rm} miss(es); \
+             {oi} optimizer run(s); {ev} eviction(s)\n\
+             column indexes: {b} built, {r} reused\n",
+            ch = plan.compile_hits,
+            cm = plan.compile_misses,
+            rh = plan.reoptimize_hits,
+            rm = plan.reoptimize_misses,
+            oi = plan.optimizer_invocations,
+            ev = plan.evictions,
+            b = builds.saturating_sub(base_builds),
+            r = reuses.saturating_sub(base_reuses),
+        )
     }
 
     /// The plan cache this database compiles through.

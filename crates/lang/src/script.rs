@@ -13,6 +13,8 @@
 //!            | "program" IDENT "{" { rule } "}"
 //!            | "fixpoint" IDENT ";"                     (run a program)
 //!            | "print" IDENT ";"                        (print a relation)
+//!            | "stats" ";"                              (print plan-cache and
+//!                                                        index counters)
 //! ```
 //!
 //! The statement keywords are contextual: a relation may be called `query` or
@@ -128,6 +130,9 @@ pub enum Stmt<T: Theory> {
         /// The relation name.
         name: RelName,
     },
+    /// `stats;` — print the session's plan-cache statistics and the column
+    /// index build/reuse counters in a deterministic format.
+    Stats,
 }
 
 /// A parsed script: the declared theory and the statement list.
@@ -331,11 +336,19 @@ fn statement<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Spanned<Stmt<T>>, Pars
                     span: start.join(end),
                 });
             }
+            "stats" => {
+                p.advance();
+                let end = p.expect(&Tok::Semi, "`;` terminating the statement")?.span;
+                return Ok(Spanned {
+                    node: Stmt::Stats,
+                    span: start.join(end),
+                });
+            }
             _ => {}
         }
     }
     Err(p.error_here(
         "expected a statement (`schema`, `R := …`, `query`, `run`, `explain`, \
-         `check`, `assert`, `program`, `fixpoint`, or `print`)",
+         `check`, `assert`, `program`, `fixpoint`, `print`, or `stats`)",
     ))
 }

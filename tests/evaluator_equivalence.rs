@@ -472,3 +472,102 @@ fn single_relation_instances_round_trip_between_engines() {
         eval_sentence_expand(&q, &inst).unwrap()
     );
 }
+
+// ---------------------------------------------------------------------------
+// Factorized intermediates vs eager materialization (PR 8)
+// ---------------------------------------------------------------------------
+
+/// Asserts that the factorized evaluator (intermediates kept as lazy unions of
+/// parts, simplification deferred to plan boundaries) is *bit-identical* —
+/// same canonical DNF, same tuple order — to the eager evaluator that
+/// materializes every intermediate, at 1, 2 and 4 worker threads.
+fn assert_factorized_matches_eager<T: Theory>(
+    formula: &Formula<T::A>,
+    free: &[Var],
+    instance: &Instance<T>,
+    label: &str,
+) where
+    T::A: std::fmt::Display,
+{
+    for threads in [1usize, 2, 4] {
+        let config = PlanConfig {
+            threads,
+            ..PlanConfig::default()
+        };
+        let factorized = compile_query_with(formula, free, &config)
+            .eval(instance)
+            .unwrap_or_else(|e| panic!("{label}: factorized evaluation failed: {e}"));
+        let eager = compile_query_with(formula, free, &config.eager())
+            .eval(instance)
+            .unwrap_or_else(|e| panic!("{label}: eager evaluation failed: {e}"));
+        assert_eq!(
+            factorized.to_dnf(),
+            eager.to_dnf(),
+            "{label}: factorized evaluation at {threads} thread(s) diverged from eager on {formula}"
+        );
+    }
+}
+
+#[test]
+fn factorized_matches_eager_on_the_full_catalog() {
+    for entry in fo_catalog() {
+        for (i, inst) in entry.instances.iter().enumerate() {
+            assert_factorized_matches_eager(
+                &entry.formula,
+                &entry.free,
+                inst,
+                &format!("catalog entry {} (instance {i})", entry.name),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn factorized_matches_eager_on_random_dense_formulas(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let depth = rng.gen_range(1..=3);
+        let formula = rand_dense_formula(&mut rng, depth);
+        let free: Vec<Var> = formula.free_vars().into_iter().collect();
+        let inst = dense_instance(seed ^ 0xFAC7);
+        assert_factorized_matches_eager(&formula, &free, &inst, "random dense formula (factorized)");
+    }
+
+    #[test]
+    fn factorized_matches_eager_on_random_linear_formulas(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let depth = rng.gen_range(1..=2);
+        let formula = rand_lin_formula(&mut rng, depth);
+        let free: Vec<Var> = formula.free_vars().into_iter().collect();
+        let inst = linear_instance(seed ^ 0xFACE);
+        assert_factorized_matches_eager(&formula, &free, &inst, "random linear formula (factorized)");
+    }
+
+    /// The box-sweep strategy (second shared column's envelope index refining
+    /// the first column's interval sweep) must stay exact against the pairwise
+    /// scan when relations share *two* columns.
+    #[test]
+    fn box_join_matches_pairwise_scan_on_two_shared_columns(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_dense_relation(&mut rng, &["x", "y"], 0, 6);
+        let b = rand_dense_relation(&mut rng, &["x", "y"], 0, 6);
+        prop_assert_eq!(
+            a.join_with(&b, 1).to_dnf(),
+            a.join_scan(&b).to_dnf(),
+            "box-sweep dense join diverged from the pairwise scan\n  a: {}\n  b: {}",
+            a,
+            b
+        );
+        let la = to_linear_relation(&a);
+        let lb = to_linear_relation(&b);
+        prop_assert_eq!(
+            la.join_with(&lb, 1).to_dnf(),
+            la.join_scan(&lb).to_dnf(),
+            "box-sweep linear join diverged from the pairwise scan\n  a: {}\n  b: {}",
+            la,
+            lb
+        );
+    }
+}

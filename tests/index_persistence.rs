@@ -1,0 +1,173 @@
+//! Counter-asserted tests for column-index persistence (PR 8): indexes built
+//! during a join are cached on the relation under **stable column names**, so
+//! repeated joins, renamed aliases, later fixpoint rounds, and re-queries
+//! after unrelated commits all reuse them instead of rebuilding.
+//!
+//! The build/reuse counters ([`column_index_counters`]) are thread-local and
+//! the Rust test harness runs every `#[test]` on its own thread, so each test
+//! observes only its own index traffic; all evaluation below runs at one
+//! worker thread to stay on the counting thread.
+
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::logic::{Formula, Term, Var};
+use frdb_core::relation::{column_index_counters, GenTuple, Instance, Relation};
+use frdb_core::schema::Schema;
+use frdb_datalog::transitive_closure_program;
+use frdb_db::Database;
+use frdb_num::Rat;
+
+/// A generalized tuple pinning two columns to closed boxes:
+/// `lo.0 ≤ x ≤ hi.0 ∧ lo.1 ≤ y ≤ hi.1` over the given variable names.
+fn boxed(vars: (&str, &str), x: (i64, i64), y: (i64, i64)) -> GenTuple<DenseAtom> {
+    GenTuple::new(vec![
+        DenseAtom::le(Term::cst(x.0), Term::var(vars.0)),
+        DenseAtom::le(Term::var(vars.0), Term::cst(x.1)),
+        DenseAtom::le(Term::cst(y.0), Term::var(vars.1)),
+        DenseAtom::le(Term::var(vars.1), Term::cst(y.1)),
+    ])
+}
+
+/// A binary relation of `n` boxes over columns `(a, b)`, spaced so each box
+/// carries a nondegenerate envelope on both columns (the index-eligible case).
+fn box_relation(a: &str, b: &str, n: i64, offset: i64) -> Relation<DenseOrder> {
+    let tuples = (0..n)
+        .map(|i| boxed((a, b), (4 * i + offset, 4 * i + offset + 2), (0, 2 * n)))
+        .collect();
+    Relation::new(vec![Var::new(a), Var::new(b)], tuples)
+}
+
+#[test]
+fn repeated_joins_reuse_the_cached_column_index() {
+    let a = box_relation("x", "y", 8, 0);
+    let b = box_relation("y", "z", 8, 1);
+
+    let (b0, _) = column_index_counters();
+    let first = a.join_with(&b, 1);
+    let (b1, r1) = column_index_counters();
+    assert!(b1 > b0, "the first join must build the right-side index");
+
+    let second = a.join_with(&b, 1);
+    let (b2, r2) = column_index_counters();
+    assert_eq!(
+        b2, b1,
+        "the second join over the same relations must rebuild nothing"
+    );
+    assert!(r2 > r1, "the second join must reuse the cached index");
+    assert_eq!(first.to_dnf(), second.to_dnf());
+
+    // Renaming is how rule bodies and query plans address stored relations
+    // under fresh variable names; the alias shares the original's index cache
+    // under stable column names, so the join still rebuilds nothing.
+    let a_alias = a.rename(vec![Var::new("u"), Var::new("v")]);
+    let b_alias = b.rename(vec![Var::new("v"), Var::new("w")]);
+    let (b3, r3) = column_index_counters();
+    let aliased = a_alias.join_with(&b_alias, 1);
+    let (b4, r4) = column_index_counters();
+    assert_eq!(
+        b4, b3,
+        "a renamed alias must reuse the index, not rebuild it"
+    );
+    assert!(r4 > r3, "the aliased join must count as index reuse");
+    assert_eq!(aliased.num_tuples(), first.num_tuples());
+}
+
+/// The interval-chain EDB: `edge = ⋃_i {(x, y) | 3i ≤ x ≤ 3i+1 ∧ 3(i+1) ≤ y ≤
+/// 3(i+1)+1}`.  Boxes chain one step per round (tuple `i`'s `y` envelope meets
+/// only tuple `i+1`'s `x` envelope), so transitive closure takes `n`
+/// productive rounds plus the quiescent one — and every tuple carries
+/// nondegenerate envelopes, so the join's interval index actually engages.
+fn interval_chain(n: i64) -> Instance<DenseOrder> {
+    let tuples = (0..n)
+        .map(|i| {
+            boxed(
+                ("x", "y"),
+                (3 * i, 3 * i + 1),
+                (3 * (i + 1), 3 * (i + 1) + 1),
+            )
+        })
+        .collect();
+    let mut inst = Instance::new(Schema::from_pairs([("edge", 2)]));
+    inst.set(
+        "edge",
+        Relation::new(vec![Var::new("x"), Var::new("y")], tuples),
+    )
+    .unwrap();
+    inst
+}
+
+#[test]
+fn fixpoint_rounds_rebuild_zero_indexes_on_the_unchanged_edb() {
+    // Run transitive closure over two chain lengths.  The longer chain takes
+    // strictly more rounds, each re-joining the *same* EDB relation — so the
+    // number of index builds must not grow with the round count, while the
+    // number of reuses must.
+    let program = transitive_closure_program("edge", "tc");
+    let mut iterations = Vec::new();
+    let mut builds = Vec::new();
+    let mut reuses = Vec::new();
+    for n in [3i64, 7] {
+        let inst = interval_chain(n);
+        let (b0, r0) = column_index_counters();
+        let run = program.run(&inst).unwrap();
+        let (b1, r1) = column_index_counters();
+        iterations.push(run.iterations);
+        builds.push(b1 - b0);
+        reuses.push(r1 - r0);
+    }
+    assert!(
+        iterations[1] > iterations[0],
+        "the longer chain must take more fixpoint rounds ({} vs {})",
+        iterations[1],
+        iterations[0]
+    );
+    assert_eq!(
+        builds[0], builds[1],
+        "extra fixpoint rounds re-joining the unchanged EDB must rebuild zero indexes"
+    );
+    assert!(
+        reuses[1] > reuses[0],
+        "later rounds must reuse the EDB index built in the first joining round"
+    );
+}
+
+#[test]
+fn unrelated_commits_rebuild_zero_indexes_on_requery() {
+    let db: Database<DenseOrder> = Database::new();
+    db.declare("parcels", 2).unwrap();
+    db.declare("zones", 2).unwrap();
+    db.declare("audit", 1).unwrap();
+    db.set_relation("parcels", box_relation("x", "y", 6, 0))
+        .unwrap();
+    db.set_relation("zones", box_relation("x", "y", 6, 1))
+        .unwrap();
+    let rel = |name: &str| Formula::<DenseAtom>::rel(name, [Term::var("x"), Term::var("y")]);
+    db.define_query(
+        "overlap",
+        vec![Var::new("x"), Var::new("y")],
+        Formula::And(vec![rel("parcels"), rel("zones")]),
+    )
+    .unwrap();
+
+    // Warm run: builds the join's column indexes and caches them on the
+    // stored relations.
+    let warm = db.snapshot().eval_query("overlap").unwrap();
+    let (b1, r1) = column_index_counters();
+    assert!(b1 > 0, "the warm run must build at least one column index");
+
+    // A commit touching only an unrelated relation: the stored `parcels` and
+    // `zones` values (and their index caches) ride into the new generation
+    // untouched, so the re-query rebuilds nothing.
+    db.set_relation(
+        "audit",
+        Relation::from_points(vec![Var::new("t")], vec![vec![Rat::from_i64(1)]]),
+    )
+    .unwrap();
+    let again = db.snapshot().eval_query("overlap").unwrap();
+    let (b2, r2) = column_index_counters();
+    assert_eq!(
+        b2, b1,
+        "re-querying after an unrelated commit must rebuild zero indexes"
+    );
+    assert!(r2 > r1, "the re-query must reuse the warm run's indexes");
+    assert_eq!(warm.to_dnf(), again.to_dnf());
+}
