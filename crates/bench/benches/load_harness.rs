@@ -1,7 +1,7 @@
-//! PR 7 load harness: N client threads replaying the catalog and
-//! land-registry workloads against **one** shared `frdb_db::Database`,
-//! mixed read/write, reporting per-operation p50/p99 latency and aggregate
-//! queries/sec into `BENCH_PR7.json`.
+//! Load harness: N client threads replaying the catalog and land-registry
+//! workloads against **one** shared `frdb_db::Database`, mixed read/write,
+//! reporting per-operation p50/p90/p99/p999 latency, aggregate queries/sec,
+//! and a log-bucketed latency histogram per phase into `BENCH_PR9.json`.
 //!
 //! Phases:
 //!
@@ -22,7 +22,7 @@
 //! * `FRDB_LOAD_THREADS` — comma-separated reader thread counts
 //!   (default `1,2,4`).
 //! * `FRDB_LOAD_OPS` — operations per reader thread per phase (default 300).
-//! * `FRDB_LOAD_OUT` — output path (default `BENCH_PR7.json` in the
+//! * `FRDB_LOAD_OUT` — output path (default `BENCH_PR9.json` in the
 //!   workspace root).
 //!
 //! CI runs the smoke configuration `FRDB_LOAD_THREADS=1,2 FRDB_LOAD_OPS=25`.
@@ -31,6 +31,7 @@
 
 use frdb_core::dense::DenseOrder;
 use frdb_core::logic::{Formula, Term, Var};
+use frdb_core::metrics::LatencyHistogram;
 use frdb_core::relation::Relation;
 use frdb_db::Database;
 use frdb_lang::{parse_script, script_theory, Stmt, TheoryKind};
@@ -48,15 +49,21 @@ fn workspace_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
-/// One measured phase: merged per-op latencies plus wall-clock throughput.
+/// One measured phase: merged per-op latencies (exact quantiles from the
+/// sorted samples), wall-clock throughput, and the engine's log-bucketed
+/// histogram over the same samples (the compact `[lo, hi, count]` form the
+/// JSON carries).
 struct Measurement {
     id: String,
     threads: usize,
     total_ops: usize,
     elapsed_s: f64,
     p50_ns: u64,
+    p90_ns: u64,
     p99_ns: u64,
+    p999_ns: u64,
     qps: f64,
+    histogram: Vec<(u64, u64, u64)>,
 }
 
 fn quantile(sorted: &[u64], q: f64) -> u64 {
@@ -68,6 +75,10 @@ fn quantile(sorted: &[u64], q: f64) -> u64 {
 }
 
 fn measure(id: &str, threads: usize, mut latencies: Vec<u64>, elapsed_s: f64) -> Measurement {
+    let hist = LatencyHistogram::default();
+    for &ns in &latencies {
+        hist.record(std::time::Duration::from_nanos(ns));
+    }
     latencies.sort_unstable();
     let total_ops = latencies.len();
     Measurement {
@@ -76,8 +87,11 @@ fn measure(id: &str, threads: usize, mut latencies: Vec<u64>, elapsed_s: f64) ->
         total_ops,
         elapsed_s,
         p50_ns: quantile(&latencies, 0.50),
+        p90_ns: quantile(&latencies, 0.90),
         p99_ns: quantile(&latencies, 0.99),
+        p999_ns: quantile(&latencies, 0.999),
         qps: total_ops as f64 / elapsed_s,
+        histogram: hist.snapshot().nonzero_buckets(),
     }
 }
 
@@ -229,7 +243,7 @@ fn main() {
         .expect("FRDB_LOAD_OPS: integer");
     let out_path = std::env::var("FRDB_LOAD_OUT")
         .map(PathBuf::from)
-        .unwrap_or_else(|_| workspace_root().join("BENCH_PR7.json"));
+        .unwrap_or_else(|_| workspace_root().join("BENCH_PR9.json"));
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let db: Database<DenseOrder> = Database::new();
@@ -255,10 +269,11 @@ fn main() {
         let (lat, elapsed) = run_readers(&db, &queries, threads, ops);
         let m = measure(&format!("read/{threads}threads"), threads, lat, elapsed);
         println!(
-            "catalog-read {:>2} thread(s): {:>8.0} qps  p50 {:>7} ns  p99 {:>8} ns  ({} ops)",
-            threads, m.qps, m.p50_ns, m.p99_ns, m.total_ops
+            "catalog-read {:>2} thread(s): {:>8.0} qps  p50 {:>7} ns  p90 {:>7} ns  \
+             p99 {:>8} ns  p999 {:>8} ns  ({} ops)",
+            threads, m.qps, m.p50_ns, m.p90_ns, m.p99_ns, m.p999_ns, m.total_ops
         );
-        results.push(("PR7_catalog_read_scaling".into(), m));
+        results.push(("PR9_catalog_read_scaling".into(), m));
     }
 
     // Phase 2: the same readers against a continuously committing writer.
@@ -273,30 +288,41 @@ fn main() {
         );
         let mw = measure(&format!("commit/{threads}readers"), 1, write_lat, elapsed);
         println!(
-            "mixed        {:>2} reader(s): {:>8.0} qps  p50 {:>7} ns  p99 {:>8} ns  \
-             (+{commits} commits at {:>6.0}/s)",
-            threads, mr.qps, mr.p50_ns, mr.p99_ns, mw.qps
+            "mixed        {:>2} reader(s): {:>8.0} qps  p50 {:>7} ns  p90 {:>7} ns  \
+             p99 {:>8} ns  p999 {:>8} ns  (+{commits} commits at {:>6.0}/s)",
+            threads, mr.qps, mr.p50_ns, mr.p90_ns, mr.p99_ns, mr.p999_ns, mw.qps
         );
-        results.push(("PR7_mixed_read_write".into(), mr));
-        results.push(("PR7_mixed_read_write".into(), mw));
+        results.push(("PR9_mixed_read_write".into(), mr));
+        results.push(("PR9_mixed_read_write".into(), mw));
     }
 
     let mut json = String::from("[\n");
     for (i, (group, m)) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
+        let mut buckets = String::new();
+        for (k, (lo, hi, n)) in m.histogram.iter().enumerate() {
+            if k > 0 {
+                buckets.push_str(", ");
+            }
+            write!(buckets, "[{lo}, {hi}, {n}]").expect("write to string");
+        }
         writeln!(
             json,
             "  {{\n    \"group\": \"{group}\",\n    \"id\": \"{id}\",\n    \
              \"threads\": {threads},\n    \"total_ops\": {ops},\n    \
              \"elapsed_s\": {elapsed:.4},\n    \"qps\": {qps:.1},\n    \
-             \"p50_ns\": {p50},\n    \"p99_ns\": {p99},\n    \"cores\": {cores}\n  }}{sep}",
+             \"p50_ns\": {p50},\n    \"p90_ns\": {p90},\n    \"p99_ns\": {p99},\n    \
+             \"p999_ns\": {p999},\n    \"histogram_ns\": [{buckets}],\n    \
+             \"cores\": {cores}\n  }}{sep}",
             id = m.id,
             threads = m.threads,
             ops = m.total_ops,
             elapsed = m.elapsed_s,
             qps = m.qps,
             p50 = m.p50_ns,
+            p90 = m.p90_ns,
             p99 = m.p99_ns,
+            p999 = m.p999_ns,
         )
         .expect("write to string");
     }

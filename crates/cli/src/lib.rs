@@ -19,6 +19,7 @@
 pub use frdb_db::{Database, DbConfig, DbError, FixpointRun, QueryDef, Snapshot};
 
 use frdb_core::dense::DenseOrder;
+use frdb_core::metrics::MetricsSnapshot;
 use frdb_core::relation::Relation;
 use frdb_core::theory::Theory;
 use frdb_lang::TheoryKind;
@@ -103,13 +104,28 @@ impl Session {
     }
 
     /// Parses and executes a script against this session, writing statement
-    /// output (answer relations, check results, and — when the session was
-    /// built with [`DbConfig::timings`] — timings) to `out`.
+    /// output (answer relations, check results) to `out`.  When the session
+    /// was built with [`DbConfig::timings`], timing lines go to stderr.
     ///
     /// # Errors
     /// Returns the first parse or execution error, with its span when known.
     pub fn execute_source(&mut self, src: &str, out: &mut dyn Write) -> Result<(), CliError> {
         with_db!(self, db => db.execute_source(src, out))
+    }
+
+    /// A point-in-time snapshot of the session's metrics registry (operation
+    /// counters, join-strategy tallies, latency histograms, plan-cache
+    /// counters).
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        with_db!(self, db => db.metrics())
+    }
+
+    /// The session's metrics as a JSON document — what the CLI's
+    /// `--metrics-out <file.json>` flag writes.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.metrics().to_json()
     }
 }
 

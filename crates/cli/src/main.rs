@@ -16,13 +16,16 @@ const USAGE: &str = "\
 frdb-cli — finitely representable databases, from text
 
 USAGE:
-  frdb-cli [--timings] [SCRIPT.frdb ...]   execute scripts in order
+  frdb-cli [OPTIONS] [SCRIPT.frdb ...]     execute scripts in order
                                            (non-zero exit on error)
-  frdb-cli [--timings]                     start an interactive session
+  frdb-cli [OPTIONS]                       start an interactive session
 
 OPTIONS:
-  --timings   print wall-clock timing lines after run/check/fixpoint
-              (off by default, so script output is byte-deterministic)
+  --timings              print wall-clock timing lines (to stderr) after
+                         run/trace/check/fixpoint — stdout stays
+                         byte-deterministic either way
+  --metrics-out <FILE>   after execution, write the engine metrics registry
+                         (counters + latency histograms) as JSON to FILE
 
 A script is a sequence of statements:
   theory dense;                          // or `theory linear` (header, optional)
@@ -32,11 +35,16 @@ A script is a sequence of statements:
   run q;                                 // evaluate and print it
   explain q;                             // print the optimized plan tree with
                                          // estimated + actual cardinalities
+  trace q;                               // evaluate and print the span tree
+                                         // (cardinalities, join strategies,
+                                         // index work; also for programs)
   check forall x. (S(x) -> 0 <= x);      // print a sentence's truth value
   assert exists x. (S(x));               // fail the script when false
   program p { tc(x,y) :- R(x,y). tc(x,y) :- tc(x,z), R(z,y). }
   fixpoint p;                            // run DATALOG¬ to its fixpoint
-  print tc;                              // print a relation";
+  print tc;                              // print a relation
+  stats;                                 // plan-cache + index + join counters
+  metrics;                               // engine metrics registry counters";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,14 +54,22 @@ fn main() -> ExitCode {
     }
     let timings = args.iter().any(|a| a == "--timings");
     args.retain(|a| a != "--timings");
+    let metrics_out = match take_metrics_out(&mut args) {
+        Ok(path) => path,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
     let config = DbConfig {
         timings,
         ..DbConfig::default()
     };
     if args.is_empty() {
-        return repl(&config);
+        return repl(&config, metrics_out.as_deref());
     }
     let stdout = std::io::stdout();
+    let mut last_session = None;
     for path in &args {
         let src = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -77,13 +93,41 @@ fn main() -> ExitCode {
             eprintln!("{}", e.render(path, &src));
             return ExitCode::FAILURE;
         }
+        last_session = Some(session);
+    }
+    if let (Some(file), Some(session)) = (metrics_out.as_deref(), &last_session) {
+        if let Err(code) = write_metrics(file, session) {
+            return code;
+        }
     }
     ExitCode::SUCCESS
 }
 
+/// Extracts `--metrics-out <FILE>` from the argument list, if present.
+fn take_metrics_out(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == "--metrics-out") else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err("--metrics-out requires a file argument".to_string());
+    }
+    let file = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(file))
+}
+
+/// Writes a session's metrics registry as JSON; each script runs in its own
+/// session, so the file reflects the last script executed.
+fn write_metrics(file: &str, session: &Session) -> Result<(), ExitCode> {
+    std::fs::write(file, session.metrics_json()).map_err(|e| {
+        eprintln!("error: cannot write {file}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
 /// The interactive loop: statements accumulate until they parse (so multi-line
 /// input works), `:quit` leaves, `:help` prints the usage text.
-fn repl(config: &DbConfig) -> ExitCode {
+fn repl(config: &DbConfig, metrics_out: Option<&str>) -> ExitCode {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut session: Option<Session> = None;
@@ -105,7 +149,7 @@ fn repl(config: &DbConfig) -> ExitCode {
         }
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
-            Ok(0) => return ExitCode::SUCCESS, // EOF
+            Ok(0) => return finish_repl(&session, metrics_out), // EOF
             Ok(_) => {}
             Err(e) => {
                 eprintln!("error reading input: {e}");
@@ -116,7 +160,7 @@ fn repl(config: &DbConfig) -> ExitCode {
         if buffer.is_empty() {
             match trimmed {
                 "" => continue,
-                ":quit" | ":q" | ":exit" => return ExitCode::SUCCESS,
+                ":quit" | ":q" | ":exit" => return finish_repl(&session, metrics_out),
                 ":help" | ":h" => {
                     println!("{USAGE}");
                     continue;
@@ -167,6 +211,17 @@ fn repl(config: &DbConfig) -> ExitCode {
         }
         buffer.clear();
     }
+}
+
+/// Writes the REPL session's metrics (when `--metrics-out` was given and any
+/// statement ran) before a clean exit.
+fn finish_repl(session: &Option<Session>, metrics_out: Option<&str>) -> ExitCode {
+    if let (Some(file), Some(session)) = (metrics_out, session) {
+        if let Err(code) = write_metrics(file, session) {
+            return code;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// Parses without executing, to classify incomplete vs malformed input;

@@ -178,8 +178,9 @@ fn build_node<T: Theory>(
 }
 
 /// The operator label of a node: leaves print themselves, inner nodes print a
-/// short operator name (their full sub-tree follows as children).
-fn node_label<T: Theory>(plan: &Plan<T>) -> String {
+/// short operator name (their full sub-tree follows as children).  Shared
+/// with the trace renderer so `explain` and `trace` speak one vocabulary.
+pub(super) fn node_label<T: Theory>(plan: &Plan<T>) -> String {
     match &plan.0.node {
         PlanNode::Empty | PlanNode::Universal | PlanNode::Select(_) => plan.to_string(),
         PlanNode::Rename { .. } | PlanNode::Scan { .. } => plan.to_string(),

@@ -44,11 +44,15 @@ pub mod cache;
 pub mod explain;
 pub mod optimize;
 pub mod stats;
+pub mod trace;
 
 pub use cache::{next_generation, PlanCache, PlanCacheStats};
 pub use explain::Explain;
 pub use optimize::{OptLevel, PlanConfig};
 pub use stats::{ColumnStats, RelationStats, Statistics};
+pub use trace::{QueryTrace, TimedTrace};
+
+use trace::TraceProbe;
 
 use crate::logic::{Formula, Term, Var};
 use crate::relation::{
@@ -1080,7 +1084,40 @@ impl<T: Theory> CompiledQuery<T> {
     pub fn eval(&self, instance: &Instance<T>) -> Result<Relation<T>, EvalError> {
         let mut memo: HashMap<usize, Factored<T>> = HashMap::new();
         let mut reports: HashMap<usize, JoinReport> = HashMap::new();
-        self.eval_with_memo(instance, &mut memo, &mut reports)
+        self.eval_with_memo(instance, &mut memo, &mut reports, &mut TraceProbe::Off)
+    }
+
+    /// Evaluates the plan *and* returns the [`QueryTrace`] span tree: per
+    /// plan node, the output cardinality and factorized part count, the join
+    /// strategy with its candidate-pair pruning ratio, the column-index
+    /// builds/reuses the node's own joins performed, and the inclusive wall
+    /// time.  The trace's default rendering is deterministic at any thread
+    /// count; wall times surface only through [`QueryTrace::timed`].
+    ///
+    /// # Errors
+    /// As for [`CompiledQuery::eval`].
+    pub fn eval_traced(
+        &self,
+        instance: &Instance<T>,
+    ) -> Result<(Relation<T>, QueryTrace), EvalError> {
+        let mut memo: HashMap<usize, Factored<T>> = HashMap::new();
+        let mut reports: HashMap<usize, JoinReport> = HashMap::new();
+        let mut probe = TraceProbe::On(trace::TraceData::default());
+        let start = std::time::Instant::now();
+        let answer = self.eval_with_memo(instance, &mut memo, &mut reports, &mut probe)?;
+        let total = start.elapsed();
+        let TraceProbe::On(data) = probe else {
+            unreachable!("probe constructed on");
+        };
+        let trace = QueryTrace::build(
+            &self.plan,
+            &memo,
+            &reports,
+            &data,
+            self.config.threads,
+            total,
+        );
+        Ok((answer, trace))
     }
 
     /// Evaluates the plan *and* returns the [`Explain`] tree: the operator
@@ -1097,7 +1134,8 @@ impl<T: Theory> CompiledQuery<T> {
     ) -> Result<(Relation<T>, Explain), EvalError> {
         let mut memo: HashMap<usize, Factored<T>> = HashMap::new();
         let mut reports: HashMap<usize, JoinReport> = HashMap::new();
-        let answer = self.eval_with_memo(instance, &mut memo, &mut reports)?;
+        let answer =
+            self.eval_with_memo(instance, &mut memo, &mut reports, &mut TraceProbe::Off)?;
         let statistics = Statistics::collect_only(instance, self.rels.iter().map(|(n, _)| n));
         let explain = Explain::build(&self.plan, &statistics, &memo, &reports);
         Ok((answer, explain))
@@ -1108,6 +1146,7 @@ impl<T: Theory> CompiledQuery<T> {
         instance: &Instance<T>,
         memo: &mut HashMap<usize, Factored<T>>,
         reports: &mut HashMap<usize, JoinReport>,
+        probe: &mut TraceProbe,
     ) -> Result<Relation<T>, EvalError> {
         if let Some(v) = &self.dup_free {
             return Err(EvalError::DuplicateAnswerVariable {
@@ -1125,7 +1164,7 @@ impl<T: Theory> CompiledQuery<T> {
         for (name, arity) in &self.rels {
             fetch(instance, name, *arity)?;
         }
-        let answer = eval_plan(&self.plan, instance, memo, reports, self.config)?.merged();
+        let answer = eval_plan(&self.plan, instance, memo, reports, self.config, probe)?.merged();
         // Deferred absorption means the factorized evaluator can discover
         // the final tuples in a different order than the eager one; the plan
         // boundary sorts canonically so answers are bit-identical across
@@ -1270,11 +1309,15 @@ fn eval_plan<T: Theory>(
     memo: &mut HashMap<usize, Factored<T>>,
     reports: &mut HashMap<usize, JoinReport>,
     config: PlanConfig,
+    probe: &mut TraceProbe,
 ) -> Result<Factored<T>, EvalError> {
     let key = Arc::as_ptr(&plan.0) as usize;
     if let Some(cached) = memo.get(&key) {
         return Ok(cached.clone());
     }
+    // One branch when tracing is off — the no-op probe costs nothing per
+    // node beyond this discriminant check.
+    let span = probe.begin();
     let cols = plan.cols().to_vec();
     let threads = config.threads;
     let result = match &plan.0.node {
@@ -1312,7 +1355,8 @@ fn eval_plan<T: Theory>(
             Factored::single(Relation::simplified_unchecked(cols, tuples))
         }
         PlanNode::Join(children) => {
-            let joined = eval_join_fold(children, &[], instance, memo, reports, key, config)?;
+            let joined =
+                eval_join_fold(children, &[], instance, memo, reports, key, config, probe)?;
             match joined {
                 None => Factored::empty(cols),
                 Some(f) => f.with_columns(cols),
@@ -1325,7 +1369,7 @@ fn eval_plan<T: Theory>(
             // behavior.
             let mut parts: Vec<Relation<T>> = Vec::new();
             for child in children {
-                let f = eval_plan(child, instance, memo, reports, config)?;
+                let f = eval_plan(child, instance, memo, reports, config, probe)?;
                 for part in f.parts {
                     if part.is_empty() {
                         continue;
@@ -1345,7 +1389,7 @@ fn eval_plan<T: Theory>(
             }
         }
         PlanNode::Complement(input) => {
-            let f = eval_plan(input, instance, memo, reports, config)?;
+            let f = eval_plan(input, instance, memo, reports, config, probe)?;
             if f.parts.is_empty() {
                 // Complement of the empty relation — the universal negation
                 // path of the eager evaluator.
@@ -1388,13 +1432,16 @@ fn eval_plan<T: Theory>(
                 // join's report stays keyed on the fused join node.
                 let join_key = Arc::as_ptr(&input.0) as usize;
                 match eval_join_fold(
-                    children, eliminate, instance, memo, reports, join_key, config,
+                    children, eliminate, instance, memo, reports, join_key, config, probe,
                 )? {
-                    None => return finish(memo, key, Factored::empty(cols)),
+                    None => {
+                        probe.end(key, span);
+                        return finish(memo, key, Factored::empty(cols));
+                    }
                     Some(f) => f,
                 }
             } else {
-                eval_plan(input, instance, memo, reports, config)?
+                eval_plan(input, instance, memo, reports, config, probe)?
             };
             // ∃ distributes over ∨: eliminate per part and defer the
             // cross-part absorption a merge would run.
@@ -1419,6 +1466,7 @@ fn eval_plan<T: Theory>(
             }
         }
     };
+    probe.end(key, span);
     finish(memo, key, result)
 }
 
@@ -1438,6 +1486,7 @@ fn eval_join_fold<T: Theory>(
     reports: &mut HashMap<usize, JoinReport>,
     report_key: usize,
     config: PlanConfig,
+    probe: &mut TraceProbe,
 ) -> Result<Option<Factored<T>>, EvalError> {
     let threads = config.threads;
     // Aggregate the fold's pairwise join reports onto the join node, so
@@ -1451,7 +1500,7 @@ fn eval_join_fold<T: Theory>(
     };
     let mut acc: Option<Vec<Relation<T>>> = None;
     for (i, child) in children.iter().enumerate() {
-        let f = eval_plan(child, instance, memo, reports, config)?;
+        let f = eval_plan(child, instance, memo, reports, config, probe)?;
         let child_cols = f.cols.clone();
         let next: Vec<Relation<T>> = f.parts.into_iter().filter(|p| !p.is_empty()).collect();
         let mut joined: Vec<Relation<T>> = match acc {
@@ -1461,8 +1510,10 @@ fn eval_join_fold<T: Theory>(
                     // Joining with an empty operand annihilates; still run
                     // the (trivial) join so the strategy report matches the
                     // eager evaluator's.
+                    let idx = probe.index_base();
                     let (_, step) =
                         merge_parts(prev).join_with_report(&Relation::empty(child_cols), threads);
+                    probe.add_index_delta(report_key, idx);
                     match &mut report {
                         None => report = Some(step),
                         Some(r) => r.absorb(&step),
@@ -1485,7 +1536,9 @@ fn eval_join_fold<T: Theory>(
                     let mut out = Vec::new();
                     for a in &lhs {
                         for b in &rhs {
+                            let idx = probe.index_base();
                             let (j, step) = a.join_with_report(b, threads);
+                            probe.add_index_delta(report_key, idx);
                             match &mut report {
                                 None => report = Some(step),
                                 Some(r) => r.absorb(&step),

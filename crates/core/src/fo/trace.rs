@@ -1,0 +1,364 @@
+//! End-to-end query tracing: a deterministic span tree mirroring the
+//! (hash-consed) plan DAG, produced by [`super::CompiledQuery::eval_traced`].
+//!
+//! The evaluator threads a [`TraceProbe`] through [`super::eval_plan`]; when
+//! the probe is off — every path except `eval_traced` — the per-node cost is
+//! a single enum-discriminant branch, so tracing compiles to zero work on the
+//! hot paths (pinned by the factorized/join-index benches).  When on, the
+//! probe records, per plan node, the **inclusive** wall time of the node's
+//! evaluation, and per *join* node the column-index builds/reuses its own
+//! pairwise joins performed (bracketed tightly around the join calls, so
+//! child evaluation is excluded).
+//!
+//! The resulting [`QueryTrace`] has two renderings:
+//!
+//! * [`fmt::Display`] — the deterministic form: tree shape, output
+//!   cardinalities and factorized part counts, join strategies with their
+//!   candidate-pair pruning ratios, and index build/reuse counts.  Every
+//!   quantity is **invariant under the evaluator's thread count** (parallel
+//!   joins merge bit-identically, and index decisions happen on the
+//!   coordinating thread before workers spawn), so `trace` transcripts are
+//!   golden-testable at any thread count.
+//! * [`QueryTrace::timed`] — the same tree annotated with per-span wall time
+//!   and the configured worker budget; machine- and run-dependent, rendered
+//!   only under the CLI's `--timings` flag (to stderr).
+
+use super::{Factored, Plan, PlanNode};
+use crate::relation::{column_index_counters, JoinReport};
+use crate::theory::Theory;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-node measurements collected by an active probe, keyed by plan-node
+/// identity (the hash-consed `Arc` address, like the evaluator's memo).
+#[derive(Debug, Default)]
+pub(super) struct TraceData {
+    /// Inclusive wall time of each node's evaluation (children included;
+    /// memoized re-visits add nothing).
+    timings: HashMap<usize, Duration>,
+    /// Column-index `(builds, reuses)` performed by a join node's own
+    /// pairwise joins (children excluded).
+    index_deltas: HashMap<usize, (u64, u64)>,
+}
+
+/// The evaluator's tracing hook: off everywhere except
+/// [`super::CompiledQuery::eval_traced`].
+#[derive(Debug)]
+pub(super) enum TraceProbe {
+    /// No tracing: every probe call is a single branch.
+    Off,
+    /// Tracing: record spans and index deltas into the carried data.
+    On(TraceData),
+}
+
+impl TraceProbe {
+    /// Starts a span when tracing is on: the wall clock only.
+    #[inline]
+    pub(super) fn begin(&self) -> Option<Instant> {
+        match self {
+            TraceProbe::Off => None,
+            TraceProbe::On(_) => Some(Instant::now()),
+        }
+    }
+
+    /// Ends a span started by [`TraceProbe::begin`].
+    #[inline]
+    pub(super) fn end(&mut self, key: usize, started: Option<Instant>) {
+        if let (TraceProbe::On(data), Some(start)) = (self, started) {
+            data.timings.insert(key, start.elapsed());
+        }
+    }
+
+    /// The current column-index counters when tracing is on — the "before"
+    /// snapshot of a tight bracket around one join call.
+    #[inline]
+    pub(super) fn index_base(&self) -> Option<(u64, u64)> {
+        match self {
+            TraceProbe::Off => None,
+            TraceProbe::On(_) => Some(column_index_counters()),
+        }
+    }
+
+    /// Accumulates the index builds/reuses since `base` onto the join node
+    /// `key` (index work happens on the coordinating thread, so thread-local
+    /// counters see all of it at any worker count).
+    #[inline]
+    pub(super) fn add_index_delta(&mut self, key: usize, base: Option<(u64, u64)>) {
+        if let (TraceProbe::On(data), Some((b0, r0))) = (self, base) {
+            let (b1, r1) = column_index_counters();
+            let entry = data.index_deltas.entry(key).or_insert((0, 0));
+            entry.0 += b1.saturating_sub(b0);
+            entry.1 += r1.saturating_sub(r0);
+        }
+    }
+}
+
+/// One span of the trace tree.
+#[derive(Clone, Debug)]
+struct TraceNode {
+    /// Operator label (same vocabulary as `EXPLAIN`).
+    label: String,
+    /// Output generalized-tuple count and factorized part count, when the
+    /// evaluator produced the node.
+    output: Option<(usize, usize)>,
+    /// Join strategy and candidate-pair pruning ratio; join nodes only.
+    strategy: Option<JoinReport>,
+    /// Column indexes `(built, reused)` by this join's own pairwise joins.
+    index_delta: Option<(u64, u64)>,
+    /// Inclusive span wall time (children included); `None` when the node was
+    /// never evaluated (pruned by early annihilation).
+    elapsed: Option<Duration>,
+    /// Sharing marker: `Some(id)` when the node has several parents.
+    shared: Option<usize>,
+    /// Whether this is a repeat visit to a shared node (children elided).
+    repeat: bool,
+    children: Vec<TraceNode>,
+}
+
+/// A deterministic span tree of one traced query evaluation.
+///
+/// Displayed without timings (byte-stable at any thread count); see
+/// [`QueryTrace::timed`] for the wall-clock-annotated form.
+#[derive(Clone, Debug)]
+pub struct QueryTrace {
+    root: TraceNode,
+    /// The evaluator's configured worker-thread budget.
+    threads: usize,
+    /// End-to-end evaluation time (plan walk + boundary merge/sort).
+    total: Duration,
+}
+
+impl QueryTrace {
+    pub(super) fn build<T: Theory>(
+        plan: &Plan<T>,
+        actuals: &HashMap<usize, Factored<T>>,
+        reports: &HashMap<usize, JoinReport>,
+        data: &TraceData,
+        threads: usize,
+        total: Duration,
+    ) -> QueryTrace {
+        let mut refs: HashMap<usize, usize> = HashMap::new();
+        count_refs(plan, &mut refs, true);
+        let mut ids: HashMap<usize, usize> = HashMap::new();
+        let mut next_id = 1usize;
+        let root = build_node(plan, actuals, reports, data, &refs, &mut ids, &mut next_id);
+        QueryTrace {
+            root,
+            threads,
+            total,
+        }
+    }
+
+    /// The evaluator's configured worker-thread budget.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// End-to-end evaluation wall time.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// The wall-clock-annotated rendering: every span line gains its
+    /// inclusive time, and a header reports the total and the worker budget.
+    /// Machine-dependent — keep it out of golden transcripts.
+    #[must_use]
+    pub fn timed(&self) -> TimedTrace<'_> {
+        TimedTrace { trace: self }
+    }
+}
+
+fn count_refs<T: Theory>(plan: &Plan<T>, refs: &mut HashMap<usize, usize>, root: bool) {
+    let key = Arc::as_ptr(&plan.0) as usize;
+    let n = refs.entry(key).or_insert(0);
+    *n += 1;
+    if *n > 1 && !root {
+        return;
+    }
+    match &plan.0.node {
+        PlanNode::Empty
+        | PlanNode::Universal
+        | PlanNode::Select(_)
+        | PlanNode::Rename { .. }
+        | PlanNode::Scan { .. } => {}
+        PlanNode::Join(children) | PlanNode::Union(children) => {
+            for c in children {
+                count_refs(c, refs, false);
+            }
+        }
+        PlanNode::Complement(p) => count_refs(p, refs, false),
+        PlanNode::Project { input, .. } => count_refs(input, refs, false),
+    }
+}
+
+fn build_node<T: Theory>(
+    plan: &Plan<T>,
+    actuals: &HashMap<usize, Factored<T>>,
+    reports: &HashMap<usize, JoinReport>,
+    data: &TraceData,
+    refs: &HashMap<usize, usize>,
+    ids: &mut HashMap<usize, usize>,
+    next_id: &mut usize,
+) -> TraceNode {
+    let key = Arc::as_ptr(&plan.0) as usize;
+    let output = actuals.get(&key).map(|f| (f.num_tuples(), f.num_parts()));
+    let strategy = match &plan.0.node {
+        PlanNode::Join(_) => reports.get(&key).copied(),
+        _ => None,
+    };
+    let index_delta = data.index_deltas.get(&key).copied();
+    let elapsed = data.timings.get(&key).copied();
+    let multi = refs.get(&key).copied().unwrap_or(0) > 1;
+    if multi {
+        if let Some(&id) = ids.get(&key) {
+            return TraceNode {
+                label: super::explain::node_label(plan),
+                output,
+                strategy,
+                index_delta,
+                elapsed,
+                shared: Some(id),
+                repeat: true,
+                children: Vec::new(),
+            };
+        }
+        ids.insert(key, *next_id);
+        *next_id += 1;
+    }
+    let shared = ids.get(&key).copied();
+    let children = match &plan.0.node {
+        PlanNode::Empty
+        | PlanNode::Universal
+        | PlanNode::Select(_)
+        | PlanNode::Rename { .. }
+        | PlanNode::Scan { .. } => Vec::new(),
+        PlanNode::Join(cs) | PlanNode::Union(cs) => cs
+            .iter()
+            .map(|c| build_node(c, actuals, reports, data, refs, ids, next_id))
+            .collect(),
+        PlanNode::Complement(p) => vec![build_node(p, actuals, reports, data, refs, ids, next_id)],
+        PlanNode::Project { input, .. } => {
+            vec![build_node(
+                input, actuals, reports, data, refs, ids, next_id,
+            )]
+        }
+    };
+    TraceNode {
+        label: super::explain::node_label(plan),
+        output,
+        strategy,
+        index_delta,
+        elapsed,
+        shared,
+        repeat: false,
+        children,
+    }
+}
+
+/// The deterministic span annotations: output size, parts, strategy, index
+/// work — everything except wall time.
+fn line(node: &TraceNode, f: &mut fmt::Formatter<'_>, timed: bool) -> fmt::Result {
+    write!(f, "{}", node.label)?;
+    if let Some(id) = node.shared {
+        if node.repeat {
+            write!(f, "  #{id} (shared, evaluated once)")?;
+            return Ok(());
+        }
+        write!(f, "  #{id}")?;
+    }
+    write!(f, "  [")?;
+    // Input cardinality: the sum of the direct children's outputs (what the
+    // operator actually consumed), inner nodes only.
+    if !node.children.is_empty() {
+        let known: Vec<usize> = node
+            .children
+            .iter()
+            .filter_map(|c| c.output.map(|(n, _)| n))
+            .collect();
+        if known.len() == node.children.len() {
+            write!(f, "in={}, ", known.iter().sum::<usize>())?;
+        }
+    }
+    match node.output {
+        Some((n, parts)) if parts > 1 => write!(f, "out={n} in {parts} parts")?,
+        Some((n, _)) => write!(f, "out={n}")?,
+        None => write!(f, "out=-")?,
+    }
+    if let Some(report) = &node.strategy {
+        write!(f, ", {report}")?;
+    }
+    if let Some((builds, reuses)) = node.index_delta {
+        write!(f, ", idx {builds} built/{reuses} reused")?;
+    }
+    if timed {
+        if let Some(elapsed) = node.elapsed {
+            write!(f, ", {:.2} ms", elapsed.as_secs_f64() * 1e3)?;
+        }
+    }
+    write!(f, "]")
+}
+
+fn walk(
+    node: &TraceNode,
+    prefix: &str,
+    is_last: bool,
+    is_root: bool,
+    timed: bool,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    if is_root {
+        line(node, f, timed)?;
+        writeln!(f)?;
+    } else {
+        let branch = if is_last { "└─ " } else { "├─ " };
+        write!(f, "{prefix}{branch}")?;
+        line(node, f, timed)?;
+        writeln!(f)?;
+    }
+    let child_prefix = if is_root {
+        String::new()
+    } else if is_last {
+        format!("{prefix}   ")
+    } else {
+        format!("{prefix}│  ")
+    };
+    for (i, c) in node.children.iter().enumerate() {
+        walk(
+            c,
+            &child_prefix,
+            i + 1 == node.children.len(),
+            false,
+            timed,
+            f,
+        )?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for QueryTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        walk(&self.root, "", true, true, false, f)
+    }
+}
+
+/// The wall-clock-annotated rendering of a [`QueryTrace`] (see
+/// [`QueryTrace::timed`]).
+pub struct TimedTrace<'a> {
+    trace: &'a QueryTrace,
+}
+
+impl fmt::Display for TimedTrace<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "-- total {:.2} ms, {} worker thread(s) budgeted",
+            self.trace.total.as_secs_f64() * 1e3,
+            self.trace.threads
+        )?;
+        walk(&self.trace.root, "", true, true, true, f)
+    }
+}

@@ -68,6 +68,7 @@ pub mod fo;
 pub mod generic;
 pub mod intern;
 pub mod logic;
+pub mod metrics;
 pub mod normal;
 pub mod pointctx;
 pub mod relation;

@@ -12,6 +12,7 @@
 //! direct formula evaluation (Proposition 2.4).
 
 use crate::logic::{Formula, Term, Var};
+use crate::metrics::JoinStrategyCounts;
 use crate::schema::{RelName, Schema, SchemaError};
 use crate::theory::{eval_conj, Atom, Conj, Dnf, Theory};
 use frdb_num::Rat;
@@ -568,6 +569,11 @@ thread_local! {
     static INDEX_BUILDS: Cell<u64> = const { Cell::new(0) };
     /// Column index cache hits on this thread.
     static INDEX_REUSES: Cell<u64> = const { Cell::new(0) };
+    /// Joins resolved per strategy on this thread, indexed as pin-hash /
+    /// index-sweep / box-sweep / scan / mixed.  The strategy is decided on
+    /// the coordinating thread after worker counters merge, so the tallies
+    /// are complete (and thread-count invariant) however wide the join ran.
+    static JOIN_STRATEGIES: Cell<[u64; 5]> = const { Cell::new([0; 5]) };
 }
 
 /// This thread's cumulative `(built, reused)` column-index counters.
@@ -582,6 +588,41 @@ thread_local! {
 #[must_use]
 pub fn column_index_counters() -> (u64, u64) {
     (INDEX_BUILDS.with(Cell::get), INDEX_REUSES.with(Cell::get))
+}
+
+/// This thread's cumulative per-strategy join tallies: one count per
+/// [`JoinStrategy`] a [`Relation::join_with_report`] run resolved to.
+///
+/// Like [`column_index_counters`], the tallies are thread-local (the strategy
+/// is recorded on the coordinating thread, so parallel joins count exactly
+/// once) and cumulative — callers wanting a window take two snapshots and
+/// diff with [`JoinStrategyCounts::since`].
+#[must_use]
+pub fn join_strategy_counters() -> JoinStrategyCounts {
+    let [pin_hash, index_sweep, box_sweep, scan, mixed] = JOIN_STRATEGIES.with(Cell::get);
+    JoinStrategyCounts {
+        pin_hash,
+        index_sweep,
+        box_sweep,
+        scan,
+        mixed,
+    }
+}
+
+/// Bumps this thread's tally for one resolved join strategy.
+fn record_join_strategy(strategy: JoinStrategy) {
+    let slot = match strategy {
+        JoinStrategy::PinHash => 0,
+        JoinStrategy::IndexSweep => 1,
+        JoinStrategy::BoxSweep => 2,
+        JoinStrategy::Scan => 3,
+        JoinStrategy::Mixed => 4,
+    };
+    JOIN_STRATEGIES.with(|c| {
+        let mut counts = c.get();
+        counts[slot] += 1;
+        c.set(counts);
+    });
 }
 
 /// How the join treats one left tuple on the shared bucket column.
@@ -1366,6 +1407,7 @@ impl<T: Theory> Relation<T> {
         } else {
             strategy
         };
+        record_join_strategy(strategy);
         let report = JoinReport {
             strategy,
             candidate_pairs: counters.candidate_pairs,

@@ -536,6 +536,49 @@ pub struct FixpointResult<T: Theory> {
     pub iterations: usize,
 }
 
+/// A per-round account of one fixpoint run (see [`Program::run_traced`]):
+/// how many new tuples each head predicate derived per round, whether the
+/// rule plans were served warm from the process-wide plan cache, and which
+/// engine evaluated.  Rendering is deterministic — counts only, no timings —
+/// so `trace p;` transcripts can be pinned by golden tests.
+#[derive(Clone, Debug)]
+pub struct FixpointTrace {
+    /// Whether the compiled rule plans were already cached for this theory
+    /// before the run (a cold run pays one compile through the plan cache).
+    pub plans_warm: bool,
+    /// Whether the naive engine ran (the `Δ`-name fallback) instead of the
+    /// semi-naive delta engine.
+    pub naive: bool,
+    /// One entry per round: `(head, new tuples derived this round)` for every
+    /// head predicate in name order.  The final round derives nothing — that
+    /// is the convergence test.
+    pub rounds: Vec<Vec<(RelName, usize)>>,
+}
+
+impl fmt::Display for FixpointTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "engine: {}, rule plans: {}",
+            if self.naive { "naive" } else { "semi-naive" },
+            if self.plans_warm { "warm" } else { "cold" },
+        )?;
+        for (i, round) in self.rounds.iter().enumerate() {
+            let grown: Vec<String> = round
+                .iter()
+                .filter(|(_, n)| *n > 0)
+                .map(|(name, n)| format!("{name} +{n}"))
+                .collect();
+            if grown.is_empty() {
+                writeln!(f, "round {}: (no new tuples)", i + 1)?;
+            } else {
+                writeln!(f, "round {}: {}", i + 1, grown.join(", "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
 impl<A: frdb_core::theory::Atom> Program<A> {
     /// Creates an empty program with the default iteration cap.
     #[must_use]
@@ -764,6 +807,36 @@ impl<A: frdb_core::theory::Atom> Program<A> {
         &self,
         edb: &Instance<T>,
     ) -> Result<FixpointResult<T>, DatalogError> {
+        self.run_with(edb, None)
+    }
+
+    /// [`Program::run`] with a per-round trace: the fixpoint result plus a
+    /// [`FixpointTrace`] recording, for every round, how many new tuples each
+    /// head predicate derived, whether the rule plans were already warm in
+    /// the process-wide plan cache, and which engine ran.  The trace renders
+    /// deterministically (no timings), so `trace p;` transcripts are
+    /// golden-testable.
+    ///
+    /// # Errors
+    /// As for [`Program::run`].
+    pub fn run_traced<T: Theory<A = A>>(
+        &self,
+        edb: &Instance<T>,
+    ) -> Result<(FixpointResult<T>, FixpointTrace), DatalogError> {
+        let mut trace = FixpointTrace {
+            plans_warm: self.plans_cached::<T>(),
+            naive: false,
+            rounds: Vec::new(),
+        };
+        let result = self.run_with(edb, Some(&mut trace))?;
+        Ok((result, trace))
+    }
+
+    fn run_with<T: Theory<A = A>>(
+        &self,
+        edb: &Instance<T>,
+        mut trace: Option<&mut FixpointTrace>,
+    ) -> Result<FixpointResult<T>, DatalogError> {
         let idb = self.validated_idb(edb.schema())?;
         // Compiled once per program and theory, reused across `run` calls
         // (the plans re-evaluate against the changing instance every round;
@@ -780,7 +853,10 @@ impl<A: frdb_core::theory::Atom> Program<A> {
                 .iter()
                 .any(|(n, _)| n.as_str().starts_with('Δ'))
         {
-            return self.run_naive(edb);
+            if let Some(t) = trace.as_deref_mut() {
+                t.naive = true;
+            }
+            return self.run_naive_with(edb, trace);
         }
         // Evaluation schema and state: EDB relations, IDB predicates, and
         // their deltas (initially empty, like the IDB itself).
@@ -859,6 +935,13 @@ impl<A: frdb_core::theory::Atom> Program<A> {
                     .expect("initialized for every head")
                     .extend(fresh);
             }
+            if let Some(t) = trace.as_deref_mut() {
+                t.rounds.push(
+                    idb.keys()
+                        .map(|name| (name.clone(), next_delta.get(name).map_or(0, Vec::len)))
+                        .collect(),
+                );
+            }
             idb_state = next_state;
             for (name, rel) in &idb_state {
                 current
@@ -912,6 +995,14 @@ impl<A: frdb_core::theory::Atom> Program<A> {
         &self,
         edb: &Instance<T>,
     ) -> Result<FixpointResult<T>, DatalogError> {
+        self.run_naive_with(edb, None)
+    }
+
+    fn run_naive_with<T: Theory<A = A>>(
+        &self,
+        edb: &Instance<T>,
+        mut trace: Option<&mut FixpointTrace>,
+    ) -> Result<FixpointResult<T>, DatalogError> {
         let idb = self.validated_idb(edb.schema())?;
         // Combined schema and state: EDB relations plus IDB predicates.
         let (mut current, mut idb_state) = seed_state(edb, &idb, false);
@@ -938,6 +1029,20 @@ impl<A: frdb_core::theory::Atom> Program<A> {
                 }
                 changed = true;
                 next_state.insert(rule.head.clone(), existing.union(&delta));
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                // The naive engine has no per-rule deltas; record each head's
+                // tuple-count growth this round (absorption can shrink a
+                // union, hence the saturation).
+                t.rounds.push(
+                    idb.keys()
+                        .map(|name| {
+                            let grown = next_state.get(name).map_or(0, Relation::num_tuples);
+                            let had = idb_state.get(name).map_or(0, Relation::num_tuples);
+                            (name.clone(), grown.saturating_sub(had))
+                        })
+                        .collect(),
+                );
             }
             idb_state = next_state;
             for (name, rel) in &idb_state {

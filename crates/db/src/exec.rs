@@ -8,8 +8,9 @@
 //! generation.
 //!
 //! Wall-clock timing lines are printed only when the database was built with
-//! [`DbConfig::timings`](crate::DbConfig::timings) — off by default, so script
-//! transcripts are byte-deterministic and golden-testable.
+//! [`DbConfig::timings`](crate::DbConfig::timings), and go to **stderr** — the
+//! `out` transcript is byte-deterministic (golden-testable) either way, and
+//! stays pipeable with timings on.
 
 use crate::{Database, DbError};
 use frdb_lang::{parse_script, AtomSyntax, Span, Spanned, Stmt};
@@ -75,17 +76,10 @@ where
             Stmt::Run { name } => {
                 let (answer, elapsed) = self.run_query(name).map_err(|e| e.with_span(span))?;
                 writeln!(out, "{name} = {answer}").map_err(io_err)?;
-                if self.timings() {
-                    writeln!(
-                        out,
-                        "-- {n} generalized tuple(s) in {elapsed}",
-                        n = answer.num_tuples(),
-                        elapsed = ms(elapsed)
-                    )
+                writeln!(out, "-- {n} generalized tuple(s)", n = answer.num_tuples())
                     .map_err(io_err)?;
-                } else {
-                    writeln!(out, "-- {n} generalized tuple(s)", n = answer.num_tuples())
-                        .map_err(io_err)?;
+                if self.timings() {
+                    eprintln!("-- run {name}: {}", ms(elapsed));
                 }
             }
             Stmt::Explain { name } => {
@@ -100,7 +94,7 @@ where
                 let (holds, elapsed) = self.timed_check(formula, span)?;
                 writeln!(out, "check {formula} = {holds}").map_err(io_err)?;
                 if self.timings() {
-                    writeln!(out, "-- {}", ms(elapsed)).map_err(io_err)?;
+                    eprintln!("-- check {formula}: {}", ms(elapsed));
                 }
             }
             Stmt::Assert { formula } => {
@@ -116,21 +110,14 @@ where
             }
             Stmt::Fixpoint { name } => {
                 let run = self.run_fixpoint(name).map_err(|e| e.with_span(span))?;
+                writeln!(
+                    out,
+                    "fixpoint {name}: {iters} iteration(s)",
+                    iters = run.iterations
+                )
+                .map_err(io_err)?;
                 if self.timings() {
-                    writeln!(
-                        out,
-                        "fixpoint {name}: {iters} iteration(s) in {elapsed}",
-                        iters = run.iterations,
-                        elapsed = ms(run.elapsed)
-                    )
-                    .map_err(io_err)?;
-                } else {
-                    writeln!(
-                        out,
-                        "fixpoint {name}: {iters} iteration(s)",
-                        iters = run.iterations
-                    )
-                    .map_err(io_err)?;
+                    eprintln!("-- fixpoint {name}: {}", ms(run.elapsed));
                 }
                 for (rel_name, rel) in &run.heads {
                     writeln!(out, "{rel_name} = {rel}").map_err(io_err)?;
@@ -144,8 +131,37 @@ where
                     .ok_or_else(|| DbError::at(span, format!("unknown relation `{name}`")))?;
                 writeln!(out, "{name} = {rel}").map_err(io_err)?;
             }
+            Stmt::Trace { name } => {
+                let snapshot = self.snapshot();
+                if snapshot.query(name).is_some() {
+                    let (answer, trace) =
+                        snapshot.trace_query(name).map_err(|e| e.with_span(span))?;
+                    writeln!(out, "trace {name}").map_err(io_err)?;
+                    write!(out, "{trace}").map_err(io_err)?;
+                    writeln!(out, "-- {n} generalized tuple(s)", n = answer.num_tuples())
+                        .map_err(io_err)?;
+                    if self.timings() {
+                        eprint!("{}", trace.timed());
+                    }
+                } else if snapshot.program(name).is_some() {
+                    let (iterations, trace) = snapshot
+                        .trace_fixpoint(name)
+                        .map_err(|e| e.with_span(span))?;
+                    writeln!(out, "trace {name}").map_err(io_err)?;
+                    writeln!(out, "fixpoint {name}: {iterations} iteration(s)").map_err(io_err)?;
+                    write!(out, "{trace}").map_err(io_err)?;
+                } else {
+                    return Err(DbError::at(
+                        span,
+                        format!("unknown query or program `{name}`"),
+                    ));
+                }
+            }
             Stmt::Stats => {
                 write!(out, "{}", self.stats_report()).map_err(io_err)?;
+            }
+            Stmt::Metrics => {
+                write!(out, "{}", self.metrics().render_counters()).map_err(io_err)?;
             }
         }
         Ok(())

@@ -54,15 +54,42 @@ mod exec;
 
 pub use error::DbError;
 
-use frdb_core::fo::{next_generation, CompiledQuery, Explain, PlanCache, PlanConfig, Statistics};
+use frdb_core::fo::{
+    next_generation, CompiledQuery, Explain, PlanCache, PlanConfig, QueryTrace, Statistics,
+};
 use frdb_core::logic::{Formula, Var};
-use frdb_core::relation::{Instance, Relation};
+use frdb_core::metrics::{JoinStrategyCounts, MetricsRegistry, MetricsSnapshot};
+use frdb_core::relation::{column_index_counters, join_strategy_counters, Instance, Relation};
 use frdb_core::schema::{RelName, Schema};
 use frdb_core::theory::Theory;
-use frdb_datalog::Program;
+use frdb_datalog::{FixpointTrace, Program};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
+
+/// Runs `f`, measuring its wall time and the column-index / join-strategy
+/// work it performed **on the calling thread** (the engine's counters are
+/// thread-local and the coordinating thread records all index and strategy
+/// work, so the deltas are exact even for parallel joins — and concurrent
+/// readers each attribute exactly their own work).
+fn measured<R>(f: impl FnOnce() -> R) -> (R, Duration, (u64, u64), JoinStrategyCounts) {
+    let (builds0, reuses0) = column_index_counters();
+    let strategies0 = join_strategy_counters();
+    let start = Instant::now();
+    let result = f();
+    let elapsed = start.elapsed();
+    let (builds1, reuses1) = column_index_counters();
+    let index_delta = (
+        builds1.saturating_sub(builds0),
+        reuses1.saturating_sub(reuses0),
+    );
+    (
+        result,
+        elapsed,
+        index_delta,
+        join_strategy_counters().since(&strategies0),
+    )
+}
 
 /// A named query: its declared answer variables, the source formula (the
 /// plan-cache key), and the plan compiled once at definition time.
@@ -164,6 +191,7 @@ pub struct Snapshot<T: Theory> {
     state: Arc<EngineState<T>>,
     cache: Arc<PlanCache>,
     config: PlanConfig,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl<T: Theory> Clone for Snapshot<T> {
@@ -172,6 +200,7 @@ impl<T: Theory> Clone for Snapshot<T> {
             state: Arc::clone(&self.state),
             cache: Arc::clone(&self.cache),
             config: self.config,
+            metrics: Arc::clone(&self.metrics),
         }
     }
 }
@@ -250,9 +279,59 @@ impl<T: Theory> Snapshot<T> {
     /// # Errors
     /// Returns an error if the query is unknown or evaluation fails.
     pub fn eval_query(&self, name: &str) -> Result<Relation<T>, DbError> {
-        self.optimized(name)?
-            .eval(&self.state.instance)
-            .map_err(|e| DbError::new(e.to_string()))
+        let optimized = self.optimized(name)?;
+        let (answer, elapsed, index_delta, strategies) =
+            measured(|| optimized.eval(&self.state.instance));
+        self.metrics
+            .record_query(self.generation(), elapsed, index_delta, &strategies);
+        answer.map_err(|e| DbError::new(e.to_string()))
+    }
+
+    /// Evaluates a named query and returns the answer together with the
+    /// [`QueryTrace`] span tree of the statistics-optimized plan that ran:
+    /// per node, the output cardinality and factorized part count, the join
+    /// strategy with its pruning ratio, index builds/reuses, and wall time.
+    /// The trace's default rendering is deterministic at any thread count
+    /// (timings surface only through [`QueryTrace::timed`]).
+    ///
+    /// # Errors
+    /// As for [`Snapshot::eval_query`].
+    pub fn trace_query(&self, name: &str) -> Result<(Relation<T>, QueryTrace), DbError> {
+        let optimized = self.optimized(name)?;
+        let (traced, elapsed, index_delta, strategies) =
+            measured(|| optimized.eval_traced(&self.state.instance));
+        self.metrics
+            .record_query(self.generation(), elapsed, index_delta, &strategies);
+        traced.map_err(|e| DbError::new(e.to_string()))
+    }
+
+    /// Runs a stored program to its fixpoint against this snapshot **without
+    /// committing anything**, returning the iteration count and the
+    /// per-round [`FixpointTrace`].  Heads materialized by an earlier
+    /// `fixpoint` are stripped from the evaluation EDB first, exactly like
+    /// [`Database::run_fixpoint`] — the trace shows what a fixpoint statement
+    /// would do from this snapshot.
+    ///
+    /// # Errors
+    /// Returns an error if the program is unknown or fails to run.
+    pub fn trace_fixpoint(&self, name: &str) -> Result<(usize, FixpointTrace), DbError> {
+        let program = self
+            .program(name)
+            .ok_or_else(|| DbError::new(format!("unknown program `{name}`")))?;
+        let idb = program
+            .idb_schema()
+            .map_err(|e| DbError::new(e.to_string()))?;
+        let mut edb = self.state.instance.clone();
+        for head in idb.keys() {
+            if self.state.derived.contains(head) {
+                edb.remove(head);
+            }
+        }
+        let (result, elapsed, index_delta, strategies) = measured(|| program.run_traced(&edb));
+        self.metrics
+            .record_fixpoint(elapsed, index_delta, &strategies);
+        let (result, trace) = result.map_err(|e| DbError::new(e.to_string()))?;
+        Ok((result.iterations, trace))
     }
 
     /// Evaluates a named query and returns the answer together with the
@@ -262,9 +341,12 @@ impl<T: Theory> Snapshot<T> {
     /// # Errors
     /// As for [`Snapshot::eval_query`].
     pub fn explain_query(&self, name: &str) -> Result<(Relation<T>, Explain), DbError> {
-        self.optimized(name)?
-            .eval_explained(&self.state.instance)
-            .map_err(|e| DbError::new(e.to_string()))
+        let optimized = self.optimized(name)?;
+        let (result, elapsed, index_delta, strategies) =
+            measured(|| optimized.eval_explained(&self.state.instance));
+        self.metrics
+            .record_query(self.generation(), elapsed, index_delta, &strategies);
+        result.map_err(|e| DbError::new(e.to_string()))
     }
 
     /// Evaluates a sentence (Boolean query) against this snapshot.  The
@@ -276,9 +358,11 @@ impl<T: Theory> Snapshot<T> {
     /// mismatch, or a non-sentence with free variables).
     pub fn check(&self, formula: &Formula<T::A>) -> Result<bool, DbError> {
         let compiled = self.cache.compile::<T>(formula, &[], &self.config);
-        let answer = compiled
-            .eval(&self.state.instance)
-            .map_err(|e| DbError::new(e.to_string()))?;
+        let (answer, elapsed, index_delta, strategies) =
+            measured(|| compiled.eval(&self.state.instance));
+        self.metrics
+            .record_check(self.generation(), elapsed, index_delta, &strategies);
+        let answer = answer.map_err(|e| DbError::new(e.to_string()))?;
         Ok(!answer.is_empty())
     }
 }
@@ -325,10 +409,11 @@ pub struct Database<T: Theory> {
     cache: Arc<PlanCache>,
     plan_config: PlanConfig,
     timings: bool,
-    /// The thread-local column-index counters at construction time, so a
-    /// `stats;` statement reports only the builds/reuses this database (well,
-    /// this thread) caused since it was opened.
-    index_baseline: (u64, u64),
+    /// This database's metrics registry.  Every operation brackets its
+    /// evaluation with the engine's thread-local counters and folds the
+    /// deltas in here, so the registry accounts exactly this database's work
+    /// — no construction-time counter baselines needed.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl<T: Theory> Default for Database<T> {
@@ -356,33 +441,59 @@ impl<T: Theory> Database<T> {
                 .unwrap_or_else(|| Arc::clone(PlanCache::global())),
             plan_config: config.plan_config,
             timings: config.timings,
-            index_baseline: frdb_core::relation::column_index_counters(),
+            metrics: Arc::new(MetricsRegistry::default()),
         }
     }
 
-    /// A deterministic, golden-testable account of the session's cache work:
-    /// the plan cache's hit/miss/eviction counters and the column-index
-    /// build/reuse counters (relative to this database's construction, on the
-    /// calling thread).  Printed by the `stats;` script statement.
+    /// A deterministic, golden-testable account of the session's cache and
+    /// evaluation work: the plan cache's hit/miss/eviction counters, the
+    /// column-index build/reuse totals, and the per-strategy join breakdown —
+    /// all sourced from this database's metrics registry.  Printed by the
+    /// `stats;` script statement.
     #[must_use]
     pub fn stats_report(&self) -> String {
         let plan = self.cache.stats();
-        let (builds, reuses) = frdb_core::relation::column_index_counters();
-        let (base_builds, base_reuses) = self.index_baseline;
+        let metrics = self.metrics.snapshot();
+        let joins = &metrics.join_strategies;
         format!(
             "plan cache: compile {ch} hit(s) / {cm} miss(es); \
              reoptimize {rh} hit(s) / {rm} miss(es); \
              {oi} optimizer run(s); {ev} eviction(s)\n\
-             column indexes: {b} built, {r} reused\n",
+             column indexes: {b} built, {r} reused\n\
+             join strategies: {ph} pin-hash, {iw} index-sweep, {bs} box-sweep, \
+             {sc} scan, {mx} mixed\n",
             ch = plan.compile_hits,
             cm = plan.compile_misses,
             rh = plan.reoptimize_hits,
             rm = plan.reoptimize_misses,
             oi = plan.optimizer_invocations,
             ev = plan.evictions,
-            b = builds.saturating_sub(base_builds),
-            r = reuses.saturating_sub(base_reuses),
+            b = metrics.index_builds,
+            r = metrics.index_reuses,
+            ph = joins.pin_hash,
+            iw = joins.index_sweep,
+            bs = joins.box_sweep,
+            sc = joins.scan,
+            mx = joins.mixed,
         )
+    }
+
+    /// A point-in-time snapshot of this database's metrics registry —
+    /// operation counters, join-strategy and column-index tallies, and the
+    /// query/commit/fixpoint latency histograms — with the plan cache's
+    /// counters attached.  Exportable as JSON via
+    /// [`MetricsSnapshot::to_json`] (the CLI's `--metrics-out` flag).
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snapshot = self.metrics.snapshot();
+        let plan = self.cache.stats();
+        snapshot.plan_cache = Some((
+            plan.compile_hits,
+            plan.compile_misses,
+            plan.reoptimize_hits,
+            plan.reoptimize_misses,
+        ));
+        snapshot
     }
 
     /// The plan cache this database compiles through.
@@ -418,10 +529,12 @@ impl<T: Theory> Database<T> {
     /// writers and stays valid (and unchanged) for as long as it is held.
     #[must_use]
     pub fn snapshot(&self) -> Snapshot<T> {
+        self.metrics.record_snapshot();
         Snapshot {
             state: self.current(),
             cache: Arc::clone(&self.cache),
             config: self.plan_config,
+            metrics: Arc::clone(&self.metrics),
         }
     }
 
@@ -434,10 +547,12 @@ impl<T: Theory> Database<T> {
         mutate: impl FnOnce(&mut EngineState<T>) -> Result<R, DbError>,
     ) -> Result<R, DbError> {
         let _writer = self.commit.lock().expect("commit lock poisoned");
+        let start = Instant::now();
         let mut work = self.current().working();
         let result = mutate(&mut work)?;
         work.generation = next_generation();
         *self.state.write().expect("state lock poisoned") = Arc::new(work);
+        self.metrics.record_commit(start.elapsed());
         Ok(result)
     }
 
@@ -526,6 +641,7 @@ impl<T: Theory> Database<T> {
     pub fn run_query(&self, name: &str) -> Result<(Relation<T>, Duration), DbError> {
         let cache = &self.cache;
         let config = self.plan_config;
+        let metrics = &self.metrics;
         self.commit_with(|work| {
             let query = work
                 .queries
@@ -539,7 +655,6 @@ impl<T: Theory> Database<T> {
                      already exists (rename the query)"
                 )));
             }
-            let start = Instant::now();
             // The statistics-reoptimized plan for this generation, shared
             // through the cache (scoped statistics: only the relations this
             // query reads are scanned) — `explain` shows exactly this plan.
@@ -555,10 +670,10 @@ impl<T: Theory> Database<T> {
                     )
                 },
             );
-            let answer = optimized
-                .eval(&work.instance)
-                .map_err(|e| DbError::new(e.to_string()))?;
-            let elapsed = start.elapsed();
+            let (answer, elapsed, index_delta, strategies) =
+                measured(|| optimized.eval(&work.instance));
+            metrics.record_query(work.generation, elapsed, index_delta, &strategies);
+            let answer = answer.map_err(|e| DbError::new(e.to_string()))?;
             // Only now that evaluation succeeded: a previous materialization
             // at a different arity (the query was redefined in between) is
             // stale; drop it so re-declaring below cannot fail.  A failed run
@@ -589,6 +704,7 @@ impl<T: Theory> Database<T> {
     /// # Errors
     /// Returns an error if the program is unknown or fails to run.
     pub fn run_fixpoint(&self, name: &str) -> Result<FixpointRun<T>, DbError> {
+        let metrics = &self.metrics;
         self.commit_with(|work| {
             let program = work
                 .programs
@@ -603,9 +719,9 @@ impl<T: Theory> Database<T> {
                     edb.remove(head);
                 }
             }
-            let start = Instant::now();
-            let result = program.run(&edb).map_err(|e| DbError::new(e.to_string()))?;
-            let elapsed = start.elapsed();
+            let (result, elapsed, index_delta, strategies) = measured(|| program.run(&edb));
+            metrics.record_fixpoint(elapsed, index_delta, &strategies);
+            let result = result.map_err(|e| DbError::new(e.to_string()))?;
             let heads: Vec<(RelName, Relation<T>)> = idb
                 .keys()
                 .filter_map(|head| result.instance.get(head).map(|rel| (head.clone(), rel)))

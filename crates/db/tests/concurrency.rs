@@ -232,3 +232,109 @@ fn concurrent_warm_readers_share_one_plan() {
     );
     assert_eq!(after.reoptimize_hits, warm.reoptimize_hits + 32);
 }
+
+/// Fields of a [`frdb_core::metrics::MetricsSnapshot`] that must never
+/// decrease between two observations of one database.
+fn monotone_fields(snap: &frdb_core::metrics::MetricsSnapshot) -> [u64; 12] {
+    [
+        snap.queries,
+        snap.checks,
+        snap.commits,
+        snap.snapshots,
+        snap.fixpoints,
+        snap.index_builds,
+        snap.index_reuses,
+        snap.join_strategies.total(),
+        snap.query_latency.count,
+        snap.commit_latency.count,
+        snap.fixpoint_latency.count,
+        snap.reads_by_generation.iter().map(|&(_, n)| n).sum(),
+    ]
+}
+
+/// Metrics snapshots taken while readers evaluate and a writer commits are
+/// monotone: every counter and histogram sample count only grows, and the
+/// final snapshot accounts for all of the work the threads performed.
+#[test]
+fn metrics_snapshots_are_monotone_under_concurrent_readers_and_writer() {
+    const WRITES: usize = 20;
+    const READERS: usize = 3;
+    let db: Database<DenseOrder> = Database::with_config(DbConfig {
+        plan_cache: Some(Arc::new(PlanCache::new())),
+        ..DbConfig::default()
+    });
+    db.declare("R", 1).unwrap();
+    db.define_query(
+        "all",
+        vec![Var::new("x")],
+        Formula::<DenseAtom>::rel("R", [Term::var("x")]),
+    )
+    .unwrap();
+    let commits_before = db.metrics().commits;
+    let done = AtomicBool::new(false);
+
+    let reads = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for k in 0..WRITES as i64 {
+                db.set_relation("R", prefix(k)).unwrap();
+            }
+            done.store(true, Ordering::Release);
+        });
+        let readers: Vec<_> = (0..READERS)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut reads = 0u64;
+                    loop {
+                        let finished = done.load(Ordering::Acquire);
+                        db.snapshot().eval_query("all").unwrap();
+                        reads += 1;
+                        if finished || reads > 5_000 {
+                            return reads;
+                        }
+                    }
+                })
+            })
+            .collect();
+        // The observer: every successive snapshot dominates the previous.
+        let mut last = monotone_fields(&db.metrics());
+        while !done.load(Ordering::Acquire) {
+            let next = monotone_fields(&db.metrics());
+            for (field, (now, before)) in next.iter().zip(&last).enumerate() {
+                assert!(
+                    now >= before,
+                    "metrics field #{field} went backwards: {before} -> {now}"
+                );
+            }
+            last = next;
+        }
+        readers
+            .into_iter()
+            .map(|h| h.join().expect("reader panicked"))
+            .sum::<u64>()
+    });
+
+    let settled = db.metrics();
+    assert_eq!(
+        settled.commits,
+        commits_before + WRITES as u64,
+        "every write recorded a commit"
+    );
+    assert_eq!(settled.commit_latency.count, settled.commits);
+    assert!(
+        settled.queries >= reads,
+        "every reader evaluation was recorded"
+    );
+    assert_eq!(
+        settled.query_latency.count,
+        settled.queries + settled.checks
+    );
+    assert!(
+        settled.snapshots >= reads,
+        "every snapshot acquisition was recorded"
+    );
+    let tallied: u64 = settled.reads_by_generation.iter().map(|&(_, n)| n).sum();
+    assert!(
+        tallied <= settled.queries + settled.checks,
+        "generation tallies never exceed recorded reads"
+    );
+}

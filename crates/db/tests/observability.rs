@@ -1,0 +1,382 @@
+//! Observability guarantees: `trace` span trees render byte-identically at
+//! any evaluator thread count (strategy decisions and index work happen on
+//! the coordinating thread, so only wall-clock timings — which the default
+//! render omits — vary), and the metrics JSON export round-trips through a
+//! serde-free hand-rolled deserializer.
+
+use frdb_core::dense::DenseOrder;
+use frdb_core::fo::{PlanCache, PlanConfig};
+use frdb_db::{Database, DbConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Runs a script on a fresh database (private plan cache, `threads` workers)
+/// and returns the transcript.
+fn transcript(src: &str, threads: usize) -> String {
+    let db: Database<DenseOrder> = Database::with_config(DbConfig {
+        plan_config: PlanConfig {
+            threads,
+            ..PlanConfig::default()
+        },
+        plan_cache: Some(Arc::new(PlanCache::new())),
+        ..DbConfig::default()
+    });
+    let mut out = Vec::new();
+    db.execute_source(src, &mut out)
+        .unwrap_or_else(|e| panic!("script failed at {threads} thread(s): {e}"));
+    String::from_utf8(out).expect("utf-8 transcript")
+}
+
+/// A relation literal of axis-aligned boxes, one disjunct per box.
+fn boxes_literal(boxes: &[(i64, i64, i64, i64)]) -> String {
+    let disjuncts: Vec<String> = boxes
+        .iter()
+        .map(|(x0, x1, y0, y1)| format!("{x0} <= x and x <= {x1} and {y0} <= y and y <= {y1}"))
+        .collect();
+    format!("{{(x, y) | {}}}", disjuncts.join(" or "))
+}
+
+/// One box: `x` in `[a, a+w]`, `y` in `[b, b+h]`.
+fn gen_box() -> impl Strategy<Value = (i64, i64, i64, i64)> {
+    (-8i64..8, 0i64..6, -8i64..8, 0i64..6).prop_map(|(a, w, b, h)| (a, a + w, b, b + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full transcript of a script exercising `trace` (query and
+    /// program), `stats;`, and `metrics;` is byte-identical at 1, 2, and 4
+    /// evaluator threads.
+    #[test]
+    fn trace_render_is_thread_count_invariant(
+        r in proptest::collection::vec(gen_box(), 1..5),
+        s in proptest::collection::vec(gen_box(), 1..5),
+    ) {
+        let src = format!(
+            "schema r/2, s/2;\n\
+             r := {r};\n\
+             s := {s};\n\
+             query j(x, y) := r(x, y) and s(x, y);\n\
+             trace j;\n\
+             query hop(x, y) := exists z. (r(x, z) and s(z, y));\n\
+             trace hop;\n\
+             trace hop;\n\
+             program p {{\n\
+               t(x, y) :- r(x, y).\n\
+               t(x, y) :- t(x, z), s(z, y).\n\
+             }}\n\
+             trace p;\n\
+             stats;\n\
+             metrics;\n",
+            r = boxes_literal(&r),
+            s = boxes_literal(&s),
+        );
+        let serial = transcript(&src, 1);
+        for threads in [2usize, 4] {
+            let parallel = transcript(&src, threads);
+            prop_assert_eq!(
+                &serial,
+                &parallel,
+                "transcript drifted between 1 and {} threads",
+                threads
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hand-rolled JSON deserialization (the workspace carries no serde): just
+// enough of the grammar for the metrics export — objects, arrays, and
+// unsigned integers.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Num(u64),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> &Json {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("missing key {key:?}")),
+            other => panic!("expected object for key {key:?}, got {other:?}"),
+        }
+    }
+
+    fn num(&self) -> u64 {
+        match self {
+            Json::Num(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    fn arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(items) => items,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn parse(src: &'a str) -> Json {
+        let mut p = JsonParser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value();
+        p.skip_ws();
+        assert_eq!(p.pos, p.bytes.len(), "trailing garbage after JSON value");
+        value
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) {
+        self.skip_ws();
+        assert_eq!(
+            self.bytes.get(self.pos),
+            Some(&b),
+            "expected {:?} at byte {}",
+            b as char,
+            self.pos
+        );
+        self.pos += 1;
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.skip_ws();
+        self.bytes[self.pos]
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'0'..=b'9' => self.number(),
+            other => panic!("unexpected byte {:?} at {}", other as char, self.pos),
+        }
+    }
+
+    fn object(&mut self) -> Json {
+        self.eat(b'{');
+        let mut fields = Vec::new();
+        if self.peek() != b'}' {
+            loop {
+                let key = self.string();
+                self.eat(b':');
+                fields.push((key, self.value()));
+                if self.peek() == b',' {
+                    self.eat(b',');
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(b'}');
+        Json::Obj(fields)
+    }
+
+    fn array(&mut self) -> Json {
+        self.eat(b'[');
+        let mut items = Vec::new();
+        if self.peek() != b']' {
+            loop {
+                items.push(self.value());
+                if self.peek() == b',' {
+                    self.eat(b',');
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(b']');
+        Json::Arr(items)
+    }
+
+    fn string(&mut self) -> String {
+        self.eat(b'"');
+        let start = self.pos;
+        while self.bytes[self.pos] != b'"' {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("utf-8 string")
+            .to_string();
+        self.pos += 1;
+        s
+    }
+
+    fn number(&mut self) -> Json {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        Json::Num(
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .expect("utf-8 number")
+                .parse()
+                .expect("u64 literal"),
+        )
+    }
+}
+
+/// Asserts a parsed histogram object agrees with the original snapshot:
+/// count, sum, every resolved quantile, and the exact non-empty buckets.
+fn assert_histogram_round_trips(
+    parsed: &Json,
+    original: &frdb_core::metrics::HistogramSnapshot,
+    what: &str,
+) {
+    assert_eq!(parsed.get("count").num(), original.count, "{what}: count");
+    assert_eq!(parsed.get("sum_ns").num(), original.sum_ns, "{what}: sum");
+    for (key, q) in [
+        ("p50_ns", 0.50),
+        ("p90_ns", 0.90),
+        ("p99_ns", 0.99),
+        ("p999_ns", 0.999),
+    ] {
+        assert_eq!(parsed.get(key).num(), original.quantile(q), "{what}: {key}");
+    }
+    let buckets: Vec<(u64, u64, u64)> = parsed
+        .get("buckets")
+        .arr()
+        .iter()
+        .map(|triple| {
+            let t = triple.arr();
+            (t[0].num(), t[1].num(), t[2].num())
+        })
+        .collect();
+    assert_eq!(buckets, original.nonzero_buckets(), "{what}: buckets");
+}
+
+/// The `--metrics-out` JSON document round-trips through the hand-rolled
+/// deserializer: every counter and both the commit-latency and query-latency
+/// histograms (with at least one sample each) survive intact.
+#[test]
+fn metrics_json_round_trips_without_serde() {
+    let db: Database<DenseOrder> = Database::with_config(DbConfig {
+        plan_cache: Some(Arc::new(PlanCache::new())),
+        ..DbConfig::default()
+    });
+    db.execute_source(
+        "schema r/2;\n\
+         r := {(x, y) | 0 <= x and x <= 4 and x <= y and y <= 6};\n\
+         query q(x) := exists y. (r(x, y));\n\
+         run q;\n\
+         trace q;\n\
+         check exists x. exists y. (r(x, y));\n\
+         program p { t(x, y) :- r(x, y). }\n\
+         fixpoint p;\n",
+        &mut Vec::new(),
+    )
+    .expect("script runs");
+
+    let snapshot = db.metrics();
+    let parsed = JsonParser::parse(&snapshot.to_json());
+
+    let counters = parsed.get("counters");
+    assert_eq!(counters.get("queries").num(), snapshot.queries);
+    assert_eq!(counters.get("checks").num(), snapshot.checks);
+    assert_eq!(counters.get("commits").num(), snapshot.commits);
+    assert_eq!(counters.get("snapshots").num(), snapshot.snapshots);
+    assert_eq!(counters.get("fixpoints").num(), snapshot.fixpoints);
+    assert!(snapshot.commits > 0, "the script committed");
+
+    let indexes = parsed.get("column_indexes");
+    assert_eq!(indexes.get("built").num(), snapshot.index_builds);
+    assert_eq!(indexes.get("reused").num(), snapshot.index_reuses);
+
+    let joins = parsed.get("join_strategies");
+    for (key, value) in [
+        ("pin_hash", snapshot.join_strategies.pin_hash),
+        ("index_sweep", snapshot.join_strategies.index_sweep),
+        ("box_sweep", snapshot.join_strategies.box_sweep),
+        ("scan", snapshot.join_strategies.scan),
+        ("mixed", snapshot.join_strategies.mixed),
+    ] {
+        assert_eq!(joins.get(key).num(), value, "join strategy {key}");
+    }
+
+    let (ch, cm, rh, rm) = snapshot
+        .plan_cache
+        .expect("Database::metrics attaches plan-cache stats");
+    let plan = parsed.get("plan_cache");
+    assert_eq!(plan.get("compile_hits").num(), ch);
+    assert_eq!(plan.get("compile_misses").num(), cm);
+    assert_eq!(plan.get("reoptimize_hits").num(), rh);
+    assert_eq!(plan.get("reoptimize_misses").num(), rm);
+
+    let reads: Vec<(u64, u64)> = parsed
+        .get("reads_by_generation")
+        .arr()
+        .iter()
+        .map(|pair| {
+            let p = pair.arr();
+            (p[0].num(), p[1].num())
+        })
+        .collect();
+    assert_eq!(reads, snapshot.reads_by_generation);
+
+    assert!(
+        snapshot.query_latency.count > 0 && snapshot.commit_latency.count > 0,
+        "both headline histograms have samples"
+    );
+    assert_histogram_round_trips(
+        parsed.get("query_latency_ns"),
+        &snapshot.query_latency,
+        "query latency",
+    );
+    assert_histogram_round_trips(
+        parsed.get("commit_latency_ns"),
+        &snapshot.commit_latency,
+        "commit latency",
+    );
+    assert_histogram_round_trips(
+        parsed.get("fixpoint_latency_ns"),
+        &snapshot.fixpoint_latency,
+        "fixpoint latency",
+    );
+}
+
+/// The timed render is opt-in and carries what the deterministic render
+/// cannot: a total wall time and per-node millisecond spans.
+#[test]
+fn timed_trace_render_is_a_superset_of_the_deterministic_one() {
+    let db: Database<DenseOrder> = Database::new();
+    db.declare("r", 2).unwrap();
+    db.execute_source(
+        "r := {(x, y) | 0 <= x and x <= 2 and 0 <= y and y <= 2};\n\
+         query q(x, y) := r(x, y) and r(y, x);\n",
+        &mut Vec::new(),
+    )
+    .expect("setup runs");
+    let (_, trace) = db.snapshot().trace_query("q").expect("trace runs");
+    let plain = trace.to_string();
+    let timed = trace.timed().to_string();
+    assert!(!plain.contains("ms"), "deterministic render has no timings");
+    assert!(timed.contains("-- total"), "timed render reports a total");
+    assert!(timed.contains("ms"), "timed render carries per-node times");
+    assert!(trace.total() >= Duration::ZERO);
+}

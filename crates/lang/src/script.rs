@@ -8,6 +8,8 @@
 //!            | "run" IDENT ";"                          (evaluate and print)
 //!            | "explain" IDENT ";"                      (print the optimized plan
 //!                                                        with est/actual cardinalities)
+//!            | "trace" IDENT ";"                        (evaluate a query or program
+//!                                                        and print its span tree)
 //!            | "check" formula ";"                      (print true/false)
 //!            | "assert" formula ";"                     (error when false)
 //!            | "program" IDENT "{" { rule } "}"
@@ -15,6 +17,8 @@
 //!            | "print" IDENT ";"                        (print a relation)
 //!            | "stats" ";"                              (print plan-cache and
 //!                                                        index counters)
+//!            | "metrics" ";"                            (print the engine metrics
+//!                                                        registry's counters)
 //! ```
 //!
 //! The statement keywords are contextual: a relation may be called `query` or
@@ -102,6 +106,14 @@ pub enum Stmt<T: Theory> {
         /// The query name.
         name: String,
     },
+    /// `trace q;` — evaluate a named query (or run a named program's
+    /// fixpoint on a snapshot) and print the evaluation's span tree: per
+    /// node, cardinalities, part counts, join strategy, and index work.
+    /// Nothing is materialized or committed.
+    Trace {
+        /// The query or program name.
+        name: String,
+    },
     /// `check φ;` — evaluate a sentence and print `true` / `false`.
     Check {
         /// The sentence.
@@ -130,9 +142,14 @@ pub enum Stmt<T: Theory> {
         /// The relation name.
         name: RelName,
     },
-    /// `stats;` — print the session's plan-cache statistics and the column
-    /// index build/reuse counters in a deterministic format.
+    /// `stats;` — print the session's plan-cache statistics, the column
+    /// index build/reuse counters, and the per-strategy join breakdown in a
+    /// deterministic format.
     Stats,
+    /// `metrics;` — print the engine metrics registry's deterministic
+    /// counters (operation counts, join strategies, index work, latency
+    /// sample counts; histogram values are JSON-export only).
+    Metrics,
 }
 
 /// A parsed script: the declared theory and the statement list.
@@ -276,23 +293,21 @@ fn statement<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Spanned<Stmt<T>>, Pars
                     span: start.join(end),
                 });
             }
-            "run" | "explain" | "fixpoint" => {
-                let is_fixpoint = word == "fixpoint";
-                let is_run = word == "run";
+            "run" | "explain" | "trace" | "fixpoint" => {
+                let kind = word.as_str().to_string();
                 p.advance();
-                let (name, _) = p.ident(if is_fixpoint {
-                    "a program name"
-                } else {
-                    "a query name"
+                let (name, _) = p.ident(match kind.as_str() {
+                    "fixpoint" => "a program name",
+                    "trace" => "a query or program name",
+                    _ => "a query name",
                 })?;
                 let end = p.expect(&Tok::Semi, "`;` terminating the statement")?.span;
                 return Ok(Spanned {
-                    node: if is_run {
-                        Stmt::Run { name }
-                    } else if is_fixpoint {
-                        Stmt::Fixpoint { name }
-                    } else {
-                        Stmt::Explain { name }
+                    node: match kind.as_str() {
+                        "run" => Stmt::Run { name },
+                        "fixpoint" => Stmt::Fixpoint { name },
+                        "trace" => Stmt::Trace { name },
+                        _ => Stmt::Explain { name },
                     },
                     span: start.join(end),
                 });
@@ -336,11 +351,12 @@ fn statement<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Spanned<Stmt<T>>, Pars
                     span: start.join(end),
                 });
             }
-            "stats" => {
+            "stats" | "metrics" => {
+                let is_stats = word == "stats";
                 p.advance();
                 let end = p.expect(&Tok::Semi, "`;` terminating the statement")?.span;
                 return Ok(Spanned {
-                    node: Stmt::Stats,
+                    node: if is_stats { Stmt::Stats } else { Stmt::Metrics },
                     span: start.join(end),
                 });
             }
@@ -349,6 +365,7 @@ fn statement<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Spanned<Stmt<T>>, Pars
     }
     Err(p.error_here(
         "expected a statement (`schema`, `R := …`, `query`, `run`, `explain`, \
-         `check`, `assert`, `program`, `fixpoint`, `print`, or `stats`)",
+         `trace`, `check`, `assert`, `program`, `fixpoint`, `print`, `stats`, \
+         or `metrics`)",
     ))
 }
