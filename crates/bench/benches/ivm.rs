@@ -1,0 +1,257 @@
+//! Incremental-maintenance harness: maintain-vs-recompute commit latency for
+//! a materialized view under first-class update streams, across update-batch
+//! sizes and instance sizes, into `BENCH_PR10.json`.
+//!
+//! For each `(instance_parts, batch_parts)` cell, two databases hold the same
+//! state — one committing under `MaintenanceMode::Incremental` (part-aligned
+//! provenance maintenance), one under `MaintenanceMode::Recompute` (the
+//! differential oracle: every refresh re-evaluates the view's plan from
+//! scratch).  A writer then streams insert batches of fresh generalized
+//! tuples; the measured latency is the whole commit — delta application plus
+//! the refresh cascade — so the two modes differ exactly in how the view
+//! refresh is computed.  The headline number is the speedup
+//! `recompute_mean / incremental_mean`, which must exceed 1 on small-delta
+//! workloads and grow with the instance size.
+//!
+//! The materialized view is a *selective* join — `watch(x, y) := base(x, y)
+//! and aux(x)` with `aux` a fixed watch window at the low end of the line —
+//! the workload incremental maintenance exists for: the answer stays small
+//! while the stream lands outside the window, so recompute pays a full join
+//! over all stored parts per commit while maintenance evaluates only the
+//! delta parts.  (Correctness over *arbitrary* view shapes and update mixes
+//! is pinned separately by `crates/db/tests/ivm_differential.rs`.)
+//!
+//! Configuration (environment):
+//!
+//! * `FRDB_IVM_SIZES` — comma-separated base-relation part counts
+//!   (default `32,128,512`).
+//! * `FRDB_IVM_BATCHES` — comma-separated parts-per-insert batch sizes
+//!   (default `1,4,16`).
+//! * `FRDB_IVM_ROUNDS` — measured insert rounds per cell (default 20).
+//! * `FRDB_IVM_OUT` — output path (default `BENCH_PR10.json` in the
+//!   workspace root).
+//!
+//! CI runs the smoke configuration `FRDB_IVM_SIZES=16,64 FRDB_IVM_BATCHES=1,4
+//! FRDB_IVM_ROUNDS=5`.
+
+use frdb_core::dense::{DenseAtom, DenseOrder};
+use frdb_core::logic::{Formula, Term, Var};
+use frdb_core::relation::{GenTuple, Relation};
+use frdb_db::{Database, DbConfig, MaintenanceMode};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn env_list(name: &str, default: &str) -> Vec<usize> {
+    std::env::var(name)
+        .unwrap_or_else(|_| default.into())
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("{name}: integers"))
+        })
+        .collect()
+}
+
+/// The `i`-th base part: the unit box at `(2i, 0)` — pairwise disjoint, never
+/// absorbed, so the stored relation holds exactly as many parts as inserted.
+fn part(i: usize) -> GenTuple<DenseAtom> {
+    let x0 = 2 * i as i64;
+    GenTuple::new(vec![
+        DenseAtom::le(Term::cst(x0), Term::var("x")),
+        DenseAtom::le(Term::var("x"), Term::cst(x0 + 1)),
+        DenseAtom::le(Term::cst(0), Term::var("y")),
+        DenseAtom::le(Term::var("y"), Term::cst(1)),
+    ])
+}
+
+fn batch(range: std::ops::Range<usize>) -> Relation<DenseOrder> {
+    Relation::new(
+        vec![Var::new("x"), Var::new("y")],
+        range.map(part).collect(),
+    )
+}
+
+/// One database seeded with `size` base parts and — unless `baseline` — a
+/// materialized watch-window join over `base`, its maintenance provenance
+/// already warm.  The baseline variant measures the raw update path (delta
+/// application, no dependent views), so the refresh cost is the difference.
+fn setup(mode: MaintenanceMode, size: usize, baseline: bool) -> Database<DenseOrder> {
+    let db: Database<DenseOrder> = Database::with_config(DbConfig {
+        maintenance: mode,
+        ..DbConfig::default()
+    });
+    db.declare("base", 2).expect("declare base");
+    db.set_relation("base", batch(0..size)).expect("seed base");
+    if !baseline {
+        // The watch window: the first eight slots of the line.  The view is
+        // linear in `base` (one occurrence), so incremental mode maintains it
+        // part by part; `aux` itself never changes.
+        db.declare("aux", 1).expect("declare aux");
+        db.set_relation(
+            "aux",
+            Relation::new(
+                vec![Var::new("x")],
+                vec![GenTuple::new(vec![
+                    DenseAtom::le(Term::cst(0), Term::var("x")),
+                    DenseAtom::le(Term::var("x"), Term::cst(16)),
+                ])],
+            ),
+        )
+        .expect("seed aux");
+        db.define_query(
+            "watch",
+            vec![Var::new("x"), Var::new("y")],
+            Formula::and(
+                Formula::rel("base", [Term::var("x"), Term::var("y")]),
+                Formula::rel("aux", [Term::var("x")]),
+            ),
+        )
+        .expect("define watch");
+        db.run_query("watch").expect("materialize watch");
+    }
+    // One unmeasured insert so the incremental side's provenance record is
+    // built before the clock starts (the first maintain pays the base eval).
+    db.insert_relation("base", batch(size..size + 1))
+        .expect("warm-up insert");
+    db
+}
+
+/// Streams `rounds` insert batches of `batch_parts` fresh parts, returning
+/// per-commit latencies in nanoseconds.
+fn stream(db: &Database<DenseOrder>, size: usize, batch_parts: usize, rounds: usize) -> Vec<u64> {
+    let mut next = size + 1;
+    let mut lat = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let delta = batch(next..next + batch_parts);
+        next += batch_parts;
+        let op = Instant::now();
+        db.insert_relation("base", delta).expect("insert batch");
+        lat.push(op.elapsed().as_nanos() as u64);
+    }
+    lat
+}
+
+fn mean(ns: &[u64]) -> f64 {
+    ns.iter().sum::<u64>() as f64 / ns.len().max(1) as f64
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+struct Cell {
+    size: usize,
+    batch_parts: usize,
+    rounds: usize,
+    baseline_mean_ns: f64,
+    incremental_mean_ns: f64,
+    incremental_p50_ns: u64,
+    incremental_p99_ns: u64,
+    recompute_mean_ns: f64,
+    recompute_p50_ns: u64,
+    recompute_p99_ns: u64,
+    maintained: u64,
+    recomputed: u64,
+}
+
+fn main() {
+    let sizes = env_list("FRDB_IVM_SIZES", "32,128,512");
+    let batches = env_list("FRDB_IVM_BATCHES", "1,4,16");
+    let rounds = env_list("FRDB_IVM_ROUNDS", "20")[0];
+    let out_path = std::env::var("FRDB_IVM_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| workspace_root().join("BENCH_PR10.json"));
+
+    let mut cells = Vec::new();
+    for &size in &sizes {
+        for &batch_parts in &batches {
+            let plain = setup(MaintenanceMode::Incremental, size, true);
+            let ivm = setup(MaintenanceMode::Incremental, size, false);
+            let oracle = setup(MaintenanceMode::Recompute, size, false);
+            let base = stream(&plain, size, batch_parts, rounds);
+            let mut inc = stream(&ivm, size, batch_parts, rounds);
+            let mut rec = stream(&oracle, size, batch_parts, rounds);
+            let snap = ivm.metrics();
+            assert_eq!(
+                oracle.metrics().views_maintained,
+                0,
+                "the oracle must never maintain"
+            );
+            let cell = Cell {
+                size,
+                batch_parts,
+                rounds,
+                baseline_mean_ns: mean(&base),
+                incremental_mean_ns: mean(&inc),
+                recompute_mean_ns: mean(&rec),
+                incremental_p50_ns: {
+                    inc.sort_unstable();
+                    quantile(&inc, 0.50)
+                },
+                incremental_p99_ns: quantile(&inc, 0.99),
+                recompute_p50_ns: {
+                    rec.sort_unstable();
+                    quantile(&rec, 0.50)
+                },
+                recompute_p99_ns: quantile(&rec, 0.99),
+                maintained: snap.views_maintained,
+                recomputed: snap.views_recomputed,
+            };
+            println!(
+                "size {:>5} batch {:>3}: update-only {:>9.0} ns  maintain {:>9.0} ns  \
+                 recompute {:>9.0} ns/commit  speedup {:>5.2}x",
+                size,
+                batch_parts,
+                cell.baseline_mean_ns,
+                cell.incremental_mean_ns,
+                cell.recompute_mean_ns,
+                cell.recompute_mean_ns / cell.incremental_mean_ns
+            );
+            cells.push(cell);
+        }
+    }
+
+    let mut json = String::from("[\n");
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        writeln!(
+            json,
+            "  {{\n    \"group\": \"PR10_maintain_vs_recompute\",\n    \
+             \"id\": \"size{size}/batch{batch}\",\n    \"instance_parts\": {size},\n    \
+             \"batch_parts\": {batch},\n    \"rounds\": {rounds},\n    \
+             \"update_only_mean_ns\": {bm:.0},\n    \
+             \"incremental_mean_ns\": {im:.0},\n    \"incremental_p50_ns\": {ip50},\n    \
+             \"incremental_p99_ns\": {ip99},\n    \"recompute_mean_ns\": {rm:.0},\n    \
+             \"recompute_p50_ns\": {rp50},\n    \"recompute_p99_ns\": {rp99},\n    \
+             \"speedup\": {speedup:.3},\n    \"views_maintained\": {vm},\n    \
+             \"views_recomputed\": {vr}\n  }}{sep}",
+            size = c.size,
+            batch = c.batch_parts,
+            rounds = c.rounds,
+            bm = c.baseline_mean_ns,
+            im = c.incremental_mean_ns,
+            ip50 = c.incremental_p50_ns,
+            ip99 = c.incremental_p99_ns,
+            rm = c.recompute_mean_ns,
+            rp50 = c.recompute_p50_ns,
+            rp99 = c.recompute_p99_ns,
+            speedup = c.recompute_mean_ns / c.incremental_mean_ns,
+            vm = c.maintained,
+            vr = c.recomputed,
+        )
+        .expect("write to string");
+    }
+    json.push_str("]\n");
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path:?}: {e}"));
+    println!("wrote {}", out_path.display());
+}

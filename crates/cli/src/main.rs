@@ -31,6 +31,8 @@ A script is a sequence of statements:
   theory dense;                          // or `theory linear` (header, optional)
   schema R/2, S/1;                       // declare relations
   R := {(x, y) | 0 <= x and x <= y};     // set a relation (tuples joined by `or`)
+  insert R {(x, y) | x = 1 and y = 2};   // union more tuples into a relation
+  delete R {(x, y) | x < 0};             // subtract tuples from a relation
   query q(x) := exists y. (R(x, y));     // define a query
   run q;                                 // evaluate and print it
   explain q;                             // print the optimized plan tree with

@@ -154,6 +154,7 @@ fn script_transcripts_match_pinned_goldens() {
         "quickstart",
         "graph_reachability",
         "observability",
+        "updates",
     ] {
         let path = scripts_dir().join(format!("{name}.frdb"));
         let (_, output) = run_script(&path);
@@ -389,6 +390,40 @@ fn duplicate_columns_are_rejected() {
         )
         .unwrap_err();
     assert!(err.message.contains("listed more than once"), "{err}");
+}
+
+/// Regression: update statements against a bad schema are rendered errors at
+/// the script layer — an undeclared relation and a wrong-arity payload both
+/// fail on the offending statement, and neither commits anything.
+#[test]
+fn updates_against_bad_schema_fail_with_rendered_errors() {
+    let mut session = Session::for_theory(frdb_lang::TheoryKind::Dense);
+    let mut out = Vec::new();
+    session
+        .execute_source("schema R/2;\nR := {(x, y) | x = 0 and y = 0};\n", &mut out)
+        .unwrap();
+
+    let src = "insert ghost {(x) | x = 1};\n";
+    let err = session.execute_source(src, &mut out).unwrap_err();
+    assert!(
+        err.message.contains("unknown relation `ghost`"),
+        "unexpected error: {err}"
+    );
+    let span = err.span.expect("span");
+    assert_eq!(&src[span.start..span.end], "insert ghost {(x) | x = 1};");
+
+    let src = "delete R {(x) | x = 0};\n";
+    let err = session.execute_source(src, &mut out).unwrap_err();
+    assert!(
+        err.message.contains("arity mismatch"),
+        "unexpected error: {err}"
+    );
+    let span = err.span.expect("span");
+    assert_eq!(&src[span.start..span.end], "delete R {(x) | x = 0};");
+
+    // Neither failed update touched the stored relation.
+    let r = dense_relation(&session, "R").expect("R still stored");
+    assert!(r.contains(&[0.into(), 0.into()]));
 }
 
 /// Assertions fail loudly with the offending statement's span.

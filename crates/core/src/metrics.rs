@@ -71,10 +71,16 @@ impl LatencyHistogram {
     /// its bucket (or vice versa) — quantiles are monitoring data, not an
     /// audit log.
     pub fn record(&self, elapsed: Duration) {
-        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.record_value(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one raw `u64` observation — the histogram buckets by magnitude,
+    /// so the same structure serves nanosecond latencies and size
+    /// distributions (e.g. generalized-tuple counts of update deltas).
+    pub fn record_value(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.sum_ns.fetch_add(value, Ordering::Relaxed);
     }
 
     /// The number of recorded observations.
@@ -228,6 +234,10 @@ pub struct MetricsRegistry {
     commits: AtomicU64,
     snapshots: AtomicU64,
     fixpoints: AtomicU64,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    views_maintained: AtomicU64,
+    views_recomputed: AtomicU64,
     index_builds: AtomicU64,
     index_reuses: AtomicU64,
     joins_pin_hash: AtomicU64,
@@ -238,6 +248,9 @@ pub struct MetricsRegistry {
     query_latency: LatencyHistogram,
     commit_latency: LatencyHistogram,
     fixpoint_latency: LatencyHistogram,
+    /// Size distribution (generalized-tuple counts) of the semantic deltas
+    /// applied by `insert`/`delete` commits.
+    update_delta_parts: LatencyHistogram,
     /// Ring of `(generation, reads)` tallies for the most recent generations
     /// a read was served against.
     reads_by_generation: Mutex<Vec<(u64, u64)>>,
@@ -298,6 +311,33 @@ impl MetricsRegistry {
         self.record_eval_work(index_delta, strategy_delta);
     }
 
+    /// Records one `insert` update commit and the size (generalized-tuple
+    /// count) of the semantic delta it applied — 0 when every inserted tuple
+    /// was unsatisfiable or already absorbed by the stored value.
+    pub fn record_insert(&self, delta_parts: u64) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.update_delta_parts.record_value(delta_parts);
+    }
+
+    /// Records one `delete` update commit and the size of the region it
+    /// actually removed — 0 for deletes of never-inserted tuples.
+    pub fn record_delete(&self, delta_parts: u64) {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        self.update_delta_parts.record_value(delta_parts);
+    }
+
+    /// Records one materialized answer refreshed **incrementally** (its
+    /// maintenance plan consumed the update delta).
+    pub fn record_view_maintained(&self) {
+        self.views_maintained.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one materialized answer (or fixpoint) refreshed by **full
+    /// recomputation** — the fallback when no maintenance plan applies.
+    pub fn record_view_recomputed(&self) {
+        self.views_recomputed.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn record_eval_work(&self, index_delta: (u64, u64), strategy_delta: &JoinStrategyCounts) {
         self.index_builds
             .fetch_add(index_delta.0, Ordering::Relaxed);
@@ -353,6 +393,10 @@ impl MetricsRegistry {
             commits: self.commits.load(Ordering::Relaxed),
             snapshots: self.snapshots.load(Ordering::Relaxed),
             fixpoints: self.fixpoints.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            views_maintained: self.views_maintained.load(Ordering::Relaxed),
+            views_recomputed: self.views_recomputed.load(Ordering::Relaxed),
             index_builds: self.index_builds.load(Ordering::Relaxed),
             index_reuses: self.index_reuses.load(Ordering::Relaxed),
             join_strategies: JoinStrategyCounts {
@@ -365,6 +409,7 @@ impl MetricsRegistry {
             query_latency: self.query_latency.snapshot(),
             commit_latency: self.commit_latency.snapshot(),
             fixpoint_latency: self.fixpoint_latency.snapshot(),
+            update_delta_parts: self.update_delta_parts.snapshot(),
             reads_by_generation,
             plan_cache: None,
         }
@@ -384,6 +429,14 @@ pub struct MetricsSnapshot {
     pub snapshots: u64,
     /// Fixpoint runs.
     pub fixpoints: u64,
+    /// `insert` update commits.
+    pub inserts: u64,
+    /// `delete` update commits.
+    pub deletes: u64,
+    /// Materialized answers refreshed incrementally by a maintenance plan.
+    pub views_maintained: u64,
+    /// Materialized answers (and fixpoints) refreshed by full recomputation.
+    pub views_recomputed: u64,
     /// Column indexes built (cache misses) during recorded operations.
     pub index_builds: u64,
     /// Column index cache hits during recorded operations.
@@ -396,6 +449,9 @@ pub struct MetricsSnapshot {
     pub commit_latency: HistogramSnapshot,
     /// Fixpoint-run latency.
     pub fixpoint_latency: HistogramSnapshot,
+    /// Size distribution (generalized-tuple counts) of the semantic deltas
+    /// applied by `insert`/`delete` commits.
+    pub update_delta_parts: HistogramSnapshot,
     /// Reads served per snapshot generation, ascending by generation
     /// (the most recent [`READ_GENERATIONS`] generations... capped ring).
     pub reads_by_generation: Vec<(u64, u64)>,
@@ -434,6 +490,13 @@ impl MetricsSnapshot {
             b = self.index_builds,
             r = self.index_reuses,
         ));
+        out.push_str(&format!(
+            "updates: {i} insert(s), {d} delete(s); views: {m} maintained, {r} recomputed\n",
+            i = self.inserts,
+            d = self.deletes,
+            m = self.views_maintained,
+            r = self.views_recomputed,
+        ));
         if let Some((ch, cm, rh, rm)) = self.plan_cache {
             out.push_str(&format!(
                 "plan cache: compile {ch} hit(s) / {cm} miss(es); reoptimize {rh} hit(s) / {rm} miss(es)\n",
@@ -454,8 +517,9 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!(
-            "  \"counters\": {{\"queries\": {}, \"checks\": {}, \"commits\": {}, \"snapshots\": {}, \"fixpoints\": {}}},\n",
-            self.queries, self.checks, self.commits, self.snapshots, self.fixpoints
+            "  \"counters\": {{\"queries\": {}, \"checks\": {}, \"commits\": {}, \"snapshots\": {}, \"fixpoints\": {}, \"inserts\": {}, \"deletes\": {}, \"views_maintained\": {}, \"views_recomputed\": {}}},\n",
+            self.queries, self.checks, self.commits, self.snapshots, self.fixpoints,
+            self.inserts, self.deletes, self.views_maintained, self.views_recomputed
         ));
         let j = &self.join_strategies;
         out.push_str(&format!(
@@ -488,8 +552,12 @@ impl MetricsSnapshot {
             self.commit_latency.to_json()
         ));
         out.push_str(&format!(
-            "  \"fixpoint_latency_ns\": {}\n",
+            "  \"fixpoint_latency_ns\": {},\n",
             self.fixpoint_latency.to_json()
+        ));
+        out.push_str(&format!(
+            "  \"update_delta_parts\": {}\n",
+            self.update_delta_parts.to_json()
         ));
         out.push('}');
         out
@@ -581,6 +649,27 @@ mod tests {
     }
 
     #[test]
+    fn update_counters_and_delta_histogram_accumulate() {
+        let reg = MetricsRegistry::default();
+        reg.record_insert(3);
+        reg.record_insert(0);
+        reg.record_delete(1);
+        reg.record_view_maintained();
+        reg.record_view_recomputed();
+        reg.record_view_recomputed();
+        let snap = reg.snapshot();
+        assert_eq!(snap.inserts, 2);
+        assert_eq!(snap.deletes, 1);
+        assert_eq!(snap.views_maintained, 1);
+        assert_eq!(snap.views_recomputed, 2);
+        assert_eq!(snap.update_delta_parts.count, 3);
+        assert_eq!(snap.update_delta_parts.sum_ns, 4);
+        assert!(snap
+            .render_counters()
+            .contains("updates: 2 insert(s), 1 delete(s); views: 1 maintained, 2 recomputed"));
+    }
+
+    #[test]
     fn json_export_names_every_section() {
         let reg = MetricsRegistry::default();
         reg.record_query(
@@ -602,6 +691,11 @@ mod tests {
             "\"query_latency_ns\"",
             "\"commit_latency_ns\"",
             "\"fixpoint_latency_ns\"",
+            "\"update_delta_parts\"",
+            "\"inserts\"",
+            "\"deletes\"",
+            "\"views_maintained\"",
+            "\"views_recomputed\"",
             "\"p50_ns\"",
             "\"p90_ns\"",
             "\"p99_ns\"",

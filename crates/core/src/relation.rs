@@ -1594,6 +1594,226 @@ impl<T: Theory> Relation<T> {
         Relation::simplified_unchecked(self.vars.clone(), tuples)
     }
 
+    /// Union with a small update delta, doing work proportional to the delta:
+    /// only the incoming tuples are canonicalized, and absorption is checked
+    /// across the boundary (and within the delta) instead of over all pairs —
+    /// `O(|self|·|delta|)` entailment checks, against `O((|self|+|delta|)²)`
+    /// for [`Relation::union`].
+    ///
+    /// Assumes `self` is **simplified**: its tuples canonical, deduplicated,
+    /// and mutually non-absorbing — the invariant every relation built by
+    /// this crate's constructors and operators satisfies ([`Relation::new`],
+    /// `union`, `difference`, join, …; [`Relation::rename`] aliases preserve
+    /// it semantically).  Under that assumption the result is simplified and
+    /// equals `self.union(delta)` as a generalized-tuple set; existing tuples
+    /// are carried over verbatim, so their cached contexts and positions
+    /// survive.  This is the commit path for first-class `insert` updates.
+    ///
+    /// # Panics
+    /// Panics if the column variables differ.
+    #[must_use]
+    pub fn union_delta(&self, delta: &Relation<T>) -> Relation<T> {
+        self.union_delta_report(delta).0
+    }
+
+    /// [`Relation::union_delta`] plus the exact part-level effect: which
+    /// parts the result gained and which parts of `self` disappeared (an
+    /// incoming tuple can *absorb* stored parts).  Consumers use the report
+    /// to maintain part-aligned caches without re-diffing the two values.
+    #[must_use]
+    pub fn union_delta_report(&self, delta: &Relation<T>) -> (Relation<T>, PartDelta<T::A>) {
+        assert_eq!(
+            self.vars, delta.vars,
+            "union of relations over different columns"
+        );
+        if delta.tuples.is_empty() {
+            return (self.clone(), PartDelta::default());
+        }
+        // Dedup by direct comparison rather than a hash set of the stored
+        // atoms: non-equal tuples diverge at their first atom, so the scan is
+        // near-free, while hashing every stored tuple would cost `O(|self|)`
+        // full-tuple traversals per commit.
+        let mut fresh: Vec<GenTuple<T::A>> = Vec::new();
+        for tuple in &delta.tuples {
+            let Some(canonical) = tuple.to_canonical::<T>() else {
+                continue; // unsatisfiable
+            };
+            let dup = self.tuples.iter().any(|t| t.atoms() == canonical.atoms())
+                || fresh.iter().any(|f| f.atoms() == canonical.atoms());
+            if !dup {
+                fresh.push(canonical);
+            }
+        }
+        if fresh.is_empty() {
+            return (self.clone(), PartDelta::default());
+        }
+        // Absorption across the boundary: an old tuple implied by a fresh one
+        // is dropped, and vice versa; fresh tuples also absorb each other.
+        // Old-vs-old pairs need no check — `self` is absorption-free.
+        let mut tuples: Vec<GenTuple<T::A>> = Vec::with_capacity(self.tuples.len() + fresh.len());
+        let mut removed: Vec<GenTuple<T::A>> = Vec::new();
+        for old in &self.tuples {
+            if fresh.iter().any(|new| old.entails::<T>(new.atoms())) {
+                removed.push(old.clone());
+            } else {
+                tuples.push(old.clone());
+            }
+        }
+        let mut added: Vec<GenTuple<T::A>> = Vec::new();
+        for (k, new) in fresh.iter().enumerate() {
+            let absorbed = self.tuples.iter().any(|old| new.entails::<T>(old.atoms()))
+                || fresh
+                    .iter()
+                    .enumerate()
+                    .any(|(j, other)| j != k && new.entails::<T>(other.atoms()));
+            if !absorbed {
+                tuples.push(new.clone());
+                added.push(new.clone());
+            }
+        }
+        (
+            Relation::assembled(self.vars.clone(), tuples),
+            PartDelta { added, removed },
+        )
+    }
+
+    /// Difference with a small update delta, doing work proportional to the
+    /// parts the delta actually touches: stored tuples whose cached contexts
+    /// are provably incompatible with every delta tuple
+    /// ([`Theory::ctx_compatible`]) are carried over **verbatim** — no
+    /// re-canonicalization, no residual computation — and only the touched
+    /// tuples are split, canonicalized, and absorption-checked against the
+    /// result.  This is the commit path for first-class `delete` updates.
+    ///
+    /// Assumes `self` is simplified (see [`Relation::union_delta`]).  The
+    /// result is simplified and denotes exactly `self \ delta`; because
+    /// untouched tuples are not re-split, its generalized-tuple shape can be
+    /// *coarser* than what [`Relation::difference`] produces — never finer.
+    ///
+    /// # Panics
+    /// Panics if the column variables differ.
+    #[must_use]
+    pub fn difference_delta(&self, delta: &Relation<T>) -> Relation<T> {
+        self.difference_delta_report(delta).0
+    }
+
+    /// [`Relation::difference_delta`] plus the exact part-level effect:
+    /// origins that were split or fully deleted show up in `removed`, their
+    /// surviving residual pieces in `added`.  Untouched parts — including
+    /// origins whose residual turned out to be themselves — appear in
+    /// neither list.
+    #[must_use]
+    pub fn difference_delta_report(&self, delta: &Relation<T>) -> (Relation<T>, PartDelta<T::A>) {
+        assert_eq!(
+            self.vars, delta.vars,
+            "difference of relations over different columns"
+        );
+        if delta.tuples.is_empty() || self.tuples.is_empty() {
+            return (self.clone(), PartDelta::default());
+        }
+        // First pass: split the stored tuples into untouched survivors and
+        // residual pieces of touched tuples, preserving the stored order.
+        // Untouched survivors need no dedup — `self` is deduplicated, and a
+        // piece can never equal an untouched tuple (that would make the
+        // untouched tuple a subset of a touched one, which absorption
+        // freeness of `self` rules out) — so only piece-vs-piece collisions
+        // across different origins are checked.
+        let mut removed: Vec<GenTuple<T::A>> = Vec::new();
+        let mut kept: Vec<(bool, GenTuple<T::A>)> = Vec::new(); // (is_piece, tuple)
+        for part in &self.tuples {
+            let touching: Vec<GenTuple<T::A>> = delta
+                .tuples
+                .iter()
+                .filter(|d| {
+                    part.with_ctx::<T, _>(|cp| d.with_ctx::<T, _>(|cd| T::ctx_compatible(cp, cd)))
+                })
+                .cloned()
+                .collect();
+            if touching.is_empty() {
+                kept.push((false, part.clone()));
+                continue;
+            }
+            let pieces: Vec<GenTuple<T::A>> = conjoin_negation::<T>(vec![part.clone()], &touching)
+                .into_iter()
+                .filter_map(|piece| piece.to_canonical::<T>())
+                .collect();
+            // A compatibility false positive: the delta only *looked* like it
+            // touched this part.  Carry the original through unchanged.
+            if pieces.len() == 1 && pieces[0].atoms() == part.atoms() {
+                kept.push((false, part.clone()));
+                continue;
+            }
+            removed.push(part.clone());
+            for canonical in pieces {
+                let dup = kept
+                    .iter()
+                    .any(|(is_piece, t)| *is_piece && t.atoms() == canonical.atoms());
+                if !dup {
+                    kept.push((true, canonical));
+                }
+            }
+        }
+        // Second pass: absorption.  Untouched tuples never absorb each other
+        // (`self` is absorption-free) and are never implied by a piece's
+        // superset chain, so only pieces can be dropped: a piece contained in
+        // any other surviving tuple contributes nothing.
+        let survives = |i: usize, is_piece: bool, tuple: &GenTuple<T::A>| {
+            !is_piece
+                || !kept
+                    .iter()
+                    .enumerate()
+                    .any(|(j, (_, other))| j != i && tuple.entails::<T>(other.atoms()))
+        };
+        let mut tuples: Vec<GenTuple<T::A>> = Vec::with_capacity(kept.len());
+        let mut added: Vec<GenTuple<T::A>> = Vec::new();
+        for (i, (is_piece, tuple)) in kept.iter().enumerate() {
+            if survives(i, *is_piece, tuple) {
+                tuples.push(tuple.clone());
+                if *is_piece {
+                    added.push(tuple.clone());
+                }
+            }
+        }
+        (
+            Relation::assembled(self.vars.clone(), tuples),
+            PartDelta { added, removed },
+        )
+    }
+
+    /// Assembles a relation from tuples that are already simplified as a set
+    /// (canonical, deduplicated, mutually non-absorbing) — the delta
+    /// operations' constructor.  Debug builds verify canonicality.
+    fn assembled(vars: Vec<Var>, tuples: Vec<GenTuple<T::A>>) -> Relation<T> {
+        debug_assert!(
+            tuples.iter().all(|t| t
+                .to_canonical::<T>()
+                .is_some_and(|c| c.atoms() == t.atoms())),
+            "assembled relation holds a non-canonical tuple"
+        );
+        Relation {
+            vars,
+            tuples,
+            indexes: Arc::new(IndexCache::default()),
+            index_names: None,
+            _theory: PhantomData,
+        }
+    }
+
+    /// The generalized-tuple delta of this relation against an earlier value
+    /// over the same columns: `(added, removed)` where `added = self \ earlier`
+    /// and `removed = earlier \ self`.  Both sides are DNF differences under
+    /// the theory's entailment, so tuples of the update that were already
+    /// absorbed (or were unsatisfiable to begin with) contribute nothing —
+    /// the delta an incremental view-maintenance plan consumes is exactly the
+    /// semantic change.
+    ///
+    /// # Panics
+    /// Panics if the column variables differ.
+    #[must_use]
+    pub fn delta_from(&self, earlier: &Relation<T>) -> (Relation<T>, Relation<T>) {
+        (self.difference(earlier), earlier.difference(self))
+    }
+
     /// Containment `self ⊆ other` (both over the same columns), decided by checking
     /// that `self ∧ ¬other` is unsatisfiable, one generalized tuple at a time.
     ///
@@ -1805,6 +2025,37 @@ impl<T: Theory> fmt::Display for Relation<T> {
     }
 }
 
+/// The exact part-level effect of a delta operation on a relation's DNF:
+/// `added` holds parts present in the result but not the receiver, `removed`
+/// parts of the receiver that are gone.  Emptiness of both means the update
+/// was a no-op (every incoming tuple absorbed, or nothing deleted), so
+/// consumers can use the report both to skip work and to maintain
+/// part-aligned caches without re-diffing the two values.
+#[derive(Debug, Clone)]
+pub struct PartDelta<A> {
+    /// Parts the result gained.
+    pub added: Vec<GenTuple<A>>,
+    /// Parts of the receiver no longer present in the result.
+    pub removed: Vec<GenTuple<A>>,
+}
+
+impl<A> Default for PartDelta<A> {
+    fn default() -> Self {
+        PartDelta {
+            added: Vec::new(),
+            removed: Vec::new(),
+        }
+    }
+}
+
+impl<A> PartDelta<A> {
+    /// True when the operation changed nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
 /// Atom types that can express equality between a variable and a constant; needed to
 /// embed classical finite relations (`Relation::from_points`).
 pub trait FromEquality: Sized {
@@ -1823,7 +2074,11 @@ impl FromEquality for crate::dense::DenseAtom {
 #[derive(Debug)]
 pub struct Instance<T: Theory> {
     schema: Schema,
-    relations: BTreeMap<RelName, Relation<T>>,
+    /// Stored values are `Arc`-shared so cloning an instance — the
+    /// copy-on-write snapshot step of every engine commit — costs a map of
+    /// pointer bumps, never a part-table copy.  Relations are immutable, so
+    /// sharing is invisible; `set` replaces the whole pointer.
+    relations: BTreeMap<RelName, Arc<Relation<T>>>,
 }
 
 impl<T: Theory> Clone for Instance<T> {
@@ -1883,7 +2138,7 @@ impl<T: Theory> Instance<T> {
     pub fn remove(&mut self, name: &RelName) -> Option<Relation<T>> {
         let stored = self.relations.remove(name);
         self.schema.remove(name);
-        stored
+        stored.map(|rel| Arc::try_unwrap(rel).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Sets a relation.
@@ -1910,23 +2165,38 @@ impl<T: Theory> Instance<T> {
                 found: relation.arity(),
             });
         }
-        self.relations.insert(name, relation);
+        self.relations.insert(name, Arc::new(relation));
         Ok(self)
     }
 
     /// Looks up a relation; undeclared names return `None`, declared-but-unset names
-    /// return the empty relation.
+    /// return the empty relation.  The returned value is an owned copy; hot
+    /// paths that only read should prefer [`Instance::get_shared`].
     #[must_use]
     pub fn get(&self, name: &RelName) -> Option<Relation<T>> {
+        self.get_shared(name)
+            .map(|rel| Arc::try_unwrap(rel).unwrap_or_else(|shared| (*shared).clone()))
+    }
+
+    /// Looks up a relation without copying its part table: the stored value
+    /// is handed out `Arc`-shared, so the call is `O(1)` however large the
+    /// relation.  Undeclared names return `None`, declared-but-unset names a
+    /// freshly allocated empty relation.
+    #[must_use]
+    pub fn get_shared(&self, name: &RelName) -> Option<Arc<Relation<T>>> {
         let arity = self.schema.arity(name)?;
         Some(self.relations.get(name).cloned().unwrap_or_else(|| {
-            Relation::empty((0..arity).map(|i| Var::new(format!("x{i}"))).collect())
+            Arc::new(Relation::empty(
+                (0..arity).map(|i| Var::new(format!("x{i}"))).collect(),
+            ))
         }))
     }
 
     /// Iterates over the stored relations.
     pub fn iter(&self) -> impl Iterator<Item = (&RelName, &Relation<T>)> {
-        self.relations.iter()
+        self.relations
+            .iter()
+            .map(|(name, rel)| (name, rel.as_ref()))
     }
 
     /// All constants occurring in the instance (the active domain `adom(I)` of
@@ -1935,7 +2205,7 @@ impl<T: Theory> Instance<T> {
     pub fn active_domain(&self) -> BTreeSet<Rat> {
         self.relations
             .values()
-            .flat_map(Relation::constants)
+            .flat_map(|rel| rel.constants())
             .collect()
     }
 
@@ -1948,7 +2218,7 @@ impl<T: Theory> Instance<T> {
             relations: self
                 .relations
                 .iter()
-                .map(|(n, r)| (n.clone(), r.map_constants(f)))
+                .map(|(n, r)| (n.clone(), Arc::new(r.map_constants(f))))
                 .collect(),
         }
     }
@@ -2219,5 +2489,138 @@ mod tests {
         let text = inst.to_string();
         assert!(text.starts_with("schema R/1, S/2;\n"));
         assert!(text.contains("R := {(x) | "));
+    }
+
+    /// The delta union must be *identical* (same tuple set, not just
+    /// equivalent) to the batch union whenever both sides are canonical and
+    /// disjoint — the common commit-path shape.
+    #[test]
+    fn union_delta_matches_union_on_disjoint_parts() {
+        let stored = Rel::new(vec![x()], vec![interval(0, 1), interval(4, 5)]);
+        let delta = Rel::new(vec![x()], vec![interval(8, 9)]);
+        let merged = stored.union_delta(&delta);
+        let batch = stored.union(&delta);
+        assert_eq!(merged.tuples(), batch.tuples());
+        assert_eq!(merged.num_tuples(), 3);
+    }
+
+    #[test]
+    fn union_delta_absorbs_in_both_directions() {
+        let stored = Rel::new(vec![x()], vec![interval(0, 10), interval(20, 21)]);
+        // One delta part falls inside a stored part; the other swallows one.
+        let delta = Rel::new(vec![x()], vec![interval(2, 3), interval(19, 30)]);
+        let (merged, report) = stored.union_delta_report(&delta);
+        assert!(merged.equivalent(&stored.union(&delta)));
+        assert_eq!(merged.num_tuples(), 2); // [0,10] and [19,30]
+        assert!(merged.contains(&[r(25)]));
+        assert!(!merged.contains(&[r(15)]));
+        // The report records the absorbed stored part and the one survivor
+        // of the delta; the absorbed delta part appears nowhere.
+        assert_eq!(report.removed, vec![stored.tuples()[1].clone()]);
+        assert_eq!(report.added.len(), 1);
+        assert_eq!(report.added[0].atoms(), merged.tuples()[1].atoms());
+    }
+
+    #[test]
+    fn union_delta_drops_unsatisfiable_and_duplicate_delta_parts() {
+        let stored = Rel::new(vec![x()], vec![interval(0, 1)]);
+        let unsat = GenTuple::new(vec![
+            DenseAtom::lt(Term::var("x"), Term::cst(0)),
+            DenseAtom::lt(Term::cst(1), Term::var("x")),
+        ]);
+        // `try_new` would simplify these away; feed them through a relation
+        // that still carries them via new() on the raw list.
+        let delta = Rel::new(vec![x()], vec![unsat, interval(0, 1), interval(0, 1)]);
+        let merged = stored.union_delta(&delta);
+        assert_eq!(merged.tuples(), stored.tuples());
+    }
+
+    #[test]
+    fn union_delta_empty_sides_match_union() {
+        let stored = Rel::new(vec![x()], vec![interval(0, 1)]);
+        let empty = Rel::empty(vec![x()]);
+        assert_eq!(stored.union_delta(&empty).tuples(), stored.tuples());
+        assert_eq!(empty.union_delta(&stored).tuples(), stored.tuples());
+    }
+
+    #[test]
+    fn difference_delta_carries_untouched_parts_verbatim() {
+        let stored = Rel::new(vec![x()], vec![interval(0, 1), interval(10, 20)]);
+        let delta = Rel::new(vec![x()], vec![interval(12, 14)]);
+        let (out, report) = stored.difference_delta_report(&delta);
+        assert!(out.equivalent(&stored.difference(&delta)));
+        // The untouched part survives with its exact stored atoms.
+        assert!(out.tuples().contains(&stored.tuples()[0]));
+        assert!(out.contains(&[r(11)]) && out.contains(&[r(15)]));
+        assert!(!out.contains(&[r(13)]));
+        // The report names the split origin and its two residual pieces;
+        // the untouched part appears in neither list.
+        assert_eq!(report.removed, vec![stored.tuples()[1].clone()]);
+        assert_eq!(report.added.len(), 2);
+        assert!(report.added.iter().all(|p| !stored.tuples().contains(p)));
+    }
+
+    #[test]
+    fn delta_reports_are_empty_exactly_on_no_ops() {
+        let stored = Rel::new(vec![x()], vec![interval(0, 10)]);
+        // Inserting an absorbed interval changes nothing.
+        let (same, report) = stored.union_delta_report(&Rel::new(vec![x()], vec![interval(2, 3)]));
+        assert!(report.is_empty());
+        assert_eq!(same.tuples(), stored.tuples());
+        // Deleting a disjoint region changes nothing either.
+        let (same, report) =
+            stored.difference_delta_report(&Rel::new(vec![x()], vec![interval(20, 30)]));
+        assert!(report.is_empty());
+        assert_eq!(same.tuples(), stored.tuples());
+    }
+
+    #[test]
+    fn difference_delta_deletes_whole_parts_and_is_empty_safe() {
+        let stored = Rel::new(vec![x()], vec![interval(0, 1), interval(4, 5)]);
+        let exact = Rel::new(vec![x()], vec![interval(0, 1)]);
+        let out = stored.difference_delta(&exact);
+        assert!(out.equivalent(&Rel::new(vec![x()], vec![interval(4, 5)])));
+        let all = stored.difference_delta(&stored);
+        assert!(all.is_empty());
+        let empty = Rel::empty(vec![x()]);
+        assert_eq!(stored.difference_delta(&empty).tuples(), stored.tuples());
+        assert!(empty.difference_delta(&stored).is_empty());
+    }
+
+    /// Randomized parity: over interval soups, the delta operations agree
+    /// semantically with the batch operations (union also shape-exactly once
+    /// both inputs are canonical).
+    #[test]
+    fn delta_operations_agree_with_batch_operations() {
+        let mut seed = 0x9e37_79b9_u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 33) as i64 % 24
+        };
+        for _ in 0..50 {
+            let soup = |n: usize, next: &mut dyn FnMut() -> i64| {
+                let parts = (0..n)
+                    .map(|_| {
+                        let lo = next();
+                        interval(lo, lo + 1 + next().abs() % 5)
+                    })
+                    .collect::<Vec<_>>();
+                Rel::new(vec![x()], parts)
+            };
+            let stored = soup(6, &mut next);
+            let delta = soup(2, &mut next);
+            assert!(
+                stored.union_delta(&delta).equivalent(&stored.union(&delta)),
+                "union divergence: {stored} vs {delta}"
+            );
+            assert!(
+                stored
+                    .difference_delta(&delta)
+                    .equivalent(&stored.difference(&delta)),
+                "difference divergence: {stored} vs {delta}"
+            );
+        }
     }
 }

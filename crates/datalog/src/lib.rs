@@ -286,6 +286,9 @@ pub enum DatalogError {
     InconsistentHeadArity(String),
     /// A head predicate clashes with an EDB relation of the input schema.
     HeadShadowsEdb(String),
+    /// A fixpoint seed names a predicate that is not an intensional head of
+    /// the program, or disagrees with the head's arity.
+    SeedMismatch(String),
 }
 
 impl fmt::Display for DatalogError {
@@ -300,6 +303,9 @@ impl fmt::Display for DatalogError {
             }
             DatalogError::HeadShadowsEdb(r) => {
                 write!(f, "intensional predicate {r} shadows an EDB relation")
+            }
+            DatalogError::SeedMismatch(r) => {
+                write!(f, "seed relation {r} is not an intensional head of the program (or its arity disagrees)")
             }
         }
     }
@@ -807,7 +813,31 @@ impl<A: frdb_core::theory::Atom> Program<A> {
         &self,
         edb: &Instance<T>,
     ) -> Result<FixpointResult<T>, DatalogError> {
-        self.run_with(edb, None)
+        self.run_with(edb, None, None)
+    }
+
+    /// Delta-aware fixpoint **re-entry**: runs the program with the
+    /// intensional predicates seeded at `seed` instead of empty — the
+    /// incremental-maintenance entry point after an update to the extensional
+    /// database.  The seed doubles as the first round's semi-naive delta, so
+    /// rules re-fire against the seeded tuples and the changed EDB without
+    /// re-deriving the seed itself; the result is the inflationary fixpoint
+    /// **containing the seed**.  For a monotone program whose seed is the
+    /// previous fixpoint and whose EDB only grew, that is semantically
+    /// equivalent to a from-scratch run — though the DNF representation may
+    /// differ in shape, which is why the database layer's exact-equality
+    /// commit path re-runs from scratch and leaves re-entry to embedders that
+    /// only need semantic equivalence.
+    ///
+    /// # Errors
+    /// As for [`Program::run`]; additionally [`DatalogError::SeedMismatch`]
+    /// when a seed entry is not an intensional head (or disagrees on arity).
+    pub fn run_seeded<T: Theory<A = A>>(
+        &self,
+        edb: &Instance<T>,
+        seed: &BTreeMap<RelName, Relation<T>>,
+    ) -> Result<FixpointResult<T>, DatalogError> {
+        self.run_with(edb, None, Some(seed))
     }
 
     /// [`Program::run`] with a per-round trace: the fixpoint result plus a
@@ -828,14 +858,47 @@ impl<A: frdb_core::theory::Atom> Program<A> {
             naive: false,
             rounds: Vec::new(),
         };
-        let result = self.run_with(edb, Some(&mut trace))?;
+        let result = self.run_with(edb, Some(&mut trace), None)?;
         Ok((result, trace))
+    }
+
+    /// Overlays a fixpoint seed onto the freshly seeded evaluation state:
+    /// validates every entry against the IDB schema, renames it onto the
+    /// engine's canonical columns, and installs it as both the predicate's
+    /// starting value and (when the deltas exist) its first-round delta.
+    fn apply_seed<T: Theory<A = A>>(
+        seed: &BTreeMap<RelName, Relation<T>>,
+        idb: &BTreeMap<RelName, usize>,
+        current: &mut Instance<T>,
+        idb_state: &mut BTreeMap<RelName, Relation<T>>,
+        with_deltas: bool,
+    ) -> Result<(), DatalogError> {
+        for (name, rel) in seed {
+            let Some(&arity) = idb.get(name) else {
+                return Err(DatalogError::SeedMismatch(name.to_string()));
+            };
+            if rel.arity() != arity {
+                return Err(DatalogError::SeedMismatch(name.to_string()));
+            }
+            let seeded = rel.rename(idb_columns(arity));
+            idb_state.insert(name.clone(), seeded.clone());
+            current
+                .set(name.clone(), seeded.clone())
+                .expect("engine-declared relation");
+            if with_deltas {
+                current
+                    .set(delta_name(name), seeded)
+                    .expect("engine-declared relation");
+            }
+        }
+        Ok(())
     }
 
     fn run_with<T: Theory<A = A>>(
         &self,
         edb: &Instance<T>,
         mut trace: Option<&mut FixpointTrace>,
+        seed: Option<&BTreeMap<RelName, Relation<T>>>,
     ) -> Result<FixpointResult<T>, DatalogError> {
         let idb = self.validated_idb(edb.schema())?;
         // Compiled once per program and theory, reused across `run` calls
@@ -856,11 +919,15 @@ impl<A: frdb_core::theory::Atom> Program<A> {
             if let Some(t) = trace.as_deref_mut() {
                 t.naive = true;
             }
-            return self.run_naive_with(edb, trace);
+            return self.run_naive_with(edb, trace, seed);
         }
         // Evaluation schema and state: EDB relations, IDB predicates, and
-        // their deltas (initially empty, like the IDB itself).
+        // their deltas (initially empty, like the IDB itself — unless seeded
+        // for a re-entrant run, in which case the seed is the first delta).
         let (mut current, mut idb_state) = seed_state(edb, &idb, true);
+        if let Some(seed) = seed {
+            Self::apply_seed(seed, &idb, &mut current, &mut idb_state, true)?;
+        }
 
         // Re-optimize the cached plans once per run against statistics of the
         // seeded instance (cheap plan rewriting — the source formulas are not
@@ -995,17 +1062,21 @@ impl<A: frdb_core::theory::Atom> Program<A> {
         &self,
         edb: &Instance<T>,
     ) -> Result<FixpointResult<T>, DatalogError> {
-        self.run_naive_with(edb, None)
+        self.run_naive_with(edb, None, None)
     }
 
     fn run_naive_with<T: Theory<A = A>>(
         &self,
         edb: &Instance<T>,
         mut trace: Option<&mut FixpointTrace>,
+        seed: Option<&BTreeMap<RelName, Relation<T>>>,
     ) -> Result<FixpointResult<T>, DatalogError> {
         let idb = self.validated_idb(edb.schema())?;
         // Combined schema and state: EDB relations plus IDB predicates.
         let (mut current, mut idb_state) = seed_state(edb, &idb, false);
+        if let Some(seed) = seed {
+            Self::apply_seed(seed, &idb, &mut current, &mut idb_state, false)?;
+        }
 
         // Bodies are planned once per program and theory and cached across
         // calls (the "naive" in naive evaluation is the full re-evaluation
@@ -1165,6 +1236,75 @@ mod tests {
             assert_eq!(semi.iterations, naive.iterations, "path({n})");
             assert_eq!(semi.iterations as i64, n + 1, "path({n})");
         }
+    }
+
+    #[test]
+    fn seeded_reentry_matches_from_scratch_semantically() {
+        // Close a 5-path, then extend the graph by one edge and re-enter the
+        // fixpoint from the previous closure: the result must be semantically
+        // the closure of the grown graph, in fewer rounds than from scratch.
+        let before = path_graph(5);
+        let program = transitive_closure_program("edge", "tc");
+        let tc_name = RelName::new("tc");
+        let old = program.run(&before).unwrap();
+        let seed: BTreeMap<RelName, Relation<DenseOrder>> =
+            [(tc_name.clone(), old.instance.get(&tc_name).unwrap())]
+                .into_iter()
+                .collect();
+
+        let after = path_graph(6);
+        let scratch = program.run(&after).unwrap();
+        let seeded = program.run_seeded(&after, &seed).unwrap();
+        assert!(seeded
+            .instance
+            .get(&tc_name)
+            .unwrap()
+            .equivalent(&scratch.instance.get(&tc_name).unwrap()));
+        assert!(
+            seeded.iterations < scratch.iterations,
+            "re-entry took {} rounds, from scratch {}",
+            seeded.iterations,
+            scratch.iterations
+        );
+    }
+
+    #[test]
+    fn empty_seed_matches_unseeded_run_exactly() {
+        let inst = path_graph(4);
+        let program = transitive_closure_program("edge", "tc");
+        let plain = program.run(&inst).unwrap();
+        let seeded = program.run_seeded(&inst, &BTreeMap::new()).unwrap();
+        assert_eq!(plain.iterations, seeded.iterations);
+        let tc = RelName::new("tc");
+        assert_eq!(
+            plain.instance.get(&tc).unwrap().to_dnf(),
+            seeded.instance.get(&tc).unwrap().to_dnf(),
+            "an empty seed must not perturb the run"
+        );
+    }
+
+    #[test]
+    fn seed_mismatch_is_a_typed_error() {
+        let inst = path_graph(3);
+        let program = transitive_closure_program("edge", "tc");
+        let bogus_name: BTreeMap<RelName, Relation<DenseOrder>> = [(
+            RelName::new("nosuch"),
+            Relation::empty(vec![Var::new("c0"), Var::new("c1")]),
+        )]
+        .into_iter()
+        .collect();
+        assert_eq!(
+            program.run_seeded(&inst, &bogus_name).unwrap_err(),
+            DatalogError::SeedMismatch("nosuch".to_string())
+        );
+        let bogus_arity: BTreeMap<RelName, Relation<DenseOrder>> =
+            [(RelName::new("tc"), Relation::empty(vec![Var::new("c0")]))]
+                .into_iter()
+                .collect();
+        assert_eq!(
+            program.run_seeded(&inst, &bogus_arity).unwrap_err(),
+            DatalogError::SeedMismatch("tc".to_string())
+        );
     }
 
     #[test]

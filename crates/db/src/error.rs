@@ -5,6 +5,23 @@
 use frdb_lang::{ParseError, Span};
 use std::fmt;
 
+/// A machine-readable classification of a [`DbError`].
+///
+/// Most errors are [`DbErrorKind::Other`]; the update commit path raises
+/// typed kinds so callers (and tests) can distinguish "you never declared
+/// that relation" from "the tuple has the wrong width" without string
+/// matching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DbErrorKind {
+    /// An update named a relation that was never declared.
+    UndeclaredRelation,
+    /// An update's tuple width disagrees with the declared arity.
+    ArityMismatch,
+    /// Any other failure (parse errors, evaluation errors, ...).
+    Other,
+}
+
 /// An error raised while parsing a script, executing a statement, or calling
 /// the programmatic API, with an optional byte span into the source.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -13,6 +30,8 @@ pub struct DbError {
     pub message: String,
     /// Byte span of the offending statement or token, when known.
     pub span: Option<Span>,
+    /// Machine-readable classification of the failure.
+    pub kind: DbErrorKind,
 }
 
 impl DbError {
@@ -22,6 +41,7 @@ impl DbError {
         DbError {
             message: message.into(),
             span: None,
+            kind: DbErrorKind::Other,
         }
     }
 
@@ -31,6 +51,17 @@ impl DbError {
         DbError {
             message: message.into(),
             span: Some(span),
+            kind: DbErrorKind::Other,
+        }
+    }
+
+    /// A span-less error carrying a typed [`DbErrorKind`].
+    #[must_use]
+    pub fn typed(kind: DbErrorKind, message: impl Into<String>) -> Self {
+        DbError {
+            message: message.into(),
+            span: None,
+            kind,
         }
     }
 
@@ -67,6 +98,7 @@ impl From<ParseError> for DbError {
         DbError {
             message: e.message.clone(),
             span: Some(e.span),
+            kind: DbErrorKind::Other,
         }
     }
 }

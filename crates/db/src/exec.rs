@@ -65,6 +65,14 @@ where
                 self.set_relation(name.clone(), relation.clone())
                     .map_err(|e| e.with_span(span))?;
             }
+            Stmt::Insert { name, relation } => {
+                self.insert_relation(name.clone(), relation.clone())
+                    .map_err(|e| e.with_span(span))?;
+            }
+            Stmt::Delete { name, relation } => {
+                self.delete_relation(name.clone(), relation.clone())
+                    .map_err(|e| e.with_span(span))?;
+            }
             Stmt::Query {
                 name,
                 free,

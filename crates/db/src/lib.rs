@@ -52,18 +52,20 @@
 mod error;
 mod exec;
 
-pub use error::DbError;
+pub use error::{DbError, DbErrorKind};
 
 use frdb_core::fo::{
     next_generation, CompiledQuery, Explain, PlanCache, PlanConfig, QueryTrace, Statistics,
 };
 use frdb_core::logic::{Formula, Var};
 use frdb_core::metrics::{JoinStrategyCounts, MetricsRegistry, MetricsSnapshot};
-use frdb_core::relation::{column_index_counters, join_strategy_counters, Instance, Relation};
+use frdb_core::relation::{
+    column_index_counters, join_strategy_counters, GenTuple, Instance, PartDelta, Relation,
+};
 use frdb_core::schema::{RelName, Schema};
 use frdb_core::theory::Theory;
 use frdb_datalog::{FixpointTrace, Program};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -129,6 +131,69 @@ impl<T: Theory> Clone for QueryDef<T> {
     }
 }
 
+/// Maintenance provenance for one materialized view whose formula is
+/// **linear** in a single stored relation `dep` (the relation occurs exactly
+/// once, under no negation or universal quantifier).  For such a view the
+/// compiled plan distributes over `dep`'s DNF parts: the answer is the
+/// absorption-canonical union of `base` (what the plan derives with `dep`
+/// empty — e.g. disjuncts that never mention it) and, per stored part of
+/// `dep`, the parts the plan derives from that one part alone.  A refresh
+/// after an update then re-evaluates only the parts of `dep` it has never
+/// seen — insertions as new DNF parts joined through the existing plan,
+/// deletions by their parts simply dropping out of the alignment — instead of
+/// the whole instance.  When the refresh is driven by a first-class update,
+/// its [`PartDelta`] report flows down the cascade and a pure insertion
+/// skips the alignment entirely: prior groups carry over and only the added
+/// parts evaluate, in time proportional to the update.  See "Incremental
+/// maintenance" in docs/ARCHITECTURE.md.
+struct ViewMaint<T: Theory> {
+    /// The single relation the view's formula is linear in.
+    dep: RelName,
+    /// Answer parts derived with `dep` empty.
+    base: Vec<GenTuple<T::A>>,
+    /// Provenance groups, one per past refresh batch: disjoint sets of `dep`
+    /// parts (matched by structural equality) coupled with the answer parts
+    /// the plan derives from exactly those parts.  Batch granularity keeps
+    /// the refresh at **one** plan evaluation however many parts an update
+    /// adds, and each group is `Arc`-shared so unchanged groups carry over
+    /// at reference-count cost.  A group that lost a part re-derives its
+    /// survivors (bounded by the original batch size).
+    groups: Vec<Arc<MaintGroup<T>>>,
+}
+
+/// One provenance group of a maintained view: `outs` is what the view's plan
+/// derives when `dep` holds exactly `parts` — by linearity, the contributions
+/// of these parts to the full answer.
+struct MaintGroup<T: Theory> {
+    parts: Vec<GenTuple<T::A>>,
+    outs: Vec<GenTuple<T::A>>,
+}
+
+/// Counts how often `name` occurs in `f` as a relation atom, returning `None`
+/// when `f` contains a construct (negation, universal quantification — and
+/// thus the `implies`/`iff` sugar, which desugars to negation) under which
+/// evaluation does not distribute over a relation's DNF parts.
+fn linear_occurrences<A>(f: &Formula<A>, name: &RelName) -> Option<usize> {
+    match f {
+        Formula::True | Formula::False | Formula::Atom(_) => Some(0),
+        Formula::Rel { name: n, .. } => Some(usize::from(n == name)),
+        Formula::Not(_) | Formula::Forall(_, _) => None,
+        Formula::And(fs) | Formula::Or(fs) => fs
+            .iter()
+            .try_fold(0, |acc, g| Some(acc + linear_occurrences(g, name)?)),
+        Formula::Exists(_, g) => linear_occurrences(g, name),
+    }
+}
+
+/// Exact (representation-level) equality of two stored relations: same
+/// columns, same generalized tuples in the same order.  This is the change
+/// detector the refresh cascade runs on — deliberately stricter than
+/// [`Relation::equivalent`], because the differential harness pins *exact
+/// DNF* equality between maintained and recomputed state.
+fn same_value<T: Theory>(a: &Relation<T>, b: &Relation<T>) -> bool {
+    a.vars() == b.vars() && a.tuples() == b.tuples()
+}
+
 /// One committed, immutable state of a database.  Shared by `Arc`: snapshots
 /// hold it frozen while the handle swaps in successors.
 struct EngineState<T: Theory> {
@@ -150,6 +215,15 @@ struct EngineState<T: Theory> {
     /// its own previous answer, but a query named like a *user* relation is
     /// refused rather than silently clobbering stored data.
     materialized: BTreeSet<RelName>,
+    /// Per-view maintenance provenance, keyed by the materialized name.
+    /// Built lazily by the first maintainable refresh, dropped whenever the
+    /// view is recomputed, redefined, or reclaimed by the user.  `Arc`-shared
+    /// so the copy-on-write commit path clones pointers, not part tables.
+    maint: BTreeMap<String, Arc<ViewMaint<T>>>,
+    /// Programs whose fixpoints are kept fresh: every program a `fixpoint`
+    /// statement has run, until the user reclaims one of its heads with an
+    /// explicit assignment or update (which deactivates the program).
+    active_programs: BTreeSet<String>,
 }
 
 impl<T: Theory> EngineState<T> {
@@ -161,6 +235,8 @@ impl<T: Theory> EngineState<T> {
             programs: BTreeMap::new(),
             derived: BTreeSet::new(),
             materialized: BTreeSet::new(),
+            maint: BTreeMap::new(),
+            active_programs: BTreeSet::new(),
         }
     }
 
@@ -175,6 +251,8 @@ impl<T: Theory> EngineState<T> {
             programs: self.programs.clone(),
             derived: self.derived.clone(),
             materialized: self.materialized.clone(),
+            maint: self.maint.clone(),
+            active_programs: self.active_programs.clone(),
         }
     }
 }
@@ -367,6 +445,23 @@ impl<T: Theory> Snapshot<T> {
     }
 }
 
+/// How the engine refreshes materialized query answers and stored-program
+/// fixpoints after a value-changing commit (`insert`, `delete`, assignment,
+/// or a cascading refresh).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MaintenanceMode {
+    /// Maintain incrementally where the view's shape allows it (formula
+    /// linear in the one relation that changed), falling back to a full
+    /// recompute otherwise.  The default.
+    #[default]
+    Incremental,
+    /// Always recompute dependents from scratch.  Kept reachable as the
+    /// differential-testing oracle, the same way [`PlanConfig::eager`] keeps
+    /// the unfactorized evaluator reachable: both modes run the identical
+    /// refresh cascade and must publish *exactly* the same DNF.
+    Recompute,
+}
+
 /// Construction-time configuration of a [`Database`].
 #[derive(Clone, Default)]
 pub struct DbConfig {
@@ -381,6 +476,8 @@ pub struct DbConfig {
     /// The plan cache to share.  `None` (the default) uses the process-global
     /// cache; tests that assert on counters can pass a private one.
     pub plan_cache: Option<Arc<PlanCache>>,
+    /// How materialized views and fixpoints react to updates.
+    pub maintenance: MaintenanceMode,
 }
 
 /// The result of running a stored program to its fixpoint: what a `fixpoint`
@@ -409,6 +506,7 @@ pub struct Database<T: Theory> {
     cache: Arc<PlanCache>,
     plan_config: PlanConfig,
     timings: bool,
+    maintenance: MaintenanceMode,
     /// This database's metrics registry.  Every operation brackets its
     /// evaluation with the engine's thread-local counters and folds the
     /// deltas in here, so the registry accounts exactly this database's work
@@ -441,8 +539,16 @@ impl<T: Theory> Database<T> {
                 .unwrap_or_else(|| Arc::clone(PlanCache::global())),
             plan_config: config.plan_config,
             timings: config.timings,
+            maintenance: config.maintenance,
             metrics: Arc::new(MetricsRegistry::default()),
         }
+    }
+
+    /// How this database refreshes materialized views and fixpoints after
+    /// updates.
+    #[must_use]
+    pub fn maintenance(&self) -> MaintenanceMode {
+        self.maintenance
     }
 
     /// A deterministic, golden-testable account of the session's cache and
@@ -572,7 +678,8 @@ impl<T: Theory> Database<T> {
 
     /// Sets a stored relation.  An explicit assignment makes the relation the
     /// user's again: a later `fixpoint` will not strip it, and a later `run`
-    /// will refuse to clobber it.
+    /// will refuse to clobber it.  Dependent materialized views and active
+    /// fixpoints refresh within the same commit.
     ///
     /// # Errors
     /// Returns an error if the relation is undeclared or the arity disagrees.
@@ -583,11 +690,119 @@ impl<T: Theory> Database<T> {
     ) -> Result<(), DbError> {
         let name = name.into();
         self.commit_with(|work| {
+            let old = work.instance.get(&name);
             work.instance
-                .set(name.clone(), relation)
+                .set(name.clone(), relation.clone())
                 .map_err(|e| DbError::new(e.to_string()))?;
             work.derived.remove(&name);
             work.materialized.remove(&name);
+            work.maint.remove(name.as_str());
+            if old.is_none_or(|old| !same_value(&old, &relation)) {
+                self.refresh_dependents(work, BTreeSet::from([name]), BTreeMap::new())?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Inserts generalized tuples into a stored relation (the `insert`
+    /// statement): the new value is the absorption-canonical union of the old
+    /// value and `relation`, so unsatisfiable or already-covered tuples
+    /// change nothing.  Like an assignment, an explicit update makes the
+    /// relation the user's again.  Dependent materialized views and active
+    /// fixpoints refresh within the same commit, incrementally when
+    /// [`MaintenanceMode::Incremental`] and the view's shape allow.
+    ///
+    /// # Errors
+    /// Returns a typed error ([`DbErrorKind::UndeclaredRelation`] /
+    /// [`DbErrorKind::ArityMismatch`]) when the update names an undeclared
+    /// relation or disagrees with the declared arity; nothing is committed.
+    pub fn insert_relation(
+        &self,
+        name: impl Into<RelName>,
+        relation: Relation<T>,
+    ) -> Result<(), DbError> {
+        self.update_relation(name.into(), relation, true)
+    }
+
+    /// Deletes a region from a stored relation (the `delete` statement): the
+    /// new value is the DNF difference `old \ relation` under the theory's
+    /// entailment, so deleting never-inserted tuples changes nothing.
+    /// Ownership and refresh semantics are as for
+    /// [`Database::insert_relation`].
+    ///
+    /// # Errors
+    /// As for [`Database::insert_relation`].
+    pub fn delete_relation(
+        &self,
+        name: impl Into<RelName>,
+        relation: Relation<T>,
+    ) -> Result<(), DbError> {
+        self.update_relation(name.into(), relation, false)
+    }
+
+    fn update_relation(
+        &self,
+        name: RelName,
+        relation: Relation<T>,
+        insert: bool,
+    ) -> Result<(), DbError> {
+        self.commit_with(|work| {
+            // Validate against the schema *before* mutating anything, with
+            // typed errors: `Instance::set` would also catch both cases, but
+            // only after the expensive union/difference below.
+            let declared = work.instance.schema().arity(&name).ok_or_else(|| {
+                DbError::typed(
+                    DbErrorKind::UndeclaredRelation,
+                    format!("unknown relation `{name}`: declare it before updating"),
+                )
+            })?;
+            if relation.arity() != declared {
+                return Err(DbError::typed(
+                    DbErrorKind::ArityMismatch,
+                    format!(
+                        "arity mismatch updating `{name}`: declared {declared}, \
+                         the update has arity {found}",
+                        found = relation.arity()
+                    ),
+                ));
+            }
+            let old = work
+                .instance
+                .get_shared(&name)
+                .expect("declared relations always resolve");
+            let incoming = relation.rename(old.vars().to_vec());
+            // The delta variants do work proportional to the *update*, not the
+            // stored relation — untouched parts are carried over verbatim —
+            // which is what makes a small-delta commit cheap even on large
+            // instances.  Their simplified-input precondition holds because
+            // every stored relation was built by core's simplifying
+            // constructors.
+            let (updated, report) = if insert {
+                old.union_delta_report(&incoming)
+            } else {
+                old.difference_delta_report(&incoming)
+            };
+            // The report is the *effective* part-level delta: absorbed
+            // inserts and misses on delete contribute nothing.  It drives
+            // the metrics tap, the no-op short-circuit, and — flowing down
+            // the refresh cascade — the maintenance fast path that skips
+            // re-aligning untouched provenance.
+            if insert {
+                self.metrics.record_insert(report.added.len() as u64);
+            } else {
+                self.metrics.record_delete(report.removed.len() as u64);
+            }
+            let changed = !report.is_empty();
+            work.instance
+                .set(name.clone(), updated)
+                .map_err(|e| DbError::new(e.to_string()))?;
+            work.derived.remove(&name);
+            work.materialized.remove(&name);
+            work.maint.remove(name.as_str());
+            if changed {
+                let deltas = BTreeMap::from([(name.clone(), Arc::new(report))]);
+                self.refresh_dependents(work, BTreeSet::from([name]), deltas)?;
+            }
             Ok(())
         })
     }
@@ -615,6 +830,8 @@ impl<T: Theory> Database<T> {
                     compiled,
                 },
             );
+            // Any maintenance provenance describes the *old* definition.
+            work.maint.remove(name);
             Ok(())
         })
     }
@@ -683,13 +900,20 @@ impl<T: Theory> Database<T> {
             {
                 work.instance.remove(&rel_name);
             }
+            let previous = work.instance.get(&rel_name);
             work.instance
                 .declare(rel_name.clone(), answer.arity())
                 .map_err(|e| DbError::new(e.to_string()))?;
             work.instance
                 .set(rel_name.clone(), answer.clone())
                 .map_err(|e| DbError::new(e.to_string()))?;
-            work.materialized.insert(rel_name);
+            work.materialized.insert(rel_name.clone());
+            // A fresh full evaluation supersedes any maintenance provenance;
+            // it is rebuilt lazily by the next maintainable refresh.
+            work.maint.remove(name);
+            if previous.is_none_or(|prev| !same_value(&prev, &answer)) {
+                self.refresh_dependents(work, BTreeSet::from([rel_name]), BTreeMap::new())?;
+            }
             Ok((answer, elapsed))
         })
     }
@@ -726,14 +950,300 @@ impl<T: Theory> Database<T> {
                 .keys()
                 .filter_map(|head| result.instance.get(head).map(|rel| (head.clone(), rel)))
                 .collect();
+            let changed: BTreeSet<RelName> = heads
+                .iter()
+                .filter(|(head, new)| {
+                    work.instance
+                        .get(head)
+                        .is_none_or(|old| !same_value(&old, new))
+                })
+                .map(|(head, _)| head.clone())
+                .collect();
             work.instance = result.instance;
             work.derived.extend(idb.keys().cloned());
+            // The program's heads are now maintained: later updates to its
+            // EDB re-run it within the updating commit.
+            work.active_programs.insert(name.to_string());
+            if !changed.is_empty() {
+                self.refresh_dependents(work, changed, BTreeMap::new())?;
+            }
             Ok(FixpointRun {
                 iterations: result.iterations,
                 heads,
                 elapsed,
             })
         })
+    }
+
+    /// Refreshes every materialized view and active fixpoint that (directly
+    /// or transitively) reads a relation in `initial`, until the cascade
+    /// quiesces.  **Both** [`MaintenanceMode`]s run exactly this driver —
+    /// the mode only decides *how* a single view refresh is computed
+    /// (part-aligned maintenance vs. full re-evaluation) — so the
+    /// differential harness compares identical cascade semantics and the two
+    /// modes must publish identical DNF, part for part.
+    ///
+    /// Waves: the relations changed so far seed a wave; every dependent is
+    /// refreshed once per wave (views in name order, then programs in name
+    /// order), and dependents whose value actually changed seed the next
+    /// wave.  A view whose only dirty dependency is itself is left alone
+    /// (self-referential views would otherwise never quiesce), and a cycle
+    /// of views that keeps oscillating exhausts the wave budget and fails
+    /// the commit — publishing nothing.
+    fn refresh_dependents(
+        &self,
+        work: &mut EngineState<T>,
+        initial: BTreeSet<RelName>,
+        mut deltas: BTreeMap<RelName, Arc<PartDelta<T::A>>>,
+    ) -> Result<(), DbError> {
+        let mut pending = initial;
+        let budget = 2 * (work.queries.len() + work.programs.len()) + 2;
+        let mut waves = 0usize;
+        while !pending.is_empty() {
+            waves += 1;
+            if waves > budget {
+                return Err(DbError::new(
+                    "update cascade failed to quiesce: materialized views form an \
+                     unstable dependency cycle",
+                ));
+            }
+            let wave = std::mem::take(&mut pending);
+            let views: Vec<RelName> = work.materialized.iter().cloned().collect();
+            for view in views {
+                let Some(qdef) = work.queries.get(view.as_str()).cloned() else {
+                    continue;
+                };
+                let dirty: Vec<RelName> = qdef
+                    .compiled
+                    .relations()
+                    .iter()
+                    .map(|(n, _)| n.clone())
+                    .filter(|n| *n != view && wave.contains(n))
+                    .collect();
+                if dirty.is_empty() {
+                    continue;
+                }
+                let old = work
+                    .instance
+                    .get_shared(&view)
+                    .expect("materialized views are always stored");
+                let answer = self.refresh_view(work, &view, &qdef, &dirty, &deltas)?;
+                if !same_value(&old, &answer) {
+                    work.instance
+                        .set(view.clone(), answer)
+                        .map_err(|e| DbError::new(e.to_string()))?;
+                    // The view's value changed wholesale; any update delta
+                    // recorded under its name no longer describes it.
+                    deltas.remove(&view);
+                    pending.insert(view);
+                }
+            }
+            let programs: Vec<String> = work.active_programs.iter().cloned().collect();
+            for prog in programs {
+                for changed in self.refresh_program(work, &prog, &wave)? {
+                    deltas.remove(&changed);
+                    pending.insert(changed);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Recomputes one materialized view — incrementally via part-aligned
+    /// maintenance when the mode and the view's shape allow (exactly one
+    /// dirty dependency, formula linear in it), from scratch otherwise.
+    fn refresh_view(
+        &self,
+        work: &mut EngineState<T>,
+        view: &RelName,
+        qdef: &QueryDef<T>,
+        dirty: &[RelName],
+        deltas: &BTreeMap<RelName, Arc<PartDelta<T::A>>>,
+    ) -> Result<Relation<T>, DbError> {
+        if self.maintenance == MaintenanceMode::Incremental {
+            if let [dep] = dirty {
+                if linear_occurrences(&qdef.formula, dep) == Some(1) {
+                    let delta = deltas.get(dep).cloned();
+                    return self.maintain_view(work, view, qdef, dep, delta.as_deref());
+                }
+            }
+        }
+        // Full recompute through the definition-time plan (answers are
+        // bit-identical across plan shapes, so this matches what a fresh
+        // `run` would publish); stale provenance is dropped.
+        work.maint.remove(view.as_str());
+        self.metrics.record_view_recomputed();
+        qdef.compiled
+            .eval(&work.instance)
+            .map_err(|e| DbError::new(e.to_string()))
+    }
+
+    /// Part-aligned incremental refresh: re-evaluates the view only for
+    /// stored parts of `dep` that the provenance has never seen, re-using
+    /// cached per-part answers for the rest, and recomposes the answer as
+    /// the absorption-canonical union of all per-part contributions.
+    fn maintain_view(
+        &self,
+        work: &mut EngineState<T>,
+        view: &RelName,
+        qdef: &QueryDef<T>,
+        dep: &RelName,
+        delta: Option<&PartDelta<T::A>>,
+    ) -> Result<Relation<T>, DbError> {
+        let dep_rel = work.instance.get_shared(dep).ok_or_else(|| {
+            DbError::new(format!("view `{view}` reads undeclared relation `{dep}`"))
+        })?;
+        let prior = work
+            .maint
+            .get(view.as_str())
+            .filter(|m| &m.dep == dep)
+            .cloned();
+        // Relations are `Arc`-shared inside the instance, so this scratch
+        // copy costs a pointer map however large the stored data.
+        let mut scratch = work.instance.clone();
+        let mut eval_with_dep = |only: Relation<T>| -> Result<Vec<GenTuple<T::A>>, DbError> {
+            scratch
+                .set(dep.clone(), only)
+                .map_err(|e| DbError::new(e.to_string()))?;
+            let out = qdef
+                .compiled
+                .eval(&scratch)
+                .map_err(|e| DbError::new(e.to_string()))?;
+            Ok(out.tuples().to_vec())
+        };
+        let base = match &prior {
+            Some(m) => m.base.clone(),
+            None => eval_with_dep(Relation::empty(dep_rel.vars().to_vec()))?,
+        };
+        // Decide what to re-derive.  When the refresh was caused by a
+        // first-class update whose part-level report shows pure growth —
+        // nothing removed, every prior part still standing — the stored
+        // delta IS the work list: every prior group carries over by bumping
+        // its reference count, in time proportional to the *update*.  The
+        // count cross-check guards against a provenance that has drifted
+        // from the stored value (then the report does not describe it).
+        let mut groups: Vec<Arc<MaintGroup<T>>> = Vec::new();
+        let mut reeval: Vec<GenTuple<T::A>> = Vec::new();
+        let insert_fast_path = match (&prior, delta) {
+            (Some(m), Some(d)) if d.removed.is_empty() => {
+                let covered: usize = m.groups.iter().map(|g| g.parts.len()).sum();
+                covered + d.added.len() == dep_rel.tuples().len()
+            }
+            _ => false,
+        };
+        if insert_fast_path {
+            let m = prior.as_ref().expect("fast path requires provenance");
+            let d = delta.expect("fast path requires a delta");
+            groups.extend(m.groups.iter().map(Arc::clone));
+            reeval.extend(d.added.iter().cloned());
+        } else {
+            // Value alignment: two hash sets built once per refresh — a
+            // linear scan here would make the refresh quadratic in the
+            // stored relation even when nothing changed.  Intact groups
+            // carry over by bumping their reference count; parts the
+            // provenance has never seen, plus the survivors of any group
+            // that lost a part, re-derive together in ONE plan evaluation.
+            // (`GenTuple`'s interior mutability is its lazy closure caches;
+            // `Eq`/`Hash` read only the atom list, so the keys are stable.)
+            #[allow(clippy::mutable_key_type)]
+            let dep_parts: HashSet<&GenTuple<T::A>> = dep_rel.tuples().iter().collect();
+            #[allow(clippy::mutable_key_type)]
+            let prior_parts: HashSet<&GenTuple<T::A>> = prior
+                .as_ref()
+                .map(|m| m.groups.iter().flat_map(|g| g.parts.iter()).collect())
+                .unwrap_or_default();
+            reeval.extend(
+                dep_rel
+                    .tuples()
+                    .iter()
+                    .filter(|part| !prior_parts.contains(part))
+                    .cloned(),
+            );
+            for group in prior.as_ref().map(|m| m.groups.as_slice()).unwrap_or(&[]) {
+                let survivors: Vec<GenTuple<T::A>> = group
+                    .parts
+                    .iter()
+                    .filter(|part| dep_parts.contains(part))
+                    .cloned()
+                    .collect();
+                if survivors.len() == group.parts.len() {
+                    groups.push(Arc::clone(group));
+                } else {
+                    reeval.extend(survivors);
+                }
+            }
+        }
+        if !reeval.is_empty() {
+            let outs = eval_with_dep(Relation::new(dep_rel.vars().to_vec(), reeval.clone()))?;
+            groups.push(Arc::new(MaintGroup {
+                parts: reeval,
+                outs,
+            }));
+        }
+        let mut parts = base.clone();
+        parts.extend(groups.iter().flat_map(|g| g.outs.iter().cloned()));
+        let answer = Relation::try_new(qdef.free.clone(), parts)
+            .map_err(|e| DbError::new(e.to_string()))?
+            .canonically_sorted();
+        work.maint.insert(
+            view.as_str().to_string(),
+            Arc::new(ViewMaint {
+                dep: dep.clone(),
+                base,
+                groups,
+            }),
+        );
+        self.metrics.record_view_maintained();
+        Ok(answer)
+    }
+
+    /// Re-runs one active program when this wave touched a relation its rule
+    /// bodies read, merging the fixpoint back in; returns the heads whose
+    /// value changed.  A program one of whose heads the user has reclaimed
+    /// (by assignment or update) is deactivated instead.
+    fn refresh_program(
+        &self,
+        work: &mut EngineState<T>,
+        name: &str,
+        wave: &BTreeSet<RelName>,
+    ) -> Result<Vec<RelName>, DbError> {
+        let Some(program) = work.programs.get(name).cloned() else {
+            work.active_programs.remove(name);
+            return Ok(Vec::new());
+        };
+        let idb = program
+            .idb_schema()
+            .map_err(|e| DbError::new(e.to_string()))?;
+        if idb.keys().any(|head| !work.derived.contains(head)) {
+            work.active_programs.remove(name);
+            return Ok(Vec::new());
+        }
+        let reads: BTreeSet<RelName> = program
+            .rules()
+            .iter()
+            .flat_map(|rule| rule.body_formula().relation_names())
+            .filter(|n| !idb.contains_key(n))
+            .collect();
+        if reads.is_disjoint(wave) {
+            return Ok(Vec::new());
+        }
+        let mut edb = work.instance.clone();
+        for head in idb.keys() {
+            edb.remove(head);
+        }
+        let result = program.run(&edb).map_err(|e| DbError::new(e.to_string()))?;
+        let mut changed = Vec::new();
+        for head in idb.keys() {
+            let new = result.instance.get(head);
+            let old = work.instance.get(head);
+            match (old, new) {
+                (Some(old), Some(new)) if same_value(&old, &new) => {}
+                _ => changed.push(head.clone()),
+            }
+        }
+        work.instance = result.instance;
+        self.metrics.record_view_recomputed();
+        Ok(changed)
     }
 }
 

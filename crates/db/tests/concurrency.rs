@@ -134,6 +134,119 @@ proptest! {
     }
 }
 
+/// The singleton unary relation `{k}` — one update-statement payload.
+fn point(k: i64) -> Relation<DenseOrder> {
+    Relation::from_points(vec![Var::new("x")], [vec![Rat::from_i64(k)]])
+}
+
+/// Readers snapshotting across a concurrent *update* stream: the writer grows
+/// `R` one `insert` at a time up to `{0..max}` and then shrinks it back down
+/// one `delete` at a time, so every committed state is a complete prefix.
+/// Every reader observation must decode to a prefix (no torn reads), match
+/// the writer's own log at that generation, and per-reader generations must
+/// be monotone — exactly the guarantees `set_relation` commits give, now for
+/// the first-class update path.
+#[test]
+fn snapshot_reads_are_consistent_under_a_concurrent_update_stream() {
+    const STEPS: i64 = 10;
+    let db: Database<DenseOrder> = Database::new();
+    db.declare("R", 1).unwrap();
+    db.define_query(
+        "all",
+        vec![Var::new("x")],
+        Formula::<DenseAtom>::rel("R", [Term::var("x")]),
+    )
+    .unwrap();
+    let initial_gen = db.generation();
+    let done = AtomicBool::new(false);
+
+    let (writer_log, reader_logs) = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let mut log: Vec<(u64, i64)> = vec![(db.generation(), -1)];
+            for k in 0..=STEPS {
+                db.insert_relation("R", point(k)).unwrap();
+                log.push((db.generation(), k));
+            }
+            for k in (0..=STEPS).rev() {
+                db.delete_relation("R", point(k)).unwrap();
+                log.push((db.generation(), k - 1));
+            }
+            done.store(true, Ordering::Release);
+            log
+        });
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut log: Vec<(u64, i64)> = Vec::new();
+                    let mut last_gen = 0u64;
+                    let mut spins = 0u32;
+                    loop {
+                        let finished = done.load(Ordering::Acquire);
+                        let snap = db.snapshot();
+                        let gen = snap.generation();
+                        assert!(gen >= last_gen, "generations went backwards");
+                        last_gen = gen;
+                        let answer = snap.eval_query("all").unwrap();
+                        let k = decode_prefix(&answer, STEPS);
+                        let stored = snap.relation("R").expect("R is declared");
+                        assert_eq!(
+                            decode_prefix(&stored, STEPS),
+                            k,
+                            "query answer and stored relation disagree in one snapshot"
+                        );
+                        log.push((gen, k));
+                        spins += 1;
+                        if finished || spins > 10_000 {
+                            break;
+                        }
+                    }
+                    log
+                })
+            })
+            .collect();
+        (
+            writer.join().expect("writer panicked"),
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reader panicked"))
+                .collect::<Vec<_>>(),
+        )
+    });
+
+    let committed: BTreeMap<u64, i64> = writer_log.into_iter().collect();
+    assert_eq!(
+        committed.len() as i64,
+        2 * (STEPS + 1) + 1,
+        "every update committed a fresh generation"
+    );
+    for log in &reader_logs {
+        for &(gen, k) in log {
+            if gen == initial_gen {
+                assert_eq!(k, -1, "the initial state is empty");
+                continue;
+            }
+            let state = committed
+                .get(&gen)
+                .unwrap_or_else(|| panic!("reader observed uncommitted generation {gen}"));
+            assert_eq!(
+                *state, k,
+                "generation {gen} observed with state {{0..{k}}} but the update stream committed {{0..{state}}}"
+            );
+        }
+    }
+
+    // The stream is fully absorbed: the final state is empty again, and the
+    // metrics account for every update statement.
+    let settled = db.metrics();
+    assert_eq!(settled.inserts, (STEPS + 1) as u64);
+    assert_eq!(settled.deletes, (STEPS + 1) as u64);
+    assert_eq!(
+        decode_prefix(&db.snapshot().relation("R").unwrap(), STEPS),
+        -1,
+        "deleting every inserted point restores the empty relation"
+    );
+}
+
 /// A schema-generation bump invalidates the statistics-reoptimized plan; the
 /// next query against the new snapshot re-optimizes exactly once and the
 /// cache is warm again — while an old snapshot stays warm at its own
@@ -235,19 +348,24 @@ fn concurrent_warm_readers_share_one_plan() {
 
 /// Fields of a [`frdb_core::metrics::MetricsSnapshot`] that must never
 /// decrease between two observations of one database.
-fn monotone_fields(snap: &frdb_core::metrics::MetricsSnapshot) -> [u64; 12] {
+fn monotone_fields(snap: &frdb_core::metrics::MetricsSnapshot) -> [u64; 17] {
     [
         snap.queries,
         snap.checks,
         snap.commits,
         snap.snapshots,
         snap.fixpoints,
+        snap.inserts,
+        snap.deletes,
+        snap.views_maintained,
+        snap.views_recomputed,
         snap.index_builds,
         snap.index_reuses,
         snap.join_strategies.total(),
         snap.query_latency.count,
         snap.commit_latency.count,
         snap.fixpoint_latency.count,
+        snap.update_delta_parts.count,
         snap.reads_by_generation.iter().map(|&(_, n)| n).sum(),
     ]
 }

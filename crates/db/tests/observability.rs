@@ -288,7 +288,10 @@ fn metrics_json_round_trips_without_serde() {
          trace q;\n\
          check exists x. exists y. (r(x, y));\n\
          program p { t(x, y) :- r(x, y). }\n\
-         fixpoint p;\n",
+         fixpoint p;\n\
+         insert r {(x, y) | 8 <= x and x <= 9 and y = 0};\n\
+         insert r {(x, y) | x = 0 and y = 1};\n\
+         delete r {(x, y) | x = 9};\n",
         &mut Vec::new(),
     )
     .expect("script runs");
@@ -302,7 +305,23 @@ fn metrics_json_round_trips_without_serde() {
     assert_eq!(counters.get("commits").num(), snapshot.commits);
     assert_eq!(counters.get("snapshots").num(), snapshot.snapshots);
     assert_eq!(counters.get("fixpoints").num(), snapshot.fixpoints);
+    assert_eq!(counters.get("inserts").num(), snapshot.inserts);
+    assert_eq!(counters.get("deletes").num(), snapshot.deletes);
+    assert_eq!(
+        counters.get("views_maintained").num(),
+        snapshot.views_maintained
+    );
+    assert_eq!(
+        counters.get("views_recomputed").num(),
+        snapshot.views_recomputed
+    );
     assert!(snapshot.commits > 0, "the script committed");
+    assert_eq!(snapshot.inserts, 2, "the script inserted twice");
+    assert_eq!(snapshot.deletes, 1, "the script deleted once");
+    assert!(
+        snapshot.views_maintained + snapshot.views_recomputed > 0,
+        "the updates refreshed the materialized view and the fixpoint"
+    );
 
     let indexes = parsed.get("column_indexes");
     assert_eq!(indexes.get("built").num(), snapshot.index_builds);
@@ -357,6 +376,15 @@ fn metrics_json_round_trips_without_serde() {
         parsed.get("fixpoint_latency_ns"),
         &snapshot.fixpoint_latency,
         "fixpoint latency",
+    );
+    assert_eq!(
+        snapshot.update_delta_parts.count, 3,
+        "every update records its effective delta size"
+    );
+    assert_histogram_round_trips(
+        parsed.get("update_delta_parts"),
+        &snapshot.update_delta_parts,
+        "update delta parts",
     );
 }
 

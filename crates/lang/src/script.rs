@@ -4,6 +4,8 @@
 //! script    := [ "theory" ("dense" | "linear") ";" ] { stmt }
 //! stmt      := "schema" IDENT "/" NUMBER { "," IDENT "/" NUMBER } ";"
 //!            | IDENT ":=" relation ";"                  (set a relation)
+//!            | "insert" IDENT relation ";"              (add generalized tuples)
+//!            | "delete" IDENT relation ";"              (remove the covered region)
 //!            | "query" IDENT "(" [ varlist ] ")" ":=" formula ";"
 //!            | "run" IDENT ";"                          (evaluate and print)
 //!            | "explain" IDENT ";"                      (print the optimized plan
@@ -84,6 +86,23 @@ pub enum Stmt<T: Theory> {
         /// The relation name.
         name: RelName,
         /// The parsed relation literal.
+        relation: Relation<T>,
+    },
+    /// `insert R {(x, y) | …};` — add generalized tuples to a declared
+    /// relation (the stored value becomes the union of the old value and the
+    /// literal; materialized views and fixpoints refresh incrementally).
+    Insert {
+        /// The relation name.
+        name: RelName,
+        /// The generalized tuples to add.
+        relation: Relation<T>,
+    },
+    /// `delete R {(x, y) | …};` — remove from a declared relation every point
+    /// covered by the literal (the stored value becomes the DNF difference).
+    Delete {
+        /// The relation name.
+        name: RelName,
+        /// The region to remove.
         relation: Relation<T>,
     },
     /// `query q(x, z) := …;` — define a named query.
@@ -293,6 +312,24 @@ fn statement<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Spanned<Stmt<T>>, Pars
                     span: start.join(end),
                 });
             }
+            "insert" | "delete" => {
+                let is_insert = word == "insert";
+                p.advance();
+                let (name, _) = p.ident("a relation name")?;
+                let relation = parser::relation::<T>(p)?;
+                let end = p
+                    .expect(&Tok::Semi, "`;` terminating the update statement")?
+                    .span;
+                let name = RelName::new(name);
+                return Ok(Spanned {
+                    node: if is_insert {
+                        Stmt::Insert { name, relation }
+                    } else {
+                        Stmt::Delete { name, relation }
+                    },
+                    span: start.join(end),
+                });
+            }
             "run" | "explain" | "trace" | "fixpoint" => {
                 let kind = word.as_str().to_string();
                 p.advance();
@@ -364,8 +401,8 @@ fn statement<T: AtomSyntax>(p: &mut Parser<'_>) -> Result<Spanned<Stmt<T>>, Pars
         }
     }
     Err(p.error_here(
-        "expected a statement (`schema`, `R := …`, `query`, `run`, `explain`, \
-         `trace`, `check`, `assert`, `program`, `fixpoint`, `print`, `stats`, \
-         or `metrics`)",
+        "expected a statement (`schema`, `R := …`, `insert`, `delete`, `query`, \
+         `run`, `explain`, `trace`, `check`, `assert`, `program`, `fixpoint`, \
+         `print`, `stats`, or `metrics`)",
     ))
 }

@@ -8,7 +8,7 @@ use frdb_core::logic::{Formula, Term, Var};
 use frdb_core::relation::{GenTuple, Relation};
 use frdb_datalog::{Literal, Program, Rule};
 use frdb_lang::{
-    parse_formula, parse_gen_tuple, parse_program, parse_relation, parse_rule, parse_script,
+    parse_formula, parse_gen_tuple, parse_program, parse_relation, parse_rule, parse_script, Stmt,
 };
 use frdb_linear::{LinAtom, LinExpr, LinearOrder};
 use frdb_num::Rat;
@@ -285,6 +285,55 @@ proptest! {
         prop_assert_eq!(parsed.to_dnf(), relation.to_dnf());
         prop_assert!(parsed.equivalent(&relation));
     }
+
+    /// Update statements round-trip: printing a relation literal into an
+    /// `insert`/`delete` statement and parsing the script back yields the
+    /// same statement kind, relation name, and canonical DNF.
+    #[test]
+    fn update_statements_roundtrip(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vars = vec![Var::new("x"), Var::new("y")];
+        let atom = |rng: &mut StdRng| {
+            let term = |rng: &mut StdRng| match rng.gen_range(0..=3) {
+                0 => Term::var("x"),
+                1 => Term::var("y"),
+                _ => Term::rat(rand_rat(rng)),
+            };
+            let (l, r) = (term(rng), term(rng));
+            match rng.gen_range(0..=2) {
+                0 => DenseAtom::lt(l, r),
+                1 => DenseAtom::le(l, r),
+                _ => DenseAtom::eq(l, r),
+            }
+        };
+        let n = rng.gen_range(0..=3);
+        let tuples: Vec<GenTuple<DenseAtom>> = (0..n)
+            .map(|_| {
+                let k = rng.gen_range(0..=3);
+                GenTuple::new((0..k).map(|_| atom(&mut rng)).collect())
+            })
+            .collect();
+        let relation: Relation<DenseOrder> = Relation::new(vars, tuples);
+        let insert = rng.gen_range(0..2) == 0;
+        let keyword = if insert { "insert" } else { "delete" };
+        let src = format!("{keyword} R {relation};");
+        let script = parse_script::<DenseOrder>(&src)
+            .unwrap_or_else(|e| panic!("printed update must parse: {src}\n  {e}"));
+        prop_assert_eq!(script.stmts.len(), 1);
+        match &script.stmts[0].node {
+            Stmt::Insert { name, relation: parsed } if insert => {
+                prop_assert_eq!(name.as_str(), "R");
+                prop_assert_eq!(parsed.vars(), relation.vars());
+                prop_assert_eq!(parsed.to_dnf(), relation.to_dnf());
+            }
+            Stmt::Delete { name, relation: parsed } if !insert => {
+                prop_assert_eq!(name.as_str(), "R");
+                prop_assert_eq!(parsed.vars(), relation.vars());
+                prop_assert_eq!(parsed.to_dnf(), relation.to_dnf());
+            }
+            other => prop_assert!(false, "unexpected statement for {}: {:?}", src, other),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -325,6 +374,8 @@ proptest! {
     fn parser_never_panics_on_mutated_valid_scripts(seed in 0u64..10_000_000) {
         let mut rng = StdRng::seed_from_u64(seed);
         let valid = "theory dense;\nschema R/2;\nR := {(x, y) | 0 <= x and x <= y};\n\
+                     insert R {(x, y) | x = 1 and y = 2};\n\
+                     delete R {(x, y) | x < 0};\n\
                      query q(x) := exists y. (R(x, y));\nrun q;\n";
         let mut mutated: Vec<char> = valid.chars().collect();
         for _ in 0..rng.gen_range(1..=6) {
